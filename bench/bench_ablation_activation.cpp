@@ -1,0 +1,70 @@
+// Ablation: registration-based incremental ping-list activation (§5.1,
+// initialization phase) vs naive immediate activation.
+//
+// With gating off, agents probe peers that have not finished starting —
+// the false alarms the paper's incremental activation exists to prevent.
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/harness.h"
+#include "core/metrics.h"
+
+using namespace skh;
+using namespace skh::core;
+
+namespace {
+
+struct Outcome {
+  std::size_t cases;
+  std::size_t pairs;
+  double precision;
+};
+
+Outcome run(bool incremental, std::uint32_t containers) {
+  ExperimentConfig cfg;
+  cfg.topology.num_hosts = 64;
+  cfg.topology.rails_per_host = 8;
+  cfg.topology.hosts_per_segment = 16;
+  cfg.hunter.incremental_activation = incremental;
+  cfg.hunter.probe_interval = SimTime::seconds(3);
+  cfg.seed = 555;
+  Experiment exp(cfg);
+
+  cluster::TaskRequest req;
+  req.num_containers = containers;
+  req.gpus_per_container = 8;
+  req.lifetime = SimTime::hours(2);
+  const auto task = exp.launch_task(req);
+  if (!task) return {0, 0, 1.0};
+  // Probing starts immediately — racing startup, which is the point.
+  exp.hunter().start(SimTime::minutes(14));
+  exp.events().run_all();
+  exp.hunter().finalize();
+  const auto score = score_campaign(exp.hunter().failure_cases(),
+                                    exp.faults(), exp.topology());
+  std::size_t pairs = 0;
+  for (const auto& c : exp.hunter().failure_cases()) pairs += c.pairs.size();
+  return {score.cases_total, pairs, score.precision()};
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Ablation: incremental ping-list activation");
+  TablePrinter table({"task size", "activation", "false cases",
+                      "pairs flagged", "precision"});
+  for (std::uint32_t containers : {8u, 16u, 32u, 64u}) {
+    const auto gated = run(true, containers);
+    const auto naive = run(false, containers);
+    table.add_row({std::to_string(containers), "registration-gated",
+                   std::to_string(gated.cases), std::to_string(gated.pairs),
+                   TablePrinter::pct(gated.precision)});
+    table.add_row({std::to_string(containers), "naive (ablation)",
+                   std::to_string(naive.cases), std::to_string(naive.pairs),
+                   TablePrinter::pct(naive.precision)});
+  }
+  table.print();
+  std::printf("\nno faults are injected: every case is a startup-race false"
+              " alarm; gating should keep the count at zero\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Ablation: Eq. 1-3 constraints in the clustering step.
+//
+// Same-host RNICs can have near-identical burst features (they serve one
+// TP group); without the host-disjointness constraint (Eq. 3) and the
+// balanced/divisible size constraints (Eq. 1-2), the grouping can merge
+// rails or pick a wrong DP degree. We compare constrained vs unconstrained
+// grouping accuracy over noise levels.
+#include <cstdio>
+#include <vector>
+
+#include "common/table.h"
+#include "dsp/stft.h"
+#include "ml/clustering.h"
+#include "workload/traffic.h"
+
+using namespace skh;
+using namespace skh::workload;
+
+namespace {
+
+struct Dataset {
+  ml::FeatureMatrix features;
+  std::vector<std::size_t> host_of;
+  std::vector<std::size_t> true_group;  // position index
+  std::size_t true_k;
+};
+
+Dataset make_dataset(double noise, bool rail_signature, std::uint64_t seed) {
+  ParallelismConfig par;
+  par.tp = 4;
+  par.pp = 2;
+  par.dp = 4;
+  BurstConfig bcfg;
+  bcfg.noise_gbps = noise;
+  // Without the rail chunk-scheduling signature, the rails of one
+  // container are spectrally indistinguishable -- the degenerate case where
+  // only the Eq. 3 host constraint can keep same-host RNICs apart.
+  if (!rail_signature) bcfg.rail_signature_gbps = 0.0;
+  RngStream rng{seed};
+  Dataset d;
+  d.true_k = par.pp * par.tp;
+  for (std::uint32_t c = 0; c < par.num_containers(); ++c) {
+    const std::uint32_t stage = c % par.pp;
+    for (std::uint32_t rail = 0; rail < par.tp; ++rail) {
+      EndpointRole role;
+      role.dp_rank = c / par.pp;
+      role.stage = stage;
+      role.rail = rail;
+      RngStream sub = rng.fork(c * 16 + rail);
+      d.features.push_back(
+          dsp::stft_feature(burst_series(role, par, bcfg, sub)));
+      d.host_of.push_back(c);  // one container per host
+      d.true_group.push_back(stage * par.tp + rail);
+    }
+  }
+  return d;
+}
+
+/// Fraction of item pairs whose same/different-group relation matches the
+/// truth (Rand index).
+double rand_index(const std::vector<std::size_t>& truth,
+                  const std::vector<std::size_t>& assignment) {
+  std::size_t agree = 0, total = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    for (std::size_t j = i + 1; j < truth.size(); ++j) {
+      const bool same_true = truth[i] == truth[j];
+      const bool same_got = assignment[i] == assignment[j];
+      if (same_true == same_got) ++agree;
+      ++total;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(total);
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Ablation: Eq. 1-3 clustering constraints");
+  TablePrinter table({"scenario", "noise(Gbps)", "constrained RI",
+                      "constrained k", "unconstrained RI",
+                      "unconstrained k"});
+  struct Scenario {
+    const char* name;
+    bool rail_signature;
+    double noise;
+  };
+  const Scenario scenarios[] = {
+      {"distinct rails", true, 0.1},  {"distinct rails", true, 0.6},
+      {"distinct rails", true, 1.5},  {"identical rails", false, 0.1},
+      {"identical rails", false, 0.6}, {"identical rails", false, 1.5},
+  };
+  for (const auto& sc : scenarios) {
+    const double noise = sc.noise;
+    const auto d = make_dataset(noise, sc.rail_signature,
+                                42 + static_cast<std::uint64_t>(noise * 10));
+    ml::ConstrainedClusterConfig cfg;
+    cfg.host_of = d.host_of;
+    const std::size_t n = d.features.size();
+    for (std::size_t k = 2; k <= n / 2; ++k) {
+      if (n % k == 0) cfg.candidate_ks.push_back(k);
+    }
+    const auto constrained = ml::constrained_cluster(d.features, cfg);
+    // Unconstrained: plain agglomerative cut at the *tightest* feasible k
+    // chosen by the same elbow rule but with no host/divisibility checks —
+    // emulate by trying all k and taking min intra distance (over-splits).
+    double best_intra = 1e18;
+    ml::Clustering best;
+    for (std::size_t k = 2; k <= n / 2; ++k) {
+      auto c = ml::hierarchical_cluster(d.features, k);
+      const double intra = ml::mean_intra_cluster_distance(d.features, c);
+      // Penalize trivial over-splitting mildly (else k=n/2 always wins).
+      const double score = intra + 0.001 * static_cast<double>(k);
+      if (score < best_intra) {
+        best_intra = score;
+        best = std::move(c);
+      }
+    }
+    table.add_row(
+        {sc.name, TablePrinter::num(noise, 1),
+         constrained ? TablePrinter::num(
+                           rand_index(d.true_group, constrained->assignment), 3)
+                     : "infeasible",
+         constrained ? std::to_string(constrained->num_clusters()) : "-",
+         TablePrinter::num(rand_index(d.true_group, best.assignment), 3),
+         std::to_string(best.num_clusters())});
+  }
+  table.print();
+  std::printf("\ntrue group count is 8 (PP2 x TP4). With identical rails"
+              " only the host-disjointness constraint (Eq. 3) and the size"
+              " balance (Eq. 1-2) keep the grouping usable; unconstrained"
+              " clustering merges same-host RNICs.\n");
+  return 0;
+}

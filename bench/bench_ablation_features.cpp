@@ -1,0 +1,126 @@
+// Ablation: STFT vs plain DFT vs Haar-wavelet features for traffic-
+// skeleton inference (§5.1 says STFT won on capturing time-varying
+// structure at the lowest runtime cost).
+//
+// We score each extractor on (a) position-grouping quality — the ratio of
+// cross-position to same-position feature distance (higher = easier to
+// cluster) — and (b) extraction time per 900-sample series.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "common/table.h"
+#include "dsp/fft.h"
+#include "dsp/stft.h"
+#include "dsp/wavelet.h"
+#include "workload/traffic.h"
+
+using namespace skh;
+using namespace skh::workload;
+
+namespace {
+
+using Extractor = std::function<std::vector<double>(
+    const std::vector<double>&)>;
+
+std::vector<double> dft_feature(const std::vector<double>& signal) {
+  // Plain one-shot DFT magnitude over the whole (demeaned) series.
+  std::vector<double> demeaned = signal;
+  double mean = 0.0;
+  for (double v : demeaned) mean += v;
+  mean /= static_cast<double>(demeaned.size());
+  for (double& v : demeaned) v -= mean;
+  const auto spectrum = dsp::fft_real(demeaned);
+  auto mags = dsp::magnitude_spectrum(spectrum);
+  // Match the STFT feature's bin count by coarse-graining.
+  std::vector<double> feat(33, 0.0);
+  for (std::size_t k = 0; k < mags.size(); ++k) {
+    feat[k * feat.size() / mags.size()] += mags[k];
+  }
+  feat[0] = 0.0;
+  double norm = 0.0;
+  for (double v : feat) norm += v * v;
+  norm = std::sqrt(norm);
+  if (norm > 0) {
+    for (double& v : feat) v /= norm;
+  }
+  return feat;
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Ablation: feature extractor for skeleton inference");
+  ParallelismConfig par;
+  par.tp = 4;
+  par.pp = 4;
+  par.dp = 4;
+  BurstConfig bcfg;
+  RngStream rng{99};
+
+  // Series for two replicas of every (stage, rail) position.
+  struct Sample {
+    std::uint32_t stage, rail;
+    std::vector<double> series;
+  };
+  std::vector<Sample> samples;
+  for (std::uint32_t stage = 0; stage < par.pp; ++stage) {
+    for (std::uint32_t rail = 0; rail < par.tp; ++rail) {
+      for (std::uint32_t rep = 0; rep < 2; ++rep) {
+        EndpointRole role;
+        role.dp_rank = rep;
+        role.stage = stage;
+        role.rail = rail;
+        RngStream sub = rng.fork(stage * 100 + rail * 10 + rep);
+        samples.push_back({stage, rail, burst_series(role, par, bcfg, sub)});
+      }
+    }
+  }
+
+  const std::vector<std::pair<const char*, Extractor>> extractors{
+      {"STFT (paper's choice)",
+       [](const std::vector<double>& s) { return dsp::stft_feature(s); }},
+      {"plain DFT", dft_feature},
+      {"Haar wavelet",
+       [](const std::vector<double>& s) { return dsp::haar_feature(s); }},
+  };
+
+  TablePrinter table({"extractor", "same-pos dist", "cross-pos dist",
+                      "separation ratio", "time/series(us)"});
+  for (const auto& [name, extract] : extractors) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::vector<double>> feats;
+    for (const auto& s : samples) feats.push_back(extract(s.series));
+    const auto t1 = std::chrono::steady_clock::now();
+
+    double same = 0.0, cross = 0.0;
+    std::size_t n_same = 0, n_cross = 0;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      for (std::size_t j = i + 1; j < samples.size(); ++j) {
+        const double d = dsp::euclidean_distance(feats[i], feats[j]);
+        if (samples[i].stage == samples[j].stage &&
+            samples[i].rail == samples[j].rail) {
+          same += d;
+          ++n_same;
+        } else {
+          cross += d;
+          ++n_cross;
+        }
+      }
+    }
+    same /= static_cast<double>(n_same);
+    cross /= static_cast<double>(n_cross);
+    const double us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count() /
+        static_cast<double>(samples.size());
+    table.add_row({name, TablePrinter::num(same, 4),
+                   TablePrinter::num(cross, 4),
+                   TablePrinter::num(cross / same, 1),
+                   TablePrinter::num(us, 1)});
+  }
+  table.print();
+  std::printf("\nhigher separation ratio = cleaner clustering; the paper"
+              " picked STFT for time-varying capture at low cost\n");
+  return 0;
+}

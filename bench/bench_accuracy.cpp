@@ -1,0 +1,156 @@
+// Section 7.1 headline numbers: detection precision / recall and
+// localization accuracy over a fault campaign.
+//
+// Production (6 months, 2M+ tasks): 4,816 failures found with 98.2%
+// precision and 99.3% recall; 1,302 components localized at 95.7%
+// accuracy. Our campaign compresses that into a multi-task simulation with
+// randomized faults over every component class, a share of intra-host
+// (probe-invisible) faults that bound recall, and a few crashed sidecar
+// agents that bound precision — the same three error sources §7.1/§7.3
+// attribute the production misses to.
+#include <cstdio>
+#include <vector>
+
+#include "common/table.h"
+#include "core/harness.h"
+#include "core/metrics.h"
+
+using namespace skh;
+using namespace skh::core;
+
+int main() {
+  print_banner("Section 7.1: detection & localization accuracy campaign");
+  ExperimentConfig cfg;
+  cfg.topology.num_hosts = 32;
+  cfg.topology.rails_per_host = 8;
+  cfg.topology.hosts_per_segment = 8;
+  cfg.hunter.inference.candidate_dp = {2, 4, 8};
+  cfg.hunter.probe_interval = SimTime::seconds(2);
+  cfg.seed = 20240301;
+  Experiment exp(cfg);
+
+  // Four concurrent tasks of different shapes.
+  struct Shape {
+    std::uint32_t containers, gpus, dp, pp;
+  };
+  const std::vector<Shape> shapes{{8, 8, 4, 2}, {8, 8, 2, 4},
+                                  {8, 8, 8, 1}, {4, 8, 2, 2}};
+  std::vector<TaskId> tasks;
+  for (const auto& s : shapes) {
+    cluster::TaskRequest req;
+    req.num_containers = s.containers;
+    req.gpus_per_container = s.gpus;
+    req.lifetime = SimTime::hours(24);
+    const auto task = exp.launch_task(req);
+    if (!task) continue;
+    exp.run_to_running(*task);
+    workload::ParallelismConfig par;
+    par.tp = s.gpus;
+    par.pp = s.pp;
+    par.dp = s.dp;
+    (void)exp.apply_skeleton(*task, exp.layout_of(*task, par));
+    tasks.push_back(*task);
+  }
+
+  // Fault plan: ~48 visible faults cycling over component classes, 1
+  // intra-host invisible fault (recall loss, §7.3), 1 crashed agent
+  // (precision loss, §7.3). Faults are spaced so each is attributable.
+  RngStream frng = exp.rng().fork("fault-plan");
+  const std::vector<sim::IssueType> visible_types{
+      sim::IssueType::kCrcError,
+      sim::IssueType::kSwitchPortDown,
+      sim::IssueType::kSwitchPortFlapping,
+      sim::IssueType::kRnicHardwareFailure,
+      sim::IssueType::kRnicFirmwareNotResponding,
+      sim::IssueType::kRnicPortDown,
+      sim::IssueType::kGidChange,
+      sim::IssueType::kHugepageMisconfig,
+      sim::IssueType::kNotUsingRdma,
+      sim::IssueType::kSuboptimalFlowOffloading,
+      sim::IssueType::kSwitchOffline,
+      sim::IssueType::kPcieNicError,
+  };
+  SimTime cursor = exp.events().now() + SimTime::minutes(5);
+  const SimTime gap = SimTime::minutes(11);
+  const SimTime duration = SimTime::minutes(6);
+  int injected = 0;
+  for (int round = 0; round < 4; ++round) {
+    for (const auto type : visible_types) {
+      const TaskId task = tasks[static_cast<std::size_t>(
+          frng.uniform_int(0, static_cast<std::int64_t>(tasks.size()) - 1))];
+      const auto endpoints = exp.orchestrator().endpoints_of_task(task);
+      const auto& victim = endpoints[static_cast<std::size_t>(
+          frng.uniform_int(0, static_cast<std::int64_t>(endpoints.size()) - 1))];
+      sim::ComponentRef target;
+      switch (sim::issue_info(type).target_kind) {
+        case sim::ComponentKind::kPhysicalLink:
+          target = {sim::ComponentKind::kPhysicalLink,
+                    exp.topology().uplink_of(victim.rnic).value()};
+          break;
+        case sim::ComponentKind::kPhysicalSwitch: {
+          const auto host = exp.topology().host_of(victim.rnic);
+          target = {sim::ComponentKind::kPhysicalSwitch,
+                    exp.topology()
+                        .tor_at(exp.topology().segment_of(host),
+                                exp.topology().rail_of(victim.rnic))
+                        .value()};
+          break;
+        }
+        case sim::ComponentKind::kRnic:
+          target = {sim::ComponentKind::kRnic, victim.rnic.value()};
+          break;
+        case sim::ComponentKind::kVSwitch:
+          target = {sim::ComponentKind::kVSwitch,
+                    exp.topology().host_of(victim.rnic).value()};
+          break;
+        default:
+          target = {sim::ComponentKind::kHost,
+                    exp.topology().host_of(victim.rnic).value()};
+          break;
+      }
+      exp.faults().inject(type, target, cursor, cursor + duration);
+      cursor += gap;
+      ++injected;
+    }
+  }
+  // Invisible intra-host fault: counted against recall, never detected.
+  exp.faults().inject(sim::IssueType::kNvlinkDegradation,
+                      {sim::ComponentKind::kHost, 3}, cursor,
+                      cursor + duration);
+  cursor += gap;
+  // Crashed sidecar agent: a phantom that probes see but scoring rejects.
+  // Spaced well clear of any real fault so the resulting case cannot be
+  // accidentally attributed to one.
+  cursor += SimTime::minutes(40);
+  const auto phantom_eps = exp.orchestrator().endpoints_of_task(tasks[0]);
+  exp.faults().inject_phantom(
+      {sim::ComponentKind::kContainer, phantom_eps[0].container.value()},
+      cursor, cursor + SimTime::minutes(3));
+  cursor += gap;
+
+  exp.hunter().start(cursor + SimTime::minutes(20));
+  exp.events().run_all();
+  exp.hunter().finalize();
+
+  const auto score = score_campaign(exp.hunter().failure_cases(),
+                                    exp.faults(), exp.topology());
+  TablePrinter table({"metric", "measured", "paper"});
+  table.add_row({"injected faults (visible)",
+                 std::to_string(score.injected_visible), "-"});
+  table.add_row({"injected faults (intra-host, invisible)",
+                 std::to_string(score.injected_invisible), "-"});
+  table.add_row({"failure cases raised",
+                 std::to_string(score.cases_total), "4816 failures"});
+  table.add_row({"precision", TablePrinter::pct(score.precision()), "98.2%"});
+  table.add_row({"recall", TablePrinter::pct(score.recall()), "99.3%"});
+  table.add_row({"localization accuracy",
+                 TablePrinter::pct(score.localization_accuracy()), "95.7%"});
+  table.add_row({"mean detection latency",
+                 TablePrinter::num(score.mean_detection_latency_s, 1) + " s",
+                 "8 s avg"});
+  table.print();
+  std::printf("\nerror sources mirror the paper: misses are intra-host"
+              " (NVLink/PCIe) faults; false alarms come from crashed"
+              " monitoring agents (Section 7.3)\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Figure 9: RNIC traffic matrices of a 512-GPU task — (a) dense model
+// (TP8/PP8/DP8), (b) MoE with expert parallelism. Both are highly sparse.
+#include <cstdio>
+#include <vector>
+
+#include "common/table.h"
+#include "workload/traffic.h"
+
+using namespace skh;
+using namespace skh::workload;
+
+namespace {
+
+TaskLayout layout_for(const ParallelismConfig& par) {
+  cluster::TaskInfo task;
+  task.id = TaskId{0};
+  task.request.num_containers = par.num_containers();
+  task.request.gpus_per_container = par.tp;
+  std::vector<cluster::ContainerInfo> containers;
+  for (std::uint32_t c = 0; c < par.num_containers(); ++c) {
+    cluster::ContainerInfo ci;
+    ci.id = ContainerId{c};
+    ci.task = task.id;
+    ci.host = HostId{c};
+    ci.index_in_task = c;
+    for (std::uint32_t g = 0; g < par.tp; ++g) {
+      ci.rnics.push_back(RnicId{c * par.tp + g});
+    }
+    task.containers.push_back(ci.id);
+    containers.push_back(ci);
+  }
+  return make_layout(task, containers, par);
+}
+
+void report(const char* name, const ParallelismConfig& par) {
+  const auto layout = layout_for(par);
+  const auto tm = build_traffic_matrix(layout);
+  const std::size_t n = layout.roles.size();
+  double total_degree = 0.0;
+  std::size_t max_degree = 0;
+  for (const auto& r : layout.roles) {
+    const auto d = tm.peers_of(r.endpoint).size();
+    total_degree += static_cast<double>(d);
+    max_degree = std::max(max_degree, d);
+  }
+  std::printf("%s (%s): %zu endpoints, %zu edges, density %.3f%%, "
+              "mean degree %.1f, max degree %zu\n",
+              name, par.to_string().c_str(), n, tm.num_edges(),
+              100.0 * tm.density(n), total_degree / static_cast<double>(n),
+              max_degree);
+
+  // Render the 64x64 container-level matrix for rail 0 (GPU granularity
+  // would be 512x512; container granularity shows the same structure).
+  std::printf("  rail-0 container-level matrix (#=traffic, .=none):\n");
+  const std::uint32_t nc = par.num_containers();
+  for (std::uint32_t i = 0; i < nc; ++i) {
+    std::printf("  ");
+    for (std::uint32_t j = 0; j < nc; ++j) {
+      if (i == j) {
+        std::putchar('\\');
+        continue;
+      }
+      const Endpoint a{ContainerId{i}, RnicId{i * par.tp}};
+      const Endpoint b{ContainerId{j}, RnicId{j * par.tp}};
+      std::putchar(tm.communicates(a, b) ? '#' : '.');
+    }
+    std::putchar('\n');
+  }
+  std::putchar('\n');
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Figure 9: RNIC traffic patterns of a 512-GPU task");
+  ParallelismConfig dense;  // TP8/PP8/DP8
+  report("Fig 9a dense", dense);
+
+  ParallelismConfig moe;
+  moe.tp = 8;
+  moe.pp = 4;
+  moe.dp = 16;
+  moe.moe = true;
+  moe.ep = 4;
+  report("Fig 9b MoE", moe);
+
+  std::printf("paper: both matrices are sparse; a GPU in the dense task"
+              " reaches ~9 of 511 possible destinations\n");
+  return 0;
+}

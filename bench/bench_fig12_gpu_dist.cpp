@@ -1,0 +1,28 @@
+// Figure 12: number of GPUs requested per training job.
+//
+// Paper shape: confined to multiples of eight, with 128/512/1024 popular —
+// users shape requests as TP x PP x DP.
+#include <cstdio>
+#include <map>
+
+#include "cluster/traces.h"
+#include "common/table.h"
+
+using namespace skh;
+
+int main() {
+  print_banner("Figure 12: #GPUs per training job");
+  RngStream rng{12};
+  constexpr int kJobs = 200000;
+  std::map<std::uint32_t, int> hist;
+  for (int i = 0; i < kJobs; ++i) ++hist[cluster::sample_task_gpus(rng)];
+
+  TablePrinter table({"gpus", "fraction", "multiple-of-8"});
+  for (const auto& [n, count] : hist) {
+    table.add_row({std::to_string(n),
+                   TablePrinter::pct(static_cast<double>(count) / kJobs),
+                   n % 8 == 0 ? "yes" : "NO"});
+  }
+  table.print();
+  return 0;
+}

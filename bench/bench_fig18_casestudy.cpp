@@ -1,0 +1,120 @@
+// Figure 18 case study: RNIC/OVS flow-table inconsistency.
+//
+// Timeline in the paper: stable ~16 us RTT; at t=90 s latency jumps to
+// ~120 us with <0.1% loss; statistical testing flags the shift; overlay and
+// underlay checks find nothing; the RNIC flow-table dump reveals the
+// inconsistency; the RNIC is isolated and recovers within ~60 s.
+#include <cstdio>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/harness.h"
+#include "core/metrics.h"
+
+using namespace skh;
+using namespace skh::core;
+
+int main() {
+  print_banner("Figure 18 case study: flow-table inconsistency");
+  ExperimentConfig cfg;
+  cfg.topology = [] {
+    topo::TopologyConfig t;
+    t.num_hosts = 16;
+    t.rails_per_host = 8;
+    // Two hosts per segment: the observed pair crosses segments, whose
+    // 4-hop path yields the paper's ~16us healthy RTT.
+    t.hosts_per_segment = 2;
+    return t;
+  }();
+  cfg.hunter.inference.candidate_dp = {2, 4, 8};
+  Experiment exp(cfg);
+
+  cluster::TaskRequest req;
+  req.num_containers = 4;
+  req.gpus_per_container = 8;
+  req.lifetime = SimTime::hours(12);
+  const auto task = exp.launch_task(req);
+  if (!task) return 1;
+  exp.run_to_running(*task);
+  workload::ParallelismConfig par;
+  par.tp = 8;
+  par.pp = 2;
+  par.dp = 2;
+  (void)exp.apply_skeleton(*task, exp.layout_of(*task, par));
+
+  const auto victim = exp.orchestrator().endpoints_of_task(*task)[0];
+  // Ten minutes of healthy history (the short-term detector's look-back),
+  // then the paper's timeline: inconsistency at +90 s.
+  const SimTime warmup_end = exp.events().now() + SimTime::minutes(10);
+  const SimTime onset = warmup_end + SimTime::seconds(90);
+  const SimTime isolate_check = onset + SimTime::minutes(6);
+  exp.events().schedule_at(onset, [&] {
+    exp.overlay().invalidate_offload(victim.rnic);
+  });
+  exp.faults().inject(sim::IssueType::kRepetitiveFlowOffloading,
+                      {sim::ComponentKind::kRnic, victim.rnic.value()}, onset,
+                      isolate_check, sim::FaultEffect{});
+  // Operator reaction: once SkeletonHunter dumps the tables and finds the
+  // inconsistency, the RNIC is isolated and resynchronized ("recovers in
+  // 60 seconds").
+  exp.events().schedule_at(isolate_check, [&] {
+    exp.overlay().resync_offload(victim.rnic);
+  });
+
+  exp.hunter().start(exp.events().now() + SimTime::minutes(25));
+  exp.events().run_all();
+  exp.hunter().finalize();
+
+  // Reconstruct the latency timeline of the victim's first skeleton pair.
+  const auto pairs = exp.hunter().collector().pairs();
+  EndpointPair shown{};
+  for (const auto& p : pairs) {
+    if (p.src != victim && p.dst != victim) continue;
+    shown = p;
+    // Prefer a cross-segment pair: its 4-hop path has the paper's ~16us
+    // healthy RTT.
+    if (exp.topology().segment_of(exp.topology().host_of(p.src.rnic)) !=
+        exp.topology().segment_of(exp.topology().host_of(p.dst.rnic))) {
+      break;
+    }
+  }
+  const auto& results = exp.hunter().collector().results_for(shown);
+  TablePrinter table({"window(s)", "mean RTT(us)", "loss"});
+  // Timeline relative to 90 s before the onset, mirroring Figure 18's axis.
+  const double t0 = onset.to_seconds() - 90.0;
+  double win_start = t0;
+  std::vector<double> rtts;
+  int sent = 0, lost = 0;
+  for (const auto& r : results) {
+    if (r.sent_at.to_seconds() < t0) continue;
+    if (r.sent_at.to_seconds() >= win_start + 60.0) {
+      table.add_row({TablePrinter::num(win_start - t0, 0),
+                     rtts.empty() ? "-" : TablePrinter::num(mean_of(rtts), 1),
+                     TablePrinter::pct(sent ? static_cast<double>(lost) / sent
+                                            : 0.0, 2)});
+      win_start += 60.0;
+      rtts.clear();
+      sent = 0;
+      lost = 0;
+    }
+    ++sent;
+    if (r.delivered) rtts.push_back(r.rtt_us);
+    else ++lost;
+  }
+  table.print();
+
+  // Detection + localization outcome.
+  std::printf("\nfailure cases: %zu\n", exp.hunter().failure_cases().size());
+  for (const auto& c : exp.hunter().failure_cases()) {
+    std::printf("  case %u: %zu pairs, method=%s, culprits:", c.id,
+                c.pairs.size(), std::string(to_string(c.localization.method)).c_str());
+    for (const auto& ref : c.localization.culprits) {
+      std::printf(" %s", sim::to_string(ref).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper: 16us -> 120us with <0.1%% loss at t=90s; localized"
+              " via RNIC flow-table dump; recovery ~60s after isolation\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Kernel micro-benchmarks (google-benchmark): the hot analysis paths that
+// bound SkeletonHunter's 8-second average detection time — STFT feature
+// extraction, constrained clustering, LOF scoring, and the log-normal
+// Z-test.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "dsp/fft.h"
+#include "dsp/stft.h"
+#include "dsp/wavelet.h"
+#include "ml/clustering.h"
+#include "ml/lof.h"
+#include "ml/stats_tests.h"
+
+namespace skh {
+namespace {
+
+std::vector<double> burst_like(std::size_t n, std::uint64_t seed) {
+  RngStream rng{seed};
+  std::vector<double> s(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s[i] = ((i % 30) > 24 ? 15.0 : 2.0) + rng.normal(0, 0.3);
+  }
+  return s;
+}
+
+void BM_FftReal(benchmark::State& state) {
+  const auto sig = burst_like(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::fft_real(sig));
+  }
+}
+BENCHMARK(BM_FftReal)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_StftFeature(benchmark::State& state) {
+  const auto sig = burst_like(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::stft_feature(sig));
+  }
+}
+BENCHMARK(BM_StftFeature)->Arg(900)->Arg(1800)->Arg(3600);
+
+void BM_HaarFeature(benchmark::State& state) {
+  const auto sig = burst_like(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::haar_feature(sig));
+  }
+}
+BENCHMARK(BM_HaarFeature)->Arg(900)->Arg(3600);
+
+void BM_ConstrainedClustering(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  RngStream rng{4};
+  ml::FeatureMatrix features;
+  std::vector<std::size_t> host_of;
+  const std::size_t groups = 8;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t g = i % groups;
+    features.push_back({static_cast<double>(g) + rng.normal(0, 0.05),
+                        static_cast<double>(g % 3) + rng.normal(0, 0.05)});
+    host_of.push_back(i / groups);
+  }
+  ml::ConstrainedClusterConfig cfg;
+  cfg.host_of = host_of;
+  cfg.candidate_ks = {groups};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::constrained_cluster(features, cfg));
+  }
+}
+BENCHMARK(BM_ConstrainedClustering)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_LofScore(benchmark::State& state) {
+  RngStream rng{5};
+  std::vector<std::vector<double>> lookback;
+  for (int i = 0; i < 10; ++i) {
+    std::vector<double> w(7);
+    for (auto& x : w) x = 16.0 + rng.normal(0, 0.5);
+    lookback.push_back(std::move(w));
+  }
+  const std::vector<double> query{15, 16, 17, 14, 16, 0.8, 19};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::lof_score_of(query, lookback, {3, 1.8}));
+  }
+}
+BENCHMARK(BM_LofScore);
+
+void BM_ZTest(benchmark::State& state) {
+  RngStream rng{6};
+  std::vector<double> baseline(static_cast<std::size_t>(state.range(0)));
+  for (auto& x : baseline) x = rng.lognormal(std::log(16.0), 0.1);
+  const auto model = ml::fit_lognormal(baseline);
+  std::vector<double> window(baseline.size() / 2);
+  for (auto& x : window) x = rng.lognormal(std::log(16.5), 0.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::z_test(model, window));
+  }
+}
+BENCHMARK(BM_ZTest)->Arg(1800)->Arg(7200);
+
+void BM_BestLag(benchmark::State& state) {
+  const auto a = burst_like(900, 7);
+  auto b = a;
+  std::rotate(b.begin(), b.begin() + 9, b.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::best_lag(a, b));
+  }
+}
+BENCHMARK(BM_BestLag);
+
+}  // namespace
+}  // namespace skh
+
+BENCHMARK_MAIN();

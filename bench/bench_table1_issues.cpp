@@ -1,0 +1,147 @@
+// Table 1: the 19 production issue types (plus the intra-host NVLink class
+// of §7.3). Each issue is injected into a fresh deployment; we report
+// whether SkeletonHunter detects it, which method localizes it, and whether
+// the verdict names the injected component.
+#include <cstdio>
+#include <string>
+
+#include "common/table.h"
+#include "core/harness.h"
+#include "core/metrics.h"
+
+using namespace skh;
+using namespace skh::core;
+
+namespace {
+
+/// Pick the concrete component instance for an issue type and apply any
+/// overlay/orchestrator side-effects its mechanism implies.
+sim::ComponentRef target_for(Experiment& exp, sim::IssueType type,
+                             TaskId /*task*/, const Endpoint& victim,
+                             SimTime start, SimTime end) {
+  auto& topo = exp.topology();
+  switch (sim::issue_info(type).target_kind) {
+    case sim::ComponentKind::kPhysicalLink:
+      return {sim::ComponentKind::kPhysicalLink,
+              topo.uplink_of(victim.rnic).value()};
+    case sim::ComponentKind::kPhysicalSwitch: {
+      const auto seg = topo.segment_of(topo.host_of(victim.rnic));
+      return {sim::ComponentKind::kPhysicalSwitch,
+              topo.tor_at(seg, topo.rail_of(victim.rnic)).value()};
+    }
+    case sim::ComponentKind::kRnic:
+      if (type == sim::IssueType::kOffloadingFailure) {
+        // Mechanism: the offloaded flow tables desynchronize (Fig. 18).
+        exp.events().schedule_at(start, [&exp, victim] {
+          exp.overlay().invalidate_offload(victim.rnic);
+        });
+        exp.events().schedule_at(end, [&exp, victim] {
+          exp.overlay().resync_offload(victim.rnic);
+        });
+      }
+      return {sim::ComponentKind::kRnic, victim.rnic.value()};
+    case sim::ComponentKind::kVSwitch:
+      if (type == sim::IssueType::kRepetitiveFlowOffloading) {
+        // OVS keeps invalidating the offloaded flows: the observable
+        // artifact is the RNIC flow-table inconsistency (Fig. 18), but the
+        // culprit component is the virtual switch.
+        exp.events().schedule_at(start, [&exp, victim] {
+          exp.overlay().invalidate_offload(victim.rnic);
+        });
+        exp.events().schedule_at(end, [&exp, victim] {
+          exp.overlay().resync_offload(victim.rnic);
+        });
+      }
+      return {sim::ComponentKind::kVSwitch,
+              topo.host_of(victim.rnic).value()};
+    case sim::ComponentKind::kContainer:
+      exp.events().schedule_at(start, [&exp, victim] {
+        exp.orchestrator().crash_container(victim.container);
+      });
+      return {sim::ComponentKind::kContainer, victim.container.value()};
+    case sim::ComponentKind::kHost:
+    default:
+      return {sim::ComponentKind::kHost, topo.host_of(victim.rnic).value()};
+  }
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Table 1: network issues detected by SkeletonHunter");
+  TablePrinter table({"#", "issue", "component", "symptom", "detected",
+                      "method", "verdict-correct", "latency(s)"});
+
+  for (const auto& info : sim::all_issue_infos()) {
+    ExperimentConfig cfg;
+    cfg.topology.num_hosts = 16;
+    cfg.topology.rails_per_host = 8;
+    cfg.topology.hosts_per_segment = 8;
+    cfg.hunter.inference.candidate_dp = {2, 4, 8};
+    cfg.seed = 1000 + static_cast<std::uint64_t>(info.type);
+    Experiment exp(cfg);
+
+    cluster::TaskRequest req;
+    req.num_containers = 4;
+    req.gpus_per_container = 8;
+    req.lifetime = SimTime::hours(12);
+    const auto task = exp.launch_task(req);
+    if (!task) continue;
+    exp.run_to_running(*task);
+    workload::ParallelismConfig par;
+    par.tp = 8;
+    par.pp = 2;
+    par.dp = 2;
+    (void)exp.apply_skeleton(*task, exp.layout_of(*task, par));
+
+    // Victim endpoint 9: container 1, rail 1 (off the reference corner).
+    const auto victim = exp.orchestrator().endpoints_of_task(*task)[9];
+    const SimTime start = exp.events().now() + SimTime::minutes(3);
+    const SimTime end = start + SimTime::minutes(10);
+    const auto target = target_for(exp, info.type, *task, victim, start, end);
+    // Container crashes get an effect-free record (the orchestrator crash
+    // carries the mechanism); everything else uses the default effect.
+    if (info.type == sim::IssueType::kContainerCrash ||
+        info.type == sim::IssueType::kRepetitiveFlowOffloading ||
+        info.type == sim::IssueType::kOffloadingFailure) {
+      exp.faults().inject(info.type, target, start, end, sim::FaultEffect{});
+    } else {
+      exp.faults().inject(info.type, target, start, end);
+    }
+
+    exp.hunter().start(exp.events().now() + SimTime::minutes(25));
+    exp.events().run_all();
+    exp.hunter().finalize();
+
+    const auto score =
+        score_campaign(exp.hunter().failure_cases(), exp.faults(),
+                       exp.topology());
+    std::string method = "-";
+    for (const auto& c : exp.hunter().failure_cases()) {
+      if (c.localization.found()) {
+        method = std::string(to_string(c.localization.method));
+        break;
+      }
+    }
+    const bool visible = info.probe_visible;
+    table.add_row(
+        {std::to_string(static_cast<int>(info.type)),
+         std::string(sim::to_string(info.type)),
+         std::string(sim::to_string(info.component_class)),
+         std::string(sim::to_string(info.symptom)),
+         score.detected_true > 0 ? "yes" : (visible ? "NO" : "no (expected)"),
+         method,
+         score.localized_total > 0
+             ? (score.localized_correct == score.localized_total ? "yes"
+                                                                 : "NO")
+             : "-",
+         score.detected_true > 0
+             ? TablePrinter::num(score.mean_detection_latency_s, 0)
+             : "-"});
+  }
+  table.print();
+  std::printf("\npaper: all 19 production issue types are detectable;"
+              " intra-host NVLink issues (row 20) are the expected"
+              " false negatives of Section 7.3\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// MoE scenario: a Mixture-of-Experts task adds expert-parallel all-to-all
+// traffic (Figure 9b). This example shows that skeleton inference still
+// recovers the grouping (§5.1: "new parallelism strategies ... can be
+// classified using the same method") and compares the dense vs MoE probing
+// matrices.
+#include <cstdio>
+
+#include "core/harness.h"
+#include "core/skeleton_inference.h"
+#include "workload/traffic.h"
+
+using namespace skh;
+using namespace skh::core;
+
+namespace {
+
+void run_variant(const char* name, bool moe) {
+  ExperimentConfig cfg;
+  cfg.topology.num_hosts = 16;
+  cfg.topology.rails_per_host = 8;
+  cfg.topology.hosts_per_segment = 8;
+  cfg.hunter.inference.candidate_dp = {2, 4, 8};
+  cfg.seed = moe ? 91 : 90;
+  Experiment exp(cfg);
+
+  cluster::TaskRequest req;
+  req.num_containers = 16;  // 128 GPUs
+  req.gpus_per_container = 8;
+  req.lifetime = SimTime::hours(6);
+  const auto task = exp.launch_task(req);
+  if (!task) return;
+  exp.run_to_running(*task);
+
+  workload::ParallelismConfig par;
+  par.tp = 8;
+  par.pp = 2;
+  par.dp = 8;
+  par.moe = moe;
+  par.ep = moe ? 4 : 1;
+  const auto layout = exp.layout_of(*task, par);
+  const auto tm = workload::build_traffic_matrix(layout);
+
+  const auto before = exp.hunter().current_targets(*task);
+  const auto inferred = exp.apply_skeleton(*task, layout);
+  const auto after = exp.hunter().current_targets(*task);
+
+  std::printf("%-6s %s: traffic edges=%zu density=%.2f%%", name,
+              par.to_string().c_str(), tm.num_edges(),
+              100.0 * tm.density(layout.roles.size()));
+  if (inferred) {
+    std::vector<EndpointPair> truth;
+    for (const auto& e : tm.edges()) truth.push_back(EndpointPair{e.a, e.b});
+    const auto q = evaluate_skeleton(inferred->pairs, truth);
+    std::printf("  inferred DP=%u PP=%u coverage=%.0f%% excess=%.0f%%",
+                inferred->dp, inferred->pp, 100 * q.coverage,
+                100 * q.excess);
+  } else {
+    std::printf("  (inference infeasible; basic list retained)");
+  }
+  std::printf("  targets %zu -> %zu\n", before, after);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Dense vs MoE traffic skeletons (Figure 9a vs 9b):\n");
+  run_variant("dense", false);
+  run_variant("MoE", true);
+  std::puts("\nMoE adds expert-parallel all-to-all edges; the skeleton grows"
+            " but remains a small fraction of the full mesh.");
+  return 0;
+}

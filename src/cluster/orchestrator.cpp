@@ -1,0 +1,206 @@
+#include "cluster/orchestrator.h"
+
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace skh::cluster {
+
+Orchestrator::Orchestrator(const topo::Topology& topo,
+                           overlay::OverlayNetwork& overlay,
+                           sim::EventQueue& events, RngStream rng)
+    : topo_(topo), overlay_(overlay), events_(events), rng_(std::move(rng)) {}
+
+std::optional<TaskId> Orchestrator::submit_task(const TaskRequest& req) {
+  if (req.num_containers == 0 || req.gpus_per_container == 0 ||
+      req.gpus_per_container > topo_.config().rails_per_host) {
+    throw std::invalid_argument("submit_task: bad container shape");
+  }
+  // All-or-nothing placement: find a host with capacity for every container.
+  // Rails are allocated contiguously so that container k of the task holds
+  // the same rail range on its host whenever hosts fill uniformly (the
+  // rail-optimized assumption the basic ping list depends on).
+  std::vector<std::pair<HostId, std::uint32_t>> placement;  // host, first rail
+  std::unordered_map<HostId, std::uint32_t> tentative = gpus_used_;
+  for (std::uint32_t c = 0; c < req.num_containers; ++c) {
+    bool placed = false;
+    for (std::uint32_t h = 0; h < topo_.num_hosts(); ++h) {
+      const HostId host{h};
+      if (placement_filter_ && !placement_filter_(host)) continue;
+      const std::uint32_t used = tentative[host];
+      if (used + req.gpus_per_container <= topo_.config().rails_per_host) {
+        placement.emplace_back(host, used);
+        tentative[host] = used + req.gpus_per_container;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) return std::nullopt;
+  }
+  gpus_used_ = std::move(tentative);
+
+  const TaskId task_id{static_cast<std::uint32_t>(tasks_.size())};
+  TaskInfo info;
+  info.id = task_id;
+  info.request = req;
+  info.submitted = events_.now();
+
+  for (std::uint32_t c = 0; c < req.num_containers; ++c) {
+    const ContainerId cid{static_cast<std::uint32_t>(containers_.size())};
+    ContainerInfo ci;
+    ci.id = cid;
+    ci.task = task_id;
+    ci.host = placement[c].first;
+    ci.index_in_task = c;
+    ci.state = ContainerState::kStarting;
+    ci.created = events_.now();
+    for (std::uint32_t g = 0; g < req.gpus_per_container; ++g) {
+      ci.rnics.push_back(topo_.rnic_of(ci.host, placement[c].second + g));
+    }
+    containers_.push_back(std::move(ci));
+    info.containers.push_back(cid);
+
+    const SimTime delay =
+        sample_startup_delay(req.num_containers, c, rng_);
+    events_.schedule_after(delay, [this, cid] { set_running(cid); });
+  }
+  tasks_.push_back(std::move(info));
+  for (ContainerId cid : tasks_.back().containers) {
+    for (auto& cb : created_cbs_) cb(containers_[cid.value()]);
+  }
+
+  // Task lifetime clock starts at submission; teardown is phased per
+  // container like startup (§3.1).
+  events_.schedule_after(req.lifetime, [this, task_id] {
+    if (!tasks_[task_id.value()].terminated) terminate_task(task_id);
+  });
+  return task_id;
+}
+
+void Orchestrator::terminate_task(TaskId task) {
+  auto& info = tasks_.at(task.value());
+  if (info.terminated) return;
+  info.terminated = true;
+  for (ContainerId cid : info.containers) {
+    auto& ci = containers_[cid.value()];
+    if (ci.state == ContainerState::kDead) continue;
+    ci.state = ContainerState::kTerminating;
+    for (auto& cb : stopped_cbs_) cb(ci);
+    const SimTime delay =
+        sample_teardown_delay(info.request.num_containers, rng_);
+    events_.schedule_after(delay, [this, cid] { set_dead(cid); });
+  }
+}
+
+const TaskInfo& Orchestrator::task(TaskId id) const {
+  if (!id.valid() || id.value() >= tasks_.size()) {
+    throw std::out_of_range("Orchestrator::task: bad id");
+  }
+  return tasks_[id.value()];
+}
+
+const ContainerInfo& Orchestrator::container(ContainerId id) const {
+  if (!id.valid() || id.value() >= containers_.size()) {
+    throw std::out_of_range("Orchestrator::container: bad id");
+  }
+  return containers_[id.value()];
+}
+
+std::vector<Endpoint> Orchestrator::endpoints_of_task(TaskId id) const {
+  std::vector<Endpoint> out;
+  for (ContainerId cid : task(id).containers) {
+    const auto eps = container(cid).endpoints();
+    out.insert(out.end(), eps.begin(), eps.end());
+  }
+  return out;
+}
+
+std::vector<Endpoint> Orchestrator::running_endpoints_of_task(
+    TaskId id) const {
+  std::vector<Endpoint> out;
+  for (ContainerId cid : task(id).containers) {
+    const auto& ci = container(cid);
+    if (ci.state != ContainerState::kRunning) continue;
+    const auto eps = ci.endpoints();
+    out.insert(out.end(), eps.begin(), eps.end());
+  }
+  return out;
+}
+
+std::uint32_t Orchestrator::free_gpus(HostId host) const {
+  const auto it = gpus_used_.find(host);
+  const std::uint32_t used = it == gpus_used_.end() ? 0 : it->second;
+  return topo_.config().rails_per_host - used;
+}
+
+void Orchestrator::set_placement_filter(PlacementFilter filter) {
+  placement_filter_ = std::move(filter);
+}
+
+void Orchestrator::on_container_created(ContainerCallback cb) {
+  created_cbs_.push_back(std::move(cb));
+}
+
+void Orchestrator::on_container_running(ContainerCallback cb) {
+  running_cbs_.push_back(std::move(cb));
+}
+
+void Orchestrator::on_container_stopped(ContainerCallback cb) {
+  stopped_cbs_.push_back(std::move(cb));
+}
+
+void Orchestrator::crash_container(ContainerId id) {
+  auto& ci = containers_.at(id.value());
+  if (ci.state == ContainerState::kDead) return;
+  const bool was_running = ci.state == ContainerState::kRunning;
+  ci.state = ContainerState::kDead;
+  ci.dead_at = events_.now();
+  release_resources(ci);
+  // The data plane dies instantly, but the control plane only learns about
+  // the crash after a state-sync lag (§3.1: container state transitions are
+  // uncoordinated and lag by minutes). Peers keep probing the dead
+  // container during the lag — which is precisely how SkeletonHunter
+  // detects container-runtime failures before the orchestration system
+  // reacts.
+  if (was_running) {
+    events_.schedule_after(kCrashNotifyLag, [this, id] {
+      const auto& info = containers_.at(id.value());
+      for (auto& cb : stopped_cbs_) cb(info);
+    });
+  }
+  SKH_LOG_INFO("orchestrator", "container ", id.value(), " crashed");
+}
+
+void Orchestrator::release_resources(const ContainerInfo& ci) {
+  for (const Endpoint& ep : ci.endpoints()) {
+    if (overlay_.attached(ep)) overlay_.detach_endpoint(ep);
+  }
+  auto& used = gpus_used_[ci.host];
+  const auto held = static_cast<std::uint32_t>(ci.rnics.size());
+  used = used >= held ? used - held : 0;
+}
+
+void Orchestrator::set_running(ContainerId id) {
+  auto& ci = containers_.at(id.value());
+  if (ci.state != ContainerState::kStarting) return;  // crashed/terminated
+  ci.state = ContainerState::kRunning;
+  ci.running_at = events_.now();
+  // Attach this container's endpoints to the overlay under the task's VNI:
+  // VXLAN tenant isolation makes them reachable from (only) the other
+  // endpoints of the same task. Intra-container traffic rides NVLink and
+  // never touches the overlay.
+  for (const Endpoint& ep : ci.endpoints()) {
+    overlay_.attach_endpoint(ep, ci.host, ci.task.value());
+  }
+  for (auto& cb : running_cbs_) cb(ci);
+}
+
+void Orchestrator::set_dead(ContainerId id) {
+  auto& ci = containers_.at(id.value());
+  if (ci.state == ContainerState::kDead) return;
+  ci.state = ContainerState::kDead;
+  ci.dead_at = events_.now();
+  release_resources(ci);
+}
+
+}  // namespace skh::cluster

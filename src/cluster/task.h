@@ -1,0 +1,76 @@
+// Training tasks and container lifecycle state.
+//
+// A training task is a tenant-submitted group of containers; each container
+// binds `gpus_per_container` GPU+RNIC pairs on one host (§2). Containers of
+// one task transition states asynchronously — different hosts impose
+// different startup/teardown delays (§3.1, Figure 4) — which is exactly the
+// dynamics SkeletonHunter's incremental ping-list activation exists to
+// survive.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace skh::cluster {
+
+/// Hardware tier of a container (Figure 3: higher-end configs live longer —
+/// low-end containers are typically debug/test runs).
+enum class ConfigTier : std::uint8_t { kLow, kMid, kHigh };
+
+[[nodiscard]] std::string_view to_string(ConfigTier t) noexcept;
+
+enum class ContainerState : std::uint8_t {
+  kPending,      ///< requested, host not ready
+  kStarting,     ///< placed; network stack still initializing
+  kRunning,      ///< ready; may be probed
+  kTerminating,  ///< teardown begun
+  kDead,
+};
+
+[[nodiscard]] std::string_view to_string(ContainerState s) noexcept;
+
+/// Tenant request for a training task.
+struct TaskRequest {
+  TenantId tenant;
+  std::uint32_t num_containers = 1;
+  std::uint32_t gpus_per_container = 8;  ///< == RNICs bound per container
+  ConfigTier tier = ConfigTier::kHigh;
+  SimTime lifetime = SimTime::minutes(60);  ///< running duration of the task
+};
+
+struct ContainerInfo {
+  ContainerId id;
+  TaskId task;
+  HostId host;
+  std::uint32_t index_in_task = 0;
+  ContainerState state = ContainerState::kPending;
+  std::vector<RnicId> rnics;
+  SimTime created;
+  SimTime running_at;  ///< meaningful once state >= kRunning
+  SimTime dead_at;     ///< meaningful once state == kDead
+
+  [[nodiscard]] std::vector<Endpoint> endpoints() const {
+    std::vector<Endpoint> out;
+    out.reserve(rnics.size());
+    for (RnicId r : rnics) out.push_back(Endpoint{id, r});
+    return out;
+  }
+};
+
+struct TaskInfo {
+  TaskId id;
+  TaskRequest request;
+  std::vector<ContainerId> containers;
+  SimTime submitted;
+  bool terminated = false;
+
+  [[nodiscard]] std::uint32_t total_gpus() const noexcept {
+    return request.num_containers * request.gpus_per_container;
+  }
+};
+
+}  // namespace skh::cluster

@@ -1,0 +1,114 @@
+#include "cluster/traces.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace skh::cluster {
+
+std::string_view to_string(ConfigTier t) noexcept {
+  switch (t) {
+    case ConfigTier::kLow: return "low";
+    case ConfigTier::kMid: return "mid";
+    case ConfigTier::kHigh: return "high";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(ContainerState s) noexcept {
+  switch (s) {
+    case ContainerState::kPending: return "pending";
+    case ContainerState::kStarting: return "starting";
+    case ContainerState::kRunning: return "running";
+    case ContainerState::kTerminating: return "terminating";
+    case ContainerState::kDead: return "dead";
+  }
+  return "unknown";
+}
+
+std::uint32_t sample_task_gpus(RngStream& rng) {
+  // Fig. 12: requested GPU counts confined to a limited set of multiples of
+  // eight, with 128/512/1024 carrying the bulk of the distribution.
+  static constexpr std::array<std::uint32_t, 9> sizes{
+      8, 16, 32, 64, 128, 256, 512, 1024, 2048};
+  static const std::vector<double> weights{
+      0.10, 0.08, 0.08, 0.10, 0.22, 0.10, 0.18, 0.10, 0.04};
+  return sizes[rng.weighted_index(weights)];
+}
+
+std::uint32_t sample_rnics_per_container(RngStream& rng) {
+  // Fig. 5: the vast majority bind 8 RNICs, a nontrivial portion 4.
+  static const std::vector<double> weights{0.70, 0.24, 0.04, 0.02};
+  static constexpr std::array<std::uint32_t, 4> counts{8, 4, 2, 1};
+  return counts[rng.weighted_index(weights)];
+}
+
+ConfigTier sample_config_tier(RngStream& rng) {
+  static const std::vector<double> weights{0.35, 0.30, 0.35};
+  return static_cast<ConfigTier>(rng.weighted_index(weights));
+}
+
+SimTime sample_lifetime(std::uint32_t task_size_containers, ConfigTier tier,
+                        RngStream& rng) {
+  // Two-mode mixture (minutes): a short debug/test mode and a long training
+  // mode. The short-mode probability falls with task size and tier, which
+  // yields Fig. 2's "~50% < 60 min for size <= 256" and Fig. 3's
+  // "higher-end configs live longer".
+  double p_short = 0.60;
+  if (task_size_containers > 256) {
+    p_short = 0.35;
+  } else if (task_size_containers > 64) {
+    p_short = 0.55;
+  }
+  switch (tier) {
+    case ConfigTier::kLow: p_short += 0.15; break;
+    case ConfigTier::kMid: break;
+    case ConfigTier::kHigh: p_short -= 0.15; break;
+  }
+  p_short = std::clamp(p_short, 0.05, 0.95);
+
+  double minutes = 0.0;
+  if (rng.bernoulli(p_short)) {
+    // Short mode: median ~35 min, rarely above ~90 min.
+    minutes = rng.lognormal(std::log(35.0), 0.5);
+  } else {
+    // Long mode: median ~2 h, heavy tail to days (keeps the paper's "70%
+    // of training containers live under 100 minutes" overall).
+    minutes = rng.lognormal(std::log(120.0), 0.8);
+  }
+  minutes = std::clamp(minutes, 2.0, 14.0 * 24.0 * 60.0);
+  return SimTime::minutes(minutes);
+}
+
+SimTime sample_startup_delay(std::uint32_t task_size_containers,
+                             std::uint32_t container_index, RngStream& rng) {
+  // Phased pattern (Fig. 4): containers come up in waves (the orchestration
+  // system batches image pulls / device plumbing); each wave is ~25 s apart,
+  // individual containers jitter within the wave, and a lognormal straggler
+  // tail grows with task size (up to ~10 min for the largest tasks).
+  constexpr double kWaveSize = 32.0;
+  constexpr double kWaveGapSec = 25.0;
+  const double wave = std::floor(static_cast<double>(container_index) /
+                                 kWaveSize);
+  double delay = 20.0 + wave * kWaveGapSec + rng.uniform(0.0, 15.0);
+  const double size_factor =
+      std::log2(std::max<std::uint32_t>(task_size_containers, 2));
+  if (rng.bernoulli(0.05 + 0.01 * size_factor)) {
+    // Straggler: slow host (cold cache, busy disks).
+    delay += rng.lognormal(std::log(60.0 + 12.0 * size_factor), 0.7);
+  }
+  return SimTime::seconds(std::min(delay, 600.0));
+}
+
+SimTime sample_teardown_delay(std::uint32_t task_size_containers,
+                              RngStream& rng) {
+  const double size_factor =
+      std::log2(std::max<std::uint32_t>(task_size_containers, 2));
+  double delay = 5.0 + rng.uniform(0.0, 10.0);
+  if (rng.bernoulli(0.04 + 0.008 * size_factor)) {
+    delay += rng.lognormal(std::log(40.0), 0.6);
+  }
+  return SimTime::seconds(std::min(delay, 480.0));
+}
+
+}  // namespace skh::cluster

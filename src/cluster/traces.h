@@ -1,0 +1,48 @@
+// Synthetic production-trace distributions.
+//
+// The paper motivates SkeletonHunter with measurements of its production
+// cluster (Figures 2-6, 12). We cannot have those traces, so these samplers
+// reproduce the published distribution *shapes*: they are the single source
+// used both by the orchestrator (startup/lifetime draws) and by the figure
+// benches (standalone distribution plots).
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/task.h"
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace skh::cluster {
+
+/// Fig. 12: task sizes concentrate on powers-of-two multiples of 8
+/// (8, 16, ..., 2048 GPUs), with 128/512/1024 the popular bulk.
+[[nodiscard]] std::uint32_t sample_task_gpus(RngStream& rng);
+
+/// Fig. 5: most containers bind 8 RNICs, a nontrivial share binds 4,
+/// and a small residue binds 1-2 (debug shells).
+[[nodiscard]] std::uint32_t sample_rnics_per_container(RngStream& rng);
+
+/// Config-tier mix: low-end debug containers are common, high-end training
+/// containers carry the GPU volume (Figure 3 narrative).
+[[nodiscard]] ConfigTier sample_config_tier(RngStream& rng);
+
+/// Figs. 2-3: container lifetime. Small tasks / low tiers skew short
+/// (~50% under 60 min for size <= 256); high-end containers run longer.
+/// Mixture of a short-lived debug mode and a long-running training mode.
+[[nodiscard]] SimTime sample_lifetime(std::uint32_t task_size_containers,
+                                      ConfigTier tier, RngStream& rng);
+
+/// Fig. 4: per-container startup delay within a task. Phased pattern: the
+/// bulk starts in waves a couple of minutes in; larger tasks bear a heavier
+/// tail (up to ~10 minutes).
+[[nodiscard]] SimTime sample_startup_delay(std::uint32_t task_size_containers,
+                                           std::uint32_t container_index,
+                                           RngStream& rng);
+
+/// Teardown delay; same phased structure as startup (§3.1: "the deletion
+/// time of containers exhibits a similar situation").
+[[nodiscard]] SimTime sample_teardown_delay(
+    std::uint32_t task_size_containers, RngStream& rng);
+
+}  // namespace skh::cluster

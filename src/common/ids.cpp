@@ -1,0 +1,17 @@
+#include "common/ids.h"
+
+#include <sstream>
+
+namespace skh {
+
+std::string to_string(Endpoint e) {
+  std::ostringstream os;
+  os << "ep(c" << e.container.value() << ",r" << e.rnic.value() << ")";
+  return os.str();
+}
+
+std::string to_string(const EndpointPair& p) {
+  return to_string(p.src) + "->" + to_string(p.dst);
+}
+
+}  // namespace skh

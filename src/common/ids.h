@@ -1,0 +1,115 @@
+// Strong identifier types shared across all SkeletonHunter modules.
+//
+// Every entity in the simulated infrastructure (hosts, RNICs, containers,
+// switches, links, training tasks, tenants) is addressed by a small integer
+// wrapped in a distinct type, so that e.g. a HostId can never be passed where
+// a ContainerId is expected (C++ Core Guidelines I.4: make interfaces
+// precisely and strongly typed).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace skh {
+
+/// CRTP-free strong integer id. `Tag` makes each instantiation a distinct
+/// type; the underlying value is a dense index assigned by the owning
+/// registry (topology, orchestrator, ...).
+template <typename Tag>
+class Id {
+ public:
+  using value_type = std::uint32_t;
+
+  /// Sentinel for "no such entity"; default construction yields it.
+  static constexpr value_type kInvalid = static_cast<value_type>(-1);
+
+  constexpr Id() noexcept = default;
+  constexpr explicit Id(value_type v) noexcept : value_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const noexcept { return value_; }
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return value_ != kInvalid;
+  }
+
+  friend constexpr auto operator<=>(Id, Id) noexcept = default;
+
+ private:
+  value_type value_ = kInvalid;
+};
+
+struct HostTag {};
+struct RnicTag {};
+struct GpuTag {};
+struct ContainerTag {};
+struct TaskTag {};
+struct TenantTag {};
+struct SwitchTag {};
+struct LinkTag {};
+struct VPortTag {};
+
+using HostId = Id<HostTag>;
+using RnicId = Id<RnicTag>;
+using GpuId = Id<GpuTag>;
+using ContainerId = Id<ContainerTag>;
+using TaskId = Id<TaskTag>;
+using TenantId = Id<TenantTag>;
+using SwitchId = Id<SwitchTag>;
+using LinkId = Id<LinkTag>;
+using VPortId = Id<VPortTag>;
+
+/// An endpoint is the bound pair of a container and one of its RNICs (§1 of
+/// the paper). It is the unit of probing: ping lists are sets of
+/// (source endpoint, destination endpoint) pairs.
+struct Endpoint {
+  ContainerId container;
+  RnicId rnic;
+
+  friend constexpr auto operator<=>(const Endpoint&,
+                                    const Endpoint&) noexcept = default;
+};
+
+/// A directed source→destination endpoint pair, the key under which probe
+/// results are aggregated by the analyzer.
+struct EndpointPair {
+  Endpoint src;
+  Endpoint dst;
+
+  friend constexpr auto operator<=>(const EndpointPair&,
+                                    const EndpointPair&) noexcept = default;
+};
+
+[[nodiscard]] std::string to_string(Endpoint e);
+[[nodiscard]] std::string to_string(const EndpointPair& p);
+
+}  // namespace skh
+
+namespace std {
+
+template <typename Tag>
+struct hash<skh::Id<Tag>> {
+  size_t operator()(skh::Id<Tag> id) const noexcept {
+    return std::hash<typename skh::Id<Tag>::value_type>{}(id.value());
+  }
+};
+
+template <>
+struct hash<skh::Endpoint> {
+  size_t operator()(const skh::Endpoint& e) const noexcept {
+    return (static_cast<size_t>(e.container.value()) << 32) ^
+           static_cast<size_t>(e.rnic.value());
+  }
+};
+
+template <>
+struct hash<skh::EndpointPair> {
+  size_t operator()(const skh::EndpointPair& p) const noexcept {
+    const size_t h1 = std::hash<skh::Endpoint>{}(p.src);
+    const size_t h2 = std::hash<skh::Endpoint>{}(p.dst);
+    return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
+  }
+};
+
+}  // namespace std

@@ -1,0 +1,20 @@
+#include "common/logging.h"
+
+namespace skh {
+
+LogLevel& log_threshold() noexcept {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+void log_message(LogLevel level, std::string_view component,
+                 std::string_view message) {
+  static constexpr std::string_view names[] = {"DEBUG", "INFO", "WARN",
+                                               "ERROR"};
+  const auto idx = static_cast<int>(level);
+  if (idx < 0 || idx > 3) return;
+  std::clog << '[' << names[idx] << "] " << component << ": " << message
+            << '\n';
+}
+
+}  // namespace skh

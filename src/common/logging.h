@@ -1,0 +1,41 @@
+// Minimal leveled logger.
+//
+// The production system streams agent logs into a cloud log service (§6);
+// here a process-wide sink with severities is enough. Logging is off by
+// default in tests/benches and can be raised for debugging.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace skh {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are discarded.
+LogLevel& log_threshold() noexcept;
+
+void log_message(LogLevel level, std::string_view component,
+                 std::string_view message);
+
+namespace detail {
+template <typename... Args>
+void log_fmt(LogLevel level, std::string_view component, Args&&... args) {
+  if (level < log_threshold()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  log_message(level, component, os.str());
+}
+}  // namespace detail
+
+#define SKH_LOG_DEBUG(component, ...) \
+  ::skh::detail::log_fmt(::skh::LogLevel::kDebug, component, __VA_ARGS__)
+#define SKH_LOG_INFO(component, ...) \
+  ::skh::detail::log_fmt(::skh::LogLevel::kInfo, component, __VA_ARGS__)
+#define SKH_LOG_WARN(component, ...) \
+  ::skh::detail::log_fmt(::skh::LogLevel::kWarn, component, __VA_ARGS__)
+#define SKH_LOG_ERROR(component, ...) \
+  ::skh::detail::log_fmt(::skh::LogLevel::kError, component, __VA_ARGS__)
+
+}  // namespace skh

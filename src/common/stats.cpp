@@ -1,0 +1,130 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace skh {
+
+double percentile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return std::numeric_limits<double>::quiet_NaN();
+  if (sorted.size() == 1) return sorted[0];
+  const double clamped = std::clamp(q, 0.0, 100.0);
+  const double pos =
+      clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double percentile(std::span<const double> sample, double q) {
+  std::vector<double> copy(sample.begin(), sample.end());
+  std::sort(copy.begin(), copy.end());
+  return percentile_sorted(copy, q);
+}
+
+double mean_of(std::span<const double> sample) {
+  if (sample.empty()) return std::numeric_limits<double>::quiet_NaN();
+  double s = 0.0;
+  for (double x : sample) s += x;
+  return s / static_cast<double>(sample.size());
+}
+
+double stddev_of(std::span<const double> sample) {
+  if (sample.size() < 2) return 0.0;
+  const double m = mean_of(sample);
+  double s2 = 0.0;
+  for (double x : sample) s2 += (x - m) * (x - m);
+  return std::sqrt(s2 / static_cast<double>(sample.size() - 1));
+}
+
+WindowSummary summarize(std::span<const double> sample) {
+  WindowSummary s;
+  s.count = sample.size();
+  if (sample.empty()) return s;
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p25 = percentile_sorted(sorted, 25.0);
+  s.p50 = percentile_sorted(sorted, 50.0);
+  s.p75 = percentile_sorted(sorted, 75.0);
+  s.mean = mean_of(sample);
+  s.stddev = stddev_of(sample);
+  return s;
+}
+
+void RunningStats::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (bins == 0 || !(hi > lo)) {
+    throw std::invalid_argument("Histogram: need bins>0 and hi>lo");
+  }
+}
+
+void Histogram::add(double x) noexcept {
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  idx = std::clamp<std::ptrdiff_t>(
+      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const noexcept {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const noexcept {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::cdf_at(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  std::size_t acc = 0;
+  for (std::size_t b = 0; b <= i && b < counts_.size(); ++b) acc += counts_[b];
+  return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+double ecdf(std::span<const double> sorted_sample, double x) {
+  if (sorted_sample.empty()) return 0.0;
+  const auto it =
+      std::upper_bound(sorted_sample.begin(), sorted_sample.end(), x);
+  return static_cast<double>(it - sorted_sample.begin()) /
+         static_cast<double>(sorted_sample.size());
+}
+
+}  // namespace skh

@@ -1,0 +1,97 @@
+// Summary statistics, percentiles, and histograms.
+//
+// The analyzer describes each 30-second latency window by its
+// {p25, p50, p75, min, mean, std, max} (§5.2); this header provides that
+// summary plus the generic descriptive-statistics helpers used by the
+// workload/trace synthesizers and the bench harnesses.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace skh {
+
+/// The seven-number summary the paper uses to describe a latency window.
+struct WindowSummary {
+  double p25 = 0.0;
+  double p50 = 0.0;
+  double p75 = 0.0;
+  double min = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+
+  /// Flatten into the feature vector consumed by the LOF detector.
+  [[nodiscard]] std::vector<double> as_feature_vector() const {
+    return {p25, p50, p75, min, mean, stddev, max};
+  }
+};
+
+/// Linear-interpolated percentile of an unsorted sample, q in [0, 100].
+/// Returns NaN on an empty sample.
+[[nodiscard]] double percentile(std::span<const double> sample, double q);
+
+/// Percentile over a pre-sorted (ascending) sample; O(1).
+[[nodiscard]] double percentile_sorted(std::span<const double> sorted,
+                                       double q);
+
+[[nodiscard]] double mean_of(std::span<const double> sample);
+[[nodiscard]] double stddev_of(std::span<const double> sample);
+
+/// Compute the full seven-number summary of a sample in one pass + one sort.
+[[nodiscard]] WindowSummary summarize(std::span<const double> sample);
+
+/// Streaming mean/variance (Welford). Numerically stable; O(1) memory.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range values clamp to the edge
+/// bins so nothing is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const {
+    return counts_.at(i);
+  }
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t i) const noexcept;
+  [[nodiscard]] double bin_hi(std::size_t i) const noexcept;
+  /// Fraction of samples at or below the upper edge of bin i.
+  [[nodiscard]] double cdf_at(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Empirical CDF evaluation: fraction of `sample` values <= x.
+[[nodiscard]] double ecdf(std::span<const double> sorted_sample, double x);
+
+}  // namespace skh

@@ -1,0 +1,58 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace skh {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers, std::ostream& os)
+    : os_(os), headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TablePrinter: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os_ << std::left << std::setw(static_cast<int>(widths[c] + 2))
+          << cells[c];
+    }
+    os_ << '\n';
+  };
+  print_row(headers_);
+  std::string sep;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    sep += std::string(widths[c], '-') + "  ";
+  }
+  os_ << sep << '\n';
+  for (const auto& row : rows_) print_row(row);
+  os_.flush();
+}
+
+std::string TablePrinter::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TablePrinter::pct(double fraction, int precision) {
+  return num(fraction * 100.0, precision) + "%";
+}
+
+void print_banner(const std::string& title, std::ostream& os) {
+  const std::string bar(title.size() + 4, '=');
+  os << '\n' << bar << '\n' << "| " << title << " |\n" << bar << '\n';
+}
+
+}  // namespace skh

@@ -1,0 +1,35 @@
+// Fixed-width console table printer used by the bench harnesses to emit the
+// rows/series of each paper table and figure in a uniform, diffable format.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace skh {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers,
+                        std::ostream& os = std::cout);
+
+  /// Queue one row; the cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Print headers, separator, and all queued rows with per-column widths.
+  void print() const;
+
+  /// Format helper: fixed-precision double.
+  [[nodiscard]] static std::string num(double v, int precision = 2);
+  [[nodiscard]] static std::string pct(double fraction, int precision = 1);
+
+ private:
+  std::ostream& os_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section banner for a figure/table reproduction.
+void print_banner(const std::string& title, std::ostream& os = std::cout);
+
+}  // namespace skh

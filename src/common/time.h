@@ -1,0 +1,85 @@
+// Simulated-time representation.
+//
+// The whole system runs on a discrete-event clock measured in nanoseconds.
+// RTT-scale quantities (RoCE targets < 20 us, §1) need sub-microsecond
+// resolution; campaign-scale quantities span months, which still fits
+// comfortably in a signed 64-bit nanosecond count (~292 years).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace skh {
+
+/// A point or span on the simulation clock, in nanoseconds.
+class SimTime {
+ public:
+  constexpr SimTime() noexcept = default;
+
+  [[nodiscard]] static constexpr SimTime nanos(std::int64_t n) noexcept {
+    return SimTime{n};
+  }
+  [[nodiscard]] static constexpr SimTime micros(double us) noexcept {
+    return SimTime{static_cast<std::int64_t>(us * 1e3)};
+  }
+  [[nodiscard]] static constexpr SimTime millis(double ms) noexcept {
+    return SimTime{static_cast<std::int64_t>(ms * 1e6)};
+  }
+  [[nodiscard]] static constexpr SimTime seconds(double s) noexcept {
+    return SimTime{static_cast<std::int64_t>(s * 1e9)};
+  }
+  [[nodiscard]] static constexpr SimTime minutes(double m) noexcept {
+    return seconds(m * 60.0);
+  }
+  [[nodiscard]] static constexpr SimTime hours(double h) noexcept {
+    return seconds(h * 3600.0);
+  }
+
+  [[nodiscard]] constexpr std::int64_t raw_nanos() const noexcept {
+    return ns_;
+  }
+  [[nodiscard]] constexpr double to_micros() const noexcept {
+    return static_cast<double>(ns_) / 1e3;
+  }
+  [[nodiscard]] constexpr double to_millis() const noexcept {
+    return static_cast<double>(ns_) / 1e6;
+  }
+  [[nodiscard]] constexpr double to_seconds() const noexcept {
+    return static_cast<double>(ns_) / 1e9;
+  }
+  [[nodiscard]] constexpr double to_minutes() const noexcept {
+    return to_seconds() / 60.0;
+  }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) noexcept = default;
+
+  constexpr SimTime& operator+=(SimTime o) noexcept {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime o) noexcept {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  friend constexpr SimTime operator+(SimTime a, SimTime b) noexcept {
+    return SimTime{a.ns_ + b.ns_};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) noexcept {
+    return SimTime{a.ns_ - b.ns_};
+  }
+  friend constexpr SimTime operator*(SimTime a, double k) noexcept {
+    return SimTime{static_cast<std::int64_t>(static_cast<double>(a.ns_) * k)};
+  }
+  friend constexpr SimTime operator*(double k, SimTime a) noexcept {
+    return a * k;
+  }
+  friend constexpr double operator/(SimTime a, SimTime b) noexcept {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+
+ private:
+  constexpr explicit SimTime(std::int64_t ns) noexcept : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace skh

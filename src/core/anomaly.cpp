@@ -1,0 +1,143 @@
+#include "core/anomaly.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace skh::core {
+
+std::string_view to_string(AnomalyKind k) noexcept {
+  switch (k) {
+    case AnomalyKind::kUnreachable: return "unreachable";
+    case AnomalyKind::kPacketLoss: return "packet-loss";
+    case AnomalyKind::kLatencyShortTerm: return "latency-short-term";
+    case AnomalyKind::kLatencyLongTerm: return "latency-long-term";
+  }
+  return "unknown";
+}
+
+AnomalyDetector::AnomalyDetector(DetectorConfig cfg) : cfg_(cfg) {}
+
+std::vector<AnomalyEvent> AnomalyDetector::ingest(
+    const probe::ProbeResult& r) {
+  std::vector<AnomalyEvent> events;
+  auto& st = pairs_[r.pair];
+
+  // Window rollover checks happen before the sample is added, so a sample
+  // after the boundary closes the previous window first.
+  if (st.short_start &&
+      r.sent_at >= *st.short_start + cfg_.short_window) {
+    close_short_window(r.pair, st, r.sent_at, events);
+  }
+  if (st.long_start && r.sent_at >= *st.long_start + cfg_.long_window) {
+    close_long_window(r.pair, st, r.sent_at, events);
+  }
+  if (!st.short_start) st.short_start = r.sent_at;
+  if (!st.long_start) st.long_start = r.sent_at;
+
+  ++st.short_sent;
+  if (r.delivered) {
+    st.short_rtts.push_back(r.rtt_us);
+    st.long_rtts.push_back(r.rtt_us);
+    st.fail_streak = 0;
+    st.unreachable_alarmed = false;
+  } else {
+    ++st.short_lost;
+    ++st.fail_streak;
+    if (st.fail_streak >= cfg_.unreachable_streak &&
+        !st.unreachable_alarmed) {
+      st.unreachable_alarmed = true;
+      events.push_back(AnomalyEvent{r.pair, r.sent_at,
+                                    AnomalyKind::kUnreachable,
+                                    static_cast<double>(st.fail_streak)});
+    }
+  }
+  return events;
+}
+
+void AnomalyDetector::close_short_window(const EndpointPair& pair,
+                                         PairState& st, SimTime at,
+                                         std::vector<AnomalyEvent>& events) {
+  if (st.short_sent >= cfg_.min_samples_per_window) {
+    const double loss_rate = static_cast<double>(st.short_lost) /
+                             static_cast<double>(st.short_sent);
+    if (loss_rate >= cfg_.loss_rate_threshold &&
+        st.short_lost >= cfg_.min_lost_per_window) {
+      events.push_back(
+          AnomalyEvent{pair, at, AnomalyKind::kPacketLoss, loss_rate});
+    }
+    if (st.short_rtts.size() >= cfg_.min_samples_per_window) {
+      const auto summary = summarize(st.short_rtts);
+      const auto feature = summary.as_feature_vector();
+      if (st.lookback.size() >= cfg_.lof.k_neighbors + 1) {
+        const std::vector<std::vector<double>> reference(st.lookback.begin(),
+                                                         st.lookback.end());
+        const double score = ml::lof_score_of(feature, reference, cfg_.lof);
+        // Magnitude gate: index 1 of the feature vector is the median.
+        std::vector<double> medians;
+        medians.reserve(reference.size());
+        for (const auto& w : reference) medians.push_back(w[1]);
+        std::sort(medians.begin(), medians.end());
+        const double ref_median = medians[medians.size() / 2];
+        // Only an upward shift is a failure symptom; a drop back toward
+        // normal (e.g. recovery against a fault-contaminated look-back)
+        // must not alarm.
+        const double shift =
+            ref_median > 0.0 ? (summary.p50 - ref_median) / ref_median : 0.0;
+        if (score > cfg_.lof.outlier_threshold &&
+            shift >= cfg_.min_relative_shift) {
+          events.push_back(
+              AnomalyEvent{pair, at, AnomalyKind::kLatencyShortTerm, score});
+        }
+      }
+      st.lookback.push_back(feature);
+      while (st.lookback.size() > cfg_.lookback_windows) {
+        st.lookback.pop_front();
+      }
+    }
+  }
+  st.short_start.reset();
+  st.short_rtts.clear();
+  st.short_sent = 0;
+  st.short_lost = 0;
+}
+
+void AnomalyDetector::close_long_window(const EndpointPair& pair,
+                                        PairState& st, SimTime at,
+                                        std::vector<AnomalyEvent>& events) {
+  if (st.long_rtts.size() >= cfg_.min_samples_per_window) {
+    if (!st.baseline) {
+      // First complete window: fit the log-normal baseline (time T of
+      // Figure 14).
+      st.baseline = ml::fit_lognormal(st.long_rtts);
+    } else {
+      const auto result = ml::z_test(*st.baseline, st.long_rtts, cfg_.z_alpha);
+      const auto window_fit = ml::fit_lognormal(st.long_rtts);
+      // Signed: only degradation (upward drift) is a failure; the recovery
+      // window after a fault shifts downward and must not re-alarm.
+      const double shift = std::exp(window_fit.mu - st.baseline->mu) - 1.0;
+      if (result.reject && shift >= cfg_.long_term_min_shift) {
+        events.push_back(AnomalyEvent{pair, at, AnomalyKind::kLatencyLongTerm,
+                                      std::abs(result.z)});
+      }
+      // Always re-baseline on the freshest window: a pass tracks legitimate
+      // slow change, and after an alarm the detector must adopt the new
+      // regime instead of re-alarming every 30 minutes against a stale (or
+      // fault-contaminated) fit. Continued drift still re-alarms because
+      // each window shifts against its predecessor.
+      st.baseline = ml::fit_lognormal(st.long_rtts);
+    }
+  }
+  st.long_start.reset();
+  st.long_rtts.clear();
+}
+
+std::vector<AnomalyEvent> AnomalyDetector::flush(SimTime now) {
+  std::vector<AnomalyEvent> events;
+  for (auto& [pair, st] : pairs_) {
+    if (st.short_start) close_short_window(pair, st, now, events);
+    if (st.long_start) close_long_window(pair, st, now, events);
+  }
+  return events;
+}
+
+}  // namespace skh::core

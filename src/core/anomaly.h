@@ -1,0 +1,112 @@
+// Connectivity anomaly detection (§5.2).
+//
+// Per endpoint pair, the analyzer maintains:
+//  - an unreachability rule (a streak of undelivered probes),
+//  - a per-window packet-loss rule,
+//  - short-term latency analysis: each closed 30 s window becomes a
+//    {p25, p50, p75, min, mean, std, max} point scored with LOF against a
+//    five-minute look-back of windows,
+//  - long-term latency analysis: a log-normal model fitted on the first
+//    healthy 30-minute window, with later 30-minute windows Z-tested
+//    against it (catches gradual drift the short-term LOF absorbs).
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/time.h"
+#include "ml/lof.h"
+#include "ml/stats_tests.h"
+#include "probe/probe_types.h"
+
+namespace skh::core {
+
+enum class AnomalyKind : std::uint8_t {
+  kUnreachable,      ///< consecutive probe losses (hard connectivity break)
+  kPacketLoss,       ///< window loss rate above threshold
+  kLatencyShortTerm, ///< LOF outlier window
+  kLatencyLongTerm,  ///< Z-test rejection against the log-normal baseline
+};
+
+[[nodiscard]] std::string_view to_string(AnomalyKind k) noexcept;
+
+struct AnomalyEvent {
+  EndpointPair pair;
+  SimTime detected_at;
+  AnomalyKind kind = AnomalyKind::kUnreachable;
+  double score = 0.0;  ///< LOF score / |z| / loss rate / streak length
+};
+
+struct DetectorConfig {
+  SimTime short_window = SimTime::seconds(30);
+  std::size_t lookback_windows = 10;  ///< 5 min of 30 s windows
+  ml::LofConfig lof{3, 1.8};
+  /// LOF is a *relative* density score: on a tight healthy population even
+  /// microscopic deviations score high. A window is only anomalous when its
+  /// LOF exceeds the threshold AND its median deviates from the look-back
+  /// median by at least this fraction (transient-congestion filtering,
+  /// §5.2: "filter out these transient latency spikes").
+  double min_relative_shift = 0.15;
+  SimTime long_window = SimTime::minutes(30);
+  /// With thousands of (pair x window) tests per hour, the per-test alpha
+  /// must price in multiple testing: 1e-6 keeps the campaign-level false-
+  /// alarm expectation well below one.
+  double z_alpha = 1e-6;
+  /// Operational significance floor: a statistically significant but
+  /// sub-5% median drift is not a failure worth a ticket.
+  double long_term_min_shift = 0.05;
+  double loss_rate_threshold = 0.05;
+  /// A window alarms on loss only with at least this many drops: one
+  /// unlucky drop among a handful of probes is statistically expected even
+  /// on healthy paths with sub-0.1% loss.
+  std::size_t min_lost_per_window = 2;
+  std::size_t min_samples_per_window = 5;
+  int unreachable_streak = 3;
+};
+
+class AnomalyDetector {
+ public:
+  explicit AnomalyDetector(DetectorConfig cfg = {});
+
+  /// Feed one probe result. Window boundaries are detected from the result
+  /// timestamps; events fired by this observation are returned.
+  [[nodiscard]] std::vector<AnomalyEvent> ingest(const probe::ProbeResult& r);
+
+  /// Force-close all open windows (end of campaign) and return any final
+  /// events.
+  [[nodiscard]] std::vector<AnomalyEvent> flush(SimTime now);
+
+  [[nodiscard]] const DetectorConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct PairState {
+    // Short-term window under construction.
+    std::optional<SimTime> short_start;
+    std::vector<double> short_rtts;
+    std::size_t short_sent = 0;
+    std::size_t short_lost = 0;
+    // Look-back of closed-window feature vectors.
+    std::deque<std::vector<double>> lookback;
+    // Unreachability streak.
+    int fail_streak = 0;
+    bool unreachable_alarmed = false;
+    // Long-term window under construction + fitted baseline.
+    std::optional<SimTime> long_start;
+    std::vector<double> long_rtts;
+    std::optional<ml::LogNormalModel> baseline;
+  };
+
+  void close_short_window(const EndpointPair& pair, PairState& st,
+                          SimTime at, std::vector<AnomalyEvent>& events);
+  void close_long_window(const EndpointPair& pair, PairState& st, SimTime at,
+                         std::vector<AnomalyEvent>& events);
+
+  DetectorConfig cfg_;
+  std::unordered_map<EndpointPair, PairState> pairs_;
+};
+
+}  // namespace skh::core

@@ -1,0 +1,33 @@
+#include "core/blacklist.h"
+
+namespace skh::core {
+
+void Blacklist::add(sim::ComponentRef ref, SimTime at) {
+  entries_.emplace(ref, at);
+}
+
+void Blacklist::clear(sim::ComponentRef ref) { entries_.erase(ref); }
+
+bool Blacklist::contains(sim::ComponentRef ref) const {
+  return entries_.contains(ref);
+}
+
+std::vector<sim::ComponentRef> Blacklist::entries() const {
+  std::vector<sim::ComponentRef> out;
+  out.reserve(entries_.size());
+  for (const auto& [ref, at] : entries_) out.push_back(ref);
+  return out;
+}
+
+bool Blacklist::host_schedulable(HostId host,
+                                 std::uint32_t rails_per_host) const {
+  if (contains({sim::ComponentKind::kHost, host.value()})) return false;
+  if (contains({sim::ComponentKind::kVSwitch, host.value()})) return false;
+  for (std::uint32_t r = 0; r < rails_per_host; ++r) {
+    const std::uint32_t rnic = host.value() * rails_per_host + r;
+    if (contains({sim::ComponentKind::kRnic, rnic})) return false;
+  }
+  return true;
+}
+
+}  // namespace skh::core

@@ -1,0 +1,39 @@
+// Component blacklist (§8, "Handling Detected Failures").
+//
+// When SkeletonHunter closes a localized failure case it adds the culprit
+// components to a blacklist so that no new training task is scheduled onto
+// them until they are repaired. The orchestrator consults the blacklist
+// through its placement filter.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "sim/fault.h"
+
+namespace skh::core {
+
+class Blacklist {
+ public:
+  /// Ban a component from `at` until explicitly cleared.
+  void add(sim::ComponentRef ref, SimTime at);
+  /// Repair finished: lift the ban.
+  void clear(sim::ComponentRef ref);
+
+  [[nodiscard]] bool contains(sim::ComponentRef ref) const;
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::vector<sim::ComponentRef> entries() const;
+
+  /// Is this host schedulable? False when the host itself, its virtual
+  /// switch, or any of its RNICs (given `rails_per_host` and the host's
+  /// dense RNIC numbering) is blacklisted.
+  [[nodiscard]] bool host_schedulable(HostId host,
+                                      std::uint32_t rails_per_host) const;
+
+ private:
+  std::unordered_map<sim::ComponentRef, SimTime> entries_;
+};
+
+}  // namespace skh::core

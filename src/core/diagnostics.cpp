@@ -1,0 +1,52 @@
+#include "core/diagnostics.h"
+
+namespace skh::core {
+
+DiagnosticsOracle::DiagnosticsOracle(const sim::FaultInjector& faults,
+                                     RngStream rng, OracleConfig cfg)
+    : faults_(faults), rng_(std::move(rng)), cfg_(cfg) {}
+
+double DiagnosticsOracle::confidence_for(sim::ComponentKind kind) const {
+  switch (kind) {
+    case sim::ComponentKind::kPhysicalLink: return cfg_.link_log_confidence;
+    case sim::ComponentKind::kPhysicalSwitch:
+      return cfg_.switch_log_confidence;
+    case sim::ComponentKind::kRnic: return cfg_.rnic_check_confidence;
+    case sim::ComponentKind::kVSwitch: return cfg_.vswitch_check_confidence;
+    case sim::ComponentKind::kHost: return cfg_.host_check_confidence;
+    case sim::ComponentKind::kContainer: return cfg_.host_check_confidence;
+  }
+  return 0.0;
+}
+
+bool DiagnosticsOracle::confirms(sim::ComponentRef ref, SimTime t) {
+  for (const sim::Fault* f : faults_.active_on(ref, t)) {
+    if (!f->ground_truth) continue;  // phantom faults leave no diagnostics
+    const auto it = decided_.find(f->id);
+    if (it != decided_.end()) {
+      if (it->second) return true;
+      continue;
+    }
+    const bool confirmed = rng_.bernoulli(confidence_for(ref.kind));
+    decided_.emplace(f->id, confirmed);
+    if (confirmed) return true;
+  }
+  // Flapping faults are inactive half the time but their logs persist: check
+  // the enclosing active window too.
+  for (const sim::Fault& f : faults_.faults()) {
+    if (f.target == ref && f.active_at(t) && f.effect.flap_period &&
+        f.ground_truth) {
+      const auto it = decided_.find(f.id);
+      if (it != decided_.end()) {
+        if (it->second) return true;
+        continue;
+      }
+      const bool confirmed = rng_.bernoulli(confidence_for(ref.kind));
+      decided_.emplace(f.id, confirmed);
+      if (confirmed) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace skh::core

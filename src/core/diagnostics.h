@@ -1,0 +1,51 @@
+// Secondary diagnostic signals used to confirm a localization.
+//
+// End-to-end probing narrows a failure to a small candidate set, but some
+// candidates are observationally equivalent from the edge (an RNIC port and
+// its ToR uplink degrade exactly the same probe set). Production resolves
+// these with out-of-band signals: switch warning logs ("most link/switch
+// anomalies can be immediately verified by warning logs", §7.2), RNIC
+// flow-table dumps, OVS configuration inspection, and host config checks.
+// The oracle models those signals against the fault injector's ground truth
+// with a per-check confirmation probability (logs are occasionally missing
+// or ambiguous) — imperfect confirmations are one source of the ~4%
+// localization misses.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "sim/fault.h"
+
+namespace skh::core {
+
+struct OracleConfig {
+  double link_log_confidence = 0.97;   ///< CRC / port-down counters present
+  double switch_log_confidence = 0.95;
+  double rnic_check_confidence = 0.92; ///< firmware/port state queries
+  double vswitch_check_confidence = 0.93;  ///< OVS config inspection
+  double host_check_confidence = 0.90;     ///< kernel logs, hugepage config
+};
+
+class DiagnosticsOracle {
+ public:
+  DiagnosticsOracle(const sim::FaultInjector& faults, RngStream rng,
+                    OracleConfig cfg = {});
+
+  /// Does the named component show a confirming diagnostic at time `t`?
+  /// Deterministic per (component, fault): the same inspection repeated
+  /// returns the same answer.
+  [[nodiscard]] bool confirms(sim::ComponentRef ref, SimTime t);
+
+ private:
+  [[nodiscard]] double confidence_for(sim::ComponentKind kind) const;
+
+  const sim::FaultInjector& faults_;
+  RngStream rng_;
+  OracleConfig cfg_;
+  /// Memoized per-fault coin flips (stable answers across re-inspection).
+  std::unordered_map<std::uint32_t, bool> decided_;
+};
+
+}  // namespace skh::core

@@ -1,0 +1,113 @@
+#include "core/fidelity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "dsp/fft.h"
+
+namespace skh::core {
+
+double burstiness(std::span<const double> series) {
+  if (series.empty()) return 0.0;
+  double mean = 0.0;
+  double peak = 0.0;
+  for (double v : series) {
+    mean += v;
+    peak = std::max(peak, v);
+  }
+  mean /= static_cast<double>(series.size());
+  if (mean <= 1e-9) return 0.0;
+  return peak / mean;
+}
+
+double best_correlation(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  const std::size_t n = a.size();
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  std::vector<double> da(n), db(n);
+  double va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    da[i] = a[i] - ma;
+    db[i] = b[i] - mb;
+    va += da[i] * da[i];
+    vb += db[i] * db[i];
+  }
+  if (va <= 1e-12 || vb <= 1e-12) return 0.0;
+  // Max over lags of the circular cross-correlation, normalized.
+  const auto corr = dsp::circular_xcorr(da, db);
+  double best = 0.0;
+  for (double c : corr) best = std::max(best, c);
+  return best / std::sqrt(va * vb);
+}
+
+FidelityReport validate_skeleton(
+    const std::vector<EndpointPair>& skeleton_pairs,
+    const std::vector<EndpointObservation>& observations,
+    const FidelityConfig& cfg) {
+  FidelityReport rep;
+  if (observations.empty()) return rep;
+
+  std::map<Endpoint, const EndpointObservation*> by_endpoint;
+  std::set<Endpoint> active;
+  for (const auto& o : observations) {
+    by_endpoint[o.endpoint] = &o;
+    const double peak =
+        o.throughput.empty()
+            ? 0.0
+            : *std::max_element(o.throughput.begin(), o.throughput.end());
+    if (peak >= cfg.min_peak_gbps &&
+        burstiness(o.throughput) >= cfg.min_burstiness) {
+      active.insert(o.endpoint);
+    }
+  }
+  rep.active_fraction = static_cast<double>(active.size()) /
+                        static_cast<double>(observations.size());
+
+  // Pair alignment: paired endpoints' series should correlate.
+  std::size_t aligned = 0;
+  std::size_t judged = 0;
+  std::set<Endpoint> covered;
+  for (const auto& p : skeleton_pairs) {
+    const auto sit = by_endpoint.find(p.src);
+    const auto dit = by_endpoint.find(p.dst);
+    if (sit == by_endpoint.end() || dit == by_endpoint.end()) continue;
+    covered.insert(p.src);
+    covered.insert(p.dst);
+    ++judged;
+    if (best_correlation(sit->second->throughput, dit->second->throughput) >=
+        cfg.min_pair_correlation) {
+      ++aligned;
+    }
+  }
+  rep.pair_alignment =
+      judged == 0 ? 0.0
+                  : static_cast<double>(aligned) / static_cast<double>(judged);
+
+  // Active coverage: every training endpoint must be probed by something.
+  if (!active.empty()) {
+    std::size_t hit = 0;
+    for (const Endpoint& e : active) {
+      if (covered.contains(e)) ++hit;
+    }
+    rep.active_coverage =
+        static_cast<double>(hit) / static_cast<double>(active.size());
+  } else {
+    rep.active_coverage = 0.0;
+  }
+
+  // An idle cluster (§7.3's debug case) yields no trustworthy skeleton.
+  rep.score = rep.active_fraction < 0.25
+                  ? 0.0
+                  : std::min(rep.pair_alignment, rep.active_coverage);
+  return rep;
+}
+
+}  // namespace skh::core

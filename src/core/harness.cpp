@@ -1,0 +1,82 @@
+#include "core/harness.h"
+
+#include <stdexcept>
+
+namespace skh::core {
+
+Experiment::Experiment(const ExperimentConfig& cfg)
+    : rng_(cfg.seed),
+      topo_(topo::Topology::build(cfg.topology)),
+      orch_(topo_, overlay_, events_, rng_.fork("orchestrator")),
+      hunter_(topo_, overlay_, orch_, events_, faults_,
+              rng_.fork("hunter"), cfg.hunter) {}
+
+std::optional<TaskId> Experiment::launch_task(const cluster::TaskRequest& req) {
+  const auto task = orch_.submit_task(req);
+  if (task) hunter_.monitor_task(*task);
+  return task;
+}
+
+void Experiment::run_to_running(TaskId task, SimTime max_wait) {
+  const SimTime deadline = events_.now() + max_wait;
+  while (events_.now() < deadline) {
+    const auto& info = orch_.task(task);
+    bool all_running = true;
+    for (ContainerId cid : info.containers) {
+      if (orch_.container(cid).state != cluster::ContainerState::kRunning) {
+        all_running = false;
+        break;
+      }
+    }
+    if (all_running) return;
+    if (!events_.step()) break;
+  }
+}
+
+workload::TaskLayout Experiment::layout_of(
+    TaskId task, std::optional<workload::ParallelismConfig> par) const {
+  const auto& info = orch_.task(task);
+  std::vector<cluster::ContainerInfo> containers;
+  containers.reserve(info.containers.size());
+  for (ContainerId cid : info.containers) {
+    containers.push_back(orch_.container(cid));
+  }
+  const auto cfg = par.value_or(workload::default_parallelism(
+      info.total_gpus(), info.request.gpus_per_container));
+  return workload::make_layout(info, containers, cfg);
+}
+
+std::vector<EndpointObservation> Experiment::observations_for(
+    const workload::TaskLayout& layout,
+    const workload::BurstConfig& bcfg) const {
+  RngStream rng = rng_.fork("burst-series").fork(layout.task.value());
+  const auto series = workload::burst_series_for_layout(layout, bcfg, rng);
+  std::vector<EndpointObservation> obs;
+  obs.reserve(layout.roles.size());
+  for (std::size_t i = 0; i < layout.roles.size(); ++i) {
+    EndpointObservation o;
+    o.endpoint = layout.roles[i].endpoint;
+    o.host = topo_.host_of(o.endpoint.rnic).value();
+    o.container_index = orch_.container(o.endpoint.container).index_in_task;
+    o.rnic_rank = rank_of(o.endpoint);
+    o.throughput = series[i];
+    obs.push_back(std::move(o));
+  }
+  return obs;
+}
+
+std::optional<InferredSkeleton> Experiment::apply_skeleton(
+    TaskId task, const workload::TaskLayout& layout,
+    const workload::BurstConfig& bcfg) {
+  return hunter_.supply_observations(task, observations_for(layout, bcfg));
+}
+
+std::uint32_t Experiment::rank_of(const Endpoint& ep) const {
+  const auto& ci = orch_.container(ep.container);
+  for (std::uint32_t r = 0; r < ci.rnics.size(); ++r) {
+    if (ci.rnics[r] == ep.rnic) return r;
+  }
+  throw std::invalid_argument("Experiment::rank_of: endpoint not in task");
+}
+
+}  // namespace skh::core

@@ -1,0 +1,88 @@
+// Experiment harness: a fully wired simulated deployment in one object.
+//
+// Examples and benches (and downstream users reproducing the paper's
+// experiments) need the same boilerplate: build a rail-optimized topology,
+// wire overlay + orchestrator + fault injector + SkeletonHunter onto one
+// event queue, launch tasks, and derive the workload observations that
+// skeleton inference consumes. This header packages that plumbing.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cluster/orchestrator.h"
+#include "core/skeleton_hunter.h"
+#include "core/skeleton_inference.h"
+#include "workload/traffic.h"
+
+namespace skh::core {
+
+struct ExperimentConfig {
+  topo::TopologyConfig topology{};
+  SkeletonHunterConfig hunter{};
+  std::uint64_t seed = 42;
+};
+
+/// One simulated deployment: topology, overlay, orchestrator, fault
+/// injector, and a SkeletonHunter instance sharing an event queue.
+class Experiment {
+ public:
+  explicit Experiment(const ExperimentConfig& cfg);
+
+  // Non-copyable, non-movable: subsystems hold references to each other.
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  /// Submit a task and register it with SkeletonHunter (preload phase).
+  /// Returns nullopt when the cluster lacks capacity.
+  [[nodiscard]] std::optional<TaskId> launch_task(
+      const cluster::TaskRequest& req);
+
+  /// Advance simulated time until all containers of `task` are Running.
+  void run_to_running(TaskId task,
+                      SimTime max_wait = SimTime::minutes(12));
+
+  /// Build the task's layout under `par` (or a default derived from shape).
+  [[nodiscard]] workload::TaskLayout layout_of(
+      TaskId task,
+      std::optional<workload::ParallelismConfig> par = std::nullopt) const;
+
+  /// Synthesize the per-endpoint burst observations of a layout.
+  [[nodiscard]] std::vector<EndpointObservation> observations_for(
+      const workload::TaskLayout& layout,
+      const workload::BurstConfig& bcfg = {}) const;
+
+  /// Convenience: infer + apply the runtime skeleton for a task.
+  std::optional<InferredSkeleton> apply_skeleton(
+      TaskId task, const workload::TaskLayout& layout,
+      const workload::BurstConfig& bcfg = {});
+
+  /// RNIC rank of an endpoint within its container.
+  [[nodiscard]] std::uint32_t rank_of(const Endpoint& ep) const;
+
+  [[nodiscard]] const topo::Topology& topology() const noexcept {
+    return topo_;
+  }
+  [[nodiscard]] overlay::OverlayNetwork& overlay() noexcept {
+    return overlay_;
+  }
+  [[nodiscard]] sim::EventQueue& events() noexcept { return events_; }
+  [[nodiscard]] sim::FaultInjector& faults() noexcept { return faults_; }
+  [[nodiscard]] cluster::Orchestrator& orchestrator() noexcept {
+    return orch_;
+  }
+  [[nodiscard]] SkeletonHunter& hunter() noexcept { return hunter_; }
+  [[nodiscard]] RngStream& rng() noexcept { return rng_; }
+
+ private:
+  RngStream rng_;
+  topo::Topology topo_;
+  overlay::OverlayNetwork overlay_;
+  sim::EventQueue events_;
+  sim::FaultInjector faults_;
+  cluster::Orchestrator orch_;
+  SkeletonHunter hunter_;
+};
+
+}  // namespace skh::core

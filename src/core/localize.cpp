@@ -1,0 +1,322 @@
+#include "core/localize.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "probe/traceroute.h"
+
+namespace skh::core {
+
+std::string_view to_string(LocalizationMethod m) noexcept {
+  switch (m) {
+    case LocalizationMethod::kOverlayReachability:
+      return "overlay-reachability";
+    case LocalizationMethod::kPhysicalIntersection:
+      return "physical-intersection";
+    case LocalizationMethod::kRnicValidation: return "rnic-validation";
+    case LocalizationMethod::kEndpointPattern: return "endpoint-pattern";
+    case LocalizationMethod::kUnlocalized: return "unlocalized";
+  }
+  return "unknown";
+}
+
+Localizer::Localizer(const topo::Topology& topo,
+                     const overlay::OverlayNetwork& overlay,
+                     DiagnosticsOracle& oracle,
+                     const sim::FaultInjector& faults)
+    : topo_(topo), overlay_(overlay), oracle_(oracle), faults_(faults) {}
+
+std::vector<sim::ComponentRef> Localizer::refine_with_traceroute(
+    const std::vector<EndpointPair>& pairs,
+    std::vector<sim::ComponentRef> voted, SimTime at) const {
+  // Only meaningful when several links tie and the failure is a hard break
+  // a traceroute can die on.
+  std::size_t link_candidates = 0;
+  for (const auto& c : voted) {
+    if (c.kind == sim::ComponentKind::kPhysicalLink) ++link_candidates;
+  }
+  if (link_candidates < 2) return voted;
+
+  std::map<std::uint32_t, std::size_t> dead_votes;  // link index -> count
+  for (const auto& p : pairs) {
+    const auto tr =
+        probe::traceroute(topo_, faults_, p.src.rnic, p.dst.rnic, at);
+    const auto dead = tr.first_dead_hop();
+    if (dead) ++dead_votes[tr.hops[*dead].link.value()];
+  }
+  if (dead_votes.empty()) return voted;  // soft failure; keep the tie
+  std::size_t best = 0;
+  for (const auto& [l, n] : dead_votes) best = std::max(best, n);
+  std::vector<sim::ComponentRef> refined;
+  for (const auto& c : voted) {
+    if (c.kind != sim::ComponentKind::kPhysicalLink) continue;
+    const auto it = dead_votes.find(c.index);
+    if (it != dead_votes.end() && it->second == best) refined.push_back(c);
+  }
+  return refined.empty() ? voted : refined;
+}
+
+OverlayVerdict Localizer::overlay_reachability(Endpoint src,
+                                               Endpoint dst) const {
+  OverlayVerdict v;
+  if (!overlay_.attached(src) || !overlay_.attached(dst)) {
+    // Endpoint gone entirely: the container-side chain is missing.
+    v.failure_point =
+        overlay_.attached(src) ? overlay_.chain_of(src).netns : VPortId{};
+    return v;
+  }
+  const VPortId goal = overlay_.chain_of(dst).netns;
+  VPortId current = overlay_.chain_of(src).netns;
+  std::unordered_set<VPortId> visited{current};
+  for (std::size_t step = 0; step < 64; ++step) {
+    const auto next = overlay_.next_hop(src, dst, current);
+    if (!next) {
+      v.failure_point = current;  // broken chain at `current`
+      return v;
+    }
+    if (*next == goal) {
+      v.reachable = true;
+      return v;
+    }
+    if (visited.contains(*next)) {
+      v.loop = true;
+      v.failure_point = *next;
+      return v;
+    }
+    visited.insert(*next);
+    current = *next;
+  }
+  v.failure_point = current;
+  return v;
+}
+
+sim::ComponentRef Localizer::component_of_overlay_node(VPortId node,
+                                                       bool loop) const {
+  if (!node.valid()) {
+    return {sim::ComponentKind::kContainer, 0};
+  }
+  const auto& n = overlay_.node(node);
+  switch (n.kind) {
+    case overlay::NodeKind::kContainerNs:
+    case overlay::NodeKind::kVeth:
+      // A broken container-side chain means the container runtime tore the
+      // interface down (crash); a loop there is still an OVS rule problem.
+      if (!loop) return {sim::ComponentKind::kContainer, n.container.value()};
+      [[fallthrough]];
+    case overlay::NodeKind::kOvsPort:
+    case overlay::NodeKind::kVxlanTunnel:
+      return {sim::ComponentKind::kVSwitch, n.host.value()};
+    case overlay::NodeKind::kRnicVf:
+      return {sim::ComponentKind::kRnic, n.rnic.value()};
+  }
+  return {sim::ComponentKind::kVSwitch, n.host.value()};
+}
+
+std::vector<sim::ComponentRef> Localizer::physical_intersection(
+    const std::vector<EndpointPair>& pairs) const {
+  std::map<sim::ComponentRef, std::size_t> counter;  // PhyLinkCounter
+  for (const auto& p : pairs) {
+    const auto path = topo_.route(p.src.rnic, p.dst.rnic);
+    // Count each component once per pair even when both probe directions
+    // were flagged.
+    std::set<sim::ComponentRef> seen;
+    for (LinkId l : path.links) {
+      seen.insert({sim::ComponentKind::kPhysicalLink, l.value()});
+    }
+    for (SwitchId s : path.switches) {
+      seen.insert({sim::ComponentKind::kPhysicalSwitch, s.value()});
+    }
+    for (const auto& c : seen) ++counter[c];
+  }
+  std::size_t max_count = 0;
+  for (const auto& [c, n] : counter) max_count = std::max(max_count, n);
+  if (max_count <= 1) return {};  // no intersection evidence (Algorithm 1)
+  // A genuinely faulty physical component sits on (nearly) every anomalous
+  // path. When even the most-voted component covers only a minority of the
+  // pairs, the anomaly is not path-shaped (host-scope faults fan out over
+  // all rails and split the vote across ToRs) — report no underlay verdict
+  // and let the endpoint-pattern step classify it.
+  if (static_cast<double>(max_count) <
+      0.7 * static_cast<double>(pairs.size())) {
+    return {};
+  }
+
+  // Among max-count components prefer links over switches: a faulty link
+  // inflates its two endpoint switches to the same count, and the link is
+  // the more specific verdict. A genuinely faulty switch accumulates more
+  // pairs than any single one of its links.
+  std::vector<sim::ComponentRef> links;
+  std::vector<sim::ComponentRef> switches;
+  for (const auto& [c, n] : counter) {
+    if (n != max_count) continue;
+    (c.kind == sim::ComponentKind::kPhysicalLink ? links : switches)
+        .push_back(c);
+  }
+  return links.empty() ? switches : links;
+}
+
+std::vector<sim::ComponentRef> Localizer::validate_rnics(
+    const std::vector<EndpointPair>& pairs) const {
+  std::set<RnicId> rnics;
+  for (const auto& p : pairs) {
+    rnics.insert(p.src.rnic);
+    rnics.insert(p.dst.rnic);
+  }
+  std::vector<sim::ComponentRef> out;
+  for (RnicId r : rnics) {
+    if (!overlay_.offload_inconsistencies(r).empty()) {
+      out.push_back({sim::ComponentKind::kRnic, r.value()});
+    }
+  }
+  return out;
+}
+
+Localization Localizer::endpoint_pattern(
+    const std::vector<EndpointPair>& pairs, SimTime at) {
+  Localization loc;
+  loc.method = LocalizationMethod::kEndpointPattern;
+
+  // Collect the endpoints and hosts involved.
+  std::map<Endpoint, std::size_t> endpoint_count;
+  for (const auto& p : pairs) {
+    ++endpoint_count[p.src];
+    ++endpoint_count[p.dst];
+  }
+  // An endpoint present in every anomalous pair is the prime suspect.
+  std::vector<Endpoint> shared;
+  for (const auto& [ep, n] : endpoint_count) {
+    if (n == pairs.size()) shared.push_back(ep);
+  }
+  if (shared.size() == 1) {
+    const Endpoint& ep = shared.front();
+    const HostId host = topo_.host_of(ep.rnic);
+    // Host-scope signals outrank the RNIC when confirmed.
+    if (oracle_.confirms({sim::ComponentKind::kVSwitch, host.value()}, at)) {
+      loc.culprits.push_back({sim::ComponentKind::kVSwitch, host.value()});
+      return loc;
+    }
+    if (oracle_.confirms({sim::ComponentKind::kHost, host.value()}, at)) {
+      loc.culprits.push_back({sim::ComponentKind::kHost, host.value()});
+      return loc;
+    }
+    if (oracle_.confirms({sim::ComponentKind::kContainer,
+                          ep.container.value()}, at)) {
+      loc.culprits.push_back(
+          {sim::ComponentKind::kContainer, ep.container.value()});
+      return loc;
+    }
+    loc.culprits.push_back({sim::ComponentKind::kRnic, ep.rnic.value()});
+    return loc;
+  }
+  // Multiple endpoints of one host across rails: host-scope problem. Only
+  // *recurring* endpoints vote — a healthy peer appears in just the one or
+  // two (bidirectional) pairs that cross the faulty host, while the faulty
+  // host's endpoints recur across all their peers.
+  std::size_t max_recur = 0;
+  for (const auto& [ep, n] : endpoint_count) {
+    max_recur = std::max(max_recur, n);
+  }
+  const std::size_t recur_floor = std::max<std::size_t>(3, max_recur / 2);
+  std::set<HostId> hosts;
+  std::set<std::uint32_t> rails;
+  for (const auto& [ep, n] : endpoint_count) {
+    if (n < recur_floor) continue;
+    hosts.insert(topo_.host_of(ep.rnic));
+    rails.insert(topo_.rail_of(ep.rnic));
+  }
+  if (!hosts.empty() && hosts.size() <= 2 && rails.size() >= 2) {
+    // Pick the host whose endpoints recur most.
+    std::map<HostId, std::size_t> host_votes;
+    for (const auto& [ep, n] : endpoint_count) {
+      if (n >= recur_floor) host_votes[topo_.host_of(ep.rnic)] += n;
+    }
+    const auto best = std::max_element(
+        host_votes.begin(), host_votes.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    const HostId host = best->first;
+    if (oracle_.confirms({sim::ComponentKind::kVSwitch, host.value()}, at)) {
+      loc.culprits.push_back({sim::ComponentKind::kVSwitch, host.value()});
+    } else {
+      loc.culprits.push_back({sim::ComponentKind::kHost, host.value()});
+    }
+    return loc;
+  }
+  loc.method = LocalizationMethod::kUnlocalized;
+  return loc;
+}
+
+Localization Localizer::localize(
+    const std::vector<EndpointPair>& anomalous_pairs, SimTime at) {
+  Localization loc;
+  if (anomalous_pairs.empty()) return loc;
+
+  // Step 1: overlay logical reachability per pair. A torn-down endpoint
+  // chain (container gone while peers still probe it) indicts that
+  // container directly; otherwise the forwarding-chain replay names the
+  // broken component.
+  std::set<sim::ComponentRef> overlay_culprits;
+  for (const auto& p : anomalous_pairs) {
+    if (!overlay_.attached(p.dst)) {
+      overlay_culprits.insert(
+          {sim::ComponentKind::kContainer, p.dst.container.value()});
+      continue;
+    }
+    if (!overlay_.attached(p.src)) {
+      overlay_culprits.insert(
+          {sim::ComponentKind::kContainer, p.src.container.value()});
+      continue;
+    }
+    const auto v = overlay_reachability(p.src, p.dst);
+    if (!v.reachable) {
+      overlay_culprits.insert(
+          component_of_overlay_node(v.failure_point, v.loop));
+    }
+  }
+  if (!overlay_culprits.empty()) {
+    loc.method = LocalizationMethod::kOverlayReachability;
+    loc.culprits.assign(overlay_culprits.begin(), overlay_culprits.end());
+    return loc;
+  }
+
+  // Step 2: underlay physical intersection, refined by host-agent
+  // traceroutes when several links tie.
+  auto voted = refine_with_traceroute(
+      anomalous_pairs, physical_intersection(anomalous_pairs), at);
+  if (!voted.empty()) {
+    // Uplink verdicts are observationally equivalent to the RNIC behind the
+    // port; only keep the link when switch logs confirm it.
+    std::vector<sim::ComponentRef> confirmed;
+    for (const auto& c : voted) {
+      if (c.kind == sim::ComponentKind::kPhysicalLink) {
+        const auto& link = topo_.link_at(LinkId{c.index});
+        if (link.tier == topo::LinkTier::kHostToTor &&
+            !oracle_.confirms(c, at)) {
+          // Re-attribute to the RNIC (validated next) rather than the fiber.
+          continue;
+        }
+      }
+      confirmed.push_back(c);
+    }
+    if (!confirmed.empty()) {
+      loc.method = LocalizationMethod::kPhysicalIntersection;
+      loc.culprits = std::move(confirmed);
+      return loc;
+    }
+  }
+
+  // Step 3: RNIC flow-table validation.
+  auto rnics = validate_rnics(anomalous_pairs);
+  if (!rnics.empty()) {
+    loc.method = LocalizationMethod::kRnicValidation;
+    loc.culprits = std::move(rnics);
+    return loc;
+  }
+
+  // Step 4: endpoint-pattern classification with config inspection.
+  return endpoint_pattern(anomalous_pairs, at);
+}
+
+}  // namespace skh::core

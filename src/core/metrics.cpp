@@ -1,0 +1,178 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+
+namespace skh::core {
+
+bool fault_affects_pair(const sim::Fault& fault, const EndpointPair& pair,
+                        const topo::Topology& topo) {
+  const auto& t = fault.target;
+  switch (t.kind) {
+    case sim::ComponentKind::kRnic:
+      return pair.src.rnic.value() == t.index ||
+             pair.dst.rnic.value() == t.index;
+    case sim::ComponentKind::kContainer:
+      return pair.src.container.value() == t.index ||
+             pair.dst.container.value() == t.index;
+    case sim::ComponentKind::kHost:
+    case sim::ComponentKind::kVSwitch:
+      return topo.host_of(pair.src.rnic).value() == t.index ||
+             topo.host_of(pair.dst.rnic).value() == t.index;
+    case sim::ComponentKind::kPhysicalLink: {
+      const auto path = topo.route(pair.src.rnic, pair.dst.rnic);
+      return std::any_of(path.links.begin(), path.links.end(),
+                         [&](LinkId l) { return l.value() == t.index; });
+    }
+    case sim::ComponentKind::kPhysicalSwitch: {
+      const auto path = topo.route(pair.src.rnic, pair.dst.rnic);
+      return std::any_of(path.switches.begin(), path.switches.end(),
+                         [&](SwitchId s) { return s.value() == t.index; });
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// Is the case's verdict the fault's target? Accepts the uplink <-> RNIC
+/// port aliasing in both directions (the two names denote one physical
+/// port).
+bool verdict_matches(const Localization& loc, const sim::Fault& fault,
+                     const topo::Topology& topo) {
+  for (const auto& c : loc.culprits) {
+    if (c == fault.target) return true;
+    if (c.kind == sim::ComponentKind::kRnic &&
+        fault.target.kind == sim::ComponentKind::kPhysicalLink) {
+      if (topo.uplink_of(RnicId{c.index}).value() == fault.target.index) {
+        return true;
+      }
+    }
+    if (c.kind == sim::ComponentKind::kPhysicalLink &&
+        fault.target.kind == sim::ComponentKind::kRnic) {
+      if (topo.uplink_of(RnicId{fault.target.index}).value() == c.index) {
+        return true;
+      }
+    }
+    // Repetitive flow offloading (Table 1 #16/#15 class): the virtual
+    // switch keeps invalidating the RNIC's offloaded flows, so the RNIC
+    // flow-table dump is the observable artifact; an RNIC verdict on the
+    // fault's host denotes the same incident (the paper's Fig. 18 case was
+    // first isolated at the RNIC and then root-caused to the control
+    // plane).
+    if (fault.type == sim::IssueType::kRepetitiveFlowOffloading &&
+        fault.target.kind == sim::ComponentKind::kVSwitch &&
+        c.kind == sim::ComponentKind::kRnic &&
+        topo.host_of(RnicId{c.index}).value() == fault.target.index) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool time_overlaps(const FailureCase& c, const sim::Fault& f,
+                   SimTime slack) {
+  return c.last_event >= f.start && c.first_event <= f.end + slack;
+}
+
+}  // namespace
+
+double CampaignScore::precision() const {
+  return cases_total == 0 ? 1.0
+                          : static_cast<double>(cases_true) /
+                                static_cast<double>(cases_total);
+}
+
+double CampaignScore::recall() const {
+  const std::size_t all = injected_visible + injected_invisible;
+  return all == 0 ? 1.0
+                  : static_cast<double>(detected_true) /
+                        static_cast<double>(all);
+}
+
+double CampaignScore::localization_accuracy() const {
+  return localized_total == 0
+             ? 0.0
+             : static_cast<double>(localized_correct) /
+                   static_cast<double>(localized_total);
+}
+
+CampaignScore score_campaign(const std::vector<FailureCase>& cases,
+                             const sim::FaultInjector& faults,
+                             const topo::Topology& topo,
+                             const ScoreConfig& cfg) {
+  CampaignScore score;
+  score.cases_total = cases.size();
+
+  // Per-case: does it match any injected fault?
+  std::vector<bool> fault_detected(faults.faults().size(), false);
+  std::vector<double> latencies;
+  for (const auto& c : cases) {
+    bool matched = false;
+    for (const auto& f : faults.faults()) {
+      if (!f.ground_truth) continue;
+      if (!sim::issue_info(f.type).probe_visible) continue;
+      if (!time_overlaps(c, f, cfg.match_slack)) continue;
+      const bool affects = std::any_of(
+          c.pairs.begin(), c.pairs.end(), [&](const EndpointPair& p) {
+            return fault_affects_pair(f, p, topo);
+          });
+      if (!affects) continue;
+      matched = true;
+      if (!fault_detected[f.id]) {
+        fault_detected[f.id] = true;
+        latencies.push_back((c.first_event - f.start).to_seconds());
+      }
+      if (c.localization.found()) {
+        // A case may match several faults; credit the localization against
+        // the fault it names, counting the case once.
+      }
+    }
+    if (matched) {
+      ++score.cases_true;
+    } else {
+      ++score.cases_false;
+    }
+  }
+  // Localization accuracy: per matched case with a verdict, does the
+  // verdict name any fault the case matches?
+  for (const auto& c : cases) {
+    bool matched_any = false;
+    bool verdict_ok = false;
+    for (const auto& f : faults.faults()) {
+      if (!f.ground_truth) continue;
+      if (!sim::issue_info(f.type).probe_visible) continue;
+      if (!time_overlaps(c, f, cfg.match_slack)) continue;
+      const bool affects = std::any_of(
+          c.pairs.begin(), c.pairs.end(), [&](const EndpointPair& p) {
+            return fault_affects_pair(f, p, topo);
+          });
+      if (!affects) continue;
+      matched_any = true;
+      if (c.localization.found() && verdict_matches(c.localization, f, topo)) {
+        verdict_ok = true;
+      }
+    }
+    if (matched_any) {
+      ++score.localized_total;
+      if (verdict_ok) ++score.localized_correct;
+    }
+  }
+
+  for (const auto& f : faults.faults()) {
+    if (!f.ground_truth) continue;
+    if (sim::issue_info(f.type).probe_visible) {
+      ++score.injected_visible;
+    } else {
+      ++score.injected_invisible;
+    }
+    if (fault_detected[f.id]) ++score.detected_true;
+  }
+  if (!latencies.empty()) {
+    double sum = 0.0;
+    for (double l : latencies) sum += l;
+    score.mean_detection_latency_s = sum / static_cast<double>(latencies.size());
+  }
+  return score;
+}
+
+}  // namespace skh::core

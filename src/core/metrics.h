@@ -1,0 +1,54 @@
+// Campaign scoring: precision / recall / localization accuracy (§7.1).
+//
+// The fault injector is the ground truth. A failure case matches an
+// injected fault when the fault was active in the case's time window and
+// the fault's component could degrade at least one of the case's flagged
+// pairs. Localization is correct when the case's culprit set contains the
+// fault's target (or the observationally-equivalent uplink <-> RNIC
+// aliasing resolved the right physical port).
+#pragma once
+
+#include <vector>
+
+#include "core/skeleton_hunter.h"
+#include "sim/fault.h"
+#include "topo/topology.h"
+
+namespace skh::core {
+
+/// Does this fault's target lie on the probe surface of `pair`?
+[[nodiscard]] bool fault_affects_pair(const sim::Fault& fault,
+                                      const EndpointPair& pair,
+                                      const topo::Topology& topo);
+
+struct CampaignScore {
+  std::size_t injected_visible = 0;  ///< probe-visible injected faults
+  std::size_t injected_invisible = 0;  ///< intra-host faults (§7.3)
+  std::size_t detected_true = 0;    ///< faults matched by >= 1 case
+  std::size_t cases_total = 0;
+  std::size_t cases_true = 0;       ///< cases matching some fault
+  std::size_t cases_false = 0;      ///< false positives
+  std::size_t localized_correct = 0;  ///< matched cases naming the target
+  std::size_t localized_total = 0;    ///< matched cases with any verdict
+  double mean_detection_latency_s = 0.0;  ///< fault start -> first event
+
+  /// Precision over failure cases (§7.1: 98.2% in production).
+  [[nodiscard]] double precision() const;
+  /// Recall over probe-visible *and* invisible faults, matching the paper's
+  /// user-feedback-based recall (intra-host faults are the false negatives).
+  [[nodiscard]] double recall() const;
+  /// Localization accuracy over matched cases (§7.1: 95.7%).
+  [[nodiscard]] double localization_accuracy() const;
+};
+
+struct ScoreConfig {
+  /// Slack after fault end during which detections still count (analysis
+  /// windows close after the fault clears).
+  SimTime match_slack = SimTime::minutes(35);
+};
+
+[[nodiscard]] CampaignScore score_campaign(
+    const std::vector<FailureCase>& cases, const sim::FaultInjector& faults,
+    const topo::Topology& topo, const ScoreConfig& cfg = {});
+
+}  // namespace skh::core

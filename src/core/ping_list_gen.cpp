@@ -1,0 +1,112 @@
+#include "core/ping_list_gen.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace skh::core {
+
+std::vector<EndpointPair> basic_ping_list(
+    const std::vector<Endpoint>& endpoints, const RankFn& rank_of) {
+  return probe::rail_pruned_pairs(endpoints, rank_of);
+}
+
+std::vector<EndpointPair> skeleton_ping_list(
+    const std::vector<EndpointPair>& skeleton_pairs) {
+  std::vector<EndpointPair> out;
+  out.reserve(skeleton_pairs.size() * 2);
+  for (const auto& p : skeleton_pairs) {
+    out.push_back(p);
+    out.push_back(EndpointPair{p.dst, p.src});
+  }
+  return out;
+}
+
+std::vector<EndpointPair> detector_baseline_list(
+    const std::vector<Endpoint>& endpoints, const topo::Topology& topo) {
+  // Full mesh / 4 (the paper's reported deTector scale): keep every
+  // same-rank pair (1/R of the mesh on R-rail hosts) plus a 1/7 hash-sample
+  // of the cross-rank pairs, giving 1/8 + 7/8 * 1/7 = 1/4 of the mesh on
+  // 8-rail hosts. The hash is deterministic so the plan is stable across
+  // rounds (deTector's probing matrix is precomputed).
+  std::vector<EndpointPair> out;
+  for (const Endpoint& s : endpoints) {
+    for (const Endpoint& d : endpoints) {
+      if (s.container == d.container) continue;
+      const bool same_rank =
+          topo.rail_of(s.rnic) == topo.rail_of(d.rnic);
+      if (same_rank) {
+        out.push_back(EndpointPair{s, d});
+        continue;
+      }
+      std::uint64_t h = (static_cast<std::uint64_t>(s.rnic.value()) << 32) |
+                        d.rnic.value();
+      h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+      h ^= h >> 31;
+      if (h % 7 == 0) out.push_back(EndpointPair{s, d});
+    }
+  }
+  return out;
+}
+
+std::vector<EndpointPair> link_cover_list(
+    const std::vector<Endpoint>& endpoints, const topo::Topology& topo,
+    std::size_t min_cover) {
+  // Candidate pool: all inter-container directed pairs. Greedy set cover:
+  // repeatedly take the pair whose ECMP path adds the most missing link
+  // coverage until every link reachable by the task is covered min_cover
+  // times (or no pair helps).
+  std::unordered_map<LinkId, std::size_t> cover;
+  std::unordered_set<LinkId> all_links;
+  const auto pool = probe::full_mesh_pairs(endpoints);
+  std::vector<std::vector<LinkId>> paths(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    paths[i] = topo.route(pool[i].src.rnic, pool[i].dst.rnic).links;
+    for (LinkId l : paths[i]) all_links.insert(l);
+  }
+  std::vector<EndpointPair> selected;
+  std::vector<bool> used(pool.size(), false);
+  while (true) {
+    std::size_t best = pool.size();
+    std::size_t best_gain = 0;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (used[i]) continue;
+      std::size_t gain = 0;
+      for (LinkId l : paths[i]) {
+        if (cover[l] < min_cover) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = i;
+      }
+    }
+    if (best == pool.size() || best_gain == 0) break;
+    used[best] = true;
+    selected.push_back(pool[best]);
+    for (LinkId l : paths[best]) ++cover[l];
+  }
+  return selected;
+}
+
+ProbingScale probing_scale(const std::vector<Endpoint>& endpoints,
+                           const RankFn& rank_of, const topo::Topology& topo,
+                           const std::vector<EndpointPair>& skeleton_pairs) {
+  ProbingScale s;
+  s.full_mesh = probe::full_mesh_pairs(endpoints).size();
+  s.detector = detector_baseline_list(endpoints, topo).size();
+  s.basic = basic_ping_list(endpoints, rank_of).size();
+  s.skeleton = skeleton_ping_list(skeleton_pairs).size();
+  return s;
+}
+
+std::size_t max_targets_per_agent(const std::vector<EndpointPair>& pairs) {
+  std::map<ContainerId, std::size_t> per_agent;
+  for (const auto& p : pairs) ++per_agent[p.src.container];
+  std::size_t best = 0;
+  for (const auto& [c, n] : per_agent) best = std::max(best, n);
+  return best;
+}
+
+}  // namespace skh::core

@@ -1,0 +1,74 @@
+// Three-phase ping-list generation (§5.1) plus the deTector-style
+// topology-aware baseline used in Figure 15.
+//
+//   Preload:       rail-pruned basic list generated at task submission,
+//                  before any container exists (8x reduction on 8-rail
+//                  hosts).
+//   Initialization: the basic list ships to agents inactive; targets only
+//                  activate on peer registration (handled by probe::Agent).
+//   Runtime:       once an inferred traffic skeleton is available, the list
+//                  shrinks to the skeleton pairs (>95% below full mesh).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/ids.h"
+#include "probe/probe_types.h"
+#include "topo/topology.h"
+
+namespace skh::core {
+
+/// Returns an endpoint's RNIC rank within its container (the "rail" used
+/// for pruning — §5.1: "the same rank of the RNICs among different hosts").
+using RankFn = std::function<std::uint32_t(const Endpoint&)>;
+
+/// Preload phase: the basic ping list (directed pairs, same-rank only).
+[[nodiscard]] std::vector<EndpointPair> basic_ping_list(
+    const std::vector<Endpoint>& endpoints, const RankFn& rank_of);
+
+/// Runtime phase: expand the (unordered) skeleton pairs into the directed
+/// probing matrix — each unordered pair is probed from both sides, matching
+/// the production deployment where both agents own the measurement.
+[[nodiscard]] std::vector<EndpointPair> skeleton_ping_list(
+    const std::vector<EndpointPair>& skeleton_pairs);
+
+/// deTector-style baseline: topology-aware but workload-unaware probing.
+/// deTector prunes the full mesh using only data-center topology structure
+/// — the paper reports it still needing 15K+ probes per round at 2048 RNICs
+/// (~1/4 of the full mesh) because it cannot see the training workload's
+/// traffic sparsity. We emulate that reduction faithfully: all same-rank
+/// pairs (topology-redundant rails eliminated) plus a deterministic-hash
+/// sample of cross-rank pairs sized so the total is ~full_mesh/4.
+[[nodiscard]] std::vector<EndpointPair> detector_baseline_list(
+    const std::vector<Endpoint>& endpoints, const topo::Topology& topo);
+
+/// Greedy link-coverage probe selection: picks same-task pairs until every
+/// physical link used by the task is covered `min_cover` times (the
+/// building block of tomography-grade probing plans; exposed for tests and
+/// the ablations).
+[[nodiscard]] std::vector<EndpointPair> link_cover_list(
+    const std::vector<Endpoint>& endpoints, const topo::Topology& topo,
+    std::size_t min_cover = 3);
+
+/// Probing-scale accounting for Figure 15: probes per round under each
+/// strategy for one task.
+struct ProbingScale {
+  std::size_t full_mesh = 0;
+  std::size_t detector = 0;
+  std::size_t basic = 0;
+  std::size_t skeleton = 0;
+};
+
+[[nodiscard]] ProbingScale probing_scale(
+    const std::vector<Endpoint>& endpoints, const RankFn& rank_of,
+    const topo::Topology& topo,
+    const std::vector<EndpointPair>& skeleton_pairs);
+
+/// Max directed targets held by any single container's agent under a given
+/// pair list — the serialized-loop length behind the Figure 16 round-time
+/// model.
+[[nodiscard]] std::size_t max_targets_per_agent(
+    const std::vector<EndpointPair>& pairs);
+
+}  // namespace skh::core

@@ -1,0 +1,306 @@
+#include "core/skeleton_hunter.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace skh::core {
+
+SkeletonHunter::SkeletonHunter(const topo::Topology& topo,
+                               overlay::OverlayNetwork& overlay,
+                               cluster::Orchestrator& orchestrator,
+                               sim::EventQueue& events,
+                               const sim::FaultInjector& faults,
+                               RngStream rng, SkeletonHunterConfig cfg)
+    : topo_(topo), overlay_(overlay), orch_(orchestrator), events_(events),
+      cfg_(cfg),
+      engine_(topo, overlay, faults, rng.fork("engine")),
+      detector_(cfg.detector),
+      oracle_(faults, rng.fork("oracle")),
+      localizer_(topo, overlay, oracle_, faults) {
+  if (cfg_.auto_blacklist) {
+    orch_.set_placement_filter([this](HostId host) {
+      return blacklist_.host_schedulable(host,
+                                         topo_.config().rails_per_host);
+    });
+  }
+  orch_.on_container_created(
+      [this](const cluster::ContainerInfo& ci) { on_created(ci); });
+  orch_.on_container_running(
+      [this](const cluster::ContainerInfo& ci) { on_running(ci); });
+  orch_.on_container_stopped(
+      [this](const cluster::ContainerInfo& ci) { on_stopped(ci); });
+}
+
+std::uint32_t SkeletonHunter::rank_of(const Endpoint& ep) const {
+  const auto& ci = orch_.container(ep.container);
+  for (std::uint32_t i = 0; i < ci.rnics.size(); ++i) {
+    if (ci.rnics[i] == ep.rnic) return i;
+  }
+  return 0;
+}
+
+void SkeletonHunter::monitor_task(TaskId task) {
+  TaskMonitor m;
+  m.active = true;
+  m.endpoints = orch_.endpoints_of_task(task);
+  // Preload: the basic (rail-pruned) ping list, computed before any
+  // container of the task has even started.
+  m.current_list = basic_ping_list(
+      m.endpoints, [this](const Endpoint& ep) { return rank_of(ep); });
+  monitors_[task] = std::move(m);
+  distribute_list(task);
+}
+
+void SkeletonHunter::distribute_list(TaskId task) {
+  const auto& m = monitors_.at(task);
+  for (ContainerId cid : orch_.task(task).containers) {
+    const auto it = agents_.find(cid);
+    if (it == agents_.end()) continue;
+    std::vector<EndpointPair> slice;
+    for (const auto& p : m.current_list) {
+      if (p.src.container == cid) slice.push_back(p);
+    }
+    it->second.replace_ping_list(std::move(slice));
+  }
+}
+
+void SkeletonHunter::spawn_agent(const cluster::ContainerInfo& ci) {
+  const auto mit = monitors_.find(ci.task);
+  if (mit == monitors_.end() || !mit->second.active) return;
+  if (agents_.contains(ci.id)) return;
+  probe::Agent agent{ci.id, ci.endpoints()};
+  std::vector<EndpointPair> slice;
+  for (const auto& p : mit->second.current_list) {
+    if (p.src.container == ci.id) slice.push_back(p);
+  }
+  agent.set_ping_list(std::move(slice));
+  if (!cfg_.incremental_activation) {
+    // Ablation: activate every target immediately, as a naive Pingmesh
+    // would — probes race container startup and raise false alarms.
+    for (ContainerId peer : orch_.task(ci.task).containers) {
+      if (peer != ci.id) agent.activate_destination(peer);
+    }
+  } else {
+    // Activate targets whose destination containers already registered.
+    for (ContainerId peer : orch_.task(ci.task).containers) {
+      if (peer == ci.id) continue;
+      if (orch_.container(peer).state == cluster::ContainerState::kRunning) {
+        agent.activate_destination(peer);
+      }
+    }
+  }
+  agents_.emplace(ci.id, std::move(agent));
+}
+
+void SkeletonHunter::on_created(const cluster::ContainerInfo& ci) {
+  // Without registration gating the sidecar starts probing at creation.
+  if (!cfg_.incremental_activation) spawn_agent(ci);
+}
+
+void SkeletonHunter::on_running(const cluster::ContainerInfo& ci) {
+  const auto mit = monitors_.find(ci.task);
+  if (mit == monitors_.end() || !mit->second.active) return;
+  spawn_agent(ci);
+  // Registration: this container is ready to be pinged; peers activate it.
+  if (cfg_.incremental_activation) {
+    for (ContainerId peer : orch_.task(ci.task).containers) {
+      if (peer == ci.id) continue;
+      const auto it = agents_.find(peer);
+      if (it != agents_.end()) it->second.activate_destination(ci.id);
+    }
+  }
+}
+
+void SkeletonHunter::on_stopped(const cluster::ContainerInfo& ci) {
+  const auto mit = monitors_.find(ci.task);
+  if (mit == monitors_.end()) return;
+  // Deregistration: peers stop probing this container (teardown is not a
+  // connectivity failure).
+  for (ContainerId peer : orch_.task(ci.task).containers) {
+    if (peer == ci.id) continue;
+    const auto it = agents_.find(peer);
+    if (it != agents_.end()) it->second.deactivate_destination(ci.id);
+  }
+  agents_.erase(ci.id);
+  // Entire task done? Stop monitoring.
+  const auto& task = orch_.task(ci.task);
+  const bool any_running = std::any_of(
+      task.containers.begin(), task.containers.end(), [this](ContainerId c) {
+        return orch_.container(c).state == cluster::ContainerState::kRunning;
+      });
+  if (!any_running && task.terminated) mit->second.active = false;
+}
+
+std::optional<InferredSkeleton> SkeletonHunter::supply_observations(
+    TaskId task, const std::vector<EndpointObservation>& obs) {
+  const auto mit = monitors_.find(task);
+  if (mit == monitors_.end() || !mit->second.active) return std::nullopt;
+  if (!cfg_.use_skeleton) return std::nullopt;
+  auto inferred = infer_skeleton(obs, cfg_.inference);
+  if (!inferred) {
+    SKH_LOG_WARN("skeleton-hunter", "inference infeasible for task ",
+                 task.value(), "; keeping basic ping list");
+    return std::nullopt;
+  }
+  if (cfg_.validate_fidelity) {
+    const auto fidelity = validate_skeleton(inferred->pairs, obs,
+                                            cfg_.fidelity);
+    if (!fidelity.acceptable(cfg_.fidelity)) {
+      SKH_LOG_WARN("skeleton-hunter", "skeleton fidelity ", fidelity.score,
+                   " below threshold for task ", task.value(),
+                   "; keeping basic ping list");
+      return std::nullopt;
+    }
+  }
+  mit->second.current_list = skeleton_ping_list(inferred->pairs);
+  mit->second.skeleton_applied = true;
+  distribute_list(task);
+  return inferred;
+}
+
+void SkeletonHunter::start(SimTime end) {
+  end_ = end;
+  if (started_) return;
+  started_ = true;
+  events_.schedule_after(cfg_.probe_interval, [this] { tick(); });
+}
+
+void SkeletonHunter::tick() {
+  const SimTime now = events_.now();
+  // Probe: every agent runs its round; results stream straight into the
+  // anomaly detector.
+  std::map<TaskId, std::vector<AnomalyEvent>> per_task_events;
+  for (auto& [cid, agent] : agents_) {
+    for (const auto& result : agent.run_round(engine_, now, collector_)) {
+      const auto events = detector_.ingest(result);
+      if (!events.empty()) {
+        const TaskId task = orch_.container(result.pair.src.container).task;
+        auto& bucket = per_task_events[task];
+        bucket.insert(bucket.end(), events.begin(), events.end());
+      }
+    }
+  }
+  for (const auto& [task, evts] : per_task_events) {
+    route_events(task, evts);
+  }
+  // Close quiet cases; drop the ones suppressed as transients.
+  for (auto& c : cases_) {
+    if (!c.closed && now - c.last_event >= cfg_.case_quiet_period) {
+      close_case(c);
+    }
+  }
+  std::erase_if(cases_, [](const FailureCase& c) { return c.suppressed; });
+  // Bound collector memory: anomaly windows never look back further than
+  // the long-term window.
+  if (++ticks_ % 512 == 0) {
+    collector_.trim_before(now - cfg_.detector.long_window * 2.0);
+  }
+  if (now + cfg_.probe_interval <= end_) {
+    events_.schedule_after(cfg_.probe_interval, [this] { tick(); });
+  }
+}
+
+void SkeletonHunter::route_events(TaskId task,
+                                  const std::vector<AnomalyEvent>& events) {
+  const SimTime now = events_.now();
+  for (const auto& e : events) {
+    // A long-term (30-minute-window) alarm that merely re-reports a pair
+    // already covered by a recent case is the windowing tail of that
+    // incident, not a new failure; merging it would glue unrelated
+    // incidents together and dilute the localization vote.
+    if (e.kind == AnomalyKind::kLatencyLongTerm) {
+      const bool redundant = std::any_of(
+          cases_.begin(), cases_.end(), [&](const FailureCase& c) {
+            return c.task == task &&
+                   e.detected_at - c.last_event <=
+                       cfg_.detector.long_window * 2.0 &&
+                   c.pairs.contains(e.pair);
+          });
+      if (redundant) continue;
+    }
+    // Aggregate by task and time window (the production analyzer indexes
+    // results by task/container/RNIC/uplink, §6): one failing component
+    // degrades many pairs at once — e.g. a ToR takes out pairs that share
+    // no endpoint — and splitting them would also starve the tomography
+    // voter of intersection evidence.
+    FailureCase* target = nullptr;
+    for (auto& c : cases_) {
+      if (c.closed || c.task != task) continue;
+      if (now - c.last_event > cfg_.case_merge_window) continue;
+      target = &c;
+      break;
+    }
+    if (target == nullptr) {
+      FailureCase c;
+      c.id = static_cast<std::uint32_t>(cases_.size());
+      c.task = task;
+      c.first_event = e.detected_at;
+      c.last_event = e.detected_at;
+      cases_.push_back(std::move(c));
+      target = &cases_.back();
+    }
+    target->pairs.insert(e.pair);
+    target->events.push_back(e);
+    target->last_event = std::max(target->last_event, e.detected_at);
+  }
+}
+
+void SkeletonHunter::close_case(FailureCase& c) {
+  c.closed = true;
+  c.closed_at = events_.now();
+  // Transient filtering (§5.2): a single short-term latency outlier on its
+  // own is transient congestion, not a failure case worth a ticket.
+  if (c.events.size() < 2 &&
+      c.events.front().kind == AnomalyKind::kLatencyShortTerm) {
+    c.suppressed = true;
+    return;
+  }
+  const std::vector<EndpointPair> pairs(c.pairs.begin(), c.pairs.end());
+  // Localize against the state at the first event: diagnostics (switch
+  // logs, config checks) are inspected while the incident is live.
+  c.localization = localizer_.localize(pairs, c.first_event);
+  // §8: culprit components are banned from new placements until repaired.
+  if (cfg_.auto_blacklist) {
+    for (const auto& culprit : c.localization.culprits) {
+      blacklist_.add(culprit, c.closed_at);
+    }
+  }
+}
+
+void SkeletonHunter::mark_repaired(sim::ComponentRef ref) {
+  blacklist_.clear(ref);
+}
+
+void SkeletonHunter::opt_out(TaskId task) {
+  const auto mit = monitors_.find(task);
+  if (mit == monitors_.end()) return;
+  mit->second.active = false;
+  mit->second.current_list.clear();
+  distribute_list(task);
+}
+
+void SkeletonHunter::finalize() {
+  const auto tail_events = detector_.flush(events_.now());
+  std::map<TaskId, std::vector<AnomalyEvent>> per_task;
+  for (const auto& e : tail_events) {
+    const TaskId task = orch_.container(e.pair.src.container).task;
+    per_task[task].push_back(e);
+  }
+  for (const auto& [task, evts] : per_task) route_events(task, evts);
+  for (auto& c : cases_) {
+    if (!c.closed) close_case(c);
+  }
+  std::erase_if(cases_, [](const FailureCase& c) { return c.suppressed; });
+}
+
+std::size_t SkeletonHunter::current_targets(TaskId task) const {
+  std::size_t total = 0;
+  for (ContainerId cid : orch_.task(task).containers) {
+    const auto it = agents_.find(cid);
+    if (it != agents_.end()) total += it->second.total_targets();
+  }
+  return total;
+}
+
+}  // namespace skh::core

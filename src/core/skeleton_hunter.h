@@ -1,0 +1,162 @@
+// The SkeletonHunter system facade (§4, Figure 11): controller + agents +
+// analyzer wired over the simulated cluster.
+//
+// Lifecycle per monitored task:
+//   submit     -> preload: rail-pruned basic ping list computed immediately
+//                 (before any container runs).
+//   container  -> an agent spawns (sidecar) holding its slice of the basic
+//   running       list; all targets stay inactive until the destination
+//                 container *registers* — registration is fired by the
+//                 orchestrator's running callback, i.e. by the data plane.
+//   runtime    -> once throughput observations are supplied, traffic-
+//                 skeleton inference replaces the agents' lists with the
+//                 skeleton probing matrix (>95% smaller than full mesh).
+//   each tick  -> agents probe their active targets; results stream into
+//                 the anomaly detector; per-pair anomaly events aggregate
+//                 into failure cases; quiet cases are localized with
+//                 Algorithm 1 and closed.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "cluster/orchestrator.h"
+#include "core/anomaly.h"
+#include "core/blacklist.h"
+#include "core/diagnostics.h"
+#include "core/fidelity.h"
+#include "core/localize.h"
+#include "core/ping_list_gen.h"
+#include "core/skeleton_inference.h"
+#include "probe/agent.h"
+#include "probe/engine.h"
+
+namespace skh::core {
+
+struct SkeletonHunterConfig {
+  SimTime probe_interval = SimTime::seconds(1);
+  DetectorConfig detector{};
+  InferenceConfig inference{};
+  /// A failure case with no fresh events for this long is localized+closed.
+  SimTime case_quiet_period = SimTime::seconds(90);
+  /// Distinct cases form when events arrive on disjoint pair sets; events on
+  /// overlapping components within this window merge into one case.
+  SimTime case_merge_window = SimTime::minutes(5);
+  bool use_skeleton = true;             ///< ablation: runtime optimization
+  bool incremental_activation = true;   ///< ablation: registration gating
+  /// §7.3 mitigation: validate the inferred skeleton against the observed
+  /// bursts before trusting it; an unacceptable fidelity keeps the basic
+  /// list (covers debug clusters and unknown parallelism strategies).
+  bool validate_fidelity = true;
+  FidelityConfig fidelity{};
+  /// §8: blacklist localized culprit components and install a placement
+  /// filter so no new task is scheduled onto them until repaired.
+  bool auto_blacklist = true;
+};
+
+/// One aggregated failure: the unit scored against injected ground truth.
+struct FailureCase {
+  std::uint32_t id = 0;
+  TaskId task;
+  SimTime first_event;
+  SimTime last_event;
+  std::set<EndpointPair> pairs;
+  std::vector<AnomalyEvent> events;
+  Localization localization;
+  bool closed = false;
+  bool suppressed = false;  ///< transient, filtered before reporting
+  SimTime closed_at;
+};
+
+class SkeletonHunter {
+ public:
+  SkeletonHunter(const topo::Topology& topo,
+                 overlay::OverlayNetwork& overlay,
+                 cluster::Orchestrator& orchestrator,
+                 sim::EventQueue& events, const sim::FaultInjector& faults,
+                 RngStream rng, SkeletonHunterConfig cfg = {});
+
+  /// Preload phase for a submitted task: compute its basic ping list.
+  /// Must be called after Orchestrator::submit_task for the task to be
+  /// monitored.
+  void monitor_task(TaskId task);
+
+  /// Supply throughput observations for the runtime inference phase; on a
+  /// feasible inference the task's agents switch to the skeleton list.
+  /// Returns the inference result (nullopt = infeasible or rejected by the
+  /// fidelity validator; the basic list is kept either way).
+  std::optional<InferredSkeleton> supply_observations(
+      TaskId task, const std::vector<EndpointObservation>& obs);
+
+  /// User opt-out (§7.3): stop probing this task entirely — for tenants
+  /// who know their workload breaks the collective-communication
+  /// assumptions.
+  void opt_out(TaskId task);
+
+  /// Begin probing: schedules a tick every probe_interval until `end`.
+  void start(SimTime end);
+
+  /// Close every open case (end of campaign) and localize them.
+  void finalize();
+
+  // --- results --------------------------------------------------------------
+  [[nodiscard]] const std::vector<FailureCase>& failure_cases() const noexcept {
+    return cases_;
+  }
+  [[nodiscard]] std::size_t total_probes() const noexcept {
+    return collector_.total_results();
+  }
+  [[nodiscard]] const probe::Collector& collector() const noexcept {
+    return collector_;
+  }
+  /// Current directed-target count across a task's agents (Fig. 15/16).
+  [[nodiscard]] std::size_t current_targets(TaskId task) const;
+  /// Components banned from scheduling so far (§8).
+  [[nodiscard]] const Blacklist& blacklist() const noexcept {
+    return blacklist_;
+  }
+  /// Repair completed: lift the ban on a component.
+  void mark_repaired(sim::ComponentRef ref);
+
+ private:
+  struct TaskMonitor {
+    bool active = false;
+    std::vector<Endpoint> endpoints;
+    std::vector<EndpointPair> current_list;  ///< directed probing matrix
+    bool skeleton_applied = false;
+  };
+
+  void on_created(const cluster::ContainerInfo& ci);
+  void on_running(const cluster::ContainerInfo& ci);
+  void on_stopped(const cluster::ContainerInfo& ci);
+  void spawn_agent(const cluster::ContainerInfo& ci);
+  void distribute_list(TaskId task);
+  void tick();
+  void route_events(TaskId task, const std::vector<AnomalyEvent>& events);
+  void close_case(FailureCase& c);
+  [[nodiscard]] std::uint32_t rank_of(const Endpoint& ep) const;
+
+  const topo::Topology& topo_;
+  overlay::OverlayNetwork& overlay_;
+  cluster::Orchestrator& orch_;
+  sim::EventQueue& events_;
+  SkeletonHunterConfig cfg_;
+
+  probe::ProbeEngine engine_;
+  probe::Collector collector_;
+  AnomalyDetector detector_;
+  DiagnosticsOracle oracle_;
+  Localizer localizer_;
+
+  Blacklist blacklist_;
+  std::map<TaskId, TaskMonitor> monitors_;
+  std::map<ContainerId, probe::Agent> agents_;
+  std::vector<FailureCase> cases_;
+  SimTime end_;
+  bool started_ = false;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace skh::core

@@ -1,0 +1,109 @@
+#include "dsp/fft.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace skh::dsp {
+
+std::size_t next_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft_inplace(std::span<Complex> data, bool inverse) {
+  const std::size_t n = data.size();
+  if (!is_pow2(n)) {
+    throw std::invalid_argument("fft_inplace: size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Iterative butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = 2.0 * std::numbers::pi / static_cast<double>(len) *
+                         (inverse ? 1.0 : -1.0);
+    const Complex wlen{std::cos(angle), std::sin(angle)};
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : data) x /= static_cast<double>(n);
+  }
+}
+
+std::vector<Complex> fft_real(std::span<const double> signal) {
+  const std::size_t padded = next_pow2(std::max<std::size_t>(signal.size(), 1));
+  std::vector<Complex> data(padded, Complex{0.0, 0.0});
+  for (std::size_t i = 0; i < signal.size(); ++i) data[i] = Complex{signal[i], 0.0};
+  fft_inplace(data);
+  return data;
+}
+
+std::vector<Complex> dft_real(std::span<const double> signal) {
+  const std::size_t n = signal.size();
+  std::vector<Complex> out(n, Complex{0.0, 0.0});
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc{0.0, 0.0};
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = -2.0 * std::numbers::pi * static_cast<double>(k) *
+                           static_cast<double>(t) / static_cast<double>(n);
+      acc += signal[t] * Complex{std::cos(angle), std::sin(angle)};
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::vector<double> magnitude_spectrum(std::span<const Complex> spectrum) {
+  const std::size_t half = spectrum.size() / 2 + 1;
+  std::vector<double> mags(half);
+  for (std::size_t k = 0; k < half; ++k) mags[k] = std::abs(spectrum[k]);
+  return mags;
+}
+
+std::vector<double> circular_xcorr(std::span<const double> a,
+                                   std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("circular_xcorr: size mismatch");
+  }
+  const std::size_t n = next_pow2(std::max<std::size_t>(a.size(), 1));
+  std::vector<Complex> fa(n, Complex{}), fb(n, Complex{});
+  for (std::size_t i = 0; i < a.size(); ++i) fa[i] = Complex{a[i], 0.0};
+  for (std::size_t i = 0; i < b.size(); ++i) fb[i] = Complex{b[i], 0.0};
+  fft_inplace(fa);
+  fft_inplace(fb);
+  for (std::size_t i = 0; i < n; ++i) fa[i] = std::conj(fa[i]) * fb[i];
+  fft_inplace(fa, /*inverse=*/true);
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = fa[i].real();
+  return out;
+}
+
+int best_lag(std::span<const double> a, std::span<const double> b) {
+  const auto corr = circular_xcorr(a, b);
+  const std::size_t n = corr.size();
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (corr[i] > corr[best]) best = i;
+  }
+  // Map [0, n) to signed lag [-n/2, n/2).
+  auto lag = static_cast<long>(best);
+  if (lag >= static_cast<long>(n / 2)) lag -= static_cast<long>(n);
+  return static_cast<int>(lag);
+}
+
+}  // namespace skh::dsp

@@ -1,0 +1,53 @@
+// Fourier transforms.
+//
+// Traffic-skeleton inference converts each RNIC's throughput burst series to
+// the frequency domain (§5.1). The paper evaluated STFT, plain DFT, and
+// wavelets; we provide all three (the latter two for the ablation bench).
+// The FFT is an in-place iterative radix-2 Cooley-Tukey over power-of-two
+// sizes; `dft` is the O(n^2) reference used for arbitrary sizes and testing.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace skh::dsp {
+
+using Complex = std::complex<double>;
+
+/// True iff n is a power of two (and nonzero).
+[[nodiscard]] constexpr bool is_pow2(std::size_t n) noexcept {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// Smallest power of two >= n.
+[[nodiscard]] std::size_t next_pow2(std::size_t n) noexcept;
+
+/// In-place radix-2 FFT. `data.size()` must be a power of two.
+/// `inverse` applies the conjugate transform and 1/N scaling.
+void fft_inplace(std::span<Complex> data, bool inverse = false);
+
+/// Forward FFT of a real signal, zero-padded to the next power of two.
+/// Returns the full complex spectrum (length = padded size).
+[[nodiscard]] std::vector<Complex> fft_real(std::span<const double> signal);
+
+/// Reference O(n^2) DFT of a real signal (no padding). Used in tests and as
+/// the paper's "plain DFT" ablation alternative.
+[[nodiscard]] std::vector<Complex> dft_real(std::span<const double> signal);
+
+/// Magnitude spectrum |X[k]| for k in [0, N/2] (one-sided).
+[[nodiscard]] std::vector<double> magnitude_spectrum(
+    std::span<const Complex> spectrum);
+
+/// Circular cross-correlation of two equal-length real signals via FFT.
+/// result[lag] = sum_t a[t] * b[(t + lag) mod N].
+[[nodiscard]] std::vector<double> circular_xcorr(std::span<const double> a,
+                                                 std::span<const double> b);
+
+/// Lag (in samples, range [-N/2, N/2)) at which b best matches a shifted
+/// copy of itself; positive lag means b lags a. Used to order pipeline
+/// stages from burst time shifts (§5.1).
+[[nodiscard]] int best_lag(std::span<const double> a,
+                           std::span<const double> b);
+
+}  // namespace skh::dsp

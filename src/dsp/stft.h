@@ -1,0 +1,59 @@
+// Short-Time Fourier Transform and the spectral feature vector used by
+// traffic-skeleton inference (§5.1).
+//
+// SkeletonHunter chose STFT over plain DFT and wavelets because it captures
+// the time-varying character of burst cycles at the lowest runtime cost.
+// The feature vector averages per-frame magnitude spectra so that RNICs in
+// the same parallelism position — which see the same periodic bursts — land
+// close together for the downstream clustering step.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dsp/window.h"
+
+namespace skh::dsp {
+
+struct StftConfig {
+  std::size_t frame_size = 64;   ///< samples per analysis frame (power of 2)
+  std::size_t hop = 32;          ///< hop between frame starts
+  WindowKind window = WindowKind::kHann;
+};
+
+/// Spectrogram: frames x (frame_size/2 + 1) one-sided magnitudes.
+struct Spectrogram {
+  std::size_t frame_size = 0;
+  std::size_t hop = 0;
+  std::vector<std::vector<double>> frames;  ///< magnitude per frame
+
+  [[nodiscard]] std::size_t num_frames() const noexcept {
+    return frames.size();
+  }
+  [[nodiscard]] std::size_t num_bins() const noexcept {
+    return frames.empty() ? 0 : frames.front().size();
+  }
+};
+
+/// Compute the magnitude spectrogram of `signal`. The tail shorter than one
+/// frame is zero-padded so no samples are dropped.
+[[nodiscard]] Spectrogram stft(std::span<const double> signal,
+                               const StftConfig& cfg = {});
+
+/// Time-averaged magnitude spectrum of the spectrogram, L2-normalized.
+/// This is the "STFT feature" compared across RNICs in Figure 13.
+[[nodiscard]] std::vector<double> stft_feature(const Spectrogram& spec);
+
+/// Convenience: signal -> normalized feature in one call.
+[[nodiscard]] std::vector<double> stft_feature(std::span<const double> signal,
+                                               const StftConfig& cfg = {});
+
+/// Cosine similarity of two equal-length feature vectors, in [-1, 1].
+[[nodiscard]] double cosine_similarity(std::span<const double> a,
+                                       std::span<const double> b);
+
+/// Euclidean distance between two equal-length feature vectors.
+[[nodiscard]] double euclidean_distance(std::span<const double> a,
+                                        std::span<const double> b);
+
+}  // namespace skh::dsp

@@ -1,0 +1,46 @@
+#include "dsp/wavelet.h"
+
+#include <cmath>
+
+#include "dsp/fft.h"
+
+namespace skh::dsp {
+
+std::vector<double> haar_dwt(std::span<const double> signal) {
+  const std::size_t n = next_pow2(std::max<std::size_t>(signal.size(), 1));
+  std::vector<double> data(n, 0.0);
+  for (std::size_t i = 0; i < signal.size(); ++i) data[i] = signal[i];
+
+  static const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  std::vector<double> tmp(n);
+  for (std::size_t len = n; len >= 2; len /= 2) {
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+      tmp[i] = (data[2 * i] + data[2 * i + 1]) * inv_sqrt2;        // approx
+      tmp[half + i] = (data[2 * i] - data[2 * i + 1]) * inv_sqrt2; // detail
+    }
+    std::copy(tmp.begin(), tmp.begin() + static_cast<long>(len), data.begin());
+  }
+  return data;
+}
+
+std::vector<double> haar_feature(std::span<const double> signal) {
+  const auto coeffs = haar_dwt(signal);
+  const std::size_t n = coeffs.size();
+  std::vector<double> energies;
+  // Detail bands occupy [len/2, len) for len = 2, 4, ..., n.
+  for (std::size_t len = 2; len <= n; len *= 2) {
+    double e = 0.0;
+    for (std::size_t i = len / 2; i < len; ++i) e += coeffs[i] * coeffs[i];
+    energies.push_back(e);
+  }
+  double norm = 0.0;
+  for (double e : energies) norm += e * e;
+  norm = std::sqrt(norm);
+  if (norm > 0.0) {
+    for (double& e : energies) e /= norm;
+  }
+  return energies;
+}
+
+}  // namespace skh::dsp

@@ -1,0 +1,19 @@
+// Haar discrete wavelet transform — the paper's rejected feature-extraction
+// alternative (§5.1), kept for the ablation bench comparing STFT vs DFT vs
+// wavelet features.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace skh::dsp {
+
+/// Full multi-level Haar DWT of a power-of-two-length signal (zero-padded
+/// otherwise). Output layout: [approx | detail_Lmax | ... | detail_1].
+[[nodiscard]] std::vector<double> haar_dwt(std::span<const double> signal);
+
+/// Per-level detail energies of the Haar DWT, L2-normalized — a compact
+/// scale-distribution feature comparable to stft_feature().
+[[nodiscard]] std::vector<double> haar_feature(std::span<const double> signal);
+
+}  // namespace skh::dsp

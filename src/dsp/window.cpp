@@ -1,0 +1,39 @@
+#include "dsp/window.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace skh::dsp {
+
+std::vector<double> make_window(WindowKind kind, std::size_t n) {
+  std::vector<double> w(n, 1.0);
+  if (n <= 1) return w;
+  const double denom = static_cast<double>(n - 1);
+  switch (kind) {
+    case WindowKind::kRect:
+      break;
+    case WindowKind::kHann:
+      for (std::size_t i = 0; i < n; ++i) {
+        w[i] = 0.5 - 0.5 * std::cos(2.0 * std::numbers::pi *
+                                    static_cast<double>(i) / denom);
+      }
+      break;
+    case WindowKind::kHamming:
+      for (std::size_t i = 0; i < n; ++i) {
+        w[i] = 0.54 - 0.46 * std::cos(2.0 * std::numbers::pi *
+                                      static_cast<double>(i) / denom);
+      }
+      break;
+  }
+  return w;
+}
+
+void apply_window(std::span<double> frame, std::span<const double> window) {
+  if (frame.size() != window.size()) {
+    throw std::invalid_argument("apply_window: size mismatch");
+  }
+  for (std::size_t i = 0; i < frame.size(); ++i) frame[i] *= window[i];
+}
+
+}  // namespace skh::dsp

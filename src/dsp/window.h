@@ -1,0 +1,17 @@
+// Analysis window functions for the STFT.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace skh::dsp {
+
+enum class WindowKind { kRect, kHann, kHamming };
+
+/// Window coefficients of length n.
+[[nodiscard]] std::vector<double> make_window(WindowKind kind, std::size_t n);
+
+/// Multiply `frame` elementwise by `window` (sizes must match).
+void apply_window(std::span<double> frame, std::span<const double> window);
+
+}  // namespace skh::dsp

@@ -1,0 +1,213 @@
+#include "ml/clustering.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "dsp/stft.h"
+
+namespace skh::ml {
+
+namespace {
+
+/// Working state for agglomerative merging: live clusters as index lists,
+/// plus (for the constrained variant) the set of hosts present per cluster.
+struct MergeState {
+  std::vector<std::vector<std::size_t>> members;
+  std::vector<std::unordered_set<std::size_t>> hosts;
+  bool host_constrained = false;
+
+  [[nodiscard]] bool can_merge(std::size_t a, std::size_t b) const {
+    if (!host_constrained) return true;
+    for (std::size_t h : hosts[a]) {
+      if (hosts[b].contains(h)) return false;
+    }
+    return true;
+  }
+};
+
+double pair_distance(const FeatureMatrix& features,
+                     const std::vector<std::size_t>& a,
+                     const std::vector<std::size_t>& b) {
+  // Average linkage: mean pairwise Euclidean distance.
+  double sum = 0.0;
+  for (std::size_t i : a) {
+    for (std::size_t j : b) {
+      sum += skh::dsp::euclidean_distance(features[i], features[j]);
+    }
+  }
+  return sum / (static_cast<double>(a.size()) * static_cast<double>(b.size()));
+}
+
+Clustering finalize(std::size_t n, std::vector<std::vector<std::size_t>> live) {
+  Clustering out;
+  // Deterministic ordering: by smallest member index.
+  std::sort(live.begin(), live.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+  out.clusters = std::move(live);
+  out.assignment.assign(n, 0);
+  for (std::size_t c = 0; c < out.clusters.size(); ++c) {
+    std::sort(out.clusters[c].begin(), out.clusters[c].end());
+    for (std::size_t i : out.clusters[c]) out.assignment[i] = c;
+  }
+  return out;
+}
+
+/// Core agglomerative loop; returns nullopt if the host constraint makes it
+/// impossible to reach k clusters.
+std::optional<Clustering> agglomerate(const FeatureMatrix& features,
+                                      std::size_t k,
+                                      const std::vector<std::size_t>& host_of) {
+  const std::size_t n = features.size();
+  if (k == 0 || k > n) {
+    throw std::invalid_argument("agglomerate: k must be in [1, n]");
+  }
+  MergeState st;
+  st.host_constrained = !host_of.empty();
+  if (st.host_constrained && host_of.size() != n) {
+    throw std::invalid_argument("agglomerate: host_of size mismatch");
+  }
+  st.members.reserve(n);
+  st.hosts.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    st.members.push_back({i});
+    if (st.host_constrained) st.hosts[i].insert(host_of[i]);
+  }
+
+  while (st.members.size() > k) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t bi = 0, bj = 0;
+    bool found = false;
+    for (std::size_t i = 0; i < st.members.size(); ++i) {
+      for (std::size_t j = i + 1; j < st.members.size(); ++j) {
+        if (!st.can_merge(i, j)) continue;
+        const double d = pair_distance(features, st.members[i], st.members[j]);
+        if (d < best) {
+          best = d;
+          bi = i;
+          bj = j;
+          found = true;
+        }
+      }
+    }
+    if (!found) return std::nullopt;  // constraint blocks all merges
+    auto& a = st.members[bi];
+    auto& b = st.members[bj];
+    a.insert(a.end(), b.begin(), b.end());
+    if (st.host_constrained) {
+      st.hosts[bi].insert(st.hosts[bj].begin(), st.hosts[bj].end());
+      st.hosts.erase(st.hosts.begin() + static_cast<long>(bj));
+    }
+    st.members.erase(st.members.begin() + static_cast<long>(bj));
+  }
+  return finalize(n, std::move(st.members));
+}
+
+}  // namespace
+
+double Clustering::size_variance() const {
+  if (clusters.empty()) return 0.0;
+  double mean = 0.0;
+  for (const auto& c : clusters) mean += static_cast<double>(c.size());
+  mean /= static_cast<double>(clusters.size());
+  double var = 0.0;
+  for (const auto& c : clusters) {
+    const double d = static_cast<double>(c.size()) - mean;
+    var += d * d;
+  }
+  return var / static_cast<double>(clusters.size());
+}
+
+Clustering hierarchical_cluster(const FeatureMatrix& features, std::size_t k) {
+  auto result = agglomerate(features, k, /*host_of=*/{});
+  // Unconstrained agglomeration always succeeds.
+  return std::move(*result);
+}
+
+std::optional<Clustering> constrained_cluster(
+    const FeatureMatrix& features, const ConstrainedClusterConfig& cfg) {
+  const std::size_t n = features.size();
+  if (n == 0) return std::nullopt;
+
+  std::vector<std::size_t> candidates = cfg.candidate_ks;
+  if (candidates.empty()) {
+    for (std::size_t k = 2; k <= n / 2; ++k) {
+      if (n % k == 0) candidates.push_back(k);
+    }
+  }
+
+  // Global distance scale: mean pairwise distance over all items, used to
+  // decide whether a candidate clustering is "tight".
+  double baseline = 0.0;
+  std::size_t baseline_pairs = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      baseline += skh::dsp::euclidean_distance(features[i], features[j]);
+      ++baseline_pairs;
+    }
+  }
+  if (baseline_pairs > 0) baseline /= static_cast<double>(baseline_pairs);
+
+  struct Candidate {
+    Clustering clustering;
+    std::size_t k;
+    double var;
+    double intra;
+  };
+  std::vector<Candidate> feasible;
+  for (std::size_t k : candidates) {
+    if (k == 0 || k > n) continue;
+    auto result = agglomerate(features, k, cfg.host_of);
+    if (!result) continue;
+    // Eq. 2: the rounded mean group size must divide N.
+    const double mean_size =
+        static_cast<double>(n) / static_cast<double>(result->num_clusters());
+    const auto rounded = static_cast<std::size_t>(std::llround(mean_size));
+    if (rounded == 0 || n % rounded != 0) continue;
+    const double var = result->size_variance();
+    const double intra = mean_intra_cluster_distance(features, *result);
+    feasible.push_back(Candidate{std::move(*result), k, var, intra});
+  }
+  if (feasible.empty()) return std::nullopt;
+
+  // Eq. 1: keep only minimum-variance candidates.
+  double min_var = std::numeric_limits<double>::infinity();
+  for (const auto& c : feasible) min_var = std::min(min_var, c.var);
+  std::erase_if(feasible, [&](const Candidate& c) { return c.var > min_var; });
+
+  // Among minimum-variance candidates, the correct k is the *smallest* one
+  // whose clusters remain tight (splitting a true group keeps intra ~0 for
+  // every larger k, so intra alone cannot pick k; merging distinct groups
+  // makes intra jump toward the global baseline). Fall back to the tightest
+  // candidate if nothing passes the elbow threshold.
+  constexpr double kTightness = 0.25;
+  std::sort(feasible.begin(), feasible.end(),
+            [](const Candidate& a, const Candidate& b) { return a.k < b.k; });
+  for (auto& c : feasible) {
+    if (c.intra <= kTightness * baseline) return std::move(c.clustering);
+  }
+  auto best = std::min_element(
+      feasible.begin(), feasible.end(),
+      [](const Candidate& a, const Candidate& b) { return a.intra < b.intra; });
+  return std::move(best->clustering);
+}
+
+double mean_intra_cluster_distance(const FeatureMatrix& features,
+                                   const Clustering& clustering) {
+  double sum = 0.0;
+  std::size_t pairs = 0;
+  for (const auto& cluster : clustering.clusters) {
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      for (std::size_t j = i + 1; j < cluster.size(); ++j) {
+        sum += skh::dsp::euclidean_distance(features[cluster[i]],
+                                            features[cluster[j]]);
+        ++pairs;
+      }
+    }
+  }
+  return pairs == 0 ? 0.0 : sum / static_cast<double>(pairs);
+}
+
+}  // namespace skh::ml

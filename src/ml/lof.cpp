@@ -1,0 +1,90 @@
+#include "ml/lof.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/stft.h"
+
+namespace skh::ml {
+
+namespace {
+
+constexpr double kDistanceFloor = 1e-12;
+
+/// Distances from point i to all other points, paired with indices.
+std::vector<std::pair<double, std::size_t>> sorted_distances(
+    std::span<const double> from, const std::vector<std::vector<double>>& pts,
+    std::size_t skip_index) {
+  std::vector<std::pair<double, std::size_t>> d;
+  d.reserve(pts.size());
+  for (std::size_t j = 0; j < pts.size(); ++j) {
+    if (j == skip_index) continue;
+    d.emplace_back(
+        std::max(kDistanceFloor, skh::dsp::euclidean_distance(from, pts[j])),
+        j);
+  }
+  std::sort(d.begin(), d.end());
+  return d;
+}
+
+}  // namespace
+
+std::vector<double> lof_scores(const std::vector<std::vector<double>>& points,
+                               const LofConfig& cfg) {
+  const std::size_t n = points.size();
+  if (cfg.k_neighbors == 0) {
+    throw std::invalid_argument("lof_scores: k_neighbors must be > 0");
+  }
+  if (n <= cfg.k_neighbors) return std::vector<double>(n, 1.0);
+  const std::size_t k = cfg.k_neighbors;
+
+  // k-distance and k-neighborhood of each point.
+  std::vector<double> k_dist(n);
+  std::vector<std::vector<std::size_t>> neighbors(n);
+  std::vector<std::vector<double>> neighbor_dist(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto d = sorted_distances(points[i], points, i);
+    k_dist[i] = d[k - 1].first;
+    // The k-neighborhood includes all points at distance <= k-distance.
+    for (const auto& [dist, j] : d) {
+      if (dist > k_dist[i]) break;
+      neighbors[i].push_back(j);
+      neighbor_dist[i].push_back(dist);
+    }
+  }
+
+  // Local reachability density.
+  std::vector<double> lrd(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double reach_sum = 0.0;
+    for (std::size_t idx = 0; idx < neighbors[i].size(); ++idx) {
+      const std::size_t j = neighbors[i][idx];
+      reach_sum += std::max(k_dist[j], neighbor_dist[i][idx]);
+    }
+    lrd[i] = static_cast<double>(neighbors[i].size()) /
+             std::max(reach_sum, kDistanceFloor);
+  }
+
+  std::vector<double> scores(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double ratio_sum = 0.0;
+    for (std::size_t j : neighbors[i]) ratio_sum += lrd[j] / lrd[i];
+    scores[i] = ratio_sum / static_cast<double>(neighbors[i].size());
+  }
+  return scores;
+}
+
+double lof_score_of(std::span<const double> query,
+                    const std::vector<std::vector<double>>& reference,
+                    const LofConfig& cfg) {
+  if (reference.size() <= cfg.k_neighbors) return 1.0;
+  // Score the query against the reference population by appending it and
+  // reading its score; the reference points dominate the density model.
+  std::vector<std::vector<double>> all = reference;
+  all.emplace_back(query.begin(), query.end());
+  const auto scores = lof_scores(all, cfg);
+  return scores.back();
+}
+
+}  // namespace skh::ml

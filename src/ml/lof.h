@@ -1,0 +1,34 @@
+// Local Outlier Factor (Breunig et al., SIGMOD'00) — the short-term latency
+// anomaly detector of §5.2.
+//
+// Each 30-second window of an endpoint pair's latency samples becomes a
+// seven-dimensional point {p25, p50, p75, min, mean, std, max}; the analyzer
+// keeps a five-minute look-back of such points and flags a new window whose
+// LOF score is high relative to the look-back population.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace skh::ml {
+
+struct LofConfig {
+  std::size_t k_neighbors = 3;   ///< MinPts parameter of LOF
+  double outlier_threshold = 1.5;  ///< score above which a point is anomalous
+};
+
+/// LOF score for every point in `points` (score ~1 for inliers, >> 1 for
+/// outliers). Handles duplicate points via a distance floor. Points must all
+/// have the same dimension; fewer points than k+1 yields all-1 scores.
+[[nodiscard]] std::vector<double> lof_scores(
+    const std::vector<std::vector<double>>& points, const LofConfig& cfg = {});
+
+/// LOF score of a single query point with respect to a reference population
+/// (the look-back windows), without the query influencing the model.
+[[nodiscard]] double lof_score_of(
+    std::span<const double> query,
+    const std::vector<std::vector<double>>& reference,
+    const LofConfig& cfg = {});
+
+}  // namespace skh::ml

@@ -1,0 +1,71 @@
+#include "ml/stats_tests.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace skh::ml {
+
+double LogNormalModel::median() const { return std::exp(mu); }
+
+double LogNormalModel::mean() const {
+  return std::exp(mu + sigma * sigma / 2.0);
+}
+
+double LogNormalModel::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return normal_cdf((std::log(x) - mu) / sigma);
+}
+
+LogNormalModel fit_lognormal(std::span<const double> samples) {
+  std::vector<double> logs;
+  logs.reserve(samples.size());
+  for (double x : samples) {
+    if (x > 0.0) logs.push_back(std::log(x));
+  }
+  if (logs.size() < 2) {
+    throw std::invalid_argument("fit_lognormal: need >= 2 positive samples");
+  }
+  double mean = 0.0;
+  for (double y : logs) mean += y;
+  mean /= static_cast<double>(logs.size());
+  double var = 0.0;
+  for (double y : logs) var += (y - mean) * (y - mean);
+  var /= static_cast<double>(logs.size());  // MLE uses 1/n
+  LogNormalModel m;
+  m.mu = mean;
+  m.sigma = std::sqrt(var);
+  m.n = logs.size();
+  return m;
+}
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+ZTestResult z_test(const LogNormalModel& model, std::span<const double> window,
+                   double alpha) {
+  ZTestResult r;
+  std::vector<double> logs;
+  logs.reserve(window.size());
+  for (double x : window) {
+    if (x > 0.0) logs.push_back(std::log(x));
+  }
+  if (logs.empty() || model.sigma <= 0.0) return r;  // cannot test; accept H0
+  double mean = 0.0;
+  for (double y : logs) mean += y;
+  mean /= static_cast<double>(logs.size());
+  // The baseline mu is itself an estimate from model.n samples; under H0
+  // the difference of the two log-means has variance
+  // sigma^2 (1/n_window + 1/n_baseline). Ignoring the second term inflates
+  // z by up to sqrt(2) and multiplies the false-alarm rate.
+  const double n_window = static_cast<double>(logs.size());
+  const double n_baseline =
+      model.n > 0 ? static_cast<double>(model.n) : n_window;
+  const double se =
+      model.sigma * std::sqrt(1.0 / n_window + 1.0 / n_baseline);
+  r.z = (mean - model.mu) / se;
+  r.p_value = 2.0 * (1.0 - normal_cdf(std::abs(r.z)));
+  r.reject = r.p_value < alpha;
+  return r;
+}
+
+}  // namespace skh::ml

@@ -1,0 +1,51 @@
+// Log-normal modelling and the Z-test used by long-term anomaly detection
+// (§5.2, Figure 14).
+//
+// Healthy long-term RTTs between two RNICs follow a log-normal distribution:
+// Y = ln(X) ~ N(mu, sigma^2). The analyzer fits (mu, sigma) over a 30-minute
+// baseline window and Z-tests each subsequent 30-minute window's log-mean
+// against the fitted model; a significant deviation flags gradual
+// degradation that the short-term LOF detector would absorb.
+#pragma once
+
+#include <span>
+
+namespace skh::ml {
+
+/// Fitted log-normal model of a latency population.
+struct LogNormalModel {
+  double mu = 0.0;     ///< mean of ln(X)
+  double sigma = 1.0;  ///< stddev of ln(X)
+  std::size_t n = 0;   ///< sample size used for the fit
+
+  /// Median of X (= exp(mu)).
+  [[nodiscard]] double median() const;
+  /// Mean of X (= exp(mu + sigma^2/2)).
+  [[nodiscard]] double mean() const;
+  /// CDF of X at x.
+  [[nodiscard]] double cdf(double x) const;
+};
+
+/// Maximum-likelihood fit of a log-normal to strictly positive samples.
+/// Non-positive samples are skipped (they cannot be genuine RTTs).
+/// Throws std::invalid_argument if fewer than two usable samples exist.
+[[nodiscard]] LogNormalModel fit_lognormal(std::span<const double> samples);
+
+/// Standard normal CDF.
+[[nodiscard]] double normal_cdf(double z);
+
+/// Result of a two-sided Z-test of a window's log-mean against a model.
+struct ZTestResult {
+  double z = 0.0;        ///< standardized deviation of the window log-mean
+  double p_value = 1.0;  ///< two-sided p-value
+  bool reject = false;   ///< true iff p_value < alpha
+};
+
+/// Test whether `window` is consistent with `model`: under H0 the window's
+/// log-mean is N(mu, sigma^2 / n)-distributed. Rejection indicates the
+/// latency distribution has shifted (Figure 14's T+1h / T+1.5h case).
+[[nodiscard]] ZTestResult z_test(const LogNormalModel& model,
+                                 std::span<const double> window,
+                                 double alpha = 0.001);
+
+}  // namespace skh::ml

@@ -1,0 +1,266 @@
+#include "overlay/overlay.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace skh::overlay {
+
+std::string_view to_string(NodeKind k) noexcept {
+  switch (k) {
+    case NodeKind::kContainerNs: return "netns";
+    case NodeKind::kVeth: return "veth";
+    case NodeKind::kOvsPort: return "ovs";
+    case NodeKind::kVxlanTunnel: return "vxlan";
+    case NodeKind::kRnicVf: return "vf";
+  }
+  return "unknown";
+}
+
+VPortId OverlayNetwork::new_node(NodeKind kind, HostId host,
+                                 ContainerId container, RnicId rnic) {
+  const VPortId id{static_cast<std::uint32_t>(nodes_.size())};
+  nodes_.push_back(OverlayNode{id, kind, host, container, rnic});
+  return id;
+}
+
+void OverlayNetwork::add_host(HostId host) {
+  if (ovs_of_host_.contains(host)) return;
+  ovs_of_host_[host] =
+      new_node(NodeKind::kOvsPort, host, ContainerId{}, RnicId{});
+  vxlan_of_host_[host] =
+      new_node(NodeKind::kVxlanTunnel, host, ContainerId{}, RnicId{});
+}
+
+void OverlayNetwork::attach_endpoint(Endpoint ep, HostId host,
+                                     std::uint32_t vni) {
+  add_host(host);
+  if (chains_.contains(ep)) {
+    throw std::invalid_argument("attach_endpoint: already attached");
+  }
+  EndpointChain c;
+  c.netns = new_node(NodeKind::kContainerNs, host, ep.container, ep.rnic);
+  c.veth = new_node(NodeKind::kVeth, host, ep.container, ep.rnic);
+  c.ovs = ovs_of_host_.at(host);
+  c.vxlan = vxlan_of_host_.at(host);
+  c.vf = new_node(NodeKind::kRnicVf, host, ep.container, ep.rnic);
+  chains_[ep] = c;
+  host_of_ep_[ep] = host;
+  vni_of_ep_[ep] = vni;
+  members_of_vni_[vni].push_back(ep);
+  ++container_ep_count_[ep.container];
+  if (!offload_valid_.contains(ep.rnic)) offload_valid_[ep.rnic] = true;
+}
+
+void OverlayNetwork::detach_endpoint(Endpoint ep) {
+  const auto it = chains_.find(ep);
+  if (it == chains_.end()) return;
+  const EndpointChain chain = it->second;
+  const HostId host = host_of_ep_.at(ep);
+  const std::uint32_t vni = vni_of_ep_.at(ep);
+
+  // Drop fault exceptions that reference this endpoint's nodes or that
+  // target flows destined to it.
+  auto touches = [&](const RuleKey& k) {
+    if (k.dst == ep) return true;
+    for (VPortId n : {chain.netns, chain.veth, chain.vf}) {
+      if (k.from == n) return true;
+    }
+    return false;
+  };
+  for (auto bit = broken_rules_.begin(); bit != broken_rules_.end();) {
+    if (touches(*bit)) {
+      auto& count = broken_per_host_[node(bit->from).host];
+      if (count > 0) --count;
+      bit = broken_rules_.erase(bit);
+    } else {
+      ++bit;
+    }
+  }
+  for (auto cit = corrupted_rules_.begin(); cit != corrupted_rules_.end();) {
+    if (touches(cit->first)) {
+      cit = corrupted_rules_.erase(cit);
+    } else {
+      ++cit;
+    }
+  }
+
+  auto& members = members_of_vni_[vni];
+  members.erase(std::remove(members.begin(), members.end(), ep),
+                members.end());
+  auto& cc = container_ep_count_[ep.container];
+  if (cc > 0) --cc;
+  chains_.erase(it);
+  host_of_ep_.erase(ep);
+  vni_of_ep_.erase(ep);
+  (void)host;
+}
+
+std::vector<Endpoint> OverlayNetwork::peers_of(const Endpoint& ep) const {
+  std::vector<Endpoint> out;
+  const auto vit = vni_of_ep_.find(ep);
+  if (vit == vni_of_ep_.end()) return out;
+  for (const Endpoint& other : members_of_vni_.at(vit->second)) {
+    if (other.container != ep.container) out.push_back(other);
+  }
+  return out;
+}
+
+bool OverlayNetwork::same_vni(const Endpoint& a, const Endpoint& b) const {
+  const auto ia = vni_of_ep_.find(a);
+  const auto ib = vni_of_ep_.find(b);
+  return ia != vni_of_ep_.end() && ib != vni_of_ep_.end() &&
+         ia->second == ib->second;
+}
+
+std::optional<VPortId> OverlayNetwork::structural_next(
+    const Endpoint& src, const Endpoint& dst, VPortId current) const {
+  if (!attached(src) || !attached(dst)) return std::nullopt;
+  if (!same_vni(src, dst) || src.container == dst.container) {
+    return std::nullopt;  // tenant isolation / NVLink-internal traffic
+  }
+  const EndpointChain& cs = chains_.at(src);
+  const EndpointChain& cd = chains_.at(dst);
+  if (current == cs.netns) return cs.veth;
+  if (current == cs.veth) return cs.ovs;
+  if (current == cs.ovs) return cs.vxlan;
+  if (current == cs.vxlan) return cs.vf;
+  if (current == cs.vf) return cd.vf;  // encapsulated underlay crossing
+  if (current == cd.vf) return cd.vxlan;
+  if (current == cd.vxlan) return cd.ovs;
+  if (current == cd.ovs) return cd.veth;
+  if (current == cd.veth) return cd.netns;
+  return std::nullopt;  // node not on this flow's chain
+}
+
+std::optional<VPortId> OverlayNetwork::next_hop(const Endpoint& src,
+                                                const Endpoint& dst,
+                                                VPortId current) const {
+  const RuleKey key{current, dst};
+  if (broken_rules_.contains(key)) return std::nullopt;
+  const auto cit = corrupted_rules_.find(key);
+  if (cit != corrupted_rules_.end()) return cit->second;
+  return structural_next(src, dst, current);
+}
+
+std::vector<VPortId> OverlayNetwork::overlay_path(Endpoint src,
+                                                  Endpoint dst) const {
+  const EndpointChain& cs = chain_of(src);
+  const EndpointChain& cd = chain_of(dst);
+  return {cs.netns, cs.veth, cs.ovs,  cs.vxlan, cs.vf,
+          cd.vf,    cd.vxlan, cd.ovs, cd.veth,  cd.netns};
+}
+
+const OverlayNode& OverlayNetwork::node(VPortId id) const {
+  if (!id.valid() || id.value() >= nodes_.size()) {
+    throw std::out_of_range("OverlayNetwork::node: bad id");
+  }
+  return nodes_[id.value()];
+}
+
+bool OverlayNetwork::attached(Endpoint ep) const {
+  return chains_.contains(ep);
+}
+
+const EndpointChain& OverlayNetwork::chain_of(Endpoint ep) const {
+  const auto it = chains_.find(ep);
+  if (it == chains_.end()) {
+    throw std::out_of_range("OverlayNetwork::chain_of: endpoint not attached");
+  }
+  return it->second;
+}
+
+std::size_t OverlayNetwork::flow_table_size(HostId host) const {
+  // Per directed connected flow (s -> d): 5 rules on s's host (netns, veth,
+  // ovs, vxlan, vf-tunnel) and 4 on d's host (vf, vxlan, ovs, veth).
+  std::size_t total = 0;
+  for (const auto& [ep, h] : host_of_ep_) {
+    if (h != host) continue;
+    const std::size_t peers = peers_of(ep).size();
+    total += peers * 5   // this endpoint sending
+             + peers * 4;  // this endpoint receiving
+  }
+  const auto bit = broken_per_host_.find(host);
+  const std::size_t broken =
+      bit == broken_per_host_.end() ? 0 : bit->second;
+  return total > broken ? total - broken : 0;
+}
+
+std::vector<FlowRule> OverlayNetwork::ovs_rules_for(RnicId rnic) const {
+  // Regenerate the rules whose from/to involves a VF of `rnic`: per peer
+  // flow, the encap rule (vxlan -> vf), the tunnel rule (vf -> peer vf),
+  // the peer-side tunnel arrival (peer vf -> vf) and the decap rule
+  // (vf -> vxlan).
+  std::vector<FlowRule> out;
+  for (const auto& [ep, chain] : chains_) {
+    if (ep.rnic != rnic) continue;
+    for (const Endpoint& peer : peers_of(ep)) {
+      const EndpointChain& pc = chains_.at(peer);
+      const FlowRule candidates[] = {
+          {chain.vxlan, peer, chain.vf},  // encap toward peer
+          {chain.vf, peer, pc.vf},        // tunnel toward peer
+          {pc.vf, ep, chain.vf},          // peer's tunnel toward us
+          {chain.vf, ep, chain.vxlan},    // decap for inbound flow
+      };
+      for (const auto& r : candidates) {
+        const RuleKey key{r.from, r.dst};
+        if (broken_rules_.contains(key)) continue;
+        const auto cit = corrupted_rules_.find(key);
+        out.push_back(cit == corrupted_rules_.end()
+                          ? r
+                          : FlowRule{r.from, r.dst, cit->second});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<FlowRule> OverlayNetwork::offloaded_rules_for(RnicId rnic) const {
+  const auto valid_it = offload_valid_.find(rnic);
+  if (valid_it != offload_valid_.end() && !valid_it->second) return {};
+  return ovs_rules_for(rnic);
+}
+
+std::vector<FlowRule> OverlayNetwork::offload_inconsistencies(
+    RnicId rnic) const {
+  const auto ovs = ovs_rules_for(rnic);
+  const auto off = offloaded_rules_for(rnic);
+  std::vector<FlowRule> out;
+  std::set_symmetric_difference(ovs.begin(), ovs.end(), off.begin(), off.end(),
+                                std::back_inserter(out));
+  return out;
+}
+
+bool OverlayNetwork::offload_desynced(RnicId rnic) const {
+  const auto it = offload_valid_.find(rnic);
+  return it != offload_valid_.end() && !it->second;
+}
+
+void OverlayNetwork::break_rule(VPortId from, Endpoint dst) {
+  const RuleKey key{from, dst};
+  if (broken_rules_.insert(key).second) {
+    ++broken_per_host_[node(from).host];
+  }
+  corrupted_rules_.erase(key);
+}
+
+void OverlayNetwork::corrupt_rule_to_loop(VPortId from, Endpoint dst,
+                                          VPortId loop_to) {
+  const RuleKey key{from, dst};
+  if (broken_rules_.erase(key) > 0) {
+    auto& count = broken_per_host_[node(from).host];
+    if (count > 0) --count;
+  }
+  corrupted_rules_[key] = loop_to;
+}
+
+void OverlayNetwork::invalidate_offload(RnicId rnic) {
+  offload_valid_[rnic] = false;
+}
+
+void OverlayNetwork::resync_offload(RnicId rnic) {
+  offload_valid_[rnic] = true;
+}
+
+}  // namespace skh::overlay

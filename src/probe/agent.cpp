@@ -1,0 +1,98 @@
+#include "probe/agent.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace skh::probe {
+
+void Collector::ingest(const ProbeResult& r) {
+  by_pair_[r.pair].push_back(r);
+  ++total_;
+}
+
+const std::vector<ProbeResult>& Collector::results_for(
+    const EndpointPair& pair) const {
+  static const std::vector<ProbeResult> kEmpty;
+  const auto it = by_pair_.find(pair);
+  return it == by_pair_.end() ? kEmpty : it->second;
+}
+
+std::vector<EndpointPair> Collector::pairs() const {
+  std::vector<EndpointPair> out;
+  out.reserve(by_pair_.size());
+  for (const auto& [pair, _] : by_pair_) out.push_back(pair);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Collector::trim_before(SimTime cutoff) {
+  for (auto& [pair, results] : by_pair_) {
+    const auto it = std::find_if(
+        results.begin(), results.end(),
+        [&](const ProbeResult& r) { return r.sent_at >= cutoff; });
+    total_ -= static_cast<std::size_t>(it - results.begin());
+    results.erase(results.begin(), it);
+  }
+}
+
+void Collector::clear() {
+  by_pair_.clear();
+  total_ = 0;
+}
+
+Agent::Agent(ContainerId owner, std::vector<Endpoint> own_endpoints)
+    : owner_(owner), own_endpoints_(std::move(own_endpoints)) {}
+
+void Agent::set_ping_list(std::vector<EndpointPair> pairs) {
+  targets_.clear();
+  for (auto& p : pairs) {
+    const bool mine = std::any_of(
+        own_endpoints_.begin(), own_endpoints_.end(),
+        [&](const Endpoint& e) { return e == p.src; });
+    if (!mine) {
+      throw std::invalid_argument("set_ping_list: pair source is not ours");
+    }
+    const auto reg = peer_registered_.find(p.dst.container);
+    targets_.push_back(
+        Target{p, reg != peer_registered_.end() && reg->second});
+  }
+}
+
+void Agent::activate_destination(ContainerId peer) {
+  peer_registered_[peer] = true;
+  for (auto& t : targets_) {
+    if (t.pair.dst.container == peer) t.active = true;
+  }
+}
+
+void Agent::deactivate_destination(ContainerId peer) {
+  peer_registered_[peer] = false;
+  for (auto& t : targets_) {
+    if (t.pair.dst.container == peer) t.active = false;
+  }
+}
+
+void Agent::replace_ping_list(std::vector<EndpointPair> pairs) {
+  set_ping_list(std::move(pairs));
+}
+
+std::vector<ProbeResult> Agent::run_round(ProbeEngine& engine, SimTime now,
+                                          Collector& sink) {
+  std::vector<ProbeResult> out;
+  out.reserve(targets_.size());
+  for (const auto& t : targets_) {
+    if (!t.active) continue;
+    out.push_back(engine.probe(t.pair.src, t.pair.dst, now));
+    sink.ingest(out.back());
+    ++probes_sent_;
+  }
+  return out;
+}
+
+std::size_t Agent::active_targets() const {
+  return static_cast<std::size_t>(
+      std::count_if(targets_.begin(), targets_.end(),
+                    [](const Target& t) { return t.active; }));
+}
+
+}  // namespace skh::probe

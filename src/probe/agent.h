@@ -1,0 +1,82 @@
+// The per-container probing agent (§6: sidecar container sharing the
+// training container's network namespace).
+//
+// An agent receives its basic ping list from the controller at container
+// start but keeps every target *inactive* until the destination container
+// registers itself as ready — the incremental activation that prevents
+// startup-phase false positives (§5.1). Registration and deregistration are
+// driven by the orchestrator's running/stopped callbacks, i.e. by the data
+// plane, not the controller.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "probe/engine.h"
+#include "probe/probe_types.h"
+
+namespace skh::probe {
+
+/// Sink receiving probe results (the analyzer's ingestion path).
+class Collector {
+ public:
+  void ingest(const ProbeResult& r);
+
+  [[nodiscard]] const std::vector<ProbeResult>& results_for(
+      const EndpointPair& pair) const;
+  [[nodiscard]] std::size_t total_results() const noexcept { return total_; }
+  [[nodiscard]] std::vector<EndpointPair> pairs() const;
+  /// Drop results older than `horizon` before `now` (bounded memory).
+  void trim_before(SimTime cutoff);
+  void clear();
+
+ private:
+  std::unordered_map<EndpointPair, std::vector<ProbeResult>> by_pair_;
+  std::size_t total_ = 0;
+};
+
+class Agent {
+ public:
+  Agent(ContainerId owner, std::vector<Endpoint> own_endpoints);
+
+  /// Install the (inactive) ping list; pairs whose source is not one of this
+  /// agent's endpoints are rejected with std::invalid_argument.
+  void set_ping_list(std::vector<EndpointPair> pairs);
+
+  /// Registration: activate all targets destined to `peer`'s endpoints.
+  void activate_destination(ContainerId peer);
+  /// Deregistration (peer stopping/crashed): deactivate its targets.
+  void deactivate_destination(ContainerId peer);
+
+  /// Replace the target set with `pairs` (runtime skeleton optimization);
+  /// activation states of known destinations are preserved.
+  void replace_ping_list(std::vector<EndpointPair> pairs);
+
+  /// Probe every active target once; results go to `sink` and are also
+  /// returned for immediate analysis (saves the analyzer a rescan).
+  std::vector<ProbeResult> run_round(ProbeEngine& engine, SimTime now,
+                                     Collector& sink);
+
+  [[nodiscard]] ContainerId owner() const noexcept { return owner_; }
+  [[nodiscard]] std::size_t total_targets() const noexcept {
+    return targets_.size();
+  }
+  [[nodiscard]] std::size_t active_targets() const;
+  [[nodiscard]] std::size_t probes_sent() const noexcept {
+    return probes_sent_;
+  }
+
+ private:
+  struct Target {
+    EndpointPair pair;
+    bool active = false;
+  };
+
+  ContainerId owner_;
+  std::vector<Endpoint> own_endpoints_;
+  std::vector<Target> targets_;
+  std::unordered_map<ContainerId, bool> peer_registered_;
+  std::size_t probes_sent_ = 0;
+};
+
+}  // namespace skh::probe

@@ -1,0 +1,68 @@
+// The probe engine: simulates one RDMA ping through overlay and underlay.
+//
+// A probe from endpoint S to endpoint D
+//   1. walks S's and D's logical overlay chains (flow-table rules; a missing
+//      rule or loop drops the probe),
+//   2. rides the ECMP-selected underlay path of (S.rnic, D.rnic),
+//   3. accumulates per-component degradation from the fault injector —
+//      extra latency, loss probability, hard unreachability — for every
+//      physical link/switch, the two RNICs, the two hosts (kernel/board/
+//      config scope), the two virtual switches, and the two containers,
+//   4. adds the RNIC-offload slow-path penalty when the offloaded flow
+//      tables have been invalidated (the Figure 18 case), and
+//   5. returns an RTT with multiplicative log-normal jitter, or a drop.
+#pragma once
+
+#include "common/rng.h"
+#include "overlay/overlay.h"
+#include "probe/probe_types.h"
+#include "sim/fault.h"
+#include "topo/topology.h"
+
+namespace skh::probe {
+
+struct EngineConfig {
+  double host_stack_us = 2.0;      ///< per-end software/NIC processing
+  double jitter_sigma = 0.06;      ///< log-normal RTT jitter
+  double slow_path_extra_us = 104.0;  ///< RTT penalty, offload invalidated
+                                      ///< (Fig. 18: 16us -> 120us)
+  std::size_t max_overlay_steps = 32;  ///< loop guard for the chain walk
+};
+
+class ProbeEngine {
+ public:
+  ProbeEngine(const topo::Topology& topo,
+              const overlay::OverlayNetwork& overlay,
+              const sim::FaultInjector& faults, RngStream rng,
+              EngineConfig cfg = {});
+
+  /// Send one probe at simulated time `t`.
+  [[nodiscard]] ProbeResult probe(Endpoint src, Endpoint dst, SimTime t);
+
+  /// Healthy-baseline RTT of the pair (no faults, no jitter); used by tests
+  /// and the case-study bench.
+  [[nodiscard]] double baseline_rtt_us(Endpoint src, Endpoint dst) const;
+
+  [[nodiscard]] const EngineConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct PathDegradation {
+    bool unreachable = false;
+    double extra_latency_us = 0.0;
+    double delivery_probability = 1.0;
+  };
+
+  /// True iff the overlay forwarding chain from src to dst completes.
+  [[nodiscard]] bool overlay_reachable(Endpoint src, Endpoint dst) const;
+  [[nodiscard]] PathDegradation degradation(Endpoint src, Endpoint dst,
+                                            SimTime t) const;
+  void accumulate(sim::ComponentRef ref, SimTime t, PathDegradation& d) const;
+
+  const topo::Topology& topo_;
+  const overlay::OverlayNetwork& overlay_;
+  const sim::FaultInjector& faults_;
+  RngStream rng_;
+  EngineConfig cfg_;
+};
+
+}  // namespace skh::probe

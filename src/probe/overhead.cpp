@@ -1,0 +1,30 @@
+#include "probe/overhead.h"
+
+#include <cmath>
+
+namespace skh::probe {
+
+OverheadSample AgentOverheadModel::sample(SimTime elapsed,
+                                          std::size_t active_targets) const {
+  OverheadSample s;
+  const double t = std::max(0.0, elapsed.to_seconds());
+  const double transient = std::exp(-t / cfg_.startup_tau_s);
+  const double target_load =
+      static_cast<double>(active_targets) / 100.0;
+  s.cpu_percent = cfg_.steady_cpu_percent +
+                  cfg_.cpu_per_100_targets * target_load +
+                  (cfg_.startup_cpu_percent - cfg_.steady_cpu_percent) *
+                      transient;
+  s.memory_mb = cfg_.base_memory_mb +
+                cfg_.memory_per_target_kb * static_cast<double>(active_targets) /
+                    1024.0 +
+                cfg_.startup_extra_mb * transient;
+  return s;
+}
+
+double round_time_seconds(std::size_t max_targets_per_agent,
+                          double probe_cost_ms) {
+  return static_cast<double>(max_targets_per_agent) * probe_cost_ms / 1e3;
+}
+
+}  // namespace skh::probe

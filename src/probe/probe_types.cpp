@@ -1,0 +1,17 @@
+#include "probe/probe_types.h"
+
+namespace skh::probe {
+
+std::vector<EndpointPair> full_mesh_pairs(
+    const std::vector<Endpoint>& endpoints) {
+  std::vector<EndpointPair> out;
+  for (const Endpoint& s : endpoints) {
+    for (const Endpoint& d : endpoints) {
+      if (s.container == d.container) continue;  // intra-host rides NVLink
+      out.push_back(EndpointPair{s, d});
+    }
+  }
+  return out;
+}
+
+}  // namespace skh::probe

@@ -1,0 +1,42 @@
+// Probe primitives shared by the engine, agents, and analyzer.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace skh::probe {
+
+/// Outcome of one RDMA ping.
+struct ProbeResult {
+  EndpointPair pair;
+  SimTime sent_at;
+  bool delivered = false;
+  double rtt_us = 0.0;  ///< valid iff delivered
+};
+
+/// Full-mesh ping list: every ordered (src, dst) pair of distinct
+/// containers' endpoints within one task — the Pingmesh baseline.
+[[nodiscard]] std::vector<EndpointPair> full_mesh_pairs(
+    const std::vector<Endpoint>& endpoints);
+
+/// Rail-pruned "basic" ping list (§5.1 preload phase): full mesh restricted
+/// to pairs whose RNICs hold the same rank within their containers — the
+/// 1/R scale reduction on R-rail hosts. `rank_of` must return the RNIC's
+/// rank (rail) within its container.
+template <typename RankFn>
+[[nodiscard]] std::vector<EndpointPair> rail_pruned_pairs(
+    const std::vector<Endpoint>& endpoints, RankFn&& rank_of) {
+  std::vector<EndpointPair> out;
+  for (const Endpoint& s : endpoints) {
+    for (const Endpoint& d : endpoints) {
+      if (s.container == d.container) continue;
+      if (rank_of(s) != rank_of(d)) continue;
+      out.push_back(EndpointPair{s, d});
+    }
+  }
+  return out;
+}
+
+}  // namespace skh::probe

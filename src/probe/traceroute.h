@@ -1,0 +1,42 @@
+// Traceroute probing (§5.3): the underlay host agent replays a pair's ECMP
+// path hop by hop, reporting how far probes get. SkeletonHunter uses this
+// to disambiguate which hop of an unreachable path is dead when tomography
+// voting ties (the scheme shared with R-Pingmesh and 007).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "sim/fault.h"
+#include "topo/topology.h"
+
+namespace skh::probe {
+
+struct TracerouteHop {
+  LinkId link;            ///< link traversed to reach this hop
+  std::optional<SwitchId> sw;  ///< switch reached (nullopt = destination NIC)
+  bool responded = false;
+  double rtt_us = 0.0;    ///< cumulative RTT to this hop when it responded
+};
+
+struct TracerouteResult {
+  RnicId src;
+  RnicId dst;
+  std::vector<TracerouteHop> hops;
+  bool reached_destination = false;
+
+  /// Index of the first silent hop, or nullopt if all responded.
+  [[nodiscard]] std::optional<std::size_t> first_dead_hop() const;
+};
+
+/// Replay the ECMP path of (src, dst) hop by hop at time `t`, accumulating
+/// per-hop fault state: a hop responds iff every link/switch up to it is
+/// passable (hard unreachability blocks; loss/latency effects do not stop
+/// a traceroute, which retries per hop).
+[[nodiscard]] TracerouteResult traceroute(const topo::Topology& topo,
+                                          const sim::FaultInjector& faults,
+                                          RnicId src, RnicId dst, SimTime t);
+
+}  // namespace skh::probe

@@ -1,0 +1,38 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace skh::sim {
+
+void EventQueue::schedule_at(SimTime at, Callback cb) {
+  if (at < now_) at = now_;
+  heap_.push(Entry{at, next_seq_++, std::move(cb)});
+}
+
+void EventQueue::schedule_after(SimTime delay, Callback cb) {
+  schedule_at(now_ + delay, std::move(cb));
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the callback handle instead (std::function copy is cheap enough
+  // at simulation granularity).
+  Entry e = heap_.top();
+  heap_.pop();
+  now_ = e.at;
+  e.cb();
+  return true;
+}
+
+void EventQueue::run_until(SimTime until) {
+  while (!heap_.empty() && heap_.top().at <= until) step();
+  if (now_ < until) now_ = until;
+}
+
+void EventQueue::run_all() {
+  while (step()) {
+  }
+}
+
+}  // namespace skh::sim

@@ -1,0 +1,61 @@
+// Discrete-event simulation core.
+//
+// The cluster, probing, and fault subsystems all advance on one simulated
+// clock: container startups, probe rounds, fault activation windows, and
+// analyzer window closes are events on this queue. Events at equal times
+// run in scheduling order (stable), keeping campaigns deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/time.h"
+
+namespace skh::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` at absolute simulated time `at`. Scheduling in the past
+  /// (before now()) is clamped to now(): the event runs on the next step.
+  void schedule_at(SimTime at, Callback cb);
+
+  /// Schedule `cb` `delay` after the current time.
+  void schedule_after(SimTime delay, Callback cb);
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+
+  /// Run the earliest event; returns false when the queue is empty.
+  bool step();
+
+  /// Run events until the queue drains or the clock passes `until`.
+  /// Events scheduled exactly at `until` are executed.
+  void run_until(SimTime until);
+
+  /// Drain the queue completely.
+  void run_all();
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  SimTime now_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace skh::sim

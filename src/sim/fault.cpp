@@ -1,0 +1,281 @@
+#include "sim/fault.h"
+
+#include <array>
+#include <sstream>
+#include <stdexcept>
+
+namespace skh::sim {
+
+namespace {
+
+// Table 1, one row per issue, in paper order. `target_kind` maps the
+// paper's component column onto a concrete simulated entity kind.
+constexpr std::array<IssueInfo, 20> kIssueTable{{
+    {IssueType::kCrcError, ComponentClass::kInterHostNetwork,
+     Symptom::kPacketLoss, ComponentKind::kPhysicalLink,
+     "Physical fabric causes packet corruption.", true},
+    {IssueType::kSwitchPortDown, ComponentClass::kInterHostNetwork,
+     Symptom::kUnconnectivity, ComponentKind::kPhysicalLink,
+     "The switch port is unreachable.", true},
+    {IssueType::kSwitchPortFlapping, ComponentClass::kInterHostNetwork,
+     Symptom::kPacketLoss, ComponentKind::kPhysicalLink,
+     "The switch port is flapping.", true},
+    {IssueType::kSwitchOffline, ComponentClass::kInterHostNetwork,
+     Symptom::kUnconnectivity, ComponentKind::kPhysicalSwitch,
+     "The switch crashes or is manually set to offline for upgrade.", true},
+    {IssueType::kRnicHardwareFailure, ComponentClass::kRnic,
+     Symptom::kUnconnectivity, ComponentKind::kRnic,
+     "Hardware components of the RNIC are not working normally.", true},
+    {IssueType::kRnicFirmwareNotResponding, ComponentClass::kRnic,
+     Symptom::kHighLatency, ComponentKind::kRnic,
+     "RNIC firmware bugs result in high latency of specific flows.", true},
+    {IssueType::kRnicPortDown, ComponentClass::kRnic,
+     Symptom::kUnconnectivity, ComponentKind::kRnic,
+     "The RNIC port is consistently down.", true},
+    {IssueType::kRnicPortFlapping, ComponentClass::kRnic,
+     Symptom::kPacketLoss, ComponentKind::kRnic,
+     "The RNIC port is periodically down.", true},
+    {IssueType::kOffloadingFailure, ComponentClass::kRnic,
+     Symptom::kHighLatency, ComponentKind::kRnic,
+     "Packet en-/de-capsulation cannot be offloaded to the RNIC.", true},
+    {IssueType::kBondError, ComponentClass::kRnic, Symptom::kUnconnectivity,
+     ComponentKind::kRnic, "Unable to bond the ports of the RNIC.", true},
+    {IssueType::kGidChange, ComponentClass::kKernel, Symptom::kUnconnectivity,
+     ComponentKind::kHost,
+     "The network service of the OS is restarted unexpectedly.", true},
+    {IssueType::kPcieNicError, ComponentClass::kHostBoard,
+     Symptom::kHighLatency, ComponentKind::kHost,
+     "The RNICs in the same host cannot communicate with each other.", true},
+    {IssueType::kGpuDirectRdmaError, ComponentClass::kHostBoard,
+     Symptom::kHighLatency, ComponentKind::kHost,
+     "The GPU cannot directly communicate with the RNIC in the container.",
+     true},
+    {IssueType::kNotUsingRdma, ComponentClass::kVirtualSwitch,
+     Symptom::kHighLatency, ComponentKind::kVSwitch,
+     "Flows that should be transmitted over RDMA actually use TCP/UDP.",
+     true},
+    {IssueType::kRepetitiveFlowOffloading, ComponentClass::kVirtualSwitch,
+     Symptom::kHighLatency, ComponentKind::kVSwitch,
+     "Offloaded flows are frequently invalidated in the RNIC.", true},
+    {IssueType::kSuboptimalFlowOffloading, ComponentClass::kVirtualSwitch,
+     Symptom::kHighLatency, ComponentKind::kVSwitch,
+     "Flows are offloaded in incorrect orders; some flows see high latency.",
+     true},
+    {IssueType::kContainerCrash, ComponentClass::kContainerRuntime,
+     Symptom::kUnconnectivity, ComponentKind::kContainer,
+     "Containers crash shortly after creation due to runtime defects.", true},
+    {IssueType::kHugepageMisconfig, ComponentClass::kConfiguration,
+     Symptom::kHighLatency, ComponentKind::kHost,
+     "The host's hugepage configuration is not consistent with the RNIC.",
+     true},
+    {IssueType::kCongestionControlIssue, ComponentClass::kConfiguration,
+     Symptom::kHighLatency, ComponentKind::kPhysicalSwitch,
+     "Congestion control of a specific switch queue is not enabled.", true},
+    {IssueType::kNvlinkDegradation, ComponentClass::kIntraHost, Symptom::kNone,
+     ComponentKind::kHost,
+     "GPU-to-GPU / GPU-to-PCIe intra-host issue; invisible to probing.",
+     false},
+}};
+
+}  // namespace
+
+std::string_view to_string(IssueType t) noexcept {
+  switch (t) {
+    case IssueType::kCrcError: return "CRC error";
+    case IssueType::kSwitchPortDown: return "Switch port down";
+    case IssueType::kSwitchPortFlapping: return "Switch port flapping";
+    case IssueType::kSwitchOffline: return "Switch offline";
+    case IssueType::kRnicHardwareFailure: return "RNIC hardware failure";
+    case IssueType::kRnicFirmwareNotResponding:
+      return "RNIC firmware not responding";
+    case IssueType::kRnicPortDown: return "RNIC port down";
+    case IssueType::kRnicPortFlapping: return "RNIC port flapping";
+    case IssueType::kOffloadingFailure: return "Offloading failure";
+    case IssueType::kBondError: return "Bond error";
+    case IssueType::kGidChange: return "GID change";
+    case IssueType::kPcieNicError: return "PCIe-NIC error";
+    case IssueType::kGpuDirectRdmaError: return "GPU direct RDMA error";
+    case IssueType::kNotUsingRdma: return "Not using RDMA";
+    case IssueType::kRepetitiveFlowOffloading:
+      return "Repetitive flow offloading";
+    case IssueType::kSuboptimalFlowOffloading:
+      return "Suboptimal flow offloading";
+    case IssueType::kContainerCrash: return "Container crash";
+    case IssueType::kHugepageMisconfig: return "Hugepage misconfiguration";
+    case IssueType::kCongestionControlIssue:
+      return "Congestion control issue";
+    case IssueType::kNvlinkDegradation: return "NVLink degradation";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(Symptom s) noexcept {
+  switch (s) {
+    case Symptom::kPacketLoss: return "Packet Loss";
+    case Symptom::kUnconnectivity: return "Unconnectivity";
+    case Symptom::kHighLatency: return "High Latency";
+    case Symptom::kNone: return "None";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(ComponentClass c) noexcept {
+  switch (c) {
+    case ComponentClass::kInterHostNetwork: return "Inter-host Network";
+    case ComponentClass::kRnic: return "RNIC";
+    case ComponentClass::kKernel: return "Kernel";
+    case ComponentClass::kHostBoard: return "Host Board";
+    case ComponentClass::kVirtualSwitch: return "Virtual Switch";
+    case ComponentClass::kContainerRuntime: return "Container Runtime";
+    case ComponentClass::kConfiguration: return "Configuration";
+    case ComponentClass::kIntraHost: return "Intra-host (NVLink/PCIe)";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(ComponentKind k) noexcept {
+  switch (k) {
+    case ComponentKind::kPhysicalLink: return "link";
+    case ComponentKind::kPhysicalSwitch: return "switch";
+    case ComponentKind::kRnic: return "rnic";
+    case ComponentKind::kHost: return "host";
+    case ComponentKind::kVSwitch: return "vswitch";
+    case ComponentKind::kContainer: return "container";
+  }
+  return "unknown";
+}
+
+std::string to_string(ComponentRef r) {
+  std::ostringstream os;
+  os << to_string(r.kind) << '#' << r.index;
+  return os.str();
+}
+
+const IssueInfo& issue_info(IssueType t) {
+  for (const auto& info : kIssueTable) {
+    if (info.type == t) return info;
+  }
+  throw std::invalid_argument("issue_info: unknown issue type");
+}
+
+std::span<const IssueInfo> all_issue_infos() {
+  return {kIssueTable.data(), kIssueTable.size()};
+}
+
+FaultEffect default_effect(IssueType t) {
+  FaultEffect e;
+  switch (issue_info(t).symptom) {
+    case Symptom::kPacketLoss:
+      e.loss_probability = 0.15;
+      break;
+    case Symptom::kUnconnectivity:
+      e.unreachable = true;
+      break;
+    case Symptom::kHighLatency:
+      // Fig. 18 case: latency jumps from ~16us to ~120us with <0.1% loss.
+      e.extra_latency_us = 104.0;
+      e.loss_probability = 0.0008;
+      break;
+    case Symptom::kNone:
+      break;
+  }
+  switch (t) {
+    case IssueType::kSwitchPortFlapping:
+      e.flap_period = SimTime::seconds(5.0);
+      e.loss_probability = 1.0;  // all-or-nothing per flap phase
+      break;
+    case IssueType::kRnicPortFlapping:
+      e.flap_period = SimTime::seconds(8.0);
+      e.loss_probability = 1.0;
+      break;
+    case IssueType::kCrcError:
+      e.loss_probability = 0.08;  // corruption drops a fraction of packets
+      break;
+    case IssueType::kRepetitiveFlowOffloading:
+      // Frequent re-offloading: moderate latency inflation, bursty.
+      e.extra_latency_us = 60.0;
+      break;
+    case IssueType::kCongestionControlIssue:
+      e.extra_latency_us = 45.0;
+      break;
+    default:
+      break;
+  }
+  return e;
+}
+
+bool Fault::active_at(SimTime t) const noexcept {
+  return t >= start && t < end;
+}
+
+bool Fault::degrading_at(SimTime t) const noexcept {
+  if (!active_at(t)) return false;
+  if (!effect.flap_period) return true;
+  const auto period = effect.flap_period->raw_nanos();
+  if (period <= 0) return true;
+  const auto phase = (t - start).raw_nanos() / period;
+  return (phase % 2) == 1;
+}
+
+std::uint32_t FaultInjector::inject(IssueType type, ComponentRef target,
+                                    SimTime start, SimTime end) {
+  return inject(type, target, start, end, default_effect(type));
+}
+
+std::uint32_t FaultInjector::inject(IssueType type, ComponentRef target,
+                                    SimTime start, SimTime end,
+                                    const FaultEffect& effect) {
+  Fault f;
+  f.id = static_cast<std::uint32_t>(faults_.size());
+  f.type = type;
+  f.target = target;
+  f.effect = effect;
+  f.start = start;
+  f.end = end;
+  faults_.push_back(f);
+  return f.id;
+}
+
+std::uint32_t FaultInjector::inject_phantom(ComponentRef target,
+                                            SimTime start, SimTime end) {
+  FaultEffect effect;
+  effect.unreachable = true;  // a dead agent answers nothing
+  const auto id =
+      inject(IssueType::kContainerCrash, target, start, end, effect);
+  faults_[id].ground_truth = false;
+  return id;
+}
+
+void FaultInjector::repair(std::uint32_t fault_id, SimTime at) {
+  if (fault_id >= faults_.size()) {
+    throw std::out_of_range("FaultInjector::repair: bad id");
+  }
+  auto& f = faults_[fault_id];
+  if (at < f.end) f.end = at;
+}
+
+const Fault& FaultInjector::fault(std::uint32_t id) const {
+  if (id >= faults_.size()) {
+    throw std::out_of_range("FaultInjector::fault: bad id");
+  }
+  return faults_[id];
+}
+
+std::vector<const Fault*> FaultInjector::active_on(ComponentRef c,
+                                                   SimTime t) const {
+  std::vector<const Fault*> out;
+  for (const auto& f : faults_) {
+    if (f.target == c && f.degrading_at(t)) out.push_back(&f);
+  }
+  return out;
+}
+
+std::vector<const Fault*> FaultInjector::active_at(SimTime t) const {
+  std::vector<const Fault*> out;
+  for (const auto& f : faults_) {
+    if (f.active_at(t)) out.push_back(&f);
+  }
+  return out;
+}
+
+}  // namespace skh::sim

@@ -1,0 +1,182 @@
+// Fault model: the 19 production issue types of Table 1 plus the intra-host
+// faults that §7.3 identifies as invisible to end-to-end probing.
+//
+// The injector is the experiment's ground truth: every injected fault names
+// the component it degrades, and the accuracy bench scores SkeletonHunter's
+// detections/localizations against that record.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace skh::sim {
+
+/// The 19 issue types of Table 1, numbered as in the paper, plus the
+/// intra-host NVLink fault class that probing cannot see (§7.3).
+enum class IssueType : std::uint8_t {
+  kCrcError = 1,                 // 1  physical fabric corrupts packets
+  kSwitchPortDown = 2,           // 2  switch port unreachable
+  kSwitchPortFlapping = 3,       // 3  switch port flapping
+  kSwitchOffline = 4,            // 4  switch crash / maintenance
+  kRnicHardwareFailure = 5,      // 5  RNIC hardware broken
+  kRnicFirmwareNotResponding = 6,// 6  firmware bug: high latency flows
+  kRnicPortDown = 7,             // 7  RNIC port consistently down
+  kRnicPortFlapping = 8,         // 8  RNIC port periodically down
+  kOffloadingFailure = 9,        // 9  en/de-cap not offloaded to RNIC
+  kBondError = 10,               // 10 cannot bond RNIC ports
+  kGidChange = 11,               // 11 OS network service restarted
+  kPcieNicError = 12,            // 12 RNICs on one host cannot talk
+  kGpuDirectRdmaError = 13,      // 13 GPU cannot reach RNIC directly
+  kNotUsingRdma = 14,            // 14 flows fall back to TCP/UDP
+  kRepetitiveFlowOffloading = 15,// 15 offloaded flows keep invalidating
+  kSuboptimalFlowOffloading = 16,// 16 flows offloaded in wrong order
+  kContainerCrash = 17,          // 17 container runtime defect
+  kHugepageMisconfig = 18,       // 18 hugepage config inconsistent w/ RNIC
+  kCongestionControlIssue = 19,  // 19 switch queue CC not enabled
+  kNvlinkDegradation = 20,       // §7.3 GPU-GPU / GPU-PCIe, non-network
+};
+
+/// Observable symptom class (Table 1 "Symptoms" column).
+enum class Symptom : std::uint8_t {
+  kPacketLoss,
+  kUnconnectivity,
+  kHighLatency,
+  kNone,  ///< invisible to end-to-end probing (intra-host faults)
+};
+
+/// Component taxonomy of Table 1 ("Components" column).
+enum class ComponentClass : std::uint8_t {
+  kInterHostNetwork,
+  kRnic,
+  kKernel,
+  kHostBoard,
+  kVirtualSwitch,
+  kContainerRuntime,
+  kConfiguration,
+  kIntraHost,  ///< NVLink / GPU-PCIe; outside SkeletonHunter's scope
+};
+
+/// Which concrete simulated entity a fault (or a localization verdict)
+/// points at.
+enum class ComponentKind : std::uint8_t {
+  kPhysicalLink,
+  kPhysicalSwitch,
+  kRnic,
+  kHost,       // host board / kernel / configuration scope
+  kVSwitch,    // the OVS instance on a host
+  kContainer,  // container runtime scope
+};
+
+/// A concrete component instance: kind + dense index within that kind.
+struct ComponentRef {
+  ComponentKind kind = ComponentKind::kHost;
+  std::uint32_t index = 0;
+
+  friend constexpr auto operator<=>(const ComponentRef&,
+                                    const ComponentRef&) noexcept = default;
+};
+
+[[nodiscard]] std::string_view to_string(IssueType t) noexcept;
+[[nodiscard]] std::string_view to_string(Symptom s) noexcept;
+[[nodiscard]] std::string_view to_string(ComponentClass c) noexcept;
+[[nodiscard]] std::string_view to_string(ComponentKind k) noexcept;
+[[nodiscard]] std::string to_string(ComponentRef r);
+
+/// Static metadata of an issue type (Table 1 row).
+struct IssueInfo {
+  IssueType type;
+  ComponentClass component_class;
+  Symptom symptom;
+  ComponentKind target_kind;  ///< what kind of entity this issue degrades
+  std::string_view detail;
+  bool probe_visible;  ///< false for intra-host faults (§7.3 false negatives)
+};
+
+/// Table-1 metadata for every issue type.
+[[nodiscard]] const IssueInfo& issue_info(IssueType t);
+[[nodiscard]] std::span<const IssueInfo> all_issue_infos();
+
+/// Effect parameters a fault applies to traffic crossing its component.
+struct FaultEffect {
+  double loss_probability = 0.0;   ///< per-probe drop probability
+  double extra_latency_us = 0.0;   ///< added RTT latency per traversal
+  bool unreachable = false;        ///< hard connectivity break
+  /// Flapping: effect only active while (t / period) has odd parity.
+  std::optional<SimTime> flap_period;
+};
+
+/// Default symptom-faithful effect for an issue type: loss rates, latency
+/// inflations, and flap periods chosen to reproduce the Table 1 symptoms
+/// (e.g. the Fig. 18 case: 16us -> 120us plus <0.1% loss).
+[[nodiscard]] FaultEffect default_effect(IssueType t);
+
+/// One injected fault instance.
+struct Fault {
+  std::uint32_t id = 0;
+  IssueType type = IssueType::kCrcError;
+  ComponentRef target;
+  FaultEffect effect;
+  SimTime start;
+  SimTime end;  ///< exclusive; use e.g. SimTime::hours(1e5) for "until fixed"
+  /// False => a monitoring-system defect (e.g. a crashed sidecar agent,
+  /// §7.3), which degrades probes like a real fault but is NOT a network
+  /// failure: cases it triggers score as false positives.
+  bool ground_truth = true;
+
+  [[nodiscard]] bool active_at(SimTime t) const noexcept;
+  /// Whether the degradation applies at `t` (accounts for flapping phase).
+  [[nodiscard]] bool degrading_at(SimTime t) const noexcept;
+};
+
+/// Registry of injected faults; the ground truth of every experiment.
+class FaultInjector {
+ public:
+  /// Inject a fault with the issue type's default effect.
+  std::uint32_t inject(IssueType type, ComponentRef target, SimTime start,
+                       SimTime end);
+  /// Inject with a custom effect (used by ablation benches).
+  std::uint32_t inject(IssueType type, ComponentRef target, SimTime start,
+                       SimTime end, const FaultEffect& effect);
+
+  /// Inject a monitoring-system defect (ground_truth = false): probes
+  /// toward `target` fail, but scoring treats resulting cases as false
+  /// positives (§7.3's crashed-agent false detections).
+  std::uint32_t inject_phantom(ComponentRef target, SimTime start,
+                               SimTime end);
+
+  /// Repair: the fault stops degrading from `at` onward.
+  void repair(std::uint32_t fault_id, SimTime at);
+
+  [[nodiscard]] const std::vector<Fault>& faults() const noexcept {
+    return faults_;
+  }
+  [[nodiscard]] const Fault& fault(std::uint32_t id) const;
+
+  /// All faults degrading component `c` at time `t`.
+  [[nodiscard]] std::vector<const Fault*> active_on(ComponentRef c,
+                                                    SimTime t) const;
+
+  /// All faults active anywhere at time `t`.
+  [[nodiscard]] std::vector<const Fault*> active_at(SimTime t) const;
+
+ private:
+  std::vector<Fault> faults_;
+};
+
+}  // namespace skh::sim
+
+namespace std {
+template <>
+struct hash<skh::sim::ComponentRef> {
+  size_t operator()(const skh::sim::ComponentRef& r) const noexcept {
+    return (static_cast<size_t>(r.kind) << 32) ^ r.index;
+  }
+};
+}  // namespace std

@@ -1,0 +1,290 @@
+#include "topo/topology.h"
+
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace skh::topo {
+
+namespace {
+
+/// Deterministic pair hash for ECMP selection.
+std::uint64_t ecmp_hash(std::uint32_t a, std::uint32_t b,
+                        std::uint32_t salt) noexcept {
+  std::uint64_t z = (static_cast<std::uint64_t>(a) << 32) | b;
+  z ^= static_cast<std::uint64_t>(salt) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Topology Topology::build(const TopologyConfig& cfg) {
+  if (cfg.num_hosts == 0 || cfg.rails_per_host == 0 ||
+      cfg.hosts_per_segment == 0 || cfg.spines_per_rail == 0 ||
+      cfg.num_cores == 0) {
+    throw std::invalid_argument("Topology::build: all counts must be > 0");
+  }
+  Topology t;
+  t.cfg_ = cfg;
+  const std::uint32_t segments =
+      (cfg.num_hosts + cfg.hosts_per_segment - 1) / cfg.hosts_per_segment;
+
+  // ToR switches: one per (segment, rail).
+  t.tor_index_.assign(segments, std::vector<SwitchId>(cfg.rails_per_host));
+  for (std::uint32_t seg = 0; seg < segments; ++seg) {
+    for (std::uint32_t rail = 0; rail < cfg.rails_per_host; ++rail) {
+      const SwitchId id{static_cast<std::uint32_t>(t.switches_.size())};
+      t.switches_.push_back(Switch{id, SwitchKind::kTor, rail, seg});
+      t.tor_index_[seg][rail] = id;
+    }
+  }
+  // Spine switches: spines_per_rail per rail plane.
+  for (std::uint32_t rail = 0; rail < cfg.rails_per_host; ++rail) {
+    for (std::uint32_t s = 0; s < cfg.spines_per_rail; ++s) {
+      const SwitchId id{static_cast<std::uint32_t>(t.switches_.size())};
+      t.switches_.push_back(Switch{id, SwitchKind::kSpine, rail, 0});
+      t.spines_.push_back(id);
+    }
+  }
+  // Core switches.
+  for (std::uint32_t c = 0; c < cfg.num_cores; ++c) {
+    const SwitchId id{static_cast<std::uint32_t>(t.switches_.size())};
+    t.switches_.push_back(Switch{id, SwitchKind::kCore, 0, 0});
+    t.cores_.push_back(id);
+  }
+
+  // Host-to-ToR links: one per RNIC.
+  t.uplink_index_.resize(static_cast<std::size_t>(cfg.num_hosts) *
+                         cfg.rails_per_host);
+  for (std::uint32_t h = 0; h < cfg.num_hosts; ++h) {
+    const std::uint32_t seg = h / cfg.hosts_per_segment;
+    for (std::uint32_t rail = 0; rail < cfg.rails_per_host; ++rail) {
+      const RnicId rnic{h * cfg.rails_per_host + rail};
+      const LinkId id{static_cast<std::uint32_t>(t.links_.size())};
+      t.links_.push_back(Link{id, LinkTier::kHostToTor, rnic,
+                              t.tor_index_[seg][rail], SwitchId{}});
+      t.uplink_index_[rnic.value()] = id;
+    }
+  }
+  // ToR-to-spine links: every ToR connects to all spines of its rail.
+  t.tor_spine_links_.assign(static_cast<std::size_t>(segments) *
+                                cfg.rails_per_host,
+                            std::vector<LinkId>(cfg.spines_per_rail));
+  for (std::uint32_t seg = 0; seg < segments; ++seg) {
+    for (std::uint32_t rail = 0; rail < cfg.rails_per_host; ++rail) {
+      const std::size_t tor_dense = static_cast<std::size_t>(seg) *
+                                        cfg.rails_per_host + rail;
+      for (std::uint32_t s = 0; s < cfg.spines_per_rail; ++s) {
+        const SwitchId spine = t.spines_[rail * cfg.spines_per_rail + s];
+        const LinkId id{static_cast<std::uint32_t>(t.links_.size())};
+        t.links_.push_back(Link{id, LinkTier::kTorToSpine, RnicId{},
+                                t.tor_index_[seg][rail], spine});
+        t.tor_spine_links_[tor_dense][s] = id;
+      }
+    }
+  }
+  // Spine-to-core links: every spine connects to all cores.
+  t.spine_core_links_.assign(t.spines_.size(),
+                             std::vector<LinkId>(cfg.num_cores));
+  for (std::size_t sp = 0; sp < t.spines_.size(); ++sp) {
+    for (std::uint32_t c = 0; c < cfg.num_cores; ++c) {
+      const LinkId id{static_cast<std::uint32_t>(t.links_.size())};
+      t.links_.push_back(Link{id, LinkTier::kSpineToCore, RnicId{},
+                              t.spines_[sp], t.cores_[c]});
+      t.spine_core_links_[sp][c] = id;
+    }
+  }
+  return t;
+}
+
+std::uint32_t Topology::num_segments() const noexcept {
+  return static_cast<std::uint32_t>(tor_index_.size());
+}
+
+const Switch& Topology::switch_at(SwitchId id) const {
+  if (!id.valid() || id.value() >= switches_.size()) {
+    throw std::out_of_range("Topology::switch_at: bad id");
+  }
+  return switches_[id.value()];
+}
+
+const Link& Topology::link_at(LinkId id) const {
+  if (!id.valid() || id.value() >= links_.size()) {
+    throw std::out_of_range("Topology::link_at: bad id");
+  }
+  return links_[id.value()];
+}
+
+RnicId Topology::rnic_of(HostId host, std::uint32_t rail) const {
+  if (!host.valid() || host.value() >= cfg_.num_hosts ||
+      rail >= cfg_.rails_per_host) {
+    throw std::out_of_range("Topology::rnic_of: bad host/rail");
+  }
+  return RnicId{host.value() * cfg_.rails_per_host + rail};
+}
+
+HostId Topology::host_of(RnicId rnic) const {
+  if (!rnic.valid() || rnic.value() >= num_rnics()) {
+    throw std::out_of_range("Topology::host_of: bad rnic");
+  }
+  return HostId{rnic.value() / cfg_.rails_per_host};
+}
+
+std::uint32_t Topology::rail_of(RnicId rnic) const {
+  if (!rnic.valid() || rnic.value() >= num_rnics()) {
+    throw std::out_of_range("Topology::rail_of: bad rnic");
+  }
+  return rnic.value() % cfg_.rails_per_host;
+}
+
+std::uint32_t Topology::segment_of(HostId host) const {
+  if (!host.valid() || host.value() >= cfg_.num_hosts) {
+    throw std::out_of_range("Topology::segment_of: bad host");
+  }
+  return host.value() / cfg_.hosts_per_segment;
+}
+
+SwitchId Topology::tor_at(std::uint32_t segment, std::uint32_t rail) const {
+  if (segment >= tor_index_.size() || rail >= cfg_.rails_per_host) {
+    throw std::out_of_range("Topology::tor_at: bad segment/rail");
+  }
+  return tor_index_[segment][rail];
+}
+
+LinkId Topology::uplink_of(RnicId rnic) const {
+  if (!rnic.valid() || rnic.value() >= uplink_index_.size()) {
+    throw std::out_of_range("Topology::uplink_of: bad rnic");
+  }
+  return uplink_index_[rnic.value()];
+}
+
+Path Topology::make_path(RnicId src, RnicId dst,
+                         std::span<const SwitchId> via) const {
+  Path p;
+  p.switches.assign(via.begin(), via.end());
+  p.links.push_back(uplink_of(src));
+  for (std::size_t i = 0; i + 1 < via.size(); ++i) {
+    p.links.push_back(find_switch_link(via[i], via[i + 1]));
+  }
+  p.links.push_back(uplink_of(dst));
+  p.one_way_latency_us =
+      static_cast<double>(p.links.size()) * cfg_.link_latency_us +
+      static_cast<double>(p.switches.size()) * cfg_.switch_latency_us;
+  return p;
+}
+
+LinkId Topology::find_switch_link(SwitchId a, SwitchId b) const {
+  // Normalize to (lower tier first).
+  const auto& sa = switch_at(a);
+  const auto& sb = switch_at(b);
+  SwitchId lower = a, upper = b;
+  if (static_cast<int>(sa.kind) > static_cast<int>(sb.kind)) {
+    lower = b;
+    upper = a;
+  }
+  const auto& sl = switch_at(lower);
+  if (sl.kind == SwitchKind::kTor) {
+    const std::size_t tor_dense =
+        static_cast<std::size_t>(sl.segment) * cfg_.rails_per_host + sl.rail;
+    for (LinkId l : tor_spine_links_[tor_dense]) {
+      if (link_at(l).upper == upper) return l;
+    }
+  } else if (sl.kind == SwitchKind::kSpine) {
+    for (std::size_t sp = 0; sp < spines_.size(); ++sp) {
+      if (spines_[sp] != lower) continue;
+      for (LinkId l : spine_core_links_[sp]) {
+        if (link_at(l).upper == upper) return l;
+      }
+    }
+  }
+  throw std::logic_error("Topology::find_switch_link: no such adjacency");
+}
+
+Path Topology::route(RnicId src, RnicId dst) const {
+  const HostId hs = host_of(src);
+  const HostId hd = host_of(dst);
+  if (hs == hd) {
+    Path p;
+    p.intra_host = true;
+    p.one_way_latency_us = cfg_.intra_host_latency_us;
+    return p;
+  }
+  const std::uint32_t rs = rail_of(src);
+  const std::uint32_t rd = rail_of(dst);
+  const std::uint32_t ss = segment_of(hs);
+  const std::uint32_t sd = segment_of(hd);
+
+  if (rs == rd && ss == sd) {
+    // Same ToR: two hops.
+    const SwitchId tor = tor_at(ss, rs);
+    const SwitchId via[] = {tor};
+    return make_path(src, dst, via);
+  }
+  if (rs == rd) {
+    // In-rail across segments: ToR -> spine (ECMP) -> ToR.
+    const std::uint32_t s = static_cast<std::uint32_t>(
+        ecmp_hash(src.value(), dst.value(), 1) % cfg_.spines_per_rail);
+    const SwitchId via[] = {tor_at(ss, rs),
+                            spines_[rs * cfg_.spines_per_rail + s],
+                            tor_at(sd, rd)};
+    return make_path(src, dst, via);
+  }
+  // Cross-rail: ToR -> spine(rail_s) -> core (ECMP) -> spine(rail_d) -> ToR.
+  const std::uint32_t s1 = static_cast<std::uint32_t>(
+      ecmp_hash(src.value(), dst.value(), 2) % cfg_.spines_per_rail);
+  const std::uint32_t s2 = static_cast<std::uint32_t>(
+      ecmp_hash(src.value(), dst.value(), 3) % cfg_.spines_per_rail);
+  const std::uint32_t c = static_cast<std::uint32_t>(
+      ecmp_hash(src.value(), dst.value(), 4) % cfg_.num_cores);
+  const SwitchId via[] = {tor_at(ss, rs),
+                          spines_[rs * cfg_.spines_per_rail + s1], cores_[c],
+                          spines_[rd * cfg_.spines_per_rail + s2],
+                          tor_at(sd, rd)};
+  return make_path(src, dst, via);
+}
+
+std::vector<Path> Topology::equal_cost_paths(RnicId src, RnicId dst) const {
+  const HostId hs = host_of(src);
+  const HostId hd = host_of(dst);
+  std::vector<Path> out;
+  if (hs == hd) {
+    out.push_back(route(src, dst));
+    return out;
+  }
+  const std::uint32_t rs = rail_of(src);
+  const std::uint32_t rd = rail_of(dst);
+  const std::uint32_t ss = segment_of(hs);
+  const std::uint32_t sd = segment_of(hd);
+
+  if (rs == rd && ss == sd) {
+    const SwitchId via[] = {tor_at(ss, rs)};
+    out.push_back(make_path(src, dst, via));
+    return out;
+  }
+  if (rs == rd) {
+    for (std::uint32_t s = 0; s < cfg_.spines_per_rail; ++s) {
+      const SwitchId via[] = {tor_at(ss, rs),
+                              spines_[rs * cfg_.spines_per_rail + s],
+                              tor_at(sd, rd)};
+      out.push_back(make_path(src, dst, via));
+    }
+    return out;
+  }
+  for (std::uint32_t s1 = 0; s1 < cfg_.spines_per_rail; ++s1) {
+    for (std::uint32_t c = 0; c < cfg_.num_cores; ++c) {
+      for (std::uint32_t s2 = 0; s2 < cfg_.spines_per_rail; ++s2) {
+        const SwitchId via[] = {tor_at(ss, rs),
+                                spines_[rs * cfg_.spines_per_rail + s1],
+                                cores_[c],
+                                spines_[rd * cfg_.spines_per_rail + s2],
+                                tor_at(sd, rd)};
+        out.push_back(make_path(src, dst, via));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace skh::topo

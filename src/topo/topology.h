@@ -1,0 +1,126 @@
+// Rail-optimized data-center topology (Figure 10) and ECMP routing.
+//
+// Hosts carry `rails_per_host` RNICs; RNIC r of every host in a segment
+// connects to that segment's rail-r ToR switch. ToRs of the same rail across
+// segments are joined by a per-rail spine plane; spine planes are joined by a
+// core layer so that (rare, suboptimal) cross-rail paths exist too — the
+// full-mesh probing baseline exercises them even though collective libraries
+// keep training traffic in-rail.
+//
+// Routing is deterministic ECMP: among equal-cost candidates, the spine/core
+// is picked by a hash of the (src, dst) RNIC pair, mirroring five-tuple ECMP.
+// The underlay localizer both replays the selected path (traceroute) and
+// enumerates all equal-cost candidates (tomography coverage).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace skh::topo {
+
+struct TopologyConfig {
+  std::uint32_t num_hosts = 64;
+  std::uint32_t rails_per_host = 8;   ///< RNICs (and GPUs) per host
+  std::uint32_t hosts_per_segment = 16;
+  std::uint32_t spines_per_rail = 2;  ///< ECMP width within a rail plane
+  std::uint32_t num_cores = 4;        ///< ECMP width across rail planes
+  double link_latency_us = 1.2;       ///< one-way propagation+serialization
+  double switch_latency_us = 0.4;     ///< per-switch forwarding delay
+  double intra_host_latency_us = 1.0; ///< NVLink/PCIe hop
+};
+
+enum class SwitchKind : std::uint8_t { kTor, kSpine, kCore };
+
+struct Switch {
+  SwitchId id;
+  SwitchKind kind = SwitchKind::kTor;
+  std::uint32_t rail = 0;     ///< rail plane (ToR, Spine); unused for core
+  std::uint32_t segment = 0;  ///< segment (ToR only)
+};
+
+enum class LinkTier : std::uint8_t { kHostToTor, kTorToSpine, kSpineToCore };
+
+/// An undirected physical link. For kHostToTor, `rnic` is set; otherwise the
+/// two switch endpoints are `lower` (closer to hosts) and `upper`.
+struct Link {
+  LinkId id;
+  LinkTier tier = LinkTier::kHostToTor;
+  RnicId rnic;      ///< valid iff tier == kHostToTor
+  SwitchId lower;   ///< ToR for host links; ToR/Spine otherwise
+  SwitchId upper;   ///< unused for kHostToTor
+};
+
+/// A routed path between two RNICs.
+struct Path {
+  bool intra_host = false;
+  std::vector<LinkId> links;        ///< in traversal order
+  std::vector<SwitchId> switches;   ///< in traversal order
+  double one_way_latency_us = 0.0;  ///< healthy baseline latency
+};
+
+class Topology {
+ public:
+  [[nodiscard]] static Topology build(const TopologyConfig& cfg);
+
+  [[nodiscard]] const TopologyConfig& config() const noexcept { return cfg_; }
+
+  // --- entity enumeration -------------------------------------------------
+  [[nodiscard]] std::uint32_t num_hosts() const noexcept {
+    return cfg_.num_hosts;
+  }
+  [[nodiscard]] std::uint32_t num_rnics() const noexcept {
+    return cfg_.num_hosts * cfg_.rails_per_host;
+  }
+  [[nodiscard]] std::uint32_t num_segments() const noexcept;
+  [[nodiscard]] std::span<const Switch> switches() const noexcept {
+    return switches_;
+  }
+  [[nodiscard]] std::span<const Link> links() const noexcept { return links_; }
+  [[nodiscard]] const Switch& switch_at(SwitchId id) const;
+  [[nodiscard]] const Link& link_at(LinkId id) const;
+
+  // --- RNIC addressing ----------------------------------------------------
+  [[nodiscard]] RnicId rnic_of(HostId host, std::uint32_t rail) const;
+  [[nodiscard]] HostId host_of(RnicId rnic) const;
+  [[nodiscard]] std::uint32_t rail_of(RnicId rnic) const;
+  [[nodiscard]] std::uint32_t segment_of(HostId host) const;
+
+  /// The ToR switch serving (segment, rail).
+  [[nodiscard]] SwitchId tor_at(std::uint32_t segment,
+                                std::uint32_t rail) const;
+  /// The uplink (host-to-ToR) link of an RNIC.
+  [[nodiscard]] LinkId uplink_of(RnicId rnic) const;
+
+  // --- routing ------------------------------------------------------------
+  /// Deterministic ECMP-selected path from src to dst (the "traceroute").
+  [[nodiscard]] Path route(RnicId src, RnicId dst) const;
+
+  /// All equal-cost paths between the pair (bounded fan-out; used by the
+  /// tomography analysis to reason about ECMP coverage).
+  [[nodiscard]] std::vector<Path> equal_cost_paths(RnicId src,
+                                                   RnicId dst) const;
+
+ private:
+  Topology() = default;
+
+  [[nodiscard]] Path make_path(RnicId src, RnicId dst,
+                               std::span<const SwitchId> via) const;
+  [[nodiscard]] LinkId find_switch_link(SwitchId a, SwitchId b) const;
+
+  TopologyConfig cfg_;
+  std::vector<Switch> switches_;
+  std::vector<Link> links_;
+  // Lookup tables (built once): tor_index_[segment][rail], uplink of rnic,
+  // tor-spine link index, spine-core link index.
+  std::vector<std::vector<SwitchId>> tor_index_;
+  std::vector<LinkId> uplink_index_;
+  std::vector<std::vector<LinkId>> tor_spine_links_;  // [tor dense idx][spine]
+  std::vector<std::vector<LinkId>> spine_core_links_; // [spine dense idx][core]
+  std::vector<SwitchId> spines_;  // [rail * spines_per_rail + s]
+  std::vector<SwitchId> cores_;
+};
+
+}  // namespace skh::topo

@@ -1,0 +1,87 @@
+#include "workload/collectives.h"
+
+#include <algorithm>
+#include <map>
+
+namespace skh::workload {
+
+namespace {
+
+/// Normalize an unordered pair so (a, b) and (b, a) merge.
+CommEdge normalized(Endpoint a, Endpoint b, double volume) {
+  if (b < a) std::swap(a, b);
+  return CommEdge{a, b, volume};
+}
+
+}  // namespace
+
+std::vector<CommEdge> ring_allreduce(const std::vector<Endpoint>& members,
+                                     double volume) {
+  std::vector<CommEdge> out;
+  const std::size_t n = members.size();
+  if (n < 2) return out;
+  if (n == 2) {
+    out.push_back(normalized(members[0], members[1], volume));
+    return out;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(normalized(members[i], members[(i + 1) % n], volume));
+  }
+  return out;
+}
+
+std::vector<CommEdge> pipeline_p2p(const std::vector<Endpoint>& stages,
+                                   double volume) {
+  std::vector<CommEdge> out;
+  for (std::size_t s = 0; s + 1 < stages.size(); ++s) {
+    out.push_back(normalized(stages[s], stages[s + 1], volume));
+  }
+  return out;
+}
+
+std::vector<CommEdge> double_binary_tree(const std::vector<Endpoint>& members,
+                                         double volume) {
+  std::vector<CommEdge> out;
+  const std::size_t n = members.size();
+  if (n < 2) return out;
+  // Tree 1: heap-order binary tree over 0..n-1.
+  for (std::size_t child = 1; child < n; ++child) {
+    const std::size_t parent = (child - 1) / 2;
+    out.push_back(normalized(members[parent], members[child], volume / 2.0));
+  }
+  // Tree 2: the mirrored tree (node i takes the role of node n-1-i), which
+  // gives interior nodes of tree 1 leaf roles in tree 2 and vice versa.
+  for (std::size_t child = 1; child < n; ++child) {
+    const std::size_t parent = (child - 1) / 2;
+    out.push_back(normalized(members[n - 1 - parent], members[n - 1 - child],
+                             volume / 2.0));
+  }
+  return merge_edges(std::move(out));
+}
+
+std::vector<CommEdge> all_to_all(const std::vector<Endpoint>& members,
+                                 double volume) {
+  std::vector<CommEdge> out;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    for (std::size_t j = i + 1; j < members.size(); ++j) {
+      out.push_back(normalized(members[i], members[j], volume));
+    }
+  }
+  return out;
+}
+
+std::vector<CommEdge> merge_edges(std::vector<CommEdge> edges) {
+  std::map<std::pair<Endpoint, Endpoint>, double> merged;
+  for (const auto& e : edges) {
+    const auto norm = normalized(e.a, e.b, e.volume);
+    merged[{norm.a, norm.b}] += norm.volume;
+  }
+  std::vector<CommEdge> out;
+  out.reserve(merged.size());
+  for (const auto& [pair, volume] : merged) {
+    out.push_back(CommEdge{pair.first, pair.second, volume});
+  }
+  return out;
+}
+
+}  // namespace skh::workload

@@ -1,0 +1,52 @@
+// Collective-communication pair generation.
+//
+// The spatial sparsity SkeletonHunter exploits (§3.2) comes from collective
+// communication libraries shaping traffic into a few fixed patterns:
+// ring all-reduce across DP replicas, point-to-point transfers between
+// adjacent pipeline stages, and all-to-all exchanges inside expert groups.
+// These helpers produce the endpoint pairs of each pattern; the traffic
+// matrix and the ground-truth skeleton are unions of them.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+
+namespace skh::workload {
+
+/// Undirected communicating pair with a relative traffic volume.
+struct CommEdge {
+  Endpoint a;
+  Endpoint b;
+  double volume = 1.0;  ///< relative bytes per iteration
+
+  friend constexpr auto operator<=>(const CommEdge&,
+                                    const CommEdge&) noexcept = default;
+};
+
+/// Ring all-reduce: member i exchanges with member (i+1) mod n.
+/// n == 1 yields no edges; n == 2 yields one edge.
+[[nodiscard]] std::vector<CommEdge> ring_allreduce(
+    const std::vector<Endpoint>& members, double volume = 1.0);
+
+/// Pipeline: stage s exchanges activations/gradients with stage s+1.
+/// `stages[s]` is the endpoint holding stage s (for one DP replica, one
+/// rail).
+[[nodiscard]] std::vector<CommEdge> pipeline_p2p(
+    const std::vector<Endpoint>& stages, double volume = 1.0);
+
+/// NCCL-style double binary tree all-reduce: two mirrored binary trees over
+/// the members (NCCL selects tree all-reduce for latency-bound sizes and
+/// runs both trees to balance bandwidth). Combined with the ring, this gives
+/// each member the ~9-connected-destinations footprint of Figure 9a.
+[[nodiscard]] std::vector<CommEdge> double_binary_tree(
+    const std::vector<Endpoint>& members, double volume = 1.0);
+
+/// All-to-all: every unordered pair of members (expert parallelism).
+[[nodiscard]] std::vector<CommEdge> all_to_all(
+    const std::vector<Endpoint>& members, double volume = 1.0);
+
+/// Deduplicate and merge volumes of identical unordered pairs.
+[[nodiscard]] std::vector<CommEdge> merge_edges(std::vector<CommEdge> edges);
+
+}  // namespace skh::workload

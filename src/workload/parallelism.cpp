@@ -1,0 +1,101 @@
+#include "workload/parallelism.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace skh::workload {
+
+void ParallelismConfig::validate() const {
+  if (tp == 0 || pp == 0 || dp == 0 || ep == 0) {
+    throw std::invalid_argument("ParallelismConfig: degrees must be > 0");
+  }
+  if (moe && dp % ep != 0) {
+    throw std::invalid_argument(
+        "ParallelismConfig: EP must divide DP for MoE expert sharding");
+  }
+}
+
+std::string ParallelismConfig::to_string() const {
+  std::ostringstream os;
+  os << "TP" << tp << "/PP" << pp << "/DP" << dp;
+  if (moe) os << "/EP" << ep;
+  return os.str();
+}
+
+const EndpointRole* TaskLayout::role_of(const Endpoint& ep) const {
+  for (const auto& r : roles) {
+    if (r.endpoint == ep) return &r;
+  }
+  return nullptr;
+}
+
+std::vector<Endpoint> TaskLayout::position_group(std::uint32_t stage,
+                                                 std::uint32_t rail) const {
+  std::vector<Endpoint> out;
+  for (const auto& r : roles) {
+    if (r.stage == stage && r.rail == rail) out.push_back(r.endpoint);
+  }
+  return out;
+}
+
+TaskLayout make_layout(const cluster::TaskInfo& task,
+                       const std::vector<cluster::ContainerInfo>& containers,
+                       const ParallelismConfig& par) {
+  par.validate();
+  if (containers.size() != par.num_containers()) {
+    throw std::invalid_argument("make_layout: container count != PP*DP");
+  }
+  TaskLayout layout;
+  layout.task = task.id;
+  layout.par = par;
+  for (const auto& ci : containers) {
+    if (ci.task != task.id) {
+      throw std::invalid_argument("make_layout: container from another task");
+    }
+    if (ci.rnics.size() != par.tp) {
+      throw std::invalid_argument("make_layout: container RNIC count != TP");
+    }
+    const std::uint32_t stage = ci.index_in_task % par.pp;
+    const std::uint32_t dp_rank = ci.index_in_task / par.pp;
+    for (std::uint32_t rail = 0; rail < par.tp; ++rail) {
+      EndpointRole role;
+      role.endpoint = Endpoint{ci.id, ci.rnics[rail]};
+      role.dp_rank = dp_rank;
+      role.stage = stage;
+      role.rail = rail;
+      layout.roles.push_back(role);
+    }
+  }
+  return layout;
+}
+
+ParallelismConfig default_parallelism(std::uint32_t num_gpus,
+                                      std::uint32_t gpus_per_container,
+                                      bool moe) {
+  if (gpus_per_container == 0 || num_gpus % gpus_per_container != 0) {
+    throw std::invalid_argument(
+        "default_parallelism: container size must divide GPU count");
+  }
+  ParallelismConfig cfg;
+  cfg.tp = gpus_per_container;
+  const std::uint32_t groups = num_gpus / gpus_per_container;  // PP * DP
+  // Near-square split preferring DP >= PP (DP shrinks gradient sync time,
+  // PP depth is bounded by the model).
+  std::uint32_t pp = 1;
+  for (std::uint32_t candidate = 1;
+       candidate * candidate <= groups; ++candidate) {
+    if (groups % candidate == 0) pp = candidate;
+  }
+  cfg.pp = pp;
+  cfg.dp = groups / pp;
+  cfg.moe = moe;
+  if (moe) {
+    // Experts sharded across a subgroup of the DP dimension.
+    cfg.ep = cfg.dp >= 4 ? 4 : cfg.dp;
+    while (cfg.ep > 1 && cfg.dp % cfg.ep != 0) --cfg.ep;
+  }
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace skh::workload

@@ -1,0 +1,76 @@
+// Parallelism configurations and the mapping from a task's containers to
+// parallelism coordinates (Figure 8).
+//
+// A dense-model task with TP x PP x DP GPUs places one TP group per
+// container (TP-internal traffic rides NVLink and never touches the
+// network). Containers line up as a PP x DP grid: container c of the task
+// is pipeline stage (c % PP) of data-parallel replica (c / PP). Each GPU's
+// bound RNIC sits on the host rail equal to its TP rank, which is what makes
+// inter-host training traffic rail-aligned. MoE tasks add expert parallelism
+// (EP) groups that exchange all-to-all traffic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/task.h"
+#include "common/ids.h"
+
+namespace skh::workload {
+
+struct ParallelismConfig {
+  std::uint32_t tp = 8;  ///< tensor parallel degree (= GPUs per container)
+  std::uint32_t pp = 8;  ///< pipeline stages
+  std::uint32_t dp = 8;  ///< data-parallel replicas
+  std::uint32_t ep = 1;  ///< expert parallel degree (MoE); 1 = dense
+  bool moe = false;      ///< expert-parallel all-to-all traffic present
+
+  [[nodiscard]] std::uint32_t num_gpus() const noexcept {
+    return tp * pp * dp;
+  }
+  [[nodiscard]] std::uint32_t num_containers() const noexcept {
+    return pp * dp;
+  }
+  /// Validate internal consistency; throws std::invalid_argument otherwise.
+  void validate() const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// The parallelism coordinates of one endpoint.
+struct EndpointRole {
+  Endpoint endpoint;
+  std::uint32_t dp_rank = 0;  ///< which data-parallel replica
+  std::uint32_t stage = 0;    ///< pipeline stage within the replica
+  std::uint32_t rail = 0;     ///< TP rank == host rail of the bound RNIC
+};
+
+/// A task's full endpoint-to-role mapping.
+struct TaskLayout {
+  TaskId task;
+  ParallelismConfig par;
+  std::vector<EndpointRole> roles;  ///< one per endpoint of the task
+
+  [[nodiscard]] const EndpointRole* role_of(const Endpoint& ep) const;
+  /// Endpoints holding position (stage, rail) across all DP replicas — the
+  /// "same position across different parallelism groups" set of §5.1.
+  [[nodiscard]] std::vector<Endpoint> position_group(std::uint32_t stage,
+                                                     std::uint32_t rail) const;
+};
+
+/// Build the layout for a placed task. `containers` must hold the task's
+/// containers in index order; each container needs exactly `par.tp` RNICs.
+/// Throws std::invalid_argument when the task shape disagrees with `par`.
+[[nodiscard]] TaskLayout make_layout(
+    const cluster::TaskInfo& task,
+    const std::vector<cluster::ContainerInfo>& containers,
+    const ParallelismConfig& par);
+
+/// Pick a plausible parallelism config for a task of `num_gpus` GPUs with
+/// `gpus_per_container` GPUs per container (TP = container size; DP/PP split
+/// chosen near-square, preferring more DP).
+[[nodiscard]] ParallelismConfig default_parallelism(
+    std::uint32_t num_gpus, std::uint32_t gpus_per_container, bool moe = false);
+
+}  // namespace skh::workload

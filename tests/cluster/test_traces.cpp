@@ -1,0 +1,150 @@
+#include "cluster/traces.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace skh::cluster {
+namespace {
+
+TEST(TaskGpus, AlwaysMultipleOfEight) {
+  RngStream rng{1};
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(sample_task_gpus(rng) % 8, 0u);
+  }
+}
+
+TEST(TaskGpus, PopularSizesDominate) {
+  // Fig. 12: 128/512/1024 carry the bulk.
+  RngStream rng{2};
+  std::map<std::uint32_t, int> hist;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) ++hist[sample_task_gpus(rng)];
+  const double popular =
+      static_cast<double>(hist[128] + hist[512] + hist[1024]) / kTrials;
+  EXPECT_GT(popular, 0.45);
+}
+
+TEST(RnicsPerContainer, EightDominatesFourIsNontrivial) {
+  // Fig. 5's shape.
+  RngStream rng{3};
+  std::map<std::uint32_t, int> hist;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) ++hist[sample_rnics_per_container(rng)];
+  EXPECT_GT(hist[8], hist[4]);
+  EXPECT_GT(static_cast<double>(hist[8]) / kTrials, 0.6);
+  EXPECT_GT(static_cast<double>(hist[4]) / kTrials, 0.15);
+}
+
+TEST(Lifetime, AboutHalfUnderSixtyMinutesForSmallTasks) {
+  // Fig. 2: ~50% of containers of tasks sized <= 256 live < 60 min.
+  RngStream rng{4};
+  int short_lived = 0;
+  constexpr int kTrials = 10000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (sample_lifetime(128, ConfigTier::kMid, rng) <
+        SimTime::minutes(60)) {
+      ++short_lived;
+    }
+  }
+  const double frac = static_cast<double>(short_lived) / kTrials;
+  EXPECT_NEAR(frac, 0.50, 0.08);
+}
+
+TEST(Lifetime, HigherTierLivesLonger) {
+  // Fig. 3: higher-end configs have longer lifetimes.
+  RngStream rng{5};
+  double low_mean = 0.0, high_mean = 0.0;
+  constexpr int kTrials = 5000;
+  for (int i = 0; i < kTrials; ++i) {
+    low_mean += sample_lifetime(64, ConfigTier::kLow, rng).to_minutes();
+    high_mean += sample_lifetime(64, ConfigTier::kHigh, rng).to_minutes();
+  }
+  EXPECT_GT(high_mean, low_mean * 1.3);
+}
+
+TEST(Lifetime, LargerTasksLiveLonger) {
+  RngStream rng{6};
+  int small_short = 0, large_short = 0;
+  constexpr int kTrials = 5000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (sample_lifetime(64, ConfigTier::kMid, rng) < SimTime::minutes(60)) {
+      ++small_short;
+    }
+    if (sample_lifetime(512, ConfigTier::kMid, rng) < SimTime::minutes(60)) {
+      ++large_short;
+    }
+  }
+  EXPECT_GT(small_short, large_short);
+}
+
+TEST(Lifetime, AlwaysPositiveAndBounded) {
+  RngStream rng{7};
+  for (int i = 0; i < 2000; ++i) {
+    const auto t = sample_lifetime(1024, ConfigTier::kHigh, rng);
+    EXPECT_GE(t, SimTime::minutes(2));
+    EXPECT_LE(t, SimTime::hours(14 * 24));
+  }
+}
+
+TEST(Startup, PhasedWavesGrowWithIndex) {
+  // Fig. 4: later containers start later (wave pattern).
+  RngStream rng{8};
+  double early = 0.0, late = 0.0;
+  constexpr int kTrials = 500;
+  for (int i = 0; i < kTrials; ++i) {
+    early += sample_startup_delay(1024, 5, rng).to_seconds();
+    late += sample_startup_delay(1024, 900, rng).to_seconds();
+  }
+  EXPECT_GT(late / kTrials, early / kTrials + 60.0);
+}
+
+TEST(Startup, TailBoundedByTenMinutes) {
+  RngStream rng{9};
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LE(sample_startup_delay(2048, static_cast<std::uint32_t>(i % 256),
+                                   rng),
+              SimTime::minutes(10));
+  }
+}
+
+TEST(Startup, LargerTasksHaveHeavierTail) {
+  RngStream rng{10};
+  int small_stragglers = 0, large_stragglers = 0;
+  constexpr int kTrials = 4000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (sample_startup_delay(16, 3, rng) > SimTime::seconds(90)) {
+      ++small_stragglers;
+    }
+    if (sample_startup_delay(2048, 3, rng) > SimTime::seconds(90)) {
+      ++large_stragglers;
+    }
+  }
+  EXPECT_GT(large_stragglers, small_stragglers);
+}
+
+TEST(Teardown, BoundedAndPositive) {
+  RngStream rng{11};
+  for (int i = 0; i < 2000; ++i) {
+    const auto t = sample_teardown_delay(512, rng);
+    EXPECT_GT(t, SimTime::seconds(0));
+    EXPECT_LE(t, SimTime::minutes(8));
+  }
+}
+
+TEST(ConfigTier, AllTiersAppear) {
+  RngStream rng{12};
+  std::map<ConfigTier, int> hist;
+  for (int i = 0; i < 3000; ++i) ++hist[sample_config_tier(rng)];
+  EXPECT_GT(hist[ConfigTier::kLow], 0);
+  EXPECT_GT(hist[ConfigTier::kMid], 0);
+  EXPECT_GT(hist[ConfigTier::kHigh], 0);
+}
+
+TEST(Strings, EnumsPrintable) {
+  EXPECT_EQ(to_string(ConfigTier::kHigh), "high");
+  EXPECT_EQ(to_string(ContainerState::kRunning), "running");
+}
+
+}  // namespace
+}  // namespace skh::cluster

@@ -1,0 +1,73 @@
+#include "common/ids.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace skh {
+namespace {
+
+TEST(Ids, DefaultConstructedIsInvalid) {
+  HostId h;
+  EXPECT_FALSE(h.valid());
+  EXPECT_EQ(h.value(), HostId::kInvalid);
+}
+
+TEST(Ids, ExplicitValueIsValid) {
+  RnicId r{7};
+  EXPECT_TRUE(r.valid());
+  EXPECT_EQ(r.value(), 7u);
+}
+
+TEST(Ids, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<HostId, RnicId>);
+  static_assert(!std::is_convertible_v<HostId, RnicId>);
+}
+
+TEST(Ids, ComparisonIsByValue) {
+  EXPECT_EQ(ContainerId{3}, ContainerId{3});
+  EXPECT_LT(ContainerId{2}, ContainerId{5});
+  EXPECT_NE(ContainerId{}, ContainerId{0});
+}
+
+TEST(Ids, HashDistinguishesValues) {
+  std::unordered_set<HostId> set;
+  for (std::uint32_t i = 0; i < 100; ++i) set.insert(HostId{i});
+  EXPECT_EQ(set.size(), 100u);
+}
+
+TEST(Endpoint, OrderingIsLexicographic) {
+  const Endpoint a{ContainerId{1}, RnicId{5}};
+  const Endpoint b{ContainerId{1}, RnicId{6}};
+  const Endpoint c{ContainerId{2}, RnicId{0}};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+}
+
+TEST(Endpoint, HashIsUsableInMaps) {
+  std::unordered_set<Endpoint> set;
+  for (std::uint32_t c = 0; c < 16; ++c) {
+    for (std::uint32_t r = 0; r < 8; ++r) {
+      set.insert(Endpoint{ContainerId{c}, RnicId{r}});
+    }
+  }
+  EXPECT_EQ(set.size(), 128u);
+}
+
+TEST(EndpointPair, DirectedPairsAreDistinct) {
+  const Endpoint a{ContainerId{1}, RnicId{1}};
+  const Endpoint b{ContainerId{2}, RnicId{2}};
+  const EndpointPair ab{a, b};
+  const EndpointPair ba{b, a};
+  EXPECT_NE(ab, ba);
+  std::unordered_set<EndpointPair> set{ab, ba};
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(EndpointPair, ToStringIsReadable) {
+  const EndpointPair p{{ContainerId{1}, RnicId{8}}, {ContainerId{2}, RnicId{9}}};
+  EXPECT_EQ(to_string(p), "ep(c1,r8)->ep(c2,r9)");
+}
+
+}  // namespace
+}  // namespace skh

@@ -1,0 +1,100 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace skh {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  RngStream a{42};
+  RngStream b{42};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  RngStream a{1};
+  RngStream b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, NamedForkIsStable) {
+  RngStream parent{7};
+  RngStream f1 = parent.fork("workload");
+  // Draw from the parent; the fork derivation must not be affected.
+  for (int i = 0; i < 50; ++i) (void)parent.uniform();
+  RngStream f2 = parent.fork("workload");
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(f1.uniform(), f2.uniform());
+  }
+}
+
+TEST(Rng, DifferentForkNamesAreIndependent) {
+  RngStream parent{7};
+  RngStream a = parent.fork("a");
+  RngStream b = parent.fork("b");
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, IndexedForkMatchesItself) {
+  RngStream parent{99};
+  RngStream a = parent.fork(std::uint64_t{5});
+  RngStream b = parent.fork(std::uint64_t{5});
+  EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, UniformIntWithinBounds) {
+  RngStream rng{3};
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, BernoulliRespectsProbability) {
+  RngStream rng{11};
+  int hits = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  const double rate = static_cast<double>(hits) / kTrials;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  RngStream rng{13};
+  const std::vector<double> w{1.0, 3.0};
+  int ones = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.weighted_index(w) == 1) ++ones;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / kTrials, 0.75, 0.02);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  RngStream rng{17};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.lognormal(0.0, 1.0), 0.0);
+  }
+}
+
+TEST(Rng, Fnv1aIsStable) {
+  // Known FNV-1a 64-bit test vector.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+}  // namespace
+}  // namespace skh

@@ -1,0 +1,152 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace skh {
+namespace {
+
+TEST(Percentile, MedianOfOddSample) {
+  const std::vector<double> v{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+}
+
+TEST(Percentile, InterpolatesBetweenPoints) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 75.0), 7.5);
+}
+
+TEST(Percentile, EdgesAreMinMax) {
+  const std::vector<double> v{4.0, 8.0, 15.0, 16.0, 23.0, 42.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 42.0);
+}
+
+TEST(Percentile, EmptySampleIsNaN) {
+  EXPECT_TRUE(std::isnan(percentile({}, 50.0)));
+}
+
+TEST(Percentile, SingleElement) {
+  const std::vector<double> v{7.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 10.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 90.0), 7.0);
+}
+
+TEST(Percentile, OutOfRangeQClamps) {
+  const std::vector<double> v{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 150.0), 2.0);
+}
+
+TEST(Summarize, SevenNumberSummary) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  const auto s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p25, 25.75, 1e-9);
+  EXPECT_NEAR(s.p50, 50.5, 1e-9);
+  EXPECT_NEAR(s.p75, 75.25, 1e-9);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.as_feature_vector().size(), 7u);
+}
+
+TEST(RunningStats, MatchesBatchComputation) {
+  RngStream rng{5};
+  std::vector<double> v;
+  RunningStats rs;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    v.push_back(x);
+    rs.add(x);
+  }
+  EXPECT_NEAR(rs.mean(), mean_of(v), 1e-9);
+  EXPECT_NEAR(rs.stddev(), stddev_of(v), 1e-9);
+  EXPECT_EQ(rs.count(), 500u);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RngStream rng{6};
+  RunningStats all, a, b;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(0, 100);
+    all.add(x);
+    (i < 80 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);   // bin 0
+  h.add(9.5);   // bin 9
+  h.add(-3.0);  // clamps to bin 0
+  h.add(25.0);  // clamps to bin 9
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 4.0);
+}
+
+TEST(Histogram, CdfIsMonotone) {
+  Histogram h(0.0, 1.0, 4);
+  RngStream rng{8};
+  for (int i = 0; i < 1000; ++i) h.add(rng.uniform());
+  double prev = 0.0;
+  for (std::size_t b = 0; b < h.bins(); ++b) {
+    EXPECT_GE(h.cdf_at(b), prev);
+    prev = h.cdf_at(b);
+  }
+  EXPECT_DOUBLE_EQ(h.cdf_at(3), 1.0);
+}
+
+TEST(Histogram, RejectsDegenerateConfig) {
+  EXPECT_THROW(Histogram(0.0, 0.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Ecdf, StepFunction) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(ecdf(v, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf(v, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(ecdf(v, 10.0), 1.0);
+}
+
+class PercentileSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PercentileSweep, SortedAndUnsortedAgree) {
+  RngStream rng{21};
+  std::vector<double> v;
+  for (int i = 0; i < 257; ++i) v.push_back(rng.normal(0, 1));
+  std::vector<double> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_DOUBLE_EQ(percentile(v, GetParam()),
+                   percentile_sorted(sorted, GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, PercentileSweep,
+                         ::testing::Values(0.0, 10.0, 25.0, 50.0, 75.0, 90.0,
+                                           99.0, 100.0));
+
+}  // namespace
+}  // namespace skh

@@ -1,0 +1,45 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace skh {
+namespace {
+
+TEST(TablePrinter, AlignsColumns) {
+  std::ostringstream os;
+  TablePrinter t({"name", "value"}, os);
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2"});
+  t.print();
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Separator line present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TablePrinter, RejectsMismatchedRow) {
+  std::ostringstream os;
+  TablePrinter t({"a", "b"}, os);
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TablePrinter, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(2.0, 0), "2");
+}
+
+TEST(TablePrinter, PctFormatsFraction) {
+  EXPECT_EQ(TablePrinter::pct(0.982, 1), "98.2%");
+}
+
+TEST(Banner, ContainsTitle) {
+  std::ostringstream os;
+  print_banner("Figure 15", os);
+  EXPECT_NE(os.str().find("Figure 15"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace skh

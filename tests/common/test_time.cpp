@@ -1,0 +1,55 @@
+#include "common/time.h"
+
+#include <gtest/gtest.h>
+
+namespace skh {
+namespace {
+
+TEST(SimTime, UnitConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(SimTime::micros(17.5).to_micros(), 17.5);
+  EXPECT_DOUBLE_EQ(SimTime::millis(3.0).to_millis(), 3.0);
+  EXPECT_DOUBLE_EQ(SimTime::seconds(30.0).to_seconds(), 30.0);
+  EXPECT_DOUBLE_EQ(SimTime::minutes(5.0).to_minutes(), 5.0);
+  EXPECT_DOUBLE_EQ(SimTime::hours(2.0).to_seconds(), 7200.0);
+}
+
+TEST(SimTime, DefaultIsZero) {
+  EXPECT_EQ(SimTime{}.raw_nanos(), 0);
+}
+
+TEST(SimTime, Arithmetic) {
+  const auto a = SimTime::seconds(10);
+  const auto b = SimTime::seconds(4);
+  EXPECT_DOUBLE_EQ((a + b).to_seconds(), 14.0);
+  EXPECT_DOUBLE_EQ((a - b).to_seconds(), 6.0);
+  EXPECT_DOUBLE_EQ((a * 2.5).to_seconds(), 25.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+}
+
+TEST(SimTime, CompoundAssignment) {
+  auto t = SimTime::seconds(1);
+  t += SimTime::seconds(2);
+  EXPECT_DOUBLE_EQ(t.to_seconds(), 3.0);
+  t -= SimTime::millis(500);
+  EXPECT_DOUBLE_EQ(t.to_seconds(), 2.5);
+}
+
+TEST(SimTime, OrderingIsTotal) {
+  EXPECT_LT(SimTime::micros(1), SimTime::micros(2));
+  EXPECT_LE(SimTime::seconds(1), SimTime::millis(1000));
+  EXPECT_GT(SimTime::hours(1), SimTime::minutes(59));
+}
+
+TEST(SimTime, SubMicrosecondResolution) {
+  const auto t = SimTime::nanos(1234);
+  EXPECT_DOUBLE_EQ(t.to_micros(), 1.234);
+}
+
+TEST(SimTime, MonthScaleFitsWithoutOverflow) {
+  const auto six_months = SimTime::hours(24.0 * 30 * 6);
+  EXPECT_GT(six_months.raw_nanos(), 0);
+  EXPECT_DOUBLE_EQ(six_months.to_seconds(), 24.0 * 3600 * 180);
+}
+
+}  // namespace
+}  // namespace skh

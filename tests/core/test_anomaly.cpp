@@ -1,0 +1,208 @@
+#include "core/anomaly.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace skh::core {
+namespace {
+
+EndpointPair pair() {
+  return {{ContainerId{0}, RnicId{0}}, {ContainerId{1}, RnicId{8}}};
+}
+
+probe::ProbeResult result(double t_seconds, bool delivered, double rtt = 16.0) {
+  probe::ProbeResult r;
+  r.pair = pair();
+  r.sent_at = SimTime::seconds(t_seconds);
+  r.delivered = delivered;
+  r.rtt_us = rtt;
+  return r;
+}
+
+/// Feed `seconds` of healthy 1 Hz probes starting at t0; returns events.
+std::vector<AnomalyEvent> feed_healthy(AnomalyDetector& det, double t0,
+                                       double seconds, RngStream& rng) {
+  std::vector<AnomalyEvent> all;
+  for (double t = t0; t < t0 + seconds; t += 1.0) {
+    const double rtt = 16.0 * std::exp(rng.normal(0.0, 0.05));
+    const auto evts = det.ingest(result(t, true, rtt));
+    all.insert(all.end(), evts.begin(), evts.end());
+  }
+  return all;
+}
+
+TEST(Anomaly, HealthyTrafficRaisesNothing) {
+  AnomalyDetector det;
+  RngStream rng{1};
+  const auto events = feed_healthy(det, 0, 1200, rng);
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(Anomaly, UnreachableStreakFiresOnce) {
+  AnomalyDetector det;
+  std::vector<AnomalyEvent> all;
+  for (int i = 0; i < 10; ++i) {
+    const auto evts = det.ingest(result(i, false));
+    all.insert(all.end(), evts.begin(), evts.end());
+  }
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].kind, AnomalyKind::kUnreachable);
+  EXPECT_DOUBLE_EQ(all[0].detected_at.to_seconds(), 2.0);  // third failure
+}
+
+TEST(Anomaly, RecoveryRearmsUnreachable) {
+  AnomalyDetector det;
+  for (int i = 0; i < 5; ++i) (void)det.ingest(result(i, false));
+  (void)det.ingest(result(5, true));
+  std::vector<AnomalyEvent> all;
+  for (int i = 6; i < 10; ++i) {
+    const auto evts = det.ingest(result(i, false));
+    all.insert(all.end(), evts.begin(), evts.end());
+  }
+  EXPECT_EQ(all.size(), 1u);  // fires again after recovery
+}
+
+TEST(Anomaly, WindowLossRateFires) {
+  AnomalyDetector det;
+  RngStream rng{2};
+  std::vector<AnomalyEvent> all;
+  // 30s window with 20% loss; losses spread out so no streak of 3 forms.
+  for (int i = 0; i < 35; ++i) {
+    const bool lost = (i % 5 == 0);
+    const auto evts = det.ingest(result(i, !lost, 16.0));
+    all.insert(all.end(), evts.begin(), evts.end());
+  }
+  ASSERT_FALSE(all.empty());
+  EXPECT_EQ(all[0].kind, AnomalyKind::kPacketLoss);
+  EXPECT_NEAR(all[0].score, 0.2, 0.06);
+}
+
+TEST(Anomaly, ShortTermLatencyShiftFires) {
+  AnomalyDetector det;
+  RngStream rng{3};
+  // Build a healthy look-back (>= k+1 windows), then the Fig. 18 jump.
+  auto events = feed_healthy(det, 0, 400, rng);
+  ASSERT_TRUE(events.empty());
+  std::vector<AnomalyEvent> all;
+  for (double t = 400; t < 480; t += 1.0) {
+    const double rtt = 120.0 * std::exp(rng.normal(0.0, 0.05));
+    const auto evts = det.ingest(result(t, true, rtt));
+    all.insert(all.end(), evts.begin(), evts.end());
+  }
+  ASSERT_FALSE(all.empty());
+  EXPECT_EQ(all[0].kind, AnomalyKind::kLatencyShortTerm);
+  EXPECT_GT(all[0].score, det.config().lof.outlier_threshold);
+}
+
+TEST(Anomaly, TransientSpikeInOneWindowOnly) {
+  // A single 30s congestion episode fires at most briefly and then the
+  // detector re-converges — no alarm storm.
+  AnomalyDetector det;
+  RngStream rng{4};
+  (void)feed_healthy(det, 0, 400, rng);
+  std::size_t events_during = 0;
+  for (double t = 400; t < 430; t += 1.0) {
+    events_during += det.ingest(result(t, true, 40.0)).size();
+  }
+  // Back to healthy for 10 minutes: no further short-term alarms.
+  const auto after = feed_healthy(det, 430, 600, rng);
+  std::size_t later_short = 0;
+  for (const auto& e : after) {
+    if (e.kind == AnomalyKind::kLatencyShortTerm) ++later_short;
+  }
+  EXPECT_LE(later_short, 1u);
+}
+
+TEST(Anomaly, LongTermGradualDriftFires) {
+  // Latency creeps up 1% per minute — each 30s step is invisible to LOF
+  // (windows absorb into the look-back), but the 30-minute Z-test catches
+  // the accumulated shift (Figure 14).
+  DetectorConfig cfg;
+  cfg.lof.outlier_threshold = 1e9;  // isolate the long-term detector
+  AnomalyDetector det(cfg);
+  RngStream rng{5};
+  std::vector<AnomalyEvent> all;
+  for (double t = 0; t < 5400; t += 1.0) {
+    const double drift = 1.0 + 0.01 * (t / 60.0);
+    const double rtt = 16.0 * drift * std::exp(rng.normal(0.0, 0.05));
+    const auto evts = det.ingest(result(t, true, rtt));
+    all.insert(all.end(), evts.begin(), evts.end());
+  }
+  bool long_term = false;
+  for (const auto& e : all) {
+    if (e.kind == AnomalyKind::kLatencyLongTerm) long_term = true;
+  }
+  EXPECT_TRUE(long_term);
+}
+
+TEST(Anomaly, StableLongTermPassesZTest) {
+  DetectorConfig cfg;
+  cfg.lof.outlier_threshold = 1e9;
+  AnomalyDetector det(cfg);
+  RngStream rng{6};
+  std::vector<AnomalyEvent> all;
+  for (double t = 0; t < 7200; t += 1.0) {
+    const double rtt = 16.0 * std::exp(rng.normal(0.0, 0.08));
+    const auto evts = det.ingest(result(t, true, rtt));
+    all.insert(all.end(), evts.begin(), evts.end());
+  }
+  for (const auto& e : all) {
+    EXPECT_NE(e.kind, AnomalyKind::kLatencyLongTerm);
+  }
+}
+
+TEST(Anomaly, FlushClosesOpenWindows) {
+  AnomalyDetector det;
+  for (int i = 0; i < 20; ++i) {
+    // 50% loss in a window that never closes on its own.
+    (void)det.ingest(result(i, i % 2 == 0, 16.0));
+  }
+  const auto events = det.flush(SimTime::seconds(30));
+  bool loss = false;
+  for (const auto& e : events) {
+    if (e.kind == AnomalyKind::kPacketLoss) loss = true;
+  }
+  EXPECT_TRUE(loss);
+}
+
+TEST(Anomaly, SparseSamplesSkipAnalysis) {
+  // Fewer than min_samples_per_window: the window is not judged.
+  AnomalyDetector det;
+  std::vector<AnomalyEvent> all;
+  for (int w = 0; w < 10; ++w) {
+    // 2 probes per 30s window, one lost (50% loss but too few samples).
+    auto e1 = det.ingest(result(w * 30.0, true, 16.0));
+    auto e2 = det.ingest(result(w * 30.0 + 10, false));
+    all.insert(all.end(), e1.begin(), e1.end());
+    all.insert(all.end(), e2.begin(), e2.end());
+  }
+  for (const auto& e : all) {
+    EXPECT_NE(e.kind, AnomalyKind::kPacketLoss);
+  }
+}
+
+TEST(Anomaly, PairsAreIndependent) {
+  AnomalyDetector det;
+  // Pair A fails; pair B stays healthy and must not alarm.
+  probe::ProbeResult healthy;
+  healthy.pair = {{ContainerId{2}, RnicId{16}}, {ContainerId{3}, RnicId{24}}};
+  healthy.delivered = true;
+  healthy.rtt_us = 16.0;
+  std::vector<AnomalyEvent> b_events;
+  for (int i = 0; i < 10; ++i) {
+    (void)det.ingest(result(i, false));
+    healthy.sent_at = SimTime::seconds(i);
+    const auto evts = det.ingest(healthy);
+    b_events.insert(b_events.end(), evts.begin(), evts.end());
+  }
+  EXPECT_TRUE(b_events.empty());
+}
+
+TEST(AnomalyKindStrings, Printable) {
+  EXPECT_EQ(to_string(AnomalyKind::kUnreachable), "unreachable");
+  EXPECT_EQ(to_string(AnomalyKind::kLatencyLongTerm), "latency-long-term");
+}
+
+}  // namespace
+}  // namespace skh::core

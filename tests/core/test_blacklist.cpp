@@ -1,0 +1,66 @@
+#include "core/blacklist.h"
+
+#include <gtest/gtest.h>
+
+namespace skh::core {
+namespace {
+
+TEST(Blacklist, AddContainsClear) {
+  Blacklist bl;
+  const sim::ComponentRef rnic{sim::ComponentKind::kRnic, 42};
+  EXPECT_FALSE(bl.contains(rnic));
+  bl.add(rnic, SimTime::seconds(10));
+  EXPECT_TRUE(bl.contains(rnic));
+  EXPECT_EQ(bl.size(), 1u);
+  bl.clear(rnic);
+  EXPECT_FALSE(bl.contains(rnic));
+  EXPECT_EQ(bl.size(), 0u);
+}
+
+TEST(Blacklist, AddIsIdempotent) {
+  Blacklist bl;
+  const sim::ComponentRef host{sim::ComponentKind::kHost, 3};
+  bl.add(host, SimTime::seconds(1));
+  bl.add(host, SimTime::seconds(2));
+  EXPECT_EQ(bl.size(), 1u);
+}
+
+TEST(Blacklist, HostSchedulabilityByHost) {
+  Blacklist bl;
+  bl.add({sim::ComponentKind::kHost, 5}, SimTime{});
+  EXPECT_FALSE(bl.host_schedulable(HostId{5}, 8));
+  EXPECT_TRUE(bl.host_schedulable(HostId{6}, 8));
+}
+
+TEST(Blacklist, HostSchedulabilityByVSwitch) {
+  Blacklist bl;
+  bl.add({sim::ComponentKind::kVSwitch, 2}, SimTime{});
+  EXPECT_FALSE(bl.host_schedulable(HostId{2}, 8));
+}
+
+TEST(Blacklist, HostSchedulabilityByRnic) {
+  Blacklist bl;
+  // RNIC 21 belongs to host 2 on 8-rail hosts (2*8+5).
+  bl.add({sim::ComponentKind::kRnic, 21}, SimTime{});
+  EXPECT_FALSE(bl.host_schedulable(HostId{2}, 8));
+  EXPECT_TRUE(bl.host_schedulable(HostId{1}, 8));
+  EXPECT_TRUE(bl.host_schedulable(HostId{3}, 8));
+}
+
+TEST(Blacklist, PhysicalComponentsDoNotBlockHosts) {
+  // A blacklisted switch/link takes traffic reroutes, not host capacity.
+  Blacklist bl;
+  bl.add({sim::ComponentKind::kPhysicalSwitch, 0}, SimTime{});
+  bl.add({sim::ComponentKind::kPhysicalLink, 0}, SimTime{});
+  EXPECT_TRUE(bl.host_schedulable(HostId{0}, 8));
+}
+
+TEST(Blacklist, EntriesEnumerates) {
+  Blacklist bl;
+  bl.add({sim::ComponentKind::kRnic, 1}, SimTime{});
+  bl.add({sim::ComponentKind::kHost, 2}, SimTime{});
+  EXPECT_EQ(bl.entries().size(), 2u);
+}
+
+}  // namespace
+}  // namespace skh::core

@@ -1,0 +1,197 @@
+#include "core/harness.h"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+
+namespace skh::core {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig cfg;
+  cfg.topology.num_hosts = 8;
+  cfg.topology.rails_per_host = 8;
+  cfg.topology.hosts_per_segment = 8;
+  cfg.hunter.inference.candidate_dp = {2, 4};
+  return cfg;
+}
+
+TEST(Experiment, LaunchAndRunToRunning) {
+  Experiment exp(small_config());
+  cluster::TaskRequest req;
+  req.num_containers = 4;
+  req.gpus_per_container = 8;
+  req.lifetime = SimTime::hours(2);
+  const auto task = exp.launch_task(req);
+  ASSERT_TRUE(task.has_value());
+  exp.run_to_running(*task);
+  for (ContainerId cid : exp.orchestrator().task(*task).containers) {
+    EXPECT_EQ(exp.orchestrator().container(cid).state,
+              cluster::ContainerState::kRunning);
+  }
+  // Preload happened: agents hold the basic list.
+  EXPECT_GT(exp.hunter().current_targets(*task), 0u);
+}
+
+TEST(Experiment, LaunchFailsGracefullyWithoutCapacity) {
+  Experiment exp(small_config());
+  cluster::TaskRequest req;
+  req.num_containers = 9;  // 9 > 8 hosts
+  req.gpus_per_container = 8;
+  EXPECT_FALSE(exp.launch_task(req).has_value());
+}
+
+TEST(Experiment, LayoutAndObservationsAreConsistent) {
+  Experiment exp(small_config());
+  cluster::TaskRequest req;
+  req.num_containers = 4;
+  req.gpus_per_container = 8;
+  req.lifetime = SimTime::hours(2);
+  const auto task = exp.launch_task(req);
+  exp.run_to_running(*task);
+  const auto layout = exp.layout_of(*task);
+  EXPECT_EQ(layout.roles.size(), 32u);
+  const auto obs = exp.observations_for(layout);
+  EXPECT_EQ(obs.size(), layout.roles.size());
+  for (const auto& o : obs) {
+    EXPECT_FALSE(o.throughput.empty());
+    EXPECT_EQ(o.host,
+              exp.topology().host_of(o.endpoint.rnic).value());
+    EXPECT_LT(o.rnic_rank, 8u);
+  }
+}
+
+TEST(Experiment, ApplySkeletonShrinksTargets) {
+  Experiment exp(small_config());
+  cluster::TaskRequest req;
+  req.num_containers = 8;
+  req.gpus_per_container = 8;
+  req.lifetime = SimTime::hours(2);
+  const auto task = exp.launch_task(req);
+  exp.run_to_running(*task);
+  const auto before = exp.hunter().current_targets(*task);
+  workload::ParallelismConfig par;
+  par.tp = 8;
+  par.pp = 4;
+  par.dp = 2;
+  const auto inferred = exp.apply_skeleton(*task, exp.layout_of(*task, par));
+  ASSERT_TRUE(inferred.has_value());
+  EXPECT_LT(exp.hunter().current_targets(*task), before);
+}
+
+TEST(Experiment, IdleWorkloadKeepsBasicList) {
+  // Fidelity validation (§7.3) rejects a skeleton inferred from an idle
+  // debug cluster; the basic list stays in force.
+  Experiment exp(small_config());
+  cluster::TaskRequest req;
+  req.num_containers = 4;
+  req.gpus_per_container = 8;
+  req.lifetime = SimTime::hours(2);
+  const auto task = exp.launch_task(req);
+  exp.run_to_running(*task);
+  const auto before = exp.hunter().current_targets(*task);
+  workload::BurstConfig idle;
+  idle.idle = true;
+  const auto inferred =
+      exp.apply_skeleton(*task, exp.layout_of(*task), idle);
+  EXPECT_FALSE(inferred.has_value());
+  EXPECT_EQ(exp.hunter().current_targets(*task), before);
+}
+
+TEST(Experiment, OptOutStopsProbing) {
+  Experiment exp(small_config());
+  cluster::TaskRequest req;
+  req.num_containers = 4;
+  req.gpus_per_container = 8;
+  req.lifetime = SimTime::hours(2);
+  const auto task = exp.launch_task(req);
+  exp.run_to_running(*task);
+  EXPECT_GT(exp.hunter().current_targets(*task), 0u);
+  exp.hunter().opt_out(*task);
+  EXPECT_EQ(exp.hunter().current_targets(*task), 0u);
+  exp.hunter().start(exp.events().now() + SimTime::minutes(5));
+  exp.events().run_all();
+  exp.hunter().finalize();
+  EXPECT_EQ(exp.hunter().total_probes(), 0u);
+}
+
+TEST(Experiment, AutoBlacklistBlocksReplacement) {
+  // §8: once a host's component is localized as faulty, no new task lands
+  // on that host until repair.
+  ExperimentConfig cfg = small_config();
+  cfg.hunter.inference.candidate_dp = {2, 3, 4};
+  Experiment exp(cfg);
+  cluster::TaskRequest req;
+  // Three containers: the faulty host's endpoints recur across two peers,
+  // which is what lets the endpoint-pattern step single it out (a
+  // two-container task is perfectly symmetric and genuinely ambiguous).
+  req.num_containers = 3;
+  req.gpus_per_container = 8;
+  req.lifetime = SimTime::minutes(20);
+  const auto task = exp.launch_task(req);
+  ASSERT_TRUE(task.has_value());
+  exp.run_to_running(*task);
+  workload::ParallelismConfig par;
+  par.tp = 8;
+  par.pp = 1;
+  par.dp = 3;
+  (void)exp.apply_skeleton(*task, exp.layout_of(*task, par));
+
+  const auto victim = exp.orchestrator().endpoints_of_task(*task)[0];
+  const HostId bad_host = exp.topology().host_of(victim.rnic);
+  const SimTime t0 = exp.events().now() + SimTime::minutes(1);
+  exp.faults().inject(sim::IssueType::kGidChange,
+                      {sim::ComponentKind::kHost, bad_host.value()}, t0,
+                      t0 + SimTime::minutes(5));
+  exp.hunter().start(exp.events().now() + SimTime::minutes(30));
+  exp.events().run_all();
+  exp.hunter().finalize();
+  ASSERT_FALSE(exp.hunter().failure_cases().empty());
+  EXPECT_TRUE(exp.hunter().blacklist().contains(
+      {sim::ComponentKind::kHost, bad_host.value()}));
+
+  // The old task is gone; capacity exists — but the bad host is skipped.
+  cluster::TaskRequest again;
+  again.num_containers = 8;  // needs every host including the bad one
+  again.gpus_per_container = 8;
+  EXPECT_FALSE(exp.launch_task(again).has_value());
+  again.num_containers = 7;  // fits while avoiding the bad host
+  const auto second = exp.launch_task(again);
+  ASSERT_TRUE(second.has_value());
+  for (ContainerId cid : exp.orchestrator().task(*second).containers) {
+    EXPECT_NE(exp.orchestrator().container(cid).host, bad_host);
+  }
+
+  // Repair lifts the ban.
+  exp.hunter().mark_repaired({sim::ComponentKind::kHost, bad_host.value()});
+  cluster::TaskRequest third;
+  third.num_containers = 1;
+  third.gpus_per_container = 8;
+  const auto t3 = exp.launch_task(third);
+  ASSERT_TRUE(t3.has_value());
+  EXPECT_EQ(exp.orchestrator()
+                .container(exp.orchestrator().task(*t3).containers[0])
+                .host,
+            bad_host);
+}
+
+TEST(Experiment, DeterministicWithSameSeed) {
+  auto run = [](std::uint64_t seed) {
+    ExperimentConfig cfg = small_config();
+    cfg.seed = seed;
+    Experiment exp(cfg);
+    cluster::TaskRequest req;
+    req.num_containers = 4;
+    req.gpus_per_container = 8;
+    req.lifetime = SimTime::hours(1);
+    const auto task = exp.launch_task(req);
+    exp.run_to_running(*task);
+    exp.hunter().start(exp.events().now() + SimTime::minutes(5));
+    exp.events().run_all();
+    return exp.hunter().total_probes();
+  };
+  EXPECT_EQ(run(9), run(9));
+}
+
+}  // namespace
+}  // namespace skh::core

@@ -1,0 +1,239 @@
+#include "core/localize.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../testutil.h"
+
+namespace skh::core {
+namespace {
+
+using testutil::SimEnv;
+
+class LocalizeTest : public ::testing::Test {
+ protected:
+  LocalizeTest()
+      : env_([] {
+          // Small segments so the task spans two of them (the spine-link
+          // intersection test needs cross-segment pairs).
+          auto cfg = testutil::small_topology();
+          cfg.hosts_per_segment = 4;
+          return cfg;
+        }()),
+        oracle_(env_.faults, RngStream{11}) {
+    task_ = testutil::run_task_to_running(env_, 8);
+    endpoints_ = env_.orch.endpoints_of_task(task_);
+    localizer_.emplace(env_.topo, env_.overlay, oracle_, env_.faults);
+  }
+
+  /// All directed same-rank pairs touching `ep`.
+  std::vector<EndpointPair> pairs_of(const Endpoint& ep) {
+    std::vector<EndpointPair> out;
+    for (const auto& other : endpoints_) {
+      if (other.container == ep.container) continue;
+      if (env_.topo.rail_of(other.rnic) != env_.topo.rail_of(ep.rnic)) continue;
+      out.push_back({ep, other});
+      out.push_back({other, ep});
+    }
+    return out;
+  }
+
+  SimEnv env_;
+  DiagnosticsOracle oracle_;
+  std::optional<Localizer> localizer_;
+  TaskId task_;
+  std::vector<Endpoint> endpoints_;
+};
+
+TEST_F(LocalizeTest, OverlayBrokenRuleIsVSwitchVerdict) {
+  const Endpoint src = endpoints_[0];
+  const Endpoint dst = endpoints_[8];
+  env_.overlay.break_rule(env_.overlay.chain_of(src).ovs, dst);
+  const auto v = localizer_->overlay_reachability(src, dst);
+  EXPECT_FALSE(v.reachable);
+  EXPECT_FALSE(v.loop);
+  const auto loc = localizer_->localize({{src, dst}}, SimTime::seconds(10));
+  EXPECT_EQ(loc.method, LocalizationMethod::kOverlayReachability);
+  ASSERT_EQ(loc.culprits.size(), 1u);
+  EXPECT_EQ(loc.culprits[0].kind, sim::ComponentKind::kVSwitch);
+  EXPECT_EQ(loc.culprits[0].index,
+            env_.topo.host_of(src.rnic).value());
+}
+
+TEST_F(LocalizeTest, OverlayLoopIsDetected) {
+  const Endpoint src = endpoints_[0];
+  const Endpoint dst = endpoints_[8];
+  const auto& chain = env_.overlay.chain_of(src);
+  env_.overlay.corrupt_rule_to_loop(chain.vxlan, dst, chain.veth);
+  const auto v = localizer_->overlay_reachability(src, dst);
+  EXPECT_FALSE(v.reachable);
+  EXPECT_TRUE(v.loop);
+  const auto loc = localizer_->localize({{src, dst}}, SimTime::seconds(10));
+  EXPECT_EQ(loc.method, LocalizationMethod::kOverlayReachability);
+  EXPECT_EQ(loc.culprits[0].kind, sim::ComponentKind::kVSwitch);
+}
+
+TEST_F(LocalizeTest, HealthyOverlayIsReachable) {
+  const auto v =
+      localizer_->overlay_reachability(endpoints_[0], endpoints_[8]);
+  EXPECT_TRUE(v.reachable);
+}
+
+TEST_F(LocalizeTest, TorSwitchFaultWinsIntersectionVote) {
+  // ToR (segment 0, rail 0) dies: every same-rail pair between hosts 0-7
+  // crossing that ToR is anomalous.
+  const SwitchId tor = env_.topo.tor_at(0, 0);
+  env_.faults.inject(sim::IssueType::kSwitchOffline,
+                     {sim::ComponentKind::kPhysicalSwitch, tor.value()},
+                     SimTime::seconds(0), SimTime::hours(1));
+  // Anomalous pairs: the rail-0 pairs whose route crosses the dead ToR.
+  std::vector<EndpointPair> anomalous;
+  for (const auto& a : endpoints_) {
+    for (const auto& b : endpoints_) {
+      if (a.container == b.container) continue;
+      if (env_.topo.rail_of(a.rnic) != 0 || env_.topo.rail_of(b.rnic) != 0) {
+        continue;
+      }
+      const auto path = env_.topo.route(a.rnic, b.rnic);
+      if (std::find(path.switches.begin(), path.switches.end(), tor) !=
+          path.switches.end()) {
+        anomalous.push_back({a, b});
+      }
+    }
+  }
+  const auto loc = localizer_->localize(anomalous, SimTime::minutes(1));
+  EXPECT_EQ(loc.method, LocalizationMethod::kPhysicalIntersection);
+  ASSERT_FALSE(loc.culprits.empty());
+  EXPECT_EQ(loc.culprits[0].kind, sim::ComponentKind::kPhysicalSwitch);
+  EXPECT_EQ(loc.culprits[0].index, tor.value());
+}
+
+TEST_F(LocalizeTest, UplinkCrcFaultBlamedOnLinkWithLogs) {
+  const Endpoint victim = endpoints_[0];
+  const LinkId uplink = env_.topo.uplink_of(victim.rnic);
+  env_.faults.inject(sim::IssueType::kCrcError,
+                     {sim::ComponentKind::kPhysicalLink, uplink.value()},
+                     SimTime::seconds(0), SimTime::hours(1));
+  const auto loc =
+      localizer_->localize(pairs_of(victim), SimTime::minutes(1));
+  EXPECT_EQ(loc.method, LocalizationMethod::kPhysicalIntersection);
+  ASSERT_EQ(loc.culprits.size(), 1u);
+  EXPECT_EQ(loc.culprits[0].kind, sim::ComponentKind::kPhysicalLink);
+  EXPECT_EQ(loc.culprits[0].index, uplink.value());
+}
+
+TEST_F(LocalizeTest, RnicFaultWithoutLinkLogsBlamesRnic) {
+  // No link fault injected => no switch warning logs => the uplink verdict
+  // is re-attributed; endpoint pattern then blames the RNIC.
+  const Endpoint victim = endpoints_[0];
+  env_.faults.inject(sim::IssueType::kRnicHardwareFailure,
+                     {sim::ComponentKind::kRnic, victim.rnic.value()},
+                     SimTime::seconds(0), SimTime::hours(1));
+  const auto loc = localizer_->localize(pairs_of(victim), SimTime::minutes(1));
+  ASSERT_FALSE(loc.culprits.empty());
+  EXPECT_EQ(loc.culprits[0].kind, sim::ComponentKind::kRnic);
+  EXPECT_EQ(loc.culprits[0].index, victim.rnic.value());
+}
+
+TEST_F(LocalizeTest, OffloadInconsistencyFoundByRnicValidation) {
+  // The Figure 18 case: flow tables dumped and diffed.
+  const Endpoint victim = endpoints_[3];
+  env_.overlay.invalidate_offload(victim.rnic);
+  const auto rnics = localizer_->validate_rnics(pairs_of(victim));
+  ASSERT_EQ(rnics.size(), 1u);
+  EXPECT_EQ(rnics[0].index, victim.rnic.value());
+}
+
+TEST_F(LocalizeTest, HostScopeFaultBlamesHost) {
+  // GID change on host 0: every rail of host 0 degrades; the recurring
+  // endpoints span >= 2 rails of one host.
+  env_.faults.inject(sim::IssueType::kGidChange,
+                     {sim::ComponentKind::kHost, 0},
+                     SimTime::seconds(0), SimTime::hours(1));
+  std::vector<EndpointPair> anomalous;
+  for (const auto& ep : endpoints_) {
+    if (env_.topo.host_of(ep.rnic) != HostId{0}) continue;
+    const auto pairs = pairs_of(ep);
+    anomalous.insert(anomalous.end(), pairs.begin(), pairs.end());
+  }
+  const auto loc = localizer_->localize(anomalous, SimTime::minutes(1));
+  EXPECT_EQ(loc.method, LocalizationMethod::kEndpointPattern);
+  ASSERT_FALSE(loc.culprits.empty());
+  EXPECT_EQ(loc.culprits[0].kind, sim::ComponentKind::kHost);
+  EXPECT_EQ(loc.culprits[0].index, 0u);
+}
+
+TEST_F(LocalizeTest, VSwitchFaultConfirmedByInspection) {
+  env_.faults.inject(sim::IssueType::kNotUsingRdma,
+                     {sim::ComponentKind::kVSwitch, 0},
+                     SimTime::seconds(0), SimTime::hours(1));
+  std::vector<EndpointPair> anomalous;
+  for (const auto& ep : endpoints_) {
+    if (env_.topo.host_of(ep.rnic) != HostId{0}) continue;
+    const auto pairs = pairs_of(ep);
+    anomalous.insert(anomalous.end(), pairs.begin(), pairs.end());
+  }
+  const auto loc = localizer_->localize(anomalous, SimTime::minutes(1));
+  ASSERT_FALSE(loc.culprits.empty());
+  EXPECT_EQ(loc.culprits[0].kind, sim::ComponentKind::kVSwitch);
+  EXPECT_EQ(loc.culprits[0].index, 0u);
+}
+
+TEST_F(LocalizeTest, SpineLinkFaultVotedByIntersection) {
+  // Pick pairs whose ECMP route crosses segment boundaries on rail 2, then
+  // fault the exact tor-spine link of one of them and feed only the pairs
+  // that traverse it.
+  std::vector<EndpointPair> crossing;
+  LinkId faulty;
+  for (const auto& a : endpoints_) {
+    for (const auto& b : endpoints_) {
+      if (a.container == b.container) continue;
+      if (env_.topo.rail_of(a.rnic) != 2 || env_.topo.rail_of(b.rnic) != 2) {
+        continue;
+      }
+      const auto path = env_.topo.route(a.rnic, b.rnic);
+      if (path.links.size() != 4) continue;  // cross-segment only
+      if (!faulty.valid()) faulty = path.links[1];
+      if (path.links[1] == faulty) crossing.push_back({a, b});
+    }
+  }
+  ASSERT_TRUE(faulty.valid());
+  ASSERT_GE(crossing.size(), 2u);
+  env_.faults.inject(sim::IssueType::kCrcError,
+                     {sim::ComponentKind::kPhysicalLink, faulty.value()},
+                     SimTime::seconds(0), SimTime::hours(1));
+  const auto loc = localizer_->localize(crossing, SimTime::minutes(1));
+  EXPECT_EQ(loc.method, LocalizationMethod::kPhysicalIntersection);
+  bool found = false;
+  for (const auto& c : loc.culprits) {
+    if (c.kind == sim::ComponentKind::kPhysicalLink &&
+        c.index == faulty.value()) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(LocalizeTest, EmptyInputYieldsNothing) {
+  const auto loc = localizer_->localize({}, SimTime::seconds(1));
+  EXPECT_FALSE(loc.found());
+  EXPECT_EQ(loc.method, LocalizationMethod::kUnlocalized);
+}
+
+TEST_F(LocalizeTest, SinglePairNoIntersectionEvidence) {
+  // Algorithm 1: all counters <= 1 => no underlay verdict.
+  const auto voted =
+      localizer_->physical_intersection({{endpoints_[0], endpoints_[8]}});
+  EXPECT_TRUE(voted.empty());
+}
+
+TEST(LocalizeStrings, MethodsPrintable) {
+  EXPECT_EQ(to_string(LocalizationMethod::kOverlayReachability),
+            "overlay-reachability");
+  EXPECT_EQ(to_string(LocalizationMethod::kRnicValidation),
+            "rnic-validation");
+}
+
+}  // namespace
+}  // namespace skh::core

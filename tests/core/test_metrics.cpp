@@ -1,0 +1,158 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+
+namespace skh::core {
+namespace {
+
+using testutil::SimEnv;
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  MetricsTest() : env_(testutil::small_topology()) {
+    task_ = testutil::run_task_to_running(env_, 4);
+    endpoints_ = env_.orch.endpoints_of_task(task_);
+  }
+
+  FailureCase make_case(const std::vector<EndpointPair>& pairs, double t0,
+                        double t1, Localization loc = {}) {
+    FailureCase c;
+    c.task = task_;
+    c.first_event = SimTime::seconds(t0);
+    c.last_event = SimTime::seconds(t1);
+    c.pairs.insert(pairs.begin(), pairs.end());
+    c.localization = std::move(loc);
+    c.closed = true;
+    return c;
+  }
+
+  SimEnv env_;
+  TaskId task_;
+  std::vector<Endpoint> endpoints_;
+};
+
+TEST_F(MetricsTest, FaultAffectsPairByComponentKind) {
+  const EndpointPair p{endpoints_[0], endpoints_[8]};
+  sim::Fault f;
+  f.target = {sim::ComponentKind::kRnic, endpoints_[0].rnic.value()};
+  EXPECT_TRUE(fault_affects_pair(f, p, env_.topo));
+  f.target = {sim::ComponentKind::kRnic, endpoints_[1].rnic.value()};
+  EXPECT_FALSE(fault_affects_pair(f, p, env_.topo));
+  f.target = {sim::ComponentKind::kHost,
+              env_.topo.host_of(endpoints_[8].rnic).value()};
+  EXPECT_TRUE(fault_affects_pair(f, p, env_.topo));
+  f.target = {sim::ComponentKind::kPhysicalLink,
+              env_.topo.uplink_of(endpoints_[0].rnic).value()};
+  EXPECT_TRUE(fault_affects_pair(f, p, env_.topo));
+  f.target = {sim::ComponentKind::kContainer,
+              endpoints_[8].container.value()};
+  EXPECT_TRUE(fault_affects_pair(f, p, env_.topo));
+}
+
+TEST_F(MetricsTest, TruePositiveScoresFull) {
+  const auto fid = env_.faults.inject(
+      sim::IssueType::kRnicPortDown,
+      {sim::ComponentKind::kRnic, endpoints_[0].rnic.value()},
+      SimTime::seconds(100), SimTime::seconds(500));
+  (void)fid;
+  Localization loc;
+  loc.method = LocalizationMethod::kEndpointPattern;
+  loc.culprits.push_back(
+      {sim::ComponentKind::kRnic, endpoints_[0].rnic.value()});
+  const std::vector<FailureCase> cases{
+      make_case({{endpoints_[0], endpoints_[8]}}, 130, 480, loc)};
+  const auto score = score_campaign(cases, env_.faults, env_.topo);
+  EXPECT_EQ(score.cases_true, 1u);
+  EXPECT_EQ(score.cases_false, 0u);
+  EXPECT_EQ(score.detected_true, 1u);
+  EXPECT_DOUBLE_EQ(score.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(score.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(score.localization_accuracy(), 1.0);
+  EXPECT_NEAR(score.mean_detection_latency_s, 30.0, 1e-9);
+}
+
+TEST_F(MetricsTest, FalsePositiveLowersPrecision) {
+  // No faults at all: any case is false.
+  const std::vector<FailureCase> cases{
+      make_case({{endpoints_[0], endpoints_[8]}}, 10, 20)};
+  const auto score = score_campaign(cases, env_.faults, env_.topo);
+  EXPECT_EQ(score.cases_false, 1u);
+  EXPECT_DOUBLE_EQ(score.precision(), 0.0);
+}
+
+TEST_F(MetricsTest, MissedFaultLowersRecall) {
+  env_.faults.inject(sim::IssueType::kSwitchPortDown,
+                     {sim::ComponentKind::kPhysicalLink, 0},
+                     SimTime::seconds(0), SimTime::seconds(100));
+  const auto score = score_campaign({}, env_.faults, env_.topo);
+  EXPECT_DOUBLE_EQ(score.recall(), 0.0);
+  EXPECT_EQ(score.injected_visible, 1u);
+}
+
+TEST_F(MetricsTest, InvisibleFaultsCountAgainstRecallOnly) {
+  // §7.3: intra-host faults are inherent false negatives.
+  env_.faults.inject(sim::IssueType::kNvlinkDegradation,
+                     {sim::ComponentKind::kHost, 0},
+                     SimTime::seconds(0), SimTime::seconds(1000));
+  const auto score = score_campaign({}, env_.faults, env_.topo);
+  EXPECT_EQ(score.injected_invisible, 1u);
+  EXPECT_DOUBLE_EQ(score.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(score.precision(), 1.0);  // no cases, no false alarms
+}
+
+TEST_F(MetricsTest, WrongCulpritLowersLocalizationAccuracy) {
+  env_.faults.inject(
+      sim::IssueType::kRnicPortDown,
+      {sim::ComponentKind::kRnic, endpoints_[0].rnic.value()},
+      SimTime::seconds(0), SimTime::seconds(1000));
+  Localization wrong;
+  wrong.method = LocalizationMethod::kPhysicalIntersection;
+  wrong.culprits.push_back({sim::ComponentKind::kPhysicalSwitch, 0});
+  const std::vector<FailureCase> cases{
+      make_case({{endpoints_[0], endpoints_[8]}}, 10, 500, wrong)};
+  const auto score = score_campaign(cases, env_.faults, env_.topo);
+  EXPECT_EQ(score.localized_total, 1u);
+  EXPECT_EQ(score.localized_correct, 0u);
+  EXPECT_DOUBLE_EQ(score.localization_accuracy(), 0.0);
+}
+
+TEST_F(MetricsTest, UplinkRnicAliasingCountsAsCorrect) {
+  // Blaming the uplink when the RNIC port is down (or vice versa) denotes
+  // the same physical port and scores as correct.
+  env_.faults.inject(
+      sim::IssueType::kRnicPortDown,
+      {sim::ComponentKind::kRnic, endpoints_[0].rnic.value()},
+      SimTime::seconds(0), SimTime::seconds(1000));
+  Localization alias;
+  alias.culprits.push_back(
+      {sim::ComponentKind::kPhysicalLink,
+       env_.topo.uplink_of(endpoints_[0].rnic).value()});
+  const std::vector<FailureCase> cases{
+      make_case({{endpoints_[0], endpoints_[8]}}, 10, 500, alias)};
+  const auto score = score_campaign(cases, env_.faults, env_.topo);
+  EXPECT_DOUBLE_EQ(score.localization_accuracy(), 1.0);
+}
+
+TEST_F(MetricsTest, TimeWindowGatesMatching) {
+  env_.faults.inject(
+      sim::IssueType::kRnicPortDown,
+      {sim::ComponentKind::kRnic, endpoints_[0].rnic.value()},
+      SimTime::hours(5), SimTime::hours(6));
+  // Case long before the fault: no match.
+  const std::vector<FailureCase> cases{
+      make_case({{endpoints_[0], endpoints_[8]}}, 10, 60)};
+  const auto score = score_campaign(cases, env_.faults, env_.topo);
+  EXPECT_EQ(score.cases_false, 1u);
+  EXPECT_EQ(score.detected_true, 0u);
+}
+
+TEST_F(MetricsTest, EmptyCampaignIsPerfect) {
+  const auto score = score_campaign({}, env_.faults, env_.topo);
+  EXPECT_DOUBLE_EQ(score.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(score.recall(), 1.0);
+}
+
+}  // namespace
+}  // namespace skh::core

@@ -1,0 +1,113 @@
+#include "core/ping_list_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "workload/traffic.h"
+
+namespace skh::core {
+namespace {
+
+using testutil::SimEnv;
+
+class PingListTest : public ::testing::Test {
+ protected:
+  PingListTest() : env_(testutil::small_topology()) {
+    task_ = testutil::run_task_to_running(env_, 16);  // 128 GPUs
+    endpoints_ = env_.orch.endpoints_of_task(task_);
+    rank_of_ = [this](const Endpoint& ep) {
+      const auto& ci = env_.orch.container(ep.container);
+      for (std::uint32_t r = 0; r < ci.rnics.size(); ++r) {
+        if (ci.rnics[r] == ep.rnic) return r;
+      }
+      return 0u;
+    };
+  }
+
+  SimEnv env_;
+  TaskId task_;
+  std::vector<Endpoint> endpoints_;
+  RankFn rank_of_;
+};
+
+TEST_F(PingListTest, BasicListIsEightfoldReduction) {
+  const auto basic = basic_ping_list(endpoints_, rank_of_);
+  const auto mesh = probe::full_mesh_pairs(endpoints_);
+  EXPECT_EQ(basic.size() * 8, mesh.size());  // §5.1: 87.5% reduction
+}
+
+TEST_F(PingListTest, SkeletonListExpandsBothDirections) {
+  const std::vector<EndpointPair> skel{{endpoints_[0], endpoints_[8]}};
+  const auto list = skeleton_ping_list(skel);
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0].src, endpoints_[0]);
+  EXPECT_EQ(list[1].src, endpoints_[8]);
+}
+
+TEST_F(PingListTest, LinkCoverListCoversAllTaskLinks) {
+  const auto selected = link_cover_list(endpoints_, env_.topo, 1);
+  std::set<LinkId> covered;
+  for (const auto& p : selected) {
+    for (LinkId l : env_.topo.route(p.src.rnic, p.dst.rnic).links) {
+      covered.insert(l);
+    }
+  }
+  // Every uplink of the task's RNICs must be probed.
+  for (const auto& ep : endpoints_) {
+    EXPECT_TRUE(covered.contains(env_.topo.uplink_of(ep.rnic)));
+  }
+}
+
+TEST_F(PingListTest, LinkCoverRespectsRedundancy) {
+  const auto selected = link_cover_list(endpoints_, env_.topo, 3);
+  std::map<LinkId, std::size_t> cover;
+  for (const auto& p : selected) {
+    for (LinkId l : env_.topo.route(p.src.rnic, p.dst.rnic).links) {
+      ++cover[l];
+    }
+  }
+  for (const auto& ep : endpoints_) {
+    EXPECT_GE(cover[env_.topo.uplink_of(ep.rnic)], 3u);
+  }
+}
+
+TEST_F(PingListTest, DetectorIsQuarterOfFullMesh) {
+  // The paper's deTector row: ~4x below full mesh, above the basic list.
+  const auto detector = detector_baseline_list(endpoints_, env_.topo);
+  const auto mesh = probe::full_mesh_pairs(endpoints_);
+  const double ratio = static_cast<double>(detector.size()) /
+                       static_cast<double>(mesh.size());
+  EXPECT_NEAR(ratio, 0.25, 0.03);
+}
+
+TEST_F(PingListTest, Figure15Ordering) {
+  // full mesh > deTector > basic > skeleton.
+  const auto layout = testutil::layout_of(env_, task_);
+  const auto tm = workload::build_traffic_matrix(layout);
+  std::vector<EndpointPair> skel;
+  for (const auto& e : tm.edges()) skel.push_back(EndpointPair{e.a, e.b});
+
+  const auto s = probing_scale(endpoints_, rank_of_, env_.topo, skel);
+  EXPECT_GT(s.full_mesh, s.detector);
+  EXPECT_GT(s.detector, s.basic);
+  EXPECT_GT(s.basic, s.skeleton);
+  // §5.1 / §7.1: the skeleton cuts > 95% off the full mesh.
+  EXPECT_LT(static_cast<double>(s.skeleton),
+            0.05 * static_cast<double>(s.full_mesh));
+}
+
+TEST_F(PingListTest, MaxTargetsPerAgent) {
+  const auto basic = basic_ping_list(endpoints_, rank_of_);
+  // 16 containers x 8 endpoints, each endpoint pings 15 same-rank peers:
+  // 120 directed targets per container agent.
+  EXPECT_EQ(max_targets_per_agent(basic), 120u);
+  EXPECT_EQ(max_targets_per_agent({}), 0u);
+}
+
+TEST(PingListEmpty, DegenerateInputs) {
+  EXPECT_TRUE(basic_ping_list({}, [](const Endpoint&) { return 0u; }).empty());
+  EXPECT_TRUE(skeleton_ping_list({}).empty());
+}
+
+}  // namespace
+}  // namespace skh::core

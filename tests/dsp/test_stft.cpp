@@ -1,0 +1,129 @@
+#include "dsp/stft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.h"
+#include "dsp/fft.h"
+
+namespace skh::dsp {
+namespace {
+
+std::vector<double> square_wave(std::size_t n, std::size_t period,
+                                double duty = 0.5, double amp = 1.0) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = (static_cast<double>(i % period) <
+            duty * static_cast<double>(period))
+               ? amp
+               : 0.0;
+  }
+  return v;
+}
+
+TEST(Window, RectIsAllOnes) {
+  const auto w = make_window(WindowKind::kRect, 8);
+  for (double x : w) EXPECT_DOUBLE_EQ(x, 1.0);
+}
+
+TEST(Window, HannIsZeroAtEdgesPeakInMiddle) {
+  const auto w = make_window(WindowKind::kHann, 65);
+  EXPECT_NEAR(w.front(), 0.0, 1e-12);
+  EXPECT_NEAR(w.back(), 0.0, 1e-12);
+  EXPECT_NEAR(w[32], 1.0, 1e-12);
+}
+
+TEST(Window, HammingNeverZero) {
+  const auto w = make_window(WindowKind::kHamming, 64);
+  for (double x : w) EXPECT_GT(x, 0.05);
+}
+
+TEST(Stft, RejectsBadConfig) {
+  std::vector<double> sig(100, 1.0);
+  StftConfig bad;
+  bad.frame_size = 60;  // not a power of two
+  EXPECT_THROW(stft(sig, bad), std::invalid_argument);
+  bad.frame_size = 64;
+  bad.hop = 0;
+  EXPECT_THROW(stft(sig, bad), std::invalid_argument);
+}
+
+TEST(Stft, FrameAndBinCounts) {
+  std::vector<double> sig(256, 0.0);
+  StftConfig cfg;
+  cfg.frame_size = 64;
+  cfg.hop = 32;
+  const auto spec = stft(sig, cfg);
+  EXPECT_EQ(spec.num_bins(), 33u);
+  EXPECT_GE(spec.num_frames(), 6u);
+}
+
+TEST(Stft, FeatureIsL2Normalized) {
+  RngStream rng{4};
+  std::vector<double> sig(512);
+  for (auto& x : sig) x = rng.uniform(0, 10);
+  const auto f = stft_feature(sig);
+  double norm = 0.0;
+  for (double v : f) norm += v * v;
+  EXPECT_NEAR(norm, 1.0, 1e-9);
+}
+
+TEST(Stft, FeatureIgnoresDcOffset) {
+  // Same periodic structure, different mean throughput: features match.
+  auto a = square_wave(512, 32);
+  auto b = square_wave(512, 32);
+  for (auto& x : b) x += 5.0;
+  const auto fa = stft_feature(a);
+  const auto fb = stft_feature(b);
+  EXPECT_GT(cosine_similarity(fa, fb), 0.99);
+}
+
+TEST(Stft, SamePeriodicitySimilarFeatures) {
+  RngStream rng{5};
+  auto a = square_wave(900, 30, 0.2, 15.0);
+  auto b = square_wave(900, 30, 0.2, 15.0);
+  for (auto& x : a) x += rng.normal(0, 0.3);
+  for (auto& x : b) x += rng.normal(0, 0.3);
+  EXPECT_GT(cosine_similarity(stft_feature(a), stft_feature(b)), 0.95);
+}
+
+TEST(Stft, DifferentPeriodicityDistinctFeatures) {
+  const auto a = square_wave(900, 30, 0.2, 15.0);
+  const auto c = square_wave(900, 50, 0.5, 15.0);
+  const double same = cosine_similarity(stft_feature(a), stft_feature(a));
+  const double diff = cosine_similarity(stft_feature(a), stft_feature(c));
+  EXPECT_GT(same - diff, 0.1);
+}
+
+TEST(Stft, TimeShiftedSignalKeepsFeature) {
+  // Figure 13 premise: the feature captures periodicity, not phase — the
+  // PP stage shift must not break position matching.
+  auto a = square_wave(900, 30, 0.2, 15.0);
+  std::vector<double> shifted(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    shifted[(i + 7) % a.size()] = a[i];
+  }
+  EXPECT_GT(cosine_similarity(stft_feature(a), stft_feature(shifted)), 0.98);
+}
+
+TEST(Similarity, CosineBounds) {
+  const std::vector<double> a{1.0, 0.0};
+  const std::vector<double> b{0.0, 1.0};
+  const std::vector<double> c{-1.0, 0.0};
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, c), -1.0);
+}
+
+TEST(Similarity, EuclideanDistance) {
+  const std::vector<double> a{0.0, 0.0};
+  const std::vector<double> b{3.0, 4.0};
+  const std::vector<double> shorter{1.0};
+  EXPECT_DOUBLE_EQ(euclidean_distance(a, b), 5.0);
+  EXPECT_THROW(euclidean_distance(a, shorter), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace skh::dsp

@@ -1,0 +1,65 @@
+#include "dsp/wavelet.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "dsp/stft.h"
+
+namespace skh::dsp {
+namespace {
+
+TEST(Haar, ConstantSignalHasOnlyApprox) {
+  const std::vector<double> sig(8, 2.0);
+  const auto c = haar_dwt(sig);
+  // Total energy concentrates in coefficient 0; details vanish.
+  EXPECT_NEAR(c[0], 2.0 * std::sqrt(8.0), 1e-12);
+  for (std::size_t i = 1; i < c.size(); ++i) EXPECT_NEAR(c[i], 0.0, 1e-12);
+}
+
+TEST(Haar, EnergyIsPreserved) {
+  RngStream rng{9};
+  std::vector<double> sig(64);
+  for (auto& x : sig) x = rng.normal(0, 1);
+  const auto c = haar_dwt(sig);
+  double e_time = 0.0, e_wav = 0.0;
+  for (double x : sig) e_time += x * x;
+  for (double x : c) e_wav += x * x;
+  EXPECT_NEAR(e_time, e_wav, 1e-9);
+}
+
+TEST(Haar, PadsNonPowerOfTwo) {
+  const std::vector<double> sig(10, 1.0);
+  const auto c = haar_dwt(sig);
+  EXPECT_EQ(c.size(), 16u);
+}
+
+TEST(Haar, FeatureIsNormalized) {
+  RngStream rng{10};
+  std::vector<double> sig(128);
+  for (auto& x : sig) x = rng.uniform(0, 5);
+  const auto f = haar_feature(sig);
+  double norm = 0.0;
+  for (double v : f) norm += v * v;
+  EXPECT_NEAR(norm, 1.0, 1e-9);
+  EXPECT_EQ(f.size(), 7u);  // log2(128) levels
+}
+
+TEST(Haar, SeparatesScales) {
+  // A fast alternating signal concentrates energy in fine-scale details; a
+  // slow square wave in coarse scales.
+  std::vector<double> fast(64), slow(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    fast[i] = (i % 2 == 0) ? 1.0 : -1.0;
+    slow[i] = (i < 32) ? 1.0 : -1.0;
+  }
+  const auto ff = haar_feature(fast);
+  const auto fs = haar_feature(slow);
+  EXPECT_NEAR(ff.back(), 1.0, 1e-9);   // finest detail band
+  EXPECT_NEAR(fs.front(), 1.0, 1e-9);  // coarsest detail band
+  EXPECT_LT(cosine_similarity(ff, fs), 0.1);
+}
+
+}  // namespace
+}  // namespace skh::dsp

@@ -1,0 +1,106 @@
+#include "ml/lof.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace skh::ml {
+namespace {
+
+std::vector<std::vector<double>> gaussian_cloud(std::size_t n, double cx,
+                                                double cy, double spread,
+                                                RngStream& rng) {
+  std::vector<std::vector<double>> pts;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({cx + rng.normal(0, spread), cy + rng.normal(0, spread)});
+  }
+  return pts;
+}
+
+TEST(Lof, InliersScoreNearOne) {
+  RngStream rng{1};
+  const auto pts = gaussian_cloud(50, 0, 0, 1.0, rng);
+  const auto scores = lof_scores(pts, {5, 1.5});
+  double mean = 0.0;
+  for (double s : scores) mean += s;
+  mean /= static_cast<double>(scores.size());
+  EXPECT_NEAR(mean, 1.0, 0.15);
+}
+
+TEST(Lof, OutlierScoresHigh) {
+  RngStream rng{2};
+  auto pts = gaussian_cloud(40, 0, 0, 0.5, rng);
+  pts.push_back({20.0, 20.0});  // far outlier
+  const auto scores = lof_scores(pts, {5, 1.5});
+  const double outlier = scores.back();
+  for (std::size_t i = 0; i + 1 < scores.size(); ++i) {
+    EXPECT_GT(outlier, scores[i]);
+  }
+  EXPECT_GT(outlier, 2.0);
+}
+
+TEST(Lof, DuplicatePointsDoNotDivideByZero) {
+  std::vector<std::vector<double>> pts(10, {1.0, 1.0});
+  const auto scores = lof_scores(pts, {3, 1.5});
+  for (double s : scores) {
+    EXPECT_TRUE(std::isfinite(s));
+    EXPECT_NEAR(s, 1.0, 0.01);
+  }
+}
+
+TEST(Lof, TooFewPointsAllOnes) {
+  const std::vector<std::vector<double>> pts{{0.0}, {1.0}};
+  const auto scores = lof_scores(pts, {3, 1.5});
+  EXPECT_EQ(scores.size(), 2u);
+  for (double s : scores) EXPECT_DOUBLE_EQ(s, 1.0);
+}
+
+TEST(Lof, RejectsZeroK) {
+  std::vector<std::vector<double>> pts(5, {0.0});
+  EXPECT_THROW(lof_scores(pts, {0, 1.5}), std::invalid_argument);
+}
+
+TEST(LofScoreOf, QueryAgainstReference) {
+  RngStream rng{3};
+  const auto reference = gaussian_cloud(30, 10, 10, 0.5, rng);
+  const std::vector<double> inlier{10.1, 9.9};
+  const std::vector<double> outlier{50.0, -30.0};
+  EXPECT_LT(lof_score_of(inlier, reference, {5, 1.5}), 1.5);
+  EXPECT_GT(lof_score_of(outlier, reference, {5, 1.5}), 3.0);
+}
+
+TEST(LofScoreOf, SmallReferenceIsNeutral) {
+  const std::vector<std::vector<double>> reference{{0.0}, {1.0}};
+  EXPECT_DOUBLE_EQ(lof_score_of(std::vector<double>{100.0}, reference, {3, 1.5}),
+                   1.0);
+}
+
+TEST(Lof, LatencyWindowScenario) {
+  // Seven-dimensional window summaries as the analyzer produces: ten
+  // healthy windows around 16us, one shifted to 120us (the Fig. 18 case).
+  std::vector<std::vector<double>> windows;
+  RngStream rng{4};
+  for (int i = 0; i < 10; ++i) {
+    const double m = 16.0 + rng.normal(0, 0.3);
+    windows.push_back({m - 1, m, m + 1, m - 2, m, 0.8, m + 3});
+  }
+  const std::vector<double> anomalous{119, 120, 121, 118, 120, 0.9, 123};
+  EXPECT_GT(lof_score_of(anomalous, windows, {3, 1.8}), 1.8);
+  const std::vector<double> healthy{15, 16, 17, 14, 16, 0.8, 19};
+  EXPECT_LT(lof_score_of(healthy, windows, {3, 1.8}), 1.8);
+}
+
+class LofKSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LofKSweep, OutlierDetectedAcrossK) {
+  RngStream rng{5};
+  auto pts = gaussian_cloud(60, 0, 0, 1.0, rng);
+  pts.push_back({30.0, 30.0});
+  const auto scores = lof_scores(pts, {GetParam(), 1.5});
+  EXPECT_GT(scores.back(), 1.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, LofKSweep, ::testing::Values(2, 3, 5, 10));
+
+}  // namespace
+}  // namespace skh::ml

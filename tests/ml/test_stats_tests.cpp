@@ -1,0 +1,133 @@
+#include "ml/stats_tests.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace skh::ml {
+namespace {
+
+std::vector<double> lognormal_sample(double mu, double sigma, std::size_t n,
+                                     RngStream& rng) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.lognormal(mu, sigma);
+  return v;
+}
+
+TEST(FitLognormal, RecoverParameters) {
+  RngStream rng{1};
+  const auto sample = lognormal_sample(std::log(16.0), 0.1, 20000, rng);
+  const auto m = fit_lognormal(sample);
+  EXPECT_NEAR(m.mu, std::log(16.0), 0.01);
+  EXPECT_NEAR(m.sigma, 0.1, 0.01);
+  EXPECT_EQ(m.n, 20000u);
+}
+
+TEST(FitLognormal, MedianAndMean) {
+  LogNormalModel m;
+  m.mu = std::log(16.0);
+  m.sigma = 0.5;
+  EXPECT_NEAR(m.median(), 16.0, 1e-9);
+  EXPECT_NEAR(m.mean(), 16.0 * std::exp(0.125), 1e-9);
+}
+
+TEST(FitLognormal, SkipsNonPositive) {
+  const std::vector<double> v{-1.0, 0.0, 2.0, 8.0};
+  const auto m = fit_lognormal(v);
+  EXPECT_EQ(m.n, 2u);
+  EXPECT_NEAR(m.mu, (std::log(2.0) + std::log(8.0)) / 2.0, 1e-12);
+}
+
+TEST(FitLognormal, ThrowsOnTooFew) {
+  EXPECT_THROW(fit_lognormal(std::vector<double>{1.0}), std::invalid_argument);
+  EXPECT_THROW(fit_lognormal(std::vector<double>{-1.0, -2.0}),
+               std::invalid_argument);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(LogNormalCdf, MonotoneAndBounded) {
+  LogNormalModel m;
+  m.mu = std::log(10.0);
+  m.sigma = 0.3;
+  EXPECT_DOUBLE_EQ(m.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.cdf(-5.0), 0.0);
+  EXPECT_NEAR(m.cdf(10.0), 0.5, 1e-12);
+  EXPECT_LT(m.cdf(8.0), m.cdf(12.0));
+}
+
+TEST(ZTest, AcceptsSameDistribution) {
+  RngStream rng{2};
+  const auto baseline = lognormal_sample(std::log(16.0), 0.1, 5000, rng);
+  const auto model = fit_lognormal(baseline);
+  const auto window = lognormal_sample(std::log(16.0), 0.1, 500, rng);
+  const auto r = z_test(model, window, 0.001);
+  EXPECT_FALSE(r.reject);
+}
+
+TEST(ZTest, RejectsShiftedDistribution) {
+  RngStream rng{3};
+  const auto baseline = lognormal_sample(std::log(16.0), 0.1, 5000, rng);
+  const auto model = fit_lognormal(baseline);
+  // 25% latency degradation (far below the Fig. 18 7.5x case, still caught).
+  const auto window = lognormal_sample(std::log(20.0), 0.1, 500, rng);
+  const auto r = z_test(model, window, 0.001);
+  EXPECT_TRUE(r.reject);
+  EXPECT_GT(r.z, 0.0);
+}
+
+TEST(ZTest, RejectsGradualDriftAtScale) {
+  // The long-term detector's reason to exist: a 3% shift is invisible to
+  // per-window outlier logic but significant over 30 minutes of samples.
+  RngStream rng{4};
+  const auto model = fit_lognormal(lognormal_sample(std::log(16), 0.1, 10000, rng));
+  const auto drifted = lognormal_sample(std::log(16.5), 0.1, 5000, rng);
+  EXPECT_TRUE(z_test(model, drifted, 0.001).reject);
+}
+
+TEST(ZTest, EmptyWindowAcceptsH0) {
+  LogNormalModel m;
+  m.mu = 1.0;
+  m.sigma = 0.5;
+  const auto r = z_test(m, {}, 0.01);
+  EXPECT_FALSE(r.reject);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(ZTest, TwoSidedDetectsImprovementToo) {
+  // A latency *drop* also shifts the distribution (e.g. route change) and
+  // is worth flagging for inspection.
+  RngStream rng{5};
+  const auto model = fit_lognormal(lognormal_sample(std::log(16), 0.1, 5000, rng));
+  const auto faster = lognormal_sample(std::log(12.0), 0.1, 500, rng);
+  const auto r = z_test(model, faster, 0.001);
+  EXPECT_TRUE(r.reject);
+  EXPECT_LT(r.z, 0.0);
+}
+
+class AlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AlphaSweep, FalsePositiveRateBelowAlpha) {
+  RngStream rng{6};
+  const auto model = fit_lognormal(lognormal_sample(std::log(16), 0.2, 20000, rng));
+  int rejects = 0;
+  constexpr int kTrials = 400;
+  for (int i = 0; i < kTrials; ++i) {
+    const auto window = lognormal_sample(std::log(16), 0.2, 200, rng);
+    if (z_test(model, window, GetParam()).reject) ++rejects;
+  }
+  const double rate = static_cast<double>(rejects) / kTrials;
+  EXPECT_LE(rate, GetParam() * 5 + 0.01);  // generous bound, still tight
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, AlphaSweep,
+                         ::testing::Values(0.001, 0.01, 0.05));
+
+}  // namespace
+}  // namespace skh::ml

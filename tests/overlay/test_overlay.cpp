@@ -1,0 +1,231 @@
+#include "overlay/overlay.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace skh::overlay {
+namespace {
+
+Endpoint ep(std::uint32_t c, std::uint32_t r) {
+  return Endpoint{ContainerId{c}, RnicId{r}};
+}
+
+/// Fixture with two endpoints on two hosts under one VNI.
+class ConnectedOverlay : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = ep(0, 0);
+    b_ = ep(1, 8);
+    net_.attach_endpoint(a_, HostId{0}, /*vni=*/7);
+    net_.attach_endpoint(b_, HostId{1}, /*vni=*/7);
+  }
+
+  /// Walk the forwarding chain of flow (src -> dst) from src's netns;
+  /// returns the visited nodes or stops at a break/loop.
+  std::vector<VPortId> walk(const Endpoint& src, const Endpoint& dst) {
+    std::vector<VPortId> visited;
+    VPortId current = net_.chain_of(src).netns;
+    for (int i = 0; i < 32; ++i) {
+      const auto next = net_.next_hop(src, dst, current);
+      if (!next) break;
+      visited.push_back(*next);
+      if (*next == net_.chain_of(dst).netns) break;
+      current = *next;
+    }
+    return visited;
+  }
+
+  OverlayNetwork net_;
+  Endpoint a_, b_;
+};
+
+TEST_F(ConnectedOverlay, ChainReachesDestination) {
+  const auto visited = walk(a_, b_);
+  ASSERT_FALSE(visited.empty());
+  EXPECT_EQ(visited.back(), net_.chain_of(b_).netns);
+  // Full chain: veth, ovs, vxlan, vf | vf, vxlan, ovs, veth, netns = 9 hops.
+  EXPECT_EQ(visited.size(), 9u);
+}
+
+TEST_F(ConnectedOverlay, ChainIsSymmetric) {
+  const auto visited = walk(b_, a_);
+  ASSERT_FALSE(visited.empty());
+  EXPECT_EQ(visited.back(), net_.chain_of(a_).netns);
+}
+
+TEST_F(ConnectedOverlay, OverlayPathListsAllTenNodes) {
+  const auto path = net_.overlay_path(a_, b_);
+  EXPECT_EQ(path.size(), 10u);
+  EXPECT_EQ(net_.node(path[0]).kind, NodeKind::kContainerNs);
+  EXPECT_EQ(net_.node(path[4]).kind, NodeKind::kRnicVf);
+  EXPECT_EQ(net_.node(path[5]).kind, NodeKind::kRnicVf);
+  EXPECT_EQ(net_.node(path[9]).kind, NodeKind::kContainerNs);
+}
+
+TEST_F(ConnectedOverlay, BrokenRuleStopsWalk) {
+  net_.break_rule(net_.chain_of(a_).ovs, b_);
+  const auto visited = walk(a_, b_);
+  // Walk stops after veth -> ovs (ovs has no rule for dst anymore).
+  EXPECT_EQ(visited.size(), 2u);
+  EXPECT_EQ(visited.back(), net_.chain_of(a_).ovs);
+  // Reverse direction unaffected.
+  EXPECT_EQ(walk(b_, a_).back(), net_.chain_of(a_).netns);
+}
+
+TEST_F(ConnectedOverlay, CorruptedRuleCreatesLoop) {
+  const auto& chain = net_.chain_of(a_);
+  net_.corrupt_rule_to_loop(chain.vxlan, b_, chain.veth);
+  VPortId current = chain.netns;
+  std::vector<VPortId> seen{current};
+  bool loop = false;
+  for (int i = 0; i < 32; ++i) {
+    const auto next = net_.next_hop(a_, b_, current);
+    ASSERT_TRUE(next.has_value());
+    if (std::find(seen.begin(), seen.end(), *next) != seen.end()) {
+      loop = true;
+      break;
+    }
+    seen.push_back(*next);
+    current = *next;
+  }
+  EXPECT_TRUE(loop);
+}
+
+TEST_F(ConnectedOverlay, FlowTableSizeCountsRules) {
+  // Per directed flow: 5 send-side rules (incl. the VF tunnel entry) + 4
+  // receive-side rules => 9 per host for one connected pair.
+  EXPECT_EQ(net_.flow_table_size(HostId{0}), 9u);
+  EXPECT_EQ(net_.flow_table_size(HostId{1}), 9u);
+}
+
+TEST_F(ConnectedOverlay, BreakingARuleShrinksTheTable) {
+  net_.break_rule(net_.chain_of(a_).ovs, b_);
+  EXPECT_EQ(net_.flow_table_size(HostId{0}), 8u);
+}
+
+TEST_F(ConnectedOverlay, DetachRemovesReachability) {
+  net_.detach_endpoint(b_);
+  EXPECT_FALSE(net_.attached(b_));
+  EXPECT_EQ(net_.flow_table_size(HostId{0}), 0u);
+  EXPECT_TRUE(walk(a_, b_).empty());
+}
+
+TEST_F(ConnectedOverlay, DetachDropsFaultExceptions) {
+  net_.break_rule(net_.chain_of(a_).ovs, b_);
+  net_.detach_endpoint(b_);
+  // Re-attach a fresh endpoint of the same identity: clean slate.
+  net_.attach_endpoint(b_, HostId{1}, 7);
+  EXPECT_EQ(walk(a_, b_).back(), net_.chain_of(b_).netns);
+}
+
+TEST_F(ConnectedOverlay, OffloadedRulesMatchOvsWhenHealthy) {
+  EXPECT_TRUE(net_.offload_inconsistencies(a_.rnic).empty());
+  EXPECT_FALSE(net_.offload_desynced(a_.rnic));
+  const auto ovs = net_.ovs_rules_for(a_.rnic);
+  const auto off = net_.offloaded_rules_for(a_.rnic);
+  EXPECT_FALSE(ovs.empty());
+  EXPECT_EQ(ovs, off);
+}
+
+TEST_F(ConnectedOverlay, InvalidatedOffloadIsInconsistent) {
+  net_.invalidate_offload(a_.rnic);
+  EXPECT_TRUE(net_.offload_desynced(a_.rnic));
+  EXPECT_FALSE(net_.offload_inconsistencies(a_.rnic).empty());
+  EXPECT_TRUE(net_.offloaded_rules_for(a_.rnic).empty());
+  // The other RNIC is unaffected.
+  EXPECT_TRUE(net_.offload_inconsistencies(b_.rnic).empty());
+  // Resync repairs it (the Fig. 18 recovery).
+  net_.resync_offload(a_.rnic);
+  EXPECT_TRUE(net_.offload_inconsistencies(a_.rnic).empty());
+  EXPECT_FALSE(net_.offload_desynced(a_.rnic));
+}
+
+TEST(Overlay, AttachRequiresUniqueEndpoint) {
+  OverlayNetwork net;
+  net.attach_endpoint(ep(0, 0), HostId{0}, 1);
+  EXPECT_THROW(net.attach_endpoint(ep(0, 0), HostId{0}, 1),
+               std::invalid_argument);
+}
+
+TEST(Overlay, DifferentVniIsIsolated) {
+  // VXLAN tenant isolation: endpoints of different tasks never reach each
+  // other even on the same hosts.
+  OverlayNetwork net;
+  net.attach_endpoint(ep(0, 0), HostId{0}, 1);
+  net.attach_endpoint(ep(1, 8), HostId{1}, 2);
+  EXPECT_FALSE(net.same_vni(ep(0, 0), ep(1, 8)));
+  EXPECT_FALSE(
+      net.next_hop(ep(0, 0), ep(1, 8), net.chain_of(ep(0, 0)).netns)
+          .has_value());
+}
+
+TEST(Overlay, SameContainerEndpointsDoNotUseOverlay) {
+  // Intra-container RNIC pairs communicate over NVLink; the overlay
+  // provides no chain for them.
+  OverlayNetwork net;
+  net.attach_endpoint(ep(0, 0), HostId{0}, 1);
+  net.attach_endpoint(ep(0, 1), HostId{0}, 1);
+  EXPECT_FALSE(
+      net.next_hop(ep(0, 0), ep(0, 1), net.chain_of(ep(0, 0)).netns)
+          .has_value());
+}
+
+TEST(Overlay, UnattachedQueriesThrow) {
+  OverlayNetwork net;
+  EXPECT_THROW((void)net.chain_of(ep(9, 9)), std::out_of_range);
+  EXPECT_THROW((void)net.node(VPortId{42}), std::out_of_range);
+}
+
+TEST(Overlay, HostScopedNodesAreShared) {
+  OverlayNetwork net;
+  net.attach_endpoint(ep(0, 0), HostId{0}, 1);
+  net.attach_endpoint(ep(0, 1), HostId{0}, 1);
+  EXPECT_EQ(net.chain_of(ep(0, 0)).ovs, net.chain_of(ep(0, 1)).ovs);
+  EXPECT_EQ(net.chain_of(ep(0, 0)).vxlan, net.chain_of(ep(0, 1)).vxlan);
+  EXPECT_NE(net.chain_of(ep(0, 0)).vf, net.chain_of(ep(0, 1)).vf);
+}
+
+TEST(Overlay, OffNodeQueriesReturnNull) {
+  OverlayNetwork net;
+  net.attach_endpoint(ep(0, 0), HostId{0}, 1);
+  net.attach_endpoint(ep(1, 8), HostId{1}, 1);
+  net.attach_endpoint(ep(2, 16), HostId{2}, 1);
+  // A node belonging to a third endpoint is not on the (0 -> 1) chain.
+  const VPortId foreign = net.chain_of(ep(2, 16)).veth;
+  EXPECT_FALSE(net.next_hop(ep(0, 0), ep(1, 8), foreign).has_value());
+}
+
+TEST(Overlay, ManyEndpointsFlowTableGrowth) {
+  // Fig. 6 premise: flow tables grow with tenant endpoints on the host.
+  OverlayNetwork net;
+  for (std::uint32_t c = 0; c < 8; ++c) {
+    net.attach_endpoint(ep(c, c), HostId{c / 2}, /*vni=*/1);
+  }
+  std::size_t total = 0;
+  for (std::uint32_t h = 0; h < 4; ++h) {
+    total += net.flow_table_size(HostId{h});
+  }
+  // 8 endpoints in one VNI, each with 7 peers: 8 x 7 x 9 = 504 rules.
+  EXPECT_EQ(total, 504u);
+}
+
+TEST(Overlay, TableDumpReflectsCorruption) {
+  OverlayNetwork net;
+  net.attach_endpoint(ep(0, 0), HostId{0}, 1);
+  net.attach_endpoint(ep(1, 8), HostId{1}, 1);
+  const auto& chain = net.chain_of(ep(0, 0));
+  net.corrupt_rule_to_loop(chain.vf, ep(1, 8), chain.veth);
+  bool found = false;
+  for (const auto& r : net.ovs_rules_for(RnicId{0})) {
+    if (r.from == chain.vf && r.dst == ep(1, 8)) {
+      EXPECT_EQ(r.to, chain.veth);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace skh::overlay

@@ -1,0 +1,168 @@
+#include "probe/agent.h"
+
+#include <gtest/gtest.h>
+
+#include "probe/probe_types.h"
+
+namespace skh::probe {
+namespace {
+
+Endpoint ep(std::uint32_t c, std::uint32_t r) {
+  return Endpoint{ContainerId{c}, RnicId{r}};
+}
+
+TEST(Collector, IngestAndQuery) {
+  Collector col;
+  ProbeResult r;
+  r.pair = EndpointPair{ep(0, 0), ep(1, 8)};
+  r.sent_at = SimTime::seconds(1);
+  r.delivered = true;
+  r.rtt_us = 16.0;
+  col.ingest(r);
+  col.ingest(r);
+  EXPECT_EQ(col.total_results(), 2u);
+  EXPECT_EQ(col.results_for(r.pair).size(), 2u);
+  EXPECT_TRUE(col.results_for(EndpointPair{ep(1, 8), ep(0, 0)}).empty());
+  EXPECT_EQ(col.pairs().size(), 1u);
+}
+
+TEST(Collector, TrimDropsOldResults) {
+  Collector col;
+  for (int i = 0; i < 10; ++i) {
+    ProbeResult r;
+    r.pair = EndpointPair{ep(0, 0), ep(1, 8)};
+    r.sent_at = SimTime::seconds(i);
+    col.ingest(r);
+  }
+  col.trim_before(SimTime::seconds(5));
+  EXPECT_EQ(col.total_results(), 5u);
+  EXPECT_EQ(col.results_for(EndpointPair{ep(0, 0), ep(1, 8)}).front()
+                .sent_at.to_seconds(),
+            5.0);
+}
+
+TEST(Collector, ClearResetsEverything) {
+  Collector col;
+  ProbeResult r;
+  r.pair = EndpointPair{ep(0, 0), ep(1, 8)};
+  col.ingest(r);
+  col.clear();
+  EXPECT_EQ(col.total_results(), 0u);
+  EXPECT_TRUE(col.pairs().empty());
+}
+
+class AgentTest : public ::testing::Test {
+ protected:
+  AgentTest() : agent_(ContainerId{0}, {ep(0, 0), ep(0, 1)}) {
+    pairs_ = {{ep(0, 0), ep(1, 8)},
+              {ep(0, 1), ep(1, 9)},
+              {ep(0, 0), ep(2, 16)}};
+  }
+
+  Agent agent_;
+  std::vector<EndpointPair> pairs_;
+};
+
+TEST_F(AgentTest, ListStartsInactive) {
+  agent_.set_ping_list(pairs_);
+  EXPECT_EQ(agent_.total_targets(), 3u);
+  EXPECT_EQ(agent_.active_targets(), 0u);
+}
+
+TEST_F(AgentTest, RejectsForeignSource) {
+  std::vector<EndpointPair> bad{{ep(5, 40), ep(1, 8)}};
+  EXPECT_THROW(agent_.set_ping_list(bad), std::invalid_argument);
+}
+
+TEST_F(AgentTest, RegistrationActivatesPerDestination) {
+  agent_.set_ping_list(pairs_);
+  agent_.activate_destination(ContainerId{1});
+  EXPECT_EQ(agent_.active_targets(), 2u);
+  agent_.activate_destination(ContainerId{2});
+  EXPECT_EQ(agent_.active_targets(), 3u);
+}
+
+TEST_F(AgentTest, DeregistrationDeactivates) {
+  agent_.set_ping_list(pairs_);
+  agent_.activate_destination(ContainerId{1});
+  agent_.activate_destination(ContainerId{2});
+  agent_.deactivate_destination(ContainerId{1});
+  EXPECT_EQ(agent_.active_targets(), 1u);
+}
+
+TEST_F(AgentTest, ReplaceListPreservesActivation) {
+  // The runtime skeleton optimization swaps the list; registered peers must
+  // stay active without a new registration round.
+  agent_.set_ping_list(pairs_);
+  agent_.activate_destination(ContainerId{1});
+  agent_.replace_ping_list({{ep(0, 0), ep(1, 8)}, {ep(0, 1), ep(2, 17)}});
+  EXPECT_EQ(agent_.total_targets(), 2u);
+  EXPECT_EQ(agent_.active_targets(), 1u);  // dst container 1 still active
+}
+
+TEST_F(AgentTest, RegistrationBeforeListInstallStillApplies) {
+  agent_.activate_destination(ContainerId{2});
+  agent_.set_ping_list(pairs_);
+  EXPECT_EQ(agent_.active_targets(), 1u);
+}
+
+TEST(AgentRound, ProbesOnlyActiveTargets) {
+  const auto cfg = [] {
+    topo::TopologyConfig c;
+    c.num_hosts = 4;
+    c.rails_per_host = 8;
+    c.hosts_per_segment = 2;
+    return c;
+  }();
+  const auto topo = topo::Topology::build(cfg);
+  overlay::OverlayNetwork overlay;
+  sim::FaultInjector faults;
+  const Endpoint a{ContainerId{0}, topo.rnic_of(HostId{0}, 0)};
+  const Endpoint b{ContainerId{1}, topo.rnic_of(HostId{1}, 0)};
+  const Endpoint c{ContainerId{2}, topo.rnic_of(HostId{2}, 0)};
+  overlay.attach_endpoint(a, HostId{0}, /*vni=*/0);
+  overlay.attach_endpoint(b, HostId{1}, /*vni=*/0);
+  overlay.attach_endpoint(c, HostId{2}, /*vni=*/0);
+  ProbeEngine engine{topo, overlay, faults, RngStream{3}};
+  Collector col;
+
+  Agent agent{ContainerId{0}, {a}};
+  agent.set_ping_list({{a, b}, {a, c}});
+  agent.activate_destination(ContainerId{1});
+  agent.run_round(engine, SimTime::seconds(1), col);
+  EXPECT_EQ(col.total_results(), 1u);
+  EXPECT_EQ(agent.probes_sent(), 1u);
+  agent.activate_destination(ContainerId{2});
+  agent.run_round(engine, SimTime::seconds(2), col);
+  EXPECT_EQ(col.total_results(), 3u);
+  EXPECT_EQ(agent.probes_sent(), 3u);
+}
+
+TEST(PingLists, FullMeshExcludesOwnContainer) {
+  std::vector<Endpoint> eps;
+  for (std::uint32_t c = 0; c < 3; ++c) {
+    for (std::uint32_t r = 0; r < 2; ++r) eps.push_back(ep(c, c * 8 + r));
+  }
+  const auto mesh = full_mesh_pairs(eps);
+  // 6 endpoints, each pings the 4 endpoints of the other 2 containers.
+  EXPECT_EQ(mesh.size(), 24u);
+  for (const auto& p : mesh) EXPECT_NE(p.src.container, p.dst.container);
+}
+
+TEST(PingLists, RailPrunedKeepsSameRankOnly) {
+  std::vector<Endpoint> eps;
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    for (std::uint32_t r = 0; r < 8; ++r) eps.push_back(ep(c, c * 8 + r));
+  }
+  const auto rank_of = [](const Endpoint& e) { return e.rnic.value() % 8; };
+  const auto basic = rail_pruned_pairs(eps, rank_of);
+  const auto mesh = full_mesh_pairs(eps);
+  // The paper's 8x reduction on 8-rail hosts.
+  EXPECT_EQ(basic.size() * 8, mesh.size());
+  for (const auto& p : basic) {
+    EXPECT_EQ(rank_of(p.src), rank_of(p.dst));
+  }
+}
+
+}  // namespace
+}  // namespace skh::probe

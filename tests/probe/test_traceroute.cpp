@@ -1,0 +1,140 @@
+#include "probe/traceroute.h"
+
+#include <gtest/gtest.h>
+
+namespace skh::probe {
+namespace {
+
+class TracerouteTest : public ::testing::Test {
+ protected:
+  TracerouteTest() : topo_(topo::Topology::build(config())) {}
+
+  static topo::TopologyConfig config() {
+    topo::TopologyConfig cfg;
+    cfg.num_hosts = 8;
+    cfg.rails_per_host = 4;
+    cfg.hosts_per_segment = 4;
+    return cfg;
+  }
+
+  topo::Topology topo_;
+  sim::FaultInjector faults_;
+};
+
+TEST_F(TracerouteTest, HealthyPathReachesDestination) {
+  const RnicId src = topo_.rnic_of(HostId{0}, 1);
+  const RnicId dst = topo_.rnic_of(HostId{5}, 1);
+  const auto tr = traceroute(topo_, faults_, src, dst, SimTime::seconds(1));
+  EXPECT_TRUE(tr.reached_destination);
+  EXPECT_FALSE(tr.first_dead_hop().has_value());
+  EXPECT_EQ(tr.hops.size(), 4u);  // cross-segment in-rail path
+  for (const auto& hop : tr.hops) {
+    EXPECT_TRUE(hop.responded);
+    EXPECT_GT(hop.rtt_us, 0.0);
+  }
+  // RTT accumulates along the path.
+  EXPECT_LT(tr.hops.front().rtt_us, tr.hops.back().rtt_us);
+}
+
+TEST_F(TracerouteTest, IntraHostIsTrivial) {
+  const auto tr = traceroute(topo_, faults_, topo_.rnic_of(HostId{0}, 0),
+                             topo_.rnic_of(HostId{0}, 1), SimTime::seconds(1));
+  EXPECT_TRUE(tr.reached_destination);
+  EXPECT_TRUE(tr.hops.empty());
+}
+
+TEST_F(TracerouteTest, DeadLinkStopsAtItsHop) {
+  const RnicId src = topo_.rnic_of(HostId{0}, 2);
+  const RnicId dst = topo_.rnic_of(HostId{6}, 2);
+  const auto path = topo_.route(src, dst);
+  ASSERT_EQ(path.links.size(), 4u);
+  // Kill the ToR-to-spine link (hop index 1).
+  faults_.inject(sim::IssueType::kSwitchPortDown,
+                 {sim::ComponentKind::kPhysicalLink, path.links[1].value()},
+                 SimTime::seconds(0), SimTime::hours(1));
+  const auto tr = traceroute(topo_, faults_, src, dst, SimTime::minutes(1));
+  EXPECT_FALSE(tr.reached_destination);
+  ASSERT_TRUE(tr.first_dead_hop().has_value());
+  EXPECT_EQ(*tr.first_dead_hop(), 1u);
+  EXPECT_TRUE(tr.hops[0].responded);
+  EXPECT_FALSE(tr.hops[1].responded);
+  EXPECT_FALSE(tr.hops[3].responded);  // nothing past the break
+}
+
+TEST_F(TracerouteTest, DeadSwitchStopsAtItsHop) {
+  const RnicId src = topo_.rnic_of(HostId{0}, 0);
+  const RnicId dst = topo_.rnic_of(HostId{2}, 0);
+  const auto path = topo_.route(src, dst);
+  ASSERT_EQ(path.switches.size(), 1u);  // same-segment ToR path
+  faults_.inject(sim::IssueType::kSwitchOffline,
+                 {sim::ComponentKind::kPhysicalSwitch,
+                  path.switches[0].value()},
+                 SimTime::seconds(0), SimTime::hours(1));
+  const auto tr = traceroute(topo_, faults_, src, dst, SimTime::minutes(1));
+  ASSERT_TRUE(tr.first_dead_hop().has_value());
+  EXPECT_EQ(*tr.first_dead_hop(), 0u);  // dies arriving at the ToR
+}
+
+TEST_F(TracerouteTest, DeadDestinationRnicFailsLastHop) {
+  const RnicId src = topo_.rnic_of(HostId{0}, 3);
+  const RnicId dst = topo_.rnic_of(HostId{1}, 3);
+  faults_.inject(sim::IssueType::kRnicPortDown,
+                 {sim::ComponentKind::kRnic, dst.value()},
+                 SimTime::seconds(0), SimTime::hours(1));
+  const auto tr = traceroute(topo_, faults_, src, dst, SimTime::minutes(1));
+  EXPECT_FALSE(tr.reached_destination);
+  ASSERT_TRUE(tr.first_dead_hop().has_value());
+  EXPECT_EQ(*tr.first_dead_hop(), tr.hops.size() - 1);
+  EXPECT_TRUE(tr.hops.front().responded);  // the fabric itself is fine
+}
+
+TEST_F(TracerouteTest, DeadSourceRnicSilentEverywhere) {
+  const RnicId src = topo_.rnic_of(HostId{0}, 3);
+  const RnicId dst = topo_.rnic_of(HostId{1}, 3);
+  faults_.inject(sim::IssueType::kRnicHardwareFailure,
+                 {sim::ComponentKind::kRnic, src.value()},
+                 SimTime::seconds(0), SimTime::hours(1));
+  const auto tr = traceroute(topo_, faults_, src, dst, SimTime::minutes(1));
+  ASSERT_TRUE(tr.first_dead_hop().has_value());
+  EXPECT_EQ(*tr.first_dead_hop(), 0u);
+}
+
+TEST_F(TracerouteTest, LossFaultDoesNotStopTraceroute) {
+  // Traceroute retries per hop; a lossy (but connected) link still responds.
+  const RnicId src = topo_.rnic_of(HostId{0}, 1);
+  const RnicId dst = topo_.rnic_of(HostId{1}, 1);
+  faults_.inject(sim::IssueType::kCrcError,
+                 {sim::ComponentKind::kPhysicalLink,
+                  topo_.uplink_of(src).value()},
+                 SimTime::seconds(0), SimTime::hours(1));
+  const auto tr = traceroute(topo_, faults_, src, dst, SimTime::minutes(1));
+  EXPECT_TRUE(tr.reached_destination);
+}
+
+TEST_F(TracerouteTest, LatencyFaultInflatesHopRtt) {
+  const RnicId src = topo_.rnic_of(HostId{0}, 1);
+  const RnicId dst = topo_.rnic_of(HostId{1}, 1);
+  const auto before = traceroute(topo_, faults_, src, dst, SimTime::seconds(1));
+  faults_.inject(sim::IssueType::kCongestionControlIssue,
+                 {sim::ComponentKind::kPhysicalLink,
+                  topo_.uplink_of(src).value()},
+                 SimTime::minutes(5), SimTime::hours(1));
+  const auto after = traceroute(topo_, faults_, src, dst, SimTime::minutes(10));
+  EXPECT_GT(after.hops.back().rtt_us, before.hops.back().rtt_us + 20.0);
+}
+
+TEST_F(TracerouteTest, FaultOutsideWindowInvisible) {
+  const RnicId src = topo_.rnic_of(HostId{0}, 1);
+  const RnicId dst = topo_.rnic_of(HostId{1}, 1);
+  faults_.inject(sim::IssueType::kSwitchPortDown,
+                 {sim::ComponentKind::kPhysicalLink,
+                  topo_.uplink_of(src).value()},
+                 SimTime::minutes(10), SimTime::minutes(20));
+  EXPECT_TRUE(traceroute(topo_, faults_, src, dst, SimTime::minutes(5))
+                  .reached_destination);
+  EXPECT_FALSE(traceroute(topo_, faults_, src, dst, SimTime::minutes(15))
+                   .reached_destination);
+}
+
+}  // namespace
+}  // namespace skh::probe

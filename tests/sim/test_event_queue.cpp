@@ -1,0 +1,89 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+namespace skh::sim {
+namespace {
+
+TEST(EventQueue, StartsAtZeroAndEmpty) {
+  EventQueue q;
+  EXPECT_EQ(q.now().raw_nanos(), 0);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(SimTime::seconds(3), [&] { order.push_back(3); });
+  q.schedule_at(SimTime::seconds(1), [&] { order.push_back(1); });
+  q.schedule_at(SimTime::seconds(2), [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now().to_seconds(), 3.0);
+}
+
+TEST(EventQueue, EqualTimesRunInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(SimTime::seconds(1), [&order, i] { order.push_back(i); });
+  }
+  q.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, ScheduleAfterIsRelative) {
+  EventQueue q;
+  SimTime fired;
+  q.schedule_at(SimTime::seconds(5), [&] {
+    q.schedule_after(SimTime::seconds(2), [&] { fired = q.now(); });
+  });
+  q.run_all();
+  EXPECT_DOUBLE_EQ(fired.to_seconds(), 7.0);
+}
+
+TEST(EventQueue, PastEventsClampToNow) {
+  EventQueue q;
+  q.schedule_at(SimTime::seconds(10), [&] {
+    q.schedule_at(SimTime::seconds(1), [] {});  // in the past
+  });
+  q.run_all();
+  EXPECT_DOUBLE_EQ(q.now().to_seconds(), 10.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(SimTime::seconds(1), [&] { ++fired; });
+  q.schedule_at(SimTime::seconds(2), [&] { ++fired; });
+  q.schedule_at(SimTime::seconds(5), [&] { ++fired; });
+  q.run_until(SimTime::seconds(2));
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(q.now().to_seconds(), 2.0);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWhenIdle) {
+  EventQueue q;
+  q.run_until(SimTime::minutes(30));
+  EXPECT_DOUBLE_EQ(q.now().to_minutes(), 30.0);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> recur = [&] {
+    if (++count < 5) q.schedule_after(SimTime::seconds(1), recur);
+  };
+  q.schedule_at(SimTime::seconds(0), recur);
+  q.run_all();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(q.now().to_seconds(), 4.0);
+}
+
+}  // namespace
+}  // namespace skh::sim

@@ -1,0 +1,151 @@
+#include "sim/fault.h"
+
+#include <gtest/gtest.h>
+
+namespace skh::sim {
+namespace {
+
+TEST(IssueTable, AllTwentyTypesPresent) {
+  EXPECT_EQ(all_issue_infos().size(), 20u);
+  // Paper numbering is preserved for the 19 production issues.
+  for (int i = 1; i <= 19; ++i) {
+    const auto t = static_cast<IssueType>(i);
+    EXPECT_EQ(static_cast<int>(issue_info(t).type), i);
+  }
+}
+
+TEST(IssueTable, SymptomsMatchTable1) {
+  EXPECT_EQ(issue_info(IssueType::kCrcError).symptom, Symptom::kPacketLoss);
+  EXPECT_EQ(issue_info(IssueType::kSwitchPortDown).symptom,
+            Symptom::kUnconnectivity);
+  EXPECT_EQ(issue_info(IssueType::kRnicFirmwareNotResponding).symptom,
+            Symptom::kHighLatency);
+  EXPECT_EQ(issue_info(IssueType::kNotUsingRdma).symptom,
+            Symptom::kHighLatency);
+  EXPECT_EQ(issue_info(IssueType::kContainerCrash).symptom,
+            Symptom::kUnconnectivity);
+  EXPECT_EQ(issue_info(IssueType::kNvlinkDegradation).symptom, Symptom::kNone);
+}
+
+TEST(IssueTable, ComponentClassesMatchTable1) {
+  EXPECT_EQ(issue_info(IssueType::kSwitchOffline).component_class,
+            ComponentClass::kInterHostNetwork);
+  EXPECT_EQ(issue_info(IssueType::kBondError).component_class,
+            ComponentClass::kRnic);
+  EXPECT_EQ(issue_info(IssueType::kGidChange).component_class,
+            ComponentClass::kKernel);
+  EXPECT_EQ(issue_info(IssueType::kPcieNicError).component_class,
+            ComponentClass::kHostBoard);
+  EXPECT_EQ(issue_info(IssueType::kSuboptimalFlowOffloading).component_class,
+            ComponentClass::kVirtualSwitch);
+  EXPECT_EQ(issue_info(IssueType::kHugepageMisconfig).component_class,
+            ComponentClass::kConfiguration);
+}
+
+TEST(IssueTable, OnlyIntraHostIsInvisible) {
+  for (const auto& info : all_issue_infos()) {
+    EXPECT_EQ(info.probe_visible, info.type != IssueType::kNvlinkDegradation);
+  }
+}
+
+TEST(DefaultEffect, UnconnectivityIsUnreachable) {
+  const auto e = default_effect(IssueType::kRnicPortDown);
+  EXPECT_TRUE(e.unreachable);
+}
+
+TEST(DefaultEffect, HighLatencyMatchesFig18) {
+  const auto e = default_effect(IssueType::kRnicFirmwareNotResponding);
+  EXPECT_DOUBLE_EQ(e.extra_latency_us, 104.0);  // 16us baseline -> 120us
+  EXPECT_LT(e.loss_probability, 0.001);         // "<0.1% loss"
+}
+
+TEST(DefaultEffect, FlappingHasPeriod) {
+  const auto e = default_effect(IssueType::kSwitchPortFlapping);
+  ASSERT_TRUE(e.flap_period.has_value());
+  EXPECT_GT(e.flap_period->to_seconds(), 0.0);
+}
+
+TEST(Fault, ActiveWindow) {
+  Fault f;
+  f.start = SimTime::seconds(10);
+  f.end = SimTime::seconds(20);
+  EXPECT_FALSE(f.active_at(SimTime::seconds(9)));
+  EXPECT_TRUE(f.active_at(SimTime::seconds(10)));
+  EXPECT_TRUE(f.active_at(SimTime::seconds(19)));
+  EXPECT_FALSE(f.active_at(SimTime::seconds(20)));
+}
+
+TEST(Fault, FlappingAlternates) {
+  Fault f;
+  f.start = SimTime::seconds(0);
+  f.end = SimTime::seconds(100);
+  f.effect.flap_period = SimTime::seconds(5);
+  // Phase 0 (0-5s): parity 0 -> not degrading; phase 1 (5-10s): degrading.
+  EXPECT_FALSE(f.degrading_at(SimTime::seconds(2)));
+  EXPECT_TRUE(f.degrading_at(SimTime::seconds(7)));
+  EXPECT_FALSE(f.degrading_at(SimTime::seconds(12)));
+  EXPECT_TRUE(f.degrading_at(SimTime::seconds(17)));
+}
+
+TEST(Injector, InjectAndQuery) {
+  FaultInjector inj;
+  const ComponentRef link{ComponentKind::kPhysicalLink, 7};
+  const auto id = inj.inject(IssueType::kCrcError, link, SimTime::seconds(5),
+                             SimTime::seconds(50));
+  EXPECT_EQ(inj.faults().size(), 1u);
+  EXPECT_EQ(inj.fault(id).type, IssueType::kCrcError);
+  EXPECT_EQ(inj.active_on(link, SimTime::seconds(10)).size(), 1u);
+  EXPECT_TRUE(inj.active_on(link, SimTime::seconds(1)).empty());
+  const ComponentRef other{ComponentKind::kPhysicalLink, 8};
+  EXPECT_TRUE(inj.active_on(other, SimTime::seconds(10)).empty());
+}
+
+TEST(Injector, RepairShortensWindow) {
+  FaultInjector inj;
+  const ComponentRef rnic{ComponentKind::kRnic, 3};
+  const auto id = inj.inject(IssueType::kRnicPortDown, rnic,
+                             SimTime::seconds(0), SimTime::hours(10));
+  inj.repair(id, SimTime::seconds(60));
+  EXPECT_EQ(inj.active_on(rnic, SimTime::seconds(59)).size(), 1u);
+  EXPECT_TRUE(inj.active_on(rnic, SimTime::seconds(61)).empty());
+}
+
+TEST(Injector, RepairCannotExtend) {
+  FaultInjector inj;
+  const ComponentRef rnic{ComponentKind::kRnic, 3};
+  const auto id = inj.inject(IssueType::kRnicPortDown, rnic,
+                             SimTime::seconds(0), SimTime::seconds(10));
+  inj.repair(id, SimTime::seconds(100));
+  EXPECT_TRUE(inj.active_on(rnic, SimTime::seconds(11)).empty());
+}
+
+TEST(Injector, BadIdsThrow) {
+  FaultInjector inj;
+  EXPECT_THROW((void)inj.fault(0), std::out_of_range);
+  EXPECT_THROW(inj.repair(5, SimTime{}), std::out_of_range);
+}
+
+TEST(Injector, ActiveAtReturnsAllLive) {
+  FaultInjector inj;
+  inj.inject(IssueType::kCrcError, {ComponentKind::kPhysicalLink, 1},
+             SimTime::seconds(0), SimTime::seconds(10));
+  inj.inject(IssueType::kSwitchOffline, {ComponentKind::kPhysicalSwitch, 2},
+             SimTime::seconds(5), SimTime::seconds(15));
+  EXPECT_EQ(inj.active_at(SimTime::seconds(7)).size(), 2u);
+  EXPECT_EQ(inj.active_at(SimTime::seconds(12)).size(), 1u);
+  EXPECT_TRUE(inj.active_at(SimTime::seconds(20)).empty());
+}
+
+TEST(ComponentRef, EqualityAndStrings) {
+  const ComponentRef a{ComponentKind::kRnic, 4};
+  const ComponentRef b{ComponentKind::kRnic, 4};
+  const ComponentRef c{ComponentKind::kHost, 4};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(to_string(a), "rnic#4");
+  EXPECT_EQ(to_string(IssueType::kGidChange), "GID change");
+  EXPECT_EQ(to_string(Symptom::kHighLatency), "High Latency");
+}
+
+}  // namespace
+}  // namespace skh::sim

@@ -1,0 +1,91 @@
+// Shared test scaffolding: a fully wired simulated environment with one or
+// more placed tasks, plus helpers to generate the workload observations that
+// skeleton inference consumes.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cluster/orchestrator.h"
+#include "core/skeleton_inference.h"
+#include "sim/fault.h"
+#include "workload/traffic.h"
+
+namespace skh::testutil {
+
+struct SimEnv {
+  topo::Topology topo;
+  overlay::OverlayNetwork overlay;
+  sim::EventQueue events;
+  sim::FaultInjector faults;
+  cluster::Orchestrator orch;
+
+  explicit SimEnv(topo::TopologyConfig cfg, std::uint64_t seed = 42)
+      : topo(topo::Topology::build(cfg)),
+        orch(topo, overlay, events, RngStream{seed}) {}
+};
+
+inline topo::TopologyConfig small_topology(std::uint32_t hosts = 16,
+                                           std::uint32_t rails = 8) {
+  topo::TopologyConfig cfg;
+  cfg.num_hosts = hosts;
+  cfg.rails_per_host = rails;
+  cfg.hosts_per_segment = std::min<std::uint32_t>(hosts, 8);
+  return cfg;
+}
+
+/// Submit a task and run the event queue until all containers are Running.
+inline TaskId run_task_to_running(SimEnv& env, std::uint32_t containers,
+                                  std::uint32_t gpus = 8,
+                                  SimTime lifetime = SimTime::hours(12)) {
+  cluster::TaskRequest req;
+  req.tenant = TenantId{0};
+  req.num_containers = containers;
+  req.gpus_per_container = gpus;
+  req.lifetime = lifetime;
+  const auto task = env.orch.submit_task(req);
+  if (!task) throw std::runtime_error("testutil: placement failed");
+  env.events.run_until(env.events.now() + SimTime::minutes(12));
+  return *task;
+}
+
+/// The task's layout under the given (or default) parallelism.
+inline workload::TaskLayout layout_of(
+    SimEnv& env, TaskId task,
+    std::optional<workload::ParallelismConfig> par = std::nullopt) {
+  const auto& info = env.orch.task(task);
+  std::vector<cluster::ContainerInfo> containers;
+  for (ContainerId cid : info.containers) {
+    containers.push_back(env.orch.container(cid));
+  }
+  const auto cfg = par.value_or(workload::default_parallelism(
+      info.total_gpus(), info.request.gpus_per_container));
+  return workload::make_layout(info, containers, cfg);
+}
+
+/// Generate the EndpointObservation vector (burst series + CSP-visible
+/// facts) for a layout.
+inline std::vector<core::EndpointObservation> observations_for(
+    SimEnv& env, const workload::TaskLayout& layout,
+    const workload::BurstConfig& bcfg = {}, std::uint64_t seed = 7) {
+  RngStream rng{seed};
+  const auto series = workload::burst_series_for_layout(layout, bcfg, rng);
+  std::vector<core::EndpointObservation> obs;
+  obs.reserve(layout.roles.size());
+  for (std::size_t i = 0; i < layout.roles.size(); ++i) {
+    core::EndpointObservation o;
+    o.endpoint = layout.roles[i].endpoint;
+    o.host = env.topo.host_of(o.endpoint.rnic).value();
+    o.container_index = env.orch.container(o.endpoint.container).index_in_task;
+    // RNIC rank within the container.
+    const auto& ci = env.orch.container(o.endpoint.container);
+    for (std::uint32_t r = 0; r < ci.rnics.size(); ++r) {
+      if (ci.rnics[r] == o.endpoint.rnic) o.rnic_rank = r;
+    }
+    o.throughput = series[i];
+    obs.push_back(std::move(o));
+  }
+  return obs;
+}
+
+}  // namespace skh::testutil

@@ -1,0 +1,192 @@
+#include "topo/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace skh::topo {
+namespace {
+
+TopologyConfig small_config() {
+  TopologyConfig cfg;
+  cfg.num_hosts = 8;
+  cfg.rails_per_host = 4;
+  cfg.hosts_per_segment = 4;
+  cfg.spines_per_rail = 2;
+  cfg.num_cores = 2;
+  return cfg;
+}
+
+TEST(Topology, EntityCounts) {
+  const auto t = Topology::build(small_config());
+  EXPECT_EQ(t.num_hosts(), 8u);
+  EXPECT_EQ(t.num_rnics(), 32u);
+  EXPECT_EQ(t.num_segments(), 2u);
+  // Switches: 2 segments x 4 rails ToRs + 4 rails x 2 spines + 2 cores.
+  EXPECT_EQ(t.switches().size(), 8u + 8u + 2u);
+  // Links: 32 uplinks + 8 ToRs x 2 spines + 8 spines x 2 cores.
+  EXPECT_EQ(t.links().size(), 32u + 16u + 16u);
+}
+
+TEST(Topology, RejectsZeroCounts) {
+  TopologyConfig cfg = small_config();
+  cfg.rails_per_host = 0;
+  EXPECT_THROW(Topology::build(cfg), std::invalid_argument);
+}
+
+TEST(Topology, RnicAddressing) {
+  const auto t = Topology::build(small_config());
+  const RnicId r = t.rnic_of(HostId{3}, 2);
+  EXPECT_EQ(r.value(), 3u * 4 + 2);
+  EXPECT_EQ(t.host_of(r), HostId{3});
+  EXPECT_EQ(t.rail_of(r), 2u);
+  EXPECT_THROW((void)t.rnic_of(HostId{100}, 0), std::out_of_range);
+  EXPECT_THROW((void)t.rnic_of(HostId{0}, 9), std::out_of_range);
+  EXPECT_THROW((void)t.host_of(RnicId{999}), std::out_of_range);
+}
+
+TEST(Topology, SegmentAssignment) {
+  const auto t = Topology::build(small_config());
+  EXPECT_EQ(t.segment_of(HostId{0}), 0u);
+  EXPECT_EQ(t.segment_of(HostId{3}), 0u);
+  EXPECT_EQ(t.segment_of(HostId{4}), 1u);
+}
+
+TEST(Topology, UplinkConnectsToRailTor) {
+  const auto t = Topology::build(small_config());
+  for (std::uint32_t h = 0; h < 8; ++h) {
+    for (std::uint32_t rail = 0; rail < 4; ++rail) {
+      const RnicId r = t.rnic_of(HostId{h}, rail);
+      const auto& link = t.link_at(t.uplink_of(r));
+      EXPECT_EQ(link.tier, LinkTier::kHostToTor);
+      EXPECT_EQ(link.rnic, r);
+      const auto& tor = t.switch_at(link.lower);
+      EXPECT_EQ(tor.kind, SwitchKind::kTor);
+      EXPECT_EQ(tor.rail, rail);
+      EXPECT_EQ(tor.segment, t.segment_of(HostId{h}));
+    }
+  }
+}
+
+TEST(Route, IntraHostHasNoNetworkHops) {
+  const auto t = Topology::build(small_config());
+  const auto p = t.route(t.rnic_of(HostId{0}, 0), t.rnic_of(HostId{0}, 3));
+  EXPECT_TRUE(p.intra_host);
+  EXPECT_TRUE(p.links.empty());
+  EXPECT_TRUE(p.switches.empty());
+  EXPECT_GT(p.one_way_latency_us, 0.0);
+}
+
+TEST(Route, SameSegmentSameRailIsTwoHops) {
+  const auto t = Topology::build(small_config());
+  const auto p = t.route(t.rnic_of(HostId{0}, 1), t.rnic_of(HostId{2}, 1));
+  EXPECT_FALSE(p.intra_host);
+  EXPECT_EQ(p.links.size(), 2u);
+  EXPECT_EQ(p.switches.size(), 1u);
+  EXPECT_EQ(t.switch_at(p.switches[0]).kind, SwitchKind::kTor);
+}
+
+TEST(Route, CrossSegmentSameRailGoesViaSpine) {
+  const auto t = Topology::build(small_config());
+  const auto p = t.route(t.rnic_of(HostId{0}, 1), t.rnic_of(HostId{5}, 1));
+  EXPECT_EQ(p.links.size(), 4u);
+  EXPECT_EQ(p.switches.size(), 3u);
+  EXPECT_EQ(t.switch_at(p.switches[1]).kind, SwitchKind::kSpine);
+  EXPECT_EQ(t.switch_at(p.switches[1]).rail, 1u);
+}
+
+TEST(Route, CrossRailGoesViaCore) {
+  const auto t = Topology::build(small_config());
+  const auto p = t.route(t.rnic_of(HostId{0}, 0), t.rnic_of(HostId{5}, 3));
+  EXPECT_EQ(p.links.size(), 6u);
+  EXPECT_EQ(p.switches.size(), 5u);
+  EXPECT_EQ(t.switch_at(p.switches[2]).kind, SwitchKind::kCore);
+}
+
+TEST(Route, InRailIsCheaperThanCrossRail) {
+  const auto t = Topology::build(small_config());
+  const auto in_rail = t.route(t.rnic_of(HostId{0}, 0), t.rnic_of(HostId{5}, 0));
+  const auto cross = t.route(t.rnic_of(HostId{0}, 0), t.rnic_of(HostId{5}, 1));
+  EXPECT_LT(in_rail.one_way_latency_us, cross.one_way_latency_us);
+}
+
+TEST(Route, DeterministicEcmp) {
+  const auto t = Topology::build(small_config());
+  const RnicId a = t.rnic_of(HostId{1}, 2);
+  const RnicId b = t.rnic_of(HostId{6}, 2);
+  const auto p1 = t.route(a, b);
+  const auto p2 = t.route(a, b);
+  EXPECT_EQ(p1.links, p2.links);
+}
+
+TEST(Route, EcmpSpreadsAcrossSpines) {
+  TopologyConfig cfg = small_config();
+  cfg.num_hosts = 16;
+  cfg.spines_per_rail = 4;
+  const auto t = Topology::build(cfg);
+  std::set<SwitchId> spines_used;
+  for (std::uint32_t h = 4; h < 16; ++h) {
+    const auto p = t.route(t.rnic_of(HostId{0}, 0), t.rnic_of(HostId{h}, 0));
+    if (p.switches.size() == 3) spines_used.insert(p.switches[1]);
+  }
+  EXPECT_GE(spines_used.size(), 2u);
+}
+
+TEST(Route, HealthyRttUnderTwentyMicroseconds) {
+  // RoCE expectation from §1: healthy RTT < 20us. One-way worst case here
+  // is the 6-link cross-rail path.
+  const auto t = Topology::build(small_config());
+  const auto p = t.route(t.rnic_of(HostId{0}, 0), t.rnic_of(HostId{7}, 3));
+  EXPECT_LT(2.0 * p.one_way_latency_us, 20.0);
+}
+
+TEST(EqualCostPaths, ContainSelectedRoute) {
+  const auto t = Topology::build(small_config());
+  const RnicId a = t.rnic_of(HostId{0}, 1);
+  const RnicId b = t.rnic_of(HostId{6}, 1);
+  const auto selected = t.route(a, b);
+  const auto all = t.equal_cost_paths(a, b);
+  EXPECT_EQ(all.size(), 2u);  // spines_per_rail
+  bool found = false;
+  for (const auto& p : all) {
+    if (p.links == selected.links) found = true;
+    EXPECT_DOUBLE_EQ(p.one_way_latency_us, selected.one_way_latency_us);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(EqualCostPaths, CrossRailFanout) {
+  const auto t = Topology::build(small_config());
+  const auto all = t.equal_cost_paths(t.rnic_of(HostId{0}, 0),
+                                      t.rnic_of(HostId{5}, 2));
+  EXPECT_EQ(all.size(), 2u * 2u * 2u);  // s1 x cores x s2
+}
+
+class ScaleSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ScaleSweep, AllPairsRoutable) {
+  TopologyConfig cfg;
+  cfg.num_hosts = GetParam();
+  cfg.rails_per_host = 8;
+  cfg.hosts_per_segment = 8;
+  const auto t = Topology::build(cfg);
+  // Spot-check a diagonal band of pairs.
+  for (std::uint32_t i = 0; i < t.num_rnics(); i += 17) {
+    const RnicId a{i};
+    const RnicId b{(i * 7 + 3) % t.num_rnics()};
+    const auto p = t.route(a, b);
+    if (t.host_of(a) == t.host_of(b)) {
+      EXPECT_TRUE(p.intra_host);
+    } else {
+      EXPECT_FALSE(p.links.empty());
+      // Path endpoints are the two uplinks.
+      EXPECT_EQ(p.links.front(), t.uplink_of(a));
+      EXPECT_EQ(p.links.back(), t.uplink_of(b));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScaleSweep, ::testing::Values(8, 32, 64, 256));
+
+}  // namespace
+}  // namespace skh::topo

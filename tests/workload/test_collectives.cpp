@@ -1,0 +1,134 @@
+#include "workload/collectives.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace skh::workload {
+namespace {
+
+std::vector<Endpoint> members(std::uint32_t n) {
+  std::vector<Endpoint> out;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out.push_back(Endpoint{ContainerId{i}, RnicId{i}});
+  }
+  return out;
+}
+
+std::map<Endpoint, int> degree(const std::vector<CommEdge>& edges) {
+  std::map<Endpoint, int> d;
+  for (const auto& e : edges) {
+    ++d[e.a];
+    ++d[e.b];
+  }
+  return d;
+}
+
+TEST(Ring, EdgeCountEqualsMembers) {
+  const auto edges = ring_allreduce(members(8));
+  EXPECT_EQ(edges.size(), 8u);
+  for (const auto& [ep, deg] : degree(edges)) EXPECT_EQ(deg, 2);
+}
+
+TEST(Ring, TwoMembersOneEdge) {
+  EXPECT_EQ(ring_allreduce(members(2)).size(), 1u);
+}
+
+TEST(Ring, DegenerateSizes) {
+  EXPECT_TRUE(ring_allreduce(members(0)).empty());
+  EXPECT_TRUE(ring_allreduce(members(1)).empty());
+}
+
+TEST(Ring, EdgesAreNormalized) {
+  for (const auto& e : ring_allreduce(members(8))) {
+    EXPECT_LT(e.a, e.b);
+  }
+}
+
+TEST(Pipeline, ChainHasStagesMinusOneEdges) {
+  const auto edges = pipeline_p2p(members(8));
+  EXPECT_EQ(edges.size(), 7u);
+  const auto d = degree(edges);
+  // Interior stages touch two neighbors, the ends one.
+  EXPECT_EQ(d.at(members(8).front()), 1);
+  EXPECT_EQ(d.at(members(8)[3]), 2);
+}
+
+TEST(Pipeline, SingleStageNoEdges) {
+  EXPECT_TRUE(pipeline_p2p(members(1)).empty());
+}
+
+TEST(AllToAll, CompleteGraph) {
+  const auto edges = all_to_all(members(6));
+  EXPECT_EQ(edges.size(), 15u);  // C(6,2)
+  for (const auto& [ep, deg] : degree(edges)) EXPECT_EQ(deg, 5);
+}
+
+TEST(DoubleBinaryTree, CoversAllMembers) {
+  const auto edges = double_binary_tree(members(8));
+  const auto d = degree(edges);
+  EXPECT_EQ(d.size(), 8u);  // every member participates
+  for (const auto& [ep, deg] : degree(edges)) EXPECT_GE(deg, 1);
+}
+
+TEST(DoubleBinaryTree, MoreEdgesThanSingleTree) {
+  // Two mirrored trees: > n-1 distinct edges for n >= 4.
+  const auto edges = double_binary_tree(members(8));
+  EXPECT_GT(edges.size(), 7u);
+  EXPECT_LE(edges.size(), 14u);
+}
+
+TEST(DoubleBinaryTree, Degenerate) {
+  EXPECT_TRUE(double_binary_tree(members(1)).empty());
+  EXPECT_EQ(double_binary_tree(members(2)).size(), 1u);
+}
+
+TEST(MergeEdges, CombinesDuplicatesAndVolumes) {
+  const auto m = members(3);
+  std::vector<CommEdge> edges{
+      {m[0], m[1], 1.0}, {m[1], m[0], 2.0}, {m[1], m[2], 1.0}};
+  const auto merged = merge_edges(edges);
+  EXPECT_EQ(merged.size(), 2u);
+  for (const auto& e : merged) {
+    if (e.a == m[0]) EXPECT_DOUBLE_EQ(e.volume, 3.0);
+  }
+}
+
+TEST(MergeEdges, OutputIsSortedAndNormalized) {
+  const auto m = members(4);
+  std::vector<CommEdge> edges{{m[3], m[1], 1.0}, {m[2], m[0], 1.0}};
+  const auto merged = merge_edges(edges);
+  EXPECT_LT(merged[0].a, merged[0].b);
+  EXPECT_LE(merged[0].a, merged[1].a);
+}
+
+class RingSizeSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RingSizeSweep, RingIsConnected) {
+  const auto m = members(GetParam());
+  const auto edges = ring_allreduce(m);
+  // Union-find style reachability: walk the ring.
+  std::set<Endpoint> reached{m[0]};
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const auto& e : edges) {
+      if (reached.contains(e.a) && !reached.contains(e.b)) {
+        reached.insert(e.b);
+        grew = true;
+      }
+      if (reached.contains(e.b) && !reached.contains(e.a)) {
+        reached.insert(e.a);
+        grew = true;
+      }
+    }
+  }
+  EXPECT_EQ(reached.size(), m.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RingSizeSweep,
+                         ::testing::Values(2, 3, 4, 8, 16, 64));
+
+}  // namespace
+}  // namespace skh::workload

@@ -1,0 +1,147 @@
+#include "workload/parallelism.h"
+
+#include <gtest/gtest.h>
+
+namespace skh::workload {
+namespace {
+
+/// Build a synthetic placed task: `containers` containers of `tp` RNICs,
+/// container c on host c (full-host) with rails 0..tp-1.
+struct Placed {
+  cluster::TaskInfo task;
+  std::vector<cluster::ContainerInfo> containers;
+};
+
+Placed place(std::uint32_t num_containers, std::uint32_t tp) {
+  Placed p;
+  p.task.id = TaskId{0};
+  p.task.request.num_containers = num_containers;
+  p.task.request.gpus_per_container = tp;
+  for (std::uint32_t c = 0; c < num_containers; ++c) {
+    cluster::ContainerInfo ci;
+    ci.id = ContainerId{c};
+    ci.task = p.task.id;
+    ci.host = HostId{c};
+    ci.index_in_task = c;
+    for (std::uint32_t g = 0; g < tp; ++g) {
+      ci.rnics.push_back(RnicId{c * tp + g});
+    }
+    p.task.containers.push_back(ci.id);
+    p.containers.push_back(ci);
+  }
+  return p;
+}
+
+TEST(ParallelismConfig, ValidatesDegrees) {
+  ParallelismConfig cfg;
+  cfg.tp = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = ParallelismConfig{};
+  cfg.moe = true;
+  cfg.ep = 3;
+  cfg.dp = 8;  // 8 % 3 != 0
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ParallelismConfig, CountsAndStrings) {
+  ParallelismConfig cfg;  // TP8/PP8/DP8
+  EXPECT_EQ(cfg.num_gpus(), 512u);
+  EXPECT_EQ(cfg.num_containers(), 64u);
+  EXPECT_EQ(cfg.to_string(), "TP8/PP8/DP8");
+  cfg.moe = true;
+  cfg.ep = 4;
+  EXPECT_EQ(cfg.to_string(), "TP8/PP8/DP8/EP4");
+}
+
+TEST(MakeLayout, Figure8Coordinates) {
+  // The 512-GPU dense task of Figure 8: TP=8, PP=8, DP=8, 64 containers.
+  const auto p = place(64, 8);
+  ParallelismConfig cfg;
+  const auto layout = make_layout(p.task, p.containers, cfg);
+  EXPECT_EQ(layout.roles.size(), 512u);
+  // Container c is stage c%8 of replica c/8; rails are TP ranks.
+  for (const auto& r : layout.roles) {
+    const auto c = r.endpoint.container.value();
+    EXPECT_EQ(r.stage, c % 8);
+    EXPECT_EQ(r.dp_rank, c / 8);
+    EXPECT_LT(r.rail, 8u);
+  }
+}
+
+TEST(MakeLayout, PositionGroupsSpanDpReplicas) {
+  const auto p = place(16, 4);  // PP4 x DP4 with TP4
+  ParallelismConfig cfg;
+  cfg.tp = 4;
+  cfg.pp = 4;
+  cfg.dp = 4;
+  const auto layout = make_layout(p.task, p.containers, cfg);
+  const auto group = layout.position_group(2, 1);
+  EXPECT_EQ(group.size(), 4u);  // one per DP replica
+  std::set<std::uint32_t> containers;
+  for (const auto& e : group) containers.insert(e.container.value());
+  // Containers 2, 6, 10, 14 hold stage 2.
+  EXPECT_EQ(containers, (std::set<std::uint32_t>{2, 6, 10, 14}));
+}
+
+TEST(MakeLayout, RoleLookup) {
+  const auto p = place(4, 2);
+  ParallelismConfig cfg;
+  cfg.tp = 2;
+  cfg.pp = 2;
+  cfg.dp = 2;
+  const auto layout = make_layout(p.task, p.containers, cfg);
+  const Endpoint e{ContainerId{3}, RnicId{7}};
+  const auto* role = layout.role_of(e);
+  ASSERT_NE(role, nullptr);
+  EXPECT_EQ(role->stage, 1u);
+  EXPECT_EQ(role->dp_rank, 1u);
+  EXPECT_EQ(role->rail, 1u);
+  EXPECT_EQ(layout.role_of(Endpoint{ContainerId{9}, RnicId{0}}), nullptr);
+}
+
+TEST(MakeLayout, RejectsShapeMismatch) {
+  const auto p = place(4, 8);
+  ParallelismConfig cfg;  // needs 64 containers
+  EXPECT_THROW((void)make_layout(p.task, p.containers, cfg),
+               std::invalid_argument);
+  ParallelismConfig cfg2;
+  cfg2.tp = 4;  // containers have 8 RNICs
+  cfg2.pp = 2;
+  cfg2.dp = 2;
+  EXPECT_THROW((void)make_layout(p.task, p.containers, cfg2),
+               std::invalid_argument);
+}
+
+TEST(DefaultParallelism, NearSquareSplitPrefersDp) {
+  const auto cfg = default_parallelism(512, 8);
+  EXPECT_EQ(cfg.tp, 8u);
+  EXPECT_EQ(cfg.pp * cfg.dp, 64u);
+  EXPECT_GE(cfg.dp, cfg.pp);
+  cfg.validate();
+}
+
+TEST(DefaultParallelism, MoeGetsExpertGroups) {
+  const auto cfg = default_parallelism(512, 8, /*moe=*/true);
+  EXPECT_TRUE(cfg.moe);
+  EXPECT_GT(cfg.ep, 1u);
+  EXPECT_EQ(cfg.dp % cfg.ep, 0u);
+}
+
+TEST(DefaultParallelism, RejectsIndivisible) {
+  EXPECT_THROW((void)default_parallelism(100, 8), std::invalid_argument);
+  EXPECT_THROW((void)default_parallelism(8, 0), std::invalid_argument);
+}
+
+class GpuCountSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(GpuCountSweep, FactorizationIsConsistent) {
+  const auto cfg = default_parallelism(GetParam(), 8);
+  EXPECT_EQ(cfg.num_gpus(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig12Sizes, GpuCountSweep,
+                         ::testing::Values(8, 16, 32, 64, 128, 256, 512, 1024,
+                                           2048));
+
+}  // namespace
+}  // namespace skh::workload

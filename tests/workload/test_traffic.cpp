@@ -1,0 +1,223 @@
+#include "workload/traffic.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/fft.h"
+#include "dsp/stft.h"
+
+namespace skh::workload {
+namespace {
+
+/// Synthetic placed layout: full-host containers, container c on host c.
+TaskLayout layout_for(const ParallelismConfig& par) {
+  cluster::TaskInfo task;
+  task.id = TaskId{0};
+  task.request.num_containers = par.num_containers();
+  task.request.gpus_per_container = par.tp;
+  std::vector<cluster::ContainerInfo> containers;
+  for (std::uint32_t c = 0; c < par.num_containers(); ++c) {
+    cluster::ContainerInfo ci;
+    ci.id = ContainerId{c};
+    ci.task = task.id;
+    ci.host = HostId{c};
+    ci.index_in_task = c;
+    for (std::uint32_t g = 0; g < par.tp; ++g) {
+      ci.rnics.push_back(RnicId{c * par.tp + g});
+    }
+    task.containers.push_back(ci.id);
+    containers.push_back(ci);
+  }
+  return make_layout(task, containers, par);
+}
+
+ParallelismConfig small_dense() {
+  ParallelismConfig cfg;
+  cfg.tp = 4;
+  cfg.pp = 2;
+  cfg.dp = 4;
+  return cfg;
+}
+
+TEST(TrafficMatrix, IsSparse) {
+  // The Figure 9 headline: skeleton traffic is a tiny fraction of all pairs.
+  ParallelismConfig cfg;  // 512 GPUs
+  const auto layout = layout_for(cfg);
+  const auto tm = build_traffic_matrix(layout);
+  EXPECT_LT(tm.density(layout.roles.size()), 0.03);
+  EXPECT_GT(tm.num_edges(), 0u);
+}
+
+TEST(TrafficMatrix, OnlySameRailPairs) {
+  // Collective libraries keep inter-host traffic in-rail (§3.2).
+  const auto layout = layout_for(small_dense());
+  const auto tm = build_traffic_matrix(layout);
+  for (const auto& e : tm.edges()) {
+    EXPECT_EQ(layout.role_of(e.a)->rail, layout.role_of(e.b)->rail);
+  }
+}
+
+TEST(TrafficMatrix, DpRingPartnersPresent) {
+  const auto layout = layout_for(small_dense());
+  const auto tm = build_traffic_matrix(layout);
+  // Position (stage 0, rail 0) spans containers 0, 2, 4, 6; the DP ring
+  // connects consecutive replicas.
+  const auto group = layout.position_group(0, 0);
+  ASSERT_EQ(group.size(), 4u);
+  EXPECT_TRUE(tm.communicates(group[0], group[1]));
+  EXPECT_TRUE(tm.communicates(group[1], group[2]));
+}
+
+TEST(TrafficMatrix, PipelineNeighborsPresent) {
+  const auto layout = layout_for(small_dense());
+  const auto tm = build_traffic_matrix(layout);
+  // Containers 0 (stage 0) and 1 (stage 1) of replica 0, same rail.
+  const Endpoint s0{ContainerId{0}, RnicId{0}};
+  const Endpoint s1{ContainerId{1}, RnicId{4}};
+  EXPECT_TRUE(tm.communicates(s0, s1));
+}
+
+TEST(TrafficMatrix, NoIntraContainerEdges) {
+  const auto layout = layout_for(small_dense());
+  const auto tm = build_traffic_matrix(layout);
+  for (const auto& e : tm.edges()) {
+    EXPECT_NE(e.a.container, e.b.container);  // TP rides NVLink
+  }
+}
+
+TEST(TrafficMatrix, MoeAddsExpertEdges) {
+  // With DP=8 and EP=4, expert all-to-all adds diagonals (e.g. replica 0 <->
+  // replica 3) that neither the ring nor the double binary tree produce.
+  ParallelismConfig dense;
+  dense.tp = 2;
+  dense.pp = 2;
+  dense.dp = 8;
+  ParallelismConfig moe = dense;
+  moe.moe = true;
+  moe.ep = 4;
+  const auto tm_dense = build_traffic_matrix(layout_for(dense));
+  const auto tm_moe = build_traffic_matrix(layout_for(moe));
+  EXPECT_GT(tm_moe.num_edges(), tm_dense.num_edges());
+}
+
+TEST(TrafficMatrix, PeersOfListsNeighbors) {
+  const auto layout = layout_for(small_dense());
+  const auto tm = build_traffic_matrix(layout);
+  const Endpoint e{ContainerId{0}, RnicId{0}};
+  const auto peers = tm.peers_of(e);
+  EXPECT_FALSE(peers.empty());
+  for (const auto& p : peers) EXPECT_TRUE(tm.communicates(e, p));
+}
+
+TEST(TrafficMatrix, Fig9aDegreeIsAboutNine) {
+  // Figure 9a: a GPU in the 512-GPU task connects to ~9 destinations.
+  ParallelismConfig cfg;  // TP8/PP8/DP8
+  const auto layout = layout_for(cfg);
+  const auto tm = build_traffic_matrix(layout);
+  double total_degree = 0.0;
+  for (const auto& r : layout.roles) {
+    total_degree += static_cast<double>(tm.peers_of(r.endpoint).size());
+  }
+  const double mean_degree = total_degree / static_cast<double>(layout.roles.size());
+  EXPECT_GE(mean_degree, 4.0);
+  EXPECT_LE(mean_degree, 12.0);
+}
+
+TEST(BurstSeries, LengthAndPositivity) {
+  const auto layout = layout_for(small_dense());
+  BurstConfig cfg;
+  cfg.duration_s = 300;
+  RngStream rng{1};
+  const auto s = burst_series(layout.roles[0], layout.par, cfg, rng);
+  EXPECT_EQ(s.size(), 300u);
+  for (double v : s) EXPECT_GE(v, 0.0);
+}
+
+TEST(BurstSeries, PeaksNearConfiguredAmplitude) {
+  const auto layout = layout_for(small_dense());
+  BurstConfig cfg;  // 15 Gbps peaks, Fig. 7
+  RngStream rng{2};
+  const auto s = burst_series(layout.roles[0], layout.par, cfg, rng);
+  const double peak = *std::max_element(s.begin(), s.end());
+  EXPECT_GT(peak, 12.0);
+  EXPECT_LT(peak, 25.0);
+}
+
+TEST(BurstSeries, IdleContainersStayQuiet) {
+  const auto layout = layout_for(small_dense());
+  BurstConfig cfg;
+  cfg.idle = true;
+  RngStream rng{3};
+  const auto s = burst_series(layout.roles[0], layout.par, cfg, rng);
+  const double peak = *std::max_element(s.begin(), s.end());
+  EXPECT_LT(peak, 2.0);
+}
+
+TEST(BurstSeries, SamePositionSimilarFeatures) {
+  // The §5.1 inference premise: same (stage, rail) across DP replicas =>
+  // similar STFT features; different stages => distinguishable.
+  ParallelismConfig cfg;
+  cfg.tp = 2;
+  cfg.pp = 2;
+  cfg.dp = 4;
+  const auto layout = layout_for(cfg);
+  BurstConfig bcfg;
+  RngStream rng{4};
+  const auto series = burst_series_for_layout(layout, bcfg, rng);
+
+  auto find_role = [&](std::uint32_t d, std::uint32_t s, std::uint32_t r) {
+    for (std::size_t i = 0; i < layout.roles.size(); ++i) {
+      const auto& role = layout.roles[i];
+      if (role.dp_rank == d && role.stage == s && role.rail == r) return i;
+    }
+    return std::size_t{0};
+  };
+  const auto f_a = dsp::stft_feature(series[find_role(0, 0, 0)]);
+  const auto f_b = dsp::stft_feature(series[find_role(1, 0, 0)]);  // same pos
+  const auto f_c = dsp::stft_feature(series[find_role(0, 1, 0)]);  // other stage
+  const double same = dsp::cosine_similarity(f_a, f_b);
+  const double diff = dsp::cosine_similarity(f_a, f_c);
+  EXPECT_GT(same, 0.9);
+  EXPECT_GT(same, diff + 0.02);
+}
+
+TEST(BurstSeries, LaterStageBurstsLater) {
+  // §5.1: the first pipeline stage sees bursts earlier than the second.
+  ParallelismConfig cfg;
+  cfg.tp = 2;
+  cfg.pp = 4;
+  cfg.dp = 2;
+  const auto layout = layout_for(cfg);
+  BurstConfig bcfg;
+  bcfg.noise_gbps = 0.05;
+  RngStream rng{5};
+  const auto series = burst_series_for_layout(layout, bcfg, rng);
+  std::size_t s0 = 0, s2 = 0;
+  for (std::size_t i = 0; i < layout.roles.size(); ++i) {
+    if (layout.roles[i].dp_rank == 0 && layout.roles[i].rail == 0) {
+      if (layout.roles[i].stage == 0) s0 = i;
+      if (layout.roles[i].stage == 2) s2 = i;
+    }
+  }
+  const int lag = dsp::best_lag(series[s0], series[s2]);
+  EXPECT_GT(lag, 0);  // stage 2 lags stage 0
+}
+
+TEST(BurstSeries, DeterministicPerEndpointForks) {
+  const auto layout = layout_for(small_dense());
+  BurstConfig cfg;
+  RngStream rng1{7};
+  RngStream rng2{7};
+  const auto a = burst_series_for_layout(layout, cfg, rng1);
+  const auto b = burst_series_for_layout(layout, cfg, rng2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(TrafficMatrixDensity, EdgeCases) {
+  TrafficMatrix empty({});
+  EXPECT_DOUBLE_EQ(empty.density(0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.density(1), 0.0);
+  EXPECT_DOUBLE_EQ(empty.density(10), 0.0);
+}
+
+}  // namespace
+}  // namespace skh::workload
