@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_activation.dir/bench_ablation_activation.cpp.o"
+  "CMakeFiles/bench_ablation_activation.dir/bench_ablation_activation.cpp.o.d"
+  "bench_ablation_activation"
+  "bench_ablation_activation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_activation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_rnic_alloc.dir/bench_fig05_rnic_alloc.cpp.o"
+  "CMakeFiles/bench_fig05_rnic_alloc.dir/bench_fig05_rnic_alloc.cpp.o.d"
+  "bench_fig05_rnic_alloc"
+  "bench_fig05_rnic_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_rnic_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

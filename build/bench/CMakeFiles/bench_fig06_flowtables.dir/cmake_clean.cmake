@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_flowtables.dir/bench_fig06_flowtables.cpp.o"
+  "CMakeFiles/bench_fig06_flowtables.dir/bench_fig06_flowtables.cpp.o.d"
+  "bench_fig06_flowtables"
+  "bench_fig06_flowtables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_flowtables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

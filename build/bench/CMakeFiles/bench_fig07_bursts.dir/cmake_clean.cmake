@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_bursts.dir/bench_fig07_bursts.cpp.o"
+  "CMakeFiles/bench_fig07_bursts.dir/bench_fig07_bursts.cpp.o.d"
+  "bench_fig07_bursts"
+  "bench_fig07_bursts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_bursts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_stft.dir/bench_fig13_stft.cpp.o"
+  "CMakeFiles/bench_fig13_stft.dir/bench_fig13_stft.cpp.o.d"
+  "bench_fig13_stft"
+  "bench_fig13_stft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_stft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

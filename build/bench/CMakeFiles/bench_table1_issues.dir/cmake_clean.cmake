@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_issues.dir/bench_table1_issues.cpp.o"
+  "CMakeFiles/bench_table1_issues.dir/bench_table1_issues.cpp.o.d"
+  "bench_table1_issues"
+  "bench_table1_issues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_issues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

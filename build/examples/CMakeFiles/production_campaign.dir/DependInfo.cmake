@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/production_campaign.cpp" "examples/CMakeFiles/production_campaign.dir/production_campaign.cpp.o" "gcc" "examples/CMakeFiles/production_campaign.dir/production_campaign.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/skh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/probe/CMakeFiles/skh_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/skh_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/skh_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/skh_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/skh_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/skh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/skh_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/skh_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/skh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

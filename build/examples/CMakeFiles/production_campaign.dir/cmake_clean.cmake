@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/production_campaign.dir/production_campaign.cpp.o"
+  "CMakeFiles/production_campaign.dir/production_campaign.cpp.o.d"
+  "production_campaign"
+  "production_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/production_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

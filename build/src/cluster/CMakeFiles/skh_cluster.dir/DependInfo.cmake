@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/orchestrator.cpp" "src/cluster/CMakeFiles/skh_cluster.dir/orchestrator.cpp.o" "gcc" "src/cluster/CMakeFiles/skh_cluster.dir/orchestrator.cpp.o.d"
+  "/root/repo/src/cluster/traces.cpp" "src/cluster/CMakeFiles/skh_cluster.dir/traces.cpp.o" "gcc" "src/cluster/CMakeFiles/skh_cluster.dir/traces.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/skh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/skh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/skh_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/skh_overlay.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

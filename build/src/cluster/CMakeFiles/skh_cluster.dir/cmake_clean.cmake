@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skh_cluster.dir/orchestrator.cpp.o"
+  "CMakeFiles/skh_cluster.dir/orchestrator.cpp.o.d"
+  "CMakeFiles/skh_cluster.dir/traces.cpp.o"
+  "CMakeFiles/skh_cluster.dir/traces.cpp.o.d"
+  "libskh_cluster.a"
+  "libskh_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skh_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

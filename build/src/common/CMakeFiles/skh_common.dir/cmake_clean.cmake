@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skh_common.dir/ids.cpp.o"
+  "CMakeFiles/skh_common.dir/ids.cpp.o.d"
+  "CMakeFiles/skh_common.dir/logging.cpp.o"
+  "CMakeFiles/skh_common.dir/logging.cpp.o.d"
+  "CMakeFiles/skh_common.dir/stats.cpp.o"
+  "CMakeFiles/skh_common.dir/stats.cpp.o.d"
+  "CMakeFiles/skh_common.dir/table.cpp.o"
+  "CMakeFiles/skh_common.dir/table.cpp.o.d"
+  "libskh_common.a"
+  "libskh_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skh_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

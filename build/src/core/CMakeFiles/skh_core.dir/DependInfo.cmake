@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/anomaly.cpp" "src/core/CMakeFiles/skh_core.dir/anomaly.cpp.o" "gcc" "src/core/CMakeFiles/skh_core.dir/anomaly.cpp.o.d"
+  "/root/repo/src/core/blacklist.cpp" "src/core/CMakeFiles/skh_core.dir/blacklist.cpp.o" "gcc" "src/core/CMakeFiles/skh_core.dir/blacklist.cpp.o.d"
+  "/root/repo/src/core/diagnostics.cpp" "src/core/CMakeFiles/skh_core.dir/diagnostics.cpp.o" "gcc" "src/core/CMakeFiles/skh_core.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/core/fidelity.cpp" "src/core/CMakeFiles/skh_core.dir/fidelity.cpp.o" "gcc" "src/core/CMakeFiles/skh_core.dir/fidelity.cpp.o.d"
+  "/root/repo/src/core/harness.cpp" "src/core/CMakeFiles/skh_core.dir/harness.cpp.o" "gcc" "src/core/CMakeFiles/skh_core.dir/harness.cpp.o.d"
+  "/root/repo/src/core/localize.cpp" "src/core/CMakeFiles/skh_core.dir/localize.cpp.o" "gcc" "src/core/CMakeFiles/skh_core.dir/localize.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/skh_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/skh_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/ping_list_gen.cpp" "src/core/CMakeFiles/skh_core.dir/ping_list_gen.cpp.o" "gcc" "src/core/CMakeFiles/skh_core.dir/ping_list_gen.cpp.o.d"
+  "/root/repo/src/core/skeleton_hunter.cpp" "src/core/CMakeFiles/skh_core.dir/skeleton_hunter.cpp.o" "gcc" "src/core/CMakeFiles/skh_core.dir/skeleton_hunter.cpp.o.d"
+  "/root/repo/src/core/skeleton_inference.cpp" "src/core/CMakeFiles/skh_core.dir/skeleton_inference.cpp.o" "gcc" "src/core/CMakeFiles/skh_core.dir/skeleton_inference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/skh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/skh_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/skh_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/skh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/skh_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/skh_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/skh_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/probe/CMakeFiles/skh_probe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skh_core.dir/anomaly.cpp.o"
+  "CMakeFiles/skh_core.dir/anomaly.cpp.o.d"
+  "CMakeFiles/skh_core.dir/blacklist.cpp.o"
+  "CMakeFiles/skh_core.dir/blacklist.cpp.o.d"
+  "CMakeFiles/skh_core.dir/diagnostics.cpp.o"
+  "CMakeFiles/skh_core.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/skh_core.dir/fidelity.cpp.o"
+  "CMakeFiles/skh_core.dir/fidelity.cpp.o.d"
+  "CMakeFiles/skh_core.dir/harness.cpp.o"
+  "CMakeFiles/skh_core.dir/harness.cpp.o.d"
+  "CMakeFiles/skh_core.dir/localize.cpp.o"
+  "CMakeFiles/skh_core.dir/localize.cpp.o.d"
+  "CMakeFiles/skh_core.dir/metrics.cpp.o"
+  "CMakeFiles/skh_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/skh_core.dir/ping_list_gen.cpp.o"
+  "CMakeFiles/skh_core.dir/ping_list_gen.cpp.o.d"
+  "CMakeFiles/skh_core.dir/skeleton_hunter.cpp.o"
+  "CMakeFiles/skh_core.dir/skeleton_hunter.cpp.o.d"
+  "CMakeFiles/skh_core.dir/skeleton_inference.cpp.o"
+  "CMakeFiles/skh_core.dir/skeleton_inference.cpp.o.d"
+  "libskh_core.a"
+  "libskh_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skh_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

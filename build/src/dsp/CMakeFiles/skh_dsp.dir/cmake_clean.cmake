@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skh_dsp.dir/fft.cpp.o"
+  "CMakeFiles/skh_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/skh_dsp.dir/stft.cpp.o"
+  "CMakeFiles/skh_dsp.dir/stft.cpp.o.d"
+  "CMakeFiles/skh_dsp.dir/wavelet.cpp.o"
+  "CMakeFiles/skh_dsp.dir/wavelet.cpp.o.d"
+  "CMakeFiles/skh_dsp.dir/window.cpp.o"
+  "CMakeFiles/skh_dsp.dir/window.cpp.o.d"
+  "libskh_dsp.a"
+  "libskh_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skh_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

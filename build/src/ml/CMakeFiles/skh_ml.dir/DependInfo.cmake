@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/clustering.cpp" "src/ml/CMakeFiles/skh_ml.dir/clustering.cpp.o" "gcc" "src/ml/CMakeFiles/skh_ml.dir/clustering.cpp.o.d"
+  "/root/repo/src/ml/lof.cpp" "src/ml/CMakeFiles/skh_ml.dir/lof.cpp.o" "gcc" "src/ml/CMakeFiles/skh_ml.dir/lof.cpp.o.d"
+  "/root/repo/src/ml/stats_tests.cpp" "src/ml/CMakeFiles/skh_ml.dir/stats_tests.cpp.o" "gcc" "src/ml/CMakeFiles/skh_ml.dir/stats_tests.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/skh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/skh_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

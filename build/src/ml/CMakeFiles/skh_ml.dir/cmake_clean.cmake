@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skh_ml.dir/clustering.cpp.o"
+  "CMakeFiles/skh_ml.dir/clustering.cpp.o.d"
+  "CMakeFiles/skh_ml.dir/lof.cpp.o"
+  "CMakeFiles/skh_ml.dir/lof.cpp.o.d"
+  "CMakeFiles/skh_ml.dir/stats_tests.cpp.o"
+  "CMakeFiles/skh_ml.dir/stats_tests.cpp.o.d"
+  "libskh_ml.a"
+  "libskh_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skh_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

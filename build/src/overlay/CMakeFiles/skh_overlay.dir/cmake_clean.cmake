@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skh_overlay.dir/overlay.cpp.o"
+  "CMakeFiles/skh_overlay.dir/overlay.cpp.o.d"
+  "libskh_overlay.a"
+  "libskh_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skh_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

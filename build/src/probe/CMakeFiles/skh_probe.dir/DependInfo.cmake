@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/probe/agent.cpp" "src/probe/CMakeFiles/skh_probe.dir/agent.cpp.o" "gcc" "src/probe/CMakeFiles/skh_probe.dir/agent.cpp.o.d"
+  "/root/repo/src/probe/engine.cpp" "src/probe/CMakeFiles/skh_probe.dir/engine.cpp.o" "gcc" "src/probe/CMakeFiles/skh_probe.dir/engine.cpp.o.d"
+  "/root/repo/src/probe/overhead.cpp" "src/probe/CMakeFiles/skh_probe.dir/overhead.cpp.o" "gcc" "src/probe/CMakeFiles/skh_probe.dir/overhead.cpp.o.d"
+  "/root/repo/src/probe/probe_types.cpp" "src/probe/CMakeFiles/skh_probe.dir/probe_types.cpp.o" "gcc" "src/probe/CMakeFiles/skh_probe.dir/probe_types.cpp.o.d"
+  "/root/repo/src/probe/traceroute.cpp" "src/probe/CMakeFiles/skh_probe.dir/traceroute.cpp.o" "gcc" "src/probe/CMakeFiles/skh_probe.dir/traceroute.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/skh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/skh_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/skh_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/skh_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

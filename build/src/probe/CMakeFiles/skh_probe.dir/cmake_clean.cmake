@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skh_probe.dir/agent.cpp.o"
+  "CMakeFiles/skh_probe.dir/agent.cpp.o.d"
+  "CMakeFiles/skh_probe.dir/engine.cpp.o"
+  "CMakeFiles/skh_probe.dir/engine.cpp.o.d"
+  "CMakeFiles/skh_probe.dir/overhead.cpp.o"
+  "CMakeFiles/skh_probe.dir/overhead.cpp.o.d"
+  "CMakeFiles/skh_probe.dir/probe_types.cpp.o"
+  "CMakeFiles/skh_probe.dir/probe_types.cpp.o.d"
+  "CMakeFiles/skh_probe.dir/traceroute.cpp.o"
+  "CMakeFiles/skh_probe.dir/traceroute.cpp.o.d"
+  "libskh_probe.a"
+  "libskh_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skh_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skh_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/skh_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/skh_sim.dir/fault.cpp.o"
+  "CMakeFiles/skh_sim.dir/fault.cpp.o.d"
+  "libskh_sim.a"
+  "libskh_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skh_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skh_topo.dir/topology.cpp.o"
+  "CMakeFiles/skh_topo.dir/topology.cpp.o.d"
+  "libskh_topo.a"
+  "libskh_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skh_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

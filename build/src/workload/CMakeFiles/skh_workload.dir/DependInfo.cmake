@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/collectives.cpp" "src/workload/CMakeFiles/skh_workload.dir/collectives.cpp.o" "gcc" "src/workload/CMakeFiles/skh_workload.dir/collectives.cpp.o.d"
+  "/root/repo/src/workload/parallelism.cpp" "src/workload/CMakeFiles/skh_workload.dir/parallelism.cpp.o" "gcc" "src/workload/CMakeFiles/skh_workload.dir/parallelism.cpp.o.d"
+  "/root/repo/src/workload/traffic.cpp" "src/workload/CMakeFiles/skh_workload.dir/traffic.cpp.o" "gcc" "src/workload/CMakeFiles/skh_workload.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/skh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/skh_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/skh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/skh_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/skh_overlay.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

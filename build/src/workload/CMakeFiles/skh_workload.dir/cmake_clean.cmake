@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skh_workload.dir/collectives.cpp.o"
+  "CMakeFiles/skh_workload.dir/collectives.cpp.o.d"
+  "CMakeFiles/skh_workload.dir/parallelism.cpp.o"
+  "CMakeFiles/skh_workload.dir/parallelism.cpp.o.d"
+  "CMakeFiles/skh_workload.dir/traffic.cpp.o"
+  "CMakeFiles/skh_workload.dir/traffic.cpp.o.d"
+  "libskh_workload.a"
+  "libskh_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skh_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

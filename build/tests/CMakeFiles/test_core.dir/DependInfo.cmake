@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_anomaly.cpp" "tests/CMakeFiles/test_core.dir/core/test_anomaly.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_anomaly.cpp.o.d"
+  "/root/repo/tests/core/test_blacklist.cpp" "tests/CMakeFiles/test_core.dir/core/test_blacklist.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_blacklist.cpp.o.d"
+  "/root/repo/tests/core/test_fidelity.cpp" "tests/CMakeFiles/test_core.dir/core/test_fidelity.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_fidelity.cpp.o.d"
+  "/root/repo/tests/core/test_harness.cpp" "tests/CMakeFiles/test_core.dir/core/test_harness.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_harness.cpp.o.d"
+  "/root/repo/tests/core/test_localize.cpp" "tests/CMakeFiles/test_core.dir/core/test_localize.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_localize.cpp.o.d"
+  "/root/repo/tests/core/test_metrics.cpp" "tests/CMakeFiles/test_core.dir/core/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_metrics.cpp.o.d"
+  "/root/repo/tests/core/test_ping_list.cpp" "tests/CMakeFiles/test_core.dir/core/test_ping_list.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_ping_list.cpp.o.d"
+  "/root/repo/tests/core/test_skeleton_inference.cpp" "tests/CMakeFiles/test_core.dir/core/test_skeleton_inference.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_skeleton_inference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/skh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/probe/CMakeFiles/skh_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/skh_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/skh_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/skh_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/skh_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/skh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/skh_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/skh_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/skh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

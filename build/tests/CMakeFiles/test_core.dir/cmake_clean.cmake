@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_anomaly.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_anomaly.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_blacklist.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_blacklist.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_fidelity.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_fidelity.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_harness.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_harness.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_localize.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_localize.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_metrics.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_metrics.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_ping_list.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_ping_list.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_skeleton_inference.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_skeleton_inference.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml.dir/ml/test_clustering.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_clustering.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_lof.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_lof.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_stats_tests.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_stats_tests.cpp.o.d"
+  "test_ml"
+  "test_ml.pdb"
+  "test_ml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

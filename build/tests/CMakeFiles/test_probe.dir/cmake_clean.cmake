@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_probe.dir/probe/test_agent.cpp.o"
+  "CMakeFiles/test_probe.dir/probe/test_agent.cpp.o.d"
+  "CMakeFiles/test_probe.dir/probe/test_engine.cpp.o"
+  "CMakeFiles/test_probe.dir/probe/test_engine.cpp.o.d"
+  "CMakeFiles/test_probe.dir/probe/test_overhead.cpp.o"
+  "CMakeFiles/test_probe.dir/probe/test_overhead.cpp.o.d"
+  "CMakeFiles/test_probe.dir/probe/test_traceroute.cpp.o"
+  "CMakeFiles/test_probe.dir/probe/test_traceroute.cpp.o.d"
+  "test_probe"
+  "test_probe.pdb"
+  "test_probe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
