@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Documentation rot check, wired into ctest as `docs.module_map`.
+#
+# Fails when a src/<subsystem>/ directory is missing from ARCHITECTURE.md's
+# module map, or when a bench_* target is missing from README.md's
+# figure-mapping table — so adding a subsystem or bench without documenting
+# it breaks the default test run.
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+arch="$root/ARCHITECTURE.md"
+readme="$root/README.md"
+status=0
+
+if [[ ! -f "$arch" ]]; then
+  echo "FAIL: $arch does not exist"
+  exit 1
+fi
+
+for dir in "$root"/src/*/; do
+  name="$(basename "$dir")"
+  if ! grep -q "src/$name" "$arch"; then
+    echo "FAIL: src/$name/ is missing from ARCHITECTURE.md's module map"
+    status=1
+  fi
+done
+
+if [[ -f "$readme" ]]; then
+  for src in "$root"/bench/bench_*.cpp; do
+    [[ -f "$src" ]] || continue  # unexpanded glob: no bench sources
+    target="$(basename "$src" .cpp)"
+    if ! grep -q "$target" "$readme"; then
+      echo "FAIL: bench target $target is missing from README.md"
+      status=1
+    fi
+  done
+else
+  echo "FAIL: $readme does not exist"
+  status=1
+fi
+
+if [[ $status -eq 0 ]]; then
+  echo "OK: every src/ subsystem is in ARCHITECTURE.md and every bench is in README.md"
+fi
+exit $status

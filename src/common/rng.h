@@ -23,6 +23,35 @@ namespace skh {
   return h;
 }
 
+/// Combine two 64-bit values through a splitmix64-style finalizer. The
+/// building block of all seed derivation: stream forks, campaign splitting.
+[[nodiscard]] constexpr std::uint64_t seed_mix(std::uint64_t a,
+                                               std::uint64_t b) noexcept {
+  std::uint64_t z = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Derive the `index`-th campaign seed from one master seed. A pure
+/// function of (master, index): campaign i receives the same seed no
+/// matter how many campaigns run, on how many threads, or in what order —
+/// the keystone of `runner::run_many`'s bit-identical parallelism.
+[[nodiscard]] constexpr std::uint64_t split_seed(std::uint64_t master,
+                                                std::uint64_t index) noexcept {
+  return seed_mix(master, seed_mix(0x53484b2d63616d70ULL /*"SHK-camp"*/,
+                                   index));
+}
+
+/// Enumerate `n` decorrelated campaign seeds from one master seed.
+[[nodiscard]] inline std::vector<std::uint64_t> split_seeds(
+    std::uint64_t master, std::size_t n) {
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) seeds.push_back(split_seed(master, i));
+  return seeds;
+}
+
 /// A self-contained PRNG stream with convenience distributions.
 class RngStream {
  public:
@@ -64,15 +93,6 @@ class RngStream {
   [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
 
  private:
-  static constexpr std::uint64_t seed_mix(std::uint64_t a,
-                                          std::uint64_t b) noexcept {
-    // splitmix64-style finalizer over the combined value.
-    std::uint64_t z = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
-  }
-
   std::uint64_t base_seed_ = 0;
   std::mt19937_64 engine_;
 };

@@ -1,6 +1,9 @@
 #include "core/metrics.h"
 
 #include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
 
 namespace skh::core {
 
@@ -173,6 +176,47 @@ CampaignScore score_campaign(const std::vector<FailureCase>& cases,
     score.mean_detection_latency_s = sum / static_cast<double>(latencies.size());
   }
   return score;
+}
+
+double MetricSummary::ci95_halfwidth() const {
+  if (count < 2) return 0.0;
+  return 1.96 * stddev / std::sqrt(static_cast<double>(count));
+}
+
+namespace {
+
+MetricSummary summarize_metric(const std::vector<double>& xs) {
+  MetricSummary m;
+  m.count = xs.size();
+  if (!xs.empty()) {
+    m.mean = mean_of(xs);
+    m.stddev = stddev_of(xs);
+  }
+  return m;
+}
+
+}  // namespace
+
+ScoreSummary summarize_scores(std::span<const CampaignScore> scores) {
+  ScoreSummary s;
+  s.runs = scores.size();
+  std::vector<double> prec, rec, loc, lat;
+  for (const auto& c : scores) {
+    prec.push_back(c.precision());
+    rec.push_back(c.recall());
+    loc.push_back(c.localization_accuracy());
+    if (c.detected_true > 0) lat.push_back(c.mean_detection_latency_s);
+    s.total_cases += c.cases_total;
+    s.total_cases_false += c.cases_false;
+    s.total_injected_visible += c.injected_visible;
+    s.total_injected_invisible += c.injected_invisible;
+    s.total_detected += c.detected_true;
+  }
+  s.precision = summarize_metric(prec);
+  s.recall = summarize_metric(rec);
+  s.localization_accuracy = summarize_metric(loc);
+  s.detection_latency_s = summarize_metric(lat);
+  return s;
 }
 
 }  // namespace skh::core

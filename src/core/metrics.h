@@ -8,6 +8,8 @@
 // aliasing resolved the right physical port).
 #pragma once
 
+#include <cstddef>
+#include <span>
 #include <vector>
 
 #include "core/skeleton_hunter.h"
@@ -39,6 +41,11 @@ struct CampaignScore {
   [[nodiscard]] double recall() const;
   /// Localization accuracy over matched cases (§7.1: 95.7%).
   [[nodiscard]] double localization_accuracy() const;
+
+  /// Bit-exact equality: the runner's thread-count-invariance guarantee is
+  /// asserted field by field, doubles included.
+  friend bool operator==(const CampaignScore&,
+                         const CampaignScore&) = default;
 };
 
 struct ScoreConfig {
@@ -50,5 +57,39 @@ struct ScoreConfig {
 [[nodiscard]] CampaignScore score_campaign(
     const std::vector<FailureCase>& cases, const sim::FaultInjector& faults,
     const topo::Topology& topo, const ScoreConfig& cfg = {});
+
+/// Sample statistics of one metric across a Monte-Carlo campaign set.
+/// The 95% interval is the normal approximation mean ± 1.96·stddev/√n —
+/// adequate for the tens-of-seeds sweeps the benches run.
+struct MetricSummary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::size_t count = 0;
+
+  [[nodiscard]] double ci95_halfwidth() const;
+  [[nodiscard]] double ci95_lo() const { return mean - ci95_halfwidth(); }
+  [[nodiscard]] double ci95_hi() const { return mean + ci95_halfwidth(); }
+};
+
+/// Aggregate of per-seed CampaignScores: the precision/recall curves of
+/// §7.1 with uncertainty, instead of one anecdotal run.
+struct ScoreSummary {
+  std::size_t runs = 0;
+  MetricSummary precision;
+  MetricSummary recall;
+  MetricSummary localization_accuracy;
+  MetricSummary detection_latency_s;
+  // Pooled raw counts over all runs.
+  std::size_t total_cases = 0;
+  std::size_t total_cases_false = 0;
+  std::size_t total_injected_visible = 0;
+  std::size_t total_injected_invisible = 0;
+  std::size_t total_detected = 0;
+};
+
+/// Summarize a set of per-seed campaign scores. Latency is averaged only
+/// over runs that detected at least one fault.
+[[nodiscard]] ScoreSummary summarize_scores(
+    std::span<const CampaignScore> scores);
 
 }  // namespace skh::core

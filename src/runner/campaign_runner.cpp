@@ -1,0 +1,173 @@
+#include "runner/campaign_runner.h"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "runner/pool.h"
+
+namespace skh::runner {
+
+namespace {
+
+/// Map an issue type to a concrete injectable target on `victim`'s path —
+/// the same resolution the accuracy bench uses, so every issue class lands
+/// on a component of the kind Table 1 says it degrades.
+sim::ComponentRef target_for(sim::IssueType type, const Endpoint& victim,
+                             const topo::Topology& topo) {
+  switch (sim::issue_info(type).target_kind) {
+    case sim::ComponentKind::kPhysicalLink:
+      return {sim::ComponentKind::kPhysicalLink,
+              topo.uplink_of(victim.rnic).value()};
+    case sim::ComponentKind::kPhysicalSwitch: {
+      const auto host = topo.host_of(victim.rnic);
+      return {sim::ComponentKind::kPhysicalSwitch,
+              topo.tor_at(topo.segment_of(host), topo.rail_of(victim.rnic))
+                  .value()};
+    }
+    case sim::ComponentKind::kRnic:
+      return {sim::ComponentKind::kRnic, victim.rnic.value()};
+    case sim::ComponentKind::kVSwitch:
+      return {sim::ComponentKind::kVSwitch,
+              topo.host_of(victim.rnic).value()};
+    default:
+      return {sim::ComponentKind::kHost, topo.host_of(victim.rnic).value()};
+  }
+}
+
+}  // namespace
+
+RunResult run_campaign(const CampaignConfig& cfg, std::uint64_t seed) {
+  RunResult result;
+  result.seed = seed;
+
+  core::ExperimentConfig ecfg;
+  ecfg.topology = cfg.topology;
+  ecfg.hunter = cfg.hunter;
+  ecfg.seed = seed;
+  core::Experiment exp(ecfg);
+
+  std::vector<TaskId> tasks;
+  for (const auto& shape : cfg.tasks) {
+    cluster::TaskRequest req;
+    req.num_containers = shape.containers;
+    req.gpus_per_container = shape.gpus_per_container;
+    req.lifetime = cfg.task_lifetime;
+    const auto t = exp.launch_task(req);
+    if (!t) continue;  // cluster out of capacity: skip this tenant
+    exp.run_to_running(*t);
+    workload::ParallelismConfig par;
+    par.tp = shape.gpus_per_container;
+    par.pp = shape.pp;
+    par.dp = shape.dp;
+    (void)exp.apply_skeleton(*t, exp.layout_of(*t, par));
+    tasks.push_back(*t);
+  }
+  result.tasks_launched = tasks.size();
+  if (tasks.empty()) return result;
+
+  // Fault plan: forked by name, so the schedule depends only on the seed —
+  // not on how many draws the subsystems made before this point.
+  RngStream frng = exp.rng().fork("fault-plan");
+  SimTime cursor = exp.events().now() + cfg.warmup;
+
+  auto random_endpoint = [&](TaskId task) -> Endpoint {
+    const auto eps = exp.orchestrator().endpoints_of_task(task);
+    return eps[static_cast<std::size_t>(frng.uniform_int(
+        0, static_cast<std::int64_t>(eps.size()) - 1))];
+  };
+
+  if (!cfg.issue_mix.empty()) {
+    for (std::size_t i = 0; i < cfg.visible_faults; ++i) {
+      const auto type = cfg.issue_mix[i % cfg.issue_mix.size()];
+      const TaskId task = tasks[static_cast<std::size_t>(frng.uniform_int(
+          0, static_cast<std::int64_t>(tasks.size()) - 1))];
+      const Endpoint victim = random_endpoint(task);
+      exp.faults().inject(type, target_for(type, victim, exp.topology()),
+                          cursor, cursor + cfg.fault_duration);
+      cursor += cfg.fault_gap;
+    }
+  }
+
+  // Intra-host faults: invisible to probing, bound recall (§7.3).
+  for (std::size_t i = 0; i < cfg.invisible_faults; ++i) {
+    const auto host = static_cast<std::uint32_t>(frng.uniform_int(
+        0, static_cast<std::int64_t>(cfg.topology.num_hosts) - 1));
+    exp.faults().inject(sim::IssueType::kNvlinkDegradation,
+                        {sim::ComponentKind::kHost, host}, cursor,
+                        cursor + cfg.fault_duration);
+    cursor += cfg.fault_gap;
+  }
+
+  // Crashed sidecar agents: phantoms that bound precision (§7.3), spaced
+  // well clear of real faults so their cases cannot be attributed to one.
+  for (std::size_t i = 0; i < cfg.phantom_agents; ++i) {
+    cursor += SimTime::minutes(40);
+    const Endpoint victim = random_endpoint(tasks[0]);
+    exp.faults().inject_phantom(
+        {sim::ComponentKind::kContainer, victim.container.value()}, cursor,
+        cursor + SimTime::minutes(3));
+    cursor += cfg.fault_gap;
+  }
+
+  exp.hunter().start(cursor + cfg.drain);
+  exp.events().run_all();
+  exp.hunter().finalize();
+
+  result.score = core::score_campaign(exp.hunter().failure_cases(),
+                                      exp.faults(), exp.topology(),
+                                      cfg.score);
+  result.faults = exp.faults().faults();
+  result.failure_cases = exp.hunter().failure_cases().size();
+  result.probes_sent = exp.hunter().total_probes();
+  return result;
+}
+
+CampaignSet run_many(const CampaignConfig& cfg,
+                     std::span<const std::uint64_t> seeds,
+                     std::size_t n_threads) {
+  CampaignSet set;
+  set.runs.resize(seeds.size());
+  if (n_threads == 0) {
+    n_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  const std::size_t workers = std::min(n_threads, seeds.size());
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      set.runs[i] = run_campaign(cfg, seeds[i]);
+    }
+  } else {
+    // Slot-indexed writes: runs[i] belongs to seeds[i] no matter which
+    // worker executes it or in what order jobs finish.
+    std::vector<std::exception_ptr> errors(seeds.size());
+    ThreadPool pool(workers);
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      pool.submit([&cfg, &set, &errors, &seeds, i] {
+        try {
+          set.runs[i] = run_campaign(cfg, seeds[i]);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    pool.wait();
+    for (const auto& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+  }
+
+  std::vector<core::CampaignScore> scores;
+  scores.reserve(set.runs.size());
+  for (const auto& r : set.runs) scores.push_back(r.score);
+  set.summary = core::summarize_scores(scores);
+  return set;
+}
+
+CampaignSet run_many(const CampaignConfig& cfg, std::uint64_t master_seed,
+                     std::size_t n_runs, std::size_t n_threads) {
+  const auto seeds = split_seeds(master_seed, n_runs);
+  return run_many(cfg, seeds, n_threads);
+}
+
+}  // namespace skh::runner

@@ -1,0 +1,105 @@
+// Monte-Carlo campaign runner: N independent fault-injection campaigns,
+// optionally in parallel, with bit-identical results at any thread count.
+//
+// One campaign = one fully isolated simulated deployment (its own
+// Experiment, hence its own EventQueue, FaultInjector, orchestrator, and
+// SkeletonHunter) driven by a deterministically derived seed. Because each
+// run's RNG stream depends only on (master seed, run index) — see
+// split_seed in common/rng.h — the per-seed CampaignScore vector is a pure
+// function of (config, seeds), independent of thread count and OS
+// scheduling. run_many is the facade every sweep/ablation bench builds on:
+// it fans runs across a ThreadPool and folds the per-seed scores into a
+// ScoreSummary (mean / stddev / 95% CI per §7.1 metric).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/harness.h"
+#include "core/metrics.h"
+#include "sim/fault.h"
+
+namespace skh::runner {
+
+/// Shape of one tenant task launched at campaign start.
+struct TaskShape {
+  std::uint32_t containers = 8;
+  std::uint32_t gpus_per_container = 8;  ///< tensor-parallel degree (tp)
+  std::uint32_t dp = 4;                  ///< data-parallel replicas
+  std::uint32_t pp = 2;                  ///< pipeline stages
+};
+
+/// Everything a campaign does except the seed. The same config replayed
+/// with the same seed reproduces the identical fault schedule and score.
+struct CampaignConfig {
+  topo::TopologyConfig topology{.num_hosts = 32,
+                                .rails_per_host = 8,
+                                .hosts_per_segment = 8};
+  core::SkeletonHunterConfig hunter{};
+  std::vector<TaskShape> tasks{{8, 8, 4, 2}, {4, 8, 2, 2}};
+  SimTime task_lifetime = SimTime::hours(24);
+
+  /// Probe-visible faults, cycling over `issue_mix` in order; victims are
+  /// drawn from the campaign's own RNG stream.
+  std::size_t visible_faults = 12;
+  std::vector<sim::IssueType> issue_mix{
+      sim::IssueType::kCrcError,
+      sim::IssueType::kSwitchPortDown,
+      sim::IssueType::kSwitchPortFlapping,
+      sim::IssueType::kRnicHardwareFailure,
+      sim::IssueType::kRnicPortDown,
+      sim::IssueType::kGidChange,
+      sim::IssueType::kNotUsingRdma,
+      sim::IssueType::kPcieNicError,
+  };
+  /// Intra-host (probe-invisible) faults: the §7.3 recall bound.
+  std::size_t invisible_faults = 1;
+  /// Crashed sidecar agents (phantoms): the §7.3 precision bound.
+  std::size_t phantom_agents = 1;
+
+  SimTime warmup = SimTime::minutes(5);       ///< before the first fault
+  SimTime fault_gap = SimTime::minutes(11);   ///< spacing between faults
+  SimTime fault_duration = SimTime::minutes(6);
+  SimTime drain = SimTime::minutes(20);       ///< probing past the last fault
+
+  core::ScoreConfig score{};
+};
+
+/// One campaign's outcome. `faults` is the injected ground-truth schedule,
+/// kept so callers (and the determinism tests) can compare schedules
+/// across seeds and thread counts.
+struct RunResult {
+  std::uint64_t seed = 0;
+  core::CampaignScore score{};
+  std::vector<sim::Fault> faults;
+  std::size_t tasks_launched = 0;
+  std::size_t failure_cases = 0;
+  std::size_t probes_sent = 0;
+};
+
+/// run_many's aggregate: per-seed results in input-seed order plus the
+/// cross-seed statistical summary.
+struct CampaignSet {
+  std::vector<RunResult> runs;
+  core::ScoreSummary summary;
+};
+
+/// Execute one campaign to completion on the calling thread.
+[[nodiscard]] RunResult run_campaign(const CampaignConfig& cfg,
+                                     std::uint64_t seed);
+
+/// Execute one campaign per seed across `n_threads` workers (0 = hardware
+/// concurrency; 1 = sequential on the calling thread). runs[i] always
+/// corresponds to seeds[i] and is bit-identical at any thread count.
+[[nodiscard]] CampaignSet run_many(const CampaignConfig& cfg,
+                                   std::span<const std::uint64_t> seeds,
+                                   std::size_t n_threads = 0);
+
+/// Convenience: derive `n_runs` seeds from `master_seed` via split_seed.
+[[nodiscard]] CampaignSet run_many(const CampaignConfig& cfg,
+                                   std::uint64_t master_seed,
+                                   std::size_t n_runs,
+                                   std::size_t n_threads = 0);
+
+}  // namespace skh::runner

@@ -154,5 +154,66 @@ TEST_F(MetricsTest, EmptyCampaignIsPerfect) {
   EXPECT_DOUBLE_EQ(score.recall(), 1.0);
 }
 
+TEST(ScoreSummaryTest, AggregatesAcrossRuns) {
+  // Two runs: precision 1.0 and 0.5, recall 1.0 and 1.0.
+  CampaignScore a;
+  a.cases_total = 4;
+  a.cases_true = 4;
+  a.injected_visible = 4;
+  a.detected_true = 4;
+  a.mean_detection_latency_s = 10.0;
+  CampaignScore b;
+  b.cases_total = 4;
+  b.cases_true = 2;
+  b.cases_false = 2;
+  b.injected_visible = 2;
+  b.detected_true = 2;
+  b.mean_detection_latency_s = 20.0;
+
+  const std::vector<CampaignScore> scores{a, b};
+  const ScoreSummary s = summarize_scores(scores);
+  EXPECT_EQ(s.runs, 2u);
+  EXPECT_DOUBLE_EQ(s.precision.mean, 0.75);
+  EXPECT_DOUBLE_EQ(s.recall.mean, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.detection_latency_s.mean, 15.0);
+  EXPECT_EQ(s.total_cases, 8u);
+  EXPECT_EQ(s.total_cases_false, 2u);
+  EXPECT_EQ(s.total_detected, 6u);
+  // CI shrinks with n and is symmetric around the mean.
+  EXPECT_GT(s.precision.ci95_halfwidth(), 0.0);
+  EXPECT_DOUBLE_EQ(s.precision.ci95_hi() - s.precision.mean,
+                   s.precision.mean - s.precision.ci95_lo());
+}
+
+TEST(ScoreSummaryTest, LatencyOnlyCountsRunsWithDetections) {
+  CampaignScore detected;
+  detected.injected_visible = 1;
+  detected.detected_true = 1;
+  detected.mean_detection_latency_s = 12.0;
+  CampaignScore missed;  // latency 0 would poison the mean
+  missed.injected_visible = 1;
+
+  const std::vector<CampaignScore> scores{detected, missed};
+  const ScoreSummary s = summarize_scores(scores);
+  EXPECT_EQ(s.detection_latency_s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.detection_latency_s.mean, 12.0);
+}
+
+TEST(ScoreSummaryTest, EmptyAndSingleRunEdgeCases) {
+  const ScoreSummary empty = summarize_scores({});
+  EXPECT_EQ(empty.runs, 0u);
+  EXPECT_DOUBLE_EQ(empty.precision.mean, 0.0);
+
+  CampaignScore only;
+  only.cases_total = 2;
+  only.cases_true = 2;
+  const std::vector<CampaignScore> one{only};
+  const ScoreSummary s = summarize_scores(one);
+  EXPECT_DOUBLE_EQ(s.precision.mean, 1.0);
+  // n = 1: no spread estimate, so the CI collapses to the mean.
+  EXPECT_DOUBLE_EQ(s.precision.ci95_halfwidth(), 0.0);
+}
+
 }  // namespace
 }  // namespace skh::core

@@ -55,6 +55,44 @@ TEST(EventQueue, PastEventsClampToNow) {
   EXPECT_DOUBLE_EQ(q.now().to_seconds(), 10.0);
 }
 
+// Pins the documented contract of schedule_at (see event_queue.h): an
+// event scheduled in the past is clamped to now() and runs on the next
+// step — it is not dropped, and the clock never moves backwards.
+TEST(EventQueue, PastClampedEventRunsOnNextStepAtNow) {
+  EventQueue q;
+  SimTime observed = SimTime::seconds(-1);
+  bool ran_inline = true;
+  q.schedule_at(SimTime::seconds(10), [&] {
+    q.schedule_at(SimTime::seconds(1), [&] { observed = q.now(); });
+    ran_inline = (observed.to_seconds() >= 0);  // must still be pending here
+  });
+  ASSERT_TRUE(q.step());
+  EXPECT_FALSE(ran_inline);
+  EXPECT_EQ(q.pending(), 1u);
+  ASSERT_TRUE(q.step());
+  EXPECT_DOUBLE_EQ(observed.to_seconds(), 10.0);
+}
+
+// Pins the documented equal-time FIFO: events that land at the same
+// timestamp — whether scheduled there directly or clamped from the past —
+// run in scheduling order, after the equal-time events queued before them.
+TEST(EventQueue, ClampedEventsKeepFifoOrderWithEqualTimeEvents) {
+  EventQueue q;
+  std::vector<char> order;
+  q.schedule_at(SimTime::seconds(10), [&] {
+    order.push_back('a');
+    q.schedule_at(SimTime::seconds(2), [&] { order.push_back('c'); });
+    q.schedule_at(SimTime::seconds(1), [&] { order.push_back('d'); });
+  });
+  q.schedule_at(SimTime::seconds(10), [&] { order.push_back('b'); });
+  q.run_all();
+  // 'b' was enqueued at t=10 before the clamped events existed; the
+  // clamped pair then runs in the order it was scheduled, ignoring the
+  // (stale) requested timestamps.
+  EXPECT_EQ(order, (std::vector<char>{'a', 'b', 'c', 'd'}));
+  EXPECT_DOUBLE_EQ(q.now().to_seconds(), 10.0);
+}
+
 TEST(EventQueue, RunUntilStopsAtBoundary) {
   EventQueue q;
   int fired = 0;
