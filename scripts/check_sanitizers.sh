@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# AddressSanitizer + UBSan gate, wired into ctest as `sanitize.asan_ubsan`.
+#
+# Configures a separate sub-build with SKH_SANITIZE=ON and replays the
+# memory-heaviest suites: common (window accumulators), ml (the LOF ring's
+# raw row/column arithmetic), and core (the detector hot path with its
+# flattened pair storage and reused buffers). Any sanitizer report aborts
+# the binary (-fno-sanitize-recover=all), so a clean exit means clean runs.
+set -eu
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+bdir="${2:-$root/build-asan}"
+
+cmake -S "$root" -B "$bdir" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSKH_SANITIZE=ON >/dev/null
+cmake --build "$bdir" --target test_common test_ml test_core \
+  -j "$(nproc)" >/dev/null
+for t in test_common test_ml test_core; do
+  "$bdir/tests/$t" --gtest_brief=1
+done
+echo "OK: ASan/UBSan clean on test_common, test_ml, test_core"

@@ -86,7 +86,29 @@ double RunningStats::variance() const noexcept {
   return m2_ / static_cast<double>(n_ - 1);
 }
 
+double RunningStats::population_variance() const noexcept {
+  if (n_ == 0) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
 double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+WindowSummary WindowAccumulator::summary() const {
+  WindowSummary s;
+  s.count = buf_.size();
+  if (buf_.empty()) return s;
+  ensure_sorted();
+  s.min = buf_.front();
+  s.max = buf_.back();
+  s.p25 = percentile_sorted(buf_, 25.0);
+  s.p50 = percentile_sorted(buf_, 50.0);
+  s.p75 = percentile_sorted(buf_, 75.0);
+  // Two-pass moments over the sorted buffer: `summarize` computes them in
+  // arrival order, so only addition order differs (FP rounding).
+  s.mean = mean_of(buf_);
+  s.stddev = stddev_of(buf_);
+  return s;
+}
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),

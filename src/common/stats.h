@@ -6,6 +6,7 @@
 // workload/trace synthesizers and the bench harnesses.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <limits>
 #include <span>
@@ -54,6 +55,8 @@ class RunningStats {
   [[nodiscard]] std::size_t count() const noexcept { return n_; }
   [[nodiscard]] double mean() const noexcept { return mean_; }
   [[nodiscard]] double variance() const noexcept;
+  /// Biased (1/n) variance — the MLE form the log-normal fit uses.
+  [[nodiscard]] double population_variance() const noexcept;
   [[nodiscard]] double stddev() const noexcept;
   [[nodiscard]] double min() const noexcept { return min_; }
   [[nodiscard]] double max() const noexcept { return max_; }
@@ -64,6 +67,48 @@ class RunningStats {
   double m2_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Streaming seven-number summarizer for one latency window: samples
+/// append to an order-statistics buffer that is sorted lazily, once, when
+/// the summary is asked for — not copied and re-sorted per close like
+/// `summarize`, and not scanned per sample like a sorted insert. The
+/// append touches only the buffer tail, which keeps the per-probe cache
+/// footprint at one line when thousands of accumulators are swept
+/// round-robin. Percentiles are bit-identical to `summarize`; mean/stddev
+/// agree to floating-point rounding (sorted vs arrival summation order).
+/// `reset` keeps the buffer capacity so a reused accumulator allocates
+/// only until its largest window has been seen. Not thread-safe: the lazy
+/// sort mutates the buffer under `const` accessors.
+class WindowAccumulator {
+ public:
+  void add(double x) {
+    buf_.push_back(x);
+    dirty_ = true;
+  }
+  void reset() noexcept {
+    buf_.clear();
+    dirty_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return buf_.size(); }
+  /// Samples so far, ascending.
+  [[nodiscard]] std::span<const double> sorted() const noexcept {
+    ensure_sorted();
+    return buf_;
+  }
+  [[nodiscard]] WindowSummary summary() const;
+
+ private:
+  void ensure_sorted() const noexcept {
+    if (dirty_) {
+      std::sort(buf_.begin(), buf_.end());
+      dirty_ = false;
+    }
+  }
+
+  mutable std::vector<double> buf_;
+  mutable bool dirty_ = false;
 };
 
 /// Fixed-bin histogram over [lo, hi); out-of-range values clamp to the edge

@@ -15,29 +15,88 @@ std::string_view to_string(AnomalyKind k) noexcept {
   return "unknown";
 }
 
+namespace {
+
+/// Start of the window (on the nominal grid anchored at `boundary`) that
+/// contains `t`. A probe gap spanning several windows skips the sample-less
+/// windows entirely instead of dragging every later boundary to the late
+/// sample.
+SimTime aligned_restart(SimTime boundary, SimTime t, SimTime window) {
+  const std::int64_t w = window.raw_nanos();
+  if (w <= 0) return t;
+  const std::int64_t missed = (t - boundary).raw_nanos() / w;
+  return SimTime::nanos(boundary.raw_nanos() + missed * w);
+}
+
+}  // namespace
+
 AnomalyDetector::AnomalyDetector(DetectorConfig cfg) : cfg_(cfg) {}
 
-std::vector<AnomalyEvent> AnomalyDetector::ingest(
-    const probe::ProbeResult& r) {
+AnomalyDetector::PairHandle AnomalyDetector::handle_of(
+    const EndpointPair& pair) {
+  const auto [it, inserted] =
+      index_.try_emplace(pair, static_cast<PairHandle>(hot_.size()));
+  if (inserted) {
+    hot_.emplace_back();
+    cold_.emplace_back();
+    cold_.back().pair = pair;
+  }
+  return it->second;
+}
+
+std::vector<AnomalyEvent> AnomalyDetector::ingest(const probe::ProbeResult& r) {
   std::vector<AnomalyEvent> events;
-  auto& st = pairs_[r.pair];
+  (void)ingest(handle_of(r.pair), r.sent_at, r.delivered, r.rtt_us, events);
+  return events;
+}
+
+std::size_t AnomalyDetector::ingest(PairHandle h, SimTime sent_at,
+                                    bool delivered, double rtt_us,
+                                    std::vector<AnomalyEvent>& out) {
+  const std::size_t before = out.size();
+  PairHot& st = hot_[h];
+  ++counters_.probes_ingested;
 
   // Window rollover checks happen before the sample is added, so a sample
-  // after the boundary closes the previous window first.
-  if (st.short_start &&
-      r.sent_at >= *st.short_start + cfg_.short_window) {
-    close_short_window(r.pair, st, r.sent_at, events);
+  // after the boundary closes the previous window first. Closes are stamped
+  // at the nominal boundary (start + window), not at the triggering
+  // sample's timestamp, and the next window reopens on the nominal grid.
+  if (st.short_open) {
+    const SimTime boundary = st.short_start + cfg_.short_window;
+    if (sent_at >= boundary) {
+      close_short_window(st, cold_[h], boundary, out);
+      st.short_open = true;
+      st.short_start = aligned_restart(boundary, sent_at, cfg_.short_window);
+    }
+  } else {
+    st.short_open = true;
+    st.short_start = sent_at;
   }
-  if (st.long_start && r.sent_at >= *st.long_start + cfg_.long_window) {
-    close_long_window(r.pair, st, r.sent_at, events);
+  if (st.long_open) {
+    const SimTime boundary = st.long_start + cfg_.long_window;
+    if (sent_at >= boundary) {
+      close_long_window(st, cold_[h], boundary, out);
+      st.long_open = true;
+      st.long_start = aligned_restart(boundary, sent_at, cfg_.long_window);
+    }
+  } else {
+    st.long_open = true;
+    st.long_start = sent_at;
   }
-  if (!st.short_start) st.short_start = r.sent_at;
-  if (!st.long_start) st.long_start = r.sent_at;
 
   ++st.short_sent;
-  if (r.delivered) {
-    st.short_rtts.push_back(r.rtt_us);
-    st.long_rtts.push_back(r.rtt_us);
+  if (delivered) {
+    ++counters_.samples_delivered;
+    if (cfg_.streaming) {
+      // Long-window accumulation is folded into the short-window close:
+      // the long window is a short-window multiple on the same grid, so
+      // every long close is preceded by the short close covering its tail.
+      st.short_win.add(rtt_us);
+    } else {
+      PairCold& cold = cold_[h];
+      cold.short_rtts.push_back(rtt_us);
+      cold.long_rtts.push_back(rtt_us);
+    }
     st.fail_streak = 0;
     st.unreachable_alarmed = false;
   } else {
@@ -46,31 +105,91 @@ std::vector<AnomalyEvent> AnomalyDetector::ingest(
     if (st.fail_streak >= cfg_.unreachable_streak &&
         !st.unreachable_alarmed) {
       st.unreachable_alarmed = true;
-      events.push_back(AnomalyEvent{r.pair, r.sent_at,
-                                    AnomalyKind::kUnreachable,
-                                    static_cast<double>(st.fail_streak)});
+      out.push_back(AnomalyEvent{cold_[h].pair, sent_at,
+                                 AnomalyKind::kUnreachable,
+                                 static_cast<double>(st.fail_streak)});
     }
   }
-  return events;
+  const std::size_t fired = out.size() - before;
+  counters_.events_emitted += fired;
+  return fired;
 }
 
-void AnomalyDetector::close_short_window(const EndpointPair& pair,
-                                         PairState& st, SimTime at,
+void AnomalyDetector::close_short_window(PairHot& hot, PairCold& cold,
+                                         SimTime at,
                                          std::vector<AnomalyEvent>& events) {
-  if (st.short_sent >= cfg_.min_samples_per_window) {
-    const double loss_rate = static_cast<double>(st.short_lost) /
-                             static_cast<double>(st.short_sent);
+  ++counters_.short_windows_closed;
+  if (hot.short_sent >= cfg_.min_samples_per_window) {
+    const double loss_rate = static_cast<double>(hot.short_lost) /
+                             static_cast<double>(hot.short_sent);
     if (loss_rate >= cfg_.loss_rate_threshold &&
-        st.short_lost >= cfg_.min_lost_per_window) {
+        hot.short_lost >= cfg_.min_lost_per_window) {
       events.push_back(
-          AnomalyEvent{pair, at, AnomalyKind::kPacketLoss, loss_rate});
+          AnomalyEvent{cold.pair, at, AnomalyKind::kPacketLoss, loss_rate});
     }
-    if (st.short_rtts.size() >= cfg_.min_samples_per_window) {
-      const auto summary = summarize(st.short_rtts);
+    if (cfg_.streaming) {
+      if (hot.short_win.count() >= cfg_.min_samples_per_window) {
+        const WindowSummary summary = hot.short_win.summary();
+        auto& f = cold.feature;
+        f.clear();
+        f.push_back(summary.p25);
+        f.push_back(summary.p50);
+        f.push_back(summary.p75);
+        f.push_back(summary.min);
+        f.push_back(summary.mean);
+        f.push_back(summary.stddev);
+        f.push_back(summary.max);
+        if (!cold.lof) cold.lof.emplace(cfg_.lof, cfg_.lookback_windows + 1);
+        const bool scoreable = cold.lof->size() >= cfg_.lof.k_neighbors + 1;
+        // Magnitude gate against the look-back median-of-medians; the
+        // sorted ring makes it O(1) instead of a copy + sort per close.
+        // (Read before the push below so the new window's own median
+        // cannot dilute its reference.)
+        const double ref_median =
+            scoreable ? cold.p50_sorted[cold.p50_sorted.size() / 2] : 0.0;
+        // Push first, then score the newest point in-model: the batch
+        // scorer appends its query to the reference before scoring, so
+        // `last_score` is the same number without a second distance pass.
+        cold.lof->push(f);
+        if (scoreable) {
+          // Only an upward shift is a failure symptom; a drop back toward
+          // normal (e.g. recovery against a fault-contaminated look-back)
+          // must not alarm. The event needs the shift gate AND the LOF
+          // gate, so test the O(1) magnitude gate first: on the healthy
+          // steady state (almost every close) it fails and the scoring
+          // pass is skipped outright — the model stays current either way
+          // because push/pop above and below maintain it regardless.
+          const double shift =
+              ref_median > 0.0 ? (summary.p50 - ref_median) / ref_median : 0.0;
+          if (shift >= cfg_.min_relative_shift) {
+            const double score = cold.lof->last_score();
+            if (score > cfg_.lof.outlier_threshold) {
+              events.push_back(AnomalyEvent{cold.pair, at,
+                                            AnomalyKind::kLatencyShortTerm,
+                                            score});
+            }
+          }
+        }
+        cold.p50_fifo.push_back(summary.p50);
+        cold.p50_sorted.insert(
+            std::upper_bound(cold.p50_sorted.begin(), cold.p50_sorted.end(),
+                             summary.p50),
+            summary.p50);
+        while (cold.lof->size() > cfg_.lookback_windows) {
+          cold.lof->pop_front();
+          const double evicted = cold.p50_fifo.front();
+          cold.p50_fifo.erase(cold.p50_fifo.begin());
+          cold.p50_sorted.erase(std::lower_bound(cold.p50_sorted.begin(),
+                                                 cold.p50_sorted.end(),
+                                                 evicted));
+        }
+      }
+    } else if (cold.short_rtts.size() >= cfg_.min_samples_per_window) {
+      const auto summary = summarize(cold.short_rtts);
       const auto feature = summary.as_feature_vector();
-      if (st.lookback.size() >= cfg_.lof.k_neighbors + 1) {
-        const std::vector<std::vector<double>> reference(st.lookback.begin(),
-                                                         st.lookback.end());
+      if (cold.lookback.size() >= cfg_.lof.k_neighbors + 1) {
+        const std::vector<std::vector<double>> reference(cold.lookback.begin(),
+                                                         cold.lookback.end());
         const double score = ml::lof_score_of(feature, reference, cfg_.lof);
         // Magnitude gate: index 1 of the feature vector is the median.
         std::vector<double> medians;
@@ -78,45 +197,63 @@ void AnomalyDetector::close_short_window(const EndpointPair& pair,
         for (const auto& w : reference) medians.push_back(w[1]);
         std::sort(medians.begin(), medians.end());
         const double ref_median = medians[medians.size() / 2];
-        // Only an upward shift is a failure symptom; a drop back toward
-        // normal (e.g. recovery against a fault-contaminated look-back)
-        // must not alarm.
         const double shift =
             ref_median > 0.0 ? (summary.p50 - ref_median) / ref_median : 0.0;
         if (score > cfg_.lof.outlier_threshold &&
             shift >= cfg_.min_relative_shift) {
-          events.push_back(
-              AnomalyEvent{pair, at, AnomalyKind::kLatencyShortTerm, score});
+          events.push_back(AnomalyEvent{cold.pair, at,
+                                        AnomalyKind::kLatencyShortTerm, score});
         }
       }
-      st.lookback.push_back(feature);
-      while (st.lookback.size() > cfg_.lookback_windows) {
-        st.lookback.pop_front();
+      cold.lookback.push_back(feature);
+      while (cold.lookback.size() > cfg_.lookback_windows) {
+        cold.lookback.pop_front();
       }
     }
   }
-  st.short_start.reset();
-  st.short_rtts.clear();
-  st.short_sent = 0;
-  st.short_lost = 0;
+  if (cfg_.streaming) {
+    // Fold this window's delivered samples into the long-window
+    // accumulators exactly once, at close. Sorted rather than arrival
+    // order: Welford moments differ only in FP rounding.
+    cold.long_seen += hot.short_win.count();
+    for (const double v : hot.short_win.sorted()) {
+      if (v > 0.0) cold.long_log.add(std::log(v));
+    }
+  }
+  hot.short_open = false;
+  hot.short_win.reset();
+  cold.short_rtts.clear();
+  hot.short_sent = 0;
+  hot.short_lost = 0;
 }
 
-void AnomalyDetector::close_long_window(const EndpointPair& pair,
-                                        PairState& st, SimTime at,
+void AnomalyDetector::close_long_window(PairHot& hot, PairCold& cold,
+                                        SimTime at,
                                         std::vector<AnomalyEvent>& events) {
-  if (st.long_rtts.size() >= cfg_.min_samples_per_window) {
-    if (!st.baseline) {
+  ++counters_.long_windows_closed;
+  const std::size_t n =
+      cfg_.streaming ? cold.long_seen : cold.long_rtts.size();
+  if (n >= cfg_.min_samples_per_window) {
+    if (!cold.baseline) {
       // First complete window: fit the log-normal baseline (time T of
       // Figure 14).
-      st.baseline = ml::fit_lognormal(st.long_rtts);
+      cold.baseline = cfg_.streaming ? ml::fit_lognormal(cold.long_log)
+                                     : ml::fit_lognormal(cold.long_rtts);
     } else {
-      const auto result = ml::z_test(*st.baseline, st.long_rtts, cfg_.z_alpha);
-      const auto window_fit = ml::fit_lognormal(st.long_rtts);
+      const auto result = cfg_.streaming
+                              ? ml::z_test(*cold.baseline, cold.long_log,
+                                           cfg_.z_alpha)
+                              : ml::z_test(*cold.baseline, cold.long_rtts,
+                                           cfg_.z_alpha);
+      const auto window_fit = cfg_.streaming
+                                  ? ml::fit_lognormal(cold.long_log)
+                                  : ml::fit_lognormal(cold.long_rtts);
       // Signed: only degradation (upward drift) is a failure; the recovery
       // window after a fault shifts downward and must not re-alarm.
-      const double shift = std::exp(window_fit.mu - st.baseline->mu) - 1.0;
+      const double shift = std::exp(window_fit.mu - cold.baseline->mu) - 1.0;
       if (result.reject && shift >= cfg_.long_term_min_shift) {
-        events.push_back(AnomalyEvent{pair, at, AnomalyKind::kLatencyLongTerm,
+        events.push_back(AnomalyEvent{cold.pair, at,
+                                      AnomalyKind::kLatencyLongTerm,
                                       std::abs(result.z)});
       }
       // Always re-baseline on the freshest window: a pass tracks legitimate
@@ -124,20 +261,44 @@ void AnomalyDetector::close_long_window(const EndpointPair& pair,
       // regime instead of re-alarming every 30 minutes against a stale (or
       // fault-contaminated) fit. Continued drift still re-alarms because
       // each window shifts against its predecessor.
-      st.baseline = ml::fit_lognormal(st.long_rtts);
+      cold.baseline = window_fit;
     }
   }
-  st.long_start.reset();
-  st.long_rtts.clear();
+  hot.long_open = false;
+  cold.long_log = RunningStats{};
+  cold.long_seen = 0;
+  cold.long_rtts.clear();
 }
 
 std::vector<AnomalyEvent> AnomalyDetector::flush(SimTime now) {
   std::vector<AnomalyEvent> events;
-  for (auto& [pair, st] : pairs_) {
-    if (st.short_start) close_short_window(pair, st, now, events);
-    if (st.long_start) close_long_window(pair, st, now, events);
+  for (std::size_t h = 0; h < hot_.size(); ++h) {
+    PairHot& hot = hot_[h];
+    // A still-open window is only judged when it actually reached its span:
+    // a few-second partial window must not fire (say) a 30-minute Z-test.
+    if (hot.short_open && now - hot.short_start >= cfg_.short_window) {
+      close_short_window(hot, cold_[h], hot.short_start + cfg_.short_window,
+                         events);
+    }
+    if (hot.long_open && now - hot.long_start >= cfg_.long_window) {
+      close_long_window(hot, cold_[h], hot.long_start + cfg_.long_window,
+                        events);
+    }
   }
+  counters_.events_emitted += events.size();
   return events;
+}
+
+DetectorCounters AnomalyDetector::counters() const {
+  DetectorCounters c = counters_;
+  for (const auto& cold : cold_) {
+    if (cold.lof) {
+      c.lof_fast_path += cold.lof->fast_path_scores();
+      c.lof_fallback += cold.lof->fallback_scores();
+      c.lof_kdist_rebuilds += cold.lof->kdist_rebuilds();
+    }
+  }
+  return c;
 }
 
 }  // namespace skh::core

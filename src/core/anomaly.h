@@ -9,8 +9,19 @@
 //  - long-term latency analysis: a log-normal model fitted on the first
 //    healthy 30-minute window, with later 30-minute windows Z-tested
 //    against it (catches gradual drift the short-term LOF absorbs).
+//
+// Two compute paths produce those verdicts. The *streaming* path (default)
+// is the production hot path: window summaries accumulate incrementally
+// (`WindowAccumulator`), the LOF look-back model stays resident across
+// window closes (`ml::StreamingLof`), and long windows keep only log-domain
+// moments — no per-window copies, sorts, or refits. The *batch* path
+// recomputes everything from retained samples at each close and serves as
+// the reference implementation; both paths emit identical verdicts
+// (equality pinned by tests/core and re-checked by
+// bench_anomaly_throughput on campaign scenarios).
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <optional>
 #include <string_view>
@@ -21,6 +32,7 @@
 #include "common/time.h"
 #include "ml/lof.h"
 #include "ml/stats_tests.h"
+#include "ml/streaming_lof.h"
 #include "probe/probe_types.h"
 
 namespace skh::core {
@@ -66,47 +78,125 @@ struct DetectorConfig {
   std::size_t min_lost_per_window = 2;
   std::size_t min_samples_per_window = 5;
   int unreachable_streak = 3;
+  /// Select the incremental compute path (see file header). The batch path
+  /// is kept as the reference the streaming path is verified against.
+  bool streaming = true;
+};
+
+/// Ingest-side observability counters, aggregated by `core/metrics` across
+/// campaign fleets (defined here rather than in metrics.h because metrics
+/// sits above the detector in the include graph).
+struct DetectorCounters {
+  std::uint64_t probes_ingested = 0;
+  std::uint64_t samples_delivered = 0;
+  std::uint64_t short_windows_closed = 0;
+  std::uint64_t long_windows_closed = 0;
+  std::uint64_t lof_fast_path = 0;  ///< streaming scores read from the
+                                    ///< cached densities (incl. in-model
+                                    ///< `last_score` reads)
+  std::uint64_t lof_fallback = 0;   ///< streaming scores that needed the
+                                    ///< virtual-insert recompute
+  std::uint64_t lof_kdist_rebuilds = 0;  ///< drained k-distance candidate
+                                         ///< buffers rebuilt by a row scan
+  std::uint64_t events_emitted = 0;
+
+  DetectorCounters& operator+=(const DetectorCounters& o) noexcept {
+    probes_ingested += o.probes_ingested;
+    samples_delivered += o.samples_delivered;
+    short_windows_closed += o.short_windows_closed;
+    long_windows_closed += o.long_windows_closed;
+    lof_fast_path += o.lof_fast_path;
+    lof_fallback += o.lof_fallback;
+    lof_kdist_rebuilds += o.lof_kdist_rebuilds;
+    events_emitted += o.events_emitted;
+    return *this;
+  }
 };
 
 class AnomalyDetector {
  public:
+  /// Dense per-pair index; resolve once via `handle_of`, then ingest
+  /// without re-hashing the pair on every probe.
+  using PairHandle = std::uint32_t;
+
   explicit AnomalyDetector(DetectorConfig cfg = {});
+
+  /// Get-or-create the handle for a pair.
+  [[nodiscard]] PairHandle handle_of(const EndpointPair& pair);
+
+  /// Hot path: feed one probe result under a pre-resolved handle. Events
+  /// fired by this observation are appended to `out`; returns how many.
+  std::size_t ingest(PairHandle h, SimTime sent_at, bool delivered,
+                     double rtt_us, std::vector<AnomalyEvent>& out);
 
   /// Feed one probe result. Window boundaries are detected from the result
   /// timestamps; events fired by this observation are returned.
   [[nodiscard]] std::vector<AnomalyEvent> ingest(const probe::ProbeResult& r);
 
   /// Force-close all open windows (end of campaign) and return any final
-  /// events.
+  /// events. Only windows that reached their nominal span are evaluated: a
+  /// few-second partial window carries no evidence at window granularity
+  /// and must not fire (e.g.) a 30-minute Z-test alarm.
   [[nodiscard]] std::vector<AnomalyEvent> flush(SimTime now);
 
   [[nodiscard]] const DetectorConfig& config() const noexcept { return cfg_; }
 
+  /// Ingest counters, including the per-pair streaming-LOF path split.
+  [[nodiscard]] DetectorCounters counters() const;
+
  private:
-  struct PairState {
-    // Short-term window under construction.
-    std::optional<SimTime> short_start;
-    std::vector<double> short_rtts;
-    std::size_t short_sent = 0;
-    std::size_t short_lost = 0;
-    // Look-back of closed-window feature vectors.
-    std::deque<std::vector<double>> lookback;
-    // Unreachability streak.
+  // Per-pair state is split hot/cold. `PairHot` holds exactly what a
+  // probe with no window rollover touches — boundary checks, counters,
+  // the streak rule, and the streaming sample buffer — packed into one
+  // 64-byte cache line. A fleet sweep (every pair probed each round)
+  // therefore streams 64 contiguous bytes per probe; with the multi-
+  // hundred-byte combined struct the same sweep dragged the whole state
+  // (resident LOF model included) through the cache and the pair table
+  // fell out of L2 at 10k pairs. Everything else lives in `PairCold`,
+  // read only at window closes (and by the batch reference path, which
+  // retains raw samples).
+  struct alignas(64) PairHot {
+    // Short- and long-term windows under construction.
+    SimTime short_start;
+    SimTime long_start;
+    std::uint32_t short_sent = 0;
+    std::uint32_t short_lost = 0;
     int fail_streak = 0;
+    bool short_open = false;
+    bool long_open = false;
     bool unreachable_alarmed = false;
-    // Long-term window under construction + fitted baseline.
-    std::optional<SimTime> long_start;
-    std::vector<double> long_rtts;
+    WindowAccumulator short_win;  // streaming path
+  };
+  static_assert(sizeof(PairHot) == 64,
+                "PairHot must stay a single cache line");
+
+  struct PairCold {
+    EndpointPair pair;
+    std::vector<double> short_rtts;  // batch path
+    // Look-back of closed-window feature vectors.
+    std::optional<ml::StreamingLof> lof;       // streaming path
+    std::vector<double> p50_sorted;            // streaming magnitude gate
+    std::vector<double> p50_fifo;              //   (window order, for evict)
+    std::deque<std::vector<double>> lookback;  // batch path
+    std::vector<double> feature;               // reused scratch
+    // Long-term accumulators + fitted baseline.
+    RunningStats long_log;          // streaming path: moments of ln(rtt)
+    std::size_t long_seen = 0;      // streaming path: delivered samples
+    std::vector<double> long_rtts;  // batch path
     std::optional<ml::LogNormalModel> baseline;
   };
 
-  void close_short_window(const EndpointPair& pair, PairState& st,
-                          SimTime at, std::vector<AnomalyEvent>& events);
-  void close_long_window(const EndpointPair& pair, PairState& st, SimTime at,
+  void close_short_window(PairHot& hot, PairCold& cold, SimTime at,
+                          std::vector<AnomalyEvent>& events);
+  void close_long_window(PairHot& hot, PairCold& cold, SimTime at,
                          std::vector<AnomalyEvent>& events);
 
   DetectorConfig cfg_;
-  std::unordered_map<EndpointPair, PairState> pairs_;
+  std::unordered_map<EndpointPair, PairHandle> index_;
+  // Dense, indexed by handle; hot_[h] and cold_[h] describe one pair.
+  std::vector<PairHot> hot_;
+  std::vector<PairCold> cold_;
+  DetectorCounters counters_;
 };
 
 }  // namespace skh::core

@@ -23,6 +23,14 @@ std::string_view to_string(LocalizationMethod m) noexcept {
   return "unknown";
 }
 
+std::optional<LinkId> dead_link_of(const probe::TracerouteResult& tr) {
+  const auto dead = tr.first_dead_hop();
+  if (!dead) return std::nullopt;
+  const LinkId link = tr.hops[*dead].link;
+  if (!link.valid()) return std::nullopt;
+  return link;
+}
+
 Localizer::Localizer(const topo::Topology& topo,
                      const overlay::OverlayNetwork& overlay,
                      DiagnosticsOracle& oracle,
@@ -44,8 +52,8 @@ std::vector<sim::ComponentRef> Localizer::refine_with_traceroute(
   for (const auto& p : pairs) {
     const auto tr =
         probe::traceroute(topo_, faults_, p.src.rnic, p.dst.rnic, at);
-    const auto dead = tr.first_dead_hop();
-    if (dead) ++dead_votes[tr.hops[*dead].link.value()];
+    const auto dead = dead_link_of(tr);
+    if (dead) ++dead_votes[dead->value()];
   }
   if (dead_votes.empty()) return voted;  // soft failure; keep the tie
   std::size_t best = 0;
@@ -209,6 +217,47 @@ Localization Localizer::endpoint_pattern(
       return loc;
     }
     loc.culprits.push_back({sim::ComponentKind::kRnic, ep.rnic.value()});
+    return loc;
+  }
+  if (shared.size() == 2) {
+    // Degenerate single-pair case: one (possibly bidirectional) anomalous
+    // pair makes both endpoints appear in every pair, so neither recurrence
+    // counting (recur_floor of 3 can never be met) nor intersection can
+    // separate them. Ask config/log inspection about each endpoint in the
+    // same host-scope-first priority as the single-endpoint branch; with no
+    // confirmation, report both RNICs as a tied verdict rather than
+    // dropping the case as unlocalized.
+    for (const Endpoint& ep : shared) {
+      const HostId host = topo_.host_of(ep.rnic);
+      if (oracle_.confirms({sim::ComponentKind::kVSwitch, host.value()}, at)) {
+        loc.culprits.push_back({sim::ComponentKind::kVSwitch, host.value()});
+        return loc;
+      }
+    }
+    for (const Endpoint& ep : shared) {
+      const HostId host = topo_.host_of(ep.rnic);
+      if (oracle_.confirms({sim::ComponentKind::kHost, host.value()}, at)) {
+        loc.culprits.push_back({sim::ComponentKind::kHost, host.value()});
+        return loc;
+      }
+    }
+    for (const Endpoint& ep : shared) {
+      if (oracle_.confirms({sim::ComponentKind::kContainer,
+                            ep.container.value()}, at)) {
+        loc.culprits.push_back(
+            {sim::ComponentKind::kContainer, ep.container.value()});
+        return loc;
+      }
+    }
+    for (const Endpoint& ep : shared) {
+      if (oracle_.confirms({sim::ComponentKind::kRnic, ep.rnic.value()}, at)) {
+        loc.culprits.push_back({sim::ComponentKind::kRnic, ep.rnic.value()});
+        return loc;
+      }
+    }
+    for (const Endpoint& ep : shared) {
+      loc.culprits.push_back({sim::ComponentKind::kRnic, ep.rnic.value()});
+    }
     return loc;
   }
   // Multiple endpoints of one host across rails: host-scope problem. Only

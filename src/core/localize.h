@@ -23,10 +23,18 @@
 
 #include "core/diagnostics.h"
 #include "overlay/overlay.h"
+#include "probe/traceroute.h"
 #include "sim/fault.h"
 #include "topo/topology.h"
 
 namespace skh::core {
+
+/// The physical link a traceroute died on, if any. A hop can be dead
+/// without carrying a valid link id — death at the source (silent
+/// everywhere) or at the destination host/RNIC — and such hops contribute
+/// no link verdict.
+[[nodiscard]] std::optional<LinkId> dead_link_of(
+    const probe::TracerouteResult& tr);
 
 enum class LocalizationMethod : std::uint8_t {
   kOverlayReachability,

@@ -219,4 +219,16 @@ ScoreSummary summarize_scores(std::span<const CampaignScore> scores) {
   return s;
 }
 
+DetectorCounters merge_counters(std::span<const DetectorCounters> counters) {
+  DetectorCounters total;
+  for (const auto& c : counters) total += c;
+  return total;
+}
+
+double lof_fast_path_ratio(const DetectorCounters& c) {
+  const std::uint64_t scored = c.lof_fast_path + c.lof_fallback;
+  if (scored == 0) return 1.0;
+  return static_cast<double>(c.lof_fast_path) / static_cast<double>(scored);
+}
+
 }  // namespace skh::core

@@ -92,4 +92,13 @@ struct ScoreSummary {
 [[nodiscard]] ScoreSummary summarize_scores(
     std::span<const CampaignScore> scores);
 
+/// Pool per-campaign detector ingest counters (e.g. one per `run_many`
+/// seed) into fleet totals for throughput/observability reporting.
+[[nodiscard]] DetectorCounters merge_counters(
+    std::span<const DetectorCounters> counters);
+
+/// Fraction of streaming LOF scores answered from the cached model without
+/// a repair pass; 1.0 when no LOF scoring happened.
+[[nodiscard]] double lof_fast_path_ratio(const DetectorCounters& c);
+
 }  // namespace skh::core

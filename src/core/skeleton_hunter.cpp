@@ -171,13 +171,15 @@ void SkeletonHunter::tick() {
   // Probe: every agent runs its round; results stream straight into the
   // anomaly detector.
   std::map<TaskId, std::vector<AnomalyEvent>> per_task_events;
+  std::vector<AnomalyEvent> fired;
   for (auto& [cid, agent] : agents_) {
     for (const auto& result : agent.run_round(engine_, now, collector_)) {
-      const auto events = detector_.ingest(result);
-      if (!events.empty()) {
+      fired.clear();
+      if (detector_.ingest(detector_.handle_of(result.pair), result.sent_at,
+                           result.delivered, result.rtt_us, fired) > 0) {
         const TaskId task = orch_.container(result.pair.src.container).task;
         auto& bucket = per_task_events[task];
-        bucket.insert(bucket.end(), events.begin(), events.end());
+        bucket.insert(bucket.end(), fired.begin(), fired.end());
       }
     }
   }

@@ -108,6 +108,10 @@ class SkeletonHunter {
   [[nodiscard]] std::size_t total_probes() const noexcept {
     return collector_.total_results();
   }
+  /// Anomaly-detector ingest counters (probes, windows, LOF path split).
+  [[nodiscard]] DetectorCounters detector_counters() const {
+    return detector_.counters();
+  }
   [[nodiscard]] const probe::Collector& collector() const noexcept {
     return collector_;
   }

@@ -10,7 +10,7 @@ namespace skh::ml {
 
 namespace {
 
-constexpr double kDistanceFloor = 1e-12;
+constexpr double kDistanceFloor = kLofDistanceFloor;
 
 /// Distances from point i to all other points, paired with indices.
 std::vector<std::pair<double, std::size_t>> sorted_distances(

@@ -18,6 +18,11 @@ struct LofConfig {
   double outlier_threshold = 1.5;  ///< score above which a point is anomalous
 };
 
+/// Lower bound applied to every pairwise distance (and reachability sum) so
+/// duplicate points cannot produce infinite densities. Shared by the batch
+/// scorer and `StreamingLof`, whose results must agree bit-for-bit.
+inline constexpr double kLofDistanceFloor = 1e-12;
+
 /// LOF score for every point in `points` (score ~1 for inliers, >> 1 for
 /// outliers). Handles duplicate points via a distance floor. Points must all
 /// have the same dimension; fewer points than k+1 yields all-1 scores.

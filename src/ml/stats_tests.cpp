@@ -39,6 +39,17 @@ LogNormalModel fit_lognormal(std::span<const double> samples) {
   return m;
 }
 
+LogNormalModel fit_lognormal(const RunningStats& log_stats) {
+  if (log_stats.count() < 2) {
+    throw std::invalid_argument("fit_lognormal: need >= 2 positive samples");
+  }
+  LogNormalModel m;
+  m.mu = log_stats.mean();
+  m.sigma = std::sqrt(log_stats.population_variance());
+  m.n = log_stats.count();
+  return m;
+}
+
 double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
 
 ZTestResult z_test(const LogNormalModel& model, std::span<const double> window,
@@ -63,6 +74,21 @@ ZTestResult z_test(const LogNormalModel& model, std::span<const double> window,
   const double se =
       model.sigma * std::sqrt(1.0 / n_window + 1.0 / n_baseline);
   r.z = (mean - model.mu) / se;
+  r.p_value = 2.0 * (1.0 - normal_cdf(std::abs(r.z)));
+  r.reject = r.p_value < alpha;
+  return r;
+}
+
+ZTestResult z_test(const LogNormalModel& model,
+                   const RunningStats& window_log_stats, double alpha) {
+  ZTestResult r;
+  if (window_log_stats.count() == 0 || model.sigma <= 0.0) return r;
+  const double n_window = static_cast<double>(window_log_stats.count());
+  const double n_baseline =
+      model.n > 0 ? static_cast<double>(model.n) : n_window;
+  const double se =
+      model.sigma * std::sqrt(1.0 / n_window + 1.0 / n_baseline);
+  r.z = (window_log_stats.mean() - model.mu) / se;
   r.p_value = 2.0 * (1.0 - normal_cdf(std::abs(r.z)));
   r.reject = r.p_value < alpha;
   return r;

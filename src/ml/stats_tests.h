@@ -10,6 +10,8 @@
 
 #include <span>
 
+#include "common/stats.h"
+
 namespace skh::ml {
 
 /// Fitted log-normal model of a latency population.
@@ -31,6 +33,13 @@ struct LogNormalModel {
 /// Throws std::invalid_argument if fewer than two usable samples exist.
 [[nodiscard]] LogNormalModel fit_lognormal(std::span<const double> samples);
 
+/// Fit from streaming log-domain moments: `log_stats` must have accumulated
+/// ln(x) of each strictly positive sample. The MLE sigma uses the
+/// population (1/n) variance, matching the span overload; lets the
+/// streaming anomaly pipeline fit a 30-minute window without retaining it.
+/// Throws std::invalid_argument on fewer than two samples.
+[[nodiscard]] LogNormalModel fit_lognormal(const RunningStats& log_stats);
+
 /// Standard normal CDF.
 [[nodiscard]] double normal_cdf(double z);
 
@@ -46,6 +55,12 @@ struct ZTestResult {
 /// latency distribution has shifted (Figure 14's T+1h / T+1.5h case).
 [[nodiscard]] ZTestResult z_test(const LogNormalModel& model,
                                  std::span<const double> window,
+                                 double alpha = 0.001);
+
+/// Z-test a window supplied as streaming log-domain moments (ln(x) per
+/// positive sample) — the streaming twin of the span overload.
+[[nodiscard]] ZTestResult z_test(const LogNormalModel& model,
+                                 const RunningStats& window_log_stats,
                                  double alpha = 0.001);
 
 }  // namespace skh::ml

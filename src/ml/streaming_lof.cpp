@@ -1,0 +1,378 @@
+#include "ml/streaming_lof.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "dsp/stft.h"
+
+namespace skh::ml {
+
+namespace {
+// Slot-mask sentinel: orders of magnitude above any real distance, so the
+// self-distance and dead-slot columns never rank as neighbors, yet finite
+// so the branch-free masked arithmetic below cannot produce 0 * inf = NaN.
+constexpr double kDiagonal = 1e300;
+}  // namespace
+
+StreamingLof::StreamingLof(LofConfig cfg, std::size_t capacity_hint)
+    : cfg_(cfg) {
+  if (cfg_.k_neighbors == 0) {
+    throw std::invalid_argument("StreamingLof: k_neighbors must be > 0");
+  }
+  kbuf_.resize(cfg_.k_neighbors);
+  if (capacity_hint > 0) {
+    cap_ = capacity_hint;
+    // The whole matrix starts masked; a push unmasks exactly the live
+    // cells of its row and column.
+    dist_.assign(cap_ * cap_, kDiagonal);
+    k_dist_.assign(cap_, 0.0);
+    lrd_.assign(cap_, 0.0);
+    n_nbrs_.assign(cap_, 0);
+    top_.assign(cap_ * 2 * cfg_.k_neighbors, 0.0);
+    top_len_.assign(cap_, 0);
+  }
+}
+
+void StreamingLof::grow(std::size_t min_cap) {
+  const std::size_t old_cap = cap_;
+  const std::size_t cap =
+      std::max({static_cast<std::size_t>(8), old_cap * 2, min_cap});
+  const std::size_t s = 2 * cfg_.k_neighbors;
+  // Re-lay the survivors compacted in age order (head back to slot 0);
+  // every cell outside the live block stays masked.
+  std::vector<double> nd(cap * cap, kDiagonal);
+  std::vector<double> nt(cap * s, 0.0);
+  std::vector<double> np(cap * dim_, 0.0);
+  std::vector<std::size_t> nl(cap, 0);
+  for (std::size_t a = 0; a < size_; ++a) {
+    const std::size_t oa = (head_ + a) % old_cap;
+    for (std::size_t b = 0; b < size_; ++b) {
+      nd[a * cap + b] = dist_[oa * old_cap + (head_ + b) % old_cap];
+    }
+    std::copy_n(top_.data() + oa * s, s, nt.data() + a * s);
+    nl[a] = top_len_[oa];
+    if (dim_ > 0 && !pts_.empty()) {
+      std::copy_n(pts_.data() + oa * dim_, dim_, np.data() + a * dim_);
+    }
+  }
+  cap_ = cap;
+  head_ = 0;
+  dist_ = std::move(nd);
+  top_ = std::move(nt);
+  top_len_ = std::move(nl);
+  pts_ = std::move(np);
+  k_dist_.assign(cap, 0.0);
+  lrd_.assign(cap, 0.0);
+  n_nbrs_.assign(cap, 0);
+}
+
+void StreamingLof::build_top(std::size_t i) {
+  const std::size_t s = 2 * cfg_.k_neighbors;
+  const double* __restrict row = dist_.data() + i * cap_;
+  double* __restrict buf = top_.data() + i * s;
+  // Streaming top-s over the full row via a branch-free insertion network;
+  // the sentinel on the diagonal and dead columns sorts past every real
+  // distance.
+  for (std::size_t p = 0; p < s; ++p) buf[p] = kDiagonal;
+  for (std::size_t j = 0; j < cap_; ++j) {
+    double d = row[j];
+    for (std::size_t p = 0; p < s; ++p) {
+      const double lo = std::min(buf[p], d);
+      d = std::max(buf[p], d);
+      buf[p] = lo;
+    }
+  }
+  std::size_t len = std::min(size_ > 0 ? size_ - 1 : 0, s);
+  top_len_[i] = len;
+}
+
+void StreamingLof::top_insert(std::size_t i, double d) {
+  const std::size_t s = 2 * cfg_.k_neighbors;
+  double* __restrict buf = top_.data() + i * s;
+  const std::size_t len = top_len_[i];
+  if (len == 0) return;  // drained; refresh will rebuild
+  if (d > buf[len - 1]) {
+    // Above the buffer max: with a full buffer it simply doesn't rank;
+    // with a partial one, accepting it would need the order statistic the
+    // earlier removals erased. Either way the buffer still holds the
+    // smallest `len` entries of the grown row.
+    return;
+  }
+  const std::size_t cap_len = std::min(len + 1, s);
+  std::size_t pos = 0;  // branch-free position scan over the tiny buffer
+  for (std::size_t p = 0; p + 1 < cap_len; ++p) pos += buf[p] <= d;
+  std::copy_backward(buf + pos, buf + cap_len - 1, buf + cap_len);
+  buf[pos] = d;
+  top_len_[i] = cap_len;
+}
+
+void StreamingLof::top_remove(std::size_t i, double d) {
+  const std::size_t s = 2 * cfg_.k_neighbors;
+  double* __restrict buf = top_.data() + i * s;
+  const std::size_t len = top_len_[i];
+  if (len == 0 || d > buf[len - 1]) return;  // not in the buffer
+  std::size_t pos = 0;  // first instance of d, branch-free
+  for (std::size_t p = 0; p < len; ++p) pos += buf[p] < d;
+  std::copy(buf + pos + 1, buf + len, buf + pos);
+  top_len_[i] = len - 1;
+}
+
+void StreamingLof::push(std::span<const double> point) {
+  if (dim_ == 0) {
+    dim_ = point.size();
+  } else if (point.size() != dim_) {
+    throw std::invalid_argument("StreamingLof: mixed point dimensions");
+  }
+  if (size_ == cap_) grow(size_ + 1);
+  if (pts_.size() != cap_ * dim_) pts_.resize(cap_ * dim_);
+  const std::size_t cap = cap_;
+  const std::size_t slot = (head_ + size_) % cap;
+  std::copy_n(point.data(), dim_, pts_.data() + slot * dim_);
+  double* row = dist_.data() + slot * cap;
+  for (std::size_t j = 0; j < cap; ++j) {
+    if (is_live(j)) {
+      const double d = std::max(
+          kLofDistanceFloor,
+          skh::dsp::euclidean_distance(
+              point, std::span<const double>{pts_.data() + j * dim_, dim_}));
+      row[j] = d;
+      dist_[j * cap + slot] = d;
+      top_insert(j, d);
+    } else {
+      // Self, evicted, and never-used slots stay masked. Dead rows are not
+      // touched: a slot's whole row is rewritten when a push reuses it.
+      row[j] = kDiagonal;
+    }
+  }
+  ++size_;
+  build_top(slot);
+  kd_dirty_ = true;
+  lrd_dirty_ = true;
+}
+
+void StreamingLof::pop_front() {
+  if (size_ == 0) return;
+  const std::size_t cap = cap_;
+  const std::size_t e = head_;
+  // Retire the evicted entry's distances from the surviving candidate
+  // buffers and mask its column; its own row is left for the push that
+  // reuses the slot to overwrite. No data moves.
+  for (std::size_t j = 0; j < cap; ++j) {
+    if (j == e) continue;
+    top_remove(j, dist_[j * cap + e]);  // no-op on dead/drained buffers
+    dist_[j * cap + e] = kDiagonal;
+  }
+  top_len_[e] = 0;
+  head_ = (e + 1) % cap;
+  --size_;
+  kd_dirty_ = true;
+  lrd_dirty_ = true;
+}
+
+double StreamingLof::kth_distance(const double* row, double extra) {
+  const std::size_t k = cfg_.k_neighbors;
+  double* kb = kbuf_.data();  // sized k at construction
+  std::size_t filled = 0;
+  const auto consider = [&](double d) {
+    std::size_t pos;
+    if (filled < k) {
+      pos = filled++;
+    } else if (d < kb[k - 1]) {
+      pos = k - 1;
+    } else {
+      return;
+    }
+    while (pos > 0 && kb[pos - 1] > d) {
+      kb[pos] = kb[pos - 1];
+      --pos;
+    }
+    kb[pos] = d;
+  };
+  // Masked columns carry the sentinel; with >= k live entries they can
+  // never be the k-th smallest, so the sweep needs no liveness branch.
+  for (std::size_t j = 0; j < cap_; ++j) consider(row[j]);
+  if (extra >= 0.0) consider(extra);
+  return kb[k - 1];
+}
+
+void StreamingLof::ensure_kdist() {
+  if (!kd_dirty_) return;
+  // k-distances straight from the incrementally maintained candidate
+  // buffers — O(1) per entry. A buffer that drained below k (too many
+  // evictions landed inside it) is rebuilt from its row; the slack of k
+  // extra candidates makes that the rare fallback, counted in
+  // `kdist_rebuilds`.
+  const std::size_t k = cfg_.k_neighbors;
+  const std::size_t s = 2 * k;
+  for (std::size_t i = 0; i < cap_; ++i) {
+    if (!is_live(i)) {
+      // Zero keeps dead slots out of the query-divergence test (their
+      // sentinel query distance can never be <= 0) while staying finite
+      // for the masked reach arithmetic.
+      k_dist_[i] = 0.0;
+      continue;
+    }
+    if (top_len_[i] < k) {
+      ++kdist_rebuilds_;
+      build_top(i);
+    }
+    k_dist_[i] = top_[i * s + k - 1];
+  }
+  kd_dirty_ = false;
+}
+
+std::pair<double, std::size_t> StreamingLof::density_of(
+    std::size_t i) const noexcept {
+  const std::size_t n = cap_;
+  // Restrict-qualified locals: the members provably never alias, but the
+  // compiler cannot see that through `this`, and the reloads it emits to
+  // stay safe cost ~4x on this tight loop. Reach distances are summed in
+  // slot rather than distance order — addition reordering only, within
+  // the documented FP tolerance of the batch scorer. The arithmetic mask
+  // adds an exact 0.0 for excluded slots (diagonal and dead columns carry
+  // the sentinel), so included terms are bit-identical to a branchy
+  // gather.
+  const double* __restrict row = dist_.data() + i * cap_;
+  const double* __restrict kds = k_dist_.data();
+  const double kd = kds[i];
+  double reach = 0.0;
+  std::size_t nn = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double d = row[j];
+    const bool in = d <= kd;
+    reach += static_cast<double>(in) * std::max(kds[j], d);
+    nn += in;
+  }
+  return {static_cast<double>(nn) / std::max(reach, kLofDistanceFloor), nn};
+}
+
+void StreamingLof::refresh() {
+  ensure_kdist();
+  for (std::size_t i = 0; i < cap_; ++i) {
+    if (is_live(i)) {
+      const auto [lrd, nn] = density_of(i);
+      lrd_[i] = lrd;
+      n_nbrs_[i] = nn;
+    } else {
+      lrd_[i] = 0.0;
+      n_nbrs_[i] = 0;
+    }
+  }
+  lrd_dirty_ = false;
+}
+
+double StreamingLof::last_score() {
+  const std::size_t k = cfg_.k_neighbors;
+  // Reference = everything but the newest point; <= k of those is the
+  // batch scorer's neutral regime.
+  if (size_ == 0 || size_ - 1 <= k) return 1.0;
+  ensure_kdist();
+  ++fast_scores_;
+  const std::size_t q = (head_ + size_ - 1) % cap_;
+  const double* __restrict row = dist_.data() + q * cap_;
+  const double kd = k_dist_[q];
+  // Only the newest point's own density and its neighbors' densities feed
+  // the score, so compute just those instead of refreshing the full table.
+  // The sweep covers every slot: the diagonal and dead columns carry the
+  // sentinel and can never pass the k-distance gate.
+  const auto [lrd_q, nn_q] = density_of(q);
+  double ratio_sum = 0.0;
+  for (std::size_t m = 0; m < cap_; ++m) {
+    if (row[m] <= kd) ratio_sum += density_of(m).first / lrd_q;
+  }
+  return ratio_sum / static_cast<double>(nn_q);
+}
+
+double StreamingLof::score(std::span<const double> query) {
+  const std::size_t k = cfg_.k_neighbors;
+  if (size_ <= k) return 1.0;
+  if (kd_dirty_ || lrd_dirty_) refresh();
+  const std::size_t cap = cap_;
+
+  qd_.resize(cap);
+  bool diverges = false;
+  for (std::size_t i = 0; i < cap; ++i) {
+    if (!is_live(i)) {
+      qd_[i] = kDiagonal;  // sorts past every live entry, gates nothing
+      continue;
+    }
+    const double d = std::max(
+        kLofDistanceFloor,
+        skh::dsp::euclidean_distance(
+            query, std::span<const double>{pts_.data() + i * dim_, dim_}));
+    qd_[i] = d;
+    // The cached model stays valid only while the query sits strictly
+    // outside every k-distance ball: at d <= k_dist the query enters (or
+    // ties into) that point's neighborhood and the densities shift.
+    if (d <= k_dist_[i]) diverges = true;
+  }
+  nbuf_.clear();
+  for (std::size_t i = 0; i < cap; ++i) nbuf_.emplace_back(qd_[i], i);
+  std::sort(nbuf_.begin(), nbuf_.end());
+  const double kq = nbuf_[k - 1].first;
+  std::size_t nnq = k;
+  while (nnq < size_ && nbuf_[nnq].first <= kq) ++nnq;
+
+  if (!diverges) {
+    ++fast_scores_;
+    double reach = 0.0;
+    for (std::size_t t = 0; t < nnq; ++t) {
+      reach += std::max(k_dist_[nbuf_[t].second], nbuf_[t].first);
+    }
+    const double lrd_q =
+        static_cast<double>(nnq) / std::max(reach, kLofDistanceFloor);
+    double ratio_sum = 0.0;
+    for (std::size_t t = 0; t < nnq; ++t) {
+      ratio_sum += lrd_[nbuf_[t].second] / lrd_q;
+    }
+    return ratio_sum / static_cast<double>(nnq);
+  }
+
+  // Virtual insert: evaluate the model of reference+query without touching
+  // the caches. Inserting q can only shrink a point's k-distance (or grow
+  // its neighborhood on a tie), and only for points with d(q, .) <= k_dist;
+  // everything q's score depends on is re-derived below from those virtual
+  // k-distances, the matrix, and q's distance row.
+  ++fallback_scores_;
+  vkd_.resize(cap);
+  for (std::size_t i = 0; i < cap; ++i) {
+    // Dead slots fail the gate (sentinel query distance vs zero
+    // k-distance) and keep their zero; they can never be gathered below.
+    vkd_[i] = qd_[i] <= k_dist_[i]
+                  ? kth_distance(dist_.data() + i * cap, qd_[i])
+                  : k_dist_[i];
+  }
+  double reach = 0.0;
+  for (std::size_t t = 0; t < nnq; ++t) {
+    reach += std::max(vkd_[nbuf_[t].second], nbuf_[t].first);
+  }
+  const double lrd_q =
+      static_cast<double>(nnq) / std::max(reach, kLofDistanceFloor);
+  double ratio_sum = 0.0;
+  for (std::size_t t = 0; t < nnq; ++t) {
+    const auto [dqj, j] = nbuf_[t];
+    const double vkdj = vkd_[j];
+    const double* row = dist_.data() + j * cap;
+    nbuf2_.clear();
+    for (std::size_t m = 0; m < cap; ++m) {
+      const double d = row[m];  // sentinel on diagonal/dead, never gathered
+      if (d <= vkdj) nbuf2_.emplace_back(d, m);
+    }
+    // The query joins j's neighborhood under index cap — past every slot,
+    // so it stays last among distance ties, exactly where lof_scores
+    // (query appended at batch index n) would sort it.
+    if (qd_[j] <= vkdj) nbuf2_.emplace_back(qd_[j], cap);
+    std::sort(nbuf2_.begin(), nbuf2_.end());
+    double r = 0.0;
+    for (const auto& [d, m] : nbuf2_) {
+      r += std::max(m == cap ? kq : vkd_[m], d);
+    }
+    const double lrd_j = static_cast<double>(nbuf2_.size()) /
+                         std::max(r, kLofDistanceFloor);
+    ratio_sum += lrd_j / lrd_q;
+  }
+  return ratio_sum / static_cast<double>(nnq);
+}
+
+}  // namespace skh::ml

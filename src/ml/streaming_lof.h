@@ -1,0 +1,160 @@
+// Incremental Local Outlier Factor over a sliding reference window.
+//
+// The §5.2 hot path scores every closed 30-second window against a
+// look-back population that changes by exactly one point per window close
+// (the new window enters, the oldest leaves). `lof_score_of` rebuilds the
+// whole model from scratch for each query — O(n²) distances plus ~2n heap
+// allocations per close. `StreamingLof` keeps the model resident instead:
+// a flat pairwise-distance matrix over fixed ring slots, plus each point's
+// cached k-distance, neighborhood size, and local reachability density.
+// Entries keep their slot for life — ages rotate via a head index — so a
+// push writes one matrix row/column and a pop retires one column; nothing
+// is ever shifted. Evicted and never-used slots are masked with the huge
+// finite diagonal sentinel, which keeps every scoring sweep dense and
+// branch-light (masked slots contribute an exact 0.0). The cached
+// densities are re-derived lazily (at most once per score, and only from
+// the resident matrix — no allocation, no distance recompute).
+//
+// Scoring contract: `score(q)` returns what `lof_score_of(q, reference,
+// cfg)` returns for the current reference set, to floating-point rounding
+// (slot order permutes the reach-distance summation order; pinned by
+// tests/ml/test_streaming_lof.cpp). Two paths produce that result:
+//  - fast path: when q lies strictly outside every reference point's
+//    k-distance ball, appending q could not change any cached k-distance,
+//    neighborhood, or LRD, so q's score is assembled directly from the
+//    cached densities.
+//  - virtual insert: when q would enter (or tie into) some k-neighborhood,
+//    the affected k-distances and densities are recomputed *as if* q were a
+//    reference point — pure reads of the matrix plus q's distance row, no
+//    mutation, nothing to undo.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "ml/lof.h"
+
+namespace skh::ml {
+
+/// Sliding-window LOF scorer. Points enter newest-last via `push` and leave
+/// oldest-first via `pop_front`, mirroring the detector's look-back deque.
+class StreamingLof {
+ public:
+  /// `capacity_hint` pre-sizes the ring (the look-back depth); the ring
+  /// grows if exceeded.
+  explicit StreamingLof(LofConfig cfg, std::size_t capacity_hint = 0);
+
+  /// Append the newest reference point. All points must share one dimension.
+  void push(std::span<const double> point);
+
+  /// Drop the oldest reference point: retire its distances from the
+  /// surviving candidate buffers, mask its column with the sentinel, and
+  /// advance the ring head. O(n), no data movement.
+  void pop_front();
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// LOF score of `query` against the current reference set; exactly
+  /// `lof_score_of(query, reference, cfg)`. Returns the neutral score 1.0
+  /// when the reference holds <= k points, like the batch scorer.
+  [[nodiscard]] double score(std::span<const double> query);
+
+  /// In-model score of the newest point against the rest — exactly
+  /// `score(newest)` had it been asked *before* that point was pushed,
+  /// because the batch scorer also appends its query to the reference
+  /// before scoring. This is the hot-path form: `push` already wrote the
+  /// distance row, so one lazy `refresh` plus an O(n) cached-density read
+  /// answers it, with no virtual-insert work at all.
+  [[nodiscard]] double last_score();
+
+  /// Scores answered from cached densities alone.
+  [[nodiscard]] std::uint64_t fast_path_scores() const noexcept {
+    return fast_scores_;
+  }
+  /// Scores that required the virtual-insert recompute (query entered a
+  /// reference point's k-neighborhood).
+  [[nodiscard]] std::uint64_t fallback_scores() const noexcept {
+    return fallback_scores_;
+  }
+  /// Times an entry's k-smallest candidate buffer drained below k and had
+  /// to be rebuilt by a full row scan (the batch-recompute fallback of the
+  /// incremental k-distance maintenance).
+  [[nodiscard]] std::uint64_t kdist_rebuilds() const noexcept {
+    return kdist_rebuilds_;
+  }
+
+ private:
+  void grow(std::size_t min_cap);
+  /// Whether `slot` currently holds a live entry (its age, measured from
+  /// the ring head, is below the live count).
+  [[nodiscard]] bool is_live(std::size_t slot) const noexcept {
+    std::size_t rel = slot + cap_ - head_;
+    rel -= cap_ * static_cast<std::size_t>(rel >= cap_);
+    return rel < size_;
+  }
+  /// Rebuild entry i's k-smallest candidate buffer from its full row.
+  void build_top(std::size_t i);
+  /// Fold one new row value d into entry i's candidate buffer, preserving
+  /// the invariant that the buffer holds the smallest `top_len_[i]` row
+  /// entries. A value above the buffer max with a non-full buffer is
+  /// dropped — accepting it would need the unknown next order statistic.
+  void top_insert(std::size_t i, double d);
+  /// Remove one instance of row value d from entry i's buffer if present.
+  void top_remove(std::size_t i, double d);
+  /// Bring every entry's cached k-distance current, reading straight from
+  /// the maintained candidate buffers (rebuilt on drain). O(n).
+  void ensure_kdist();
+  /// One entry's reachability density and neighborhood size from current
+  /// k-distances — one branch-light row sweep.
+  [[nodiscard]] std::pair<double, std::size_t> density_of(
+      std::size_t i) const noexcept;
+  /// Re-derive every entry's k-distance, neighborhood size, and LRD.
+  void refresh();
+  /// k-th smallest (duplicates counted) of `row` over all slots, with
+  /// `extra` as one additional candidate value (pass a negative value for
+  /// none). The sentinel on diagonal and dead columns keeps them from
+  /// ranking (k-th smallest is asked only when k live entries exist).
+  [[nodiscard]] double kth_distance(const double* row, double extra);
+
+  LofConfig cfg_;
+  std::size_t dim_ = 0;  ///< point dimension, fixed by the first push
+  std::size_t cap_ = 0;  ///< allocated ring slots
+  /// Entry points by slot, flat row-major (cap x dim). One allocation
+  /// instead of a vector per point: at fleet scale the per-pair models are
+  /// touched round-robin and the flat rows keep each close's working set
+  /// to a few cache lines.
+  std::vector<double> pts_;
+  /// cap x cap pairwise distances by slot; the diagonal and every dead
+  /// slot's column are pinned to a huge finite sentinel so no scoring loop
+  /// needs a self-exclusion or liveness branch.
+  std::vector<double> dist_;
+  std::vector<double> k_dist_;       ///< cached k-distance per entry
+  std::vector<double> lrd_;          ///< cached density per entry
+  std::vector<std::size_t> n_nbrs_;  ///< cached neighborhood size per entry
+  /// Per-entry sorted buffer of (up to) the 2k smallest row distances,
+  /// maintained across push/pop so a close reads k-distances in O(1)
+  /// instead of re-selecting over the row. Flat cap x 2k, row-major.
+  std::vector<double> top_;
+  std::vector<std::size_t> top_len_;  ///< valid prefix per buffer
+  std::size_t size_ = 0;  ///< live entries
+  std::size_t head_ = 0;  ///< slot of the oldest live entry
+  // Staleness after push/pop, cleared lazily: k-distances on any score,
+  // the full density table only when `score` needs it (`last_score` gets
+  // by with a handful of on-demand densities).
+  bool kd_dirty_ = false;
+  bool lrd_dirty_ = false;
+  // Reused scratch.
+  std::vector<double> qd_;        ///< query distance row
+  std::vector<double> vkd_;       ///< virtual k-distances under insert
+  std::vector<double> kbuf_;      ///< selection buffer (k smallest)
+  std::vector<std::pair<double, std::size_t>> nbuf_;   ///< (dist, index) sort
+  std::vector<std::pair<double, std::size_t>> nbuf2_;  ///< inner-loop twin
+  std::uint64_t fast_scores_ = 0;
+  std::uint64_t fallback_scores_ = 0;
+  std::uint64_t kdist_rebuilds_ = 0;
+};
+
+}  // namespace skh::ml

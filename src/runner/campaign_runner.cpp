@@ -120,6 +120,7 @@ RunResult run_campaign(const CampaignConfig& cfg, std::uint64_t seed) {
   result.faults = exp.faults().faults();
   result.failure_cases = exp.hunter().failure_cases().size();
   result.probes_sent = exp.hunter().total_probes();
+  result.detector = exp.hunter().detector_counters();
   return result;
 }
 

@@ -76,6 +76,8 @@ struct RunResult {
   std::size_t tasks_launched = 0;
   std::size_t failure_cases = 0;
   std::size_t probes_sent = 0;
+  /// Detector ingest counters; pool across runs with core::merge_counters.
+  core::DetectorCounters detector{};
 };
 
 /// run_many's aggregate: per-seed results in input-seed order plus the

@@ -148,5 +148,62 @@ INSTANTIATE_TEST_SUITE_P(Quantiles, PercentileSweep,
                          ::testing::Values(0.0, 10.0, 25.0, 50.0, 75.0, 90.0,
                                            99.0, 100.0));
 
+TEST(RunningStats, PopulationVarianceIsBiasedForm) {
+  RunningStats s;
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double x : v) s.add(x);
+  EXPECT_NEAR(s.population_variance(), 4.0, 1e-12);
+  EXPECT_NEAR(s.variance(), 4.0 * 8.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(RunningStats{}.population_variance(), 0.0);
+}
+
+TEST(WindowAccumulator, EmptySummaryMatchesSummarize) {
+  const WindowAccumulator acc;
+  const auto batch = summarize({});
+  EXPECT_EQ(acc.summary().count, batch.count);
+  EXPECT_DOUBLE_EQ(acc.summary().mean, batch.mean);
+}
+
+TEST(WindowAccumulator, MatchesSummarizeOnRandomWindows) {
+  // Property: streaming summaries equal the batch sort-based summary —
+  // order statistics exactly (same sorted array, same interpolation),
+  // mean/stddev to FP rounding (Welford vs two-pass).
+  RngStream rng{31};
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform(1.0, 120.0));
+    WindowAccumulator acc;
+    std::vector<double> raw;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = 16.0 * std::exp(rng.normal(0.0, 0.3));
+      acc.add(x);
+      raw.push_back(x);
+    }
+    const WindowSummary s = acc.summary();
+    const WindowSummary b = summarize(raw);
+    ASSERT_EQ(s.count, b.count);
+    EXPECT_DOUBLE_EQ(s.min, b.min);
+    EXPECT_DOUBLE_EQ(s.max, b.max);
+    EXPECT_DOUBLE_EQ(s.p25, b.p25);
+    EXPECT_DOUBLE_EQ(s.p50, b.p50);
+    EXPECT_DOUBLE_EQ(s.p75, b.p75);
+    EXPECT_NEAR(s.mean, b.mean, 1e-10 * std::abs(b.mean));
+    EXPECT_NEAR(s.stddev, b.stddev, 1e-8 * std::max(1e-9, b.stddev));
+  }
+}
+
+TEST(WindowAccumulator, ResetReusesCleanly) {
+  WindowAccumulator acc;
+  for (double x : {9.0, 1.0, 5.0}) acc.add(x);
+  acc.reset();
+  EXPECT_EQ(acc.count(), 0u);
+  for (double x : {2.0, 4.0, 6.0}) acc.add(x);
+  const auto s = acc.summary();
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.p50, 4.0);
+  EXPECT_DOUBLE_EQ(s.max, 6.0);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_EQ(acc.sorted().size(), 3u);
+}
+
 }  // namespace
 }  // namespace skh

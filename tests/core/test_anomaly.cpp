@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 #include "common/rng.h"
 
 namespace skh::core {
@@ -9,6 +14,11 @@ namespace {
 
 EndpointPair pair() {
   return {{ContainerId{0}, RnicId{0}}, {ContainerId{1}, RnicId{8}}};
+}
+
+EndpointPair pair_n(std::uint32_t i) {
+  return {{ContainerId{2 * i}, RnicId{16 * i}},
+          {ContainerId{2 * i + 1}, RnicId{16 * i + 8}}};
 }
 
 probe::ProbeResult result(double t_seconds, bool delivered, double rtt = 16.0) {
@@ -197,6 +207,152 @@ TEST(Anomaly, PairsAreIndependent) {
     b_events.insert(b_events.end(), evts.begin(), evts.end());
   }
   EXPECT_TRUE(b_events.empty());
+}
+
+TEST(Anomaly, RolloverStampsNominalBoundary) {
+  // Regression (S1): the close fired by a late probe used to be stamped at
+  // the probe's sent_at, dating a [0, 30) window's verdict at t=100.
+  AnomalyDetector det;
+  for (int i = 0; i < 20; ++i) {
+    // 20% loss spread out so no unreachable streak forms.
+    (void)det.ingest(result(i, i % 5 != 0, 16.0));
+  }
+  const auto events = det.ingest(result(100.0, true, 16.0));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, AnomalyKind::kPacketLoss);
+  EXPECT_DOUBLE_EQ(events[0].detected_at.to_seconds(), 30.0);
+}
+
+TEST(Anomaly, GapSpanningWindowsRealignsGrid) {
+  // Regression (S1): after a gap spanning several windows the next window
+  // must reopen on the nominal grid ([90, 120) here), not at the late
+  // sample, so its close is stamped 120 rather than 130.
+  AnomalyDetector det;
+  std::vector<AnomalyEvent> all;
+  for (int i = 0; i < 20; ++i) {
+    const auto evts = det.ingest(result(i, i % 5 != 0, 16.0));
+    all.insert(all.end(), evts.begin(), evts.end());
+  }
+  for (int i = 0; i < 20; ++i) {
+    const auto evts = det.ingest(result(100.0 + i, i % 5 != 0, 16.0));
+    all.insert(all.end(), evts.begin(), evts.end());
+  }
+  const auto evts = det.ingest(result(121.0, true, 16.0));
+  all.insert(all.end(), evts.begin(), evts.end());
+  std::vector<double> loss_times;
+  for (const auto& e : all) {
+    if (e.kind == AnomalyKind::kPacketLoss) {
+      loss_times.push_back(e.detected_at.to_seconds());
+    }
+  }
+  ASSERT_EQ(loss_times.size(), 2u);
+  EXPECT_DOUBLE_EQ(loss_times[0], 30.0);
+  EXPECT_DOUBLE_EQ(loss_times[1], 120.0);
+}
+
+TEST(Anomaly, FlushSkipsPartialLongWindow) {
+  // Regression (S2): flush used to evaluate still-open windows regardless
+  // of elapsed time, so a few seconds of post-rollover samples could fire
+  // a 30-minute Z-test alarm on a 10-second window.
+  for (const bool streaming : {true, false}) {
+    DetectorConfig cfg;
+    cfg.streaming = streaming;
+    cfg.lof.outlier_threshold = 1e9;  // isolate the long-term detector
+    AnomalyDetector det(cfg);
+    RngStream rng{7};
+    (void)feed_healthy(det, 0, 1800, rng);
+    std::vector<AnomalyEvent> all;
+    // The t=1800 rollover fits the baseline; then 8 s of 2.5x latency —
+    // loud enough that the old flush would reject the Z-test on it.
+    for (double t = 1800; t < 1808; t += 1.0) {
+      const double rtt = 40.0 * std::exp(rng.normal(0.0, 0.05));
+      const auto evts = det.ingest(result(t, true, rtt));
+      all.insert(all.end(), evts.begin(), evts.end());
+    }
+    const auto flushed = det.flush(SimTime::seconds(1810));
+    all.insert(all.end(), flushed.begin(), flushed.end());
+    for (const auto& e : all) {
+      EXPECT_NE(e.kind, AnomalyKind::kLatencyLongTerm);
+    }
+  }
+}
+
+TEST(Anomaly, StreamingMatchesBatchVerdicts) {
+  // The streaming hot path and the batch reference must emit identical
+  // verdicts — same events, kinds, pairs, and timestamps — on one shared
+  // multi-pair stream covering all three window verdict kinds.
+  struct Sample {
+    std::uint32_t pair;
+    double t;
+    bool delivered;
+    double rtt;
+  };
+  RngStream rng{17};
+  std::vector<Sample> stream;
+  for (double t = 0; t < 7200; t += 2.0) {
+    for (std::uint32_t p = 0; p < 4; ++p) {
+      Sample s{p, t, true, 16.0 * std::exp(rng.normal(0.0, 0.05))};
+      if (p == 1 && t >= 1200 && t < 1500) s.rtt *= 2.5;  // hard spike
+      if (p == 2 && t >= 3000 && t < 3300 && rng.uniform() < 0.3) {
+        s.delivered = false;  // loss burst
+      }
+      if (p == 3) s.rtt *= 1.0 + 0.01 * (t / 60.0);  // gradual drift
+      stream.push_back(s);
+    }
+  }
+
+  const auto run = [&stream](bool streaming) {
+    DetectorConfig cfg;
+    cfg.streaming = streaming;
+    AnomalyDetector det(cfg);
+    std::vector<AnomalyDetector::PairHandle> handles;
+    for (std::uint32_t p = 0; p < 4; ++p) {
+      handles.push_back(det.handle_of(pair_n(p)));
+    }
+    std::vector<AnomalyEvent> events;
+    for (const auto& s : stream) {
+      (void)det.ingest(handles[s.pair], SimTime::seconds(s.t), s.delivered,
+                       s.rtt, events);
+    }
+    const auto tail = det.flush(SimTime::seconds(7200));
+    events.insert(events.end(), tail.begin(), tail.end());
+    return std::pair{events, det.counters()};
+  };
+
+  const auto [streaming_events, sc] = run(true);
+  const auto [batch_events, bc] = run(false);
+
+  ASSERT_FALSE(streaming_events.empty());
+  ASSERT_EQ(streaming_events.size(), batch_events.size());
+  bool saw_loss = false, saw_short = false, saw_long = false;
+  for (std::size_t i = 0; i < streaming_events.size(); ++i) {
+    const auto& s = streaming_events[i];
+    const auto& b = batch_events[i];
+    EXPECT_TRUE(s.pair == b.pair);
+    EXPECT_EQ(s.kind, b.kind);
+    EXPECT_EQ(s.detected_at.raw_nanos(), b.detected_at.raw_nanos());
+    EXPECT_NEAR(s.score, b.score, 1e-6 * std::max(1.0, std::abs(b.score)));
+    saw_loss |= s.kind == AnomalyKind::kPacketLoss;
+    saw_short |= s.kind == AnomalyKind::kLatencyShortTerm;
+    saw_long |= s.kind == AnomalyKind::kLatencyLongTerm;
+  }
+  // The stream must actually exercise every window verdict kind for the
+  // equivalence to mean anything.
+  EXPECT_TRUE(saw_loss);
+  EXPECT_TRUE(saw_short);
+  EXPECT_TRUE(saw_long);
+
+  // Window accounting is identical; only the LOF path split is
+  // streaming-specific.
+  EXPECT_EQ(sc.probes_ingested, stream.size());
+  EXPECT_EQ(sc.probes_ingested, bc.probes_ingested);
+  EXPECT_EQ(sc.samples_delivered, bc.samples_delivered);
+  EXPECT_EQ(sc.short_windows_closed, bc.short_windows_closed);
+  EXPECT_EQ(sc.long_windows_closed, bc.long_windows_closed);
+  EXPECT_EQ(sc.events_emitted, streaming_events.size());
+  EXPECT_GT(sc.lof_fast_path + sc.lof_fallback, 0u);
+  EXPECT_EQ(bc.lof_fast_path, 0u);
+  EXPECT_EQ(bc.lof_fallback, 0u);
 }
 
 TEST(AnomalyKindStrings, Printable) {

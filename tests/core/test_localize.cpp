@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <optional>
+#include <vector>
 
 #include "../testutil.h"
 
@@ -226,6 +228,52 @@ TEST_F(LocalizeTest, SinglePairNoIntersectionEvidence) {
   const auto voted =
       localizer_->physical_intersection({{endpoints_[0], endpoints_[8]}});
   EXPECT_TRUE(voted.empty());
+}
+
+TEST_F(LocalizeTest, SingleBidirectionalPairIsNotDroppedAsUnlocalized) {
+  // Regression: one bidirectional anomalous pair puts *both* endpoints in
+  // every pair, so recurrence counting (recur_floor = 3) could never
+  // separate them and the case came back kUnlocalized. The degenerate
+  // 1-pair/2-endpoint branch must keep it: oracle-confirmed endpoint if
+  // any, otherwise both RNICs as a tied verdict.
+  const Endpoint victim = endpoints_[0];
+  env_.faults.inject(sim::IssueType::kRnicHardwareFailure,
+                     {sim::ComponentKind::kRnic, victim.rnic.value()},
+                     SimTime::seconds(0), SimTime::hours(1));
+  const auto all = pairs_of(victim);
+  ASSERT_GE(all.size(), 2u);
+  // pairs_of emits {victim, peer} immediately followed by {peer, victim}.
+  const std::vector<EndpointPair> one_pair{all[0], all[1]};
+  const auto loc = localizer_->localize(one_pair, SimTime::minutes(1));
+  EXPECT_EQ(loc.method, LocalizationMethod::kEndpointPattern);
+  ASSERT_TRUE(loc.found());
+  const bool victim_named = std::any_of(
+      loc.culprits.begin(), loc.culprits.end(), [&](const auto& c) {
+        return c.kind == sim::ComponentKind::kRnic &&
+               c.index == victim.rnic.value();
+      });
+  EXPECT_TRUE(victim_named);
+}
+
+TEST(DeadLinkOf, GuardsHopsWithoutAPhysicalLink) {
+  // Regression: refine_with_traceroute dereferenced the dead hop's link id
+  // unconditionally; a dead hop carrying no valid link (death at the
+  // source/destination host or RNIC) must contribute no link vote.
+  probe::TracerouteResult tr;
+  tr.hops.push_back({LinkId{}, std::nullopt, false, 0.0});
+  EXPECT_EQ(dead_link_of(tr), std::nullopt);
+
+  tr.hops.clear();
+  tr.hops.push_back({LinkId{3}, SwitchId{1}, true, 1.0});
+  tr.hops.push_back({LinkId{7}, SwitchId{2}, false, 0.0});
+  const auto link = dead_link_of(tr);
+  ASSERT_TRUE(link.has_value());
+  EXPECT_EQ(link->value(), 7u);
+
+  probe::TracerouteResult healthy;
+  healthy.reached_destination = true;
+  healthy.hops.push_back({LinkId{3}, SwitchId{1}, true, 1.0});
+  EXPECT_EQ(dead_link_of(healthy), std::nullopt);
 }
 
 TEST(LocalizeStrings, MethodsPrintable) {

@@ -95,7 +95,7 @@ TEST(ZTest, EmptyWindowAcceptsH0) {
   LogNormalModel m;
   m.mu = 1.0;
   m.sigma = 0.5;
-  const auto r = z_test(m, {}, 0.01);
+  const auto r = z_test(m, std::span<const double>{}, 0.01);
   EXPECT_FALSE(r.reject);
   EXPECT_DOUBLE_EQ(r.p_value, 1.0);
 }

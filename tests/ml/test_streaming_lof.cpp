@@ -1,0 +1,176 @@
+#include "ml/streaming_lof.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/lof.h"
+
+namespace skh::ml {
+namespace {
+
+std::vector<std::vector<double>> as_batch(
+    const std::deque<std::vector<double>>& mirror) {
+  return {mirror.begin(), mirror.end()};
+}
+
+/// The streaming scorer's contract is *equality* with the batch scorer; the
+/// tolerance only absorbs platform FP quirks, not algorithmic drift.
+void expect_matches_batch(StreamingLof& slof,
+                          const std::deque<std::vector<double>>& mirror,
+                          std::span<const double> query,
+                          const LofConfig& cfg) {
+  const double streaming = slof.score(query);
+  const double batch = lof_score_of(query, as_batch(mirror), cfg);
+  EXPECT_NEAR(streaming, batch, 1e-9 * std::max(1.0, std::abs(batch)));
+}
+
+TEST(StreamingLof, SmallReferenceIsNeutralLikeBatch) {
+  const LofConfig cfg{3, 1.5};
+  StreamingLof slof(cfg);
+  std::deque<std::vector<double>> mirror;
+  const std::vector<double> q{1.0, 2.0};
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(slof.score(q), 1.0);
+    EXPECT_DOUBLE_EQ(lof_score_of(q, as_batch(mirror), cfg), 1.0);
+    const std::vector<double> p{static_cast<double>(i), 0.0};
+    slof.push(p);
+    mirror.push_back(p);
+  }
+  EXPECT_EQ(slof.size(), 3u);
+}
+
+TEST(StreamingLof, ThrowsOnZeroK) {
+  EXPECT_THROW(StreamingLof(LofConfig{0, 1.5}), std::invalid_argument);
+}
+
+TEST(StreamingLof, FastPathForClearOutlier) {
+  const LofConfig cfg{3, 1.5};
+  StreamingLof slof(cfg);
+  std::deque<std::vector<double>> mirror;
+  RngStream rng{7};
+  for (int i = 0; i < 8; ++i) {
+    std::vector<double> p{rng.normal(0.0, 0.1), rng.normal(0.0, 0.1)};
+    slof.push(p);
+    mirror.push_back(p);
+  }
+  const std::vector<double> far{50.0, -30.0};
+  expect_matches_batch(slof, mirror, far, cfg);
+  EXPECT_EQ(slof.fast_path_scores(), 1u);
+  EXPECT_EQ(slof.fallback_scores(), 0u);
+}
+
+TEST(StreamingLof, FallbackForInlierQuery) {
+  const LofConfig cfg{3, 1.5};
+  StreamingLof slof(cfg);
+  std::deque<std::vector<double>> mirror;
+  RngStream rng{8};
+  for (int i = 0; i < 8; ++i) {
+    std::vector<double> p{rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)};
+    slof.push(p);
+    mirror.push_back(p);
+  }
+  const std::vector<double> inlier{0.05, -0.02};
+  expect_matches_batch(slof, mirror, inlier, cfg);
+  EXPECT_EQ(slof.fast_path_scores(), 0u);
+  EXPECT_EQ(slof.fallback_scores(), 1u);
+}
+
+TEST(StreamingLof, FallbackRepairIsUndone) {
+  // A fallback score temporarily mutates the cached model; scoring must be
+  // idempotent and later maintenance must still match batch.
+  const LofConfig cfg{2, 1.5};
+  StreamingLof slof(cfg);
+  std::deque<std::vector<double>> mirror;
+  RngStream rng{9};
+  for (int i = 0; i < 6; ++i) {
+    std::vector<double> p{rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)};
+    slof.push(p);
+    mirror.push_back(p);
+  }
+  const std::vector<double> inlier{0.1, 0.1};
+  const double first = slof.score(inlier);
+  const double second = slof.score(inlier);
+  EXPECT_DOUBLE_EQ(first, second);
+  EXPECT_GE(slof.fallback_scores(), 2u);
+  // Model still evolves correctly after the undo.
+  std::vector<double> p{3.0, -2.0};
+  slof.push(p);
+  mirror.push_back(p);
+  slof.pop_front();
+  mirror.pop_front();
+  expect_matches_batch(slof, mirror, inlier, cfg);
+}
+
+TEST(StreamingLof, DuplicatePointsUseDistanceFloor) {
+  const LofConfig cfg{3, 1.5};
+  StreamingLof slof(cfg);
+  std::deque<std::vector<double>> mirror;
+  const std::vector<double> p{2.0, 2.0};
+  for (int i = 0; i < 6; ++i) {
+    slof.push(p);
+    mirror.push_back(p);
+  }
+  expect_matches_batch(slof, mirror, p, cfg);           // duplicate query
+  const std::vector<double> off{2.0, 2.5};
+  expect_matches_batch(slof, mirror, off, cfg);
+}
+
+TEST(StreamingLof, MatchesBatchAcrossRandomizedSlidingWindow) {
+  // Property test: a detector-shaped stream — 7-dim window features, a
+  // look-back capacity of 10, one push + (when full) one pop per step —
+  // with healthy / shifted / spiky queries mixed in. Every score must match
+  // the batch scorer on the equivalent reference snapshot.
+  for (const std::size_t k : {1u, 3u}) {
+    const LofConfig cfg{k, 1.8};
+    StreamingLof slof(cfg, 11);
+    std::deque<std::vector<double>> mirror;
+    RngStream rng{42 + k};
+    const std::size_t dim = 7;
+    for (int step = 0; step < 400; ++step) {
+      std::vector<double> q(dim);
+      const double regime = rng.uniform();
+      const double base = regime < 0.7 ? 16.0    // healthy
+                          : regime < 0.9 ? 24.0  // shifted
+                                         : 90.0; // hard spike
+      for (auto& x : q) x = base * std::exp(rng.normal(0.0, 0.08));
+      expect_matches_batch(slof, mirror, q, cfg);
+      slof.push(q);
+      mirror.push_back(q);
+      if (mirror.size() > 10) {
+        slof.pop_front();
+        mirror.pop_front();
+        EXPECT_EQ(slof.size(), mirror.size());
+      }
+    }
+    // Both paths must actually be exercised for the property to mean much.
+    EXPECT_GT(slof.fast_path_scores(), 0u);
+    EXPECT_GT(slof.fallback_scores(), 0u);
+  }
+}
+
+TEST(StreamingLof, MatchesBatchWhileDrainingToEmpty) {
+  const LofConfig cfg{2, 1.5};
+  StreamingLof slof(cfg);
+  std::deque<std::vector<double>> mirror;
+  RngStream rng{11};
+  for (int i = 0; i < 7; ++i) {
+    std::vector<double> p{rng.normal(5.0, 1.0)};
+    slof.push(p);
+    mirror.push_back(p);
+  }
+  const std::vector<double> q{5.5};
+  while (!mirror.empty()) {
+    expect_matches_batch(slof, mirror, q, cfg);
+    slof.pop_front();
+    mirror.pop_front();
+  }
+  EXPECT_EQ(slof.size(), 0u);
+  EXPECT_DOUBLE_EQ(slof.score(q), 1.0);
+}
+
+}  // namespace
+}  // namespace skh::ml
