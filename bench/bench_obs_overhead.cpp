@@ -1,0 +1,147 @@
+// Observability overhead gate: metrics/tracing instrumentation is compiled
+// into every pipeline stage unconditionally, so its disabled-path cost must
+// stay in the noise. This bench runs the same Monte-Carlo campaign with obs
+// fully detached (the pre-obs baseline: unbound handles, one null-check per
+// site) and with the default production posture (metrics on, tracing
+// compiled in but disabled) and fails if the gated run is more than 1%
+// slower than baseline, modulo an absolute slack floor for short runs.
+//
+// Noise control: reps are interleaved (baseline, gated, baseline, ...) so
+// slow drift (thermal, noisy neighbours) hits both sides, and each side
+// scores its *minimum* wall time — the rep least disturbed by the OS.
+// `SKH_OBS_OVERHEAD_TOL_PCT` overrides the relative tolerance for
+// exceptionally noisy CI hosts.
+//
+// The second gate re-checks the runner's determinism guarantee with obs
+// enabled: per-seed scores, fault schedules, and the merged fleet snapshot
+// must be bit-identical at 1 and 4 worker threads.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "runner/campaign_runner.h"
+
+using namespace skh;
+using namespace skh::runner;
+
+namespace {
+
+CampaignConfig base_config() {
+  CampaignConfig cfg;
+  cfg.topology.num_hosts = 16;
+  cfg.topology.rails_per_host = 4;
+  cfg.topology.hosts_per_segment = 8;
+  cfg.hunter.probe_interval = SimTime::seconds(5);
+  cfg.hunter.inference.candidate_dp = {2};
+  cfg.tasks = {{4, 4, 2, 2}, {4, 4, 4, 1}};
+  cfg.visible_faults = 4;
+  cfg.invisible_faults = 0;
+  cfg.phantom_agents = 0;
+  cfg.fault_gap = SimTime::minutes(8);
+  cfg.fault_duration = SimTime::minutes(4);
+  cfg.drain = SimTime::minutes(10);
+  return cfg;
+}
+
+double run_once(const CampaignConfig& cfg,
+                const std::vector<std::uint64_t>& seeds) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const CampaignSet set = run_many(cfg, seeds, 1);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (set.runs.size() != seeds.size()) std::abort();  // keep the work live
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+bool same_results(const CampaignSet& a, const CampaignSet& b) {
+  if (a.runs.size() != b.runs.size()) return false;
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    if (!(a.runs[i].score == b.runs[i].score)) return false;
+    if (a.runs[i].faults.size() != b.runs[i].faults.size()) return false;
+    for (std::size_t j = 0; j < a.runs[i].faults.size(); ++j) {
+      const auto& fa = a.runs[i].faults[j];
+      const auto& fb = b.runs[i].faults[j];
+      if (fa.type != fb.type || !(fa.target == fb.target) ||
+          fa.start != fb.start || fa.end != fb.end) {
+        return false;
+      }
+    }
+    if (!(a.runs[i].metrics == b.runs[i].metrics)) return false;
+  }
+  return a.fleet == b.fleet;
+}
+
+}  // namespace
+
+int main() {
+  print_banner("obs overhead gate: instrumented-but-idle vs detached");
+
+  CampaignConfig baseline_cfg = base_config();
+  baseline_cfg.obs.metrics = false;  // nothing attached: pre-obs hot path
+
+  CampaignConfig gated_cfg = base_config();
+  gated_cfg.obs.metrics = true;    // production posture: registry bound,
+  gated_cfg.obs.tracing = false;   // tracer compiled in but disabled
+
+  const auto seeds = split_seeds(0x0b5'0b5, 6);
+
+  constexpr int kReps = 5;
+  double warm = run_once(baseline_cfg, seeds);  // warm caches / page-in
+  (void)warm;
+  double best_base = 1e300;
+  double best_gated = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    best_base = std::min(best_base, run_once(baseline_cfg, seeds));
+    best_gated = std::min(best_gated, run_once(gated_cfg, seeds));
+  }
+
+  double tol_pct = 1.0;
+  if (const char* env = std::getenv("SKH_OBS_OVERHEAD_TOL_PCT")) {
+    tol_pct = std::atof(env);
+  }
+  // Short campaigns bottom out on scheduler jitter: allow 20 ms of absolute
+  // slack so the relative gate only bites once it is measurable.
+  constexpr double kAbsSlackS = 0.020;
+  const double overhead_pct = 100.0 * (best_gated - best_base) / best_base;
+  const bool within = best_gated <= best_base * (1.0 + tol_pct / 100.0) ||
+                      best_gated - best_base <= kAbsSlackS;
+
+  TablePrinter table({"variant", "best of " + std::to_string(kReps) + " (s)",
+                      "overhead"});
+  table.add_row({"obs detached (baseline)", TablePrinter::num(best_base, 3),
+                 "-"});
+  table.add_row({"metrics on, tracing off", TablePrinter::num(best_gated, 3),
+                 TablePrinter::num(overhead_pct, 2) + "%"});
+  table.print();
+  std::printf("\ngate: <= %.2f%% relative or <= %.0f ms absolute -> %s\n",
+              tol_pct, kAbsSlackS * 1e3, within ? "PASS" : "FAIL");
+  if (!within) {
+    std::printf("FATAL: idle observability costs %.2f%% of campaign wall "
+                "time\n", overhead_pct);
+    return 1;
+  }
+
+  // Determinism with obs enabled: thread count must not leak into scores,
+  // fault schedules, per-seed scrapes, or the fleet snapshot.
+  const CampaignSet one = run_many(gated_cfg, seeds, 1);
+  const CampaignSet four = run_many(gated_cfg, seeds, 4);
+  const bool deterministic = same_results(one, four);
+  std::printf("determinism: 1-thread vs 4-thread campaign results "
+              "bit-identical -> %s\n", deterministic ? "PASS" : "FAIL");
+  if (!deterministic) {
+    std::printf("FATAL: obs instrumentation broke thread-count "
+                "invariance\n");
+    return 1;
+  }
+
+  std::printf("fleet snapshot: %zu counters, %zu gauges, %zu histograms; "
+              "probes issued: %llu\n",
+              one.fleet.counters.size(), one.fleet.gauges.size(),
+              one.fleet.histograms.size(),
+              static_cast<unsigned long long>(
+                  one.fleet.counter_or("probe.issued")));
+  return 0;
+}

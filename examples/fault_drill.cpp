@@ -3,9 +3,11 @@
 // run before trusting a new SkeletonHunter rollout (and the example behind
 // bench_table1_issues).
 #include <cstdio>
+#include <fstream>
 
 #include "core/harness.h"
 #include "core/metrics.h"
+#include "obs/trace.h"
 
 using namespace skh;
 using namespace skh::core;
@@ -13,6 +15,7 @@ using namespace skh::core;
 int main() {
   std::puts("Fault drill: one injection per Table-1 issue type\n");
   int detected = 0, expected_detected = 0;
+  bool trace_dumped = false;
   for (const auto& info : sim::all_issue_infos()) {
     ExperimentConfig cfg;
     cfg.topology.num_hosts = 8;
@@ -20,6 +23,7 @@ int main() {
     cfg.topology.hosts_per_segment = 8;
     cfg.hunter.inference.candidate_dp = {2, 4};
     cfg.seed = 7000 + static_cast<std::uint64_t>(info.type);
+    cfg.obs.tracing = true;  // sim-time trace of the whole drill
     Experiment exp(cfg);
 
     cluster::TaskRequest req;
@@ -92,6 +96,21 @@ int main() {
     if (info.probe_visible) {
       ++expected_detected;
       if (hit) ++detected;
+    }
+    // For the first detected issue, dump the artifacts an operator would
+    // attach to the ticket: the failure case's causal timeline and the
+    // deployment's Chrome-trace (load in chrome://tracing or Perfetto).
+    if (hit && !trace_dumped) {
+      trace_dumped = true;
+      const auto& c = exp.hunter().failure_cases().front();
+      std::printf("\n  case timeline for issue #%d:\n%s",
+                  static_cast<int>(info.type), c.timeline.to_string().c_str());
+      std::ofstream out("fault_drill_trace.json");
+      obs::export_chrome_trace(exp.obs().tracer, out);
+      std::printf("  full sim-time trace (%zu events, %llu dropped) -> "
+                  "fault_drill_trace.json\n\n",
+                  exp.obs().tracer.size(),
+                  static_cast<unsigned long long>(exp.obs().tracer.dropped()));
     }
     std::printf("  #%-2d %-30s %-14s -> %s\n", static_cast<int>(info.type),
                 std::string(sim::to_string(info.type)).c_str(),

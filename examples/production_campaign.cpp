@@ -72,5 +72,11 @@ int main() {
   std::printf("\n(every miss is the intra-host fault; every false alarm is"
               " the crashed agent — the same §7.3 error anatomy as"
               " production)\n");
+
+  // Fleet observability snapshot: the per-seed registries merged in seed
+  // order (bit-identical at any thread count). One line per metric; the
+  // probe.rtt_us histogram shows where the fleet's RTTs actually sit.
+  print_banner("fleet metrics snapshot (obs registry, pooled over seeds)");
+  std::printf("%s", set.fleet.to_string().c_str());
   return 0;
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Observability overhead gate, wired into ctest as `obs.overhead_gate`.
+#
+# Runs bench_obs_overhead from an existing build tree (building it first if
+# needed): the bench exits nonzero when idle instrumentation costs more
+# than its tolerance, or when enabling metrics breaks the runner's
+# thread-count invariance. CI hosts with noisy neighbours can widen the
+# relative tolerance via SKH_OBS_OVERHEAD_TOL_PCT (default 1).
+set -eu
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+bdir="${2:-$root/build}"
+
+if [ ! -f "$bdir/CMakeCache.txt" ]; then
+  cmake -S "$root" -B "$bdir" >/dev/null
+fi
+cmake --build "$bdir" --target bench_obs_overhead -j "$(nproc)" >/dev/null
+
+"$bdir/bench/bench_obs_overhead"

@@ -2,20 +2,24 @@
 # AddressSanitizer + UBSan gate, wired into ctest as `sanitize.asan_ubsan`.
 #
 # Configures a separate sub-build with SKH_SANITIZE=ON and replays the
-# memory-heaviest suites: common (window accumulators), ml (the LOF ring's
-# raw row/column arithmetic), and core (the detector hot path with its
-# flattened pair storage and reused buffers). Any sanitizer report aborts
-# the binary (-fno-sanitize-recover=all), so a clean exit means clean runs.
+# memory-heaviest suites: common (window accumulators, the lock-protected
+# log sink), ml (the LOF ring's raw row/column arithmetic), core (the
+# detector hot path with its flattened pair storage and reused buffers),
+# and obs (per-thread shard cells and the trace ring). Any sanitizer report
+# aborts the binary (-fno-sanitize-recover=all), so a clean exit means
+# clean runs.
 set -eu
 
 root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 bdir="${2:-$root/build-asan}"
 
+suites="test_common test_ml test_core test_obs"
+
 cmake -S "$root" -B "$bdir" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSKH_SANITIZE=ON >/dev/null
-cmake --build "$bdir" --target test_common test_ml test_core \
-  -j "$(nproc)" >/dev/null
-for t in test_common test_ml test_core; do
+# shellcheck disable=SC2086  # word-splitting the target list is the point
+cmake --build "$bdir" --target $suites -j "$(nproc)" >/dev/null
+for t in $suites; do
   "$bdir/tests/$t" --gtest_brief=1
 done
-echo "OK: ASan/UBSan clean on test_common, test_ml, test_core"
+echo "OK: ASan/UBSan clean on $suites"

@@ -11,6 +11,30 @@ Orchestrator::Orchestrator(const topo::Topology& topo,
                            sim::EventQueue& events, RngStream rng)
     : topo_(topo), overlay_(overlay), events_(events), rng_(std::move(rng)) {}
 
+void Orchestrator::attach_obs(obs::Context* ctx) {
+  obs_ = ctx;
+  if (ctx == nullptr) {
+    m_tasks_submitted_ = {};
+    m_tasks_rejected_ = {};
+    m_containers_started_ = {};
+    m_containers_stopped_ = {};
+    m_containers_crashed_ = {};
+    m_containers_running_ = {};
+    return;
+  }
+  auto& r = ctx->registry;
+  m_tasks_submitted_ = r.bind_counter(r.counter_id("orchestrator.tasks_submitted"));
+  m_tasks_rejected_ = r.bind_counter(r.counter_id("orchestrator.tasks_rejected"));
+  m_containers_started_ =
+      r.bind_counter(r.counter_id("orchestrator.containers_started"));
+  m_containers_stopped_ =
+      r.bind_counter(r.counter_id("orchestrator.containers_stopped"));
+  m_containers_crashed_ =
+      r.bind_counter(r.counter_id("orchestrator.containers_crashed"));
+  m_containers_running_ =
+      r.bind_gauge(r.gauge_id("orchestrator.containers_running"));
+}
+
 std::optional<TaskId> Orchestrator::submit_task(const TaskRequest& req) {
   if (req.num_containers == 0 || req.gpus_per_container == 0 ||
       req.gpus_per_container > topo_.config().rails_per_host) {
@@ -35,7 +59,10 @@ std::optional<TaskId> Orchestrator::submit_task(const TaskRequest& req) {
         break;
       }
     }
-    if (!placed) return std::nullopt;
+    if (!placed) {
+      m_tasks_rejected_.inc();
+      return std::nullopt;
+    }
   }
   gpus_used_ = std::move(tentative);
 
@@ -74,6 +101,11 @@ std::optional<TaskId> Orchestrator::submit_task(const TaskRequest& req) {
   events_.schedule_after(req.lifetime, [this, task_id] {
     if (!tasks_[task_id.value()].terminated) terminate_task(task_id);
   });
+  m_tasks_submitted_.inc();
+  if (obs_ != nullptr) {
+    obs_->tracer.instant("orchestrator", "task.submit", events_.now(),
+                         task_id.value(), req.num_containers);
+  }
   return task_id;
 }
 
@@ -84,7 +116,16 @@ void Orchestrator::terminate_task(TaskId task) {
   for (ContainerId cid : info.containers) {
     auto& ci = containers_[cid.value()];
     if (ci.state == ContainerState::kDead) continue;
+    const bool was_running = ci.state == ContainerState::kRunning;
     ci.state = ContainerState::kTerminating;
+    if (was_running) {
+      m_containers_stopped_.inc();
+      m_containers_running_.add(-1.0);
+      if (obs_ != nullptr) {
+        obs_->tracer.instant("orchestrator", "container.deregister",
+                             events_.now(), cid.value(), task.value());
+      }
+    }
     for (auto& cb : stopped_cbs_) cb(ci);
     const SimTime delay =
         sample_teardown_delay(info.request.num_containers, rng_);
@@ -156,6 +197,15 @@ void Orchestrator::crash_container(ContainerId id) {
   ci.state = ContainerState::kDead;
   ci.dead_at = events_.now();
   release_resources(ci);
+  m_containers_crashed_.inc();
+  if (was_running) {
+    m_containers_stopped_.inc();
+    m_containers_running_.add(-1.0);
+  }
+  if (obs_ != nullptr) {
+    obs_->tracer.instant("orchestrator", "container.crash", events_.now(),
+                         id.value(), ci.task.value());
+  }
   // The data plane dies instantly, but the control plane only learns about
   // the crash after a state-sync lag (§3.1: container state transitions are
   // uncoordinated and lag by minutes). Peers keep probing the dead
@@ -191,6 +241,12 @@ void Orchestrator::set_running(ContainerId id) {
   // never touches the overlay.
   for (const Endpoint& ep : ci.endpoints()) {
     overlay_.attach_endpoint(ep, ci.host, ci.task.value());
+  }
+  m_containers_started_.inc();
+  m_containers_running_.add(1.0);
+  if (obs_ != nullptr) {
+    obs_->tracer.instant("orchestrator", "container.register", events_.now(),
+                         id.value(), ci.task.value());
   }
   for (auto& cb : running_cbs_) cb(ci);
 }

@@ -17,6 +17,7 @@
 #include "cluster/task.h"
 #include "cluster/traces.h"
 #include "common/rng.h"
+#include "obs/context.h"
 #include "overlay/overlay.h"
 #include "sim/event_queue.h"
 #include "topo/topology.h"
@@ -27,6 +28,11 @@ class Orchestrator {
  public:
   Orchestrator(const topo::Topology& topo, overlay::OverlayNetwork& overlay,
                sim::EventQueue& events, RngStream rng);
+
+  /// Attach the observability context (nullptr detaches): task/container
+  /// lifecycle counters, a running-container gauge, and register/deregister
+  /// trace instants.
+  void attach_obs(obs::Context* ctx);
 
   /// Place and launch a task at the current simulated time. Returns nullopt
   /// if the cluster lacks capacity (placement is all-or-nothing).
@@ -85,6 +91,14 @@ class Orchestrator {
   std::vector<ContainerCallback> created_cbs_;
   std::vector<ContainerCallback> running_cbs_;
   std::vector<ContainerCallback> stopped_cbs_;
+
+  obs::Context* obs_ = nullptr;
+  obs::Counter m_tasks_submitted_;
+  obs::Counter m_tasks_rejected_;
+  obs::Counter m_containers_started_;
+  obs::Counter m_containers_stopped_;
+  obs::Counter m_containers_crashed_;
+  obs::Gauge m_containers_running_;
 };
 
 }  // namespace skh::cluster

@@ -1,20 +1,76 @@
 #include "common/logging.h"
 
+#include <atomic>
+#include <iostream>
+#include <mutex>
+#include <string>
+
 namespace skh {
 
-LogLevel& log_threshold() noexcept {
-  static LogLevel level = LogLevel::kWarn;
+namespace {
+
+// Function-local statics: initialized on first use, so logging works from
+// any static initializer without order-of-initialization hazards.
+std::atomic<LogLevel>& threshold_cell() noexcept {
+  static std::atomic<LogLevel> level{LogLevel::kWarn};
   return level;
+}
+
+std::mutex& sink_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+LogSink& sink_cell() {
+  static LogSink sink;  // empty = default sink
+  return sink;
+}
+
+void default_sink(LogLevel level, std::string_view component,
+                  std::string_view message) {
+  static constexpr std::string_view names[] = {"DEBUG", "INFO", "WARN",
+                                               "ERROR"};
+  // Format the full line first, then write it with a single stream insert:
+  // concurrent loggers cannot interleave fragments of one line even if the
+  // stream itself is shared with other writers.
+  std::string line;
+  line.reserve(16 + component.size() + message.size());
+  line += '[';
+  line += names[static_cast<int>(level)];
+  line += "] ";
+  line += component;
+  line += ": ";
+  line += message;
+  line += '\n';
+  std::clog << line;
+}
+
+}  // namespace
+
+LogLevel log_threshold() noexcept {
+  return threshold_cell().load(std::memory_order_relaxed);
+}
+
+void set_log_threshold(LogLevel level) noexcept {
+  threshold_cell().store(level, std::memory_order_relaxed);
+}
+
+void set_log_sink(LogSink sink) {
+  const std::lock_guard<std::mutex> lock(sink_mutex());
+  sink_cell() = std::move(sink);
 }
 
 void log_message(LogLevel level, std::string_view component,
                  std::string_view message) {
-  static constexpr std::string_view names[] = {"DEBUG", "INFO", "WARN",
-                                               "ERROR"};
   const auto idx = static_cast<int>(level);
   if (idx < 0 || idx > 3) return;
-  std::clog << '[' << names[idx] << "] " << component << ": " << message
-            << '\n';
+  const std::lock_guard<std::mutex> lock(sink_mutex());
+  const LogSink& sink = sink_cell();
+  if (sink) {
+    sink(level, component, message);
+  } else {
+    default_sink(level, component, message);
+  }
 }
 
 }  // namespace skh

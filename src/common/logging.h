@@ -1,11 +1,18 @@
-// Minimal leveled logger.
+// Minimal leveled logger, safe under concurrent campaign workers.
 //
 // The production system streams agent logs into a cloud log service (§6);
 // here a process-wide sink with severities is enough. Logging is off by
 // default in tests/benches and can be raised for debugging.
+//
+// Concurrency: `run_many` workers log from many threads at once, so the
+// threshold is an atomic (racy reads would be UB) and the sink runs under a
+// mutex — each message is formatted first and written as one unit, so lines
+// never interleave. The sink itself is injectable: tests capture output
+// instead of scraping stderr, and embedders can forward into their own
+// logging stack.
 #pragma once
 
-#include <iostream>
+#include <functional>
 #include <sstream>
 #include <string_view>
 
@@ -14,7 +21,18 @@ namespace skh {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 /// Process-wide minimum level; messages below it are discarded.
-LogLevel& log_threshold() noexcept;
+[[nodiscard]] LogLevel log_threshold() noexcept;
+void set_log_threshold(LogLevel level) noexcept;
+
+/// Receives every accepted message, already leveled, under the sink mutex
+/// (implementations need no further locking but must not log re-entrantly).
+using LogSink =
+    std::function<void(LogLevel, std::string_view component,
+                       std::string_view message)>;
+
+/// Replace the sink; an empty function restores the default (one formatted
+/// line per message to std::clog).
+void set_log_sink(LogSink sink);
 
 void log_message(LogLevel level, std::string_view component,
                  std::string_view message);

@@ -30,7 +30,31 @@ SimTime aligned_restart(SimTime boundary, SimTime t, SimTime window) {
 
 }  // namespace
 
-AnomalyDetector::AnomalyDetector(DetectorConfig cfg) : cfg_(cfg) {}
+AnomalyDetector::AnomalyDetector(DetectorConfig cfg)
+    : cfg_(cfg), own_registry_(std::make_unique<obs::MetricsRegistry>()) {
+  bind_metrics(*own_registry_);
+}
+
+void AnomalyDetector::bind_metrics(obs::MetricsRegistry& r) {
+  metrics_ = &r;
+  id_probes_ = r.counter_id("detector.probes_ingested");
+  id_delivered_ = r.counter_id("detector.samples_delivered");
+  id_short_closed_ = r.counter_id("detector.short_windows_closed");
+  id_long_closed_ = r.counter_id("detector.long_windows_closed");
+  id_gate_skips_ = r.counter_id("detector.lof_gate_skips");
+  id_events_ = r.counter_id("detector.events_emitted");
+  m_probes_ = r.bind_counter(id_probes_);
+  m_delivered_ = r.bind_counter(id_delivered_);
+  m_short_closed_ = r.bind_counter(id_short_closed_);
+  m_long_closed_ = r.bind_counter(id_long_closed_);
+  m_gate_skips_ = r.bind_counter(id_gate_skips_);
+  m_events_ = r.bind_counter(id_events_);
+}
+
+void AnomalyDetector::attach_obs(obs::Context* ctx) {
+  obs_ = ctx;
+  bind_metrics(ctx != nullptr ? ctx->registry : *own_registry_);
+}
 
 AnomalyDetector::PairHandle AnomalyDetector::handle_of(
     const EndpointPair& pair) {
@@ -55,7 +79,7 @@ std::size_t AnomalyDetector::ingest(PairHandle h, SimTime sent_at,
                                     std::vector<AnomalyEvent>& out) {
   const std::size_t before = out.size();
   PairHot& st = hot_[h];
-  ++counters_.probes_ingested;
+  m_probes_.inc();
 
   // Window rollover checks happen before the sample is added, so a sample
   // after the boundary closes the previous window first. Closes are stamped
@@ -86,7 +110,7 @@ std::size_t AnomalyDetector::ingest(PairHandle h, SimTime sent_at,
 
   ++st.short_sent;
   if (delivered) {
-    ++counters_.samples_delivered;
+    m_delivered_.inc();
     if (cfg_.streaming) {
       // Long-window accumulation is folded into the short-window close:
       // the long window is a short-window multiple on the same grid, so
@@ -111,14 +135,18 @@ std::size_t AnomalyDetector::ingest(PairHandle h, SimTime sent_at,
     }
   }
   const std::size_t fired = out.size() - before;
-  counters_.events_emitted += fired;
+  m_events_.add(fired);
   return fired;
 }
 
 void AnomalyDetector::close_short_window(PairHot& hot, PairCold& cold,
                                          SimTime at,
                                          std::vector<AnomalyEvent>& events) {
-  ++counters_.short_windows_closed;
+  m_short_closed_.inc();
+  if (obs_ != nullptr) {
+    obs_->tracer.instant("detector", "window.short.close", at, hot.short_sent,
+                         hot.short_lost);
+  }
   if (hot.short_sent >= cfg_.min_samples_per_window) {
     const double loss_rate = static_cast<double>(hot.short_lost) /
                              static_cast<double>(hot.short_sent);
@@ -163,10 +191,19 @@ void AnomalyDetector::close_short_window(PairHot& hot, PairCold& cold,
               ref_median > 0.0 ? (summary.p50 - ref_median) / ref_median : 0.0;
           if (shift >= cfg_.min_relative_shift) {
             const double score = cold.lof->last_score();
+            if (obs_ != nullptr) {
+              obs_->tracer.instant("detector", "lof.score", at, 0, 0, score);
+            }
             if (score > cfg_.lof.outlier_threshold) {
               events.push_back(AnomalyEvent{cold.pair, at,
                                             AnomalyKind::kLatencyShortTerm,
                                             score});
+            }
+          } else {
+            m_gate_skips_.inc();
+            if (obs_ != nullptr) {
+              obs_->tracer.instant("detector", "lof.gate_skip", at, 0, 0,
+                                   shift);
             }
           }
         }
@@ -230,7 +267,12 @@ void AnomalyDetector::close_short_window(PairHot& hot, PairCold& cold,
 void AnomalyDetector::close_long_window(PairHot& hot, PairCold& cold,
                                         SimTime at,
                                         std::vector<AnomalyEvent>& events) {
-  ++counters_.long_windows_closed;
+  m_long_closed_.inc();
+  if (obs_ != nullptr) {
+    obs_->tracer.instant("detector", "window.long.close", at,
+                         cfg_.streaming ? cold.long_seen
+                                        : cold.long_rtts.size());
+  }
   const std::size_t n =
       cfg_.streaming ? cold.long_seen : cold.long_rtts.size();
   if (n >= cfg_.min_samples_per_window) {
@@ -285,12 +327,18 @@ std::vector<AnomalyEvent> AnomalyDetector::flush(SimTime now) {
                         events);
     }
   }
-  counters_.events_emitted += events.size();
+  m_events_.add(events.size());
   return events;
 }
 
 DetectorCounters AnomalyDetector::counters() const {
-  DetectorCounters c = counters_;
+  DetectorCounters c;
+  c.probes_ingested = metrics_->counter_total(id_probes_);
+  c.samples_delivered = metrics_->counter_total(id_delivered_);
+  c.short_windows_closed = metrics_->counter_total(id_short_closed_);
+  c.long_windows_closed = metrics_->counter_total(id_long_closed_);
+  c.lof_gate_skips = metrics_->counter_total(id_gate_skips_);
+  c.events_emitted = metrics_->counter_total(id_events_);
   for (const auto& cold : cold_) {
     if (cold.lof) {
       c.lof_fast_path += cold.lof->fast_path_scores();

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <string_view>
 #include <unordered_map>
@@ -33,6 +34,7 @@
 #include "ml/lof.h"
 #include "ml/stats_tests.h"
 #include "ml/streaming_lof.h"
+#include "obs/context.h"
 #include "probe/probe_types.h"
 
 namespace skh::core {
@@ -98,6 +100,8 @@ struct DetectorCounters {
                                     ///< virtual-insert recompute
   std::uint64_t lof_kdist_rebuilds = 0;  ///< drained k-distance candidate
                                          ///< buffers rebuilt by a row scan
+  std::uint64_t lof_gate_skips = 0;  ///< streaming closes where the O(1)
+                                     ///< shift gate short-circuited scoring
   std::uint64_t events_emitted = 0;
 
   DetectorCounters& operator+=(const DetectorCounters& o) noexcept {
@@ -108,6 +112,7 @@ struct DetectorCounters {
     lof_fast_path += o.lof_fast_path;
     lof_fallback += o.lof_fallback;
     lof_kdist_rebuilds += o.lof_kdist_rebuilds;
+    lof_gate_skips += o.lof_gate_skips;
     events_emitted += o.events_emitted;
     return *this;
   }
@@ -120,6 +125,13 @@ class AnomalyDetector {
   using PairHandle = std::uint32_t;
 
   explicit AnomalyDetector(DetectorConfig cfg = {});
+
+  /// Attach the observability context (nullptr reverts to the detector's
+  /// private registry). The ingest counters become `detector.*` series on
+  /// the context's registry; only counts recorded after the attach land
+  /// there, so attach before the first ingest (the `Experiment` does).
+  /// Binds on the calling thread — the thread that will drive `ingest`.
+  void attach_obs(obs::Context* ctx);
 
   /// Get-or-create the handle for a pair.
   [[nodiscard]] PairHandle handle_of(const EndpointPair& pair);
@@ -190,13 +202,27 @@ class AnomalyDetector {
                           std::vector<AnomalyEvent>& events);
   void close_long_window(PairHot& hot, PairCold& cold, SimTime at,
                          std::vector<AnomalyEvent>& events);
+  /// (Re)bind the counter handles onto `r` and remember the ids so
+  /// `counters()` can read totals back.
+  void bind_metrics(obs::MetricsRegistry& r);
 
   DetectorConfig cfg_;
   std::unordered_map<EndpointPair, PairHandle> index_;
   // Dense, indexed by handle; hot_[h] and cold_[h] describe one pair.
   std::vector<PairHot> hot_;
   std::vector<PairCold> cold_;
-  DetectorCounters counters_;
+
+  // The ingest counters live on a MetricsRegistry — the attached context's
+  // when present, otherwise this private one — so `counters()` and a
+  // registry scrape always agree. Handles stay bound (never null) either
+  // way, keeping the hot path at one predictable indirect increment.
+  obs::Context* obs_ = nullptr;
+  std::unique_ptr<obs::MetricsRegistry> own_registry_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::uint32_t id_probes_ = 0, id_delivered_ = 0, id_short_closed_ = 0,
+                id_long_closed_ = 0, id_gate_skips_ = 0, id_events_ = 0;
+  obs::Counter m_probes_, m_delivered_, m_short_closed_, m_long_closed_,
+      m_gate_skips_, m_events_;
 };
 
 }  // namespace skh::core

@@ -7,9 +7,15 @@ namespace skh::core {
 Experiment::Experiment(const ExperimentConfig& cfg)
     : rng_(cfg.seed),
       topo_(topo::Topology::build(cfg.topology)),
+      obs_(cfg.obs),
       orch_(topo_, overlay_, events_, rng_.fork("orchestrator")),
       hunter_(topo_, overlay_, orch_, events_, faults_,
-              rng_.fork("hunter"), cfg.hunter) {}
+              rng_.fork("hunter"), cfg.hunter) {
+  if (cfg.obs.metrics) {
+    orch_.attach_obs(&obs_);
+    hunter_.attach_obs(&obs_);
+  }
+}
 
 std::optional<TaskId> Experiment::launch_task(const cluster::TaskRequest& req) {
   const auto task = orch_.submit_task(req);

@@ -14,6 +14,7 @@
 #include "cluster/orchestrator.h"
 #include "core/skeleton_hunter.h"
 #include "core/skeleton_inference.h"
+#include "obs/context.h"
 #include "workload/traffic.h"
 
 namespace skh::core {
@@ -22,6 +23,10 @@ struct ExperimentConfig {
   topo::TopologyConfig topology{};
   SkeletonHunterConfig hunter{};
   std::uint64_t seed = 42;
+  /// Observability wiring: with `obs.metrics` the deployment's registry and
+  /// tracer attach to the orchestrator and the whole detection pipeline;
+  /// without it no context is attached anywhere (the pre-obs baseline).
+  obs::ObsConfig obs{};
 };
 
 /// One simulated deployment: topology, overlay, orchestrator, fault
@@ -74,6 +79,10 @@ class Experiment {
   }
   [[nodiscard]] SkeletonHunter& hunter() noexcept { return hunter_; }
   [[nodiscard]] RngStream& rng() noexcept { return rng_; }
+  /// The deployment's observability context (registry + tracer). Valid
+  /// whether or not it is attached to the pipeline (`cfg.obs.metrics`).
+  [[nodiscard]] obs::Context& obs() noexcept { return obs_; }
+  [[nodiscard]] const obs::Context& obs() const noexcept { return obs_; }
 
  private:
   RngStream rng_;
@@ -81,6 +90,7 @@ class Experiment {
   overlay::OverlayNetwork overlay_;
   sim::EventQueue events_;
   sim::FaultInjector faults_;
+  obs::Context obs_;
   cluster::Orchestrator orch_;
   SkeletonHunter hunter_;
 };

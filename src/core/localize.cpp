@@ -37,6 +37,27 @@ Localizer::Localizer(const topo::Topology& topo,
                      const sim::FaultInjector& faults)
     : topo_(topo), overlay_(overlay), oracle_(oracle), faults_(faults) {}
 
+void Localizer::attach_obs(obs::Context* ctx) {
+  obs_ = ctx;
+  if (ctx == nullptr) {
+    m_calls_ = {};
+    for (auto& m : m_method_) m = {};
+    return;
+  }
+  auto& r = ctx->registry;
+  m_calls_ = r.bind_counter(r.counter_id("localize.calls"));
+  static constexpr const char* kMethodMetric[5] = {
+      "localize.method.overlay_reachability",
+      "localize.method.physical_intersection",
+      "localize.method.rnic_validation",
+      "localize.method.endpoint_pattern",
+      "localize.method.unlocalized",
+  };
+  for (std::size_t i = 0; i < 5; ++i) {
+    m_method_[i] = r.bind_counter(r.counter_id(kMethodMetric[i]));
+  }
+}
+
 std::vector<sim::ComponentRef> Localizer::refine_with_traceroute(
     const std::vector<EndpointPair>& pairs,
     std::vector<sim::ComponentRef> voted, SimTime at) const {
@@ -54,6 +75,10 @@ std::vector<sim::ComponentRef> Localizer::refine_with_traceroute(
         probe::traceroute(topo_, faults_, p.src.rnic, p.dst.rnic, at);
     const auto dead = dead_link_of(tr);
     if (dead) ++dead_votes[dead->value()];
+  }
+  if (obs_ != nullptr) {
+    obs_->tracer.instant("localize", "traceroute.refine", at, link_candidates,
+                         dead_votes.size());
   }
   if (dead_votes.empty()) return voted;  // soft failure; keep the tie
   std::size_t best = 0;
@@ -299,6 +324,18 @@ Localization Localizer::endpoint_pattern(
 
 Localization Localizer::localize(
     const std::vector<EndpointPair>& anomalous_pairs, SimTime at) {
+  Localization loc = localize_impl(anomalous_pairs, at);
+  m_calls_.inc();
+  m_method_[static_cast<std::size_t>(loc.method)].inc();
+  if (obs_ != nullptr) {
+    obs_->tracer.instant("localize", to_string(loc.method).data(), at,
+                         loc.culprits.size(), anomalous_pairs.size());
+  }
+  return loc;
+}
+
+Localization Localizer::localize_impl(
+    const std::vector<EndpointPair>& anomalous_pairs, SimTime at) {
   Localization loc;
   if (anomalous_pairs.empty()) return loc;
 
@@ -334,6 +371,10 @@ Localization Localizer::localize(
   // traceroutes when several links tie.
   auto voted = refine_with_traceroute(
       anomalous_pairs, physical_intersection(anomalous_pairs), at);
+  if (obs_ != nullptr) {
+    obs_->tracer.instant("localize", "vote.physical", at, voted.size(),
+                         anomalous_pairs.size());
+  }
   if (!voted.empty()) {
     // Uplink verdicts are observationally equivalent to the RNIC behind the
     // port; only keep the link when switch logs confirm it.

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/diagnostics.h"
+#include "obs/context.h"
 #include "overlay/overlay.h"
 #include "probe/traceroute.h"
 #include "sim/fault.h"
@@ -67,6 +68,11 @@ class Localizer {
             const overlay::OverlayNetwork& overlay, DiagnosticsOracle& oracle,
             const sim::FaultInjector& faults);
 
+  /// Attach the observability context (nullptr detaches): per-method
+  /// verdict counters plus trace instants for vote rounds and traceroute
+  /// refinement.
+  void attach_obs(obs::Context* ctx);
+
   /// Full Algorithm-1 pipeline over one failure case.
   [[nodiscard]] Localization localize(
       const std::vector<EndpointPair>& anomalous_pairs, SimTime at);
@@ -98,11 +104,18 @@ class Localizer {
       VPortId node, bool loop) const;
   [[nodiscard]] Localization endpoint_pattern(
       const std::vector<EndpointPair>& pairs, SimTime at);
+  [[nodiscard]] Localization localize_impl(
+      const std::vector<EndpointPair>& anomalous_pairs, SimTime at);
 
   const topo::Topology& topo_;
   const overlay::OverlayNetwork& overlay_;
   DiagnosticsOracle& oracle_;
   const sim::FaultInjector& faults_;
+
+  obs::Context* obs_ = nullptr;
+  obs::Counter m_calls_;
+  /// Indexed by LocalizationMethod.
+  obs::Counter m_method_[5];
 };
 
 }  // namespace skh::core

@@ -1,10 +1,23 @@
 #include "core/skeleton_hunter.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/logging.h"
 
 namespace skh::core {
+
+namespace {
+
+std::string pair_label(const EndpointPair& p) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "c%u/r%u -> c%u/r%u",
+                p.src.container.value(), p.src.rnic.value(),
+                p.dst.container.value(), p.dst.rnic.value());
+  return buf;
+}
+
+}  // namespace
 
 SkeletonHunter::SkeletonHunter(const topo::Topology& topo,
                                overlay::OverlayNetwork& overlay,
@@ -30,6 +43,28 @@ SkeletonHunter::SkeletonHunter(const topo::Topology& topo,
       [this](const cluster::ContainerInfo& ci) { on_running(ci); });
   orch_.on_container_stopped(
       [this](const cluster::ContainerInfo& ci) { on_stopped(ci); });
+}
+
+void SkeletonHunter::attach_obs(obs::Context* ctx) {
+  obs_ = ctx;
+  engine_.attach_obs(ctx);
+  detector_.attach_obs(ctx);
+  localizer_.attach_obs(ctx);
+  if (ctx == nullptr) {
+    m_cases_opened_ = {};
+    m_cases_closed_ = {};
+    m_cases_suppressed_ = {};
+    m_ticks_ = {};
+    m_active_agents_ = {};
+    return;
+  }
+  auto& r = ctx->registry;
+  m_cases_opened_ = r.bind_counter(r.counter_id("hunter.cases_opened"));
+  m_cases_closed_ = r.bind_counter(r.counter_id("hunter.cases_closed"));
+  m_cases_suppressed_ =
+      r.bind_counter(r.counter_id("hunter.cases_suppressed"));
+  m_ticks_ = r.bind_counter(r.counter_id("hunter.ticks"));
+  m_active_agents_ = r.bind_gauge(r.gauge_id("hunter.active_agents"));
 }
 
 std::uint32_t SkeletonHunter::rank_of(const Endpoint& ep) const {
@@ -168,6 +203,8 @@ void SkeletonHunter::start(SimTime end) {
 
 void SkeletonHunter::tick() {
   const SimTime now = events_.now();
+  m_ticks_.inc();
+  m_active_agents_.set(static_cast<double>(agents_.size()));
   // Probe: every agent runs its round; results stream straight into the
   // anomaly detector.
   std::map<TaskId, std::vector<AnomalyEvent>> per_task_events;
@@ -239,11 +276,22 @@ void SkeletonHunter::route_events(TaskId task,
       c.task = task;
       c.first_event = e.detected_at;
       c.last_event = e.detected_at;
+      c.timeline.add(e.detected_at, "case.open",
+                     "first anomalous window on " + pair_label(e.pair));
       cases_.push_back(std::move(c));
       target = &cases_.back();
+      m_cases_opened_.inc();
+      if (obs_ != nullptr) {
+        obs_->tracer.instant("hunter", "case.open", e.detected_at, target->id,
+                             task.value());
+      }
     }
     target->pairs.insert(e.pair);
     target->events.push_back(e);
+    target->timeline.add(e.detected_at, "anomaly",
+                         std::string(to_string(e.kind)) + " on " +
+                             pair_label(e.pair),
+                         e.score);
     target->last_event = std::max(target->last_event, e.detected_at);
   }
 }
@@ -251,17 +299,30 @@ void SkeletonHunter::route_events(TaskId task,
 void SkeletonHunter::close_case(FailureCase& c) {
   c.closed = true;
   c.closed_at = events_.now();
+  m_cases_closed_.inc();
   // Transient filtering (§5.2): a single short-term latency outlier on its
   // own is transient congestion, not a failure case worth a ticket.
   if (c.events.size() < 2 &&
       c.events.front().kind == AnomalyKind::kLatencyShortTerm) {
     c.suppressed = true;
+    m_cases_suppressed_.inc();
+    c.timeline.add(c.closed_at, "case.suppress",
+                   "single short-term outlier: transient congestion");
     return;
   }
   const std::vector<EndpointPair> pairs(c.pairs.begin(), c.pairs.end());
   // Localize against the state at the first event: diagnostics (switch
   // logs, config checks) are inspected while the incident is live.
   c.localization = localizer_.localize(pairs, c.first_event);
+  c.timeline.add(c.closed_at, "localize",
+                 std::string(to_string(c.localization.method)),
+                 static_cast<double>(c.localization.culprits.size()));
+  c.timeline.add(c.closed_at, "case.close",
+                 "quiet for case_quiet_period; ticket filed");
+  if (obs_ != nullptr) {
+    obs_->tracer.instant("hunter", "case.close", c.closed_at, c.id,
+                         c.localization.culprits.size());
+  }
   // §8: culprit components are banned from new placements until repaired.
   if (cfg_.auto_blacklist) {
     for (const auto& culprit : c.localization.culprits) {

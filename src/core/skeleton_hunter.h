@@ -30,6 +30,8 @@
 #include "core/localize.h"
 #include "core/ping_list_gen.h"
 #include "core/skeleton_inference.h"
+#include "obs/context.h"
+#include "obs/timeline.h"
 #include "probe/agent.h"
 #include "probe/engine.h"
 
@@ -68,6 +70,9 @@ struct FailureCase {
   bool closed = false;
   bool suppressed = false;  ///< transient, filtered before reporting
   SimTime closed_at;
+  /// Causal chain from the first anomalous window through scoring to the
+  /// localization verdict — the ticket an operator would read (§6).
+  obs::CaseTimeline timeline;
 };
 
 class SkeletonHunter {
@@ -77,6 +82,11 @@ class SkeletonHunter {
                  cluster::Orchestrator& orchestrator,
                  sim::EventQueue& events, const sim::FaultInjector& faults,
                  RngStream rng, SkeletonHunterConfig cfg = {});
+
+  /// Attach the observability context to the whole detection pipeline:
+  /// this facade plus its probe engine, anomaly detector, and localizer.
+  /// nullptr detaches all of them. Attach before `start()`.
+  void attach_obs(obs::Context* ctx);
 
   /// Preload phase for a submitted task: compute its basic ping list.
   /// Must be called after Orchestrator::submit_task for the task to be
@@ -161,6 +171,13 @@ class SkeletonHunter {
   SimTime end_;
   bool started_ = false;
   std::uint64_t ticks_ = 0;
+
+  obs::Context* obs_ = nullptr;
+  obs::Counter m_cases_opened_;
+  obs::Counter m_cases_closed_;
+  obs::Counter m_cases_suppressed_;
+  obs::Counter m_ticks_;
+  obs::Gauge m_active_agents_;
 };
 
 }  // namespace skh::core

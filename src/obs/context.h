@@ -1,0 +1,39 @@
+// The observability context every pipeline stage attaches to.
+//
+// One `Context` per simulated deployment (the `Experiment` owns it): a
+// metrics registry all components register on plus one shared sim-time
+// tracer. Components hold a nullable `Context*` and instrument through it;
+// a null context (the default for directly-constructed components) makes
+// every site a no-op, so unit tests and ablation benches pay nothing.
+#pragma once
+
+#include <cstddef>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace skh::obs {
+
+struct ObsConfig {
+  /// Attach the registry + instrumentation to the pipeline. Off = the
+  /// pre-obs baseline: no context is wired at all (used by the overhead
+  /// bench as its reference mode).
+  bool metrics = true;
+  /// Record trace events. Compiled in either way; disabled tracing costs
+  /// one branch per site (gated <1% by bench_obs_overhead).
+  bool tracing = false;
+  std::size_t trace_capacity = 16384;
+};
+
+struct Context {
+  explicit Context(const ObsConfig& cfg = {}) : tracer(cfg.trace_capacity) {
+    tracer.set_enabled(cfg.tracing);
+  }
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  MetricsRegistry registry;
+  Tracer tracer;
+};
+
+}  // namespace skh::obs

@@ -1,0 +1,254 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace skh::obs {
+
+void Histogram::observe(double v) noexcept {
+  if (cells_ == nullptr) return;
+  std::size_t b = 0;
+  while (b < n_bounds_ && v > bounds_[b]) ++b;
+  ++cells_->counts[b];
+  ++cells_->count;
+  cells_->sum += v;
+}
+
+std::uint32_t MetricsRegistry::counter_id(std::string_view name) {
+  std::scoped_lock lock(mu_);
+  const auto it = counter_index_.find(name);
+  if (it != counter_index_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(counter_names_.size());
+  counter_names_.emplace_back(name);
+  counter_index_.emplace(std::string(name), id);
+  return id;
+}
+
+std::uint32_t MetricsRegistry::gauge_id(std::string_view name) {
+  std::scoped_lock lock(mu_);
+  const auto it = gauge_index_.find(name);
+  if (it != gauge_index_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(gauge_names_.size());
+  gauge_names_.emplace_back(name);
+  gauge_index_.emplace(std::string(name), id);
+  return id;
+}
+
+std::uint32_t MetricsRegistry::histogram_id(
+    std::string_view name, std::span<const double> upper_bounds) {
+  if (upper_bounds.empty()) {
+    throw std::invalid_argument("histogram_id: at least one bucket bound");
+  }
+  for (std::size_t i = 1; i < upper_bounds.size(); ++i) {
+    if (upper_bounds[i] <= upper_bounds[i - 1]) {
+      throw std::invalid_argument(
+          "histogram_id: bounds must be strictly increasing");
+    }
+  }
+  std::scoped_lock lock(mu_);
+  const auto it = hist_index_.find(name);
+  if (it != hist_index_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(hists_.size());
+  hists_.push_back(HistogramInfo{
+      std::string(name),
+      std::vector<double>(upper_bounds.begin(), upper_bounds.end())});
+  hist_index_.emplace(std::string(name), id);
+  return id;
+}
+
+MetricsRegistry::Shard& MetricsRegistry::shard_for_current_thread() {
+  // Caller holds mu_.
+  const auto tid = std::this_thread::get_id();
+  const auto it = shard_of_thread_.find(tid);
+  Shard* shard = nullptr;
+  if (it != shard_of_thread_.end()) {
+    shard = it->second;
+  } else {
+    shards_.push_back(std::make_unique<Shard>());
+    shard = shards_.back().get();
+    shard_of_thread_.emplace(tid, shard);
+  }
+  while (shard->counters.size() < counter_names_.size()) {
+    shard->counters.push_back(0);
+  }
+  while (shard->gauges.size() < gauge_names_.size()) {
+    shard->gauges.push_back(0.0);
+  }
+  while (shard->hists.size() < hists_.size()) {
+    Histogram::Cells cells;
+    cells.counts.assign(hists_[shard->hists.size()].bounds.size() + 1, 0);
+    shard->hists.push_back(std::move(cells));
+  }
+  return *shard;
+}
+
+Counter MetricsRegistry::bind_counter(std::uint32_t id) {
+  std::scoped_lock lock(mu_);
+  if (id >= counter_names_.size()) {
+    throw std::out_of_range("bind_counter: unknown id");
+  }
+  Counter c;
+  c.cell_ = &shard_for_current_thread().counters[id];
+  return c;
+}
+
+Gauge MetricsRegistry::bind_gauge(std::uint32_t id) {
+  std::scoped_lock lock(mu_);
+  if (id >= gauge_names_.size()) {
+    throw std::out_of_range("bind_gauge: unknown id");
+  }
+  Gauge g;
+  g.cell_ = &shard_for_current_thread().gauges[id];
+  return g;
+}
+
+Histogram MetricsRegistry::bind_histogram(std::uint32_t id) {
+  std::scoped_lock lock(mu_);
+  if (id >= hists_.size()) {
+    throw std::out_of_range("bind_histogram: unknown id");
+  }
+  Histogram h;
+  h.cells_ = &shard_for_current_thread().hists[id];
+  h.bounds_ = hists_[id].bounds.data();
+  h.n_bounds_ = hists_[id].bounds.size();
+  return h;
+}
+
+std::uint64_t MetricsRegistry::counter_total(std::uint32_t id) const {
+  std::scoped_lock lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    if (id < shard->counters.size()) total += shard->counters[id];
+  }
+  return total;
+}
+
+MetricsSnapshot MetricsRegistry::scrape() const {
+  std::scoped_lock lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counter_names_.size());
+  for (std::uint32_t id = 0; id < counter_names_.size(); ++id) {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      if (id < shard->counters.size()) total += shard->counters[id];
+    }
+    snap.counters.push_back(CounterSample{counter_names_[id], total});
+  }
+  snap.gauges.reserve(gauge_names_.size());
+  for (std::uint32_t id = 0; id < gauge_names_.size(); ++id) {
+    double total = 0.0;
+    for (const auto& shard : shards_) {
+      if (id < shard->gauges.size()) total += shard->gauges[id];
+    }
+    snap.gauges.push_back(GaugeSample{gauge_names_[id], total});
+  }
+  snap.histograms.reserve(hists_.size());
+  for (std::uint32_t id = 0; id < hists_.size(); ++id) {
+    HistogramSample h;
+    h.name = hists_[id].name;
+    h.bounds = hists_[id].bounds;
+    h.counts.assign(h.bounds.size() + 1, 0);
+    for (const auto& shard : shards_) {
+      if (id >= shard->hists.size()) continue;
+      const auto& cells = shard->hists[id];
+      for (std::size_t b = 0; b < cells.counts.size(); ++b) {
+        h.counts[b] += cells.counts[b];
+      }
+      h.count += cells.count;
+      h.sum += cells.sum;
+    }
+    snap.histograms.push_back(std::move(h));
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  for (const auto& c : other.counters) {
+    const auto it = std::lower_bound(counters.begin(), counters.end(), c,
+                                     by_name);
+    if (it != counters.end() && it->name == c.name) {
+      it->value += c.value;
+    } else {
+      counters.insert(it, c);
+    }
+  }
+  for (const auto& g : other.gauges) {
+    const auto it = std::lower_bound(gauges.begin(), gauges.end(), g, by_name);
+    if (it != gauges.end() && it->name == g.name) {
+      it->value += g.value;
+    } else {
+      gauges.insert(it, g);
+    }
+  }
+  for (const auto& h : other.histograms) {
+    const auto it =
+        std::lower_bound(histograms.begin(), histograms.end(), h, by_name);
+    if (it != histograms.end() && it->name == h.name) {
+      if (it->bounds != h.bounds) {
+        throw std::invalid_argument(
+            "MetricsSnapshot::merge: histogram bounds mismatch for " + h.name);
+      }
+      for (std::size_t b = 0; b < it->counts.size(); ++b) {
+        it->counts[b] += h.counts[b];
+      }
+      it->count += h.count;
+      it->sum += h.sum;
+    } else {
+      histograms.insert(it, h);
+    }
+  }
+}
+
+std::uint64_t MetricsSnapshot::counter_or(std::string_view name,
+                                          std::uint64_t fallback) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return fallback;
+}
+
+std::string MetricsSnapshot::to_string() const {
+  std::string out;
+  char buf[160];
+  for (const auto& c : counters) {
+    std::snprintf(buf, sizeof buf, "%-40s %llu\n", c.name.c_str(),
+                  static_cast<unsigned long long>(c.value));
+    out += buf;
+  }
+  for (const auto& g : gauges) {
+    std::snprintf(buf, sizeof buf, "%-40s %.6g\n", g.name.c_str(), g.value);
+    out += buf;
+  }
+  for (const auto& h : histograms) {
+    std::snprintf(buf, sizeof buf, "%-40s count=%llu sum=%.6g buckets=[",
+                  h.name.c_str(), static_cast<unsigned long long>(h.count),
+                  h.sum);
+    out += buf;
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (b > 0) out += ' ';
+      std::snprintf(buf, sizeof buf, "%llu",
+                    static_cast<unsigned long long>(h.counts[b]));
+      out += buf;
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+MetricsSnapshot merge_snapshots(std::span<const MetricsSnapshot> snaps) {
+  MetricsSnapshot total;
+  for (const auto& s : snaps) total.merge(s);
+  return total;
+}
+
+}  // namespace skh::obs

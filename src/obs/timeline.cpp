@@ -1,0 +1,36 @@
+#include "obs/timeline.h"
+
+#include <cstdio>
+
+namespace skh::obs {
+
+void CaseTimeline::add(SimTime at, const char* stage, std::string detail,
+                       double value) {
+  TimelineEntry e;
+  e.at = at;
+  e.stage = stage;
+  e.detail = std::move(detail);
+  e.value = value;
+  entries.push_back(std::move(e));
+}
+
+std::string CaseTimeline::to_string() const {
+  std::string out;
+  if (entries.empty()) return out;
+  const SimTime t0 = entries.front().at;
+  char buf[96];
+  for (const auto& e : entries) {
+    std::snprintf(buf, sizeof buf, "[+%10.3fs] %-18s ",
+                  (e.at - t0).to_seconds(), e.stage);
+    out += buf;
+    out += e.detail;
+    if (e.value != 0.0) {
+      std::snprintf(buf, sizeof buf, "  (%.4g)", e.value);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace skh::obs

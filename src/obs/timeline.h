@@ -1,0 +1,42 @@
+// Per-failure-case causal timeline.
+//
+// §6 streams per-window verdicts into a cloud log service so an operator
+// can reconstruct how a ticket came to be. The simulation equivalent: every
+// `FailureCase` carries the ordered chain of stages that produced it —
+// first anomalous window, each subsequent anomaly with its score, the
+// close trigger, and the localization verdict — so a `score_campaign`
+// mismatch can be replayed from the case artifact alone, without re-running
+// the campaign or scraping a tracer that may have wrapped past the moment.
+//
+// Timelines are recorded unconditionally: entries occur at case granularity
+// (a handful per incident), not probe granularity, so the cost is noise.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace skh::obs {
+
+struct TimelineEntry {
+  SimTime at;
+  const char* stage = "";  ///< static string (e.g. "case.open", "anomaly")
+  std::string detail;      ///< human-readable specifics
+  double value = 0.0;      ///< stage-defined measure (score, culprits, ...)
+};
+
+struct CaseTimeline {
+  std::vector<TimelineEntry> entries;
+
+  void add(SimTime at, const char* stage, std::string detail,
+           double value = 0.0);
+
+  [[nodiscard]] bool empty() const noexcept { return entries.empty(); }
+
+  /// One line per entry: "[+123.000s] stage  detail  (value)". Offsets are
+  /// relative to the first entry, matching how an operator reads a ticket.
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace skh::obs

@@ -1,0 +1,153 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <string_view>
+
+namespace skh::obs {
+
+Tracer::Tracer(std::size_t capacity) : buf_(std::max<std::size_t>(1, capacity)) {}
+
+void Tracer::push(const TraceEvent& e) {
+  if (size_ < buf_.size()) {
+    buf_[(head_ + size_) % buf_.size()] = e;
+    ++size_;
+  } else {
+    buf_[head_] = e;
+    head_ = (head_ + 1) % buf_.size();
+    ++dropped_;
+  }
+}
+
+void Tracer::instant(const char* category, const char* name, SimTime ts,
+                     std::uint64_t arg_a, std::uint64_t arg_b, double value) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.ts = ts;
+  e.category = category;
+  e.name = name;
+  e.kind = TraceKind::kInstant;
+  e.arg_a = arg_a;
+  e.arg_b = arg_b;
+  e.value = value;
+  push(e);
+}
+
+void Tracer::span(const char* category, const char* name, SimTime start,
+                  SimTime end, std::uint64_t arg_a, std::uint64_t arg_b,
+                  double value) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.ts = start;
+  e.dur = end - start;
+  e.category = category;
+  e.name = name;
+  e.kind = TraceKind::kSpan;
+  e.arg_a = arg_a;
+  e.arg_b = arg_b;
+  e.value = value;
+  push(e);
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(buf_[(head_ + i) % buf_.size()]);
+  }
+  return out;
+}
+
+void Tracer::clear() noexcept {
+  head_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+namespace {
+
+/// Escape for a JSON string value. Category/name fields are static
+/// literals in practice, but export must stay well-formed for any input.
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_number(std::ostream& os, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  os << buf;
+}
+
+}  // namespace
+
+void export_chrome_trace(const Tracer& tracer, std::ostream& os) {
+  // One tid per category (in first-seen order) so chrome://tracing /
+  // Perfetto lays each subsystem out as its own track.
+  std::map<std::string_view, int> tids;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& e : tracer.events()) {
+    const auto [it, inserted] =
+        tids.emplace(e.category, static_cast<int>(tids.size()));
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":";
+    write_json_string(os, e.name);
+    os << ",\"cat\":";
+    write_json_string(os, e.category);
+    if (e.kind == TraceKind::kSpan) {
+      os << ",\"ph\":\"X\",\"ts\":";
+      write_number(os, e.ts.to_micros());
+      os << ",\"dur\":";
+      write_number(os, e.dur.to_micros());
+    } else {
+      os << ",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+      write_number(os, e.ts.to_micros());
+    }
+    os << ",\"pid\":0,\"tid\":" << it->second << ",\"args\":{\"a\":" << e.arg_a
+       << ",\"b\":" << e.arg_b << ",\"value\":";
+    write_number(os, e.value);
+    os << "}}";
+  }
+  os << "]}";
+}
+
+void export_jsonl(const Tracer& tracer, std::ostream& os) {
+  for (const auto& e : tracer.events()) {
+    os << "{\"ts_us\":";
+    write_number(os, e.ts.to_micros());
+    os << ",\"dur_us\":";
+    write_number(os, e.dur.to_micros());
+    os << ",\"cat\":";
+    write_json_string(os, e.category);
+    os << ",\"name\":";
+    write_json_string(os, e.name);
+    os << ",\"kind\":\""
+       << (e.kind == TraceKind::kSpan ? "span" : "instant") << "\"";
+    os << ",\"a\":" << e.arg_a << ",\"b\":" << e.arg_b << ",\"value\":";
+    write_number(os, e.value);
+    os << "}\n";
+  }
+}
+
+}  // namespace skh::obs

@@ -12,6 +12,29 @@ ProbeEngine::ProbeEngine(const topo::Topology& topo,
     : topo_(topo), overlay_(overlay), faults_(faults), rng_(std::move(rng)),
       cfg_(cfg) {}
 
+void ProbeEngine::attach_obs(obs::Context* ctx) {
+  obs_ = ctx;
+  if (ctx == nullptr) {
+    m_issued_ = {};
+    m_delivered_ = {};
+    m_drop_overlay_ = {};
+    m_drop_unreachable_ = {};
+    m_drop_loss_ = {};
+    m_rtt_us_ = {};
+    return;
+  }
+  auto& r = ctx->registry;
+  m_issued_ = r.bind_counter(r.counter_id("probe.issued"));
+  m_delivered_ = r.bind_counter(r.counter_id("probe.delivered"));
+  m_drop_overlay_ = r.bind_counter(r.counter_id("probe.dropped.overlay"));
+  m_drop_unreachable_ =
+      r.bind_counter(r.counter_id("probe.dropped.unreachable"));
+  m_drop_loss_ = r.bind_counter(r.counter_id("probe.dropped.loss"));
+  static constexpr double kRttBoundsUs[] = {10.0,  20.0,  50.0, 100.0,
+                                            200.0, 500.0, 1000.0};
+  m_rtt_us_ = r.bind_histogram(r.histogram_id("probe.rtt_us", kRttBoundsUs));
+}
+
 bool ProbeEngine::overlay_reachable(Endpoint src, Endpoint dst) const {
   if (!overlay_.attached(src) || !overlay_.attached(dst)) return false;
   const VPortId goal = overlay_.chain_of(dst).netns;
@@ -84,16 +107,46 @@ ProbeResult ProbeEngine::probe(Endpoint src, Endpoint dst, SimTime t) {
   ProbeResult res;
   res.pair = EndpointPair{src, dst};
   res.sent_at = t;
+  m_issued_.inc();
 
-  if (!overlay_reachable(src, dst)) return res;  // dropped in the overlay
+  if (!overlay_reachable(src, dst)) {  // dropped in the overlay
+    m_drop_overlay_.inc();
+    if (obs_ != nullptr) {
+      obs_->tracer.instant("probe", "drop.overlay", t, src.container.value(),
+                           dst.container.value());
+    }
+    return res;
+  }
 
   const PathDegradation d = degradation(src, dst, t);
-  if (d.unreachable) return res;
-  if (!rng_.bernoulli(d.delivery_probability)) return res;
+  if (d.unreachable) {
+    m_drop_unreachable_.inc();
+    if (obs_ != nullptr) {
+      obs_->tracer.instant("probe", "drop.unreachable", t,
+                           src.container.value(), dst.container.value());
+    }
+    return res;
+  }
+  if (!rng_.bernoulli(d.delivery_probability)) {
+    m_drop_loss_.inc();
+    if (obs_ != nullptr) {
+      obs_->tracer.instant("probe", "drop.loss", t, src.container.value(),
+                           dst.container.value(), d.delivery_probability);
+    }
+    return res;
+  }
 
   const double base = baseline_rtt_us(src, dst) + d.extra_latency_us;
   res.rtt_us = base * std::exp(rng_.normal(0.0, cfg_.jitter_sigma));
   res.delivered = true;
+  m_delivered_.inc();
+  m_rtt_us_.observe(res.rtt_us);
+  if (obs_ != nullptr && obs_->tracer.enabled()) {
+    // Probe flight rendered as a span from send to ack, sized by the RTT.
+    obs_->tracer.span("probe", "rtt", t, t + SimTime::micros(res.rtt_us),
+                      src.container.value(), dst.container.value(),
+                      res.rtt_us);
+  }
   return res;
 }
 

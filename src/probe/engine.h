@@ -14,6 +14,7 @@
 #pragma once
 
 #include "common/rng.h"
+#include "obs/context.h"
 #include "overlay/overlay.h"
 #include "probe/probe_types.h"
 #include "sim/fault.h"
@@ -35,6 +36,11 @@ class ProbeEngine {
               const overlay::OverlayNetwork& overlay,
               const sim::FaultInjector& faults, RngStream rng,
               EngineConfig cfg = {});
+
+  /// Attach the observability context (nullptr detaches). Binds this
+  /// engine's metric handles on the calling thread — the thread that will
+  /// drive `probe()`.
+  void attach_obs(obs::Context* ctx);
 
   /// Send one probe at simulated time `t`.
   [[nodiscard]] ProbeResult probe(Endpoint src, Endpoint dst, SimTime t);
@@ -63,6 +69,14 @@ class ProbeEngine {
   const sim::FaultInjector& faults_;
   RngStream rng_;
   EngineConfig cfg_;
+
+  obs::Context* obs_ = nullptr;
+  obs::Counter m_issued_;
+  obs::Counter m_delivered_;
+  obs::Counter m_drop_overlay_;
+  obs::Counter m_drop_unreachable_;
+  obs::Counter m_drop_loss_;
+  obs::Histogram m_rtt_us_;
 };
 
 }  // namespace skh::probe

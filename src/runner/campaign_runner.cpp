@@ -45,6 +45,7 @@ RunResult run_campaign(const CampaignConfig& cfg, std::uint64_t seed) {
   ecfg.topology = cfg.topology;
   ecfg.hunter = cfg.hunter;
   ecfg.seed = seed;
+  ecfg.obs = cfg.obs;
   core::Experiment exp(ecfg);
 
   std::vector<TaskId> tasks;
@@ -121,6 +122,7 @@ RunResult run_campaign(const CampaignConfig& cfg, std::uint64_t seed) {
   result.failure_cases = exp.hunter().failure_cases().size();
   result.probes_sent = exp.hunter().total_probes();
   result.detector = exp.hunter().detector_counters();
+  if (cfg.obs.metrics) result.metrics = exp.obs().registry.scrape();
   return result;
 }
 
@@ -162,6 +164,9 @@ CampaignSet run_many(const CampaignConfig& cfg,
   scores.reserve(set.runs.size());
   for (const auto& r : set.runs) scores.push_back(r.score);
   set.summary = core::summarize_scores(scores);
+  // Fleet snapshot: merge per-seed scrapes in seed order — deterministic at
+  // any thread count because each scrape is itself single-thread-recorded.
+  for (const auto& r : set.runs) set.fleet.merge(r.metrics);
   return set;
 }
 

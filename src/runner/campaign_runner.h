@@ -18,6 +18,7 @@
 
 #include "core/harness.h"
 #include "core/metrics.h"
+#include "obs/metrics.h"
 #include "sim/fault.h"
 
 namespace skh::runner {
@@ -64,6 +65,12 @@ struct CampaignConfig {
   SimTime drain = SimTime::minutes(20);       ///< probing past the last fault
 
   core::ScoreConfig score{};
+
+  /// Per-campaign observability (one registry + tracer per seed, recorded
+  /// on whichever worker runs the seed, so scrapes stay bit-stable at any
+  /// thread count). `obs.metrics = false` detaches everything — the
+  /// pre-obs baseline the overhead bench compares against.
+  obs::ObsConfig obs{};
 };
 
 /// One campaign's outcome. `faults` is the injected ground-truth schedule,
@@ -78,6 +85,8 @@ struct RunResult {
   std::size_t probes_sent = 0;
   /// Detector ingest counters; pool across runs with core::merge_counters.
   core::DetectorCounters detector{};
+  /// End-of-campaign registry scrape (empty when `cfg.obs.metrics` is off).
+  obs::MetricsSnapshot metrics{};
 };
 
 /// run_many's aggregate: per-seed results in input-seed order plus the
@@ -85,6 +94,9 @@ struct RunResult {
 struct CampaignSet {
   std::vector<RunResult> runs;
   core::ScoreSummary summary;
+  /// Fleet snapshot: per-seed registries merged in seed order — the
+  /// cross-campaign totals `production_campaign` prints.
+  obs::MetricsSnapshot fleet{};
 };
 
 /// Execute one campaign to completion on the calling thread.

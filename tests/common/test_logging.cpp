@@ -1,0 +1,144 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace skh {
+namespace {
+
+/// Captures every accepted message; restores prior state on destruction so
+/// tests cannot leak a sink or a lowered threshold into the rest of the
+/// suite.
+class SinkCapture {
+ public:
+  explicit SinkCapture(LogLevel threshold) : saved_threshold_(log_threshold()) {
+    set_log_threshold(threshold);
+    set_log_sink([this](LogLevel level, std::string_view component,
+                        std::string_view message) {
+      // Called under the sink mutex: plain vector append is safe.
+      lines_.push_back(std::string("[") + name(level) + "] " +
+                       std::string(component) + ": " + std::string(message));
+    });
+  }
+  ~SinkCapture() {
+    set_log_sink({});
+    set_log_threshold(saved_threshold_);
+  }
+
+  [[nodiscard]] const std::vector<std::string>& lines() const {
+    return lines_;
+  }
+
+ private:
+  static const char* name(LogLevel l) {
+    switch (l) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kWarn: return "WARN";
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kOff: return "OFF";
+    }
+    return "?";
+  }
+
+  LogLevel saved_threshold_;
+  std::vector<std::string> lines_;
+};
+
+TEST(Logging, ThresholdFiltersBelowLevel) {
+  SinkCapture cap(LogLevel::kWarn);
+  SKH_LOG_DEBUG("t", "dropped");
+  SKH_LOG_INFO("t", "dropped");
+  SKH_LOG_WARN("t", "kept ", 1);
+  SKH_LOG_ERROR("t", "kept ", 2);
+  ASSERT_EQ(cap.lines().size(), 2u);
+  EXPECT_EQ(cap.lines()[0], "[WARN] t: kept 1");
+  EXPECT_EQ(cap.lines()[1], "[ERROR] t: kept 2");
+}
+
+TEST(Logging, OffSilencesEverything) {
+  SinkCapture cap(LogLevel::kOff);
+  SKH_LOG_ERROR("t", "dropped");
+  EXPECT_TRUE(cap.lines().empty());
+}
+
+TEST(Logging, SetThresholdRoundTrips) {
+  const LogLevel saved = log_threshold();
+  set_log_threshold(LogLevel::kDebug);
+  EXPECT_EQ(log_threshold(), LogLevel::kDebug);
+  set_log_threshold(saved);
+  EXPECT_EQ(log_threshold(), saved);
+}
+
+TEST(Logging, EmptySinkRestoresDefault) {
+  {
+    SinkCapture cap(LogLevel::kError);
+    SKH_LOG_ERROR("t", "captured");
+    EXPECT_EQ(cap.lines().size(), 1u);
+  }
+  // After restore, logging must not crash (goes to std::clog) and the
+  // capture buffer must not grow.
+  SKH_LOG_DEBUG("t", "below default threshold, discarded");
+}
+
+TEST(Logging, MessagesStayWholeUnderConcurrency) {
+  SinkCapture cap(LogLevel::kInfo);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        SKH_LOG_INFO("conc", "thread=", t, " msg=", i);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  // Every message arrives exactly once and unfragmented: the sink sees the
+  // fully formatted payload, never an interleaved prefix of another line.
+  ASSERT_EQ(cap.lines().size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  std::vector<std::string> expected;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      expected.push_back("[INFO] conc: thread=" + std::to_string(t) +
+                         " msg=" + std::to_string(i));
+    }
+  }
+  auto got = cap.lines();
+  std::sort(got.begin(), got.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(got, expected);
+}
+
+TEST(Logging, ConcurrentThresholdFlipsAreDataRaceFree) {
+  // TSan/ASan-checked in the sanitizer replay: readers load the atomic
+  // while a writer flips it; no torn reads, and the final state is one of
+  // the written values.
+  SinkCapture cap(LogLevel::kWarn);
+  std::atomic<bool> stop{false};
+  std::thread flipper([&] {
+    for (int i = 0; i < 500; ++i) {
+      set_log_threshold(i % 2 == 0 ? LogLevel::kDebug : LogLevel::kError);
+    }
+    stop.store(true);
+  });
+  std::thread reader([&] {
+    while (!stop.load()) {
+      const LogLevel l = log_threshold();
+      EXPECT_TRUE(l == LogLevel::kDebug || l == LogLevel::kError ||
+                  l == LogLevel::kWarn);
+    }
+  });
+  flipper.join();
+  reader.join();
+}
+
+}  // namespace
+}  // namespace skh

@@ -200,6 +200,74 @@ TEST(ScoreSummaryTest, LatencyOnlyCountsRunsWithDetections) {
   EXPECT_DOUBLE_EQ(s.detection_latency_s.mean, 12.0);
 }
 
+TEST(DetectorCountersTest, MergeEmptySpanIsAllZero) {
+  const DetectorCounters total = merge_counters({});
+  EXPECT_EQ(total.probes_ingested, 0u);
+  EXPECT_EQ(total.samples_delivered, 0u);
+  EXPECT_EQ(total.short_windows_closed, 0u);
+  EXPECT_EQ(total.long_windows_closed, 0u);
+  EXPECT_EQ(total.lof_fast_path, 0u);
+  EXPECT_EQ(total.lof_fallback, 0u);
+  EXPECT_EQ(total.lof_kdist_rebuilds, 0u);
+  EXPECT_EQ(total.lof_gate_skips, 0u);
+  EXPECT_EQ(total.events_emitted, 0u);
+}
+
+TEST(DetectorCountersTest, MergeSumsEveryField) {
+  DetectorCounters a;
+  a.probes_ingested = 10;
+  a.samples_delivered = 9;
+  a.short_windows_closed = 4;
+  a.long_windows_closed = 1;
+  a.lof_fast_path = 3;
+  a.lof_fallback = 2;
+  a.lof_kdist_rebuilds = 1;
+  a.lof_gate_skips = 5;
+  a.events_emitted = 2;
+  DetectorCounters b;
+  b.probes_ingested = 100;
+  b.samples_delivered = 90;
+  b.short_windows_closed = 40;
+  b.long_windows_closed = 10;
+  b.lof_fast_path = 30;
+  b.lof_fallback = 20;
+  b.lof_kdist_rebuilds = 10;
+  b.lof_gate_skips = 50;
+  b.events_emitted = 20;
+
+  const std::vector<DetectorCounters> per_seed{a, b};
+  const DetectorCounters total = merge_counters(per_seed);
+  EXPECT_EQ(total.probes_ingested, 110u);
+  EXPECT_EQ(total.samples_delivered, 99u);
+  EXPECT_EQ(total.short_windows_closed, 44u);
+  EXPECT_EQ(total.long_windows_closed, 11u);
+  EXPECT_EQ(total.lof_fast_path, 33u);
+  EXPECT_EQ(total.lof_fallback, 22u);
+  EXPECT_EQ(total.lof_kdist_rebuilds, 11u);
+  EXPECT_EQ(total.lof_gate_skips, 55u);
+  EXPECT_EQ(total.events_emitted, 22u);
+}
+
+TEST(DetectorCountersTest, FastPathRatioIsOneWithoutScoring) {
+  // A campaign can ingest plenty of probes yet never score (every close
+  // short-circuited by the shift gate): the ratio reports a perfect cache,
+  // not 0/0.
+  DetectorCounters c;
+  c.probes_ingested = 5000;
+  c.short_windows_closed = 100;
+  c.lof_gate_skips = 100;
+  EXPECT_DOUBLE_EQ(lof_fast_path_ratio(c), 1.0);
+}
+
+TEST(DetectorCountersTest, FastPathRatioCountsBothPaths) {
+  DetectorCounters c;
+  c.lof_fast_path = 3;
+  c.lof_fallback = 1;
+  EXPECT_DOUBLE_EQ(lof_fast_path_ratio(c), 0.75);
+  c.lof_fast_path = 0;
+  EXPECT_DOUBLE_EQ(lof_fast_path_ratio(c), 0.0);
+}
+
 TEST(ScoreSummaryTest, EmptyAndSingleRunEdgeCases) {
   const ScoreSummary empty = summarize_scores({});
   EXPECT_EQ(empty.runs, 0u);

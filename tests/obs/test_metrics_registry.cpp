@@ -1,0 +1,178 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace skh::obs {
+namespace {
+
+TEST(MetricsRegistry, UnboundHandlesAreNoOps) {
+  Counter c;
+  Gauge g;
+  Histogram h;
+  EXPECT_FALSE(c.bound());
+  EXPECT_FALSE(g.bound());
+  EXPECT_FALSE(h.bound());
+  c.inc();
+  c.add(5);
+  g.set(3.0);
+  g.add(1.0);
+  h.observe(42.0);  // must not crash
+}
+
+TEST(MetricsRegistry, CounterRoundTrip) {
+  MetricsRegistry r;
+  const auto id = r.counter_id("a.count");
+  auto c = r.bind_counter(id);
+  EXPECT_TRUE(c.bound());
+  c.inc();
+  c.add(9);
+  EXPECT_EQ(r.counter_total(id), 10u);
+  // Re-registering the same name returns the same series.
+  EXPECT_EQ(r.counter_id("a.count"), id);
+  auto c2 = r.bind_counter(r.counter_id("a.count"));
+  c2.add(5);
+  EXPECT_EQ(r.counter_total(id), 15u);
+}
+
+TEST(MetricsRegistry, HistogramBucketBoundaries) {
+  MetricsRegistry r;
+  const std::array<double, 2> bounds{1.0, 2.0};
+  auto h = r.bind_histogram(r.histogram_id("h", bounds));
+  // Bucket i counts bounds[i-1] < v <= bounds[i]; overflow catches the
+  // rest. Boundary values land in the bucket they close.
+  for (const double v : {0.5, 1.0, 1.5, 2.0, 2.5}) h.observe(v);
+  const auto snap = r.scrape();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const auto& hs = snap.histograms[0];
+  EXPECT_EQ(hs.bounds, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(hs.counts, (std::vector<std::uint64_t>{2, 2, 1}));
+  EXPECT_EQ(hs.count, 5u);
+  EXPECT_DOUBLE_EQ(hs.sum, 7.5);
+}
+
+TEST(MetricsRegistry, ScrapeIsNameSorted) {
+  MetricsRegistry r;
+  r.bind_counter(r.counter_id("zeta")).inc();
+  r.bind_counter(r.counter_id("alpha")).inc();
+  r.bind_counter(r.counter_id("mid")).inc();
+  r.bind_gauge(r.gauge_id("g.z")).set(1.0);
+  r.bind_gauge(r.gauge_id("g.a")).set(2.0);
+  const auto snap = r.scrape();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].name, "alpha");
+  EXPECT_EQ(snap.counters[1].name, "mid");
+  EXPECT_EQ(snap.counters[2].name, "zeta");
+  ASSERT_EQ(snap.gauges.size(), 2u);
+  EXPECT_EQ(snap.gauges[0].name, "g.a");
+  EXPECT_EQ(snap.gauges[1].name, "g.z");
+}
+
+/// Shard the same logical workload over `n_threads` and scrape. Counter
+/// and bucket values are u64 sums (exact, order-independent); gauge and
+/// histogram-sum contributions are chosen exactly representable so FP
+/// addition is associative here and scrapes are bit-identical no matter
+/// how the work was split.
+MetricsSnapshot record_sharded(std::size_t n_threads) {
+  MetricsRegistry r;
+  constexpr std::uint64_t kTotal = 9600;  // divides 1, 4, 16
+  const std::array<double, 3> bounds{10.0, 20.0, 50.0};
+  const std::uint64_t per = kTotal / n_threads;
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < n_threads; ++t) {
+    workers.emplace_back([&r, &bounds, per, t] {
+      auto c = r.bind_counter(r.counter_id("work.items"));
+      auto g = r.bind_gauge(r.gauge_id("work.level"));
+      auto h = r.bind_histogram(r.histogram_id("work.size", bounds));
+      // Iterate this thread's slice of a single global index space so the
+      // observed multiset is identical however the work is sharded.
+      for (std::uint64_t i = t * per; i < (t + 1) * per; ++i) {
+        c.inc();
+        g.add(0.25);                                   // exact in binary
+        h.observe(static_cast<double>(i % 64));        // integers: exact
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  return r.scrape();
+}
+
+TEST(MetricsRegistry, ScrapeDeterministicAcrossThreadCounts) {
+  const auto one = record_sharded(1);
+  const auto four = record_sharded(4);
+  const auto sixteen = record_sharded(16);
+  EXPECT_EQ(one, four);
+  EXPECT_EQ(one, sixteen);
+  // Sanity: the workload actually landed.
+  EXPECT_EQ(one.counter_or("work.items"), 9600u);
+  ASSERT_EQ(one.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(one.gauges[0].value, 9600 * 0.25);
+}
+
+TEST(MetricsSnapshot, MergeAddsByName) {
+  MetricsRegistry a;
+  a.bind_counter(a.counter_id("shared")).add(3);
+  a.bind_counter(a.counter_id("only_a")).add(1);
+  a.bind_gauge(a.gauge_id("g")).set(2.0);
+  MetricsRegistry b;
+  b.bind_counter(b.counter_id("shared")).add(4);
+  b.bind_counter(b.counter_id("only_b")).add(7);
+  b.bind_gauge(b.gauge_id("g")).set(5.0);
+
+  MetricsSnapshot merged = a.scrape();
+  merged.merge(b.scrape());
+  EXPECT_EQ(merged.counter_or("shared"), 7u);
+  EXPECT_EQ(merged.counter_or("only_a"), 1u);
+  EXPECT_EQ(merged.counter_or("only_b"), 7u);
+  EXPECT_EQ(merged.counter_or("missing", 99), 99u);
+  ASSERT_EQ(merged.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(merged.gauges[0].value, 7.0);  // fleet gauge = sum
+}
+
+TEST(MetricsSnapshot, MergeHistogramsRequiresMatchingBounds) {
+  const std::array<double, 2> b1{1.0, 2.0};
+  const std::array<double, 1> b2{5.0};
+  MetricsRegistry a;
+  a.bind_histogram(a.histogram_id("h", b1)).observe(1.5);
+  MetricsRegistry b;
+  b.bind_histogram(b.histogram_id("h", b2)).observe(1.5);
+  MetricsSnapshot snap = a.scrape();
+  EXPECT_THROW(snap.merge(b.scrape()), std::invalid_argument);
+}
+
+TEST(MetricsSnapshot, MergeEmptySpanYieldsEmptySnapshot) {
+  const auto merged = merge_snapshots({});
+  EXPECT_TRUE(merged.counters.empty());
+  EXPECT_TRUE(merged.gauges.empty());
+  EXPECT_TRUE(merged.histograms.empty());
+}
+
+TEST(MetricsSnapshot, MergeSnapshotsPoolsInOrder) {
+  std::vector<MetricsSnapshot> snaps;
+  for (int i = 1; i <= 3; ++i) {
+    MetricsRegistry r;
+    r.bind_counter(r.counter_id("n")).add(static_cast<std::uint64_t>(i));
+    snaps.push_back(r.scrape());
+  }
+  const auto fleet = merge_snapshots(snaps);
+  EXPECT_EQ(fleet.counter_or("n"), 6u);
+}
+
+TEST(MetricsSnapshot, ToStringListsEveryMetric) {
+  MetricsRegistry r;
+  r.bind_counter(r.counter_id("c.x")).add(2);
+  r.bind_gauge(r.gauge_id("g.y")).set(1.5);
+  const std::array<double, 1> bounds{1.0};
+  r.bind_histogram(r.histogram_id("h.z", bounds)).observe(0.5);
+  const auto text = r.scrape().to_string();
+  EXPECT_NE(text.find("c.x"), std::string::npos);
+  EXPECT_NE(text.find("g.y"), std::string::npos);
+  EXPECT_NE(text.find("h.z"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace skh::obs

@@ -1,0 +1,296 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "obs/timeline.h"
+
+namespace skh::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON validator. Checks grammar only (objects,
+// arrays, strings with escapes, numbers, literals); exporters must emit
+// output this accepts in full.
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string_view text) : s_(text) {}
+
+  [[nodiscard]] bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(s_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!digits()) return false;
+    if (peek() == '.') {
+      ++pos_;
+      if (!digits()) return false;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digits()) return false;
+    }
+    return pos_ > start;
+  }
+
+  bool digits() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(JsonValidator, SelfCheck) {
+  EXPECT_TRUE(JsonValidator(R"({"a":[1,-2.5,3e4,"x\n\"y"],"b":null})").valid());
+  EXPECT_FALSE(JsonValidator(R"({"a":1)").valid());
+  EXPECT_FALSE(JsonValidator(R"({"a":1}})").valid());
+  EXPECT_FALSE(JsonValidator("{'a':1}").valid());
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(Tracer, DisabledRecordsNothing) {
+  Tracer t(16);
+  EXPECT_FALSE(t.enabled());
+  t.instant("cat", "ev", SimTime::seconds(1));
+  t.span("cat", "sp", SimTime::seconds(1), SimTime::seconds(2));
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(Tracer, RingWrapEvictsOldestAndCountsDrops) {
+  Tracer t(8);
+  t.set_enabled(true);
+  for (int i = 0; i < 20; ++i) {
+    t.instant("cat", "ev", SimTime::millis(i), static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(t.capacity(), 8u);
+  EXPECT_EQ(t.size(), 8u);
+  EXPECT_EQ(t.dropped(), 12u);
+  const auto evs = t.events();
+  ASSERT_EQ(evs.size(), 8u);
+  // Oldest first: the survivors are events 12..19.
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    EXPECT_EQ(evs[i].arg_a, 12 + i);
+    EXPECT_EQ(evs[i].ts, SimTime::millis(12 + static_cast<int>(i)));
+  }
+}
+
+TEST(Tracer, SpanStoresIntervalAndPayload) {
+  Tracer t(4);
+  t.set_enabled(true);
+  t.span("probe", "rtt", SimTime::micros(100), SimTime::micros(350), 7, 9,
+         2.5);
+  const auto evs = t.events();
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].kind, TraceKind::kSpan);
+  EXPECT_EQ(evs[0].ts, SimTime::micros(100));
+  EXPECT_EQ(evs[0].dur, SimTime::micros(250));
+  EXPECT_STREQ(evs[0].category, "probe");
+  EXPECT_STREQ(evs[0].name, "rtt");
+  EXPECT_EQ(evs[0].arg_a, 7u);
+  EXPECT_EQ(evs[0].arg_b, 9u);
+  EXPECT_DOUBLE_EQ(evs[0].value, 2.5);
+}
+
+TEST(Tracer, ClearResetsRingAndDropCount) {
+  Tracer t(2);
+  t.set_enabled(true);
+  for (int i = 0; i < 5; ++i) t.instant("c", "e", SimTime::millis(i));
+  EXPECT_EQ(t.dropped(), 3u);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+  t.instant("c", "e", SimTime::millis(9));
+  ASSERT_EQ(t.events().size(), 1u);
+  EXPECT_EQ(t.events()[0].ts, SimTime::millis(9));
+}
+
+TEST(Tracer, MinimumCapacityIsOne) {
+  Tracer t(0);
+  t.set_enabled(true);
+  EXPECT_EQ(t.capacity(), 1u);
+  t.instant("c", "a", SimTime::millis(1));
+  t.instant("c", "b", SimTime::millis(2));
+  ASSERT_EQ(t.events().size(), 1u);
+  EXPECT_STREQ(t.events()[0].name, "b");
+}
+
+TEST(TraceExport, ChromeTraceIsWellFormedJson) {
+  Tracer t(64);
+  t.set_enabled(true);
+  t.instant("detector", "lof.score", SimTime::seconds(1), 3, 0, 1.75);
+  t.span("probe", "rtt", SimTime::micros(10), SimTime::micros(42), 1, 2, 32.0);
+  // Hostile name: escaping must keep the document parseable.
+  t.instant("detector", "quote\"back\\slash\nnewline", SimTime::seconds(2));
+  std::ostringstream os;
+  export_chrome_trace(t, os);
+  const std::string doc = os.str();
+  EXPECT_TRUE(JsonValidator(doc).valid()) << doc;
+  EXPECT_NE(doc.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);  // the span
+  EXPECT_NE(doc.find("\"ph\":\"i\""), std::string::npos);  // the instants
+  // One tid per category, first-seen order: detector=0, probe=1.
+  EXPECT_NE(doc.find("\"cat\":\"detector\",\"ph\":\"i\",\"s\":\"t\""),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"tid\":1"), std::string::npos);
+}
+
+TEST(TraceExport, EmptyTracerExportsEmptyDocument) {
+  Tracer t(4);
+  std::ostringstream os;
+  export_chrome_trace(t, os);
+  EXPECT_EQ(os.str(), "{\"traceEvents\":[]}");
+}
+
+TEST(TraceExport, JsonlEmitsOneValidObjectPerEvent) {
+  Tracer t(8);
+  t.set_enabled(true);
+  t.instant("hunter", "case.open", SimTime::seconds(3), 11);
+  t.span("hunter", "case", SimTime::seconds(3), SimTime::seconds(8), 11);
+  std::ostringstream os;
+  export_jsonl(t, os);
+  std::istringstream in(os.str());
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  for (const auto& l : lines) {
+    EXPECT_TRUE(JsonValidator(l).valid()) << l;
+  }
+  EXPECT_NE(lines[0].find("\"kind\":\"instant\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"kind\":\"span\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"dur_us\":5000000.000"), std::string::npos);
+}
+
+TEST(CaseTimeline, ToStringShowsRelativeOffsets) {
+  CaseTimeline tl;
+  EXPECT_TRUE(tl.empty());
+  tl.add(SimTime::seconds(100), "case.open", "first anomalous window");
+  tl.add(SimTime::seconds(130), "anomaly", "packet_loss on c1/r0 -> c2/r0",
+         3.5);
+  tl.add(SimTime::seconds(190), "case.close", "quiet period elapsed");
+  EXPECT_FALSE(tl.empty());
+  const std::string text = tl.to_string();
+  EXPECT_NE(text.find("+     0.000s"), std::string::npos);
+  EXPECT_NE(text.find("+    30.000s"), std::string::npos);
+  EXPECT_NE(text.find("+    90.000s"), std::string::npos);
+  EXPECT_NE(text.find("case.open"), std::string::npos);
+  EXPECT_NE(text.find("3.5"), std::string::npos);
+  EXPECT_NE(text.find("quiet period elapsed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace skh::obs
