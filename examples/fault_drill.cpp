@@ -1,8 +1,10 @@
 // Fault drill: sweep every Table-1 issue type against a live deployment
 // and print a one-line verdict per issue — a smoke test an operator can
 // run before trusting a new SkeletonHunter rollout (and the example behind
-// bench_table1_issues).
+// bench_table1_issues). `--churn-gate` runs only the restart-storm drill
+// (the churn.false_alarm_gate ctest entry).
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "core/harness.h"
@@ -12,7 +14,111 @@
 using namespace skh;
 using namespace skh::core;
 
-int main() {
+namespace {
+
+std::uint64_t counter_value(const obs::MetricsSnapshot& snap,
+                            const char* name) {
+  for (const auto& c : snap.counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+/// Restart-storm drill: a fault-free storm over a monitored task must raise
+/// ZERO non-suppressed failure cases (restarts are the control plane doing
+/// its job, not network failures), and once fresh observations accumulate,
+/// re-inference must bring the probing plan back to its pre-churn skeleton.
+int run_restart_storm_drill() {
+  std::puts("Restart-storm drill: 6 fault-free restarts on a live task\n");
+  ExperimentConfig cfg;
+  cfg.topology.num_hosts = 8;
+  cfg.topology.rails_per_host = 8;
+  cfg.topology.hosts_per_segment = 8;
+  cfg.hunter.inference.candidate_dp = {2, 4};
+  cfg.seed = 6100;
+  cfg.obs.metrics = true;
+  Experiment exp(cfg);
+
+  cluster::TaskRequest req;
+  req.num_containers = 4;
+  req.gpus_per_container = 8;
+  req.lifetime = SimTime::hours(6);
+  const auto task = exp.launch_task(req);
+  if (!task) {
+    std::puts("  FAILED: cluster rejected the task");
+    return 1;
+  }
+  exp.run_to_running(*task);
+  workload::ParallelismConfig par;
+  par.tp = 8;
+  par.pp = 2;
+  par.dp = 2;
+  const auto layout = exp.layout_of(*task, par);
+  if (!exp.apply_skeleton(*task, layout)) {
+    std::puts("  FAILED: initial skeleton inference rejected");
+    return 1;
+  }
+  const std::size_t skeleton_targets = exp.hunter().current_targets(*task);
+
+  // The storm: six restarts, 30 s apart, no network fault anywhere.
+  RngStream storm_rng = exp.rng().fork("storm");
+  const auto storm = sim::make_restart_storm(
+      req.num_containers, 6, exp.events().now() + SimTime::minutes(3),
+      SimTime::seconds(30), storm_rng);
+  exp.schedule_churn(*task, storm);
+
+  // Fresh observation batches once the storm has settled: the first batch
+  // only accumulates (reinference_min_samples = 2), the second re-infers
+  // through the fidelity gate.
+  const SimTime settle = exp.events().now() + SimTime::minutes(15);
+  for (int batch = 0; batch < 2; ++batch) {
+    exp.events().schedule_at(
+        settle + SimTime::minutes(batch), [&exp, &par, task = *task] {
+          (void)exp.apply_skeleton(task, exp.layout_of(task, par));
+        });
+  }
+
+  // Measure recovery while the task is still live (run_all also drains the
+  // task's natural end-of-life teardown, which empties the agent set).
+  std::size_t final_targets = 0;
+  bool recovered = false;
+  exp.events().schedule_at(settle + SimTime::minutes(5),
+                           [&exp, &final_targets, &recovered, task = *task] {
+                             final_targets =
+                                 exp.hunter().current_targets(task);
+                             recovered = !exp.hunter().task_degraded(task);
+                           });
+
+  exp.hunter().start(exp.events().now() + SimTime::minutes(25));
+  exp.events().run_all();
+  exp.hunter().finalize();
+
+  const auto snap = exp.obs().registry.scrape();
+  const std::size_t cases = exp.hunter().failure_cases().size();
+  std::printf("  restarts delivered : %llu\n",
+              static_cast<unsigned long long>(
+                  counter_value(snap, "orchestrator.containers_restarted")));
+  std::printf("  churn events seen  : %llu, replans: %llu\n",
+              static_cast<unsigned long long>(
+                  counter_value(snap, "hunter.churn_events")),
+              static_cast<unsigned long long>(
+                  counter_value(snap, "hunter.replans")));
+  std::printf("  failure cases      : %zu (want 0)\n", cases);
+  std::printf("  probing targets    : %zu pre-churn, %zu post-reinference\n",
+              skeleton_targets, final_targets);
+  std::printf("  degraded at end    : %s\n", recovered ? "no" : "yes");
+  const bool pass =
+      cases == 0 && recovered && final_targets == skeleton_targets;
+  std::printf("\nchurn gate: %s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--churn-gate") == 0) {
+    return run_restart_storm_drill();
+  }
   std::puts("Fault drill: one injection per Table-1 issue type\n");
   int detected = 0, expected_detected = 0;
   bool trace_dumped = false;
@@ -119,7 +225,8 @@ int main() {
                 : info.probe_visible ? "MISSED"
                                      : "invisible (expected miss, Sec 7.3)");
   }
-  std::printf("\ndrill result: %d/%d probe-visible issues detected\n",
+  std::printf("\ndrill result: %d/%d probe-visible issues detected\n\n",
               detected, expected_detected);
-  return detected == expected_detected ? 0 : 1;
+  const int churn_rc = run_restart_storm_drill();
+  return (detected == expected_detected && churn_rc == 0) ? 0 : 1;
 }

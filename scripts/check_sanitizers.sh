@@ -4,16 +4,18 @@
 # Configures a separate sub-build with SKH_SANITIZE=ON and replays the
 # memory-heaviest suites: common (window accumulators, the lock-protected
 # log sink), ml (the LOF ring's raw row/column arithmetic), core (the
-# detector hot path with its flattened pair storage and reused buffers),
-# and obs (per-thread shard cells and the trace ring). Any sanitizer report
-# aborts the binary (-fno-sanitize-recover=all), so a clean exit means
-# clean runs.
+# detector hot path with its flattened pair storage and reused buffers,
+# plus the churn degrade/re-infer lifecycle), obs (per-thread shard cells
+# and the trace ring), sim (churn plans and fault windows), cluster (the
+# restart/migrate/crash deregistration paths), and probe (per-target
+# retry/backoff state). Any sanitizer report aborts the binary
+# (-fno-sanitize-recover=all), so a clean exit means clean runs.
 set -eu
 
 root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 bdir="${2:-$root/build-asan}"
 
-suites="test_common test_ml test_core test_obs"
+suites="test_common test_ml test_core test_obs test_sim test_cluster test_probe"
 
 cmake -S "$root" -B "$bdir" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSKH_SANITIZE=ON >/dev/null

@@ -19,6 +19,8 @@ void Orchestrator::attach_obs(obs::Context* ctx) {
     m_containers_started_ = {};
     m_containers_stopped_ = {};
     m_containers_crashed_ = {};
+    m_containers_restarted_ = {};
+    m_containers_migrated_ = {};
     m_containers_running_ = {};
     return;
   }
@@ -31,6 +33,10 @@ void Orchestrator::attach_obs(obs::Context* ctx) {
       r.bind_counter(r.counter_id("orchestrator.containers_stopped"));
   m_containers_crashed_ =
       r.bind_counter(r.counter_id("orchestrator.containers_crashed"));
+  m_containers_restarted_ =
+      r.bind_counter(r.counter_id("orchestrator.containers_restarted"));
+  m_containers_migrated_ =
+      r.bind_counter(r.counter_id("orchestrator.containers_migrated"));
   m_containers_running_ =
       r.bind_gauge(r.gauge_id("orchestrator.containers_running"));
 }
@@ -190,6 +196,96 @@ void Orchestrator::on_container_stopped(ContainerCallback cb) {
   stopped_cbs_.push_back(std::move(cb));
 }
 
+void Orchestrator::on_container_churn(ChurnCallback cb) {
+  churn_cbs_.push_back(std::move(cb));
+}
+
+void Orchestrator::deregister_for_churn(ContainerInfo& ci) {
+  m_containers_stopped_.inc();
+  m_containers_running_.add(-1.0);
+  if (obs_ != nullptr) {
+    obs_->tracer.instant("orchestrator", "container.deregister",
+                         events_.now(), ci.id.value(), ci.task.value());
+  }
+  // Deregistration-before-probe guarantee: the control plane initiated this
+  // churn, so subscribers hear it within this call — strictly before the
+  // event queue can run another probe round.
+  ci.state = ContainerState::kStarting;
+  for (auto& cb : stopped_cbs_) cb(ci);
+}
+
+void Orchestrator::restart_container(ContainerId id) {
+  auto& ci = containers_.at(id.value());
+  if (ci.state != ContainerState::kRunning) return;
+  deregister_for_churn(ci);
+  for (const Endpoint& ep : ci.endpoints()) {
+    if (overlay_.attached(ep)) overlay_.detach_endpoint(ep);
+  }
+  m_containers_restarted_.inc();
+  if (obs_ != nullptr) {
+    obs_->tracer.instant("orchestrator", "container.restart", events_.now(),
+                         id.value(), ci.task.value());
+  }
+  for (auto& cb : churn_cbs_) cb(ci, ChurnReason::kRestart);
+  const auto& info = tasks_.at(ci.task.value());
+  const SimTime delay = sample_startup_delay(info.request.num_containers,
+                                             ci.index_in_task, rng_);
+  events_.schedule_after(delay, [this, id] { set_running(id); });
+  SKH_LOG_INFO("orchestrator", "container ", id.value(), " restarting");
+}
+
+bool Orchestrator::migrate_container(ContainerId id) {
+  auto& ci = containers_.at(id.value());
+  if (ci.state != ContainerState::kRunning) return false;
+  const HostId old_host = ci.host;
+  const auto gpus = static_cast<std::uint32_t>(ci.rnics.size());
+
+  // Pick the destination *before* deregistering so a capacity miss leaves
+  // the container untouched. Prefer any other schedulable host; fall back
+  // to re-placing on the current host (a restart-shaped migration).
+  std::optional<HostId> dest;
+  for (std::uint32_t h = 0; h < topo_.num_hosts(); ++h) {
+    const HostId host{h};
+    if (host == old_host) continue;
+    if (placement_filter_ && !placement_filter_(host)) continue;
+    if (gpus_used_[host] + gpus <= topo_.config().rails_per_host) {
+      dest = host;
+      break;
+    }
+  }
+  if (!dest) {
+    if (placement_filter_ && !placement_filter_(old_host)) return false;
+    dest = old_host;  // own allocation is freed below, so it always fits
+  }
+
+  deregister_for_churn(ci);
+  release_resources(ci);
+
+  ci.host = *dest;
+  const std::uint32_t first_rail = gpus_used_[ci.host];
+  ci.rnics.clear();
+  for (std::uint32_t g = 0; g < gpus; ++g) {
+    ci.rnics.push_back(topo_.rnic_of(ci.host, first_rail + g));
+  }
+  gpus_used_[ci.host] += gpus;
+
+  m_containers_migrated_.inc();
+  if (obs_ != nullptr) {
+    obs_->tracer.instant("orchestrator", "container.migrate", events_.now(),
+                         id.value(), ci.host.value());
+  }
+  // Churn callbacks fire after the rebind: subscribers rebuilding probe
+  // plans must see the post-migration endpoints.
+  for (auto& cb : churn_cbs_) cb(ci, ChurnReason::kMigration);
+  const auto& info = tasks_.at(ci.task.value());
+  const SimTime delay = sample_startup_delay(info.request.num_containers,
+                                             ci.index_in_task, rng_);
+  events_.schedule_after(delay, [this, id] { set_running(id); });
+  SKH_LOG_INFO("orchestrator", "container ", id.value(), " migrating ",
+               old_host.value(), " -> ", ci.host.value());
+  return true;
+}
+
 void Orchestrator::crash_container(ContainerId id) {
   auto& ci = containers_.at(id.value());
   if (ci.state == ContainerState::kDead) return;
@@ -216,6 +312,7 @@ void Orchestrator::crash_container(ContainerId id) {
     events_.schedule_after(kCrashNotifyLag, [this, id] {
       const auto& info = containers_.at(id.value());
       for (auto& cb : stopped_cbs_) cb(info);
+      for (auto& cb : churn_cbs_) cb(info, ChurnReason::kCrash);
     });
   }
   SKH_LOG_INFO("orchestrator", "container ", id.value(), " crashed");

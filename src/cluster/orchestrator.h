@@ -61,6 +61,34 @@ class Orchestrator {
   /// Fired when a container leaves Running (terminating or crashed).
   void on_container_stopped(ContainerCallback cb);
 
+  // --- mid-run churn (restart / migration / crash reconciliation) -----------
+  /// Why a churn notification fired.
+  enum class ChurnReason : std::uint8_t { kRestart, kMigration, kCrash };
+  /// Fired whenever a container's placement or lifecycle churns mid-run:
+  /// synchronously inside restart_container / migrate_container (the control
+  /// plane initiated those, so subscribers learn before the next probe
+  /// round), and after kCrashNotifyLag for crashes (the control plane itself
+  /// learns late). Always fired *after* the stopped callbacks of the same
+  /// event, and — for migrations — after the container's RNICs have been
+  /// rebound, so subscribers rebuilding probe plans see the new endpoints.
+  using ChurnCallback = std::function<void(const ContainerInfo&, ChurnReason)>;
+  void on_container_churn(ChurnCallback cb);
+
+  /// Restart a Running container in place (same host, same RNICs): fires the
+  /// stopped + churn callbacks synchronously (deregistration happens before
+  /// any probe can target the dying network stack), detaches its endpoints,
+  /// and schedules a fresh startup delay back to Running. Non-Running
+  /// containers are left untouched.
+  void restart_container(ContainerId id);
+
+  /// Migrate a Running container: deregister (stopped callbacks), release
+  /// its host resources, re-place it on another host with free capacity
+  /// (honoring the placement filter; falls back to its current host when
+  /// nothing else fits), rebind its RNICs, fire the churn callbacks, and
+  /// schedule startup. Returns false (no-op) if the container is not
+  /// Running or no schedulable host has capacity.
+  bool migrate_container(ContainerId id);
+
   /// Scheduling policy hook: hosts for which the filter returns false are
   /// skipped during placement (e.g. blacklisted hosts, §8).
   using PlacementFilter = std::function<bool(HostId)>;
@@ -78,6 +106,9 @@ class Orchestrator {
   void set_running(ContainerId id);
   void set_dead(ContainerId id);
   void release_resources(const ContainerInfo& ci);
+  /// Shared deregistration step for restart/migration: counters, trace
+  /// instant, state flip to Starting, stopped callbacks.
+  void deregister_for_churn(ContainerInfo& ci);
 
   const topo::Topology& topo_;
   overlay::OverlayNetwork& overlay_;
@@ -91,6 +122,7 @@ class Orchestrator {
   std::vector<ContainerCallback> created_cbs_;
   std::vector<ContainerCallback> running_cbs_;
   std::vector<ContainerCallback> stopped_cbs_;
+  std::vector<ChurnCallback> churn_cbs_;
 
   obs::Context* obs_ = nullptr;
   obs::Counter m_tasks_submitted_;
@@ -98,6 +130,8 @@ class Orchestrator {
   obs::Counter m_containers_started_;
   obs::Counter m_containers_stopped_;
   obs::Counter m_containers_crashed_;
+  obs::Counter m_containers_restarted_;
+  obs::Counter m_containers_migrated_;
   obs::Gauge m_containers_running_;
 };
 

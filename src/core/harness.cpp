@@ -77,6 +77,37 @@ std::optional<InferredSkeleton> Experiment::apply_skeleton(
   return hunter_.supply_observations(task, observations_for(layout, bcfg));
 }
 
+void Experiment::schedule_churn(TaskId task,
+                                const std::vector<sim::ChurnEvent>& plan) {
+  const auto& info = orch_.task(task);
+  for (const sim::ChurnEvent& ev : plan) {
+    if (ev.container_index >= info.containers.size()) continue;
+    const ContainerId victim = info.containers[ev.container_index];
+    switch (ev.kind) {
+      case sim::ChurnKind::kRestart:
+        events_.schedule_at(ev.at,
+                            [this, victim] { orch_.restart_container(victim); });
+        break;
+      case sim::ChurnKind::kMigrate:
+        events_.schedule_at(ev.at,
+                            [this, victim] { orch_.migrate_container(victim); });
+        break;
+      case sim::ChurnKind::kCrash:
+        events_.schedule_at(ev.at,
+                            [this, victim] { orch_.crash_container(victim); });
+        break;
+      case sim::ChurnKind::kAgentDeath:
+        // The sidecar dies but the tenant keeps training: probes through the
+        // victim fail (a monitoring defect, ground_truth = false) while the
+        // container itself never deregisters.
+        faults_.inject_phantom(
+            {sim::ComponentKind::kContainer, victim.value()}, ev.at,
+            ev.at + ev.duration);
+        break;
+    }
+  }
+}
+
 std::uint32_t Experiment::rank_of(const Endpoint& ep) const {
   const auto& ci = orch_.container(ep.container);
   for (std::uint32_t r = 0; r < ci.rnics.size(); ++r) {

@@ -15,6 +15,7 @@
 #include "core/skeleton_hunter.h"
 #include "core/skeleton_inference.h"
 #include "obs/context.h"
+#include "sim/fault.h"
 #include "workload/traffic.h"
 
 namespace skh::core {
@@ -62,6 +63,15 @@ class Experiment {
   std::optional<InferredSkeleton> apply_skeleton(
       TaskId task, const workload::TaskLayout& layout,
       const workload::BurstConfig& bcfg = {});
+
+  /// Map a churn plan (see sim/fault.h) onto orchestrator calls, scheduled
+  /// on the event queue at each event's instant: kRestart ->
+  /// restart_container, kMigrate -> migrate_container, kCrash ->
+  /// crash_container, kAgentDeath -> a phantom fault on the victim's
+  /// container component for the event's duration (§7.3: the sidecar dies,
+  /// not the tenant). Events aimed past the task's container count are
+  /// ignored.
+  void schedule_churn(TaskId task, const std::vector<sim::ChurnEvent>& plan);
 
   /// RNIC rank of an endpoint within its container.
   [[nodiscard]] std::uint32_t rank_of(const Endpoint& ep) const;

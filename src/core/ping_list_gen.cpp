@@ -14,11 +14,18 @@ std::vector<EndpointPair> basic_ping_list(
 
 std::vector<EndpointPair> skeleton_ping_list(
     const std::vector<EndpointPair>& skeleton_pairs) {
+  // Each directed orientation is emitted at most once even when the input
+  // carries both orientations (or repeats a pair): a duplicate directed
+  // target would be double-probed every round and inflate
+  // ProbingScale::skeleton. First-seen order is preserved.
   std::vector<EndpointPair> out;
+  std::unordered_set<EndpointPair> seen;
   out.reserve(skeleton_pairs.size() * 2);
+  seen.reserve(skeleton_pairs.size() * 2);
   for (const auto& p : skeleton_pairs) {
-    out.push_back(p);
-    out.push_back(EndpointPair{p.dst, p.src});
+    if (seen.insert(p).second) out.push_back(p);
+    const EndpointPair rev{p.dst, p.src};
+    if (seen.insert(rev).second) out.push_back(rev);
   }
   return out;
 }

@@ -29,7 +29,9 @@ using RankFn = std::function<std::uint32_t(const Endpoint&)>;
 
 /// Runtime phase: expand the (unordered) skeleton pairs into the directed
 /// probing matrix — each unordered pair is probed from both sides, matching
-/// the production deployment where both agents own the measurement.
+/// the production deployment where both agents own the measurement. Each
+/// directed pair appears exactly once even if the input already contains
+/// both orientations or duplicates.
 [[nodiscard]] std::vector<EndpointPair> skeleton_ping_list(
     const std::vector<EndpointPair>& skeleton_pairs);
 

@@ -43,6 +43,11 @@ SkeletonHunter::SkeletonHunter(const topo::Topology& topo,
       [this](const cluster::ContainerInfo& ci) { on_running(ci); });
   orch_.on_container_stopped(
       [this](const cluster::ContainerInfo& ci) { on_stopped(ci); });
+  orch_.on_container_churn(
+      [this](const cluster::ContainerInfo& ci,
+             cluster::Orchestrator::ChurnReason reason) {
+        on_churn(ci, reason);
+      });
 }
 
 void SkeletonHunter::attach_obs(obs::Context* ctx) {
@@ -55,7 +60,10 @@ void SkeletonHunter::attach_obs(obs::Context* ctx) {
     m_cases_closed_ = {};
     m_cases_suppressed_ = {};
     m_ticks_ = {};
+    m_churn_events_ = {};
+    m_replans_ = {};
     m_active_agents_ = {};
+    m_degraded_tasks_ = {};
     return;
   }
   auto& r = ctx->registry;
@@ -64,7 +72,10 @@ void SkeletonHunter::attach_obs(obs::Context* ctx) {
   m_cases_suppressed_ =
       r.bind_counter(r.counter_id("hunter.cases_suppressed"));
   m_ticks_ = r.bind_counter(r.counter_id("hunter.ticks"));
+  m_churn_events_ = r.bind_counter(r.counter_id("hunter.churn_events"));
+  m_replans_ = r.bind_counter(r.counter_id("hunter.replans"));
   m_active_agents_ = r.bind_gauge(r.gauge_id("hunter.active_agents"));
+  m_degraded_tasks_ = r.bind_gauge(r.gauge_id("hunter.degraded_tasks"));
 }
 
 std::uint32_t SkeletonHunter::rank_of(const Endpoint& ep) const {
@@ -164,7 +175,61 @@ void SkeletonHunter::on_stopped(const cluster::ContainerInfo& ci) {
       task.containers.begin(), task.containers.end(), [this](ContainerId c) {
         return orch_.container(c).state == cluster::ContainerState::kRunning;
       });
-  if (!any_running && task.terminated) mit->second.active = false;
+  if (!any_running && task.terminated) {
+    if (mit->second.degraded) {
+      mit->second.degraded = false;
+      m_degraded_tasks_.add(-1.0);
+    }
+    mit->second.active = false;
+  }
+}
+
+void SkeletonHunter::on_churn(const cluster::ContainerInfo& ci,
+                              cluster::Orchestrator::ChurnReason reason) {
+  const auto mit = monitors_.find(ci.task);
+  if (mit == monitors_.end() || !mit->second.active) return;
+  m_churn_events_.inc();
+  if (obs_ != nullptr) {
+    obs_->tracer.instant("hunter", "churn", events_.now(), ci.id.value(),
+                         static_cast<std::uint64_t>(reason));
+  }
+  SKH_LOG_INFO("skeleton-hunter", "churn on container ", ci.id.value(),
+               " (task ", ci.task.value(), "); degrading to basic list");
+  degrade_to_basic(ci.task);
+}
+
+void SkeletonHunter::degrade_to_basic(TaskId task) {
+  auto& m = monitors_.at(task);
+  // Refresh the endpoint set from the orchestrator: a migration rebinds the
+  // victim's RNICs and a crash removes its container for good. Dead
+  // containers drop out of the plan entirely — their skeleton pairs are the
+  // ones the churn invalidated.
+  m.endpoints.clear();
+  for (ContainerId cid : orch_.task(task).containers) {
+    const auto& ci = orch_.container(cid);
+    if (ci.state == cluster::ContainerState::kDead) continue;
+    const auto eps = ci.endpoints();
+    m.endpoints.insert(m.endpoints.end(), eps.begin(), eps.end());
+  }
+  m.current_list = basic_ping_list(
+      m.endpoints, [this](const Endpoint& ep) { return rank_of(ep); });
+  m.skeleton_applied = false;
+  if (!m.degraded) {
+    m.degraded = true;
+    m_degraded_tasks_.add(1.0);
+  }
+  // Pre-churn observations describe a traffic pattern that may no longer
+  // exist; only batches supplied after this instant count toward
+  // re-inference.
+  m.fresh_counts.clear();
+  m.fresh_obs.clear();
+  m_replans_.inc();
+  distribute_list(task);
+}
+
+bool SkeletonHunter::task_degraded(TaskId task) const {
+  const auto mit = monitors_.find(task);
+  return mit != monitors_.end() && mit->second.degraded;
 }
 
 std::optional<InferredSkeleton> SkeletonHunter::supply_observations(
@@ -172,6 +237,47 @@ std::optional<InferredSkeleton> SkeletonHunter::supply_observations(
   const auto mit = monitors_.find(task);
   if (mit == monitors_.end() || !mit->second.active) return std::nullopt;
   if (!cfg_.use_skeleton) return std::nullopt;
+  auto& m = mit->second;
+  if (!m.degraded) return try_apply_skeleton(task, obs);
+
+  // Degraded mode: accumulate fresh evidence until every live endpoint has
+  // enough batches, then re-infer through the same fidelity gate.
+  for (const auto& o : obs) {
+    ++m.fresh_counts[o.endpoint];
+    m.fresh_obs[o.endpoint] = o;
+  }
+  bool ready = !m.endpoints.empty();
+  for (const Endpoint& ep : m.endpoints) {
+    const auto it = m.fresh_counts.find(ep);
+    if (it == m.fresh_counts.end() ||
+        it->second < cfg_.reinference_min_samples) {
+      ready = false;
+      break;
+    }
+  }
+  if (!ready) return std::nullopt;
+  std::vector<EndpointObservation> fresh;
+  fresh.reserve(m.endpoints.size());
+  for (const Endpoint& ep : m.endpoints) fresh.push_back(m.fresh_obs.at(ep));
+  auto inferred = try_apply_skeleton(task, fresh);
+  m.fresh_counts.clear();
+  m.fresh_obs.clear();
+  if (!inferred) {
+    // Failed re-inference: stay degraded, restart the accumulation epoch.
+    return std::nullopt;
+  }
+  m.degraded = false;
+  m_degraded_tasks_.add(-1.0);
+  if (obs_ != nullptr) {
+    obs_->tracer.instant("hunter", "reinference", events_.now(),
+                         task.value(), inferred->pairs.size());
+  }
+  return inferred;
+}
+
+std::optional<InferredSkeleton> SkeletonHunter::try_apply_skeleton(
+    TaskId task, const std::vector<EndpointObservation>& obs) {
+  const auto mit = monitors_.find(task);
   auto inferred = infer_skeleton(obs, cfg_.inference);
   if (!inferred) {
     SKH_LOG_WARN("skeleton-hunter", "inference infeasible for task ",

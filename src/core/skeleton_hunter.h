@@ -56,6 +56,12 @@ struct SkeletonHunterConfig {
   /// §8: blacklist localized culprit components and install a placement
   /// filter so no new task is scheduled onto them until repaired.
   bool auto_blacklist = true;
+  /// Churn reconciliation: after a mid-run restart/migration/crash the task
+  /// degrades to the basic list, and inference re-runs only once every
+  /// current (live) endpoint has at least this many *fresh* post-churn
+  /// observation batches — stale pre-churn series would just re-infer the
+  /// skeleton the churn invalidated.
+  std::size_t reinference_min_samples = 2;
 };
 
 /// One aggregated failure: the unit scored against injected ground truth.
@@ -97,8 +103,17 @@ class SkeletonHunter {
   /// feasible inference the task's agents switch to the skeleton list.
   /// Returns the inference result (nullopt = infeasible or rejected by the
   /// fidelity validator; the basic list is kept either way).
+  ///
+  /// While a task is degraded by churn, batches accumulate instead: nullopt
+  /// is returned until every live endpoint has reinference_min_samples
+  /// fresh batches, then inference re-runs through the same fidelity gate.
+  /// A failed re-inference resets the accumulation epoch.
   std::optional<InferredSkeleton> supply_observations(
       TaskId task, const std::vector<EndpointObservation>& obs);
+
+  /// Whether churn has put the task in degraded mode (probing the basic
+  /// list while fresh observations accumulate toward re-inference).
+  [[nodiscard]] bool task_degraded(TaskId task) const;
 
   /// User opt-out (§7.3): stop probing this task entirely — for tenants
   /// who know their workload breaks the collective-communication
@@ -140,11 +155,26 @@ class SkeletonHunter {
     std::vector<Endpoint> endpoints;
     std::vector<EndpointPair> current_list;  ///< directed probing matrix
     bool skeleton_applied = false;
+    // --- churn reconciliation state ---------------------------------------
+    bool degraded = false;  ///< churned; basic list reinstalled
+    /// Fresh post-churn observation batches per endpoint (epoch resets on
+    /// further churn and on failed re-inference).
+    std::map<Endpoint, std::size_t> fresh_counts;
+    std::map<Endpoint, EndpointObservation> fresh_obs;  ///< latest batch
   };
 
   void on_created(const cluster::ContainerInfo& ci);
   void on_running(const cluster::ContainerInfo& ci);
   void on_stopped(const cluster::ContainerInfo& ci);
+  void on_churn(const cluster::ContainerInfo& ci,
+                cluster::Orchestrator::ChurnReason reason);
+  /// Tear the task back to the rail-pruned basic list: refresh endpoints
+  /// (migrations rebind RNICs, crashes remove containers), invalidate the
+  /// skeleton, clear the fresh-observation epoch, redistribute.
+  void degrade_to_basic(TaskId task);
+  /// Shared inference path: infer + fidelity gate + install skeleton list.
+  std::optional<InferredSkeleton> try_apply_skeleton(
+      TaskId task, const std::vector<EndpointObservation>& obs);
   void spawn_agent(const cluster::ContainerInfo& ci);
   void distribute_list(TaskId task);
   void tick();
@@ -177,7 +207,10 @@ class SkeletonHunter {
   obs::Counter m_cases_closed_;
   obs::Counter m_cases_suppressed_;
   obs::Counter m_ticks_;
+  obs::Counter m_churn_events_;
+  obs::Counter m_replans_;
   obs::Gauge m_active_agents_;
+  obs::Gauge m_degraded_tasks_;
 };
 
 }  // namespace skh::core

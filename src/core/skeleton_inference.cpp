@@ -59,11 +59,26 @@ int group_lag(const std::vector<std::size_t>& members,
   for (std::size_t m : members) {
     lags.push_back(dsp::best_lag(reference, obs[m].throughput));
   }
-  std::sort(lags.begin(), lags.end());
-  return lags[lags.size() / 2];
+  return median_lag(std::move(lags));
 }
 
 }  // namespace
+
+int median_lag(std::vector<int> lags) {
+  std::sort(lags.begin(), lags.end());
+  return lags[(lags.size() - 1) / 2];
+}
+
+std::vector<int> merge_lag_levels(std::vector<int> lags, int tolerance) {
+  std::sort(lags.begin(), lags.end());
+  std::vector<int> anchors;
+  for (int lag : lags) {
+    if (anchors.empty() || lag - anchors.back() > tolerance) {
+      anchors.push_back(lag);
+    }
+  }
+  return anchors;
+}
 
 std::optional<InferredSkeleton> infer_skeleton(
     const std::vector<EndpointObservation>& observations,
@@ -121,15 +136,10 @@ std::optional<InferredSkeleton> infer_skeleton(
   for (std::size_t g = 0; g < out.position_groups.size(); ++g) {
     lags[g] = group_lag(out.position_groups[g], observations, reference);
   }
-  std::vector<int> sorted_lags = lags;
-  std::sort(sorted_lags.begin(), sorted_lags.end());
-  std::vector<int> level_reps;  // representative lag per level
-  for (int lag : sorted_lags) {
-    if (level_reps.empty() ||
-        lag - level_reps.back() > cfg.lag_merge_tolerance) {
-      level_reps.push_back(lag);
-    }
-  }
+  // Anchored level merging: see merge_lag_levels for why the comparison is
+  // against each level's first lag rather than the previous member.
+  const std::vector<int> level_reps =
+      merge_lag_levels(lags, cfg.lag_merge_tolerance);
   out.pp = static_cast<std::uint32_t>(level_reps.size());
   out.stage_of_group.resize(out.position_groups.size());
   for (std::size_t g = 0; g < out.position_groups.size(); ++g) {

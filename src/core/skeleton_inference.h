@@ -54,6 +54,20 @@ struct InferredSkeleton {
   std::vector<EndpointPair> pairs;
 };
 
+/// Median of a lag sample. Even sizes take the LOWER of the two middle
+/// elements: a deterministic choice that does not bias stage assignment
+/// toward later stages at the tolerance boundary (the upper element would).
+[[nodiscard]] int median_lag(std::vector<int> lags);
+
+/// Collapse burst lags into pipeline-stage levels. Each level is anchored at
+/// its first (smallest) lag: a lag joins the current level iff it is within
+/// `tolerance` of that *anchor*, not of the previous member, so a chain of
+/// small steps (e.g. {0, 2, 4, 6} with tolerance 2) yields two levels
+/// ({0, 2} and {4, 6}) instead of collapsing transitively into one and
+/// undercounting PP depth. Returns the anchor lag of each level, ascending.
+[[nodiscard]] std::vector<int> merge_lag_levels(std::vector<int> lags,
+                                                int tolerance);
+
 /// Run the full inference. Returns nullopt when clustering finds no feasible
 /// grouping (irregular workload, §7.3 limitation) — callers then fall back
 /// to the basic ping list.

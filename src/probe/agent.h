@@ -44,6 +44,8 @@ class Agent {
   void set_ping_list(std::vector<EndpointPair> pairs);
 
   /// Registration: activate all targets destined to `peer`'s endpoints.
+  /// Also clears any retry backoff toward the peer — a reregistered target
+  /// gets a fresh start, unlike a still-unreachable one.
   void activate_destination(ContainerId peer);
   /// Deregistration (peer stopping/crashed): deactivate its targets.
   void deactivate_destination(ContainerId peer);
@@ -53,7 +55,9 @@ class Agent {
   void replace_ping_list(std::vector<EndpointPair> pairs);
 
   /// Probe every active target once; results go to `sink` and are also
-  /// returned for immediate analysis (saves the analyzer a rescan).
+  /// returned for immediate analysis (saves the analyzer a rescan). When the
+  /// engine's retry backoff is enabled, targets past the consecutive-failure
+  /// threshold are skipped until their next scheduled attempt.
   std::vector<ProbeResult> run_round(ProbeEngine& engine, SimTime now,
                                      Collector& sink);
 
@@ -62,6 +66,8 @@ class Agent {
     return targets_.size();
   }
   [[nodiscard]] std::size_t active_targets() const;
+  /// Active targets currently held in retry backoff (waiting, not probing).
+  [[nodiscard]] std::size_t backed_off_targets(SimTime now) const;
   [[nodiscard]] std::size_t probes_sent() const noexcept {
     return probes_sent_;
   }
@@ -70,6 +76,8 @@ class Agent {
   struct Target {
     EndpointPair pair;
     bool active = false;
+    std::size_t consecutive_failures = 0;
+    SimTime next_attempt;  ///< probing allowed once now >= next_attempt
   };
 
   ContainerId owner_;

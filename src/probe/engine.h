@@ -28,6 +28,20 @@ struct EngineConfig {
   double slow_path_extra_us = 104.0;  ///< RTT penalty, offload invalidated
                                       ///< (Fig. 18: 16us -> 120us)
   std::size_t max_overlay_steps = 32;  ///< loop guard for the chain walk
+
+  // --- per-target retry/backoff (churn reconciliation) ---------------------
+  // A target that keeps failing is either genuinely unreachable (a fault the
+  // detector must keep sampling to confirm) or deregistered-then-reregistered
+  // churn the control plane will resolve. With backoff enabled, an agent
+  // stops hammering a target after `retry_failure_threshold` consecutive
+  // failures and retries on an exponential schedule instead; a
+  // re-registration (activate_destination) clears the backoff immediately,
+  // which is what distinguishes the two. 0 disables backoff (default): the
+  // anomaly detector's loss-streak and unconnectivity rules assume
+  // continuous per-round sampling.
+  std::size_t retry_failure_threshold = 0;
+  SimTime retry_backoff_base = SimTime::seconds(5);  ///< first backoff delay
+  SimTime retry_backoff_max = SimTime::minutes(2);   ///< backoff ceiling
 };
 
 class ProbeEngine {

@@ -111,6 +111,26 @@ RunResult run_campaign(const CampaignConfig& cfg, std::uint64_t seed) {
     cursor += cfg.fault_gap;
   }
 
+  // Churn plan: its own named fork for the same reason as the fault plan —
+  // the schedule must not depend on draws made by other subsystems.
+  if (cfg.churn_restarts > 0 || cfg.churn_migrations > 0) {
+    RngStream crng = exp.rng().fork("churn-plan");
+    const SimTime churn_base = exp.events().now() + cfg.churn_start;
+    for (const TaskId task : tasks) {
+      const auto n_containers = static_cast<std::uint32_t>(
+          exp.orchestrator().task(task).containers.size());
+      auto plan = sim::make_restart_storm(n_containers, cfg.churn_restarts,
+                                          churn_base, cfg.churn_spacing,
+                                          crng);
+      const auto wave = sim::make_migration_wave(
+          n_containers, cfg.churn_migrations,
+          churn_base + cfg.churn_spacing * 0.5, cfg.churn_spacing, crng);
+      plan.insert(plan.end(), wave.begin(), wave.end());
+      exp.schedule_churn(task, plan);
+      result.churn_events += plan.size();
+    }
+  }
+
   exp.hunter().start(cursor + cfg.drain);
   exp.events().run_all();
   exp.hunter().finalize();

@@ -64,6 +64,15 @@ struct CampaignConfig {
   SimTime fault_duration = SimTime::minutes(6);
   SimTime drain = SimTime::minutes(20);       ///< probing past the last fault
 
+  /// Mid-run churn: per-task restart / migration events scheduled from the
+  /// campaign's own "churn-plan" RNG fork, so the plan — like the fault
+  /// schedule — is a pure function of the seed and bit-identical at any
+  /// runner thread count. 0/0 disables churn.
+  std::size_t churn_restarts = 0;
+  std::size_t churn_migrations = 0;
+  SimTime churn_start = SimTime::minutes(8);    ///< after campaign start
+  SimTime churn_spacing = SimTime::minutes(4);
+
   core::ScoreConfig score{};
 
   /// Per-campaign observability (one registry + tracer per seed, recorded
@@ -83,6 +92,8 @@ struct RunResult {
   std::size_t tasks_launched = 0;
   std::size_t failure_cases = 0;
   std::size_t probes_sent = 0;
+  /// Churn events scheduled across all monitored tasks this run.
+  std::size_t churn_events = 0;
   /// Detector ingest counters; pool across runs with core::merge_counters.
   core::DetectorCounters detector{};
   /// End-of-campaign registry scrape (empty when `cfg.obs.metrics` is off).

@@ -1,5 +1,6 @@
 #include "sim/fault.h"
 
+#include <algorithm>
 #include <array>
 #include <sstream>
 #include <stdexcept>
@@ -251,7 +252,67 @@ void FaultInjector::repair(std::uint32_t fault_id, SimTime at) {
     throw std::out_of_range("FaultInjector::repair: bad id");
   }
   auto& f = faults_[fault_id];
-  if (at < f.end) f.end = at;
+  f.end = std::clamp(at, f.start, f.end);
+}
+
+std::string_view to_string(ChurnKind k) noexcept {
+  switch (k) {
+    case ChurnKind::kRestart: return "restart";
+    case ChurnKind::kMigrate: return "migrate";
+    case ChurnKind::kCrash: return "crash";
+    case ChurnKind::kAgentDeath: return "agent-death";
+  }
+  return "unknown";
+}
+
+std::vector<ChurnEvent> make_restart_storm(std::uint32_t n_containers,
+                                           std::size_t restarts, SimTime start,
+                                           SimTime spacing, RngStream& rng) {
+  std::vector<ChurnEvent> plan;
+  plan.reserve(restarts);
+  SimTime cursor = start;
+  for (std::size_t i = 0; i < restarts; ++i) {
+    ChurnEvent e;
+    e.kind = ChurnKind::kRestart;
+    e.container_index = n_containers == 0
+                            ? 0
+                            : static_cast<std::uint32_t>(rng.uniform_int(
+                                  0, static_cast<std::int64_t>(n_containers) -
+                                         1));
+    e.at = cursor;
+    plan.push_back(e);
+    cursor += spacing;
+  }
+  return plan;
+}
+
+std::vector<ChurnEvent> make_reregistration_race(std::uint32_t n_containers,
+                                                 std::size_t restarts,
+                                                 SimTime at) {
+  // Distinct victims, all at the same instant: round-robin over the task so
+  // deregistration and re-registration callbacks interleave across peers.
+  std::vector<ChurnEvent> plan;
+  plan.reserve(restarts);
+  for (std::size_t i = 0; i < restarts; ++i) {
+    ChurnEvent e;
+    e.kind = ChurnKind::kRestart;
+    e.container_index =
+        n_containers == 0
+            ? 0
+            : static_cast<std::uint32_t>(i % n_containers);
+    e.at = at;
+    plan.push_back(e);
+  }
+  return plan;
+}
+
+std::vector<ChurnEvent> make_migration_wave(std::uint32_t n_containers,
+                                            std::size_t migrations,
+                                            SimTime start, SimTime spacing,
+                                            RngStream& rng) {
+  auto plan = make_restart_storm(n_containers, migrations, start, spacing, rng);
+  for (auto& e : plan) e.kind = ChurnKind::kMigrate;
+  return plan;
 }
 
 const Fault& FaultInjector::fault(std::uint32_t id) const {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/rng.h"
 #include "common/time.h"
 
 namespace skh::sim {
@@ -135,6 +136,52 @@ struct Fault {
   [[nodiscard]] bool degrading_at(SimTime t) const noexcept;
 };
 
+// --- mid-run churn scenarios -----------------------------------------------
+//
+// Container lifecycle churn (SHIFT: RDMA training failures are dominated by
+// mid-run component churn) is NOT a network fault: a restart or migration is
+// the control plane doing its job, and a monitoring system that alarms on it
+// is raising false positives. These plans describe *when* churn hits *which
+// container of a task*; the harness maps them onto orchestrator calls.
+
+/// What happens to the container at a churn instant.
+enum class ChurnKind : std::uint8_t {
+  kRestart,     ///< restarted in place: deregister, then re-register
+  kMigrate,     ///< re-placed on another host: endpoints (RNICs) change
+  kCrash,       ///< data plane dies; control plane learns after a sync lag
+  kAgentDeath,  ///< sidecar probe agent dies (§7.3 phantom, not the tenant)
+};
+
+[[nodiscard]] std::string_view to_string(ChurnKind k) noexcept;
+
+/// One churn instant aimed at one container of the monitored task.
+struct ChurnEvent {
+  ChurnKind kind = ChurnKind::kRestart;
+  std::uint32_t container_index = 0;  ///< index within the task
+  SimTime at;
+  /// Outage length for kAgentDeath (the phantom fault window); unused by
+  /// the lifecycle kinds, whose duration is the startup delay itself.
+  SimTime duration = SimTime::minutes(3);
+};
+
+/// Restart storm: `restarts` restart events spaced `spacing` apart from
+/// `start`, victims drawn from `rng` over `n_containers`. Events come back
+/// in time order; the plan is a pure function of the rng stream state.
+[[nodiscard]] std::vector<ChurnEvent> make_restart_storm(
+    std::uint32_t n_containers, std::size_t restarts, SimTime start,
+    SimTime spacing, RngStream& rng);
+
+/// Re-registration race: `restarts` distinct containers all restarting at
+/// the same instant, so deregistrations and re-registrations interleave
+/// across peers within one probe interval.
+[[nodiscard]] std::vector<ChurnEvent> make_reregistration_race(
+    std::uint32_t n_containers, std::size_t restarts, SimTime at);
+
+/// Migration wave: like a restart storm but each victim is re-placed.
+[[nodiscard]] std::vector<ChurnEvent> make_migration_wave(
+    std::uint32_t n_containers, std::size_t migrations, SimTime start,
+    SimTime spacing, RngStream& rng);
+
 /// Registry of injected faults; the ground truth of every experiment.
 class FaultInjector {
  public:
@@ -151,7 +198,10 @@ class FaultInjector {
   std::uint32_t inject_phantom(ComponentRef target, SimTime start,
                                SimTime end);
 
-  /// Repair: the fault stops degrading from `at` onward.
+  /// Repair: the fault stops degrading from `at` onward. `at` is clamped
+  /// into [start, end] — repairing before the fault began leaves a
+  /// zero-length window (never a negative one), and repairing an already
+  /// repaired fault again is idempotent (cannot re-extend it).
   void repair(std::uint32_t fault_id, SimTime at);
 
   [[nodiscard]] const std::vector<Fault>& faults() const noexcept {

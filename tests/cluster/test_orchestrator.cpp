@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <vector>
 
 namespace skh::cluster {
 namespace {
@@ -220,6 +222,118 @@ TEST_F(OrchestratorTest, PlacementFilterCanBeLifted) {
   EXPECT_FALSE(orch_.submit_task(request(1)).has_value());
   orch_.set_placement_filter(nullptr);
   EXPECT_TRUE(orch_.submit_task(request(1)).has_value());
+}
+
+TEST_F(OrchestratorTest, RestartDeliversStoppedThenChurnThenRunning) {
+  const auto task = orch_.submit_task(request(2));
+  events_.run_until(SimTime::minutes(15));
+  const ContainerId victim = orch_.task(*task).containers[0];
+
+  // Event order contract: stopped -> churn(kRestart), both synchronous
+  // inside restart_container; running only after the startup delay.
+  std::vector<std::string> order;
+  orch_.on_container_stopped(
+      [&](const ContainerInfo&) { order.push_back("stopped"); });
+  orch_.on_container_churn(
+      [&](const ContainerInfo& ci, Orchestrator::ChurnReason r) {
+        EXPECT_EQ(r, Orchestrator::ChurnReason::kRestart);
+        EXPECT_EQ(ci.id, victim);
+        EXPECT_NE(ci.state, ContainerState::kRunning);
+        order.push_back("churn");
+      });
+  orch_.on_container_running(
+      [&](const ContainerInfo&) { order.push_back("running"); });
+
+  orch_.restart_container(victim);
+  EXPECT_EQ(order, (std::vector<std::string>{"stopped", "churn"}));
+  EXPECT_EQ(orch_.container(victim).state, ContainerState::kStarting);
+  // The dying network stack is already detached when churn fires.
+  for (const Endpoint& ep : orch_.container(victim).endpoints()) {
+    EXPECT_FALSE(overlay_.attached(ep));
+  }
+  events_.run_until(events_.now() + SimTime::minutes(12));
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"stopped", "churn", "running"}));
+  EXPECT_EQ(orch_.container(victim).state, ContainerState::kRunning);
+  for (const Endpoint& ep : orch_.container(victim).endpoints()) {
+    EXPECT_TRUE(overlay_.attached(ep));
+  }
+}
+
+TEST_F(OrchestratorTest, RestartIgnoresNonRunningContainers) {
+  const auto task = orch_.submit_task(request(1));
+  const ContainerId victim = orch_.task(*task).containers[0];
+  int stopped = 0;
+  orch_.on_container_stopped([&](const ContainerInfo&) { ++stopped; });
+  orch_.restart_container(victim);  // still Starting: no-op
+  EXPECT_EQ(stopped, 0);
+  events_.run_until(SimTime::minutes(15));
+  orch_.crash_container(victim);
+  orch_.restart_container(victim);  // Dead: no-op
+  EXPECT_EQ(orch_.container(victim).state, ContainerState::kDead);
+}
+
+TEST_F(OrchestratorTest, MigrationRebindsRnicsBeforeChurnCallback) {
+  const auto task = orch_.submit_task(request(2));
+  events_.run_until(SimTime::minutes(15));
+  const ContainerId victim = orch_.task(*task).containers[0];
+  const HostId old_host = orch_.container(victim).host;
+  const auto old_rnics = orch_.container(victim).rnics;
+
+  bool churned = false;
+  orch_.on_container_churn(
+      [&](const ContainerInfo& ci, Orchestrator::ChurnReason r) {
+        EXPECT_EQ(r, Orchestrator::ChurnReason::kMigration);
+        // The contract: subscribers rebuilding probe plans inside this
+        // callback must already see the post-migration placement.
+        EXPECT_NE(ci.host, old_host);
+        EXPECT_NE(ci.rnics, old_rnics);
+        churned = true;
+      });
+  ASSERT_TRUE(orch_.migrate_container(victim));
+  EXPECT_TRUE(churned);
+  events_.run_until(events_.now() + SimTime::minutes(12));
+  EXPECT_EQ(orch_.container(victim).state, ContainerState::kRunning);
+  for (const Endpoint& ep : orch_.container(victim).endpoints()) {
+    EXPECT_TRUE(overlay_.attached(ep));
+  }
+  // Old host's capacity was released.
+  EXPECT_EQ(orch_.free_gpus(old_host), 8u);
+}
+
+TEST_F(OrchestratorTest, MigrationHonorsPlacementFilter) {
+  const auto task = orch_.submit_task(request(1));
+  events_.run_until(SimTime::minutes(15));
+  const ContainerId victim = orch_.task(*task).containers[0];
+  const HostId home = orch_.container(victim).host;
+  // Only the current host is schedulable: migration re-places in situ.
+  orch_.set_placement_filter([home](HostId h) { return h == home; });
+  ASSERT_TRUE(orch_.migrate_container(victim));
+  EXPECT_EQ(orch_.container(victim).host, home);
+  events_.run_until(events_.now() + SimTime::minutes(12));
+  // No schedulable host at all: refused, container untouched.
+  orch_.set_placement_filter([](HostId) { return false; });
+  EXPECT_FALSE(orch_.migrate_container(victim));
+  EXPECT_EQ(orch_.container(victim).state, ContainerState::kRunning);
+}
+
+TEST_F(OrchestratorTest, CrashChurnArrivesAfterNotifyLag) {
+  const auto task = orch_.submit_task(request(2));
+  events_.run_until(SimTime::minutes(15));
+  const ContainerId victim = orch_.task(*task).containers[0];
+  std::vector<std::string> order;
+  orch_.on_container_stopped(
+      [&](const ContainerInfo&) { order.push_back("stopped"); });
+  orch_.on_container_churn(
+      [&](const ContainerInfo&, Orchestrator::ChurnReason r) {
+        EXPECT_EQ(r, Orchestrator::ChurnReason::kCrash);
+        order.push_back("churn");
+      });
+  orch_.crash_container(victim);
+  EXPECT_TRUE(order.empty());  // control plane has not heard yet
+  events_.run_until(events_.now() + Orchestrator::kCrashNotifyLag +
+                    SimTime::seconds(1));
+  EXPECT_EQ(order, (std::vector<std::string>{"stopped", "churn"}));
 }
 
 }  // namespace

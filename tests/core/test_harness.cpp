@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "core/metrics.h"
 
 namespace skh::core {
@@ -173,6 +175,127 @@ TEST(Experiment, AutoBlacklistBlocksReplacement) {
                 .container(exp.orchestrator().task(*t3).containers[0])
                 .host,
             bad_host);
+}
+
+/// Churn-reconciliation fixture: a 4-container task with the runtime
+/// skeleton applied, ready to be hit by restarts/migrations/crashes.
+class ExperimentChurn : public ::testing::Test {
+ protected:
+  ExperimentChurn() : exp_(small_config()) {
+    cluster::TaskRequest req;
+    req.num_containers = 4;
+    req.gpus_per_container = 8;
+    req.lifetime = SimTime::hours(2);
+    task_ = *exp_.launch_task(req);
+    exp_.run_to_running(task_);
+    par_.tp = 8;
+    par_.pp = 2;
+    par_.dp = 2;
+    skeleton_ = exp_.apply_skeleton(task_, exp_.layout_of(task_, par_));
+  }
+
+  ContainerId victim() {
+    return exp_.orchestrator().task(task_).containers[0];
+  }
+
+  Experiment exp_;
+  TaskId task_;
+  workload::ParallelismConfig par_;
+  std::optional<InferredSkeleton> skeleton_;
+};
+
+TEST_F(ExperimentChurn, RestartDegradesAndReinfersAfterFreshThreshold) {
+  ASSERT_TRUE(skeleton_.has_value());
+  const auto skeleton_targets = exp_.hunter().current_targets(task_);
+  EXPECT_FALSE(exp_.hunter().task_degraded(task_));
+
+  exp_.orchestrator().restart_container(victim());
+  // Degradation is synchronous with the churn callback: stale skeleton
+  // targets are gone before any probe could fire at the restarting victim.
+  EXPECT_TRUE(exp_.hunter().task_degraded(task_));
+
+  // Bring the victim back and supply fresh batches: the first only
+  // accumulates (below reinference_min_samples = 2), the second re-infers
+  // through the fidelity gate and restores the skeleton list.
+  exp_.run_to_running(task_);
+  const auto layout = exp_.layout_of(task_, par_);
+  EXPECT_FALSE(exp_.apply_skeleton(task_, layout).has_value());
+  EXPECT_TRUE(exp_.hunter().task_degraded(task_));
+  EXPECT_TRUE(exp_.apply_skeleton(task_, layout).has_value());
+  EXPECT_FALSE(exp_.hunter().task_degraded(task_));
+  EXPECT_EQ(exp_.hunter().current_targets(task_), skeleton_targets);
+}
+
+TEST_F(ExperimentChurn, FailedReinferenceRestartsAccumulationEpoch) {
+  ASSERT_TRUE(skeleton_.has_value());
+  exp_.orchestrator().restart_container(victim());
+  exp_.run_to_running(task_);
+  const auto layout = exp_.layout_of(task_, par_);
+
+  // Two idle batches reach the threshold, but the re-inference they
+  // trigger fails the fidelity gate: the task stays degraded and the
+  // accumulation epoch restarts from zero.
+  workload::BurstConfig idle;
+  idle.idle = true;
+  EXPECT_FALSE(exp_.apply_skeleton(task_, layout, idle).has_value());
+  EXPECT_FALSE(exp_.apply_skeleton(task_, layout, idle).has_value());
+  EXPECT_TRUE(exp_.hunter().task_degraded(task_));
+
+  // One good batch is not enough after the reset...
+  EXPECT_FALSE(exp_.apply_skeleton(task_, layout).has_value());
+  EXPECT_TRUE(exp_.hunter().task_degraded(task_));
+  // ...the second re-infers and clears degraded mode.
+  EXPECT_TRUE(exp_.apply_skeleton(task_, layout).has_value());
+  EXPECT_FALSE(exp_.hunter().task_degraded(task_));
+}
+
+TEST_F(ExperimentChurn, CrashDegradesOnlyAfterNotifyLag) {
+  ASSERT_TRUE(skeleton_.has_value());
+  exp_.orchestrator().crash_container(victim());
+  // The control plane has not learned of the crash yet: the skeleton stays
+  // in force and the dead container keeps being probed — that window is
+  // exactly how container-runtime faults are detected (§5.1).
+  EXPECT_FALSE(exp_.hunter().task_degraded(task_));
+
+  bool degraded_at_lag = false;
+  std::size_t targets_at_lag = 0;
+  exp_.events().schedule_at(
+      exp_.events().now() + cluster::Orchestrator::kCrashNotifyLag +
+          SimTime::seconds(1),
+      [&] {
+        degraded_at_lag = exp_.hunter().task_degraded(task_);
+        targets_at_lag = exp_.hunter().current_targets(task_);
+      });
+  exp_.events().run_all();
+  EXPECT_TRUE(degraded_at_lag);
+  // The dead container dropped out of the degraded plan; the survivors
+  // still probe each other on the basic list.
+  EXPECT_GT(targets_at_lag, 0u);
+}
+
+TEST_F(ExperimentChurn, MigrationReinfersOverReboundEndpoints) {
+  ASSERT_TRUE(skeleton_.has_value());
+  const HostId old_host = exp_.orchestrator().container(victim()).host;
+  ASSERT_TRUE(exp_.orchestrator().migrate_container(victim()));
+  EXPECT_NE(exp_.orchestrator().container(victim()).host, old_host);
+  EXPECT_TRUE(exp_.hunter().task_degraded(task_));
+
+  exp_.run_to_running(task_);
+  const auto layout = exp_.layout_of(task_, par_);
+  EXPECT_FALSE(exp_.apply_skeleton(task_, layout).has_value());
+  const auto inferred = exp_.apply_skeleton(task_, layout);
+  ASSERT_TRUE(inferred.has_value());
+  EXPECT_FALSE(exp_.hunter().task_degraded(task_));
+  // The re-inferred skeleton references only live endpoints — i.e. the
+  // victim's post-migration RNICs, not the ones the churn invalidated.
+  std::set<Endpoint> live;
+  for (const auto& ep : exp_.orchestrator().endpoints_of_task(task_)) {
+    live.insert(ep);
+  }
+  for (const auto& p : inferred->pairs) {
+    EXPECT_TRUE(live.contains(p.src));
+    EXPECT_TRUE(live.contains(p.dst));
+  }
 }
 
 TEST(Experiment, DeterministicWithSameSeed) {

@@ -44,6 +44,31 @@ TEST_F(PingListTest, SkeletonListExpandsBothDirections) {
   EXPECT_EQ(list[1].src, endpoints_[8]);
 }
 
+TEST_F(PingListTest, SkeletonListDedupsBothOrientationInput) {
+  // Regression: an input carrying both orientations of the same unordered
+  // pair (or repeating a pair) used to emit duplicate directed targets,
+  // double-probing and inflating ProbingScale::skeleton.
+  const EndpointPair fwd{endpoints_[0], endpoints_[8]};
+  const EndpointPair rev{endpoints_[8], endpoints_[0]};
+  const auto list = skeleton_ping_list({fwd, rev, fwd});
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0], fwd);
+  EXPECT_EQ(list[1], rev);
+}
+
+TEST_F(PingListTest, ProbingScaleCountsEachDirectedPairOnce) {
+  const EndpointPair a{endpoints_[0], endpoints_[8]};
+  const EndpointPair b{endpoints_[0], endpoints_[16]};
+  // Unique unordered pairs -> 2 directed probes each.
+  const auto clean = probing_scale(endpoints_, rank_of_, env_.topo, {a, b});
+  EXPECT_EQ(clean.skeleton, 4u);
+  // Redundant orientations/duplicates must not change the count.
+  const auto noisy = probing_scale(
+      endpoints_, rank_of_, env_.topo,
+      {a, EndpointPair{a.dst, a.src}, b, a});
+  EXPECT_EQ(noisy.skeleton, 4u);
+}
+
 TEST_F(PingListTest, LinkCoverListCoversAllTaskLinks) {
   const auto selected = link_cover_list(endpoints_, env_.topo, 1);
   std::set<LinkId> covered;

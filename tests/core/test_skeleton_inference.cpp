@@ -146,6 +146,47 @@ TEST(Inference, MoeTaskStillClusters) {
   EXPECT_EQ(result->dp, 4u);
 }
 
+TEST(MergeLagLevels, AnchorsEachLevelAtItsFirstLag) {
+  // Regression guard against transitive chaining: every adjacent step in
+  // {0, 2, 4, 6} is within the tolerance (2), but the chain spans 6 — an
+  // implementation comparing against the *previous* lag would collapse all
+  // four into one level and undercount PP depth. Anchored merging yields
+  // two levels: {0, 2} and {4, 6}.
+  const auto levels = merge_lag_levels({0, 2, 4, 6}, 2);
+  ASSERT_EQ(levels.size(), 2u);
+  EXPECT_EQ(levels[0], 0);
+  EXPECT_EQ(levels[1], 4);
+}
+
+TEST(MergeLagLevels, SortsInputAndHandlesExactTolerance) {
+  // Unsorted input; a lag exactly `tolerance` from the anchor joins it.
+  const auto levels = merge_lag_levels({10, 0, 12, 2}, 2);
+  ASSERT_EQ(levels.size(), 2u);
+  EXPECT_EQ(levels[0], 0);
+  EXPECT_EQ(levels[1], 10);
+  EXPECT_TRUE(merge_lag_levels({}, 2).empty());
+  EXPECT_EQ(merge_lag_levels({5}, 0), (std::vector<int>{5}));
+}
+
+TEST(MergeLagLevels, ZeroToleranceSeparatesEveryDistinctLag) {
+  const auto levels = merge_lag_levels({3, 1, 1, 2}, 0);
+  EXPECT_EQ(levels, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(MedianLag, EvenSizedGroupsTakeLowerMedian) {
+  // Regression: the upper middle element biased stage assignment toward
+  // later stages for even-sized groups at the tolerance boundary.
+  EXPECT_EQ(median_lag({0, 4}), 0);
+  EXPECT_EQ(median_lag({0, 2, 4, 6}), 2);
+  EXPECT_EQ(median_lag({4, 0}), 0);  // sorts internally
+}
+
+TEST(MedianLag, OddSizedGroupsTakeTrueMiddle) {
+  EXPECT_EQ(median_lag({3}), 3);
+  EXPECT_EQ(median_lag({5, 1, 3}), 3);
+  EXPECT_EQ(median_lag({-4, -2, 0, 2, 4}), 0);
+}
+
 TEST(EvaluateSkeleton, CoverageAndExcess) {
   const Endpoint a{ContainerId{0}, RnicId{0}};
   const Endpoint b{ContainerId{1}, RnicId{8}};

@@ -138,6 +138,126 @@ TEST(AgentRound, ProbesOnlyActiveTargets) {
   EXPECT_EQ(agent.probes_sent(), 3u);
 }
 
+/// Two-endpoint world for the retry/backoff tests: agent at a (host 0)
+/// probing b (host 1), with a fault injector the tests can aim at b.
+class AgentRetryTest : public ::testing::Test {
+ protected:
+  AgentRetryTest()
+      : topo_(topo::Topology::build([] {
+          topo::TopologyConfig c;
+          c.num_hosts = 4;
+          c.rails_per_host = 8;
+          c.hosts_per_segment = 2;
+          return c;
+        }())),
+        a_{ContainerId{0}, topo_.rnic_of(HostId{0}, 0)},
+        b_{ContainerId{1}, topo_.rnic_of(HostId{1}, 0)},
+        agent_(ContainerId{0}, {a_}) {
+    overlay_.attach_endpoint(a_, HostId{0}, /*vni=*/0);
+    overlay_.attach_endpoint(b_, HostId{1}, /*vni=*/0);
+    agent_.set_ping_list({{a_, b_}});
+    agent_.activate_destination(ContainerId{1});
+  }
+
+  /// Engine with backoff after `threshold` consecutive failures.
+  ProbeEngine engine(std::size_t threshold,
+                     SimTime base = SimTime::seconds(5),
+                     SimTime max = SimTime::minutes(2)) {
+    EngineConfig cfg;
+    cfg.retry_failure_threshold = threshold;
+    cfg.retry_backoff_base = base;
+    cfg.retry_backoff_max = max;
+    return ProbeEngine{topo_, overlay_, faults_, RngStream{7}, cfg};
+  }
+
+  /// Hard-break container 1 for [start, end).
+  void break_b(SimTime start, SimTime end) {
+    sim::FaultEffect eff;
+    eff.unreachable = true;
+    faults_.inject(sim::IssueType::kContainerCrash,
+                   {sim::ComponentKind::kContainer, 1}, start, end, eff);
+  }
+
+  topo::Topology topo_;
+  overlay::OverlayNetwork overlay_;
+  sim::FaultInjector faults_;
+  Endpoint a_;
+  Endpoint b_;
+  Agent agent_;
+  Collector col_;
+};
+
+TEST_F(AgentRetryTest, BacksOffAfterThresholdAndRetriesOnSchedule) {
+  break_b(SimTime{}, SimTime::hours(10));
+  auto eng = engine(/*threshold=*/2);
+  agent_.run_round(eng, SimTime::seconds(0), col_);  // failure 1: no backoff
+  agent_.run_round(eng, SimTime::seconds(1), col_);  // failure 2: backoff 5s
+  EXPECT_EQ(agent_.probes_sent(), 2u);
+  EXPECT_EQ(agent_.backed_off_targets(SimTime::seconds(2)), 1u);
+
+  agent_.run_round(eng, SimTime::seconds(2), col_);  // inside backoff: skipped
+  EXPECT_EQ(agent_.probes_sent(), 2u);
+
+  // next_attempt = 1s + 5s: the 6s round retries (and fails again, doubling
+  // the backoff to 10s from now).
+  agent_.run_round(eng, SimTime::seconds(6), col_);
+  EXPECT_EQ(agent_.probes_sent(), 3u);
+  EXPECT_EQ(agent_.backed_off_targets(SimTime::seconds(15)), 1u);
+  EXPECT_EQ(agent_.backed_off_targets(SimTime::seconds(16)), 0u);
+}
+
+TEST_F(AgentRetryTest, DeliveredProbeResetsFailureState) {
+  break_b(SimTime{}, SimTime::seconds(5));
+  auto eng = engine(/*threshold=*/2);
+  agent_.run_round(eng, SimTime::seconds(0), col_);
+  agent_.run_round(eng, SimTime::seconds(1), col_);  // backed off until 6s
+  agent_.run_round(eng, SimTime::seconds(6), col_);  // fault gone: delivered
+  EXPECT_EQ(agent_.probes_sent(), 3u);
+  EXPECT_TRUE(col_.results_for({a_, b_}).back().delivered);
+  EXPECT_EQ(agent_.backed_off_targets(SimTime::seconds(7)), 0u);
+  agent_.run_round(eng, SimTime::seconds(7), col_);  // continuous again
+  EXPECT_EQ(agent_.probes_sent(), 4u);
+}
+
+TEST_F(AgentRetryTest, ReregistrationClearsBackoffImmediately) {
+  // The churn case: the peer was deregistered-then-reregistered, not
+  // unreachable. Re-registration must resume probing at once rather than
+  // waiting out the backoff window.
+  break_b(SimTime{}, SimTime::hours(10));
+  auto eng = engine(/*threshold=*/2);
+  agent_.run_round(eng, SimTime::seconds(0), col_);
+  agent_.run_round(eng, SimTime::seconds(1), col_);
+  EXPECT_EQ(agent_.backed_off_targets(SimTime::seconds(2)), 1u);
+
+  agent_.activate_destination(ContainerId{1});  // re-registration
+  EXPECT_EQ(agent_.backed_off_targets(SimTime::seconds(2)), 0u);
+  agent_.run_round(eng, SimTime::seconds(2), col_);
+  EXPECT_EQ(agent_.probes_sent(), 3u);
+}
+
+TEST_F(AgentRetryTest, BackoffClampsAtConfiguredMax) {
+  break_b(SimTime{}, SimTime::hours(10));
+  auto eng = engine(/*threshold=*/1, SimTime::seconds(5), SimTime::seconds(12));
+  agent_.run_round(eng, SimTime::seconds(0), col_);    // fail 1: backoff 5s
+  agent_.run_round(eng, SimTime::seconds(5), col_);    // fail 2: backoff 10s
+  agent_.run_round(eng, SimTime::seconds(15), col_);   // fail 3: clamped 12s
+  EXPECT_EQ(agent_.probes_sent(), 3u);
+  EXPECT_EQ(agent_.backed_off_targets(SimTime::seconds(26)), 1u);
+  EXPECT_EQ(agent_.backed_off_targets(SimTime::seconds(27)), 0u);
+}
+
+TEST_F(AgentRetryTest, ThresholdZeroKeepsContinuousSampling) {
+  // Default config: the anomaly detector's loss-streak and unconnectivity
+  // rules need every round sampled, so failures never trigger a backoff.
+  break_b(SimTime{}, SimTime::hours(10));
+  auto eng = engine(/*threshold=*/0);
+  for (int s = 0; s < 5; ++s) {
+    agent_.run_round(eng, SimTime::seconds(s), col_);
+  }
+  EXPECT_EQ(agent_.probes_sent(), 5u);
+  EXPECT_EQ(agent_.backed_off_targets(SimTime::seconds(5)), 0u);
+}
+
 TEST(PingLists, FullMeshExcludesOwnContainer) {
   std::vector<Endpoint> eps;
   for (std::uint32_t c = 0; c < 3; ++c) {

@@ -134,6 +134,52 @@ TEST(CampaignRunner, MasterSeedOverloadMatchesExplicitSeeds) {
   }
 }
 
+TEST(CampaignRunner, ChurnPlanIsDeliveredAndDeterministic) {
+  auto cfg = tiny_config();
+  cfg.churn_restarts = 3;
+  cfg.churn_start = SimTime::minutes(6);
+  cfg.churn_spacing = SimTime::minutes(3);
+  const RunResult a = run_campaign(cfg, 321);
+  const RunResult b = run_campaign(cfg, 321);
+  EXPECT_EQ(a.churn_events, 3u);  // one task, restarts only
+  EXPECT_EQ(a.churn_events, b.churn_events);
+  EXPECT_EQ(a.score, b.score);
+  EXPECT_EQ(a.probes_sent, b.probes_sent);
+  EXPECT_EQ(a.failure_cases, b.failure_cases);
+}
+
+TEST(CampaignRunner, ChurnCampaignBitIdenticalAcross1_4_16Threads) {
+  // The determinism contract must survive mid-run churn: restart storms and
+  // migration waves are planned from a forked rng stream inside each
+  // campaign, so runner-thread interleaving cannot perturb them.
+  auto cfg = tiny_config();
+  cfg.churn_restarts = 2;
+  cfg.churn_migrations = 2;
+  cfg.churn_start = SimTime::minutes(6);
+  cfg.churn_spacing = SimTime::minutes(3);
+  const auto seeds = split_seeds(777, 4);
+  const CampaignSet one = run_many(cfg, seeds, 1);
+  const CampaignSet four = run_many(cfg, seeds, 4);
+  const CampaignSet sixteen = run_many(cfg, seeds, 16);
+  ASSERT_EQ(one.runs.size(), seeds.size());
+  ASSERT_EQ(four.runs.size(), seeds.size());
+  ASSERT_EQ(sixteen.runs.size(), seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_GT(one.runs[i].churn_events, 0u);
+    for (const CampaignSet* set : {&four, &sixteen}) {
+      EXPECT_EQ(one.runs[i].score, set->runs[i].score) << "seed " << seeds[i];
+      EXPECT_EQ(one.runs[i].churn_events, set->runs[i].churn_events)
+          << "seed " << seeds[i];
+      EXPECT_EQ(one.runs[i].probes_sent, set->runs[i].probes_sent)
+          << "seed " << seeds[i];
+      EXPECT_EQ(one.runs[i].failure_cases, set->runs[i].failure_cases)
+          << "seed " << seeds[i];
+      EXPECT_EQ(schedule_of(one.runs[i]), schedule_of(set->runs[i]))
+          << "seed " << seeds[i];
+    }
+  }
+}
+
 TEST(CampaignRunner, CampaignDetectsInjectedFaults) {
   // Sanity that the canned campaign is a real workload, not a no-op: the
   // hunter raises cases and detects at least one injected fault.

@@ -119,6 +119,35 @@ TEST(Injector, RepairCannotExtend) {
   EXPECT_TRUE(inj.active_on(rnic, SimTime::seconds(11)).empty());
 }
 
+TEST(Injector, RepairBeforeStartClampsToZeroLengthWindow) {
+  // Regression: repairing before the fault began used to leave end < start
+  // (a negative-duration interval) that active_at could misinterpret.
+  FaultInjector inj;
+  const ComponentRef rnic{ComponentKind::kRnic, 3};
+  const auto id = inj.inject(IssueType::kRnicPortDown, rnic,
+                             SimTime::seconds(100), SimTime::seconds(200));
+  inj.repair(id, SimTime::seconds(10));
+  EXPECT_EQ(inj.fault(id).end, inj.fault(id).start);
+  EXPECT_GE(inj.fault(id).end, inj.fault(id).start);
+  EXPECT_TRUE(inj.active_on(rnic, SimTime::seconds(150)).empty());
+  EXPECT_TRUE(inj.active_at(SimTime::seconds(150)).empty());
+}
+
+TEST(Injector, RepeatedRepairIsIdempotent) {
+  FaultInjector inj;
+  const ComponentRef rnic{ComponentKind::kRnic, 3};
+  const auto id = inj.inject(IssueType::kRnicPortDown, rnic,
+                             SimTime::seconds(0), SimTime::hours(10));
+  inj.repair(id, SimTime::seconds(60));
+  const SimTime after_first = inj.fault(id).end;
+  // A later repair of an already repaired fault cannot re-extend it...
+  inj.repair(id, SimTime::seconds(500));
+  EXPECT_EQ(inj.fault(id).end, after_first);
+  // ...and repeating the same repair changes nothing.
+  inj.repair(id, SimTime::seconds(60));
+  EXPECT_EQ(inj.fault(id).end, after_first);
+}
+
 TEST(Injector, BadIdsThrow) {
   FaultInjector inj;
   EXPECT_THROW((void)inj.fault(0), std::out_of_range);
@@ -134,6 +163,51 @@ TEST(Injector, ActiveAtReturnsAllLive) {
   EXPECT_EQ(inj.active_at(SimTime::seconds(7)).size(), 2u);
   EXPECT_EQ(inj.active_at(SimTime::seconds(12)).size(), 1u);
   EXPECT_TRUE(inj.active_at(SimTime::seconds(20)).empty());
+}
+
+TEST(Churn, RestartStormIsTimeOrderedAndSeedDeterministic) {
+  RngStream a(99);
+  RngStream b(99);
+  const auto plan1 = make_restart_storm(8, 10, SimTime::minutes(5),
+                                        SimTime::seconds(30), a);
+  const auto plan2 = make_restart_storm(8, 10, SimTime::minutes(5),
+                                        SimTime::seconds(30), b);
+  ASSERT_EQ(plan1.size(), 10u);
+  for (std::size_t i = 0; i < plan1.size(); ++i) {
+    EXPECT_EQ(plan1[i].kind, ChurnKind::kRestart);
+    EXPECT_LT(plan1[i].container_index, 8u);
+    EXPECT_EQ(plan1[i].container_index, plan2[i].container_index);
+    EXPECT_EQ(plan1[i].at, plan2[i].at);
+    if (i > 0) EXPECT_GT(plan1[i].at, plan1[i - 1].at);
+  }
+}
+
+TEST(Churn, ReregistrationRaceHitsDistinctVictimsAtOneInstant) {
+  const auto plan =
+      make_reregistration_race(4, 4, SimTime::minutes(7));
+  ASSERT_EQ(plan.size(), 4u);
+  std::vector<bool> hit(4, false);
+  for (const auto& e : plan) {
+    EXPECT_EQ(e.kind, ChurnKind::kRestart);
+    EXPECT_EQ(e.at, SimTime::minutes(7));
+    hit[e.container_index] = true;
+  }
+  for (bool h : hit) EXPECT_TRUE(h);
+}
+
+TEST(Churn, MigrationWaveRewritesKind) {
+  RngStream rng(7);
+  const auto plan = make_migration_wave(6, 5, SimTime::minutes(1),
+                                        SimTime::minutes(1), rng);
+  ASSERT_EQ(plan.size(), 5u);
+  for (const auto& e : plan) EXPECT_EQ(e.kind, ChurnKind::kMigrate);
+}
+
+TEST(Churn, KindStrings) {
+  EXPECT_EQ(to_string(ChurnKind::kRestart), "restart");
+  EXPECT_EQ(to_string(ChurnKind::kMigrate), "migrate");
+  EXPECT_EQ(to_string(ChurnKind::kCrash), "crash");
+  EXPECT_EQ(to_string(ChurnKind::kAgentDeath), "agent-death");
 }
 
 TEST(ComponentRef, EqualityAndStrings) {
