@@ -113,11 +113,186 @@ int run_restart_storm_drill() {
   return pass ? 0 : 1;
 }
 
+/// Telemetry drill phase A: a lying measurement plane over a HEALTHY
+/// network must raise ZERO failure cases. Loss bursts, duplicate storms,
+/// reordering, clock skew, and RTT bit-flips are all telemetry artifacts —
+/// paging an operator for any of them is a false alarm.
+int run_gray_telemetry_drill() {
+  std::puts(
+      "Gray-telemetry drill: lying measurement plane, healthy network\n");
+  ExperimentConfig cfg;
+  cfg.topology.num_hosts = 8;
+  cfg.topology.rails_per_host = 8;
+  cfg.topology.hosts_per_segment = 8;
+  cfg.hunter.inference.candidate_dp = {2, 4};
+  cfg.hunter.detector.window_quorum = 5;
+  cfg.seed = 6200;
+  cfg.obs.metrics = true;
+  // The storm: overlapping gray episodes covering every non-blackout
+  // telemetry fault kind, including a near-total loss burst that starves
+  // windows below quorum.
+  using sim::TelemetryFaultKind;
+  auto episode = [](TelemetryFaultKind kind, int start_min, int dur_min,
+                    double magnitude) {
+    return sim::TelemetryFault{kind, SimTime::minutes(start_min),
+                               SimTime::minutes(start_min + dur_min),
+                               magnitude};
+  };
+  cfg.hunter.telemetry.faults = {
+      episode(TelemetryFaultKind::kResponseLoss, 3, 4, 0.5),
+      episode(TelemetryFaultKind::kDuplication, 5, 4, 0.4),
+      episode(TelemetryFaultKind::kReordering, 8, 4, 0.3),
+      episode(TelemetryFaultKind::kClockSkew, 11, 4, 2.0),
+      episode(TelemetryFaultKind::kRttCorruption, 13, 4, 0.05),
+      episode(TelemetryFaultKind::kResponseLoss, 17, 2, 0.95),
+  };
+  Experiment exp(cfg);
+
+  cluster::TaskRequest req;
+  req.num_containers = 4;
+  req.gpus_per_container = 8;
+  req.lifetime = SimTime::hours(6);
+  const auto task = exp.launch_task(req);
+  if (!task) {
+    std::puts("  FAILED: cluster rejected the task");
+    return 1;
+  }
+  exp.run_to_running(*task);
+  workload::ParallelismConfig par;
+  par.tp = 8;
+  par.pp = 2;
+  par.dp = 2;
+  (void)exp.apply_skeleton(*task, exp.layout_of(*task, par));
+
+  exp.hunter().start(exp.events().now() + SimTime::minutes(25));
+  exp.events().run_all();
+  exp.hunter().finalize();
+
+  const auto& ch = exp.hunter().telemetry_channel().counters();
+  const auto det = exp.hunter().detector_counters();
+  const std::size_t cases = exp.hunter().failure_cases().size();
+  std::printf("  plane lied         : %llu dropped, %llu duplicated, "
+              "%llu delayed, %llu skewed, %llu corrupted\n",
+              static_cast<unsigned long long>(ch.results_dropped),
+              static_cast<unsigned long long>(ch.results_duplicated),
+              static_cast<unsigned long long>(ch.results_delayed),
+              static_cast<unsigned long long>(ch.timestamps_skewed),
+              static_cast<unsigned long long>(ch.rtt_corrupted));
+  std::printf("  detector defenses  : %llu dups rejected, %llu stale "
+              "rejected, %llu windows below quorum\n",
+              static_cast<unsigned long long>(det.duplicates_rejected),
+              static_cast<unsigned long long>(det.stale_rejected),
+              static_cast<unsigned long long>(det.windows_insufficient));
+  std::printf("  failure cases      : %zu (want 0)\n", cases);
+  const bool pass = cases == 0 && ch.results_dropped > 0 &&
+                    ch.results_duplicated > 0 && ch.results_delayed > 0 &&
+                    ch.timestamps_skewed > 0 && ch.rtt_corrupted > 0 &&
+                    det.duplicates_rejected > 0 && det.stale_rejected > 0 &&
+                    det.windows_insufficient > 0;
+  std::printf("\ngray-telemetry gate: %s\n\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
+
+/// Telemetry drill phase B: an analyzer blackout spanning an in-flight
+/// failure case must not change the outcome — the warm restart from the
+/// blackout-entry checkpoint resumes the case, and its verdict (method and
+/// culprit set) matches the uninterrupted run on the same seed, with no
+/// extra cases.
+struct BlackoutVerdict {
+  std::size_t cases = 0;
+  bool detected = false;
+  LocalizationMethod method = LocalizationMethod::kUnlocalized;
+  std::vector<sim::ComponentRef> culprits;
+  std::uint64_t restores = 0;
+};
+
+BlackoutVerdict run_blackout_scenario(bool with_blackout) {
+  ExperimentConfig cfg;
+  cfg.topology.num_hosts = 8;
+  cfg.topology.rails_per_host = 8;
+  cfg.topology.hosts_per_segment = 8;
+  cfg.hunter.inference.candidate_dp = {2, 4};
+  cfg.seed = 6300;
+  if (with_blackout) {
+    cfg.hunter.telemetry.faults = {
+        {sim::TelemetryFaultKind::kAnalyzerBlackout, SimTime::minutes(6),
+         SimTime::minutes(8) + SimTime::seconds(30), 0.0}};
+  }
+  Experiment exp(cfg);
+
+  cluster::TaskRequest req;
+  req.num_containers = 4;
+  req.gpus_per_container = 8;
+  req.lifetime = SimTime::hours(6);
+  const auto task = exp.launch_task(req);
+  if (!task) return {};
+  exp.run_to_running(*task);
+  workload::ParallelismConfig par;
+  par.tp = 8;
+  par.pp = 2;
+  par.dp = 2;
+  (void)exp.apply_skeleton(*task, exp.layout_of(*task, par));
+
+  // A real fault whose lifetime straddles the blackout window.
+  const auto victim = exp.orchestrator().endpoints_of_task(*task)[9];
+  exp.faults().inject(sim::IssueType::kRnicPortDown,
+                      {sim::ComponentKind::kRnic, victim.rnic.value()},
+                      SimTime::minutes(3), SimTime::minutes(11));
+
+  exp.hunter().start(exp.events().now() + SimTime::minutes(20));
+  exp.events().run_all();
+  exp.hunter().finalize();
+
+  BlackoutVerdict v;
+  v.cases = exp.hunter().failure_cases().size();
+  const auto score =
+      score_campaign(exp.hunter().failure_cases(), exp.faults(),
+                     exp.topology());
+  v.detected = score.detected_true > 0;
+  if (!exp.hunter().failure_cases().empty()) {
+    const auto& loc = exp.hunter().failure_cases().front().localization;
+    v.method = loc.method;
+    v.culprits = loc.culprits;
+  }
+  v.restores = exp.hunter().analyzer_restores();
+  return v;
+}
+
+int run_blackout_restore_drill() {
+  std::puts("Blackout drill: analyzer dies mid-incident, restores warm\n");
+  const BlackoutVerdict honest = run_blackout_scenario(false);
+  const BlackoutVerdict blackout = run_blackout_scenario(true);
+  std::printf("  uninterrupted run  : %zu case(s), method %s, %zu culprit(s)\n",
+              honest.cases, std::string(to_string(honest.method)).c_str(),
+              honest.culprits.size());
+  std::printf("  blackout run       : %zu case(s), method %s, %zu "
+              "culprit(s), %llu restore(s)\n",
+              blackout.cases, std::string(to_string(blackout.method)).c_str(),
+              blackout.culprits.size(),
+              static_cast<unsigned long long>(blackout.restores));
+  const bool pass = honest.detected && blackout.detected &&
+                    blackout.cases == honest.cases &&
+                    blackout.method == honest.method &&
+                    blackout.culprits == honest.culprits &&
+                    blackout.restores == 1;
+  std::printf("\nblackout gate: %s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
+
+int run_telemetry_gate() {
+  const int gray_rc = run_gray_telemetry_drill();
+  const int blackout_rc = run_blackout_restore_drill();
+  return (gray_rc == 0 && blackout_rc == 0) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "--churn-gate") == 0) {
     return run_restart_storm_drill();
+  }
+  if (argc > 1 && std::strcmp(argv[1], "--telemetry-gate") == 0) {
+    return run_telemetry_gate();
   }
   std::puts("Fault drill: one injection per Table-1 issue type\n");
   int detected = 0, expected_detected = 0;
@@ -228,5 +403,9 @@ int main(int argc, char** argv) {
   std::printf("\ndrill result: %d/%d probe-visible issues detected\n\n",
               detected, expected_detected);
   const int churn_rc = run_restart_storm_drill();
-  return (detected == expected_detected && churn_rc == 0) ? 0 : 1;
+  const int telemetry_rc = run_telemetry_gate();
+  return (detected == expected_detected && churn_rc == 0 &&
+          telemetry_rc == 0)
+             ? 0
+             : 1;
 }

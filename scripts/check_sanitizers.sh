@@ -5,10 +5,14 @@
 # memory-heaviest suites: common (window accumulators, the lock-protected
 # log sink), ml (the LOF ring's raw row/column arithmetic), core (the
 # detector hot path with its flattened pair storage and reused buffers,
-# plus the churn degrade/re-infer lifecycle), obs (per-thread shard cells
-# and the trace ring), sim (churn plans and fault windows), cluster (the
-# restart/migrate/crash deregistration paths), and probe (per-target
-# retry/backoff state). Any sanitizer report aborts the binary
+# the churn degrade/re-infer lifecycle, the traceroute-refinement
+# partial-result edge cases in test_localize, the gray-telemetry defense
+# paths in test_anomaly, and the detector/hunter snapshot round-trips),
+# obs (per-thread shard cells and the trace ring), sim (churn plans and
+# fault/telemetry episode windows), cluster (the restart/migrate/crash
+# deregistration paths), and probe (per-target retry/backoff state plus
+# the telemetry channel's drop/dup/reorder/skew buffer juggling in
+# test_telemetry). Any sanitizer report aborts the binary
 # (-fno-sanitize-recover=all), so a clean exit means clean runs.
 set -eu
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <span>
 
 namespace skh::core {
 
@@ -28,6 +30,43 @@ SimTime aligned_restart(SimTime boundary, SimTime t, SimTime window) {
   return SimTime::nanos(boundary.raw_nanos() + missed * w);
 }
 
+/// Window summary over pre-sorted samples, with the robust-scale clamp
+/// applied to the moment coordinates (mean/std/max): samples above
+/// p75 + max(iqr_mult * IQR, band_frac * p50) are winsorized to that cap.
+/// Percentiles are order statistics of the window body and stay raw. With
+/// iqr_mult == 0 (or no sample above the cap) this reproduces
+/// WindowAccumulator::summary()'s sorted-order moments exactly; both
+/// detector paths route through it, so their feature vectors agree
+/// bit-for-bit.
+WindowSummary robust_summary(std::span<const double> sorted, double iqr_mult,
+                             double band_frac) {
+  WindowSummary s;
+  s.count = sorted.size();
+  if (sorted.empty()) return s;
+  s.min = sorted.front();
+  s.p25 = percentile_sorted(sorted, 25.0);
+  s.p50 = percentile_sorted(sorted, 50.0);
+  s.p75 = percentile_sorted(sorted, 75.0);
+  double cap = std::numeric_limits<double>::infinity();
+  if (iqr_mult > 0.0) {
+    cap = s.p75 +
+          std::max(iqr_mult * (s.p75 - s.p25), band_frac * s.p50);
+  }
+  double sum = 0.0;
+  for (const double v : sorted) sum += std::min(v, cap);
+  s.mean = sum / static_cast<double>(sorted.size());
+  if (sorted.size() >= 2) {
+    double s2 = 0.0;
+    for (const double v : sorted) {
+      const double d = std::min(v, cap) - s.mean;
+      s2 += d * d;
+    }
+    s.stddev = std::sqrt(s2 / static_cast<double>(sorted.size() - 1));
+  }
+  s.max = std::min(sorted.back(), cap);
+  return s;
+}
+
 }  // namespace
 
 AnomalyDetector::AnomalyDetector(DetectorConfig cfg)
@@ -43,12 +82,18 @@ void AnomalyDetector::bind_metrics(obs::MetricsRegistry& r) {
   id_long_closed_ = r.counter_id("detector.long_windows_closed");
   id_gate_skips_ = r.counter_id("detector.lof_gate_skips");
   id_events_ = r.counter_id("detector.events_emitted");
+  id_insufficient_ = r.counter_id("detector.windows_insufficient");
+  id_dup_rejected_ = r.counter_id("detector.duplicates_rejected");
+  id_stale_rejected_ = r.counter_id("detector.stale_rejected");
   m_probes_ = r.bind_counter(id_probes_);
   m_delivered_ = r.bind_counter(id_delivered_);
   m_short_closed_ = r.bind_counter(id_short_closed_);
   m_long_closed_ = r.bind_counter(id_long_closed_);
   m_gate_skips_ = r.bind_counter(id_gate_skips_);
   m_events_ = r.bind_counter(id_events_);
+  m_insufficient_ = r.bind_counter(id_insufficient_);
+  m_dup_rejected_ = r.bind_counter(id_dup_rejected_);
+  m_stale_rejected_ = r.bind_counter(id_stale_rejected_);
 }
 
 void AnomalyDetector::attach_obs(obs::Context* ctx) {
@@ -63,6 +108,7 @@ AnomalyDetector::PairHandle AnomalyDetector::handle_of(
   if (inserted) {
     hot_.emplace_back();
     cold_.emplace_back();
+    seq_.emplace_back();
     cold_.back().pair = pair;
   }
   return it->second;
@@ -70,16 +116,44 @@ AnomalyDetector::PairHandle AnomalyDetector::handle_of(
 
 std::vector<AnomalyEvent> AnomalyDetector::ingest(const probe::ProbeResult& r) {
   std::vector<AnomalyEvent> events;
-  (void)ingest(handle_of(r.pair), r.sent_at, r.delivered, r.rtt_us, events);
+  (void)ingest(handle_of(r.pair), r.seq, r.sent_at, r.delivered, r.rtt_us,
+               events);
   return events;
 }
 
-std::size_t AnomalyDetector::ingest(PairHandle h, SimTime sent_at,
-                                    bool delivered, double rtt_us,
+std::size_t AnomalyDetector::ingest(PairHandle h, std::uint64_t seq,
+                                    SimTime sent_at, bool delivered,
+                                    double rtt_us,
                                     std::vector<AnomalyEvent>& out) {
   const std::size_t before = out.size();
   PairHot& st = hot_[h];
   m_probes_.inc();
+
+  // Gray-telemetry rejection, before any window state is touched: a lying
+  // delivery must not close windows, drag the grid, or double-count.
+  SeqState& sq = seq_[h];
+  if (seq != 0) {
+    if (seq == sq.last_seq && sent_at == sq.last_sent) {
+      m_dup_rejected_.inc();  // duplicated delivery: counted exactly once
+      return 0;
+    }
+    if (seq < sq.last_seq && sent_at <= sq.last_sent) {
+      m_stale_rejected_.inc();  // reordered straggler from an earlier round
+      return 0;
+    }
+  }
+  if (st.short_open && sent_at < st.short_start) {
+    // Timestamped before the window it would land in: a skewed clock or a
+    // delivery delayed across a close. Window attribution would be wrong
+    // whatever we did, so drop it (a legitimate sequence reset after a
+    // replan always carries a fresh timestamp and is unaffected).
+    m_stale_rejected_.inc();
+    return 0;
+  }
+  if (seq != 0) {
+    sq.last_seq = seq;
+    sq.last_sent = sent_at;
+  }
 
   // Window rollover checks happen before the sample is added, so a sample
   // after the boundary closes the previous window first. Closes are stamped
@@ -147,6 +221,28 @@ void AnomalyDetector::close_short_window(PairHot& hot, PairCold& cold,
     obs_->tracer.instant("detector", "window.short.close", at, hot.short_sent,
                          hot.short_lost);
   }
+  if (cfg_.window_quorum > 0 && hot.short_sent < cfg_.window_quorum) {
+    // Below quorum the window is kInsufficient: no verdict of any kind,
+    // and its samples never reach the long-term accumulators either — a
+    // response-dropping measurement plane starves the detector instead of
+    // feeding it windows whose statistics are noise.
+    m_insufficient_.inc();
+    if (obs_ != nullptr) {
+      obs_->tracer.instant("detector", "window.short.insufficient", at,
+                           hot.short_sent, hot.short_lost);
+    }
+    if (!cfg_.streaming) {
+      // The batch path folded this window's samples into long_rtts at
+      // ingest; un-fold them so both paths starve the Z-test identically.
+      cold.long_rtts.resize(cold.long_rtts.size() - cold.short_rtts.size());
+    }
+    hot.short_open = false;
+    hot.short_win.reset();
+    cold.short_rtts.clear();
+    hot.short_sent = 0;
+    hot.short_lost = 0;
+    return;
+  }
   if (hot.short_sent >= cfg_.min_samples_per_window) {
     const double loss_rate = static_cast<double>(hot.short_lost) /
                              static_cast<double>(hot.short_sent);
@@ -157,7 +253,9 @@ void AnomalyDetector::close_short_window(PairHot& hot, PairCold& cold,
     }
     if (cfg_.streaming) {
       if (hot.short_win.count() >= cfg_.min_samples_per_window) {
-        const WindowSummary summary = hot.short_win.summary();
+        const WindowSummary summary =
+            robust_summary(hot.short_win.sorted(), cfg_.rtt_clamp_iqr_mult,
+                           cfg_.rtt_clamp_band_frac);
         auto& f = cold.feature;
         f.clear();
         f.push_back(summary.p25);
@@ -222,7 +320,11 @@ void AnomalyDetector::close_short_window(PairHot& hot, PairCold& cold,
         }
       }
     } else if (cold.short_rtts.size() >= cfg_.min_samples_per_window) {
-      const auto summary = summarize(cold.short_rtts);
+      std::vector<double> sorted_rtts = cold.short_rtts;
+      std::sort(sorted_rtts.begin(), sorted_rtts.end());
+      const auto summary =
+          robust_summary(sorted_rtts, cfg_.rtt_clamp_iqr_mult,
+                         cfg_.rtt_clamp_band_frac);
       const auto feature = summary.as_feature_vector();
       if (cold.lookback.size() >= cfg_.lof.k_neighbors + 1) {
         const std::vector<std::vector<double>> reference(cold.lookback.begin(),
@@ -331,6 +433,22 @@ std::vector<AnomalyEvent> AnomalyDetector::flush(SimTime now) {
   return events;
 }
 
+AnomalyDetector::Snapshot AnomalyDetector::snapshot() const {
+  Snapshot s;
+  s.index_ = index_;
+  s.hot_ = hot_;
+  s.cold_ = cold_;
+  s.seq_ = seq_;
+  return s;
+}
+
+void AnomalyDetector::restore(const Snapshot& snap) {
+  index_ = snap.index_;
+  hot_ = snap.hot_;
+  cold_ = snap.cold_;
+  seq_ = snap.seq_;
+}
+
 DetectorCounters AnomalyDetector::counters() const {
   DetectorCounters c;
   c.probes_ingested = metrics_->counter_total(id_probes_);
@@ -339,6 +457,9 @@ DetectorCounters AnomalyDetector::counters() const {
   c.long_windows_closed = metrics_->counter_total(id_long_closed_);
   c.lof_gate_skips = metrics_->counter_total(id_gate_skips_);
   c.events_emitted = metrics_->counter_total(id_events_);
+  c.windows_insufficient = metrics_->counter_total(id_insufficient_);
+  c.duplicates_rejected = metrics_->counter_total(id_dup_rejected_);
+  c.stale_rejected = metrics_->counter_total(id_stale_rejected_);
   for (const auto& cold : cold_) {
     if (cold.lof) {
       c.lof_fast_path += cold.lof->fast_path_scores();

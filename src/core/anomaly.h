@@ -83,6 +83,21 @@ struct DetectorConfig {
   /// Select the incremental compute path (see file header). The batch path
   /// is kept as the reference the streaming path is verified against.
   bool streaming = true;
+  /// Gray-telemetry quorum: a short window that observed fewer than this
+  /// many probes is *insufficient* — it gets no loss verdict, no LOF
+  /// push/score, and its samples are not fed to the long-term Z-test
+  /// (counted in detector.windows_insufficient). A measurement plane
+  /// dropping responses must starve the detector, not feed it windows so
+  /// sparse their statistics are noise. 0 disables the gate.
+  std::size_t window_quorum = 0;
+  /// Robust-scale clamp: before the LOF feature vector is built, samples
+  /// above p75 + max(iqr_mult * IQR, band_frac * p50) of their own window
+  /// are winsorized to that cap, so one corrupted RTT (a 50x bit-flip
+  /// outlier) cannot poison the look-back's mean/std/max coordinates.
+  /// Percentile coordinates and the long-term fold are untouched.
+  /// iqr_mult 0 disables.
+  double rtt_clamp_iqr_mult = 8.0;
+  double rtt_clamp_band_frac = 0.5;
 };
 
 /// Ingest-side observability counters, aggregated by `core/metrics` across
@@ -103,6 +118,9 @@ struct DetectorCounters {
   std::uint64_t lof_gate_skips = 0;  ///< streaming closes where the O(1)
                                      ///< shift gate short-circuited scoring
   std::uint64_t events_emitted = 0;
+  std::uint64_t windows_insufficient = 0;  ///< short windows below quorum
+  std::uint64_t duplicates_rejected = 0;   ///< same (seq, sent_at) re-seen
+  std::uint64_t stale_rejected = 0;        ///< reordered / skewed-backwards
 
   DetectorCounters& operator+=(const DetectorCounters& o) noexcept {
     probes_ingested += o.probes_ingested;
@@ -114,6 +132,9 @@ struct DetectorCounters {
     lof_kdist_rebuilds += o.lof_kdist_rebuilds;
     lof_gate_skips += o.lof_gate_skips;
     events_emitted += o.events_emitted;
+    windows_insufficient += o.windows_insufficient;
+    duplicates_rejected += o.duplicates_rejected;
+    stale_rejected += o.stale_rejected;
     return *this;
   }
 };
@@ -138,8 +159,22 @@ class AnomalyDetector {
 
   /// Hot path: feed one probe result under a pre-resolved handle. Events
   /// fired by this observation are appended to `out`; returns how many.
+  /// `seq` is the agent-stamped per-pair sequence number (0 = unsequenced,
+  /// which bypasses duplicate/reordering rejection): a result repeating the
+  /// last (seq, sent_at) is a duplicated delivery and is dropped; a result
+  /// whose seq AND timestamp both run backwards is a reordered straggler
+  /// and is dropped; any result timestamped before the open short window
+  /// (a skewed clock or a delivery delayed across a close) is stale and is
+  /// dropped — late lies must not drag the window grid backwards.
+  std::size_t ingest(PairHandle h, std::uint64_t seq, SimTime sent_at,
+                     bool delivered, double rtt_us,
+                     std::vector<AnomalyEvent>& out);
+
+  /// Unsequenced convenience overload (seq = 0, no rejection rules).
   std::size_t ingest(PairHandle h, SimTime sent_at, bool delivered,
-                     double rtt_us, std::vector<AnomalyEvent>& out);
+                     double rtt_us, std::vector<AnomalyEvent>& out) {
+    return ingest(h, 0, sent_at, delivered, rtt_us, out);
+  }
 
   /// Feed one probe result. Window boundaries are detected from the result
   /// timestamps; events fired by this observation are returned.
@@ -155,6 +190,18 @@ class AnomalyDetector {
 
   /// Ingest counters, including the per-pair streaming-LOF path split.
   [[nodiscard]] DetectorCounters counters() const;
+
+  /// Opaque copy of the full per-pair analysis state (windows, streaks,
+  /// LOF look-back models, long-term baselines, sequence tracking). Every
+  /// piece of pair state is value-semantic, so a plain copy IS the
+  /// serialized form; restoring it and continuing is bit-identical to
+  /// never having stopped. Config and observability bindings are not part
+  /// of the snapshot (they belong to the process, not the analysis).
+  class Snapshot;
+  [[nodiscard]] Snapshot snapshot() const;
+  /// Overwrite the analysis state with `snap`. Counters are NOT rolled
+  /// back: they are monotonic process telemetry, not analysis state.
+  void restore(const Snapshot& snap);
 
  private:
   // Per-pair state is split hot/cold. `PairHot` holds exactly what a
@@ -206,11 +253,21 @@ class AnomalyDetector {
   /// `counters()` can read totals back.
   void bind_metrics(obs::MetricsRegistry& r);
 
+  /// Last accepted (seq, sent_at) per pair, for duplicate/stale rejection.
+  /// Parallel to hot_ rather than inside PairHot: the hot struct is a full
+  /// cache line already, and rejection only reads these 16 bytes before
+  /// deciding whether to touch the window state at all.
+  struct SeqState {
+    std::uint64_t last_seq = 0;
+    SimTime last_sent;
+  };
+
   DetectorConfig cfg_;
   std::unordered_map<EndpointPair, PairHandle> index_;
   // Dense, indexed by handle; hot_[h] and cold_[h] describe one pair.
   std::vector<PairHot> hot_;
   std::vector<PairCold> cold_;
+  std::vector<SeqState> seq_;
 
   // The ingest counters live on a MetricsRegistry — the attached context's
   // when present, otherwise this private one — so `counters()` and a
@@ -220,9 +277,27 @@ class AnomalyDetector {
   std::unique_ptr<obs::MetricsRegistry> own_registry_;
   obs::MetricsRegistry* metrics_ = nullptr;
   std::uint32_t id_probes_ = 0, id_delivered_ = 0, id_short_closed_ = 0,
-                id_long_closed_ = 0, id_gate_skips_ = 0, id_events_ = 0;
+                id_long_closed_ = 0, id_gate_skips_ = 0, id_events_ = 0,
+                id_insufficient_ = 0, id_dup_rejected_ = 0,
+                id_stale_rejected_ = 0;
   obs::Counter m_probes_, m_delivered_, m_short_closed_, m_long_closed_,
-      m_gate_skips_, m_events_;
+      m_gate_skips_, m_events_, m_insufficient_, m_dup_rejected_,
+      m_stale_rejected_;
+
+ public:
+  // Defined after the private pair-state types it copies; nested classes
+  // have access to them regardless of this section's access specifier.
+  class Snapshot {
+   public:
+    Snapshot() = default;
+
+   private:
+    friend class AnomalyDetector;
+    std::unordered_map<EndpointPair, PairHandle> index_;
+    std::vector<PairHot> hot_;
+    std::vector<PairCold> cold_;
+    std::vector<SeqState> seq_;
+  };
 };
 
 }  // namespace skh::core

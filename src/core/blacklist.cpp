@@ -2,20 +2,40 @@
 
 namespace skh::core {
 
-void Blacklist::add(sim::ComponentRef ref, SimTime at) {
-  entries_.emplace(ref, at);
+BanOutcome Blacklist::add(sim::ComponentRef ref, SimTime at) {
+  auto [it, inserted] = entries_.try_emplace(ref);
+  Entry& e = it->second;
+  if (!inserted && e.active) return BanOutcome::kAlreadyBanned;
+  const bool flap = !inserted && at - e.cleared_at < flap_hysteresis_;
+  e.banned_at = at;
+  e.active = true;
+  ++active_;
+  if (flap) {
+    ++flap_rebans_;
+    return BanOutcome::kFlapReban;
+  }
+  return BanOutcome::kNewBan;
 }
 
-void Blacklist::clear(sim::ComponentRef ref) { entries_.erase(ref); }
+void Blacklist::clear(sim::ComponentRef ref, SimTime at) {
+  const auto it = entries_.find(ref);
+  if (it == entries_.end() || !it->second.active) return;
+  it->second.active = false;
+  it->second.cleared_at = at;
+  --active_;
+}
 
 bool Blacklist::contains(sim::ComponentRef ref) const {
-  return entries_.contains(ref);
+  const auto it = entries_.find(ref);
+  return it != entries_.end() && it->second.active;
 }
 
 std::vector<sim::ComponentRef> Blacklist::entries() const {
   std::vector<sim::ComponentRef> out;
-  out.reserve(entries_.size());
-  for (const auto& [ref, at] : entries_) out.push_back(ref);
+  out.reserve(active_);
+  for (const auto& [ref, e] : entries_) {
+    if (e.active) out.push_back(ref);
+  }
   return out;
 }
 

@@ -34,8 +34,15 @@ std::optional<LinkId> dead_link_of(const probe::TracerouteResult& tr) {
 Localizer::Localizer(const topo::Topology& topo,
                      const overlay::OverlayNetwork& overlay,
                      DiagnosticsOracle& oracle,
-                     const sim::FaultInjector& faults)
-    : topo_(topo), overlay_(overlay), oracle_(oracle), faults_(faults) {}
+                     const sim::FaultInjector& faults, LocalizerConfig cfg)
+    : topo_(topo), overlay_(overlay), oracle_(oracle), faults_(faults),
+      cfg_(cfg) {}
+
+void Localizer::attach_telemetry(const sim::TelemetryFaultPlan* plan,
+                                 RngStream rng) {
+  telemetry_ = plan;
+  telemetry_rng_ = rng;
+}
 
 void Localizer::attach_obs(obs::Context* ctx) {
   obs_ = ctx;
@@ -58,38 +65,98 @@ void Localizer::attach_obs(obs::Context* ctx) {
   }
 }
 
-std::vector<sim::ComponentRef> Localizer::refine_with_traceroute(
+TracerouteRefinement Localizer::refine_with_traceroute_ex(
     const std::vector<EndpointPair>& pairs,
     std::vector<sim::ComponentRef> voted, SimTime at) const {
+  TracerouteRefinement out;
   // Only meaningful when several links tie and the failure is a hard break
   // a traceroute can die on.
   std::size_t link_candidates = 0;
   for (const auto& c : voted) {
     if (c.kind == sim::ComponentKind::kPhysicalLink) ++link_candidates;
   }
-  if (link_candidates < 2) return voted;
-
-  std::map<std::uint32_t, std::size_t> dead_votes;  // link index -> count
-  for (const auto& p : pairs) {
-    const auto tr =
-        probe::traceroute(topo_, faults_, p.src.rnic, p.dst.rnic, at);
-    const auto dead = dead_link_of(tr);
-    if (dead) ++dead_votes[dead->value()];
+  if (link_candidates < 2) {
+    out.culprits = std::move(voted);
+    return out;
   }
+  out.ran = true;
+
+  const double hop_loss =
+      telemetry_ == nullptr
+          ? 0.0
+          : telemetry_->magnitude_at(
+                sim::TelemetryFaultKind::kTracerouteHopLoss, at);
+  std::map<std::uint32_t, double> dead_votes;  // link index -> vote weight
+  double observed_hops = 0.0;
+  double observable_hops = 0.0;
+  for (const auto& p : pairs) {
+    const auto tr = probe::traceroute(
+        topo_, faults_, p.src.rnic, p.dst.rnic, at, hop_loss,
+        hop_loss > 0.0 ? &telemetry_rng_ : nullptr);
+    if (tr.hops.empty()) continue;  // intra-host path: no underlay evidence
+    std::size_t responded = 0;
+    std::size_t suffix = 0;  // index after the last responding hop
+    for (std::size_t k = 0; k < tr.hops.size(); ++k) {
+      if (tr.hops[k].responded) {
+        ++responded;
+        suffix = k + 1;
+      }
+    }
+    if (tr.reached_destination) {
+      // Healthy replay: every hop was observable (responses could still be
+      // lost mid-path without stopping the trace).
+      observed_hops += static_cast<double>(responded);
+      observable_hops += static_cast<double>(tr.hops.size());
+      continue;
+    }
+    // Dead path. A silent hop FOLLOWED by a responding one is a lost reply
+    // (transit clearly worked), so the death point is the start of the
+    // maximal silent suffix. Hops before it were observable.
+    observed_hops += static_cast<double>(responded);
+    observable_hops += static_cast<double>(suffix);
+    if (responded == 0) {
+      if (hop_loss > 0.0) continue;  // fully blind: death vs loss undecidable
+      // Honest plane, everything silent: genuine death at the first hop.
+      if (tr.hops.front().link.valid()) {
+        dead_votes[tr.hops.front().link.value()] += 1.0;
+      }
+      continue;
+    }
+    const LinkId death = tr.hops[suffix].link;
+    if (!death.valid()) continue;
+    // Weight by how much of the pre-death prefix actually responded: a
+    // fully observed prefix is a certain vote (weight 1, the honest-plane
+    // value); a gappy one might place the death too early.
+    dead_votes[death.value()] +=
+        static_cast<double>(responded) / static_cast<double>(suffix);
+  }
+  out.coverage =
+      observable_hops > 0.0 ? observed_hops / observable_hops : 1.0;
   if (obs_ != nullptr) {
     obs_->tracer.instant("localize", "traceroute.refine", at, link_candidates,
-                         dead_votes.size());
+                         dead_votes.size(), out.coverage);
   }
-  if (dead_votes.empty()) return voted;  // soft failure; keep the tie
-  std::size_t best = 0;
-  for (const auto& [l, n] : dead_votes) best = std::max(best, n);
+  if (dead_votes.empty()) {
+    out.culprits = std::move(voted);  // soft failure; keep the tie
+    return out;
+  }
+  double best = 0.0;
+  for (const auto& [l, w] : dead_votes) best = std::max(best, w);
   std::vector<sim::ComponentRef> refined;
   for (const auto& c : voted) {
     if (c.kind != sim::ComponentKind::kPhysicalLink) continue;
     const auto it = dead_votes.find(c.index);
     if (it != dead_votes.end() && it->second == best) refined.push_back(c);
   }
-  return refined.empty() ? voted : refined;
+  if (!refined.empty()) out.culprits = std::move(refined);
+  else out.culprits = std::move(voted);
+  return out;
+}
+
+std::vector<sim::ComponentRef> Localizer::refine_with_traceroute(
+    const std::vector<EndpointPair>& pairs,
+    std::vector<sim::ComponentRef> voted, SimTime at) const {
+  return refine_with_traceroute_ex(pairs, std::move(voted), at).culprits;
 }
 
 OverlayVerdict Localizer::overlay_reachability(Endpoint src,
@@ -369,12 +436,23 @@ Localization Localizer::localize_impl(
 
   // Step 2: underlay physical intersection, refined by host-agent
   // traceroutes when several links tie.
-  auto voted = refine_with_traceroute(
+  auto refined = refine_with_traceroute_ex(
       anomalous_pairs, physical_intersection(anomalous_pairs), at);
   if (obs_ != nullptr) {
-    obs_->tracer.instant("localize", "vote.physical", at, voted.size(),
-                         anomalous_pairs.size());
+    obs_->tracer.instant("localize", "vote.physical", at,
+                         refined.culprits.size(), anomalous_pairs.size());
   }
+  if (refined.ran && refined.coverage < cfg_.min_traceroute_coverage) {
+    // The refinement pass was nearly blind: whatever the vote said rests on
+    // too few observed hops to indict hardware. Demote rather than point at
+    // a component the evidence cannot support — but only below the
+    // threshold; partial coverage above it still localizes (with the
+    // reduced confidence recorded on the verdict).
+    loc.method = LocalizationMethod::kUnlocalized;
+    loc.confidence = refined.coverage;
+    return loc;
+  }
+  auto& voted = refined.culprits;
   if (!voted.empty()) {
     // Uplink verdicts are observationally equivalent to the RNIC behind the
     // port; only keep the link when switch logs confirm it.
@@ -393,6 +471,7 @@ Localization Localizer::localize_impl(
     if (!confirmed.empty()) {
       loc.method = LocalizationMethod::kPhysicalIntersection;
       loc.culprits = std::move(confirmed);
+      if (refined.ran) loc.confidence = refined.coverage;
       return loc;
     }
   }

@@ -50,8 +50,31 @@ enum class LocalizationMethod : std::uint8_t {
 struct Localization {
   std::vector<sim::ComponentRef> culprits;
   LocalizationMethod method = LocalizationMethod::kUnlocalized;
+  /// How much of the evidence the verdict rests on was actually observed.
+  /// 1.0 when every consulted signal answered (the honest-plane case);
+  /// traceroute refinement under per-hop response loss lowers it to the
+  /// fraction of observable hops that responded. Surfaced on FailureCase.
+  double confidence = 1.0;
 
   [[nodiscard]] bool found() const noexcept { return !culprits.empty(); }
+};
+
+struct LocalizerConfig {
+  /// Traceroute-refined verdicts are demoted to kUnlocalized only when
+  /// hop coverage falls below this fraction — partial evidence still
+  /// localizes (with reduced confidence); near-total blindness does not.
+  double min_traceroute_coverage = 0.25;
+};
+
+/// Outcome of the traceroute refinement pass, with the evidence quality
+/// the vote was computed from (exposed for unit tests).
+struct TracerouteRefinement {
+  std::vector<sim::ComponentRef> culprits;
+  /// Responded fraction of the hops that were observable across all
+  /// replayed paths (1.0 when refinement was skipped or every reply came
+  /// back).
+  double coverage = 1.0;
+  bool ran = false;  ///< whether traceroutes were actually issued
 };
 
 /// Result of one overlay forwarding-chain replay.
@@ -66,12 +89,17 @@ class Localizer {
  public:
   Localizer(const topo::Topology& topo,
             const overlay::OverlayNetwork& overlay, DiagnosticsOracle& oracle,
-            const sim::FaultInjector& faults);
+            const sim::FaultInjector& faults, LocalizerConfig cfg = {});
 
   /// Attach the observability context (nullptr detaches): per-method
   /// verdict counters plus trace instants for vote rounds and traceroute
   /// refinement.
   void attach_obs(obs::Context* ctx);
+
+  /// Attach a gray-telemetry plan (nullptr detaches): traceroute replays
+  /// then lose individual hop responses per the plan's kTracerouteHopLoss
+  /// episodes, drawing from `rng`. The pointer must outlive the localizer.
+  void attach_telemetry(const sim::TelemetryFaultPlan* plan, RngStream rng);
 
   /// Full Algorithm-1 pipeline over one failure case.
   [[nodiscard]] Localization localize(
@@ -94,7 +122,17 @@ class Localizer {
 
   /// Host-agent traceroute refinement (§5.3): when intersection voting ties
   /// between several links, replay the pairs' paths hop by hop and keep the
-  /// links traceroutes actually die on.
+  /// links traceroutes actually die on. Hop-loss tolerant: the death point
+  /// of a path is the start of its maximal silent SUFFIX (a silent hop
+  /// followed by a responding one is a lost reply, not a dead hop), each
+  /// vote is weighted by the fraction of the pre-death prefix that
+  /// responded, and overall hop coverage is reported for the confidence
+  /// score / demotion threshold.
+  [[nodiscard]] TracerouteRefinement refine_with_traceroute_ex(
+      const std::vector<EndpointPair>& pairs,
+      std::vector<sim::ComponentRef> voted, SimTime at) const;
+
+  /// Culprits-only convenience wrapper around refine_with_traceroute_ex.
   [[nodiscard]] std::vector<sim::ComponentRef> refine_with_traceroute(
       const std::vector<EndpointPair>& pairs,
       std::vector<sim::ComponentRef> voted, SimTime at) const;
@@ -111,6 +149,13 @@ class Localizer {
   const overlay::OverlayNetwork& overlay_;
   DiagnosticsOracle& oracle_;
   const sim::FaultInjector& faults_;
+  LocalizerConfig cfg_;
+
+  const sim::TelemetryFaultPlan* telemetry_ = nullptr;
+  /// Traceroute hop-loss draws; mutable because refinement is logically
+  /// const (it only reads network state) but the gray plane consumes
+  /// randomness.
+  mutable RngStream telemetry_rng_{0};
 
   obs::Context* obs_ = nullptr;
   obs::Counter m_calls_;

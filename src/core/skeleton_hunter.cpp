@@ -30,7 +30,11 @@ SkeletonHunter::SkeletonHunter(const topo::Topology& topo,
       engine_(topo, overlay, faults, rng.fork("engine")),
       detector_(cfg.detector),
       oracle_(faults, rng.fork("oracle")),
-      localizer_(topo, overlay, oracle_, faults) {
+      localizer_(topo, overlay, oracle_, faults, cfg.localizer),
+      telemetry_(cfg.telemetry, rng.fork("telemetry")) {
+  // cfg_ is a by-value member, so its telemetry plan outlives the localizer.
+  localizer_.attach_telemetry(&cfg_.telemetry,
+                              rng.fork("traceroute-telemetry"));
   if (cfg_.auto_blacklist) {
     orch_.set_placement_filter([this](HostId host) {
       return blacklist_.host_schedulable(host,
@@ -55,6 +59,7 @@ void SkeletonHunter::attach_obs(obs::Context* ctx) {
   engine_.attach_obs(ctx);
   detector_.attach_obs(ctx);
   localizer_.attach_obs(ctx);
+  telemetry_.attach_obs(ctx);
   if (ctx == nullptr) {
     m_cases_opened_ = {};
     m_cases_closed_ = {};
@@ -64,6 +69,8 @@ void SkeletonHunter::attach_obs(obs::Context* ctx) {
     m_replans_ = {};
     m_active_agents_ = {};
     m_degraded_tasks_ = {};
+    m_restores_ = {};
+    m_flap_rebans_ = {};
     return;
   }
   auto& r = ctx->registry;
@@ -76,6 +83,9 @@ void SkeletonHunter::attach_obs(obs::Context* ctx) {
   m_replans_ = r.bind_counter(r.counter_id("hunter.replans"));
   m_active_agents_ = r.bind_gauge(r.gauge_id("hunter.active_agents"));
   m_degraded_tasks_ = r.bind_gauge(r.gauge_id("hunter.degraded_tasks"));
+  m_restores_ = r.bind_counter(r.counter_id("hunter.analyzer_restores"));
+  m_flap_rebans_ =
+      r.bind_counter(r.counter_id("hunter.blacklist_flap_rebans"));
 }
 
 std::uint32_t SkeletonHunter::rank_of(const Endpoint& ep) const {
@@ -311,31 +321,76 @@ void SkeletonHunter::tick() {
   const SimTime now = events_.now();
   m_ticks_.inc();
   m_active_agents_.set(static_cast<double>(agents_.size()));
-  // Probe: every agent runs its round; results stream straight into the
-  // anomaly detector.
-  std::map<TaskId, std::vector<AnomalyEvent>> per_task_events;
-  std::vector<AnomalyEvent> fired;
+  // Blackout transitions. Entering: checkpoint then destroy the analyzer
+  // state, as a real process crash would. Leaving: warm-restart from the
+  // checkpoint — open cases resume with their windows and streaks intact,
+  // so an in-flight incident is neither double-counted nor lost.
+  const bool blackout = telemetry_.blackout_at(now);
+  if (blackout && !in_blackout_) {
+    blackout_snapshot_ = std::make_unique<Snapshot>(checkpoint());
+    cold_reset_analyzer();
+    in_blackout_ = true;
+    if (obs_ != nullptr) {
+      obs_->tracer.instant("hunter", "analyzer.blackout", now, ticks_, 0);
+    }
+  } else if (!blackout && in_blackout_) {
+    restore(*blackout_snapshot_);
+    blackout_snapshot_.reset();
+    in_blackout_ = false;
+    last_restore_ = now;
+    ++restores_;
+    m_restores_.inc();
+    for (auto& c : cases_) {
+      if (!c.closed) {
+        c.timeline.add(now, "analyzer.restore",
+                       "warm restart from blackout checkpoint; case resumed");
+      }
+    }
+    if (obs_ != nullptr) {
+      obs_->tracer.instant("hunter", "analyzer.restore", now, ticks_,
+                           cases_.size());
+    }
+  }
+  // Probe: every agent runs its round regardless of analyzer health (the
+  // sidecars are separate processes). The round then crosses the telemetry
+  // channel; only what the channel delivers reaches the analyzer's result
+  // store and the anomaly detector.
+  scratch_.clear();
+  std::vector<probe::ProbeResult> round;
   for (auto& [cid, agent] : agents_) {
-    for (const auto& result : agent.run_round(engine_, now, collector_)) {
+    auto results = agent.run_round(engine_, now, scratch_);
+    round.insert(round.end(), results.begin(), results.end());
+  }
+  if (!in_blackout_) {
+    telemetry_.transmit(round, now);
+    std::map<TaskId, std::vector<AnomalyEvent>> per_task_events;
+    std::vector<AnomalyEvent> fired;
+    for (const auto& result : round) {
+      collector_.ingest(result);
       fired.clear();
-      if (detector_.ingest(detector_.handle_of(result.pair), result.sent_at,
-                           result.delivered, result.rtt_us, fired) > 0) {
+      if (detector_.ingest(detector_.handle_of(result.pair), result.seq,
+                           result.sent_at, result.delivered, result.rtt_us,
+                           fired) > 0) {
         const TaskId task = orch_.container(result.pair.src.container).task;
         auto& bucket = per_task_events[task];
         bucket.insert(bucket.end(), fired.begin(), fired.end());
       }
     }
-  }
-  for (const auto& [task, evts] : per_task_events) {
-    route_events(task, evts);
-  }
-  // Close quiet cases; drop the ones suppressed as transients.
-  for (auto& c : cases_) {
-    if (!c.closed && now - c.last_event >= cfg_.case_quiet_period) {
-      close_case(c);
+    for (const auto& [task, evts] : per_task_events) {
+      route_events(task, evts);
     }
+    // Close quiet cases; drop the ones suppressed as transients. Quiet is
+    // measured in *observed* time: the span of a blackout (before
+    // last_restore_) is not evidence of silence.
+    for (auto& c : cases_) {
+      if (!c.closed &&
+          now - std::max(c.last_event, last_restore_) >=
+              cfg_.case_quiet_period) {
+        close_case(c);
+      }
+    }
+    std::erase_if(cases_, [](const FailureCase& c) { return c.suppressed; });
   }
-  std::erase_if(cases_, [](const FailureCase& c) { return c.suppressed; });
   // Bound collector memory: anomaly windows never look back further than
   // the long-term window.
   if (++ticks_ % 512 == 0) {
@@ -344,6 +399,34 @@ void SkeletonHunter::tick() {
   if (now + cfg_.probe_interval <= end_) {
     events_.schedule_after(cfg_.probe_interval, [this] { tick(); });
   }
+}
+
+SkeletonHunter::Snapshot SkeletonHunter::checkpoint() const {
+  Snapshot s;
+  s.detector_ = detector_.snapshot();
+  s.collector_ = collector_;
+  s.cases_ = cases_;
+  s.blacklist_ = blacklist_;
+  s.monitors_ = monitors_;
+  s.ticks_ = ticks_;
+  return s;
+}
+
+void SkeletonHunter::restore(const Snapshot& snap) {
+  detector_.restore(snap.detector_);
+  collector_ = snap.collector_;
+  cases_ = snap.cases_;
+  blacklist_ = snap.blacklist_;
+  monitors_ = snap.monitors_;
+  ticks_ = snap.ticks_;
+}
+
+void SkeletonHunter::cold_reset_analyzer() {
+  detector_ = AnomalyDetector(cfg_.detector);
+  detector_.attach_obs(obs_);
+  collector_.clear();
+  cases_.clear();
+  blacklist_ = Blacklist{};
 }
 
 void SkeletonHunter::route_events(TaskId task,
@@ -372,7 +455,13 @@ void SkeletonHunter::route_events(TaskId task,
     FailureCase* target = nullptr;
     for (auto& c : cases_) {
       if (c.closed || c.task != task) continue;
-      if (now - c.last_event > cfg_.case_merge_window) continue;
+      // Like the quiet-period check, merging clocks against observed time:
+      // a case that went dark only because the analyzer was dead still
+      // absorbs the incident's post-restore events.
+      if (now - std::max(c.last_event, last_restore_) >
+          cfg_.case_merge_window) {
+        continue;
+      }
       target = &c;
       break;
     }
@@ -423,6 +512,9 @@ void SkeletonHunter::close_case(FailureCase& c) {
   c.timeline.add(c.closed_at, "localize",
                  std::string(to_string(c.localization.method)),
                  static_cast<double>(c.localization.culprits.size()));
+  c.timeline.add(c.closed_at, "confidence",
+                 "fraction of consulted evidence that answered",
+                 c.localization.confidence);
   c.timeline.add(c.closed_at, "case.close",
                  "quiet for case_quiet_period; ticket filed");
   if (obs_ != nullptr) {
@@ -430,15 +522,21 @@ void SkeletonHunter::close_case(FailureCase& c) {
                          c.localization.culprits.size());
   }
   // §8: culprit components are banned from new placements until repaired.
+  // A re-ban within hysteresis of the component's repair is the same
+  // incident flapping: the ban sticks but the alert is dampened.
   if (cfg_.auto_blacklist) {
     for (const auto& culprit : c.localization.culprits) {
-      blacklist_.add(culprit, c.closed_at);
+      if (blacklist_.add(culprit, c.closed_at) == BanOutcome::kFlapReban) {
+        m_flap_rebans_.inc();
+        c.timeline.add(c.closed_at, "blacklist.flap",
+                       "re-ban within hysteresis of repair; alert dampened");
+      }
     }
   }
 }
 
 void SkeletonHunter::mark_repaired(sim::ComponentRef ref) {
-  blacklist_.clear(ref);
+  blacklist_.clear(ref, events_.now());
 }
 
 void SkeletonHunter::opt_out(TaskId task) {
@@ -450,6 +548,17 @@ void SkeletonHunter::opt_out(TaskId task) {
 }
 
 void SkeletonHunter::finalize() {
+  // A campaign ending mid-blackout still warm-restarts first: the in-flight
+  // cases must be localized from the checkpoint, not lost with the dead
+  // process.
+  if (in_blackout_) {
+    restore(*blackout_snapshot_);
+    blackout_snapshot_.reset();
+    in_blackout_ = false;
+    last_restore_ = events_.now();
+    ++restores_;
+    m_restores_.inc();
+  }
   const auto tail_events = detector_.flush(events_.now());
   std::map<TaskId, std::vector<AnomalyEvent>> per_task;
   for (const auto& e : tail_events) {

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <vector>
@@ -34,6 +35,7 @@
 #include "obs/timeline.h"
 #include "probe/agent.h"
 #include "probe/engine.h"
+#include "probe/telemetry.h"
 
 namespace skh::core {
 
@@ -62,6 +64,14 @@ struct SkeletonHunterConfig {
   /// observation batches — stale pre-churn series would just re-infer the
   /// skeleton the churn invalidated.
   std::size_t reinference_min_samples = 2;
+  /// Gray measurement plane: the telemetry fault plan applied to every
+  /// probe round between the sidecars and the analyzer (empty = honest
+  /// channel, zero RNG draws). kAnalyzerBlackout episodes take the analyzer
+  /// down entirely: on entry the hunter checkpoints and cold-resets its
+  /// analyzer state, on exit it restores the checkpoint and resumes warm.
+  sim::TelemetryFaultPlan telemetry{};
+  /// Localizer knobs (traceroute-coverage demotion threshold).
+  LocalizerConfig localizer{};
 };
 
 /// One aggregated failure: the unit scored against injected ground truth.
@@ -149,6 +159,30 @@ class SkeletonHunter {
   /// Repair completed: lift the ban on a component.
   void mark_repaired(sim::ComponentRef ref);
 
+  // --- gray telemetry & warm restart ---------------------------------------
+  class Snapshot;
+  /// Serialize the analyzer state (detector windows + streaks, result
+  /// store, case registry, blacklist, task monitors) into an opaque
+  /// snapshot. Agents and the probe engine are NOT captured — the sidecars
+  /// are separate processes that keep running while the analyzer is down.
+  [[nodiscard]] Snapshot checkpoint() const;
+  /// Warm-restart the analyzer from a snapshot taken by checkpoint().
+  void restore(const Snapshot& snap);
+  /// The measurement-plane channel every probe round crosses (counters of
+  /// what the plane dropped/duplicated/delayed/skewed/corrupted).
+  [[nodiscard]] const probe::TelemetryChannel& telemetry_channel()
+      const noexcept {
+    return telemetry_;
+  }
+  /// Whether a kAnalyzerBlackout episode currently has the analyzer down.
+  [[nodiscard]] bool analyzer_in_blackout() const noexcept {
+    return in_blackout_;
+  }
+  /// Warm restarts performed after blackout episodes so far.
+  [[nodiscard]] std::uint64_t analyzer_restores() const noexcept {
+    return restores_;
+  }
+
  private:
   struct TaskMonitor {
     bool active = false;
@@ -177,6 +211,10 @@ class SkeletonHunter {
       TaskId task, const std::vector<EndpointObservation>& obs);
   void spawn_agent(const cluster::ContainerInfo& ci);
   void distribute_list(TaskId task);
+  /// Analyzer process death at blackout entry: every in-memory structure
+  /// the snapshot protects is genuinely destroyed, so the post-blackout
+  /// state can only come from restore().
+  void cold_reset_analyzer();
   void tick();
   void route_events(TaskId task, const std::vector<AnomalyEvent>& events);
   void close_case(FailureCase& c);
@@ -193,6 +231,7 @@ class SkeletonHunter {
   AnomalyDetector detector_;
   DiagnosticsOracle oracle_;
   Localizer localizer_;
+  probe::TelemetryChannel telemetry_;
 
   Blacklist blacklist_;
   std::map<TaskId, TaskMonitor> monitors_;
@@ -201,6 +240,18 @@ class SkeletonHunter {
   SimTime end_;
   bool started_ = false;
   std::uint64_t ticks_ = 0;
+  bool in_blackout_ = false;
+  std::uint64_t restores_ = 0;
+  /// Time of the last warm restart. Quiet-period and merge-window checks
+  /// clock against max(case.last_event, last_restore_): while the analyzer
+  /// was dead it observed nothing, so the blackout span is not evidence of
+  /// silence — without this floor an in-flight case would be closed (and a
+  /// duplicate opened) the moment the analyzer came back.
+  SimTime last_restore_;
+  std::unique_ptr<Snapshot> blackout_snapshot_;
+  /// Per-tick sink for raw agent results; only what survives the telemetry
+  /// channel reaches collector_ (the analyzer's store).
+  probe::Collector scratch_;
 
   obs::Context* obs_ = nullptr;
   obs::Counter m_cases_opened_;
@@ -211,6 +262,23 @@ class SkeletonHunter {
   obs::Counter m_replans_;
   obs::Gauge m_active_agents_;
   obs::Gauge m_degraded_tasks_;
+  obs::Counter m_restores_;
+  obs::Counter m_flap_rebans_;
+
+ public:
+  class Snapshot {
+   public:
+    Snapshot() = default;
+
+   private:
+    friend class SkeletonHunter;
+    AnomalyDetector::Snapshot detector_;
+    probe::Collector collector_;
+    std::vector<FailureCase> cases_;
+    Blacklist blacklist_;
+    std::map<TaskId, TaskMonitor> monitors_;
+    std::uint64_t ticks_ = 0;
+  };
 };
 
 }  // namespace skh::core

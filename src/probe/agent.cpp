@@ -44,6 +44,12 @@ Agent::Agent(ContainerId owner, std::vector<Endpoint> own_endpoints)
     : owner_(owner), own_endpoints_(std::move(own_endpoints)) {}
 
 void Agent::set_ping_list(std::vector<EndpointPair> pairs) {
+  // Sequence numbers survive replans: a pair that persists across a new
+  // ping list keeps counting, so the analyzer's duplicate/stale rejection
+  // never sees a spurious reset for a live target.
+  std::unordered_map<EndpointPair, std::uint64_t> carried_seq;
+  carried_seq.reserve(targets_.size());
+  for (const auto& t : targets_) carried_seq.emplace(t.pair, t.next_seq);
   targets_.clear();
   for (auto& p : pairs) {
     const bool mine = std::any_of(
@@ -53,8 +59,12 @@ void Agent::set_ping_list(std::vector<EndpointPair> pairs) {
       throw std::invalid_argument("set_ping_list: pair source is not ours");
     }
     const auto reg = peer_registered_.find(p.dst.container);
-    targets_.push_back(
-        Target{p, reg != peer_registered_.end() && reg->second});
+    Target t;
+    t.pair = p;
+    t.active = reg != peer_registered_.end() && reg->second;
+    const auto seq = carried_seq.find(p);
+    if (seq != carried_seq.end()) t.next_seq = seq->second;
+    targets_.push_back(t);
   }
 }
 
@@ -92,6 +102,7 @@ std::vector<ProbeResult> Agent::run_round(ProbeEngine& engine, SimTime now,
       continue;  // backed off; retry once next_attempt arrives
     }
     out.push_back(engine.probe(t.pair.src, t.pair.dst, now));
+    out.back().seq = t.next_seq++;
     sink.ingest(out.back());
     ++probes_sent_;
     if (out.back().delivered) {

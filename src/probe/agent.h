@@ -78,6 +78,7 @@ class Agent {
     bool active = false;
     std::size_t consecutive_failures = 0;
     SimTime next_attempt;  ///< probing allowed once now >= next_attempt
+    std::uint64_t next_seq = 1;  ///< next ProbeResult.seq for this pair
   };
 
   ContainerId owner_;

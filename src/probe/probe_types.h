@@ -1,6 +1,7 @@
 // Probe primitives shared by the engine, agents, and analyzer.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/ids.h"
@@ -14,6 +15,10 @@ struct ProbeResult {
   SimTime sent_at;
   bool delivered = false;
   double rtt_us = 0.0;  ///< valid iff delivered
+  /// Monotonic per-(agent, pair) sequence number stamped by the sending
+  /// agent; lets the analyzer reject duplicated and reordered deliveries
+  /// from a gray measurement plane. 0 = unsequenced (raw engine probes).
+  std::uint64_t seq = 0;
 };
 
 /// Full-mesh ping list: every ordered (src, dst) pair of distinct

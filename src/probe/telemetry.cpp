@@ -1,0 +1,90 @@
+#include "probe/telemetry.h"
+
+#include <utility>
+
+namespace skh::probe {
+
+namespace {
+// Corrupted samples model a bit-flipped or unit-confused RTT: far outside
+// any plausible fabric latency, exactly the outlier class the detector's
+// robust-scale clamp has to neutralize.
+constexpr double kRttCorruptionFactor = 50.0;
+}  // namespace
+
+void TelemetryChannel::attach_obs(obs::Context* ctx) {
+  if (ctx == nullptr) {
+    m_dropped_ = {};
+    m_duplicated_ = {};
+    m_delayed_ = {};
+    m_skewed_ = {};
+    m_corrupted_ = {};
+    return;
+  }
+  auto& r = ctx->registry;
+  m_dropped_ = r.bind_counter(r.counter_id("telemetry.results_dropped"));
+  m_duplicated_ = r.bind_counter(r.counter_id("telemetry.results_duplicated"));
+  m_delayed_ = r.bind_counter(r.counter_id("telemetry.results_delayed"));
+  m_skewed_ = r.bind_counter(r.counter_id("telemetry.timestamps_skewed"));
+  m_corrupted_ = r.bind_counter(r.counter_id("telemetry.rtt_corrupted"));
+}
+
+void TelemetryChannel::transmit(std::vector<ProbeResult>& round, SimTime now) {
+  if (plan_.empty()) return;
+  using K = sim::TelemetryFaultKind;
+  const double p_loss = plan_.magnitude_at(K::kResponseLoss, now);
+  const double p_dup = plan_.magnitude_at(K::kDuplication, now);
+  const double p_delay = plan_.magnitude_at(K::kReordering, now);
+  const double skew_s = plan_.magnitude_at(K::kClockSkew, now);
+  const double p_corrupt = plan_.magnitude_at(K::kRttCorruption, now);
+  const bool any_active =
+      p_loss > 0 || p_dup > 0 || p_delay > 0 || skew_s > 0 || p_corrupt > 0;
+  if (!any_active && held_.empty()) return;  // honest right now: zero draws
+
+  std::vector<ProbeResult> out;
+  std::vector<ProbeResult> dup;
+  out.reserve(round.size() + held_.size());
+  for (auto& r : round) {
+    if (p_loss > 0 && rng_.uniform() < p_loss) {
+      ++counters_.results_dropped;
+      m_dropped_.inc();
+      continue;
+    }
+    if (p_corrupt > 0 && r.delivered && rng_.uniform() < p_corrupt) {
+      r.rtt_us *= kRttCorruptionFactor;
+      ++counters_.rtt_corrupted;
+      m_corrupted_.inc();
+    }
+    if (skew_s > 0) {
+      r.sent_at -= SimTime::seconds(skew_s);
+      ++counters_.timestamps_skewed;
+      m_skewed_.inc();
+    }
+    const bool duplicate = p_dup > 0 && rng_.uniform() < p_dup;
+    if (p_delay > 0 && rng_.uniform() < p_delay) {
+      held_.push_back(Held{r, now});
+      ++counters_.results_delayed;
+      m_delayed_.inc();
+    } else {
+      out.push_back(r);
+    }
+    if (duplicate) {
+      dup.push_back(r);  // same seq, sent_at, rtt: a true duplicate
+      ++counters_.results_duplicated;
+      m_duplicated_.inc();
+    }
+  }
+  // Duplicates land after the originals; results delayed by a PREVIOUS
+  // round land last of all, behind newer samples for their pairs. held_
+  // is ordered by held_at, so the releasable entries form a prefix.
+  out.insert(out.end(), dup.begin(), dup.end());
+  std::size_t n_release = 0;
+  while (n_release < held_.size() && held_[n_release].held_at < now) {
+    out.push_back(held_[n_release].result);
+    ++n_release;
+  }
+  held_.erase(held_.begin(),
+              held_.begin() + static_cast<std::ptrdiff_t>(n_release));
+  round = std::move(out);
+}
+
+}  // namespace skh::probe

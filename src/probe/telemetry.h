@@ -1,0 +1,83 @@
+// The gray measurement plane: a lossy, lying channel between the sidecar
+// agents and the analyzer.
+//
+// Production telemetry pipelines fail in ways indistinguishable from the
+// network faults they are supposed to surface (SprayCheck): collector
+// backpressure drops responses, retransmissions duplicate them, queueing
+// delays reorder them, NTP drift skews timestamps, and bit flips corrupt
+// RTT samples. The channel applies a seed-deterministic
+// sim::TelemetryFaultPlan to every probe round BEFORE the analyzer sees
+// it, so the detector's defenses (sequence-number rejection, window
+// quorum, robust-scale clamp) are exercised against realistic lies. With
+// an empty plan the channel is a strict pass-through that draws zero
+// random numbers — existing seeds replay bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/context.h"
+#include "probe/probe_types.h"
+#include "sim/fault.h"
+
+namespace skh::probe {
+
+/// What the channel did to the rounds that crossed it.
+struct TelemetryChannelCounters {
+  std::uint64_t results_dropped = 0;     ///< responses lost in the plane
+  std::uint64_t results_duplicated = 0;  ///< extra copies delivered
+  std::uint64_t results_delayed = 0;     ///< held a round, delivered late
+  std::uint64_t timestamps_skewed = 0;   ///< sent_at shifted backwards
+  std::uint64_t rtt_corrupted = 0;       ///< RTT multiplied into an outlier
+};
+
+class TelemetryChannel {
+ public:
+  /// Honest channel: pure pass-through, no RNG draws.
+  TelemetryChannel() : rng_(0) {}
+  TelemetryChannel(sim::TelemetryFaultPlan plan, RngStream rng)
+      : plan_(std::move(plan)), rng_(rng) {}
+
+  void attach_obs(obs::Context* ctx);
+
+  /// Apply the plan to one probe round in place: drop, corrupt, skew,
+  /// duplicate, and delay results according to the episodes active at
+  /// `now`. Results delayed by an earlier round are appended at the end
+  /// (i.e. they arrive after newer samples for the same pair).
+  void transmit(std::vector<ProbeResult>& round, SimTime now);
+
+  [[nodiscard]] bool blackout_at(SimTime t) const noexcept {
+    return plan_.blackout_at(t);
+  }
+  [[nodiscard]] double hop_loss_at(SimTime t) const noexcept {
+    return plan_.magnitude_at(sim::TelemetryFaultKind::kTracerouteHopLoss, t);
+  }
+  [[nodiscard]] const sim::TelemetryFaultPlan& plan() const noexcept {
+    return plan_;
+  }
+  [[nodiscard]] const TelemetryChannelCounters& counters() const noexcept {
+    return counters_;
+  }
+
+ private:
+  struct Held {
+    ProbeResult result;
+    SimTime held_at;
+  };
+
+  sim::TelemetryFaultPlan plan_;
+  RngStream rng_;
+  /// Results held back by an active reordering episode, delivered on the
+  /// next transmit. Persists across an analyzer blackout: the late
+  /// responses greet the restored analyzer, which must stale-reject them.
+  std::vector<Held> held_;
+  TelemetryChannelCounters counters_;
+  obs::Counter m_dropped_;
+  obs::Counter m_duplicated_;
+  obs::Counter m_delayed_;
+  obs::Counter m_skewed_;
+  obs::Counter m_corrupted_;
+};
+
+}  // namespace skh::probe

@@ -87,4 +87,21 @@ TracerouteResult traceroute(const topo::Topology& topo,
   return res;
 }
 
+TracerouteResult traceroute(const topo::Topology& topo,
+                            const sim::FaultInjector& faults, RnicId src,
+                            RnicId dst, SimTime t,
+                            double hop_loss_probability, RngStream* rng) {
+  TracerouteResult res = traceroute(topo, faults, src, dst, t);
+  if (hop_loss_probability <= 0.0 || rng == nullptr) return res;
+  for (std::size_t k = 0; k < res.hops.size(); ++k) {
+    if (!res.hops[k].responded) continue;
+    if (rng->uniform() < hop_loss_probability) {
+      res.hops[k].responded = false;
+      res.hops[k].rtt_us = 0.0;
+      if (k + 1 == res.hops.size()) res.reached_destination = false;
+    }
+  }
+  return res;
+}
+
 }  // namespace skh::probe

@@ -39,4 +39,16 @@ struct TracerouteResult {
                                           const sim::FaultInjector& faults,
                                           RnicId src, RnicId dst, SimTime t);
 
+/// Gray-telemetry variant: each hop that WOULD respond loses its reply
+/// independently with `hop_loss_probability` (the hop still forwards
+/// transit traffic — only the per-hop response vanishes). A lost reply on
+/// the final hop also clears reached_destination: the tracer cannot
+/// confirm arrival it never heard about. With probability 0 this draws
+/// nothing and matches the honest overload exactly.
+[[nodiscard]] TracerouteResult traceroute(const topo::Topology& topo,
+                                          const sim::FaultInjector& faults,
+                                          RnicId src, RnicId dst, SimTime t,
+                                          double hop_loss_probability,
+                                          RngStream* rng);
+
 }  // namespace skh::probe

@@ -46,6 +46,16 @@ RunResult run_campaign(const CampaignConfig& cfg, std::uint64_t seed) {
   ecfg.hunter = cfg.hunter;
   ecfg.seed = seed;
   ecfg.obs = cfg.obs;
+  // Telemetry plan: derived from the seed alone (named fork of a fresh
+  // stream, untouched by any subsystem's draws) and installed before the
+  // hunter is built, since the channel is wired at construction.
+  if (cfg.telemetry_faults > 0) {
+    RngStream trng = RngStream(seed).fork("telemetry-plan");
+    ecfg.hunter.telemetry = sim::make_telemetry_storm(
+        cfg.telemetry_faults, cfg.telemetry_start, cfg.telemetry_spacing,
+        cfg.telemetry_duration, trng);
+  }
+  result.telemetry_events = ecfg.hunter.telemetry.faults.size();
   core::Experiment exp(ecfg);
 
   std::vector<TaskId> tasks;

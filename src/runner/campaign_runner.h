@@ -73,6 +73,16 @@ struct CampaignConfig {
   SimTime churn_start = SimTime::minutes(8);    ///< after campaign start
   SimTime churn_spacing = SimTime::minutes(4);
 
+  /// Gray measurement plane: number of telemetry fault episodes, cycling
+  /// over the kinds in sim::make_telemetry_storm, scheduled from the
+  /// campaign's own "telemetry-plan" RNG fork (bit-identical at any thread
+  /// count). 0 keeps the channel honest — zero extra RNG draws, so existing
+  /// seeds replay unchanged.
+  std::size_t telemetry_faults = 0;
+  SimTime telemetry_start = SimTime::minutes(6);
+  SimTime telemetry_spacing = SimTime::minutes(9);
+  SimTime telemetry_duration = SimTime::minutes(4);
+
   core::ScoreConfig score{};
 
   /// Per-campaign observability (one registry + tracer per seed, recorded
@@ -94,6 +104,8 @@ struct RunResult {
   std::size_t probes_sent = 0;
   /// Churn events scheduled across all monitored tasks this run.
   std::size_t churn_events = 0;
+  /// Telemetry fault episodes the measurement plane applied this run.
+  std::size_t telemetry_events = 0;
   /// Detector ingest counters; pool across runs with core::merge_counters.
   core::DetectorCounters detector{};
   /// End-of-campaign registry scrape (empty when `cfg.obs.metrics` is off).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <iterator>
 #include <sstream>
 #include <stdexcept>
 
@@ -312,6 +313,71 @@ std::vector<ChurnEvent> make_migration_wave(std::uint32_t n_containers,
                                             RngStream& rng) {
   auto plan = make_restart_storm(n_containers, migrations, start, spacing, rng);
   for (auto& e : plan) e.kind = ChurnKind::kMigrate;
+  return plan;
+}
+
+std::string_view to_string(TelemetryFaultKind k) noexcept {
+  switch (k) {
+    case TelemetryFaultKind::kResponseLoss: return "response-loss";
+    case TelemetryFaultKind::kDuplication: return "duplication";
+    case TelemetryFaultKind::kReordering: return "reordering";
+    case TelemetryFaultKind::kClockSkew: return "clock-skew";
+    case TelemetryFaultKind::kRttCorruption: return "rtt-corruption";
+    case TelemetryFaultKind::kTracerouteHopLoss: return "traceroute-hop-loss";
+    case TelemetryFaultKind::kAnalyzerBlackout: return "analyzer-blackout";
+  }
+  return "unknown";
+}
+
+double TelemetryFaultPlan::magnitude_at(TelemetryFaultKind kind,
+                                        SimTime t) const noexcept {
+  double mag = 0.0;
+  for (const auto& f : faults) {
+    if (f.kind == kind && f.active_at(t)) mag = std::max(mag, f.magnitude);
+  }
+  return mag;
+}
+
+bool TelemetryFaultPlan::blackout_at(SimTime t) const noexcept {
+  for (const auto& f : faults) {
+    if (f.kind == TelemetryFaultKind::kAnalyzerBlackout && f.active_at(t)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TelemetryFaultPlan make_telemetry_storm(std::size_t episodes, SimTime start,
+                                        SimTime spacing, SimTime duration,
+                                        RngStream& rng) {
+  // Kind-appropriate default magnitudes (probabilities, or seconds for
+  // clock skew); each episode scales its default by a draw in [0.5, 1.0].
+  struct KindDefault {
+    TelemetryFaultKind kind;
+    double magnitude;
+  };
+  static constexpr KindDefault kCycle[] = {
+      {TelemetryFaultKind::kResponseLoss, 0.5},
+      {TelemetryFaultKind::kDuplication, 0.3},
+      {TelemetryFaultKind::kReordering, 0.25},
+      {TelemetryFaultKind::kClockSkew, 2.0},
+      {TelemetryFaultKind::kRttCorruption, 0.05},
+      {TelemetryFaultKind::kTracerouteHopLoss, 0.3},
+      {TelemetryFaultKind::kAnalyzerBlackout, 0.0},
+  };
+  TelemetryFaultPlan plan;
+  plan.faults.reserve(episodes);
+  SimTime cursor = start;
+  for (std::size_t i = 0; i < episodes; ++i) {
+    const auto& base = kCycle[i % std::size(kCycle)];
+    TelemetryFault f;
+    f.kind = base.kind;
+    f.start = cursor;
+    f.end = cursor + duration;
+    f.magnitude = base.magnitude * rng.uniform(0.5, 1.0);
+    plan.faults.push_back(f);
+    cursor += spacing;
+  }
   return plan;
 }
 

@@ -182,6 +182,66 @@ struct ChurnEvent {
     std::uint32_t n_containers, std::size_t migrations, SimTime start,
     SimTime spacing, RngStream& rng);
 
+// --- gray telemetry: faults in the measurement plane itself ----------------
+//
+// SprayCheck's core observation: gray failures corrupt the very signals used
+// to find them. These plans degrade SkeletonHunter's OWN telemetry — probe
+// responses, traceroute replies, the analyzer process — while the network
+// under test stays healthy (or faulty, independently). Pure data like the
+// churn plans above: the hunter applies them via a named RNG fork.
+
+/// What part of the measurement plane lies, and how.
+enum class TelemetryFaultKind : std::uint8_t {
+  kResponseLoss,      ///< probe responses dropped on the way to the analyzer
+  kDuplication,       ///< probe responses delivered more than once
+  kReordering,        ///< responses delayed a round, arriving out of order
+  kClockSkew,         ///< sent_at timestamps skewed backwards (stale clock)
+  kRttCorruption,     ///< RTT samples multiplied into absurd outliers
+  kTracerouteHopLoss, ///< per-hop traceroute responses silently lost
+  kAnalyzerBlackout,  ///< analyzer sees nothing; resumes from checkpoint
+};
+
+[[nodiscard]] std::string_view to_string(TelemetryFaultKind k) noexcept;
+
+/// One telemetry fault episode. `magnitude` is kind-specific: a per-result
+/// probability for kResponseLoss / kDuplication / kReordering /
+/// kRttCorruption / kTracerouteHopLoss, seconds of backwards skew for
+/// kClockSkew, and unused for kAnalyzerBlackout.
+struct TelemetryFault {
+  TelemetryFaultKind kind = TelemetryFaultKind::kResponseLoss;
+  SimTime start;
+  SimTime end;  ///< exclusive
+  double magnitude = 0.0;
+
+  [[nodiscard]] bool active_at(SimTime t) const noexcept {
+    return t >= start && t < end;
+  }
+};
+
+/// A full measurement-plane fault schedule. Pure data; empty == honest
+/// telemetry (and the consumers draw zero random numbers, so existing
+/// seeds replay bit-identically).
+struct TelemetryFaultPlan {
+  std::vector<TelemetryFault> faults;
+
+  [[nodiscard]] bool empty() const noexcept { return faults.empty(); }
+  /// Largest magnitude among episodes of `kind` active at `t` (0 if none).
+  [[nodiscard]] double magnitude_at(TelemetryFaultKind kind,
+                                    SimTime t) const noexcept;
+  /// Whether an analyzer blackout covers `t`.
+  [[nodiscard]] bool blackout_at(SimTime t) const noexcept;
+};
+
+/// Telemetry storm: `episodes` fault episodes starting at `start`, spaced
+/// `spacing` apart, each lasting `duration`, cycling through all telemetry
+/// fault kinds in enum order. Magnitudes are drawn from `rng` around
+/// kind-appropriate defaults; the plan is a pure function of the stream.
+[[nodiscard]] TelemetryFaultPlan make_telemetry_storm(std::size_t episodes,
+                                                      SimTime start,
+                                                      SimTime spacing,
+                                                      SimTime duration,
+                                                      RngStream& rng);
+
 /// Registry of injected faults; the ground truth of every experiment.
 class FaultInjector {
  public:

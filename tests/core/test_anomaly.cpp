@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -353,6 +355,248 @@ TEST(Anomaly, StreamingMatchesBatchVerdicts) {
   EXPECT_GT(sc.lof_fast_path + sc.lof_fallback, 0u);
   EXPECT_EQ(bc.lof_fast_path, 0u);
   EXPECT_EQ(bc.lof_fallback, 0u);
+}
+
+TEST(AnomalyDefenses, DuplicatesAndStaleReplaysDoNotChangeVerdicts) {
+  // A gray measurement plane duplicating every delivery and replaying
+  // stale rounds must leave the verdict stream bit-identical to the clean
+  // run: rejected results may not touch window state at all.
+  const auto run = [](bool inject_junk) {
+    AnomalyDetector det;
+    const auto h = det.handle_of(pair());
+    std::vector<AnomalyEvent> events;
+    RngStream rng{5};
+    std::uint64_t seq = 0;
+    for (double t = 0; t < 600; t += 1.0) {
+      const bool lost = t >= 300 && t < 360 && rng.uniform() < 0.5;
+      const double rtt = lost ? 0.0 : 16.0 * std::exp(rng.normal(0.0, 0.05));
+      ++seq;
+      (void)det.ingest(h, seq, SimTime::seconds(t), !lost, rtt, events);
+      if (inject_junk) {
+        // An exact duplicate of what was just delivered...
+        (void)det.ingest(h, seq, SimTime::seconds(t), !lost, rtt, events);
+        // ...and a straggler from ten rounds ago with an absurd RTT.
+        if (seq > 10) {
+          (void)det.ingest(h, seq - 10, SimTime::seconds(t - 10), true,
+                           123.0, events);
+        }
+      }
+    }
+    const auto tail = det.flush(SimTime::seconds(600));
+    events.insert(events.end(), tail.begin(), tail.end());
+    return std::pair{events, det.counters()};
+  };
+  const auto [clean, cc] = run(false);
+  const auto [noisy, nc] = run(true);
+  ASSERT_FALSE(clean.empty());  // the loss burst must produce real events
+  ASSERT_EQ(clean.size(), noisy.size());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_TRUE(clean[i].pair == noisy[i].pair);
+    EXPECT_EQ(clean[i].kind, noisy[i].kind);
+    EXPECT_EQ(clean[i].detected_at.raw_nanos(),
+              noisy[i].detected_at.raw_nanos());
+    EXPECT_EQ(clean[i].score, noisy[i].score);
+  }
+  EXPECT_EQ(cc.duplicates_rejected, 0u);
+  EXPECT_EQ(cc.stale_rejected, 0u);
+  EXPECT_EQ(nc.duplicates_rejected, 600u);
+  EXPECT_EQ(nc.stale_rejected, 590u);
+  EXPECT_EQ(nc.samples_delivered, cc.samples_delivered);
+  EXPECT_EQ(nc.short_windows_closed, cc.short_windows_closed);
+}
+
+TEST(AnomalyDefenses, QuorumSkipsStarvedWindows) {
+  // 3 samples per 30 s window, 2 of them lost: 67% loss — screams
+  // packet-loss unless the quorum recognizes the window as starved by the
+  // measurement plane and refuses to analyze it.
+  const auto run = [](std::size_t quorum, bool streaming) {
+    DetectorConfig cfg;
+    cfg.streaming = streaming;
+    cfg.window_quorum = quorum;
+    cfg.min_samples_per_window = 2;
+    AnomalyDetector det(cfg);
+    const auto h = det.handle_of(pair());
+    std::vector<AnomalyEvent> events;
+    std::uint64_t seq = 0;
+    for (int w = 0; w < 20; ++w) {
+      const double base = w * 30.0;
+      (void)det.ingest(h, ++seq, SimTime::seconds(base), true, 16.0, events);
+      (void)det.ingest(h, ++seq, SimTime::seconds(base + 1), false, 0.0,
+                       events);
+      (void)det.ingest(h, ++seq, SimTime::seconds(base + 2), false, 0.0,
+                       events);
+    }
+    const auto tail = det.flush(SimTime::seconds(620));
+    events.insert(events.end(), tail.begin(), tail.end());
+    return std::pair{events, det.counters()};
+  };
+  for (const bool streaming : {true, false}) {
+    const auto [gated, gc] = run(5, streaming);
+    EXPECT_TRUE(gated.empty()) << "streaming=" << streaming;
+    EXPECT_GE(gc.windows_insufficient, 19u);
+    const auto [open, oc] = run(0, streaming);
+    EXPECT_FALSE(open.empty()) << "streaming=" << streaming;
+    EXPECT_EQ(oc.windows_insufficient, 0u);
+  }
+}
+
+TEST(AnomalyDefenses, CorruptedRttsRaiseNothingOnAHealthyPath) {
+  // 10% of samples multiplied 50x (bit-flipped RTTs): the robust-scale
+  // clamp winsorizes the moment features, so neither the short-term LOF
+  // nor the long-term Z-test may page anyone for a healthy path.
+  const auto run = [](bool corrupt, bool streaming) {
+    DetectorConfig cfg;
+    cfg.streaming = streaming;
+    AnomalyDetector det(cfg);
+    const auto h = det.handle_of(pair());
+    std::vector<AnomalyEvent> events;
+    RngStream rng{11};
+    std::uint64_t seq = 0;
+    for (double t = 0; t < 2400; t += 1.0) {
+      double rtt = 16.0 * std::exp(rng.normal(0.0, 0.05));
+      if (rng.uniform() < 0.1 && corrupt) rtt *= 50.0;
+      (void)det.ingest(h, ++seq, SimTime::seconds(t), true, rtt, events);
+    }
+    const auto tail = det.flush(SimTime::seconds(2400));
+    events.insert(events.end(), tail.begin(), tail.end());
+    return events;
+  };
+  for (const bool streaming : {true, false}) {
+    EXPECT_TRUE(run(false, streaming).empty()) << "streaming=" << streaming;
+    EXPECT_TRUE(run(true, streaming).empty()) << "streaming=" << streaming;
+  }
+}
+
+TEST(AnomalyDefenses, StreamingMatchesBatchUnderGrayTelemetry) {
+  // The streaming/batch verdict identity must survive with every defense
+  // engaged: quorum-starved windows, duplicated and stale deliveries, and
+  // corrupted RTTs, on top of a real loss burst that fires events.
+  struct Sample {
+    std::uint32_t pair;
+    std::uint64_t seq;
+    double t;
+    bool delivered;
+    double rtt;
+  };
+  RngStream rng{23};
+  std::vector<Sample> stream;
+  std::uint64_t seqs[2] = {0, 0};
+  for (double t = 0; t < 1800; t += 1.0) {
+    for (std::uint32_t p = 0; p < 2; ++p) {
+      // A sparse stretch for pair 1: the plane drops most of its samples.
+      if (p == 1 && t >= 600 && t < 900 &&
+          static_cast<int>(t) % 10 != 0) {
+        continue;
+      }
+      Sample s{p, ++seqs[p], t, true, 16.0 * std::exp(rng.normal(0.0, 0.05))};
+      if (p == 0 && t >= 300 && t < 420 && rng.uniform() < 0.4) {
+        s.delivered = false;  // the real incident
+        s.rtt = 0.0;
+      }
+      if (p == 1 && rng.uniform() < 0.05) s.rtt *= 50.0;  // corruption
+      stream.push_back(s);
+      if (s.seq % 7 == 0) stream.push_back(s);  // duplicate delivery
+      if (s.seq % 13 == 0 && s.seq > 20) {      // stale replay
+        Sample stale = s;
+        stale.seq -= 15;
+        stale.t -= 15.0;
+        stream.push_back(stale);
+      }
+    }
+  }
+
+  const auto run = [&stream](bool streaming) {
+    DetectorConfig cfg;
+    cfg.streaming = streaming;
+    cfg.window_quorum = 5;
+    AnomalyDetector det(cfg);
+    const AnomalyDetector::PairHandle handles[2] = {
+        det.handle_of(pair_n(0)), det.handle_of(pair_n(1))};
+    std::vector<AnomalyEvent> events;
+    for (const auto& s : stream) {
+      (void)det.ingest(handles[s.pair], s.seq, SimTime::seconds(s.t),
+                       s.delivered, s.rtt, events);
+    }
+    const auto tail = det.flush(SimTime::seconds(1800));
+    events.insert(events.end(), tail.begin(), tail.end());
+    return std::pair{events, det.counters()};
+  };
+  const auto [se, sc] = run(true);
+  const auto [be, bc] = run(false);
+  ASSERT_FALSE(se.empty());
+  ASSERT_EQ(se.size(), be.size());
+  for (std::size_t i = 0; i < se.size(); ++i) {
+    EXPECT_TRUE(se[i].pair == be[i].pair);
+    EXPECT_EQ(se[i].kind, be[i].kind);
+    EXPECT_EQ(se[i].detected_at.raw_nanos(), be[i].detected_at.raw_nanos());
+    EXPECT_NEAR(se[i].score, be[i].score,
+                1e-6 * std::max(1.0, std::abs(be[i].score)));
+  }
+  EXPECT_GT(sc.windows_insufficient, 0u);
+  EXPECT_GT(sc.duplicates_rejected, 0u);
+  EXPECT_GT(sc.stale_rejected, 0u);
+  EXPECT_EQ(sc.windows_insufficient, bc.windows_insufficient);
+  EXPECT_EQ(sc.duplicates_rejected, bc.duplicates_rejected);
+  EXPECT_EQ(sc.stale_rejected, bc.stale_rejected);
+  EXPECT_EQ(sc.samples_delivered, bc.samples_delivered);
+  EXPECT_EQ(sc.short_windows_closed, bc.short_windows_closed);
+  EXPECT_EQ(sc.long_windows_closed, bc.long_windows_closed);
+}
+
+TEST(AnomalyDefenses, SnapshotRestoreResumesBitIdentically) {
+  // Checkpoint mid-stream, keep feeding the original, restore a second
+  // detector from the snapshot and feed it the same tail: every verdict
+  // and counter that depends on pair state must match bit-for-bit.
+  RngStream rng{31};
+  std::vector<std::tuple<std::uint64_t, double, bool, double>> head, tail;
+  std::uint64_t seq = 0;
+  for (double t = 0; t < 1200; t += 1.0) {
+    const bool lost = t >= 700 && t < 760 && rng.uniform() < 0.5;
+    const double rtt = lost ? 0.0 : 16.0 * std::exp(rng.normal(0.0, 0.05));
+    (t >= 600 ? tail : head).push_back({++seq, t, !lost, rtt});
+  }
+
+  AnomalyDetector live;
+  const auto h = live.handle_of(pair());
+  std::vector<AnomalyEvent> live_events;
+  for (const auto& [s, t, d, r] : head) {
+    (void)live.ingest(h, s, SimTime::seconds(t), d, r, live_events);
+  }
+  const auto snap = live.snapshot();
+
+  // The live detector continues...
+  for (const auto& [s, t, d, r] : tail) {
+    (void)live.ingest(h, s, SimTime::seconds(t), d, r, live_events);
+  }
+  const auto live_tail = live.flush(SimTime::seconds(1200));
+  live_events.insert(live_events.end(), live_tail.begin(), live_tail.end());
+
+  // ...while a cold replacement restores the checkpoint and takes over.
+  AnomalyDetector restored;
+  restored.restore(snap);
+  const auto h2 = restored.handle_of(pair());
+  EXPECT_EQ(h2, h);  // the pair index survives the snapshot
+  std::vector<AnomalyEvent> restored_events;
+  for (const auto& [s, t, d, r] : tail) {
+    (void)restored.ingest(h2, s, SimTime::seconds(t), d, r, restored_events);
+  }
+  const auto rest_tail = restored.flush(SimTime::seconds(1200));
+  restored_events.insert(restored_events.end(), rest_tail.begin(),
+                         rest_tail.end());
+
+  // live_events includes pre-checkpoint events; the restored run must
+  // reproduce exactly the post-checkpoint suffix.
+  ASSERT_FALSE(restored_events.empty());
+  ASSERT_GE(live_events.size(), restored_events.size());
+  const std::size_t offset = live_events.size() - restored_events.size();
+  for (std::size_t i = 0; i < restored_events.size(); ++i) {
+    const auto& a = live_events[offset + i];
+    const auto& b = restored_events[i];
+    EXPECT_TRUE(a.pair == b.pair);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.detected_at.raw_nanos(), b.detected_at.raw_nanos());
+    EXPECT_EQ(a.score, b.score);
+  }
 }
 
 TEST(AnomalyKindStrings, Printable) {

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "core/metrics.h"
 
@@ -295,6 +298,70 @@ TEST_F(ExperimentChurn, MigrationReinfersOverReboundEndpoints) {
   for (const auto& p : inferred->pairs) {
     EXPECT_TRUE(live.contains(p.src));
     EXPECT_TRUE(live.contains(p.dst));
+  }
+}
+
+TEST(Experiment, CheckpointRestoreRoundTripIsBitIdentical) {
+  // Analyzer warm restart (§ gray telemetry): checkpoint the hunter
+  // mid-incident, restore the snapshot immediately, and keep running. The
+  // run must be indistinguishable — same cases, same verdicts, same event
+  // counts — from the same-seed run that was never interrupted.
+  auto run = [](bool interrupt) {
+    ExperimentConfig cfg = small_config();
+    cfg.seed = 77;
+    Experiment exp(cfg);
+    cluster::TaskRequest req;
+    req.num_containers = 4;
+    req.gpus_per_container = 8;
+    req.lifetime = SimTime::hours(1);
+    const auto task = exp.launch_task(req);
+    exp.run_to_running(*task);
+    const auto victim = exp.orchestrator().endpoints_of_task(*task)[0];
+    const SimTime t0 = exp.events().now();
+    exp.faults().inject(sim::IssueType::kRnicPortDown,
+                        {sim::ComponentKind::kRnic, victim.rnic.value()},
+                        t0 + SimTime::minutes(2), t0 + SimTime::minutes(8));
+    if (interrupt) {
+      // Mid-incident: the case is open and half its evidence collected.
+      exp.events().schedule_at(t0 + SimTime::minutes(5), [&] {
+        const auto snap = exp.hunter().checkpoint();
+        exp.hunter().restore(snap);
+      });
+    }
+    exp.hunter().start(t0 + SimTime::minutes(20));
+    exp.events().run_all();
+    exp.hunter().finalize();
+
+    struct CaseSummary {
+      std::int64_t first, last, closed_at;
+      std::size_t pairs, events;
+      LocalizationMethod method;
+      std::vector<sim::ComponentRef> culprits;
+      double confidence;
+    };
+    std::vector<CaseSummary> out;
+    for (const auto& c : exp.hunter().failure_cases()) {
+      out.push_back({c.first_event.raw_nanos(), c.last_event.raw_nanos(),
+                     c.closed_at.raw_nanos(), c.pairs.size(),
+                     c.events.size(), c.localization.method,
+                     c.localization.culprits, c.localization.confidence});
+    }
+    return std::pair{out, exp.hunter().total_probes()};
+  };
+  const auto [plain, plain_probes] = run(false);
+  const auto [warm, warm_probes] = run(true);
+  ASSERT_FALSE(plain.empty());  // the incident must have produced a case
+  EXPECT_EQ(plain_probes, warm_probes);
+  ASSERT_EQ(plain.size(), warm.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].first, warm[i].first);
+    EXPECT_EQ(plain[i].last, warm[i].last);
+    EXPECT_EQ(plain[i].closed_at, warm[i].closed_at);
+    EXPECT_EQ(plain[i].pairs, warm[i].pairs);
+    EXPECT_EQ(plain[i].events, warm[i].events);
+    EXPECT_EQ(plain[i].method, warm[i].method);
+    EXPECT_EQ(plain[i].culprits, warm[i].culprits);
+    EXPECT_EQ(plain[i].confidence, warm[i].confidence);
   }
 }
 

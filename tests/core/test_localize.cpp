@@ -255,6 +255,161 @@ TEST_F(LocalizeTest, SingleBidirectionalPairIsNotDroppedAsUnlocalized) {
   EXPECT_TRUE(victim_named);
 }
 
+// --- Traceroute refinement under partial results ---------------------------
+//
+// These exercise refine_with_traceroute_ex against the degenerate replays a
+// gray measurement plane produces: pairs with no underlay hops at all,
+// paths whose every hop went silent, and deaths at the first/last hop of
+// the shortest possible (two-hop) path.
+
+class RefineTest : public LocalizeTest {
+ protected:
+  static sim::ComponentRef link_ref(LinkId l) {
+    return {sim::ComponentKind::kPhysicalLink, l.value()};
+  }
+  static Endpoint fake_ep(RnicId r) {
+    return Endpoint{ContainerId{500 + r.value()}, r};
+  }
+  static EndpointPair rnic_pair(RnicId a, RnicId b) {
+    return {fake_ep(a), fake_ep(b)};
+  }
+};
+
+TEST_F(RefineTest, IntraHostPairsCarryNoUnderlayEvidence) {
+  // Same-host rnics route intra-host: the traceroute replay returns an
+  // EMPTY hop vector. Refinement must treat that as no evidence — tie
+  // kept, full coverage — not crash or cast a vote.
+  const RnicId a{0}, b{1};
+  ASSERT_TRUE(env_.topo.route(a, b).intra_host);
+  const std::vector<sim::ComponentRef> voted{
+      link_ref(env_.topo.uplink_of(RnicId{0})),
+      link_ref(env_.topo.uplink_of(RnicId{8}))};
+  const auto r = localizer_->refine_with_traceroute_ex(
+      {rnic_pair(a, b)}, voted, SimTime::minutes(1));
+  EXPECT_TRUE(r.ran);
+  EXPECT_DOUBLE_EQ(r.coverage, 1.0);
+  ASSERT_EQ(r.culprits.size(), 2u);  // the tie survives untouched
+  EXPECT_EQ(r.culprits[0], voted[0]);
+  EXPECT_EQ(r.culprits[1], voted[1]);
+}
+
+TEST_F(RefineTest, AllSilentHonestPathIsADeathAtTheFirstHop) {
+  // Shortest inter-host path (two hops, same ToR) with the SOURCE uplink
+  // down: every hop is silent. On an honest plane that can only mean the
+  // trace died immediately, so the first hop's link takes the vote.
+  const RnicId a{0}, b{8};
+  ASSERT_EQ(env_.topo.route(a, b).links.size(), 2u);
+  const LinkId ua = env_.topo.uplink_of(a);
+  const LinkId ub = env_.topo.uplink_of(b);
+  env_.faults.inject(sim::IssueType::kSwitchPortDown,
+                     {sim::ComponentKind::kPhysicalLink, ua.value()},
+                     SimTime::seconds(0), SimTime::hours(1));
+  const auto r = localizer_->refine_with_traceroute_ex(
+      {rnic_pair(a, b)}, {link_ref(ua), link_ref(ub)}, SimTime::minutes(1));
+  EXPECT_TRUE(r.ran);
+  ASSERT_EQ(r.culprits.size(), 1u);
+  EXPECT_EQ(r.culprits[0].index, ua.value());
+}
+
+TEST_F(RefineTest, DeathAtTheFinalHopVotesTheLastLink) {
+  // Same two-hop path, DESTINATION uplink down: the one-hop silent suffix
+  // is the death point and the final link takes a full-weight vote (its
+  // entire pre-death prefix responded).
+  const RnicId a{0}, b{8};
+  const LinkId ua = env_.topo.uplink_of(a);
+  const LinkId ub = env_.topo.uplink_of(b);
+  env_.faults.inject(sim::IssueType::kSwitchPortDown,
+                     {sim::ComponentKind::kPhysicalLink, ub.value()},
+                     SimTime::seconds(0), SimTime::hours(1));
+  const auto r = localizer_->refine_with_traceroute_ex(
+      {rnic_pair(a, b)}, {link_ref(ua), link_ref(ub)}, SimTime::minutes(1));
+  EXPECT_TRUE(r.ran);
+  EXPECT_DOUBLE_EQ(r.coverage, 1.0);
+  ASSERT_EQ(r.culprits.size(), 1u);
+  EXPECT_EQ(r.culprits[0].index, ub.value());
+}
+
+TEST_F(RefineTest, FullHopLossIsUndecidableAndKeepsTheTie) {
+  // With EVERY hop response lost, a dead path and a healthy path look the
+  // same. Refinement must refuse to guess: no vote, tie kept, and the
+  // fully blind replays excluded from coverage rather than counted.
+  const RnicId a{0}, b{8};
+  const LinkId ua = env_.topo.uplink_of(a);
+  const LinkId ub = env_.topo.uplink_of(b);
+  env_.faults.inject(sim::IssueType::kSwitchPortDown,
+                     {sim::ComponentKind::kPhysicalLink, ub.value()},
+                     SimTime::seconds(0), SimTime::hours(1));
+  sim::TelemetryFaultPlan plan;
+  plan.faults.push_back({sim::TelemetryFaultKind::kTracerouteHopLoss,
+                         SimTime::seconds(0), SimTime::hours(1), 1.0});
+  localizer_->attach_telemetry(&plan, RngStream{3});
+  const auto r = localizer_->refine_with_traceroute_ex(
+      {rnic_pair(a, b), rnic_pair(b, a)}, {link_ref(ua), link_ref(ub)},
+      SimTime::minutes(1));
+  localizer_->attach_telemetry(nullptr, RngStream{0});
+  EXPECT_TRUE(r.ran);
+  ASSERT_EQ(r.culprits.size(), 2u);  // no single-link indictment
+  EXPECT_EQ(r.culprits[0], link_ref(ua));
+  EXPECT_EQ(r.culprits[1], link_ref(ub));
+}
+
+TEST_F(RefineTest, PartialHopLossLowersCoverage) {
+  // Cross-segment path (four hops) with the destination uplink down and
+  // half the hop responses lost: silent gaps inside responding prefixes
+  // must show up as sub-1.0 coverage.
+  const RnicId a{0}, b{32};
+  ASSERT_EQ(env_.topo.route(a, b).links.size(), 4u);
+  const LinkId ub = env_.topo.uplink_of(b);
+  env_.faults.inject(sim::IssueType::kSwitchPortDown,
+                     {sim::ComponentKind::kPhysicalLink, ub.value()},
+                     SimTime::seconds(0), SimTime::hours(1));
+  sim::TelemetryFaultPlan plan;
+  plan.faults.push_back({sim::TelemetryFaultKind::kTracerouteHopLoss,
+                         SimTime::seconds(0), SimTime::hours(1), 0.5});
+  localizer_->attach_telemetry(&plan, RngStream{7});
+  std::vector<EndpointPair> pairs(12, rnic_pair(a, b));
+  const auto r = localizer_->refine_with_traceroute_ex(
+      pairs, {link_ref(env_.topo.uplink_of(a)), link_ref(ub)},
+      SimTime::minutes(1));
+  localizer_->attach_telemetry(nullptr, RngStream{0});
+  EXPECT_TRUE(r.ran);
+  EXPECT_GT(r.coverage, 0.0);
+  EXPECT_LT(r.coverage, 1.0);
+  EXPECT_FALSE(r.culprits.empty());
+}
+
+TEST_F(RefineTest, NearBlindRefinementDemotesToUnlocalized) {
+  // Full pipeline: when refinement ran but hop coverage lands below the
+  // configured floor, the verdict is demoted to kUnlocalized and the
+  // coverage is surfaced as the (low) confidence — no hardware gets
+  // indicted on evidence that thin. Forced deterministically by raising
+  // the floor above any achievable coverage.
+  LocalizerConfig cfg;
+  cfg.min_traceroute_coverage = 2.0;
+  Localizer strict(env_.topo, env_.overlay, oracle_, env_.faults, cfg);
+
+  // A same-ToR same-rail pair from the running task, both directions, so
+  // physical intersection produces the two-uplink tie refinement needs.
+  const Endpoint* e0 = nullptr;
+  const Endpoint* e1 = nullptr;
+  for (const auto& ep : endpoints_) {
+    if (env_.topo.rail_of(ep.rnic) != 0) continue;
+    if (env_.topo.host_of(ep.rnic) == HostId{0}) e0 = &ep;
+    if (env_.topo.host_of(ep.rnic) == HostId{1}) e1 = &ep;
+  }
+  ASSERT_NE(e0, nullptr);
+  ASSERT_NE(e1, nullptr);
+  const LinkId ub = env_.topo.uplink_of(e1->rnic);
+  env_.faults.inject(sim::IssueType::kSwitchPortDown,
+                     {sim::ComponentKind::kPhysicalLink, ub.value()},
+                     SimTime::seconds(0), SimTime::hours(1));
+  const auto loc =
+      strict.localize({{*e0, *e1}, {*e1, *e0}}, SimTime::minutes(1));
+  EXPECT_EQ(loc.method, LocalizationMethod::kUnlocalized);
+  EXPECT_FALSE(loc.found());
+  EXPECT_LE(loc.confidence, 1.0);
+}
+
 TEST(DeadLinkOf, GuardsHopsWithoutAPhysicalLink) {
   // Regression: refine_with_traceroute dereferenced the dead hop's link id
   // unconditionally; a dead hop carrying no valid link (death at the

@@ -284,5 +284,50 @@ TEST(PingLists, RailPrunedKeepsSameRankOnly) {
   }
 }
 
+TEST(AgentSequencing, StampsMonotonicPerPairSequenceNumbers) {
+  const auto cfg = [] {
+    topo::TopologyConfig c;
+    c.num_hosts = 4;
+    c.rails_per_host = 8;
+    c.hosts_per_segment = 2;
+    return c;
+  }();
+  const auto topo = topo::Topology::build(cfg);
+  overlay::OverlayNetwork overlay;
+  sim::FaultInjector faults;
+  const Endpoint a{ContainerId{0}, topo.rnic_of(HostId{0}, 0)};
+  const Endpoint b{ContainerId{1}, topo.rnic_of(HostId{1}, 0)};
+  const Endpoint c{ContainerId{2}, topo.rnic_of(HostId{2}, 0)};
+  overlay.attach_endpoint(a, HostId{0}, /*vni=*/0);
+  overlay.attach_endpoint(b, HostId{1}, /*vni=*/0);
+  overlay.attach_endpoint(c, HostId{2}, /*vni=*/0);
+  ProbeEngine engine{topo, overlay, faults, RngStream{3}};
+  Collector col;
+
+  Agent agent{ContainerId{0}, {a}};
+  agent.set_ping_list({{a, b}, {a, c}});
+  agent.activate_destination(ContainerId{1});
+  agent.activate_destination(ContainerId{2});
+  for (int t = 1; t <= 3; ++t) {
+    agent.run_round(engine, SimTime::seconds(t), col);
+  }
+  // Each pair gets its own 1, 2, 3, ... stream, independent of the other.
+  const auto& ab = col.results_for({a, b});
+  const auto& ac = col.results_for({a, c});
+  ASSERT_EQ(ab.size(), 3u);
+  ASSERT_EQ(ac.size(), 3u);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(ab[i].seq, i + 1);
+    EXPECT_EQ(ac[i].seq, i + 1);
+  }
+
+  // A skeleton replan keeps surviving pairs' sequence streams monotonic —
+  // a reset to 1 would make post-replan results look like stale replays.
+  agent.replace_ping_list({{a, b}});
+  agent.run_round(engine, SimTime::seconds(4), col);
+  ASSERT_EQ(col.results_for({a, b}).size(), 4u);
+  EXPECT_EQ(col.results_for({a, b}).back().seq, 4u);
+}
+
 }  // namespace
 }  // namespace skh::probe

@@ -1,0 +1,194 @@
+#include "probe/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include "probe/probe_types.h"
+
+namespace skh::probe {
+namespace {
+
+using sim::TelemetryFault;
+using sim::TelemetryFaultKind;
+using sim::TelemetryFaultPlan;
+
+Endpoint ep(std::uint32_t c, std::uint32_t r) {
+  return Endpoint{ContainerId{c}, RnicId{r}};
+}
+
+std::vector<ProbeResult> round_of(std::size_t n, SimTime sent_at,
+                                  std::uint64_t first_seq = 1) {
+  std::vector<ProbeResult> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    ProbeResult r;
+    r.pair = EndpointPair{ep(0, 0), ep(static_cast<std::uint32_t>(i + 1), 8)};
+    r.sent_at = sent_at;
+    r.delivered = true;
+    r.rtt_us = 16.0;
+    r.seq = first_seq;
+    out.push_back(r);
+  }
+  return out;
+}
+
+TelemetryFaultPlan one_episode(TelemetryFaultKind kind, double magnitude,
+                               SimTime start = SimTime::seconds(0),
+                               SimTime end = SimTime::hours(1)) {
+  TelemetryFaultPlan plan;
+  plan.faults.push_back(TelemetryFault{kind, start, end, magnitude});
+  return plan;
+}
+
+TEST(TelemetryChannel, EmptyPlanIsStrictPassThrough) {
+  TelemetryChannel ch;  // honest channel
+  auto round = round_of(5, SimTime::seconds(10));
+  const auto original = round;
+  ch.transmit(round, SimTime::seconds(10));
+  ASSERT_EQ(round.size(), original.size());
+  for (std::size_t i = 0; i < round.size(); ++i) {
+    EXPECT_EQ(round[i].pair, original[i].pair);
+    EXPECT_EQ(round[i].sent_at, original[i].sent_at);
+    EXPECT_EQ(round[i].rtt_us, original[i].rtt_us);
+    EXPECT_EQ(round[i].seq, original[i].seq);
+  }
+  const auto& c = ch.counters();
+  EXPECT_EQ(c.results_dropped + c.results_duplicated + c.results_delayed +
+                c.timestamps_skewed + c.rtt_corrupted,
+            0u);
+}
+
+TEST(TelemetryChannel, InactiveEpisodeDrawsNothing) {
+  // Two channels with DIFFERENT rng seeds but no active episode must agree
+  // bit-for-bit: an inactive plan may not consume randomness.
+  const auto plan = one_episode(TelemetryFaultKind::kResponseLoss, 1.0,
+                                SimTime::minutes(10), SimTime::minutes(20));
+  TelemetryChannel a(plan, RngStream{1});
+  TelemetryChannel b(plan, RngStream{2});
+  auto ra = round_of(8, SimTime::seconds(30));
+  auto rb = round_of(8, SimTime::seconds(30));
+  a.transmit(ra, SimTime::seconds(30));
+  b.transmit(rb, SimTime::seconds(30));
+  ASSERT_EQ(ra.size(), 8u);
+  ASSERT_EQ(rb.size(), 8u);
+}
+
+TEST(TelemetryChannel, ResponseLossDropsEverythingAtFullMagnitude) {
+  TelemetryChannel ch(one_episode(TelemetryFaultKind::kResponseLoss, 1.0),
+                      RngStream{7});
+  auto round = round_of(6, SimTime::seconds(5));
+  ch.transmit(round, SimTime::seconds(5));
+  EXPECT_TRUE(round.empty());
+  EXPECT_EQ(ch.counters().results_dropped, 6u);
+}
+
+TEST(TelemetryChannel, DuplicationAppendsTrueCopiesAfterOriginals) {
+  TelemetryChannel ch(one_episode(TelemetryFaultKind::kDuplication, 1.0),
+                      RngStream{7});
+  auto round = round_of(3, SimTime::seconds(5));
+  ch.transmit(round, SimTime::seconds(5));
+  ASSERT_EQ(round.size(), 6u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(round[3 + i].pair, round[i].pair);
+    EXPECT_EQ(round[3 + i].seq, round[i].seq);
+    EXPECT_EQ(round[3 + i].sent_at, round[i].sent_at);
+    EXPECT_EQ(round[3 + i].rtt_us, round[i].rtt_us);
+  }
+  EXPECT_EQ(ch.counters().results_duplicated, 3u);
+}
+
+TEST(TelemetryChannel, ReorderingDelaysResultsOneRoundBehindNewerSamples) {
+  TelemetryChannel ch(
+      one_episode(TelemetryFaultKind::kReordering, 1.0, SimTime::seconds(0),
+                  SimTime::seconds(6)),
+      RngStream{7});
+  auto first = round_of(2, SimTime::seconds(5), /*first_seq=*/1);
+  ch.transmit(first, SimTime::seconds(5));
+  EXPECT_TRUE(first.empty());  // whole round held back
+  EXPECT_EQ(ch.counters().results_delayed, 2u);
+
+  // Next round: the episode is over, so the fresh results pass through and
+  // the stale ones from the previous round arrive AFTER them.
+  auto second = round_of(2, SimTime::seconds(6), /*first_seq=*/2);
+  ch.transmit(second, SimTime::seconds(6));
+  ASSERT_EQ(second.size(), 4u);
+  EXPECT_EQ(second[0].seq, 2u);
+  EXPECT_EQ(second[1].seq, 2u);
+  EXPECT_EQ(second[2].seq, 1u);
+  EXPECT_EQ(second[2].sent_at, SimTime::seconds(5));
+  EXPECT_EQ(second[3].seq, 1u);
+}
+
+TEST(TelemetryChannel, ClockSkewShiftsTimestampsBackwards) {
+  TelemetryChannel ch(one_episode(TelemetryFaultKind::kClockSkew, 2.0),
+                      RngStream{7});
+  auto round = round_of(2, SimTime::seconds(30));
+  ch.transmit(round, SimTime::seconds(30));
+  ASSERT_EQ(round.size(), 2u);
+  EXPECT_EQ(round[0].sent_at, SimTime::seconds(28));
+  EXPECT_EQ(ch.counters().timestamps_skewed, 2u);
+}
+
+TEST(TelemetryChannel, RttCorruptionInflatesDeliveredSamplesOnly) {
+  TelemetryChannel ch(one_episode(TelemetryFaultKind::kRttCorruption, 1.0),
+                      RngStream{7});
+  auto round = round_of(2, SimTime::seconds(5));
+  round[1].delivered = false;
+  round[1].rtt_us = 0.0;
+  ch.transmit(round, SimTime::seconds(5));
+  ASSERT_EQ(round.size(), 2u);
+  EXPECT_DOUBLE_EQ(round[0].rtt_us, 16.0 * 50.0);
+  EXPECT_EQ(round[1].rtt_us, 0.0);  // lost probes carry no RTT to corrupt
+  EXPECT_EQ(ch.counters().rtt_corrupted, 1u);
+}
+
+TEST(TelemetryChannel, SameSeedSamePlanIsBitIdentical) {
+  const auto mk = [] {
+    TelemetryFaultPlan plan;
+    plan.faults = {
+        {TelemetryFaultKind::kResponseLoss, SimTime::seconds(0),
+         SimTime::minutes(5), 0.4},
+        {TelemetryFaultKind::kDuplication, SimTime::seconds(0),
+         SimTime::minutes(5), 0.3},
+        {TelemetryFaultKind::kReordering, SimTime::seconds(0),
+         SimTime::minutes(5), 0.2},
+    };
+    return plan;
+  };
+  TelemetryChannel a(mk(), RngStream{99});
+  TelemetryChannel b(mk(), RngStream{99});
+  for (int t = 1; t <= 60; ++t) {
+    auto ra = round_of(4, SimTime::seconds(t),
+                       static_cast<std::uint64_t>(t));
+    auto rb = ra;
+    a.transmit(ra, SimTime::seconds(t));
+    b.transmit(rb, SimTime::seconds(t));
+    ASSERT_EQ(ra.size(), rb.size()) << "tick " << t;
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      EXPECT_EQ(ra[i].pair, rb[i].pair);
+      EXPECT_EQ(ra[i].seq, rb[i].seq);
+      EXPECT_EQ(ra[i].sent_at, rb[i].sent_at);
+      EXPECT_EQ(ra[i].rtt_us, rb[i].rtt_us);
+    }
+  }
+  EXPECT_EQ(a.counters().results_dropped, b.counters().results_dropped);
+  EXPECT_EQ(a.counters().results_duplicated,
+            b.counters().results_duplicated);
+  EXPECT_EQ(a.counters().results_delayed, b.counters().results_delayed);
+}
+
+TEST(TelemetryChannel, BlackoutAndHopLossQueryThePlan) {
+  TelemetryFaultPlan plan;
+  plan.faults = {
+      {TelemetryFaultKind::kAnalyzerBlackout, SimTime::minutes(1),
+       SimTime::minutes(2), 0.0},
+      {TelemetryFaultKind::kTracerouteHopLoss, SimTime::minutes(3),
+       SimTime::minutes(4), 0.35},
+  };
+  TelemetryChannel ch(plan, RngStream{1});
+  EXPECT_FALSE(ch.blackout_at(SimTime::seconds(59)));
+  EXPECT_TRUE(ch.blackout_at(SimTime::seconds(61)));
+  EXPECT_EQ(ch.hop_loss_at(SimTime::minutes(1)), 0.0);
+  EXPECT_DOUBLE_EQ(ch.hop_loss_at(SimTime::minutes(3)), 0.35);
+}
+
+}  // namespace
+}  // namespace skh::probe

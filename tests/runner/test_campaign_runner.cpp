@@ -180,6 +180,50 @@ TEST(CampaignRunner, ChurnCampaignBitIdenticalAcross1_4_16Threads) {
   }
 }
 
+TEST(CampaignRunner, TelemetryStormCampaignBitIdenticalAcross1_4_16Threads) {
+  // A lying measurement plane is planned from a forked rng stream the same
+  // way fault/churn schedules are: adding telemetry episodes must not cost
+  // the bit-identity guarantee at any thread count.
+  auto cfg = tiny_config();
+  cfg.telemetry_faults = 5;
+  cfg.telemetry_start = SimTime::minutes(6);
+  cfg.telemetry_spacing = SimTime::minutes(7);
+  cfg.telemetry_duration = SimTime::minutes(3);
+  const auto seeds = split_seeds(4242, 4);
+  const CampaignSet one = run_many(cfg, seeds, 1);
+  const CampaignSet four = run_many(cfg, seeds, 4);
+  const CampaignSet sixteen = run_many(cfg, seeds, 16);
+  ASSERT_EQ(one.runs.size(), seeds.size());
+  ASSERT_EQ(four.runs.size(), seeds.size());
+  ASSERT_EQ(sixteen.runs.size(), seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(one.runs[i].telemetry_events, 5u);
+    for (const CampaignSet* set : {&four, &sixteen}) {
+      EXPECT_EQ(one.runs[i].telemetry_events, set->runs[i].telemetry_events)
+          << "seed " << seeds[i];
+      EXPECT_EQ(one.runs[i].score, set->runs[i].score) << "seed " << seeds[i];
+      EXPECT_EQ(one.runs[i].probes_sent, set->runs[i].probes_sent)
+          << "seed " << seeds[i];
+      EXPECT_EQ(one.runs[i].failure_cases, set->runs[i].failure_cases)
+          << "seed " << seeds[i];
+      EXPECT_EQ(schedule_of(one.runs[i]), schedule_of(set->runs[i]))
+          << "seed " << seeds[i];
+    }
+  }
+}
+
+TEST(CampaignRunner, HonestPlaneIsUnchangedByTheTelemetryKnob) {
+  // telemetry_faults = 0 must be byte-for-byte the pre-knob behavior: the
+  // channel early-returns without consuming randomness, so existing seeds
+  // keep their results.
+  const auto cfg = tiny_config();
+  const RunResult r = run_campaign(cfg, 1234);
+  EXPECT_EQ(r.telemetry_events, 0u);
+  const RunResult again = run_campaign(cfg, 1234);
+  EXPECT_EQ(r.score, again.score);
+  EXPECT_EQ(r.probes_sent, again.probes_sent);
+}
+
 TEST(CampaignRunner, CampaignDetectsInjectedFaults) {
   // Sanity that the canned campaign is a real workload, not a no-op: the
   // hunter raises cases and detects at least one injected fault.

@@ -1,5 +1,7 @@
 #include "sim/fault.h"
 
+#include <set>
+
 #include <gtest/gtest.h>
 
 namespace skh::sim {
@@ -208,6 +210,89 @@ TEST(Churn, KindStrings) {
   EXPECT_EQ(to_string(ChurnKind::kMigrate), "migrate");
   EXPECT_EQ(to_string(ChurnKind::kCrash), "crash");
   EXPECT_EQ(to_string(ChurnKind::kAgentDeath), "agent-death");
+}
+
+TEST(TelemetryPlan, StormIsSeedDeterministicAndCyclesKinds) {
+  RngStream a(4242);
+  RngStream b(4242);
+  const auto p1 = make_telemetry_storm(14, SimTime::minutes(5),
+                                       SimTime::minutes(9),
+                                       SimTime::minutes(4), a);
+  const auto p2 = make_telemetry_storm(14, SimTime::minutes(5),
+                                       SimTime::minutes(9),
+                                       SimTime::minutes(4), b);
+  ASSERT_EQ(p1.faults.size(), 14u);
+  std::set<TelemetryFaultKind> kinds;
+  for (std::size_t i = 0; i < p1.faults.size(); ++i) {
+    EXPECT_EQ(p1.faults[i].kind, p2.faults[i].kind);
+    EXPECT_EQ(p1.faults[i].start, p2.faults[i].start);
+    EXPECT_EQ(p1.faults[i].end, p2.faults[i].end);
+    EXPECT_EQ(p1.faults[i].magnitude, p2.faults[i].magnitude);
+    EXPECT_EQ(p1.faults[i].end - p1.faults[i].start, SimTime::minutes(4));
+    if (i > 0) EXPECT_GT(p1.faults[i].start, p1.faults[i - 1].start);
+    kinds.insert(p1.faults[i].kind);
+  }
+  // 14 episodes over 7 kinds: every kind appears (cycling in enum order).
+  EXPECT_EQ(kinds.size(), 7u);
+}
+
+TEST(TelemetryPlan, MagnitudeAtTakesMaxOfActiveEpisodes) {
+  TelemetryFaultPlan plan;
+  plan.faults = {
+      {TelemetryFaultKind::kResponseLoss, SimTime::seconds(10),
+       SimTime::seconds(50), 0.2},
+      {TelemetryFaultKind::kResponseLoss, SimTime::seconds(30),
+       SimTime::seconds(40), 0.6},
+      {TelemetryFaultKind::kDuplication, SimTime::seconds(0),
+       SimTime::seconds(100), 0.9},
+  };
+  EXPECT_EQ(plan.magnitude_at(TelemetryFaultKind::kResponseLoss,
+                              SimTime::seconds(5)), 0.0);
+  EXPECT_EQ(plan.magnitude_at(TelemetryFaultKind::kResponseLoss,
+                              SimTime::seconds(20)), 0.2);
+  EXPECT_EQ(plan.magnitude_at(TelemetryFaultKind::kResponseLoss,
+                              SimTime::seconds(35)), 0.6);
+  // End is exclusive.
+  EXPECT_EQ(plan.magnitude_at(TelemetryFaultKind::kResponseLoss,
+                              SimTime::seconds(50)), 0.0);
+  EXPECT_EQ(plan.magnitude_at(TelemetryFaultKind::kClockSkew,
+                              SimTime::seconds(35)), 0.0);
+}
+
+TEST(TelemetryPlan, BlackoutAtOnlyMatchesBlackoutEpisodes) {
+  TelemetryFaultPlan plan;
+  plan.faults = {
+      {TelemetryFaultKind::kResponseLoss, SimTime::seconds(0),
+       SimTime::seconds(100), 1.0},
+      {TelemetryFaultKind::kAnalyzerBlackout, SimTime::seconds(40),
+       SimTime::seconds(60), 0.0},
+  };
+  EXPECT_FALSE(plan.blackout_at(SimTime::seconds(39)));
+  EXPECT_TRUE(plan.blackout_at(SimTime::seconds(40)));
+  EXPECT_TRUE(plan.blackout_at(SimTime::seconds(59)));
+  EXPECT_FALSE(plan.blackout_at(SimTime::seconds(60)));
+}
+
+TEST(TelemetryPlan, EmptyPlanIsHonest) {
+  const TelemetryFaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_FALSE(plan.blackout_at(SimTime::minutes(10)));
+  for (int k = 0; k <= 6; ++k) {
+    EXPECT_EQ(plan.magnitude_at(static_cast<TelemetryFaultKind>(k),
+                                SimTime::minutes(10)), 0.0);
+  }
+}
+
+TEST(TelemetryPlan, KindStrings) {
+  EXPECT_EQ(to_string(TelemetryFaultKind::kResponseLoss), "response-loss");
+  EXPECT_EQ(to_string(TelemetryFaultKind::kDuplication), "duplication");
+  EXPECT_EQ(to_string(TelemetryFaultKind::kReordering), "reordering");
+  EXPECT_EQ(to_string(TelemetryFaultKind::kClockSkew), "clock-skew");
+  EXPECT_EQ(to_string(TelemetryFaultKind::kRttCorruption), "rtt-corruption");
+  EXPECT_EQ(to_string(TelemetryFaultKind::kTracerouteHopLoss),
+            "traceroute-hop-loss");
+  EXPECT_EQ(to_string(TelemetryFaultKind::kAnalyzerBlackout),
+            "analyzer-blackout");
 }
 
 TEST(ComponentRef, EqualityAndStrings) {
