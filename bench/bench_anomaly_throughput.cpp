@@ -1,17 +1,29 @@
 // Streaming anomaly hot path vs the batch reference at fleet scale.
 //
-// Part 1 replays one pre-generated 10k-pair probe stream through both
-// detector compute paths. The batch path goes through the per-call
-// ProbeResult API it shipped with: a pair hash per probe, retained sample
-// vectors copied and sorted at every window close, and the LOF look-back
-// refit from scratch each time. The streaming path uses pre-resolved pair
-// handles, incremental window summaries, and the resident StreamingLof
-// model. The PR bar: >= 5x probe ingest throughput, with verdicts that
-// match event-for-event (pair, kind, timestamp).
+// Part 1 replays pre-generated probe streams through both detector compute
+// paths, at 10k pairs (the paper's single-task fleet) and at 100k pairs
+// (ten concurrent tasks sharing one analyzer). The batch path goes through
+// the per-call ProbeResult API it shipped with: a pair hash per probe,
+// retained sample vectors copied and sorted at every window close, and the
+// LOF look-back refit from scratch each time. The streaming path uses
+// pre-resolved pair handles (stable FlatPairTable ids), one-cache-line
+// PairHot rows, strip-arena window samples, and the resident StreamingLof
+// model. The PR bar: >= 10x probe ingest throughput at 10k pairs, with
+// verdicts that match event-for-event (pair, kind, timestamp). The 100k
+// row is reported (and verdict-checked) but not throughput-gated: at that
+// scale the working set outgrows cache on purpose, and the number documents
+// how the hot path degrades, not a promise.
 //
-// Part 2 re-runs fault-injection campaigns with each path and requires
+// Part 2 snapshots the streaming detector mid-stream, restores into a
+// fresh instance, and replays the remaining rounds through both: events
+// must be identical to the bit (scores compared as doubles, not within a
+// tolerance), and pair handles must survive the round-trip unchanged.
+//
+// Part 3 re-runs fault-injection campaigns with each path and requires
 // bit-identical CampaignScores — the end-to-end guarantee that the hot
-// path changed nothing about what the system reports.
+// path changed nothing about what the system reports — and re-runs the
+// streaming campaigns across 1/4/16 runner threads, which must also be
+// bit-identical.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -28,76 +40,81 @@ using namespace skh::core;
 
 namespace {
 
-constexpr std::size_t kPairs = 10000;
-constexpr std::size_t kRounds = 120;    // 10 min of probing...
-constexpr double kIntervalS = 5.0;      // ...at the campaign probe interval
+constexpr double kIntervalS = 5.0;  // the campaign probe interval
 
-EndpointPair pair_of(std::size_t p) {
+EndpointPair pair_of(std::size_t p, std::size_t pairs) {
   const auto i = static_cast<std::uint32_t>(p);
-  const auto j = static_cast<std::uint32_t>(p + kPairs);
+  const auto j = static_cast<std::uint32_t>(p + pairs);
   return {{ContainerId{i}, RnicId{i}}, {ContainerId{j}, RnicId{j}}};
 }
 
 /// rtt in microseconds, negative = probe lost. Round-major (every pair is
 /// probed each round), with a latency-spike cohort and a loss cohort (each
 /// active for a quarter of the run) so both window rules actually fire.
-std::vector<float> make_stream() {
-  std::vector<float> s(kRounds * kPairs);
+std::vector<float> make_stream(std::size_t pairs, std::size_t rounds) {
+  std::vector<float> s(rounds * pairs);
   RngStream rng{99};
-  for (std::size_t r = 0; r < kRounds; ++r) {
-    for (std::size_t p = 0; p < kPairs; ++p) {
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (std::size_t p = 0; p < pairs; ++p) {
       double rtt = 16.0 * std::exp(rng.normal(0.0, 0.05));
-      if (p % 977 == 3 && r >= kRounds / 2 && r < 3 * kRounds / 4) rtt *= 2.5;
-      const bool lost = p % 1013 == 7 && r >= kRounds / 4 &&
-                        r < kRounds / 2 && rng.uniform() < 0.3;
-      s[r * kPairs + p] = lost ? -1.0F : static_cast<float>(rtt);
+      if (p % 977 == 3 && r >= rounds / 2 && r < 3 * rounds / 4) rtt *= 2.5;
+      const bool lost = p % 1013 == 7 && r >= rounds / 4 && r < rounds / 2 &&
+                        rng.uniform() < 0.3;
+      s[r * pairs + p] = lost ? -1.0F : static_cast<float>(rtt);
     }
   }
   return s;
 }
 
-double run_streaming(const std::vector<float>& stream,
-                     std::vector<AnomalyEvent>& events,
+double run_streaming(const std::vector<float>& stream, std::size_t pairs,
+                     std::size_t rounds, std::vector<AnomalyEvent>& events,
                      DetectorCounters& counters) {
   DetectorConfig cfg;
   cfg.streaming = true;
+  // Plan-time sizing, exactly as the hunter does it after list distribution:
+  // the flat table and the hot/cold/strip arenas are laid out once, and the
+  // timed region below performs zero rehashes and zero arena growth.
+  cfg.expected_pairs = pairs;
   AnomalyDetector det(cfg);
-  std::vector<AnomalyDetector::PairHandle> handles(kPairs);
-  for (std::size_t p = 0; p < kPairs; ++p) handles[p] = det.handle_of(pair_of(p));
+  std::vector<AnomalyDetector::PairHandle> handles(pairs);
+  for (std::size_t p = 0; p < pairs; ++p) {
+    handles[p] = det.handle_of(pair_of(p, pairs));
+  }
   const auto t0 = std::chrono::steady_clock::now();
-  for (std::size_t r = 0; r < kRounds; ++r) {
+  for (std::size_t r = 0; r < rounds; ++r) {
     const SimTime t = SimTime::seconds(static_cast<double>(r) * kIntervalS);
-    const float* row = stream.data() + r * kPairs;
-    for (std::size_t p = 0; p < kPairs; ++p) {
+    const float* row = stream.data() + r * pairs;
+    for (std::size_t p = 0; p < pairs; ++p) {
       const float v = row[p];
       (void)det.ingest(handles[p], t, v >= 0.0F,
                        v >= 0.0F ? static_cast<double>(v) : 0.0, events);
     }
   }
   const auto tail =
-      det.flush(SimTime::seconds(static_cast<double>(kRounds) * kIntervalS));
+      det.flush(SimTime::seconds(static_cast<double>(rounds) * kIntervalS));
   const auto t1 = std::chrono::steady_clock::now();
   events.insert(events.end(), tail.begin(), tail.end());
   counters = det.counters();
   return std::chrono::duration<double>(t1 - t0).count();
 }
 
-double run_batch(const std::vector<float>& stream,
-                 std::vector<AnomalyEvent>& events,
+double run_batch(const std::vector<float>& stream, std::size_t pairs,
+                 std::size_t rounds, std::vector<AnomalyEvent>& events,
                  DetectorCounters& counters) {
   DetectorConfig cfg;
   cfg.streaming = false;
+  cfg.expected_pairs = pairs;
   AnomalyDetector det(cfg);
-  std::vector<EndpointPair> pairs(kPairs);
-  for (std::size_t p = 0; p < kPairs; ++p) pairs[p] = pair_of(p);
+  std::vector<EndpointPair> ps(pairs);
+  for (std::size_t p = 0; p < pairs; ++p) ps[p] = pair_of(p, pairs);
   const auto t0 = std::chrono::steady_clock::now();
   probe::ProbeResult pr;
-  for (std::size_t r = 0; r < kRounds; ++r) {
+  for (std::size_t r = 0; r < rounds; ++r) {
     pr.sent_at = SimTime::seconds(static_cast<double>(r) * kIntervalS);
-    const float* row = stream.data() + r * kPairs;
-    for (std::size_t p = 0; p < kPairs; ++p) {
+    const float* row = stream.data() + r * pairs;
+    for (std::size_t p = 0; p < pairs; ++p) {
       const float v = row[p];
-      pr.pair = pairs[p];
+      pr.pair = ps[p];
       pr.delivered = v >= 0.0F;
       pr.rtt_us = v >= 0.0F ? static_cast<double>(v) : 0.0;
       const auto fired = det.ingest(pr);
@@ -105,7 +122,7 @@ double run_batch(const std::vector<float>& stream,
     }
   }
   const auto tail =
-      det.flush(SimTime::seconds(static_cast<double>(kRounds) * kIntervalS));
+      det.flush(SimTime::seconds(static_cast<double>(rounds) * kIntervalS));
   const auto t1 = std::chrono::steady_clock::now();
   events.insert(events.end(), tail.begin(), tail.end());
   counters = det.counters();
@@ -126,67 +143,164 @@ bool same_verdicts(const std::vector<AnomalyEvent>& a,
   return true;
 }
 
+/// Exact event identity: scores must match as bit patterns, not within a
+/// tolerance. This is the snapshot/restore contract.
+bool identical_events(const std::vector<AnomalyEvent>& a,
+                      const std::vector<AnomalyEvent>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].pair == b[i].pair) || a[i].kind != b[i].kind ||
+        a[i].detected_at.raw_nanos() != b[i].detected_at.raw_nanos() ||
+        a[i].score != b[i].score) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct ScaleResult {
+  double t_batch = 0.0;
+  double t_streaming = 0.0;
+  bool ok = false;
+};
+
+/// One Part-1 scale point: interleaved min-of-N for both paths plus the
+/// verdict- and accounting-identity checks. Interleaving the reps (b, s,
+/// b, s, ...) keeps a time-varying background load from biasing one path.
+ScaleResult run_scale(std::size_t pairs, std::size_t rounds, int reps,
+                      TablePrinter& table) {
+  const auto stream = make_stream(pairs, rounds);
+  const auto probes = static_cast<double>(stream.size());
+  ScaleResult res;
+  std::vector<AnomalyEvent> batch_events, streaming_events;
+  DetectorCounters bc, sc;
+  res.t_batch = run_batch(stream, pairs, rounds, batch_events, bc);
+  res.t_streaming = run_streaming(stream, pairs, rounds, streaming_events, sc);
+  for (int rep = 1; rep < reps; ++rep) {
+    std::vector<AnomalyEvent> ev;
+    DetectorCounters c;
+    res.t_batch = std::min(res.t_batch, run_batch(stream, pairs, rounds, ev, c));
+    ev.clear();
+    res.t_streaming =
+        std::min(res.t_streaming, run_streaming(stream, pairs, rounds, ev, c));
+  }
+  const double speedup = res.t_batch / res.t_streaming;
+  const std::string scale = std::to_string(pairs / 1000) + "k pairs";
+  table.add_row({scale, "batch (reference)", TablePrinter::num(res.t_batch, 3),
+                 TablePrinter::num(probes / res.t_batch / 1e6, 2) + "M",
+                 std::to_string(batch_events.size()), ""});
+  table.add_row({scale, "streaming", TablePrinter::num(res.t_streaming, 3),
+                 TablePrinter::num(probes / res.t_streaming / 1e6, 2) + "M",
+                 std::to_string(streaming_events.size()),
+                 TablePrinter::num(speedup, 2) + "x"});
+  if (!same_verdicts(streaming_events, batch_events)) {
+    std::printf("FATAL: streaming and batch verdicts differ at %zu pairs\n",
+                pairs);
+    return res;
+  }
+  if (bc.short_windows_closed != sc.short_windows_closed ||
+      bc.samples_delivered != sc.samples_delivered) {
+    std::printf("FATAL: window accounting differs between paths at %zu "
+                "pairs\n", pairs);
+    return res;
+  }
+  std::printf("%zu pairs x %zu rounds: verdicts identical (%zu events), "
+              "lof fast-path ratio %.3f (%llu fast / %llu fallback)\n",
+              pairs, rounds, streaming_events.size(), lof_fast_path_ratio(sc),
+              static_cast<unsigned long long>(sc.lof_fast_path),
+              static_cast<unsigned long long>(sc.lof_fallback));
+  res.ok = true;
+  return res;
+}
+
 }  // namespace
 
 int main() {
   print_banner("Anomaly-detector ingest throughput: streaming vs batch");
+  std::printf("interleaved min-of-N wall time per path; verdicts must match "
+              "event-for-event\n\n");
 
-  std::printf("%zu pairs x %zu rounds (%.0f s at %.0f s interval), "
-              "%zu probes per path\n\n",
-              kPairs, kRounds, kRounds * kIntervalS, kIntervalS,
-              kPairs * kRounds);
-  const auto stream = make_stream();
-  const auto probes = static_cast<double>(stream.size());
-
-  // Each path replays the stream several times and reports its best wall
-  // time: both replays are deterministic (identical events every rep), so
-  // min-of-N measures the path's throughput capacity rather than whatever
-  // the scheduler did to one run (observed run-to-run swing: ~20%).
-  constexpr int kReps = 5;
-  std::vector<AnomalyEvent> batch_events, streaming_events;
-  DetectorCounters bc, sc;
-  double t_batch = run_batch(stream, batch_events, bc);
-  double t_streaming = run_streaming(stream, streaming_events, sc);
-  for (int rep = 1; rep < kReps; ++rep) {
-    std::vector<AnomalyEvent> ev;
-    DetectorCounters c;
-    t_batch = std::min(t_batch, run_batch(stream, ev, c));
-    ev.clear();
-    t_streaming = std::min(t_streaming, run_streaming(stream, ev, c));
-  }
-  const double speedup = t_batch / t_streaming;
-
-  TablePrinter table({"path", "wall s", "probes/s", "events"});
-  table.add_row({"batch (reference)", TablePrinter::num(t_batch, 3),
-                 TablePrinter::num(probes / t_batch / 1e6, 2) + "M",
-                 std::to_string(batch_events.size())});
-  table.add_row({"streaming", TablePrinter::num(t_streaming, 3),
-                 TablePrinter::num(probes / t_streaming / 1e6, 2) + "M",
-                 std::to_string(streaming_events.size())});
+  TablePrinter table({"scale", "path", "wall s", "probes/s", "events",
+                      "speedup"});
+  // 9 interleaved reps on the gated row: the host this runs on shares its
+  // cores, and min-of-N only converges on the true (noise-free) wall time
+  // for both paths once N spans a few scheduler interference periods.
+  const ScaleResult r10k = run_scale(10000, 120, 9, table);
+  if (!r10k.ok) return 1;
+  const ScaleResult r100k = run_scale(100000, 60, 3, table);
+  if (!r100k.ok) return 1;
+  std::printf("\n");
   table.print();
-  std::printf("\nspeedup: %.2fx   lof fast-path ratio: %.3f "
-              "(%llu fast / %llu fallback)\n",
-              speedup, lof_fast_path_ratio(sc),
-              static_cast<unsigned long long>(sc.lof_fast_path),
-              static_cast<unsigned long long>(sc.lof_fallback));
 
-  if (!same_verdicts(streaming_events, batch_events)) {
-    std::printf("FATAL: streaming and batch verdicts differ\n");
-    return 1;
-  }
-  std::printf("verdicts: identical (%zu events, all kinds/pairs/timestamps"
-              " match)\n", streaming_events.size());
-  if (bc.short_windows_closed != sc.short_windows_closed ||
-      bc.samples_delivered != sc.samples_delivered) {
-    std::printf("FATAL: window accounting differs between paths\n");
-    return 1;
-  }
-  if (speedup < 5.0) {
-    std::printf("FATAL: speedup %.2fx below the 5x requirement\n", speedup);
+  const double speedup = r10k.t_batch / r10k.t_streaming;
+  std::printf("\n10k-pair speedup: %.2fx (gate: >= 10x)\n", speedup);
+  if (speedup < 10.0) {
+    std::printf("FATAL: speedup %.2fx below the 10x requirement\n", speedup);
     return 1;
   }
 
-  // Part 2: end-to-end campaign verdicts must be bit-identical.
+  // Part 2: mid-stream snapshot/restore must continue bit-identically,
+  // with pair handles surviving the round-trip.
+  print_banner("Snapshot round-trip identity (streaming, 10k pairs)");
+  {
+    constexpr std::size_t kPairs = 10000, kRounds = 120, kCut = kRounds / 2;
+    const auto stream = make_stream(kPairs, kRounds);
+    DetectorConfig cfg;
+    cfg.streaming = true;
+    cfg.expected_pairs = kPairs;
+    AnomalyDetector det(cfg);
+    std::vector<AnomalyDetector::PairHandle> handles(kPairs);
+    for (std::size_t p = 0; p < kPairs; ++p) {
+      handles[p] = det.handle_of(pair_of(p, kPairs));
+    }
+    std::vector<AnomalyEvent> pre;
+    auto feed = [&](AnomalyDetector& d,
+                    const std::vector<AnomalyDetector::PairHandle>& hs,
+                    std::size_t from, std::size_t to,
+                    std::vector<AnomalyEvent>& ev) {
+      for (std::size_t r = from; r < to; ++r) {
+        const SimTime t =
+            SimTime::seconds(static_cast<double>(r) * kIntervalS);
+        const float* row = stream.data() + r * kPairs;
+        for (std::size_t p = 0; p < kPairs; ++p) {
+          const float v = row[p];
+          (void)d.ingest(hs[p], t, v >= 0.0F,
+                         v >= 0.0F ? static_cast<double>(v) : 0.0, ev);
+        }
+      }
+    };
+    feed(det, handles, 0, kCut, pre);
+    const auto snap = det.snapshot();
+
+    AnomalyDetector restored(cfg);
+    restored.restore(snap);
+    // Handle stability across the round-trip: the restored table must map
+    // every pair to the id the live detector allocated.
+    for (std::size_t p = 0; p < kPairs; p += 997) {
+      if (restored.handle_of(pair_of(p, kPairs)) != handles[p]) {
+        std::printf("FATAL: pair %zu changed handle across restore\n", p);
+        return 1;
+      }
+    }
+    std::vector<AnomalyEvent> tail_live, tail_restored;
+    feed(det, handles, kCut, kRounds, tail_live);
+    feed(restored, handles, kCut, kRounds, tail_restored);
+    const auto end =
+        SimTime::seconds(static_cast<double>(kRounds) * kIntervalS);
+    const auto fl = det.flush(end);
+    const auto fr = restored.flush(end);
+    tail_live.insert(tail_live.end(), fl.begin(), fl.end());
+    tail_restored.insert(tail_restored.end(), fr.begin(), fr.end());
+    if (!identical_events(tail_live, tail_restored)) {
+      std::printf("FATAL: restored detector diverged from the live one\n");
+      return 1;
+    }
+    std::printf("restored at round %zu: %zu post-cut events bit-identical, "
+                "handles stable\n", kCut, tail_live.size());
+  }
+
+  // Part 3: end-to-end campaign verdicts must be bit-identical — across
+  // detector paths, and across runner thread counts on the streaming path.
   print_banner("Campaign verdict identity (streaming vs batch)");
   runner::CampaignConfig cc;
   cc.topology.num_hosts = 16;
@@ -202,8 +316,9 @@ int main() {
   cc.fault_duration = SimTime::minutes(4);
   cc.drain = SimTime::minutes(10);
 
+  const std::vector<std::uint64_t> seeds{0x5eedULL, 0xbeefULL, 0xf00dULL};
   TablePrinter ct({"seed", "cases", "precision", "recall", "identical"});
-  for (const std::uint64_t seed : {0x5eedULL, 0xbeefULL, 0xf00dULL}) {
+  for (const std::uint64_t seed : seeds) {
     cc.hunter.detector.streaming = true;
     const auto s = runner::run_campaign(cc, seed);
     cc.hunter.detector.streaming = false;
@@ -223,5 +338,23 @@ int main() {
   }
   ct.print();
   std::printf("\ncampaign verdicts bit-identical across detector paths\n");
+
+  cc.hunter.detector.streaming = true;
+  const auto one = runner::run_many(cc, seeds, 1);
+  for (const std::size_t n : {std::size_t{4}, std::size_t{16}}) {
+    const auto many = runner::run_many(cc, seeds, n);
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      if (!(one.runs[i].score == many.runs[i].score) ||
+          one.runs[i].failure_cases != many.runs[i].failure_cases ||
+          one.runs[i].probes_sent != many.runs[i].probes_sent) {
+        std::printf("FATAL: streaming campaign differs at %zu threads, "
+                    "seed %llu\n", n,
+                    static_cast<unsigned long long>(seeds[i]));
+        return 1;
+      }
+    }
+  }
+  std::printf("streaming campaigns bit-identical across 1/4/16 runner "
+              "threads\n");
   return 0;
 }

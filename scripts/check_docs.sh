@@ -25,6 +25,19 @@ for dir in "$root"/src/*/; do
   fi
 done
 
+# The ingest hot path's memory layout is a documented contract, not an
+# implementation detail: the flat pair table must appear in the module
+# map, and the layout section itself must exist (tests and benches pin
+# behavior against it).
+if ! grep -q "common/flat_table" "$arch"; then
+  echo "FAIL: common/flat_table is missing from ARCHITECTURE.md's module map"
+  status=1
+fi
+if ! grep -q "^## Memory layout & hot path" "$arch"; then
+  echo "FAIL: ARCHITECTURE.md is missing the 'Memory layout & hot path' section"
+  status=1
+fi
+
 if [[ -f "$readme" ]]; then
   for src in "$root"/bench/bench_*.cpp; do
     [[ -f "$src" ]] || continue  # unexpanded glob: no bench sources

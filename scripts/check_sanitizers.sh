@@ -3,11 +3,15 @@
 #
 # Configures a separate sub-build with SKH_SANITIZE=ON and replays the
 # memory-heaviest suites: common (window accumulators, the lock-protected
-# log sink), ml (the LOF ring's raw row/column arithmetic), core (the
-# detector hot path with its flattened pair storage and reused buffers,
+# log sink, and the FlatPairTable differential fuzz — 20k mixed ops
+# crossing grow/purge rebuilds, tombstone probe chains, and id recycling
+# under ASan), ml (the LOF point ring and the lazily materialized
+# distance-matrix scratch), core (the detector hot path with its
+# flattened pair storage and reused buffers,
 # the churn degrade/re-infer lifecycle, the traceroute-refinement
 # partial-result edge cases in test_localize, the gray-telemetry defense
-# paths in test_anomaly, and the detector/hunter snapshot round-trips),
+# paths in test_anomaly, the pair retire/revive/recycle churn paths, and
+# the detector/hunter snapshot round-trips),
 # obs (per-thread shard cells and the trace ring), sim (churn plans and
 # fault/telemetry episode windows), cluster (the restart/migrate/crash
 # deregistration paths), and probe (per-target retry/backoff state plus

@@ -1,0 +1,234 @@
+// Cache-resident fixed-capacity pair table for the ingest hot path.
+//
+// `FlatPairTable` maps an `EndpointPair` to a stable dense id using one
+// arena-backed open-addressing slot array: 2-bit slot states (Empty /
+// Used / Deleted) packed 32-per-word, the keys, and the ids all live in a
+// single 64-byte-aligned allocation, probed with linear shifting (the
+// probe sequence shifts one slot per step from the hash slot). The table
+// is sized once at plan time — the pair count is known after skeleton
+// inference — via the `fullness` knob: for a planned capacity C the slot
+// array holds next_pow2(ceil(C / fullness)) slots, so the *virtual*
+// capacity (`slots * fullness`, the occupancy at which a rebuild would
+// trigger) is at least C and steady-state probe chains stay short. A
+// correctly planned table therefore performs zero rehashes and zero
+// allocations on the ingest path.
+//
+// Ids are NOT probe-slot indices. A probe slot moves when the table
+// rebuilds (growth or tombstone purge); the id is allocated once per key
+// from a bump counter + free list and never moves, so callers can index
+// dense side arrays (hot state, sample strips) by id across rebuilds.
+// `erase` only unmaps the key — the id stays allocated until the caller
+// returns it with `free_id`, which is what lets the analyzer keep a
+// retired pair's state alive until its final windows have been judged
+// (see core/anomaly). The full layout and state-machine contract is
+// documented in ARCHITECTURE.md ("Memory layout & hot path").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace skh::common {
+
+/// 64-byte-aligned allocator for the slot arena (and for any side array
+/// that wants cache-line-aligned rows, e.g. the detector's sample strips).
+/// Alignment is a property of the allocator (not a runtime offset fix-up)
+/// so that the section offsets computed at rebuild stay valid across value
+/// copies — a copied table (e.g. inside a detector snapshot) reuses them
+/// untouched.
+template <typename T = std::byte>
+struct ArenaAllocator {
+  using value_type = T;
+
+  template <typename U>
+  struct rebind {
+    using other = ArenaAllocator<U>;
+  };
+
+  ArenaAllocator() = default;
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{64}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{64});
+  }
+  template <typename U>
+  friend bool operator==(const ArenaAllocator&, const ArenaAllocator<U>&) {
+    return true;
+  }
+};
+
+struct FlatTableConfig {
+  /// Planned live-key count; the slot array is sized so this many keys fit
+  /// without a rebuild. 0 defers sizing to the first insert / `reserve`.
+  std::size_t capacity = 0;
+  /// Target occupied fraction of the slot array (clamped to [0.05, 0.95]).
+  /// Lower = more slack slots, shorter probe chains, more memory.
+  double fullness = 0.5;
+};
+
+class FlatPairTable {
+ public:
+  /// Stable dense id of a key; survives table rebuilds (see file header).
+  using SlotId = std::uint32_t;
+  static constexpr SlotId kNoSlot = static_cast<SlotId>(-1);
+
+  /// 2-bit per-slot state machine. Empty terminates probe chains; Deleted
+  /// (a tombstone) keeps chains walkable after an erase and is reclaimed
+  /// by the first insert that probes across it or by a purge rebuild.
+  enum class SlotState : std::uint8_t { kEmpty = 0, kUsed = 1, kDeleted = 2 };
+
+  struct InsertResult {
+    SlotId id;
+    bool inserted;  ///< false: key already present, `id` is its mapping
+  };
+
+  struct Stats {
+    std::uint64_t grows = 0;         ///< slot-array doublings
+    std::uint64_t purges = 0;        ///< same-size rebuilds (tombstone GC)
+    std::uint64_t probe_steps = 0;   ///< linear shifts beyond the hash slot
+    std::uint64_t max_probe = 0;     ///< longest single insert chain
+    std::uint64_t recycled_ids = 0;  ///< ids served from the free list
+  };
+
+  explicit FlatPairTable(FlatTableConfig cfg = {});
+
+  /// Id of `key`, or kNoSlot. Zero allocation, at most one cache line of
+  /// state words plus the probed key slots.
+  [[nodiscard]] SlotId find(const EndpointPair& key) const noexcept {
+    if (used_ == 0) return kNoSlot;
+    const std::size_t mask = slots_ - 1;
+    std::size_t s = hash_key(key) & mask;
+    for (std::size_t step = 0; step <= mask; ++step, s = (s + 1) & mask) {
+      const SlotState st = state_of(s);
+      if (st == SlotState::kEmpty) return kNoSlot;
+      if (st == SlotState::kUsed && keys()[s] == key) return ids()[s];
+    }
+    return kNoSlot;
+  }
+
+  /// Get-or-create the mapping for `key`. A new mapping takes the lowest
+  /// tombstone on its probe chain (tombstone reuse) and an id from the
+  /// free list, else from the bump counter. Rebuilds (purge or doubling)
+  /// only when occupancy would exceed the virtual capacity — never on a
+  /// correctly planned table.
+  InsertResult insert(const EndpointPair& key);
+
+  /// Unmap `key` (slot becomes a tombstone). The id stays allocated —
+  /// side arrays indexed by it remain valid — until `free_id` returns it.
+  bool erase(const EndpointPair& key) noexcept;
+
+  /// Return an id (previously obtained from `insert`, whose key has been
+  /// erased) to the free list for reuse by future inserts.
+  void free_id(SlotId id);
+
+  /// Ensure `capacity` keys fit without further rebuilds. Ids are stable
+  /// across the rebuild; only probe-slot positions move.
+  void reserve(std::size_t capacity);
+
+  [[nodiscard]] std::size_t size() const noexcept { return used_; }
+  [[nodiscard]] std::size_t slot_count() const noexcept { return slots_; }
+  [[nodiscard]] std::size_t tombstones() const noexcept { return tombstones_; }
+  /// Occupancy (used + tombstones) at which the next insert rebuilds:
+  /// floor(slot_count * fullness).
+  [[nodiscard]] std::size_t virtual_capacity() const noexcept {
+    return occupancy_limit_;
+  }
+  [[nodiscard]] double fullness() const noexcept { return fullness_; }
+  /// One past the largest id ever allocated: the extent callers must size
+  /// id-indexed side arrays to.
+  [[nodiscard]] SlotId id_bound() const noexcept { return next_id_; }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  [[nodiscard]] SlotState state_of(std::size_t slot) const noexcept {
+    return static_cast<SlotState>(
+        (words()[slot >> 5] >> ((slot & 31U) << 1)) & 3U);
+  }
+
+  /// Visit every live mapping as f(key, id), in slot order (deterministic
+  /// for a given insert/erase history).
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t s = 0; s < slots_; ++s) {
+      if (state_of(s) == SlotState::kUsed) f(keys()[s], ids()[s]);
+    }
+  }
+
+ private:
+  /// splitmix64 finalizer: full-avalanche mix of one 64-bit lane.
+  [[nodiscard]] static constexpr std::uint64_t mix64(
+      std::uint64_t x) noexcept {
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+  }
+
+  /// Both 16 bytes of the pair feed the hash (two packed 64-bit lanes);
+  /// the dense container/RNIC ids the simulator assigns are exactly the
+  /// low-entropy keys a weaker mix would cluster under power-of-two masks.
+  [[nodiscard]] static std::size_t hash_key(const EndpointPair& k) noexcept {
+    const std::uint64_t lane0 =
+        (static_cast<std::uint64_t>(k.src.container.value()) << 32) |
+        k.src.rnic.value();
+    const std::uint64_t lane1 =
+        (static_cast<std::uint64_t>(k.dst.container.value()) << 32) |
+        k.dst.rnic.value();
+    return static_cast<std::size_t>(
+        mix64(lane0 ^ mix64(lane1 ^ 0x9e3779b97f4a7c15ULL)));
+  }
+
+  [[nodiscard]] const std::uint64_t* words() const noexcept {
+    return reinterpret_cast<const std::uint64_t*>(arena_.data());
+  }
+  [[nodiscard]] std::uint64_t* words() noexcept {
+    return reinterpret_cast<std::uint64_t*>(arena_.data());
+  }
+  [[nodiscard]] const EndpointPair* keys() const noexcept {
+    return reinterpret_cast<const EndpointPair*>(arena_.data() + key_off_);
+  }
+  [[nodiscard]] EndpointPair* keys() noexcept {
+    return reinterpret_cast<EndpointPair*>(arena_.data() + key_off_);
+  }
+  [[nodiscard]] const SlotId* ids() const noexcept {
+    return reinterpret_cast<const SlotId*>(arena_.data() + id_off_);
+  }
+  [[nodiscard]] SlotId* ids() noexcept {
+    return reinterpret_cast<SlotId*>(arena_.data() + id_off_);
+  }
+
+  void set_state(std::size_t slot, SlotState st) noexcept {
+    const std::size_t sh = (slot & 31U) << 1;
+    std::uint64_t& w = words()[slot >> 5];
+    w = (w & ~(std::uint64_t{3} << sh))
+        | (static_cast<std::uint64_t>(st) << sh);
+  }
+
+  /// Slot count that holds `capacity` keys at the configured fullness.
+  [[nodiscard]] std::size_t slots_for(std::size_t capacity) const noexcept;
+  /// Re-lay every live mapping into a fresh arena of `new_slots` slots.
+  void rebuild(std::size_t new_slots);
+
+  double fullness_;
+  std::size_t slots_ = 0;
+  std::size_t used_ = 0;
+  std::size_t tombstones_ = 0;
+  std::size_t occupancy_limit_ = 0;
+  std::size_t key_off_ = 0;  ///< byte offset of the key section
+  std::size_t id_off_ = 0;   ///< byte offset of the id section
+  SlotId next_id_ = 0;
+  std::vector<std::byte, ArenaAllocator<>> arena_;
+  std::vector<SlotId> free_ids_;
+  Stats stats_;
+};
+
+}  // namespace skh::common

@@ -32,6 +32,39 @@ struct WindowSummary {
   }
 };
 
+/// Sort up to 8 doubles in place with a branchless comparator network,
+/// falling back to std::sort above that. Same ascending order as
+/// std::sort for every input (exhaustively pinned via the 0/1 principle
+/// in tests/common/test_stats.cpp), so callers may switch freely; the
+/// point is the hot-window close, where std::sort's branchy insertion
+/// loop mispredicts on random RTT jitter while 19 min/max pairs do not.
+/// Not for NaN-bearing data (min/max ordering of NaN is unspecified).
+inline void sort_small(double* v, std::size_t n) {
+  if (n <= 1) return;
+  if (n > 8) {
+    std::sort(v, v + n);
+    return;
+  }
+  // Pad to 8 with +inf (sorts past every finite sample and every +inf
+  // already present) and run Batcher's odd-even merge network for 8.
+  double b[8];
+  std::size_t i = 0;
+  for (; i < n; ++i) b[i] = v[i];
+  for (; i < 8; ++i) b[i] = std::numeric_limits<double>::infinity();
+  const auto cx = [&b](int x, int y) {
+    const double lo = std::min(b[x], b[y]);
+    b[y] = std::max(b[x], b[y]);
+    b[x] = lo;
+  };
+  cx(0, 1); cx(2, 3); cx(4, 5); cx(6, 7);
+  cx(0, 2); cx(1, 3); cx(4, 6); cx(5, 7);
+  cx(1, 2); cx(5, 6);
+  cx(0, 4); cx(1, 5); cx(2, 6); cx(3, 7);
+  cx(2, 4); cx(3, 5);
+  cx(1, 2); cx(3, 4); cx(5, 6);
+  for (std::size_t j = 0; j < n; ++j) v[j] = b[j];
+}
+
 /// Linear-interpolated percentile of an unsorted sample, q in [0, 100].
 /// Returns NaN on an empty sample.
 [[nodiscard]] double percentile(std::span<const double> sample, double q);

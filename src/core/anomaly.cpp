@@ -70,7 +70,23 @@ WindowSummary robust_summary(std::span<const double> sorted, double iqr_mult,
 }  // namespace
 
 AnomalyDetector::AnomalyDetector(DetectorConfig cfg)
-    : cfg_(cfg), own_registry_(std::make_unique<obs::MetricsRegistry>()) {
+    : cfg_(cfg),
+      stride_(static_cast<std::uint32_t>(
+          std::max<std::size_t>(1, cfg.window_sample_capacity))),
+      index_(common::FlatTableConfig{cfg.expected_pairs,
+                                     cfg.pair_table_fullness}),
+      // One slot of slack beyond the live maximum (lookback + 1 entries):
+      // within a close the new median is inserted before the oldest is
+      // evicted. Stride rounds both regions together up to whole lines.
+      p50_cap_(static_cast<std::uint32_t>(cfg.lookback_windows + 2)),
+      p50_stride_((2 * p50_cap_ + 7) & ~7U),
+      own_registry_(std::make_unique<obs::MetricsRegistry>()) {
+  if (cfg_.expected_pairs > 0) {
+    hot_.reserve(cfg_.expected_pairs);
+    cold_.reserve(cfg_.expected_pairs);
+    samples_.reserve(cfg_.expected_pairs * stride_);
+    p50_.reserve(cfg_.expected_pairs * p50_stride_);
+  }
   bind_metrics(*own_registry_);
 }
 
@@ -103,15 +119,44 @@ void AnomalyDetector::attach_obs(obs::Context* ctx) {
 
 AnomalyDetector::PairHandle AnomalyDetector::handle_of(
     const EndpointPair& pair) {
-  const auto [it, inserted] =
-      index_.try_emplace(pair, static_cast<PairHandle>(hot_.size()));
+  const auto [id, inserted] = index_.insert(pair);
   if (inserted) {
-    hot_.emplace_back();
-    cold_.emplace_back();
-    seq_.emplace_back();
-    cold_.back().pair = pair;
+    if (id >= hot_.size()) {
+      // Fresh id: extend the id-indexed arrays. A recycled id reuses its
+      // slot, already reset by `recycle` (its p50 strip may hold stale
+      // values, but every read is bounded by the fresh LOF model's size).
+      hot_.resize(id + 1);
+      cold_.resize(id + 1);
+      samples_.resize(static_cast<std::size_t>(id + 1) * stride_, 0.0);
+      p50_.resize(static_cast<std::size_t>(id + 1) * p50_stride_, 0.0);
+    }
+    cold_[id].pair = pair;
   }
-  return it->second;
+  return id;
+}
+
+void AnomalyDetector::reserve_pairs(std::size_t pairs) {
+  index_.reserve(pairs);
+  if (pairs > hot_.capacity()) {
+    hot_.reserve(pairs);
+    cold_.reserve(pairs);
+    samples_.reserve(pairs * stride_);
+    p50_.reserve(pairs * p50_stride_);
+  }
+}
+
+void AnomalyDetector::retire_pair(const EndpointPair& pair) {
+  const PairHandle id = index_.find(pair);
+  if (id == common::FlatPairTable::kNoSlot) return;
+  if (hot_[id].parked) return;
+  hot_[id].parked = true;
+  parked_.push_back(id);
+}
+
+std::size_t AnomalyDetector::retired_count() const noexcept {
+  std::size_t n = 0;
+  for (const PairHandle id : parked_) n += hot_[id].parked ? 1 : 0;
+  return n;
 }
 
 std::vector<AnomalyEvent> AnomalyDetector::ingest(const probe::ProbeResult& r) {
@@ -131,13 +176,12 @@ std::size_t AnomalyDetector::ingest(PairHandle h, std::uint64_t seq,
 
   // Gray-telemetry rejection, before any window state is touched: a lying
   // delivery must not close windows, drag the grid, or double-count.
-  SeqState& sq = seq_[h];
   if (seq != 0) {
-    if (seq == sq.last_seq && sent_at == sq.last_sent) {
+    if (seq == st.last_seq && sent_at == st.last_sent) {
       m_dup_rejected_.inc();  // duplicated delivery: counted exactly once
       return 0;
     }
-    if (seq < sq.last_seq && sent_at <= sq.last_sent) {
+    if (seq < st.last_seq && sent_at <= st.last_sent) {
       m_stale_rejected_.inc();  // reordered straggler from an earlier round
       return 0;
     }
@@ -151,9 +195,12 @@ std::size_t AnomalyDetector::ingest(PairHandle h, std::uint64_t seq,
     return 0;
   }
   if (seq != 0) {
-    sq.last_seq = seq;
-    sq.last_sent = sent_at;
+    st.last_seq = seq;
+    st.last_sent = sent_at;
   }
+  // A straggling result for a churn-retired pair revives it: analysis
+  // continues on the retained state exactly as if it was never retired.
+  st.parked = false;
 
   // Window rollover checks happen before the sample is added, so a sample
   // after the boundary closes the previous window first. Closes are stamped
@@ -162,7 +209,7 @@ std::size_t AnomalyDetector::ingest(PairHandle h, std::uint64_t seq,
   if (st.short_open) {
     const SimTime boundary = st.short_start + cfg_.short_window;
     if (sent_at >= boundary) {
-      close_short_window(st, cold_[h], boundary, out);
+      close_short_window(h, boundary, out);
       st.short_open = true;
       st.short_start = aligned_restart(boundary, sent_at, cfg_.short_window);
     }
@@ -173,7 +220,7 @@ std::size_t AnomalyDetector::ingest(PairHandle h, std::uint64_t seq,
   if (st.long_open) {
     const SimTime boundary = st.long_start + cfg_.long_window;
     if (sent_at >= boundary) {
-      close_long_window(st, cold_[h], boundary, out);
+      close_long_window(h, boundary, out);
       st.long_open = true;
       st.long_start = aligned_restart(boundary, sent_at, cfg_.long_window);
     }
@@ -189,7 +236,13 @@ std::size_t AnomalyDetector::ingest(PairHandle h, std::uint64_t seq,
       // Long-window accumulation is folded into the short-window close:
       // the long window is a short-window multiple on the same grid, so
       // every long close is preceded by the short close covering its tail.
-      st.short_win.add(rtt_us);
+      const std::uint32_t c = st.short_count;
+      if (c < stride_) {
+        samples_[static_cast<std::size_t>(h) * stride_ + c] = rtt_us;
+      } else {
+        cold_[h].spill.push_back(rtt_us);
+      }
+      st.short_count = c + 1;
     } else {
       PairCold& cold = cold_[h];
       cold.short_rtts.push_back(rtt_us);
@@ -213,9 +266,39 @@ std::size_t AnomalyDetector::ingest(PairHandle h, std::uint64_t seq,
   return fired;
 }
 
-void AnomalyDetector::close_short_window(PairHot& hot, PairCold& cold,
-                                         SimTime at,
+std::span<const double> AnomalyDetector::window_sorted(PairHandle h) {
+  PairHot& hot = hot_[h];
+  double* strip = samples_.data() + static_cast<std::size_t>(h) * stride_;
+  if (hot.short_count <= stride_) {
+    // The common case: the whole window fits its strip; sort in place,
+    // no copies, no allocation, branchlessly (a strip holds at most 8
+    // samples by default). Same multiset as the arrival-order accumulator
+    // it replaced, so summaries are bit-identical.
+    sort_small(strip, hot.short_count);
+    return {strip, hot.short_count};
+  }
+  const auto& spill = cold_[h].spill;
+  sort_scratch_.assign(strip, strip + stride_);
+  sort_scratch_.insert(sort_scratch_.end(), spill.begin(), spill.end());
+  std::sort(sort_scratch_.begin(), sort_scratch_.end());
+  return {sort_scratch_.data(), sort_scratch_.size()};
+}
+
+void AnomalyDetector::close_short_window(PairHandle h, SimTime at,
                                          std::vector<AnomalyEvent>& events) {
+  PairHot& hot = hot_[h];
+  PairCold& cold = cold_[h];
+  // At fleet scale a close misses on every line it touches, serially:
+  // nothing keeps 10k+ pairs' cold state cached between 30 s window
+  // boundaries. Both addresses below are computable without loading
+  // anything, so start the fetches now and let the strip sort and summary
+  // (which need neither) overlap them.
+  const auto* cold_bytes = reinterpret_cast<const unsigned char*>(&cold);
+  for (std::size_t off = 0; off < sizeof(PairCold); off += 64) {
+    __builtin_prefetch(cold_bytes + off, 1);
+  }
+  __builtin_prefetch(p50_.data() + static_cast<std::size_t>(h) * p50_stride_,
+                     1);
   m_short_closed_.inc();
   if (obs_ != nullptr) {
     obs_->tracer.instant("detector", "window.short.close", at, hot.short_sent,
@@ -237,12 +320,17 @@ void AnomalyDetector::close_short_window(PairHot& hot, PairCold& cold,
       cold.long_rtts.resize(cold.long_rtts.size() - cold.short_rtts.size());
     }
     hot.short_open = false;
-    hot.short_win.reset();
+    hot.short_count = 0;
+    cold.spill.clear();
     cold.short_rtts.clear();
     hot.short_sent = 0;
     hot.short_lost = 0;
     return;
   }
+  // Sorted once, shared by the feature summary and the long-term fold.
+  // Empty (and cheap) when nothing was delivered.
+  const std::span<const double> sorted =
+      cfg_.streaming ? window_sorted(h) : std::span<const double>{};
   if (hot.short_sent >= cfg_.min_samples_per_window) {
     const double loss_rate = static_cast<double>(hot.short_lost) /
                              static_cast<double>(hot.short_sent);
@@ -252,31 +340,32 @@ void AnomalyDetector::close_short_window(PairHot& hot, PairCold& cold,
           AnomalyEvent{cold.pair, at, AnomalyKind::kPacketLoss, loss_rate});
     }
     if (cfg_.streaming) {
-      if (hot.short_win.count() >= cfg_.min_samples_per_window) {
+      if (sorted.size() >= cfg_.min_samples_per_window) {
         const WindowSummary summary =
-            robust_summary(hot.short_win.sorted(), cfg_.rtt_clamp_iqr_mult,
+            robust_summary(sorted, cfg_.rtt_clamp_iqr_mult,
                            cfg_.rtt_clamp_band_frac);
-        auto& f = cold.feature;
-        f.clear();
-        f.push_back(summary.p25);
-        f.push_back(summary.p50);
-        f.push_back(summary.p75);
-        f.push_back(summary.min);
-        f.push_back(summary.mean);
-        f.push_back(summary.stddev);
-        f.push_back(summary.max);
+        cold.feature = {summary.p25,  summary.p50,    summary.p75,
+                        summary.min,  summary.mean,   summary.stddev,
+                        summary.max};
         if (!cold.lof) cold.lof.emplace(cfg_.lof, cfg_.lookback_windows + 1);
-        const bool scoreable = cold.lof->size() >= cfg_.lof.k_neighbors + 1;
+        // The pair's magnitude-gate strip: look-back medians kept sorted
+        // (first region) and in window order (second region). Entry count
+        // is the LOF model's size — both are pushed and evicted in
+        // lock-step below.
+        double* const p50s =
+            p50_.data() + static_cast<std::size_t>(h) * p50_stride_;
+        double* const p50f = p50s + p50_cap_;
+        std::size_t p50n = cold.lof->size();
+        const bool scoreable = p50n >= cfg_.lof.k_neighbors + 1;
         // Magnitude gate against the look-back median-of-medians; the
         // sorted ring makes it O(1) instead of a copy + sort per close.
         // (Read before the push below so the new window's own median
         // cannot dilute its reference.)
-        const double ref_median =
-            scoreable ? cold.p50_sorted[cold.p50_sorted.size() / 2] : 0.0;
+        const double ref_median = scoreable ? p50s[p50n / 2] : 0.0;
         // Push first, then score the newest point in-model: the batch
         // scorer appends its query to the reference before scoring, so
         // `last_score` is the same number without a second distance pass.
-        cold.lof->push(f);
+        cold.lof->push(cold.feature);
         if (scoreable) {
           // Only an upward shift is a failure symptom; a drop back toward
           // normal (e.g. recovery against a fault-contaminated look-back)
@@ -305,18 +394,18 @@ void AnomalyDetector::close_short_window(PairHot& hot, PairCold& cold,
             }
           }
         }
-        cold.p50_fifo.push_back(summary.p50);
-        cold.p50_sorted.insert(
-            std::upper_bound(cold.p50_sorted.begin(), cold.p50_sorted.end(),
-                             summary.p50),
-            summary.p50);
+        p50f[p50n] = summary.p50;
+        double* const ins = std::upper_bound(p50s, p50s + p50n, summary.p50);
+        std::copy_backward(ins, p50s + p50n, p50s + p50n + 1);
+        *ins = summary.p50;
+        ++p50n;
         while (cold.lof->size() > cfg_.lookback_windows) {
           cold.lof->pop_front();
-          const double evicted = cold.p50_fifo.front();
-          cold.p50_fifo.erase(cold.p50_fifo.begin());
-          cold.p50_sorted.erase(std::lower_bound(cold.p50_sorted.begin(),
-                                                 cold.p50_sorted.end(),
-                                                 evicted));
+          const double evicted = p50f[0];
+          std::copy(p50f + 1, p50f + p50n, p50f);
+          double* const del = std::lower_bound(p50s, p50s + p50n, evicted);
+          std::copy(del + 1, p50s + p50n, del);
+          --p50n;
         }
       }
     } else if (cold.short_rtts.size() >= cfg_.min_samples_per_window) {
@@ -354,21 +443,23 @@ void AnomalyDetector::close_short_window(PairHot& hot, PairCold& cold,
     // Fold this window's delivered samples into the long-window
     // accumulators exactly once, at close. Sorted rather than arrival
     // order: Welford moments differ only in FP rounding.
-    cold.long_seen += hot.short_win.count();
-    for (const double v : hot.short_win.sorted()) {
+    cold.long_seen += sorted.size();
+    for (const double v : sorted) {
       if (v > 0.0) cold.long_log.add(std::log(v));
     }
   }
   hot.short_open = false;
-  hot.short_win.reset();
+  hot.short_count = 0;
+  cold.spill.clear();
   cold.short_rtts.clear();
   hot.short_sent = 0;
   hot.short_lost = 0;
 }
 
-void AnomalyDetector::close_long_window(PairHot& hot, PairCold& cold,
-                                        SimTime at,
+void AnomalyDetector::close_long_window(PairHandle h, SimTime at,
                                         std::vector<AnomalyEvent>& events) {
+  PairHot& hot = hot_[h];
+  PairCold& cold = cold_[h];
   m_long_closed_.inc();
   if (obs_ != nullptr) {
     obs_->tracer.instant("detector", "window.long.close", at,
@@ -414,39 +505,69 @@ void AnomalyDetector::close_long_window(PairHot& hot, PairCold& cold,
   cold.long_rtts.clear();
 }
 
+void AnomalyDetector::recycle(PairHandle h) {
+  PairCold& cold = cold_[h];
+  if (cold.lof) {
+    // The per-pair LOF counters die with the model; carry them so
+    // `counters()` totals stay monotonic across recycling.
+    lof_fast_carry_ += cold.lof->fast_path_scores();
+    lof_fallback_carry_ += cold.lof->fallback_scores();
+    lof_rebuild_carry_ += cold.lof->kdist_rebuilds();
+  }
+  index_.erase(cold.pair);
+  index_.free_id(h);
+  hot_[h] = PairHot{};
+  cold_[h] = PairCold{};
+  // The strip needs no reset: short_count == 0 makes it dead storage.
+}
+
 std::vector<AnomalyEvent> AnomalyDetector::flush(SimTime now) {
   std::vector<AnomalyEvent> events;
   for (std::size_t h = 0; h < hot_.size(); ++h) {
     PairHot& hot = hot_[h];
     // A still-open window is only judged when it actually reached its span:
     // a few-second partial window must not fire (say) a 30-minute Z-test.
+    // Recycled slots are naturally skipped (no open windows).
     if (hot.short_open && now - hot.short_start >= cfg_.short_window) {
-      close_short_window(hot, cold_[h], hot.short_start + cfg_.short_window,
-                         events);
+      close_short_window(static_cast<PairHandle>(h),
+                         hot.short_start + cfg_.short_window, events);
     }
     if (hot.long_open && now - hot.long_start >= cfg_.long_window) {
-      close_long_window(hot, cold_[h], hot.long_start + cfg_.long_window,
-                        events);
+      close_long_window(static_cast<PairHandle>(h),
+                        hot.long_start + cfg_.long_window, events);
     }
   }
+  // Only now that every retired pair's final windows have been judged do
+  // the still-parked slots recycle; a pair revived by late traffic since
+  // its retirement keeps its slot (flag already cleared at ingest).
+  for (const PairHandle id : parked_) {
+    if (hot_[id].parked) recycle(id);
+  }
+  parked_.clear();
   m_events_.add(events.size());
   return events;
 }
 
 AnomalyDetector::Snapshot AnomalyDetector::snapshot() const {
   Snapshot s;
+  s.stride_ = stride_;
   s.index_ = index_;
   s.hot_ = hot_;
   s.cold_ = cold_;
-  s.seq_ = seq_;
+  s.samples_ = samples_;
+  s.p50_ = p50_;
+  s.parked_ = parked_;
   return s;
 }
 
 void AnomalyDetector::restore(const Snapshot& snap) {
+  stride_ = snap.stride_ != 0 ? snap.stride_ : stride_;
   index_ = snap.index_;
   hot_ = snap.hot_;
   cold_ = snap.cold_;
-  seq_ = snap.seq_;
+  samples_ = snap.samples_;
+  p50_ = snap.p50_;
+  parked_ = snap.parked_;
 }
 
 DetectorCounters AnomalyDetector::counters() const {
@@ -460,6 +581,9 @@ DetectorCounters AnomalyDetector::counters() const {
   c.windows_insufficient = metrics_->counter_total(id_insufficient_);
   c.duplicates_rejected = metrics_->counter_total(id_dup_rejected_);
   c.stale_rejected = metrics_->counter_total(id_stale_rejected_);
+  c.lof_fast_path = lof_fast_carry_;
+  c.lof_fallback = lof_fallback_carry_;
+  c.lof_kdist_rebuilds = lof_rebuild_carry_;
   for (const auto& cold : cold_) {
     if (cold.lof) {
       c.lof_fast_path += cold.lof->fast_path_scores();

@@ -12,23 +12,36 @@
 //
 // Two compute paths produce those verdicts. The *streaming* path (default)
 // is the production hot path: window summaries accumulate incrementally
-// (`WindowAccumulator`), the LOF look-back model stays resident across
-// window closes (`ml::StreamingLof`), and long windows keep only log-domain
-// moments — no per-window copies, sorts, or refits. The *batch* path
-// recomputes everything from retained samples at each close and serves as
-// the reference implementation; both paths emit identical verdicts
-// (equality pinned by tests/core and re-checked by
+// into per-pair sample strips, the LOF look-back model stays resident
+// across window closes (`ml::StreamingLof`), and long windows keep only
+// log-domain moments — no per-window copies, sorts, or refits. The *batch*
+// path recomputes everything from retained samples at each close and
+// serves as the reference implementation; both paths emit identical
+// verdicts (equality pinned by tests/core and re-checked by
 // bench_anomaly_throughput on campaign scenarios).
+//
+// Pair storage is cache-resident by construction: pair resolution rides a
+// fixed-capacity `common::FlatPairTable` sized at plan time
+// (`reserve_pairs`), and per-pair state is an SoA split indexed by the
+// table's stable ids — a contiguous 64-byte-aligned `PairHot` array (one
+// cache line per pair, all a rollover-free probe touches), a fixed-stride
+// sample-strip arena, and a parallel cold array read only at window
+// closes. The layout contract (slot states, probing, capacity math,
+// handle stability across churn and snapshot/restore) is documented in
+// ARCHITECTURE.md under "Memory layout & hot path".
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string_view>
-#include <unordered_map>
+#include <type_traits>
 #include <vector>
 
+#include "common/flat_table.h"
 #include "common/stats.h"
 #include "common/time.h"
 #include "ml/lof.h"
@@ -98,6 +111,22 @@ struct DetectorConfig {
   /// iqr_mult 0 disables.
   double rtt_clamp_iqr_mult = 8.0;
   double rtt_clamp_band_frac = 0.5;
+  /// Plan-time pair capacity: sizes the flat pair table (and with it the
+  /// hot/cold/strip arenas' growth schedule) once, so ingest performs no
+  /// rehash. The hunter sets this from its ping lists; 0 starts minimal
+  /// and grows by doubling.
+  std::size_t expected_pairs = 0;
+  /// Occupied fraction the pair table is sized for (see FlatTableConfig).
+  double pair_table_fullness = 0.5;
+  /// Per-pair sample-strip stride (doubles) in the streaming arena — the
+  /// per-window sample count that stays allocation-free. Windows with more
+  /// delivered samples spill the excess to a per-pair cold vector; verdicts
+  /// are unaffected. With 30 s windows at the 5 s campaign probe interval a
+  /// window holds 6 samples, so the default 8 covers it with exactly one
+  /// cache line per pair — a wider strip dilutes the arena across 4x the
+  /// lines and measurably slows ingest (see ARCHITECTURE.md, "Memory
+  /// layout & hot path").
+  std::size_t window_sample_capacity = 8;
 };
 
 /// Ingest-side observability counters, aggregated by `core/metrics` across
@@ -113,8 +142,9 @@ struct DetectorCounters {
                                     ///< `last_score` reads)
   std::uint64_t lof_fallback = 0;   ///< streaming scores that needed the
                                     ///< virtual-insert recompute
-  std::uint64_t lof_kdist_rebuilds = 0;  ///< drained k-distance candidate
-                                         ///< buffers rebuilt by a row scan
+  std::uint64_t lof_kdist_rebuilds = 0;  ///< k-distance candidate buffers
+                                         ///< lazily rebuilt by a row scan
+                                         ///< when a close actually scored
   std::uint64_t lof_gate_skips = 0;  ///< streaming closes where the O(1)
                                      ///< shift gate short-circuited scoring
   std::uint64_t events_emitted = 0;
@@ -141,9 +171,11 @@ struct DetectorCounters {
 
 class AnomalyDetector {
  public:
-  /// Dense per-pair index; resolve once via `handle_of`, then ingest
-  /// without re-hashing the pair on every probe.
-  using PairHandle = std::uint32_t;
+  /// Stable dense per-pair id from the flat pair table; resolve once via
+  /// `handle_of`, then ingest without re-hashing the pair on every probe.
+  /// Handles survive table rebuilds, churn retirement (until the retired
+  /// slot is recycled at `flush`), and snapshot/restore.
+  using PairHandle = common::FlatPairTable::SlotId;
 
   explicit AnomalyDetector(DetectorConfig cfg = {});
 
@@ -156,6 +188,12 @@ class AnomalyDetector {
 
   /// Get-or-create the handle for a pair.
   [[nodiscard]] PairHandle handle_of(const EndpointPair& pair);
+
+  /// Pre-size the pair table (and the id-indexed state arrays) for
+  /// `pairs` concurrent pairs. Called at plan/replan time, when the ping
+  /// lists fix the pair population; ingest after a sufficient reserve
+  /// performs zero rehashes and zero table allocations. Growth only.
+  void reserve_pairs(std::size_t pairs);
 
   /// Hot path: feed one probe result under a pre-resolved handle. Events
   /// fired by this observation are appended to `out`; returns how many.
@@ -180,23 +218,53 @@ class AnomalyDetector {
   /// timestamps; events fired by this observation are returned.
   [[nodiscard]] std::vector<AnomalyEvent> ingest(const probe::ProbeResult& r);
 
+  /// Churn integration: mark `pair` — whose endpoints vanished from the
+  /// plan (container death, RNIC rebind on migration) — as retired. Its
+  /// state stays resident and mapped, so a straggling in-flight result
+  /// revives it with full continuity; state that is still retired at
+  /// `flush` has its final windows judged exactly as a live pair's and its
+  /// slot is then recycled for reuse. No-op if the pair is unknown.
+  void retire_pair(const EndpointPair& pair);
+
   /// Force-close all open windows (end of campaign) and return any final
   /// events. Only windows that reached their nominal span are evaluated: a
   /// few-second partial window carries no evidence at window granularity
-  /// and must not fire (e.g.) a 30-minute Z-test alarm.
+  /// and must not fire (e.g.) a 30-minute Z-test alarm. Afterwards,
+  /// still-retired pairs (see `retire_pair`) are recycled: their handles
+  /// and table ids return to the free lists and their slots reset.
   [[nodiscard]] std::vector<AnomalyEvent> flush(SimTime now);
 
   [[nodiscard]] const DetectorConfig& config() const noexcept { return cfg_; }
 
+  /// Live (mapped) pairs, including retired-but-not-yet-recycled ones.
+  [[nodiscard]] std::size_t pair_count() const noexcept {
+    return index_.size();
+  }
+  /// Pairs currently parked by `retire_pair` awaiting the flush recycle.
+  [[nodiscard]] std::size_t retired_count() const noexcept;
+  /// The underlying pair table (capacity planning / layout telemetry).
+  [[nodiscard]] const common::FlatPairTable& pair_table() const noexcept {
+    return index_;
+  }
+  /// Visit every mapped pair as f(pair) — slot order, deterministic for a
+  /// given ingest history. Used by the hunter's churn sweep.
+  template <typename F>
+  void for_each_pair(F&& f) const {
+    index_.for_each([&f](const EndpointPair& p, PairHandle) { f(p); });
+  }
+
   /// Ingest counters, including the per-pair streaming-LOF path split.
   [[nodiscard]] DetectorCounters counters() const;
 
-  /// Opaque copy of the full per-pair analysis state (windows, streaks,
-  /// LOF look-back models, long-term baselines, sequence tracking). Every
-  /// piece of pair state is value-semantic, so a plain copy IS the
-  /// serialized form; restoring it and continuing is bit-identical to
-  /// never having stopped. Config and observability bindings are not part
-  /// of the snapshot (they belong to the process, not the analysis).
+  /// Opaque copy of the full per-pair analysis state (pair table, hot
+  /// lines, sample strips, LOF look-back models, long-term baselines,
+  /// sequence tracking, retirement parking). Every piece of pair state is
+  /// value-semantic — the table arena and strip arena copy as flat bytes —
+  /// so a plain copy IS the serialized form; restoring it and continuing
+  /// is bit-identical to never having stopped, and handles resolved
+  /// before the snapshot stay valid after a restore. Config and
+  /// observability bindings are not part of the snapshot (they belong to
+  /// the process, not the analysis).
   class Snapshot;
   [[nodiscard]] Snapshot snapshot() const;
   /// Overwrite the analysis state with `snap`. Counters are NOT rolled
@@ -204,40 +272,50 @@ class AnomalyDetector {
   void restore(const Snapshot& snap);
 
  private:
-  // Per-pair state is split hot/cold. `PairHot` holds exactly what a
-  // probe with no window rollover touches — boundary checks, counters,
-  // the streak rule, and the streaming sample buffer — packed into one
-  // 64-byte cache line. A fleet sweep (every pair probed each round)
-  // therefore streams 64 contiguous bytes per probe; with the multi-
-  // hundred-byte combined struct the same sweep dragged the whole state
-  // (resident LOF model included) through the cache and the pair table
-  // fell out of L2 at 10k pairs. Everything else lives in `PairCold`,
-  // read only at window closes (and by the batch reference path, which
-  // retains raw samples).
+  // Per-pair state is split hot/cold (SoA by stable table id). `PairHot`
+  // holds exactly what a probe with no window rollover touches — the
+  // gray-telemetry rejection fields, boundary checks, counters, and the
+  // streak rule — packed into one 64-byte cache line; delivered samples
+  // land in the pair's fixed-stride strip of `samples_`. A fleet sweep
+  // (every pair probed each round) therefore streams one hot line plus
+  // one strip line per probe; everything else lives in `PairCold`, read
+  // only at window closes (and by the batch reference path, which retains
+  // raw samples). PairHot is trivially copyable on purpose: the snapshot
+  // of a 100k-pair detector copies the hot array as one memmove.
   struct alignas(64) PairHot {
     // Short- and long-term windows under construction.
     SimTime short_start;
     SimTime long_start;
+    // Last accepted (seq, sent_at), for duplicate/stale rejection: read
+    // before any window state on every sequenced ingest, so they belong
+    // on the same line.
+    std::uint64_t last_seq = 0;
+    SimTime last_sent;
     std::uint32_t short_sent = 0;
     std::uint32_t short_lost = 0;
-    int fail_streak = 0;
+    std::uint32_t short_count = 0;  ///< delivered samples (strip + spill)
+    std::int32_t fail_streak = 0;
     bool short_open = false;
     bool long_open = false;
     bool unreachable_alarmed = false;
-    WindowAccumulator short_win;  // streaming path
+    bool parked = false;  ///< retired by churn, awaiting flush recycle
   };
   static_assert(sizeof(PairHot) == 64,
                 "PairHot must stay a single cache line");
+  static_assert(std::is_trivially_copyable_v<PairHot>,
+                "PairHot must snapshot as flat bytes");
 
   struct PairCold {
     EndpointPair pair;
     std::vector<double> short_rtts;  // batch path
+    std::vector<double> spill;  // streaming path: strip overflow samples
     // Look-back of closed-window feature vectors.
     std::optional<ml::StreamingLof> lof;       // streaming path
-    std::vector<double> p50_sorted;            // streaming magnitude gate
-    std::vector<double> p50_fifo;              //   (window order, for evict)
     std::deque<std::vector<double>> lookback;  // batch path
-    std::vector<double> feature;               // reused scratch
+    // Feature scratch inline (not a heap vector): a window close is
+    // latency-bound on dependent line fetches, and the feature write is on
+    // its critical path every close.
+    std::array<double, 7> feature{};  // streaming path: reused scratch
     // Long-term accumulators + fitted baseline.
     RunningStats long_log;          // streaming path: moments of ln(rtt)
     std::size_t long_seen = 0;      // streaming path: delivered samples
@@ -245,29 +323,53 @@ class AnomalyDetector {
     std::optional<ml::LogNormalModel> baseline;
   };
 
-  void close_short_window(PairHot& hot, PairCold& cold, SimTime at,
+  void close_short_window(PairHandle h, SimTime at,
                           std::vector<AnomalyEvent>& events);
-  void close_long_window(PairHot& hot, PairCold& cold, SimTime at,
+  void close_long_window(PairHandle h, SimTime at,
                          std::vector<AnomalyEvent>& events);
+  /// Sorted view of the open short window's delivered samples: the strip
+  /// sorted in place (the common, allocation-free case) or merged with the
+  /// spill into reused scratch. Valid until the next ingest/close.
+  [[nodiscard]] std::span<const double> window_sorted(PairHandle h);
+  /// Reset a recycled slot to freshly-constructed state, folding the
+  /// per-pair LOF path counters into the carry so `counters()` stays
+  /// monotonic across recycling.
+  void recycle(PairHandle h);
   /// (Re)bind the counter handles onto `r` and remember the ids so
   /// `counters()` can read totals back.
   void bind_metrics(obs::MetricsRegistry& r);
 
-  /// Last accepted (seq, sent_at) per pair, for duplicate/stale rejection.
-  /// Parallel to hot_ rather than inside PairHot: the hot struct is a full
-  /// cache line already, and rejection only reads these 16 bytes before
-  /// deciding whether to touch the window state at all.
-  struct SeqState {
-    std::uint64_t last_seq = 0;
-    SimTime last_sent;
-  };
-
   DetectorConfig cfg_;
-  std::unordered_map<EndpointPair, PairHandle> index_;
-  // Dense, indexed by handle; hot_[h] and cold_[h] describe one pair.
+  std::uint32_t stride_;  ///< sample-strip stride (window_sample_capacity)
+  common::FlatPairTable index_;
+  // Dense, indexed by stable table id; hot_[h], cold_[h], and the strip
+  // samples_[h * stride_ ..] describe one pair.
   std::vector<PairHot> hot_;
   std::vector<PairCold> cold_;
-  std::vector<SeqState> seq_;
+  /// Strip arena, 64-byte aligned so that with the default stride of 8
+  /// doubles every pair's strip is exactly one cache line — a probe dirties
+  /// one hot line and one strip line, nothing else.
+  std::vector<double, common::ArenaAllocator<double>> samples_;
+  /// Magnitude-gate look-back medians, one fixed-stride strip per pair:
+  /// the sorted ring (O(1) reference median) in the strip's first
+  /// `p50_cap_` doubles, the same values in window order (for eviction) in
+  /// the next `p50_cap_`. A strip holds at most `lookback_windows + 1`
+  /// live entries — exactly `cold_[h].lof->size()`, maintained in
+  /// lock-step, so it carries no count of its own. Central arena rather
+  /// than two vectors per pair for the same reason as `samples_`: a close
+  /// reaches the gate through a computed address instead of two pointer
+  /// chases into per-pair heap blocks.
+  std::vector<double, common::ArenaAllocator<double>> p50_;
+  std::uint32_t p50_cap_;     ///< entries per region (lookback + slack)
+  std::uint32_t p50_stride_;  ///< doubles per pair (2 regions, line-rounded)
+  /// Ids parked by retire_pair, recycled at flush (entries whose `parked`
+  /// flag was cleared by a reviving probe are skipped).
+  std::vector<PairHandle> parked_;
+  std::vector<double> sort_scratch_;  ///< spill-merge buffer, reused
+  // LOF path counters of recycled pairs, carried so totals never regress.
+  std::uint64_t lof_fast_carry_ = 0;
+  std::uint64_t lof_fallback_carry_ = 0;
+  std::uint64_t lof_rebuild_carry_ = 0;
 
   // The ingest counters live on a MetricsRegistry — the attached context's
   // when present, otherwise this private one — so `counters()` and a
@@ -293,10 +395,13 @@ class AnomalyDetector {
 
    private:
     friend class AnomalyDetector;
-    std::unordered_map<EndpointPair, PairHandle> index_;
+    std::uint32_t stride_ = 0;  ///< strip geometry travels with the strips
+    common::FlatPairTable index_;
     std::vector<PairHot> hot_;
     std::vector<PairCold> cold_;
-    std::vector<SeqState> seq_;
+    std::vector<double, common::ArenaAllocator<double>> samples_;
+    std::vector<double, common::ArenaAllocator<double>> p50_;
+    std::vector<PairHandle> parked_;
   };
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <unordered_set>
 
 #include "common/logging.h"
 
@@ -110,6 +111,12 @@ void SkeletonHunter::monitor_task(TaskId task) {
 
 void SkeletonHunter::distribute_list(TaskId task) {
   const auto& m = monitors_.at(task);
+  // Plan-time capacity for the detector's flat pair table: the list being
+  // distributed fixes the pair population this task will probe, so size
+  // the table now and ingest performs zero rehashes. Upper bound (already-
+  // mapped pairs re-listed here count twice) — over-reserving only costs
+  // slack slots, under-reserving would cost a rebuild on the hot path.
+  detector_.reserve_pairs(detector_.pair_count() + m.current_list.size());
   for (ContainerId cid : orch_.task(task).containers) {
     const auto it = agents_.find(cid);
     if (it == agents_.end()) continue;
@@ -220,6 +227,23 @@ void SkeletonHunter::degrade_to_basic(TaskId task) {
     if (ci.state == cluster::ContainerState::kDead) continue;
     const auto eps = ci.endpoints();
     m.endpoints.insert(m.endpoints.end(), eps.begin(), eps.end());
+  }
+  // Detector pairs whose endpoints vanished with the churn (a dead
+  // container, or a migration victim's old RNIC binding) can never be
+  // probed again: retire them so the analyzer recycles their slots once
+  // their final windows have been judged at flush. Retirement only parks —
+  // a straggling in-flight result still lands on the retained state.
+  {
+    std::unordered_set<Endpoint> alive(m.endpoints.begin(),
+                                       m.endpoints.end());
+    std::vector<EndpointPair> vanished;
+    detector_.for_each_pair([&](const EndpointPair& p) {
+      if (orch_.container(p.src.container).task != task) return;
+      if (!alive.contains(p.src) || !alive.contains(p.dst)) {
+        vanished.push_back(p);
+      }
+    });
+    for (const EndpointPair& p : vanished) detector_.retire_pair(p);
   }
   m.current_list = basic_ping_list(
       m.endpoints, [this](const Endpoint& ep) { return rank_of(ep); });

@@ -78,17 +78,4 @@ double cosine_similarity(std::span<const double> a,
   return dot / (std::sqrt(na) * std::sqrt(nb));
 }
 
-double euclidean_distance(std::span<const double> a,
-                          std::span<const double> b) {
-  if (a.size() != b.size()) {
-    throw std::invalid_argument("euclidean_distance: size mismatch");
-  }
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    s += d * d;
-  }
-  return std::sqrt(s);
-}
-
 }  // namespace skh::dsp

@@ -8,7 +8,9 @@
 // close together for the downstream clustering step.
 #pragma once
 
+#include <cmath>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "dsp/window.h"
@@ -52,8 +54,23 @@ struct Spectrogram {
 [[nodiscard]] double cosine_similarity(std::span<const double> a,
                                        std::span<const double> b);
 
-/// Euclidean distance between two equal-length feature vectors.
-[[nodiscard]] double euclidean_distance(std::span<const double> a,
-                                        std::span<const double> b);
+/// Euclidean distance between two equal-length feature vectors. Defined
+/// inline: the streaming-LOF hot path computes one distance per ring row
+/// per window close, and the out-of-line call (span setup + call + return
+/// around a 7-element loop) cost more than the arithmetic. The summation
+/// order is part of the contract — batch and streaming LOF compare scores
+/// built from these exact values.
+[[nodiscard]] inline double euclidean_distance(std::span<const double> a,
+                                               std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("euclidean_distance: size mismatch");
+  }
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
 
 }  // namespace skh::dsp

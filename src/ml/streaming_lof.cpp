@@ -1,78 +1,126 @@
 #include "ml/streaming_lof.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
-
-#include "dsp/stft.h"
 
 namespace skh::ml {
 
 namespace {
 // Slot-mask sentinel: orders of magnitude above any real distance, so the
-// self-distance and dead-slot columns never rank as neighbors, yet finite
+// self-distance and dead-slot cells never rank as neighbors, yet finite
 // so the branch-free masked arithmetic below cannot produce 0 * inf = NaN.
 constexpr double kDiagonal = 1e300;
+
+// The matrix stores *squared* distances, clamped to the squared floor, and
+// every consumer takes sqrt at the last moment. This is exact, not an
+// approximation: for any double x, sqrt(fl(x*x)) == x (the squaring error
+// is below half an ulp of the square root), so max(floor, sqrt(sq)) is
+// bit-identical to the max(floor, euclidean_distance(...)) the batch
+// scorer computes — while the scoring-time matrix build does one sqrt per
+// consumed value instead of one per cell. Ordering comparisons
+// (k-distance gates, top-s selection) are monotone under squaring, so
+// they run directly in the squared domain.
+constexpr double kFloorSq = kLofDistanceFloor * kLofDistanceFloor;
+
+// Same accumulation order as dsp::euclidean_distance, minus the final
+// sqrt, so the deferred sqrt reproduces its result bit-for-bit. Symmetric
+// in its arguments (negating a difference is exact), so the matrix build
+// may compute each unordered pair once.
+inline double squared_distance(const double* __restrict a,
+                               const double* __restrict b,
+                               std::size_t n) noexcept {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+// Section starts round up to 8 doubles = one cache line, so each section
+// begins on a line boundary of the 64-byte-aligned arena.
+constexpr std::size_t round_line(std::size_t doubles) noexcept {
+  return (doubles + 7) & ~std::size_t{7};
+}
 }  // namespace
 
 StreamingLof::StreamingLof(LofConfig cfg, std::size_t capacity_hint)
-    : cfg_(cfg) {
+    : cfg_(cfg), cap_(capacity_hint) {
   if (cfg_.k_neighbors == 0) {
     throw std::invalid_argument("StreamingLof: k_neighbors must be > 0");
   }
-  kbuf_.resize(cfg_.k_neighbors);
-  if (capacity_hint > 0) {
-    cap_ = capacity_hint;
-    // The whole matrix starts masked; a push unmasks exactly the live
-    // cells of its row and column.
-    dist_.assign(cap_ * cap_, kDiagonal);
-    k_dist_.assign(cap_, 0.0);
-    lrd_.assign(cap_, 0.0);
-    n_nbrs_.assign(cap_, 0);
-    top_.assign(cap_ * 2 * cfg_.k_neighbors, 0.0);
-    top_len_.assign(cap_, 0);
-  }
+  // The arena itself is laid out by the first push: the point dimension is
+  // not known until then, and a never-pushed model (most pairs early in a
+  // campaign) should not hold memory.
 }
 
 void StreamingLof::grow(std::size_t min_cap) {
-  const std::size_t old_cap = cap_;
+  // cap_ holds the un-materialized hint until the first push lays the
+  // arena out; only a real, occupied ring doubles.
+  const std::size_t old_cap = arena_.empty() ? 0 : cap_;
   const std::size_t cap =
       std::max({static_cast<std::size_t>(8), old_cap * 2, min_cap});
   const std::size_t s = 2 * cfg_.k_neighbors;
-  // Re-lay the survivors compacted in age order (head back to slot 0);
-  // every cell outside the live block stays masked.
-  std::vector<double> nd(cap * cap, kDiagonal);
-  std::vector<double> nt(cap * s, 0.0);
-  std::vector<double> np(cap * dim_, 0.0);
-  std::vector<std::size_t> nl(cap, 0);
+  // Fresh arena, every section starting on a cache-line boundary. The
+  // survivors re-lay compacted in age order (head back to slot 0); the
+  // distance matrix is scratch and simply re-materializes at the next
+  // score, now against the new capacity.
+  const std::size_t kdist_off = round_line(cap * dim_);
+  const std::size_t lrd_off = kdist_off + round_line(cap);
+  const std::size_t top_off = lrd_off + round_line(cap);
+  std::vector<double, common::ArenaAllocator<double>> na(
+      top_off + round_line(cap * s), 0.0);
   for (std::size_t a = 0; a < size_; ++a) {
     const std::size_t oa = (head_ + a) % old_cap;
-    for (std::size_t b = 0; b < size_; ++b) {
-      nd[a * cap + b] = dist_[oa * old_cap + (head_ + b) % old_cap];
-    }
-    std::copy_n(top_.data() + oa * s, s, nt.data() + a * s);
-    nl[a] = top_len_[oa];
-    if (dim_ > 0 && !pts_.empty()) {
-      std::copy_n(pts_.data() + oa * dim_, dim_, np.data() + a * dim_);
-    }
+    std::copy_n(arena_.data() + oa * dim_, dim_, na.data() + a * dim_);
   }
+  arena_ = std::move(na);
+  kdist_off_ = kdist_off;
+  lrd_off_ = lrd_off;
+  top_off_ = top_off;
   cap_ = cap;
   head_ = 0;
-  dist_ = std::move(nd);
-  top_ = std::move(nt);
-  top_len_ = std::move(nl);
-  pts_ = std::move(np);
-  k_dist_.assign(cap, 0.0);
-  lrd_.assign(cap, 0.0);
+  dmat_.clear();
+  dmat_.shrink_to_fit();
   n_nbrs_.assign(cap, 0);
+  top_len_.assign(cap, 0);
+  mat_dirty_ = true;
+  top_dirty_ = true;
+}
+
+void StreamingLof::ensure_matrix() {
+  if (!mat_dirty_ && dmat_.size() == cap_ * cap_) return;
+  // First score after a ring change: materialize every live pairwise
+  // distance. O(size² · dim) — but `size` is the look-back depth, the
+  // whole matrix fits in a couple of KB, and the magnitude gate makes
+  // scoring (and therefore this) rare. The allocation happens at most
+  // once per capacity, and only ever for models that actually score.
+  dmat_.assign(cap_ * cap_, kDiagonal);
+  const double* __restrict P = pts();
+  double* __restrict D = dmat_.data();
+  for (std::size_t a = 1; a < size_; ++a) {
+    const std::size_t i = (head_ + a) % cap_;
+    const double* pi = P + i * dim_;
+    std::size_t j = head_;  // increment-wrap; see push
+    for (std::size_t b = 0; b < a; ++b) {
+      const double d =
+          std::max(kFloorSq, squared_distance(pi, P + j * dim_, dim_));
+      D[i * cap_ + j] = d;
+      D[j * cap_ + i] = d;
+      if (++j == cap_) j = 0;
+    }
+  }
+  mat_dirty_ = false;
 }
 
 void StreamingLof::build_top(std::size_t i) {
   const std::size_t s = 2 * cfg_.k_neighbors;
-  const double* __restrict row = dist_.data() + i * cap_;
-  double* __restrict buf = top_.data() + i * s;
+  const double* __restrict row = dmat_.data() + i * cap_;
+  double* __restrict buf = top() + i * s;
   // Streaming top-s over the full row via a branch-free insertion network;
-  // the sentinel on the diagonal and dead columns sorts past every real
+  // the sentinel on the diagonal and dead cells sorts past every real
   // distance.
   for (std::size_t p = 0; p < s; ++p) buf[p] = kDiagonal;
   for (std::size_t j = 0; j < cap_; ++j) {
@@ -87,92 +135,49 @@ void StreamingLof::build_top(std::size_t i) {
   top_len_[i] = len;
 }
 
-void StreamingLof::top_insert(std::size_t i, double d) {
-  const std::size_t s = 2 * cfg_.k_neighbors;
-  double* __restrict buf = top_.data() + i * s;
-  const std::size_t len = top_len_[i];
-  if (len == 0) return;  // drained; refresh will rebuild
-  if (d > buf[len - 1]) {
-    // Above the buffer max: with a full buffer it simply doesn't rank;
-    // with a partial one, accepting it would need the order statistic the
-    // earlier removals erased. Either way the buffer still holds the
-    // smallest `len` entries of the grown row.
-    return;
-  }
-  const std::size_t cap_len = std::min(len + 1, s);
-  std::size_t pos = 0;  // branch-free position scan over the tiny buffer
-  for (std::size_t p = 0; p + 1 < cap_len; ++p) pos += buf[p] <= d;
-  std::copy_backward(buf + pos, buf + cap_len - 1, buf + cap_len);
-  buf[pos] = d;
-  top_len_[i] = cap_len;
-}
-
-void StreamingLof::top_remove(std::size_t i, double d) {
-  const std::size_t s = 2 * cfg_.k_neighbors;
-  double* __restrict buf = top_.data() + i * s;
-  const std::size_t len = top_len_[i];
-  if (len == 0 || d > buf[len - 1]) return;  // not in the buffer
-  std::size_t pos = 0;  // first instance of d, branch-free
-  for (std::size_t p = 0; p < len; ++p) pos += buf[p] < d;
-  std::copy(buf + pos + 1, buf + len, buf + pos);
-  top_len_[i] = len - 1;
-}
-
 void StreamingLof::push(std::span<const double> point) {
   if (dim_ == 0) {
     dim_ = point.size();
   } else if (point.size() != dim_) {
     throw std::invalid_argument("StreamingLof: mixed point dimensions");
   }
-  if (size_ == cap_) grow(size_ + 1);
-  if (pts_.size() != cap_ * dim_) pts_.resize(cap_ * dim_);
-  const std::size_t cap = cap_;
-  const std::size_t slot = (head_ + size_) % cap;
-  std::copy_n(point.data(), dim_, pts_.data() + slot * dim_);
-  double* row = dist_.data() + slot * cap;
-  for (std::size_t j = 0; j < cap; ++j) {
-    if (is_live(j)) {
-      const double d = std::max(
-          kLofDistanceFloor,
-          skh::dsp::euclidean_distance(
-              point, std::span<const double>{pts_.data() + j * dim_, dim_}));
-      row[j] = d;
-      dist_[j * cap + slot] = d;
-      top_insert(j, d);
-    } else {
-      // Self, evicted, and never-used slots stay masked. Dead rows are not
-      // touched: a slot's whole row is rewritten when a push reuses it.
-      row[j] = kDiagonal;
-    }
+  if (arena_.empty() || size_ == cap_) {
+    // First push lays the arena out at the hinted capacity (the look-back
+    // depth); an over-full ring doubles.
+    grow(size_ == cap_ ? size_ + 1 : std::max<std::size_t>(cap_, 1));
   }
+  // The whole push: copy the point into its ring slot and invalidate the
+  // caches. No distances — on the gated steady state (almost every close)
+  // nothing will ever ask for them, and the slot's stale state from a
+  // previous occupant needs no scrubbing because every derived value is
+  // rebuilt from live points only.
+  const std::size_t slot = (head_ + size_) % cap_;
+  std::copy_n(point.data(), dim_, pts() + slot * dim_);
   ++size_;
-  build_top(slot);
+  mat_dirty_ = true;
+  top_dirty_ = true;
   kd_dirty_ = true;
   lrd_dirty_ = true;
 }
 
 void StreamingLof::pop_front() {
   if (size_ == 0) return;
-  const std::size_t cap = cap_;
-  const std::size_t e = head_;
-  // Retire the evicted entry's distances from the surviving candidate
-  // buffers and mask its column; its own row is left for the push that
-  // reuses the slot to overwrite. No data moves.
-  for (std::size_t j = 0; j < cap; ++j) {
-    if (j == e) continue;
-    top_remove(j, dist_[j * cap + e]);  // no-op on dead/drained buffers
-    dist_[j * cap + e] = kDiagonal;
-  }
-  top_len_[e] = 0;
-  head_ = (e + 1) % cap;
+  // O(1), and deliberately touching nothing but this object's own line:
+  // the dead slot simply stops being consulted (its candidate buffer goes
+  // stale, but `top_dirty_` below forces a rebuild before any score reads
+  // buffers again), and the push that reuses it overwrites its point.
+  head_ = (head_ + 1) % cap_;
   --size_;
+  mat_dirty_ = true;
+  top_dirty_ = true;
   kd_dirty_ = true;
   lrd_dirty_ = true;
 }
 
 double StreamingLof::kth_distance(const double* row, double extra) {
   const std::size_t k = cfg_.k_neighbors;
-  double* kb = kbuf_.data();  // sized k at construction
+  if (kbuf_.size() < k) kbuf_.resize(k);  // lazy: only scoring needs it
+  double* kb = kbuf_.data();
   std::size_t filled = 0;
   const auto consider = [&](double d) {
     std::size_t pos;
@@ -189,8 +194,9 @@ double StreamingLof::kth_distance(const double* row, double extra) {
     }
     kb[pos] = d;
   };
-  // Masked columns carry the sentinel; with >= k live entries they can
-  // never be the k-th smallest, so the sweep needs no liveness branch.
+  // Sentinel-valued diagonal and dead cells can never be the k-th
+  // smallest when >= k live entries exist, so the sweep needs no
+  // liveness branch.
   for (std::size_t j = 0; j < cap_; ++j) consider(row[j]);
   if (extra >= 0.0) consider(extra);
   return kb[k - 1];
@@ -198,11 +204,15 @@ double StreamingLof::kth_distance(const double* row, double extra) {
 
 void StreamingLof::ensure_kdist() {
   if (!kd_dirty_) return;
-  // k-distances straight from the incrementally maintained candidate
-  // buffers — O(1) per entry. A buffer that drained below k (too many
-  // evictions landed inside it) is rebuilt from its row; the slack of k
-  // extra candidates makes that the rare fallback, counted in
-  // `kdist_rebuilds`.
+  ensure_matrix();
+  // The candidate buffers are deliberately NOT maintained on push/pop:
+  // the detector's O(1) magnitude gate skips scoring on almost every
+  // window close, so paying per-close buffer maintenance to make this
+  // read O(1) was backwards. Instead push/pop just flip dirty bits, and
+  // the rare close that actually scores rebuilds every live buffer from
+  // its matrix row here (counted per entry in `kdist_rebuilds`). Repeated
+  // scores without an intervening push/pop still read the buffers for
+  // free.
   const std::size_t k = cfg_.k_neighbors;
   const std::size_t s = 2 * k;
   for (std::size_t i = 0; i < cap_; ++i) {
@@ -210,38 +220,40 @@ void StreamingLof::ensure_kdist() {
       // Zero keeps dead slots out of the query-divergence test (their
       // sentinel query distance can never be <= 0) while staying finite
       // for the masked reach arithmetic.
-      k_dist_[i] = 0.0;
+      k_dist()[i] = 0.0;
       continue;
     }
-    if (top_len_[i] < k) {
+    if (top_dirty_ || top_len_[i] < k) {
       ++kdist_rebuilds_;
       build_top(i);
     }
-    k_dist_[i] = top_[i * s + k - 1];
+    k_dist()[i] = top()[i * s + k - 1];
   }
+  top_dirty_ = false;
   kd_dirty_ = false;
 }
 
 std::pair<double, std::size_t> StreamingLof::density_of(
     std::size_t i) const noexcept {
   const std::size_t n = cap_;
-  // Restrict-qualified locals: the members provably never alias, but the
-  // compiler cannot see that through `this`, and the reloads it emits to
-  // stay safe cost ~4x on this tight loop. Reach distances are summed in
-  // slot rather than distance order — addition reordering only, within
+  // Restrict-qualified locals: the buffers provably never alias, but the
+  // compiler cannot see that through `this`. Reach distances are summed
+  // in slot rather than distance order — addition reordering only, within
   // the documented FP tolerance of the batch scorer. The arithmetic mask
-  // adds an exact 0.0 for excluded slots (diagonal and dead columns carry
+  // adds an exact 0.0 for excluded slots (diagonal and dead cells carry
   // the sentinel), so included terms are bit-identical to a branchy
   // gather.
-  const double* __restrict row = dist_.data() + i * cap_;
-  const double* __restrict kds = k_dist_.data();
+  const double* __restrict row = dmat_.data() + i * cap_;
+  const double* __restrict kds = k_dist();
   const double kd = kds[i];
   double reach = 0.0;
   std::size_t nn = 0;
   for (std::size_t j = 0; j < n; ++j) {
     const double d = row[j];
     const bool in = d <= kd;
-    reach += static_cast<double>(in) * std::max(kds[j], d);
+    // sqrt(max(sq_a, sq_b)) == max(a, b); masked slots add an exact 0.0
+    // (the sentinel's sqrt is finite, and `in` is 0).
+    reach += static_cast<double>(in) * std::sqrt(std::max(kds[j], d));
     nn += in;
   }
   return {static_cast<double>(nn) / std::max(reach, kLofDistanceFloor), nn};
@@ -251,11 +263,11 @@ void StreamingLof::refresh() {
   ensure_kdist();
   for (std::size_t i = 0; i < cap_; ++i) {
     if (is_live(i)) {
-      const auto [lrd, nn] = density_of(i);
-      lrd_[i] = lrd;
+      const auto [lrd_i, nn] = density_of(i);
+      lrd()[i] = lrd_i;
       n_nbrs_[i] = nn;
     } else {
-      lrd_[i] = 0.0;
+      lrd()[i] = 0.0;
       n_nbrs_[i] = 0;
     }
   }
@@ -270,12 +282,12 @@ double StreamingLof::last_score() {
   ensure_kdist();
   ++fast_scores_;
   const std::size_t q = (head_ + size_ - 1) % cap_;
-  const double* __restrict row = dist_.data() + q * cap_;
-  const double kd = k_dist_[q];
+  const double* __restrict row = dmat_.data() + q * cap_;
+  const double kd = k_dist()[q];
   // Only the newest point's own density and its neighbors' densities feed
-  // the score, so compute just those instead of refreshing the full table.
-  // The sweep covers every slot: the diagonal and dead columns carry the
-  // sentinel and can never pass the k-distance gate.
+  // the score, so compute just those instead of refreshing the full
+  // table. The sweep covers every slot: the diagonal and dead cells carry
+  // the sentinel and can never pass the k-distance gate.
   const auto [lrd_q, nn_q] = density_of(q);
   double ratio_sum = 0.0;
   for (std::size_t m = 0; m < cap_; ++m) {
@@ -298,14 +310,12 @@ double StreamingLof::score(std::span<const double> query) {
       continue;
     }
     const double d = std::max(
-        kLofDistanceFloor,
-        skh::dsp::euclidean_distance(
-            query, std::span<const double>{pts_.data() + i * dim_, dim_}));
+        kFloorSq, squared_distance(query.data(), pts() + i * dim_, dim_));
     qd_[i] = d;
     // The cached model stays valid only while the query sits strictly
     // outside every k-distance ball: at d <= k_dist the query enters (or
     // ties into) that point's neighborhood and the densities shift.
-    if (d <= k_dist_[i]) diverges = true;
+    if (d <= k_dist()[i]) diverges = true;
   }
   nbuf_.clear();
   for (std::size_t i = 0; i < cap; ++i) nbuf_.emplace_back(qd_[i], i);
@@ -318,13 +328,13 @@ double StreamingLof::score(std::span<const double> query) {
     ++fast_scores_;
     double reach = 0.0;
     for (std::size_t t = 0; t < nnq; ++t) {
-      reach += std::max(k_dist_[nbuf_[t].second], nbuf_[t].first);
+      reach += std::sqrt(std::max(k_dist()[nbuf_[t].second], nbuf_[t].first));
     }
     const double lrd_q =
         static_cast<double>(nnq) / std::max(reach, kLofDistanceFloor);
     double ratio_sum = 0.0;
     for (std::size_t t = 0; t < nnq; ++t) {
-      ratio_sum += lrd_[nbuf_[t].second] / lrd_q;
+      ratio_sum += lrd()[nbuf_[t].second] / lrd_q;
     }
     return ratio_sum / static_cast<double>(nnq);
   }
@@ -339,13 +349,13 @@ double StreamingLof::score(std::span<const double> query) {
   for (std::size_t i = 0; i < cap; ++i) {
     // Dead slots fail the gate (sentinel query distance vs zero
     // k-distance) and keep their zero; they can never be gathered below.
-    vkd_[i] = qd_[i] <= k_dist_[i]
-                  ? kth_distance(dist_.data() + i * cap, qd_[i])
-                  : k_dist_[i];
+    vkd_[i] = qd_[i] <= k_dist()[i]
+                  ? kth_distance(dmat_.data() + i * cap, qd_[i])
+                  : k_dist()[i];
   }
   double reach = 0.0;
   for (std::size_t t = 0; t < nnq; ++t) {
-    reach += std::max(vkd_[nbuf_[t].second], nbuf_[t].first);
+    reach += std::sqrt(std::max(vkd_[nbuf_[t].second], nbuf_[t].first));
   }
   const double lrd_q =
       static_cast<double>(nnq) / std::max(reach, kLofDistanceFloor);
@@ -353,7 +363,7 @@ double StreamingLof::score(std::span<const double> query) {
   for (std::size_t t = 0; t < nnq; ++t) {
     const auto [dqj, j] = nbuf_[t];
     const double vkdj = vkd_[j];
-    const double* row = dist_.data() + j * cap;
+    const double* row = dmat_.data() + j * cap;
     nbuf2_.clear();
     for (std::size_t m = 0; m < cap; ++m) {
       const double d = row[m];  // sentinel on diagonal/dead, never gathered
@@ -366,7 +376,7 @@ double StreamingLof::score(std::span<const double> query) {
     std::sort(nbuf2_.begin(), nbuf2_.end());
     double r = 0.0;
     for (const auto& [d, m] : nbuf2_) {
-      r += std::max(m == cap ? kq : vkd_[m], d);
+      r += std::sqrt(std::max(m == cap ? kq : vkd_[m], d));
     }
     const double lrd_j = static_cast<double>(nbuf2_.size()) /
                          std::max(r, kLofDistanceFloor);

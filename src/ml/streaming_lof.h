@@ -4,16 +4,35 @@
 // look-back population that changes by exactly one point per window close
 // (the new window enters, the oldest leaves). `lof_score_of` rebuilds the
 // whole model from scratch for each query — O(n²) distances plus ~2n heap
-// allocations per close. `StreamingLof` keeps the model resident instead:
-// a flat pairwise-distance matrix over fixed ring slots, plus each point's
-// cached k-distance, neighborhood size, and local reachability density.
-// Entries keep their slot for life — ages rotate via a head index — so a
-// push writes one matrix row/column and a pop retires one column; nothing
-// is ever shifted. Evicted and never-used slots are masked with the huge
-// finite diagonal sentinel, which keeps every scoring sweep dense and
-// branch-light (masked slots contribute an exact 0.0). The cached
-// densities are re-derived lazily (at most once per score, and only from
-// the resident matrix — no allocation, no distance recompute).
+// allocations per close. `StreamingLof` keeps the reference points
+// resident in fixed ring slots instead — ages rotate via a head index, so
+// nothing is ever shifted — and derives everything else (pairwise
+// distances, each point's k-distance, neighborhood size, and local
+// reachability density) lazily, at most once per score.
+//
+// The laziness is shaped to the detector's asymmetry: every window close
+// pushes and pops, but the O(1) magnitude gate skips the scoring pass on
+// almost every close. So a push stores just the point — one cache line —
+// and a pop just advances the head; neither computes a single distance.
+// The rare close that actually scores materializes the full pairwise
+// matrix into per-model scratch (O(n² · dim), but n is the look-back
+// depth and the scratch is L1-resident), then caches it: repeated scores
+// against an unchanged ring reuse matrix, k-distances, and densities
+// outright. The scratch matrix is also only allocated by that first
+// scoring close, so the fleet-wide steady state — thousands of models,
+// none anomalous — never holds a matrix at all. Diagonal, dead-slot, and
+// never-used cells carry a huge finite sentinel, which keeps every
+// scoring sweep dense and branch-light (masked slots contribute an exact
+// 0.0).
+//
+// Storage is one 64-byte-aligned arena per model (points, k-distances,
+// densities, candidate buffers as sections at fixed offsets) instead of a
+// vector per concern: at fleet scale one model lives inside every pair's
+// cold state, and the detector's window close walks models round-robin —
+// one allocation per model keeps a close's working set to a handful of
+// consecutive cache lines and the object header small. Section offsets
+// are plain members, so a value copy (detector snapshots copy the model)
+// stays a straight vector copy.
 //
 // Scoring contract: `score(q)` returns what `lof_score_of(q, reference,
 // cfg)` returns for the current reference set, to floating-point rounding
@@ -35,6 +54,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/flat_table.h"
 #include "ml/lof.h"
 
 namespace skh::ml {
@@ -47,12 +67,12 @@ class StreamingLof {
   /// grows if exceeded.
   explicit StreamingLof(LofConfig cfg, std::size_t capacity_hint = 0);
 
-  /// Append the newest reference point. All points must share one dimension.
+  /// Append the newest reference point — one point copy, no distance
+  /// work. All points must share one dimension.
   void push(std::span<const double> point);
 
-  /// Drop the oldest reference point: retire its distances from the
-  /// surviving candidate buffers, mask its column with the sentinel, and
-  /// advance the ring head. O(n), no data movement.
+  /// Drop the oldest reference point: advance the ring head. O(1); the
+  /// evicted entry simply stops being consulted.
   void pop_front();
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
@@ -79,33 +99,36 @@ class StreamingLof {
   [[nodiscard]] std::uint64_t fallback_scores() const noexcept {
     return fallback_scores_;
   }
-  /// Times an entry's k-smallest candidate buffer drained below k and had
-  /// to be rebuilt by a full row scan (the batch-recompute fallback of the
-  /// incremental k-distance maintenance).
+  /// Entry k-smallest candidate buffers rebuilt by a full row scan — the
+  /// lazy k-distance derivation a score pays after pushes/pops that, by
+  /// design, did no buffer maintenance of their own.
   [[nodiscard]] std::uint64_t kdist_rebuilds() const noexcept {
     return kdist_rebuilds_;
   }
 
  private:
   void grow(std::size_t min_cap);
-  /// Whether `slot` currently holds a live entry (its age, measured from
-  /// the ring head, is below the live count).
-  [[nodiscard]] bool is_live(std::size_t slot) const noexcept {
+  /// Position of `slot` in push order, measured from the ring head
+  /// (0 = oldest live entry; >= size_ means the slot is dead).
+  [[nodiscard]] std::size_t age_of(std::size_t slot) const noexcept {
     std::size_t rel = slot + cap_ - head_;
     rel -= cap_ * static_cast<std::size_t>(rel >= cap_);
-    return rel < size_;
+    return rel;
   }
-  /// Rebuild entry i's k-smallest candidate buffer from its full row.
+  /// Whether `slot` currently holds a live entry.
+  [[nodiscard]] bool is_live(std::size_t slot) const noexcept {
+    return age_of(slot) < size_;
+  }
+  /// Materialize the pairwise squared-distance matrix for the current
+  /// ring into `dmat_` (allocating it on first use), unless it is still
+  /// current. Diagonal, dead-slot, and never-written cells carry the
+  /// sentinel.
+  void ensure_matrix();
+  /// Rebuild entry i's k-smallest candidate buffer from its matrix row.
   void build_top(std::size_t i);
-  /// Fold one new row value d into entry i's candidate buffer, preserving
-  /// the invariant that the buffer holds the smallest `top_len_[i]` row
-  /// entries. A value above the buffer max with a non-full buffer is
-  /// dropped — accepting it would need the unknown next order statistic.
-  void top_insert(std::size_t i, double d);
-  /// Remove one instance of row value d from entry i's buffer if present.
-  void top_remove(std::size_t i, double d);
-  /// Bring every entry's cached k-distance current, reading straight from
-  /// the maintained candidate buffers (rebuilt on drain). O(n).
+  /// Bring every entry's cached k-distance current, materializing the
+  /// matrix and rebuilding the candidate buffers when push/pop
+  /// invalidated them. O(n * k) then, O(n) when still current.
   void ensure_kdist();
   /// One entry's reachability density and neighborhood size from current
   /// k-distances — one branch-light row sweep.
@@ -115,38 +138,63 @@ class StreamingLof {
   void refresh();
   /// k-th smallest (duplicates counted) of `row` over all slots, with
   /// `extra` as one additional candidate value (pass a negative value for
-  /// none). The sentinel on diagonal and dead columns keeps them from
-  /// ranking (k-th smallest is asked only when k live entries exist).
+  /// none). Sentinel-valued diagonal and dead cells never rank (k-th
+  /// smallest is asked only when k live entries exist).
   [[nodiscard]] double kth_distance(const double* row, double extra);
+
+  // Arena sections (offsets in doubles, fixed per capacity, recomputed
+  // only by `grow`). The distance-valued sections hold *squared*
+  // distances — see streaming_lof.cpp for the exactness argument.
+  [[nodiscard]] double* pts() noexcept { return arena_.data(); }
+  [[nodiscard]] const double* pts() const noexcept { return arena_.data(); }
+  [[nodiscard]] double* k_dist() noexcept {
+    return arena_.data() + kdist_off_;
+  }
+  [[nodiscard]] const double* k_dist() const noexcept {
+    return arena_.data() + kdist_off_;
+  }
+  [[nodiscard]] double* lrd() noexcept { return arena_.data() + lrd_off_; }
+  [[nodiscard]] const double* lrd() const noexcept {
+    return arena_.data() + lrd_off_;
+  }
+  [[nodiscard]] double* top() noexcept { return arena_.data() + top_off_; }
+  [[nodiscard]] const double* top() const noexcept {
+    return arena_.data() + top_off_;
+  }
 
   LofConfig cfg_;
   std::size_t dim_ = 0;  ///< point dimension, fixed by the first push
   std::size_t cap_ = 0;  ///< allocated ring slots
-  /// Entry points by slot, flat row-major (cap x dim). One allocation
-  /// instead of a vector per point: at fleet scale the per-pair models are
-  /// touched round-robin and the flat rows keep each close's working set
-  /// to a few cache lines.
-  std::vector<double> pts_;
-  /// cap x cap pairwise distances by slot; the diagonal and every dead
-  /// slot's column are pinned to a huge finite sentinel so no scoring loop
-  /// needs a self-exclusion or liveness branch.
-  std::vector<double> dist_;
-  std::vector<double> k_dist_;       ///< cached k-distance per entry
-  std::vector<double> lrd_;          ///< cached density per entry
-  std::vector<std::size_t> n_nbrs_;  ///< cached neighborhood size per entry
-  /// Per-entry sorted buffer of (up to) the 2k smallest row distances,
-  /// maintained across push/pop so a close reads k-distances in O(1)
-  /// instead of re-selecting over the row. Flat cap x 2k, row-major.
-  std::vector<double> top_;
-  std::vector<std::size_t> top_len_;  ///< valid prefix per buffer
+  /// One 64-byte-aligned block: points (cap x dim, row-major), cached
+  /// squared k-distance per entry, cached LRD per entry, and the
+  /// per-entry sorted buffers of (up to) the 2k smallest distances. The
+  /// caches are scratch, not maintained across push/pop: the detector's
+  /// magnitude gate means almost no window close scores, so they are
+  /// rebuilt only when a score actually asks (`ensure_kdist`).
+  std::vector<double, common::ArenaAllocator<double>> arena_;
+  std::size_t kdist_off_ = 0;
+  std::size_t lrd_off_ = 0;
+  std::size_t top_off_ = 0;
+  /// Pairwise squared-distance matrix (cap x cap), materialized from the
+  /// resident points by the first score after a push/pop and cached until
+  /// the ring changes again. Deliberately OUTSIDE the arena and lazily
+  /// allocated: in the fleet-wide steady state almost no model ever
+  /// scores, and those models should not carry O(cap²) of matrix each.
+  std::vector<double> dmat_;
+  std::vector<std::size_t> n_nbrs_;   ///< cached neighborhood size per entry
+  std::vector<std::size_t> top_len_;  ///< valid prefix per candidate buffer
   std::size_t size_ = 0;  ///< live entries
   std::size_t head_ = 0;  ///< slot of the oldest live entry
-  // Staleness after push/pop, cleared lazily: k-distances on any score,
-  // the full density table only when `score` needs it (`last_score` gets
-  // by with a handful of on-demand densities).
+  // Staleness after push/pop, cleared lazily: the matrix, candidate
+  // buffers, and k-distances on any score, the full density table only
+  // when `score` needs it (`last_score` gets by with a handful of
+  // on-demand densities).
+  bool mat_dirty_ = true;
+  bool top_dirty_ = false;
   bool kd_dirty_ = false;
   bool lrd_dirty_ = false;
-  // Reused scratch.
+  // Reused scratch; sized lazily at first use, so an un-scored model (the
+  // common case under the magnitude gate) never allocates it.
   std::vector<double> qd_;        ///< query distance row
   std::vector<double> vkd_;       ///< virtual k-distances under insert
   std::vector<double> kbuf_;      ///< selection buffer (k smallest)

@@ -205,5 +205,48 @@ TEST(WindowAccumulator, ResetReusesCleanly) {
   EXPECT_EQ(acc.sorted().size(), 3u);
 }
 
+TEST(SortSmall, ZeroOnePrincipleExhaustive) {
+  // A comparator network sorts every input iff it sorts every 0/1 input
+  // (Knuth's 0/1 principle) — so 2^n vectors per size prove the network
+  // for all real data. Covers the padded sub-8 sizes, not just 8.
+  for (std::size_t n = 0; n <= 8; ++n) {
+    for (std::uint32_t bits = 0; bits < (1u << n); ++bits) {
+      std::vector<double> v(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        v[i] = (bits >> i) & 1u ? 1.0 : 0.0;
+      }
+      std::vector<double> want = v;
+      std::sort(want.begin(), want.end());
+      sort_small(v.data(), v.size());
+      ASSERT_EQ(v, want) << "n=" << n << " bits=" << bits;
+    }
+  }
+}
+
+TEST(SortSmall, MatchesStdSortOnRandomDataAndLargeFallback) {
+  RngStream rng{0x50FA};
+  for (std::size_t n : {2u, 5u, 6u, 7u, 8u, 9u, 40u}) {
+    for (int round = 0; round < 200; ++round) {
+      std::vector<double> v(n);
+      for (auto& x : v) x = rng.normal(16.0, 4.0);
+      std::vector<double> want = v;
+      std::sort(want.begin(), want.end());
+      sort_small(v.data(), v.size());
+      ASSERT_EQ(v, want);
+    }
+  }
+}
+
+TEST(SortSmall, InfinitiesInDataSortLikeStdSort) {
+  // The network pads with +inf internally; +inf already present in the
+  // data must still land in the right place.
+  std::vector<double> v{3.0, std::numeric_limits<double>::infinity(), 1.0,
+                        std::numeric_limits<double>::infinity(), 2.0};
+  std::vector<double> want = v;
+  std::sort(want.begin(), want.end());
+  sort_small(v.data(), v.size());
+  EXPECT_EQ(v, want);
+}
+
 }  // namespace
 }  // namespace skh

@@ -599,6 +599,118 @@ TEST(AnomalyDefenses, SnapshotRestoreResumesBitIdentically) {
   }
 }
 
+TEST(AnomalyChurn, ReservePairsMakesIngestAllocationFree) {
+  // The plan-time contract end to end: after reserve_pairs(N), mapping
+  // and feeding N pairs performs zero table rebuilds.
+  AnomalyDetector det;
+  det.reserve_pairs(256);
+  std::vector<AnomalyEvent> out;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    const auto h = det.handle_of(pair_n(i));
+    (void)det.ingest(h, SimTime::seconds(1.0), true, 16.0, out);
+  }
+  EXPECT_EQ(det.pair_count(), 256U);
+  EXPECT_EQ(det.pair_table().stats().grows, 0U);
+  EXPECT_EQ(det.pair_table().stats().purges, 0U);
+}
+
+TEST(AnomalyChurn, StragglerRevivesRetiredPairWithContinuity) {
+  AnomalyDetector det;
+  RngStream rng{7};
+  const auto h = det.handle_of(pair());
+  std::vector<AnomalyEvent> out;
+  std::uint64_t seq = 0;
+  for (double t = 0; t < 90; t += 1.0) {
+    const double rtt = 16.0 * std::exp(rng.normal(0.0, 0.05));
+    (void)det.ingest(h, ++seq, SimTime::seconds(t), true, rtt, out);
+  }
+  det.retire_pair(pair());
+  EXPECT_EQ(det.retired_count(), 1U);
+  EXPECT_EQ(det.pair_count(), 1U);  // parked, still mapped
+
+  // A replayed duplicate of the last delivery must NOT revive the pair:
+  // rejection runs before revival, and a lying delivery is not evidence
+  // the endpoints came back.
+  (void)det.ingest(h, seq, SimTime::seconds(89.0), true, 16.0, out);
+  EXPECT_EQ(det.counters().duplicates_rejected, 1U);
+  EXPECT_EQ(det.retired_count(), 1U);
+
+  // A genuine straggling in-flight result revives the pair in place —
+  // same handle, history intact: the duplicate above was only recognized
+  // because the pre-retirement sequence state survived parking.
+  EXPECT_EQ(det.handle_of(pair()), h);
+  (void)det.ingest(h, ++seq, SimTime::seconds(90.0), true, 16.0, out);
+  EXPECT_EQ(det.retired_count(), 0U);
+}
+
+TEST(AnomalyChurn, FlushRecyclesRetiredSlotsForReuse) {
+  AnomalyDetector det;
+  det.reserve_pairs(64);
+  std::vector<AnomalyEvent> out;
+  std::vector<AnomalyDetector::PairHandle> hs;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    hs.push_back(det.handle_of(pair_n(i)));
+    (void)det.ingest(hs.back(), SimTime::seconds(1.0), true, 16.0, out);
+  }
+  det.retire_pair(pair_n(3));
+  det.retire_pair(pair_n(6));
+  // Handles stay valid while parked; recycling happens only at flush.
+  EXPECT_EQ(det.pair_count(), 8U);
+  (void)det.flush(SimTime::seconds(120.0));
+  EXPECT_EQ(det.pair_count(), 6U);
+  EXPECT_EQ(det.retired_count(), 0U);
+  // The recycled ids serve the next pairs instead of growing the id
+  // space; the survivors keep their handles.
+  const auto id_bound = det.pair_table().id_bound();
+  const auto ha = det.handle_of(pair_n(100));
+  const auto hb = det.handle_of(pair_n(101));
+  EXPECT_LT(ha, id_bound);
+  EXPECT_LT(hb, id_bound);
+  EXPECT_GE(det.pair_table().stats().recycled_ids, 2U);
+  for (std::uint32_t i : {0U, 1U, 2U, 4U, 5U, 7U}) {
+    EXPECT_EQ(det.handle_of(pair_n(i)), hs[i]);
+  }
+}
+
+TEST(AnomalyChurn, SnapshotCarriesParkedStateBitIdentically) {
+  // Retirement parking is analysis state: a warm restart across a churn
+  // sweep must recycle the same slots at flush and fire the same final
+  // windows as the uninterrupted run.
+  RngStream rng{13};
+  AnomalyDetector live;
+  std::vector<AnomalyEvent> live_events;
+  std::vector<AnomalyDetector::PairHandle> hs;
+  for (std::uint32_t i = 0; i < 4; ++i) hs.push_back(live.handle_of(pair_n(i)));
+  for (double t = 0; t < 300; t += 1.0) {
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      const double rtt = 16.0 * std::exp(rng.normal(0.0, 0.05));
+      (void)live.ingest(hs[i], SimTime::seconds(t), true, rtt, live_events);
+    }
+  }
+  live.retire_pair(pair_n(1));
+  live.retire_pair(pair_n(2));
+  const auto snap = live.snapshot();
+
+  AnomalyDetector restored;
+  restored.restore(snap);
+  EXPECT_EQ(restored.retired_count(), 2U);
+  EXPECT_EQ(restored.pair_count(), 4U);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(restored.handle_of(pair_n(i)), hs[i]);
+  }
+
+  const auto live_tail = live.flush(SimTime::seconds(400.0));
+  const auto rest_tail = restored.flush(SimTime::seconds(400.0));
+  ASSERT_EQ(live_tail.size(), rest_tail.size());
+  for (std::size_t i = 0; i < live_tail.size(); ++i) {
+    EXPECT_TRUE(live_tail[i].pair == rest_tail[i].pair);
+    EXPECT_EQ(live_tail[i].kind, rest_tail[i].kind);
+    EXPECT_EQ(live_tail[i].score, rest_tail[i].score);
+  }
+  EXPECT_EQ(live.pair_count(), 2U);
+  EXPECT_EQ(restored.pair_count(), 2U);
+}
+
 TEST(AnomalyKindStrings, Printable) {
   EXPECT_EQ(to_string(AnomalyKind::kUnreachable), "unreachable");
   EXPECT_EQ(to_string(AnomalyKind::kLatencyLongTerm), "latency-long-term");
