@@ -38,6 +38,19 @@ if ! grep -q "^## Memory layout & hot path" "$arch"; then
   status=1
 fi
 
+# Sharding's identity contract is likewise documented, not incidental:
+# the sharded detector must appear in the module map and the section
+# describing the invariance mechanisms must exist (shard.identity_gate
+# and the unit suites pin behavior against it).
+if ! grep -q "core/sharded_detector" "$arch"; then
+  echo "FAIL: core/sharded_detector is missing from ARCHITECTURE.md's module map"
+  status=1
+fi
+if ! grep -q "^## Sharded analyzer" "$arch"; then
+  echo "FAIL: ARCHITECTURE.md is missing the 'Sharded analyzer' section"
+  status=1
+fi
+
 if [[ -f "$readme" ]]; then
   for src in "$root"/bench/bench_*.cpp; do
     [[ -f "$src" ]] || continue  # unexpanded glob: no bench sources

@@ -11,8 +11,12 @@
 # the churn degrade/re-infer lifecycle, the traceroute-refinement
 # partial-result edge cases in test_localize, the gray-telemetry defense
 # paths in test_anomaly, the pair retire/revive/recycle churn paths, and
-# the detector/hunter snapshot round-trips),
-# obs (per-thread shard cells and the trace ring), sim (churn plans and
+# the detector/hunter snapshot round-trips, and the sharded-detector
+# batch partition/merge, pair migration, and snapshot paths in
+# test_sharded_detector),
+# obs (per-thread shard cells — including the bound-cell
+# pointer-stability and registration-token regression tests — and the
+# trace ring), sim (churn plans and
 # fault/telemetry episode windows), cluster (the restart/migrate/crash
 # deregistration paths), and probe (per-target retry/backoff state plus
 # the telemetry channel's drop/dup/reorder/skew buffer juggling in

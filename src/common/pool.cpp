@@ -1,9 +1,9 @@
-#include "runner/pool.h"
+#include "common/pool.h"
 
 #include <algorithm>
 #include <utility>
 
-namespace skh::runner {
+namespace skh::common {
 
 ThreadPool::ThreadPool(std::size_t n_threads) {
   if (n_threads == 0) {
@@ -57,4 +57,4 @@ void ThreadPool::worker_loop() {
   }
 }
 
-}  // namespace skh::runner
+}  // namespace skh::common

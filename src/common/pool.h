@@ -1,0 +1,55 @@
+// Fixed-size worker pool for CPU-bound fan-out.
+//
+// Each submitted job owns its entire working set (one simulated cluster,
+// or one analyzer shard's batch), so workers never share mutable state and
+// the pool needs no job-to-job ordering guarantees: determinism comes from
+// jobs writing to pre-assigned result slots, not from scheduling. Kept
+// deliberately minimal — submit, wait, join. Two users: the campaign
+// runner fans whole campaigns across it (one job per seed), and the
+// sharded analyzer drives its per-shard ingest batches on it (one job per
+// shard per tick). It lives in common/ because core/ sits below runner/ in
+// the link graph.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace skh::common {
+
+class ThreadPool {
+ public:
+  /// Spin up `n_threads` workers; 0 means std::thread::hardware_concurrency
+  /// (itself clamped to at least 1).
+  explicit ThreadPool(std::size_t n_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a job. Jobs must not throw — wrap fallible work and capture
+  /// the error (the campaign runner stashes an std::exception_ptr).
+  void submit(std::function<void()> job);
+
+  /// Block until every job submitted so far has finished executing.
+  void wait();
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_job_;   ///< signals workers: work or shutdown
+  std::condition_variable cv_done_;  ///< signals wait(): all jobs drained
+  std::size_t in_flight_ = 0;        ///< queued + currently executing
+  bool stop_ = false;
+};
+
+}  // namespace skh::common

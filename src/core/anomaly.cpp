@@ -4,8 +4,22 @@
 #include <cmath>
 #include <limits>
 #include <span>
+#include <stdexcept>
+#include <utility>
 
 namespace skh::core {
+
+void canonicalize_events(std::vector<AnomalyEvent>& events) {
+  std::sort(events.begin(), events.end(),
+            [](const AnomalyEvent& a, const AnomalyEvent& b) {
+              if (a.detected_at != b.detected_at) {
+                return a.detected_at < b.detected_at;
+              }
+              if (a.pair != b.pair) return a.pair < b.pair;
+              if (a.kind != b.kind) return a.kind < b.kind;
+              return a.score < b.score;
+            });
+}
 
 std::string_view to_string(AnomalyKind k) noexcept {
   switch (k) {
@@ -546,6 +560,48 @@ std::vector<AnomalyEvent> AnomalyDetector::flush(SimTime now) {
   parked_.clear();
   m_events_.add(events.size());
   return events;
+}
+
+bool AnomalyDetector::extract_pair(const EndpointPair& pair, PairState& out) {
+  const PairHandle h = index_.find(pair);
+  if (h == common::FlatPairTable::kNoSlot) return false;
+  out.stride_ = stride_;
+  out.p50_stride_ = p50_stride_;
+  out.hot_ = hot_[h];
+  out.cold_ = std::move(cold_[h]);
+  const double* strip = samples_.data() + static_cast<std::size_t>(h) * stride_;
+  out.samples_.assign(strip, strip + stride_);
+  const double* gate = p50_.data() + static_cast<std::size_t>(h) * p50_stride_;
+  out.p50_.assign(gate, gate + p50_stride_);
+  // Annul any parking: a parked pair that migrates is the new home's to
+  // retire (or revive). The LOF model moved out above, so no counter carry:
+  // its path counts travel with it and reappear in the adopter's totals.
+  parked_.erase(std::remove(parked_.begin(), parked_.end(), h),
+                parked_.end());
+  index_.erase(pair);
+  index_.free_id(h);
+  hot_[h] = PairHot{};
+  cold_[h] = PairCold{};
+  return true;
+}
+
+AnomalyDetector::PairHandle AnomalyDetector::adopt_pair(PairState&& st) {
+  if (st.stride_ != stride_ || st.p50_stride_ != p50_stride_) {
+    throw std::logic_error(
+        "adopt_pair: strip geometry mismatch (detector configs differ)");
+  }
+  if (index_.find(st.cold_.pair) != common::FlatPairTable::kNoSlot) {
+    throw std::logic_error("adopt_pair: pair already mapped");
+  }
+  const PairHandle h = handle_of(st.cold_.pair);
+  hot_[h] = st.hot_;
+  cold_[h] = std::move(st.cold_);
+  std::copy(st.samples_.begin(), st.samples_.end(),
+            samples_.begin() + static_cast<std::size_t>(h) * stride_);
+  std::copy(st.p50_.begin(), st.p50_.end(),
+            p50_.begin() + static_cast<std::size_t>(h) * p50_stride_);
+  if (hot_[h].parked) parked_.push_back(h);
+  return h;
 }
 
 AnomalyDetector::Snapshot AnomalyDetector::snapshot() const {

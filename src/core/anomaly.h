@@ -68,6 +68,14 @@ struct AnomalyEvent {
   double score = 0.0;  ///< LOF score / |z| / loss rate / streak length
 };
 
+/// Sort events into the canonical order (detected_at, pair, kind, score) —
+/// a total order over everything an event carries, so any batch holding
+/// the same event *set* sorts to the same sequence regardless of how the
+/// producing work was sharded or interleaved. The case-tracking layer
+/// keys its open/merge/suppress decisions off this order, which is what
+/// makes verdicts shard-count-invariant.
+void canonicalize_events(std::vector<AnomalyEvent>& events);
+
 struct DetectorConfig {
   SimTime short_window = SimTime::seconds(30);
   std::size_t lookback_windows = 10;  ///< 5 min of 30 s windows
@@ -167,6 +175,9 @@ struct DetectorCounters {
     stale_rejected += o.stale_rejected;
     return *this;
   }
+
+  friend bool operator==(const DetectorCounters&,
+                         const DetectorCounters&) = default;
 };
 
 class AnomalyDetector {
@@ -270,6 +281,24 @@ class AnomalyDetector {
   /// Overwrite the analysis state with `snap`. Counters are NOT rolled
   /// back: they are monotonic process telemetry, not analysis state.
   void restore(const Snapshot& snap);
+
+  /// Movable container for one pair's complete analysis state: hot line,
+  /// cold state (LOF look-back model, baselines, spill), sample strip,
+  /// magnitude-gate strip, parked flag. The unit of shard rebalance: a
+  /// pair extracted from one detector and adopted by another (with the
+  /// same config geometry) continues its analysis bit-identically, as if
+  /// it had lived there all along. LOF path counters travel inside the
+  /// moved model, so fleet-summed counters are rebalance-invariant.
+  class PairState;
+  /// Remove `pair` and move its full state into `out`; the slot is
+  /// recycled (handle freed, any parking annulled). Returns false (and
+  /// leaves `out` untouched) if the pair is unknown.
+  [[nodiscard]] bool extract_pair(const EndpointPair& pair, PairState& out);
+  /// Insert a previously extracted pair. The pair must not already be
+  /// mapped here and the state's strip geometry must match this detector's
+  /// config (both throw std::logic_error — a rebalance that trips either
+  /// is a routing bug, not a data condition). Returns the new handle.
+  PairHandle adopt_pair(PairState&& st);
 
  private:
   // Per-pair state is split hot/cold (SoA by stable table id). `PairHot`
@@ -402,6 +431,27 @@ class AnomalyDetector {
     std::vector<double, common::ArenaAllocator<double>> samples_;
     std::vector<double, common::ArenaAllocator<double>> p50_;
     std::vector<PairHandle> parked_;
+  };
+
+  class PairState {
+   public:
+    PairState() = default;
+    PairState(PairState&&) = default;
+    PairState& operator=(PairState&&) = default;
+
+    /// The migrating pair (valid only after a successful extract).
+    [[nodiscard]] const EndpointPair& pair() const noexcept {
+      return cold_.pair;
+    }
+
+   private:
+    friend class AnomalyDetector;
+    std::uint32_t stride_ = 0;      ///< sample-strip geometry checks
+    std::uint32_t p50_stride_ = 0;  ///< magnitude-gate strip geometry
+    PairHot hot_{};
+    PairCold cold_;
+    std::vector<double> samples_;  ///< the pair's strip, stride_ doubles
+    std::vector<double> p50_;      ///< the pair's gate strip
   };
 };
 

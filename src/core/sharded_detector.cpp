@@ -1,0 +1,298 @@
+#include "core/sharded_detector.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace skh::core {
+
+ShardRing::ShardRing(std::size_t n_shards, std::size_t vnodes)
+    : n_shards_(std::max<std::size_t>(1, n_shards)) {
+  points_.reserve(n_shards_ * vnodes);
+  for (std::size_t s = 0; s < n_shards_; ++s) {
+    for (std::size_t v = 0; v < vnodes; ++v) {
+      points_.push_back(Point{
+          seed_mix(0x5348524453484152ULL /*"SHRDSHAR"*/,
+                           (static_cast<std::uint64_t>(s) << 20) | v),
+          static_cast<std::uint32_t>(s)});
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              if (a.hash != b.hash) return a.hash < b.hash;
+              return a.shard < b.shard;  // collision tie-break: stable
+            });
+}
+
+std::size_t ShardRing::shard_of(std::uint64_t key) const noexcept {
+  if (n_shards_ == 1 || points_.empty()) return 0;
+  const std::uint64_t h = seed_mix(key, 0x706169722d696473ULL);
+  auto it = std::lower_bound(points_.begin(), points_.end(), h,
+                             [](const Point& p, std::uint64_t v) {
+                               return p.hash < v;
+                             });
+  if (it == points_.end()) it = points_.begin();  // wrap
+  return it->shard;
+}
+
+ShardedDetector::ShardedDetector(DetectorConfig cfg, std::size_t n_shards,
+                                 common::ThreadPool* pool)
+    : cfg_(cfg),
+      ring_(std::max<std::size_t>(1, n_shards)),
+      pool_(pool),
+      router_(common::FlatTableConfig{cfg.expected_pairs,
+                                      cfg.pair_table_fullness}) {
+  const std::size_t n = std::max<std::size_t>(1, n_shards);
+  // Per-shard table capacity: the ring spreads the expectation close to
+  // evenly; 1/4 headroom keeps a mildly skewed split rehash-free too.
+  DetectorConfig shard_cfg = cfg;
+  if (cfg.expected_pairs > 0 && n > 1) {
+    shard_cfg.expected_pairs = cfg.expected_pairs / n +
+                               cfg.expected_pairs / (4 * n) + 16;
+  }
+  shards_.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    shards_.push_back(std::make_unique<AnomalyDetector>(shard_cfg));
+  }
+  batch_items_.resize(n);
+  batch_events_.resize(n);
+  batch_fired_.resize(n);
+  batch_cursor_item_.resize(n);
+  batch_cursor_event_.resize(n);
+}
+
+void ShardedDetector::attach_obs(obs::Context* ctx) {
+  obs_ = ctx;
+  if (shards_.size() == 1) {
+    // Single shard: the legacy path, counters and tracer instants land on
+    // the context directly.
+    shards_[0]->attach_obs(ctx);
+    return;
+  }
+  // Multi-shard: shards record into their private registries (pool jobs
+  // must not share one registry's cells); sync_obs publishes the deltas.
+}
+
+void ShardedDetector::sync_obs() {
+  if (obs_ == nullptr || shards_.size() == 1) return;
+  const DetectorCounters cur = counters();
+  auto& r = obs_->registry;
+  const auto publish = [&r](const char* name, std::uint64_t now,
+                            std::uint64_t before) {
+    if (now > before) r.bind_counter(r.counter_id(name)).add(now - before);
+  };
+  // The same nine series the single-detector registry path records; the
+  // LOF path splits stay counters()-only there too (they live in the
+  // per-pair models, not the registry).
+  publish("detector.probes_ingested", cur.probes_ingested,
+          published_.probes_ingested);
+  publish("detector.samples_delivered", cur.samples_delivered,
+          published_.samples_delivered);
+  publish("detector.short_windows_closed", cur.short_windows_closed,
+          published_.short_windows_closed);
+  publish("detector.long_windows_closed", cur.long_windows_closed,
+          published_.long_windows_closed);
+  publish("detector.lof_gate_skips", cur.lof_gate_skips,
+          published_.lof_gate_skips);
+  publish("detector.events_emitted", cur.events_emitted,
+          published_.events_emitted);
+  publish("detector.windows_insufficient", cur.windows_insufficient,
+          published_.windows_insufficient);
+  publish("detector.duplicates_rejected", cur.duplicates_rejected,
+          published_.duplicates_rejected);
+  publish("detector.stale_rejected", cur.stale_rejected,
+          published_.stale_rejected);
+  published_ = cur;
+}
+
+ShardedDetector::GlobalHandle ShardedDetector::handle_of(
+    const EndpointPair& pair) {
+  const auto [gid, inserted] = router_.insert(pair);
+  if (inserted) {
+    if (gid >= shard_of_.size()) {
+      shard_of_.resize(gid + 1, kUnplaced);
+      local_of_.resize(gid + 1);
+      pair_of_.resize(gid + 1);
+    }
+    const std::size_t s = ring_.shard_of(gid);
+    shard_of_[gid] = static_cast<std::uint32_t>(s);
+    local_of_[gid] = shards_[s]->handle_of(pair);
+    pair_of_[gid] = pair;
+  }
+  return gid;
+}
+
+void ShardedDetector::reserve_pairs(std::size_t pairs) {
+  router_.reserve(pairs);
+  if (pairs > shard_of_.capacity()) {
+    shard_of_.reserve(pairs);
+    local_of_.reserve(pairs);
+    pair_of_.reserve(pairs);
+  }
+  const std::size_t n = shards_.size();
+  const std::size_t per =
+      n == 1 ? pairs : pairs / n + pairs / (4 * n) + 16;
+  for (auto& shard : shards_) shard->reserve_pairs(per);
+}
+
+std::size_t ShardedDetector::ingest(GlobalHandle h, std::uint64_t seq,
+                                    SimTime sent_at, bool delivered,
+                                    double rtt_us,
+                                    std::vector<AnomalyEvent>& out) {
+  return shards_[shard_of_[h]]->ingest(local_of_[h], seq, sent_at, delivered,
+                                       rtt_us, out);
+}
+
+std::size_t ShardedDetector::ingest_batch(
+    std::span<const BatchItem> items, std::vector<AnomalyEvent>& events,
+    std::vector<std::uint32_t>& fired_per_item) {
+  events.clear();
+  fired_per_item.assign(items.size(), 0);
+  const std::size_t n = shards_.size();
+  if (n == 1 || pool_ == nullptr) {
+    // Degenerate / poolless path: plain sequential ingest, zero overhead
+    // over the single detector it wraps.
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      const BatchItem& it = items[i];
+      fired_per_item[i] = static_cast<std::uint32_t>(
+          ingest(it.handle, it.seq, it.sent_at, it.delivered, it.rtt_us,
+                 events));
+    }
+    return events.size();
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    batch_items_[s].clear();
+    batch_events_[s].clear();
+    batch_fired_[s].clear();
+    batch_cursor_item_[s] = 0;
+    batch_cursor_event_[s] = 0;
+  }
+  // Partition by owning shard, preserving round order within each shard —
+  // same-pair results share a shard, so per-pair ingest order (the only
+  // order verdicts depend on) is exactly the sequential one.
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    batch_items_[shard_of_[items[i].handle]].push_back(i);
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    if (batch_items_[s].empty()) continue;
+    pool_->submit([this, items, s] {
+      AnomalyDetector& det = *shards_[s];
+      auto& fired = batch_fired_[s];
+      auto& out = batch_events_[s];
+      for (const std::size_t i : batch_items_[s]) {
+        const BatchItem& it = items[i];
+        fired.push_back(static_cast<std::uint32_t>(
+            det.ingest(local_of_[it.handle], it.seq, it.sent_at, it.delivered,
+                       it.rtt_us, out)));
+      }
+    });
+  }
+  pool_->wait();
+  // Merge by original item index: shard streams interleave back into the
+  // exact event sequence sequential ingest would have produced.
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const std::size_t s = shard_of_[items[i].handle];
+    const std::uint32_t fired = batch_fired_[s][batch_cursor_item_[s]++];
+    if (fired > 0) {
+      const auto begin =
+          batch_events_[s].begin() +
+          static_cast<std::ptrdiff_t>(batch_cursor_event_[s]);
+      events.insert(events.end(), begin, begin + fired);
+      batch_cursor_event_[s] += fired;
+    }
+    fired_per_item[i] = fired;
+  }
+  return events.size();
+}
+
+void ShardedDetector::retire_pair(const EndpointPair& pair) {
+  const GlobalHandle gid = router_.find(pair);
+  if (gid == common::FlatPairTable::kNoSlot) return;
+  shards_[shard_of_[gid]]->retire_pair(pair);
+}
+
+std::vector<AnomalyEvent> ShardedDetector::flush(SimTime now) {
+  std::vector<AnomalyEvent> events;
+  for (auto& shard : shards_) {
+    const auto tail = shard->flush(now);
+    events.insert(events.end(), tail.begin(), tail.end());
+  }
+  // Reconcile the router with shard-side recycling: a pair whose shard
+  // slot was recycled (still retired at flush) gives its global id back.
+  // Ascending id order — a pure function of the id set, so the router's
+  // free list (and thus future id reuse) is shard-count-invariant.
+  for (GlobalHandle gid = 0; gid < shard_of_.size(); ++gid) {
+    if (shard_of_[gid] == kUnplaced) continue;
+    const auto& shard = *shards_[shard_of_[gid]];
+    if (shard.pair_table().find(pair_of_[gid]) ==
+        common::FlatPairTable::kNoSlot) {
+      router_.erase(pair_of_[gid]);
+      router_.free_id(gid);
+      shard_of_[gid] = kUnplaced;
+    }
+  }
+  canonicalize_events(events);
+  sync_obs();
+  return events;
+}
+
+std::size_t ShardedDetector::retired_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) n += shard->retired_count();
+  return n;
+}
+
+DetectorCounters ShardedDetector::counters() const {
+  DetectorCounters total;
+  for (const auto& shard : shards_) total += shard->counters();
+  return total;
+}
+
+std::size_t ShardedDetector::migrate_range(GlobalHandle lo, GlobalHandle hi,
+                                           std::size_t to) {
+  if (to >= shards_.size()) {
+    throw std::out_of_range("migrate_range: no such shard");
+  }
+  std::size_t moved = 0;
+  const GlobalHandle end =
+      std::min<GlobalHandle>(hi, static_cast<GlobalHandle>(shard_of_.size()));
+  for (GlobalHandle gid = lo; gid < end; ++gid) {
+    const std::uint32_t from = shard_of_[gid];
+    if (from == kUnplaced || from == to) continue;
+    AnomalyDetector::PairState st;
+    if (!shards_[from]->extract_pair(pair_of_[gid], st)) continue;
+    local_of_[gid] = shards_[to]->adopt_pair(std::move(st));
+    shard_of_[gid] = static_cast<std::uint32_t>(to);
+    ++moved;
+  }
+  return moved;
+}
+
+ShardedDetector::Snapshot ShardedDetector::snapshot() const {
+  Snapshot s;
+  s.shards_.reserve(shards_.size());
+  for (const auto& shard : shards_) s.shards_.push_back(shard->snapshot());
+  s.router_ = router_;
+  s.shard_of_ = shard_of_;
+  s.local_of_ = local_of_;
+  s.pair_of_ = pair_of_;
+  return s;
+}
+
+void ShardedDetector::restore(const Snapshot& snap) {
+  if (snap.shards_.size() != shards_.size()) {
+    throw std::logic_error(
+        "ShardedDetector::restore: shard count mismatch (shard count is "
+        "config, not state)");
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->restore(snap.shards_[s]);
+  }
+  router_ = snap.router_;
+  shard_of_ = snap.shard_of_;
+  local_of_ = snap.local_of_;
+  pair_of_ = snap.pair_of_;
+}
+
+}  // namespace skh::core

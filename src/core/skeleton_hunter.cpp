@@ -29,7 +29,14 @@ SkeletonHunter::SkeletonHunter(const topo::Topology& topo,
     : topo_(topo), overlay_(overlay), orch_(orchestrator), events_(events),
       cfg_(cfg),
       engine_(topo, overlay, faults, rng.fork("engine")),
-      detector_(cfg.detector),
+      shard_pool_(cfg.analyzer_shards > 1
+                      ? std::make_unique<common::ThreadPool>(std::min(
+                            cfg.analyzer_shards,
+                            std::max<std::size_t>(
+                                1, std::thread::hardware_concurrency())))
+                      : nullptr),
+      detector_(cfg.detector, std::max<std::size_t>(1, cfg.analyzer_shards),
+                shard_pool_.get()),
       oracle_(faults, rng.fork("oracle")),
       localizer_(topo, overlay, oracle_, faults, cfg.localizer),
       telemetry_(cfg.telemetry, rng.fork("telemetry")) {
@@ -387,21 +394,34 @@ void SkeletonHunter::tick() {
   }
   if (!in_blackout_) {
     telemetry_.transmit(round, now);
-    std::map<TaskId, std::vector<AnomalyEvent>> per_task_events;
-    std::vector<AnomalyEvent> fired;
+    // Route the round once on this thread (collector + global handles),
+    // then fan the detector work across the analyzer shards. The batch
+    // returns events grouped by originating result in round order — the
+    // exact sequence sequential single-detector ingest produces — so the
+    // per-task buckets below are shard-count-invariant.
+    batch_.clear();
+    batch_.reserve(round.size());
     for (const auto& result : round) {
       collector_.ingest(result);
-      fired.clear();
-      if (detector_.ingest(detector_.handle_of(result.pair), result.seq,
-                           result.sent_at, result.delivered, result.rtt_us,
-                           fired) > 0) {
-        const TaskId task = orch_.container(result.pair.src.container).task;
-        auto& bucket = per_task_events[task];
-        bucket.insert(bucket.end(), fired.begin(), fired.end());
-      }
+      batch_.push_back(ShardedDetector::BatchItem{
+          detector_.handle_of(result.pair), result.seq, result.sent_at,
+          result.delivered, result.rtt_us});
     }
-    for (const auto& [task, evts] : per_task_events) {
-      route_events(task, evts);
+    detector_.ingest_batch(batch_, batch_events_, batch_fired_);
+    std::map<TaskId, std::vector<AnomalyEvent>> per_task_events;
+    std::size_t cursor = 0;
+    for (std::size_t i = 0; i < round.size(); ++i) {
+      const std::uint32_t fired = batch_fired_[i];
+      if (fired > 0) {
+        const TaskId task = orch_.container(round[i].pair.src.container).task;
+        auto& bucket = per_task_events[task];
+        bucket.insert(bucket.end(), batch_events_.begin() + cursor,
+                      batch_events_.begin() + cursor + fired);
+      }
+      cursor += fired;
+    }
+    for (auto& [task, evts] : per_task_events) {
+      route_events(task, std::move(evts));
     }
     // Close quiet cases; drop the ones suppressed as transients. Quiet is
     // measured in *observed* time: the span of a blackout (before
@@ -446,7 +466,12 @@ void SkeletonHunter::restore(const Snapshot& snap) {
 }
 
 void SkeletonHunter::cold_reset_analyzer() {
-  detector_ = AnomalyDetector(cfg_.detector);
+  // Publish what the dying analyzer already counted — process telemetry is
+  // not analysis state and must survive the reset.
+  detector_.sync_obs();
+  detector_ = ShardedDetector(cfg_.detector,
+                              std::max<std::size_t>(1, cfg_.analyzer_shards),
+                              shard_pool_.get());
   detector_.attach_obs(obs_);
   collector_.clear();
   cases_.clear();
@@ -454,7 +479,14 @@ void SkeletonHunter::cold_reset_analyzer() {
 }
 
 void SkeletonHunter::route_events(TaskId task,
-                                  const std::vector<AnomalyEvent>& events) {
+                                  std::vector<AnomalyEvent> events) {
+  // Order-independent case reducer: sort the batch into the canonical
+  // (detected_at, pair, kind, score) order before any open/merge/suppress
+  // decision. Whatever sharding or interleaving produced this batch, the
+  // same event set reduces to the same cases with the same first_event —
+  // the keystone of shard-count-invariant verdicts (and chronologically
+  // the right case-open attribution regardless).
+  canonicalize_events(events);
   const SimTime now = events_.now();
   for (const auto& e : events) {
     // A long-term (30-minute-window) alarm that merely re-reports a pair
@@ -589,7 +621,7 @@ void SkeletonHunter::finalize() {
     const TaskId task = orch_.container(e.pair.src.container).task;
     per_task[task].push_back(e);
   }
-  for (const auto& [task, evts] : per_task) route_events(task, evts);
+  for (auto& [task, evts] : per_task) route_events(task, std::move(evts));
   for (auto& c : cases_) {
     if (!c.closed) close_case(c);
   }

@@ -24,8 +24,10 @@
 #include <vector>
 
 #include "cluster/orchestrator.h"
+#include "common/pool.h"
 #include "core/anomaly.h"
 #include "core/blacklist.h"
+#include "core/sharded_detector.h"
 #include "core/diagnostics.h"
 #include "core/fidelity.h"
 #include "core/localize.h"
@@ -42,6 +44,11 @@ namespace skh::core {
 struct SkeletonHunterConfig {
   SimTime probe_interval = SimTime::seconds(1);
   DetectorConfig detector{};
+  /// Analyzer shards the pair space is partitioned across (consistent-hash
+  /// on stable global pair id; see core/sharded_detector.h). Verdicts are
+  /// bit-identical at any shard count — sharding buys ingest parallelism,
+  /// never behavior. 1 keeps the classic single-analyzer path.
+  std::size_t analyzer_shards = 1;
   InferenceConfig inference{};
   /// A failure case with no fresh events for this long is localized+closed.
   SimTime case_quiet_period = SimTime::seconds(90);
@@ -156,6 +163,17 @@ class SkeletonHunter {
   [[nodiscard]] const Blacklist& blacklist() const noexcept {
     return blacklist_;
   }
+  /// The (possibly sharded) analyzer behind this hunter.
+  [[nodiscard]] const ShardedDetector& detector() const noexcept {
+    return detector_;
+  }
+  /// Shard rebalance: move the global-pair-id range [lo, hi) onto
+  /// `to_shard` mid-campaign. Per-pair window state migrates whole
+  /// (extract/adopt), so verdicts are unperturbed. Returns pairs moved.
+  std::size_t rebalance_pairs(std::uint32_t lo, std::uint32_t hi,
+                              std::size_t to_shard) {
+    return detector_.migrate_range(lo, hi, to_shard);
+  }
   /// Repair completed: lift the ban on a component.
   void mark_repaired(sim::ComponentRef ref);
 
@@ -216,7 +234,7 @@ class SkeletonHunter {
   /// state can only come from restore().
   void cold_reset_analyzer();
   void tick();
-  void route_events(TaskId task, const std::vector<AnomalyEvent>& events);
+  void route_events(TaskId task, std::vector<AnomalyEvent> events);
   void close_case(FailureCase& c);
   [[nodiscard]] std::uint32_t rank_of(const Endpoint& ep) const;
 
@@ -228,7 +246,10 @@ class SkeletonHunter {
 
   probe::ProbeEngine engine_;
   probe::Collector collector_;
-  AnomalyDetector detector_;
+  /// Worker pool driving the analyzer shards (null at 1 shard). Declared
+  /// before detector_: the detector borrows it and must die first.
+  std::unique_ptr<common::ThreadPool> shard_pool_;
+  ShardedDetector detector_;
   DiagnosticsOracle oracle_;
   Localizer localizer_;
   probe::TelemetryChannel telemetry_;
@@ -252,6 +273,11 @@ class SkeletonHunter {
   /// Per-tick sink for raw agent results; only what survives the telemetry
   /// channel reaches collector_ (the analyzer's store).
   probe::Collector scratch_;
+  /// Per-tick batch-ingest scratch (routed items, fired events, per-item
+  /// fired counts), reused across ticks.
+  std::vector<ShardedDetector::BatchItem> batch_;
+  std::vector<AnomalyEvent> batch_events_;
+  std::vector<std::uint32_t> batch_fired_;
 
   obs::Context* obs_ = nullptr;
   obs::Counter m_cases_opened_;
@@ -272,7 +298,7 @@ class SkeletonHunter {
 
    private:
     friend class SkeletonHunter;
-    AnomalyDetector::Snapshot detector_;
+    ShardedDetector::Snapshot detector_;
     probe::Collector collector_;
     std::vector<FailureCase> cases_;
     Blacklist blacklist_;

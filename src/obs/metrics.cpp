@@ -1,6 +1,8 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <stdexcept>
 
@@ -8,6 +10,13 @@ namespace skh::obs {
 
 void Histogram::observe(double v) noexcept {
   if (cells_ == nullptr) return;
+  if (!std::isfinite(v)) {
+    // NaN compares false against every bound, which would file it into
+    // bucket 0 and poison sum; ±inf would land in a bucket but still
+    // poison sum. Both are telemetry junk — count and drop.
+    ++cells_->dropped;
+    return;
+  }
   std::size_t b = 0;
   while (b < n_bounds_ && v > bounds_[b]) ++b;
   ++cells_->counts[b];
@@ -57,17 +66,23 @@ std::uint32_t MetricsRegistry::histogram_id(
   return id;
 }
 
-MetricsRegistry::Shard& MetricsRegistry::shard_for_current_thread() {
+std::uint64_t MetricsRegistry::this_thread_token() {
+  static std::atomic<std::uint64_t> next{1};
+  thread_local const std::uint64_t token =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return token;
+}
+
+MetricsRegistry::Shard& MetricsRegistry::shard_for_token(std::uint64_t token) {
   // Caller holds mu_.
-  const auto tid = std::this_thread::get_id();
-  const auto it = shard_of_thread_.find(tid);
+  const auto it = shard_of_token_.find(token);
   Shard* shard = nullptr;
-  if (it != shard_of_thread_.end()) {
+  if (it != shard_of_token_.end()) {
     shard = it->second;
   } else {
     shards_.push_back(std::make_unique<Shard>());
     shard = shards_.back().get();
-    shard_of_thread_.emplace(tid, shard);
+    shard_of_token_.emplace(token, shard);
   }
   while (shard->counters.size() < counter_names_.size()) {
     shard->counters.push_back(0);
@@ -84,35 +99,55 @@ MetricsRegistry::Shard& MetricsRegistry::shard_for_current_thread() {
 }
 
 Counter MetricsRegistry::bind_counter(std::uint32_t id) {
+  return bind_counter_for_token(id, this_thread_token());
+}
+
+Gauge MetricsRegistry::bind_gauge(std::uint32_t id) {
+  return bind_gauge_for_token(id, this_thread_token());
+}
+
+Histogram MetricsRegistry::bind_histogram(std::uint32_t id) {
+  return bind_histogram_for_token(id, this_thread_token());
+}
+
+Counter MetricsRegistry::bind_counter_for_token(std::uint32_t id,
+                                                std::uint64_t token) {
   std::scoped_lock lock(mu_);
   if (id >= counter_names_.size()) {
     throw std::out_of_range("bind_counter: unknown id");
   }
   Counter c;
-  c.cell_ = &shard_for_current_thread().counters[id];
+  c.cell_ = &shard_for_token(token).counters[id];
   return c;
 }
 
-Gauge MetricsRegistry::bind_gauge(std::uint32_t id) {
+Gauge MetricsRegistry::bind_gauge_for_token(std::uint32_t id,
+                                            std::uint64_t token) {
   std::scoped_lock lock(mu_);
   if (id >= gauge_names_.size()) {
     throw std::out_of_range("bind_gauge: unknown id");
   }
   Gauge g;
-  g.cell_ = &shard_for_current_thread().gauges[id];
+  g.cell_ = &shard_for_token(token).gauges[id];
   return g;
 }
 
-Histogram MetricsRegistry::bind_histogram(std::uint32_t id) {
+Histogram MetricsRegistry::bind_histogram_for_token(std::uint32_t id,
+                                                    std::uint64_t token) {
   std::scoped_lock lock(mu_);
   if (id >= hists_.size()) {
     throw std::out_of_range("bind_histogram: unknown id");
   }
   Histogram h;
-  h.cells_ = &shard_for_current_thread().hists[id];
+  h.cells_ = &shard_for_token(token).hists[id];
   h.bounds_ = hists_[id].bounds.data();
   h.n_bounds_ = hists_[id].bounds.size();
   return h;
+}
+
+std::size_t MetricsRegistry::shard_count() const {
+  std::scoped_lock lock(mu_);
+  return shards_.size();
 }
 
 std::uint64_t MetricsRegistry::counter_total(std::uint32_t id) const {
@@ -156,6 +191,7 @@ MetricsSnapshot MetricsRegistry::scrape() const {
         h.counts[b] += cells.counts[b];
       }
       h.count += cells.count;
+      h.dropped += cells.dropped;
       h.sum += cells.sum;
     }
     snap.histograms.push_back(std::move(h));
@@ -202,6 +238,7 @@ void MetricsSnapshot::merge(const MetricsSnapshot& other) {
         it->counts[b] += h.counts[b];
       }
       it->count += h.count;
+      it->dropped += h.dropped;
       it->sum += h.sum;
     } else {
       histograms.insert(it, h);
@@ -230,9 +267,10 @@ std::string MetricsSnapshot::to_string() const {
     out += buf;
   }
   for (const auto& h : histograms) {
-    std::snprintf(buf, sizeof buf, "%-40s count=%llu sum=%.6g buckets=[",
+    std::snprintf(buf, sizeof buf,
+                  "%-40s count=%llu dropped=%llu sum=%.6g buckets=[",
                   h.name.c_str(), static_cast<unsigned long long>(h.count),
-                  h.sum);
+                  static_cast<unsigned long long>(h.dropped), h.sum);
     out += buf;
     for (std::size_t b = 0; b < h.counts.size(); ++b) {
       if (b > 0) out += ' ';

@@ -76,7 +76,11 @@ class Gauge {
 
 /// Bound fixed-bucket histogram handle. Bucket i counts observations v
 /// with bounds[i-1] < v <= bounds[i]; one implicit overflow bucket catches
-/// v > bounds.back(), so there are bounds.size() + 1 buckets.
+/// v > bounds.back(), so there are bounds.size() + 1 buckets. Non-finite
+/// observations (NaN / ±inf — e.g. a corrupted-RTT telemetry episode)
+/// never reach a bucket: every `v > bound` comparison on a NaN is false,
+/// which used to file the junk into bucket 0 and poison `sum`; they are
+/// counted in `dropped` instead so a scrape still shows the plane lied.
 class Histogram {
  public:
   void observe(double v) noexcept;
@@ -87,6 +91,7 @@ class Histogram {
   struct Cells {
     std::vector<std::uint64_t> counts;  // bounds.size() + 1
     std::uint64_t count = 0;
+    std::uint64_t dropped = 0;  ///< non-finite observations rejected
     double sum = 0.0;
   };
   Cells* cells_ = nullptr;
@@ -111,6 +116,7 @@ struct HistogramSample {
   std::vector<double> bounds;
   std::vector<std::uint64_t> counts;  // bounds.size() + 1 (overflow last)
   std::uint64_t count = 0;
+  std::uint64_t dropped = 0;  ///< non-finite observations rejected
   double sum = 0.0;
   friend bool operator==(const HistogramSample&,
                          const HistogramSample&) = default;
@@ -164,6 +170,28 @@ class MetricsRegistry {
   [[nodiscard]] Gauge bind_gauge(std::uint32_t id);
   [[nodiscard]] Histogram bind_histogram(std::uint32_t id);
 
+  /// Explicit-token binds: same semantics as the bind_* overloads above but
+  /// keyed by a caller-supplied registration token instead of the calling
+  /// thread's. Exists so tests can simulate OS thread-id reuse; production
+  /// code uses the thread-keyed overloads, which route here with
+  /// this_thread_token().
+  [[nodiscard]] Counter bind_counter_for_token(std::uint32_t id,
+                                               std::uint64_t token);
+  [[nodiscard]] Gauge bind_gauge_for_token(std::uint32_t id,
+                                           std::uint64_t token);
+  [[nodiscard]] Histogram bind_histogram_for_token(std::uint32_t id,
+                                                   std::uint64_t token);
+
+  /// Process-wide monotone registration token for the calling thread.
+  /// Shards are keyed by this, not by std::thread::id: the OS recycles
+  /// thread ids, so a short-lived worker dying and a new thread inheriting
+  /// its id used to silently alias the dead worker's shard. Tokens are
+  /// issued once per thread from a monotone counter and never reused.
+  [[nodiscard]] static std::uint64_t this_thread_token();
+
+  /// Number of per-thread shards created so far (quiesced reads only).
+  [[nodiscard]] std::size_t shard_count() const;
+
   /// Sum of one counter across all shards (quiesced reads only).
   [[nodiscard]] std::uint64_t counter_total(std::uint32_t id) const;
 
@@ -183,9 +211,9 @@ class MetricsRegistry {
     std::vector<double> bounds;
   };
 
-  /// Locked: find-or-create the calling thread's shard and size it to the
+  /// Locked: find-or-create the shard for `token` and size it to the
   /// current metric count.
-  Shard& shard_for_current_thread();
+  Shard& shard_for_token(std::uint64_t token);
 
   mutable std::mutex mu_;
   std::deque<std::string> counter_names_;
@@ -194,10 +222,10 @@ class MetricsRegistry {
   std::map<std::string, std::uint32_t, std::less<>> counter_index_;
   std::map<std::string, std::uint32_t, std::less<>> gauge_index_;
   std::map<std::string, std::uint32_t, std::less<>> hist_index_;
-  // Shards in creation order (scrape iterates this), plus the per-thread
+  // Shards in creation order (scrape iterates this), plus the per-token
   // lookup. Binding is the only locked step on the recording side.
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::map<std::thread::id, Shard*> shard_of_thread_;
+  std::map<std::uint64_t, Shard*> shard_of_token_;
 };
 
 }  // namespace skh::obs

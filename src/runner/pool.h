@@ -1,51 +1,13 @@
-// Fixed-size worker pool for CPU-bound campaign fan-out.
-//
-// Each submitted job owns its entire working set (one simulated cluster),
-// so workers never share mutable state and the pool needs no job-to-job
-// ordering guarantees: determinism comes from jobs writing to pre-assigned
-// result slots, not from scheduling. Kept deliberately minimal — submit,
-// wait, join — because the campaign runner is the only intended user.
+// The worker pool moved to common/pool.h so that core/'s sharded analyzer
+// (which runner/ links against) can drive its shards on the same
+// implementation. This header keeps the historical `skh::runner::ThreadPool`
+// spelling working for the campaign runner and its tests.
 #pragma once
 
-#include <condition_variable>
-#include <cstddef>
-#include <deque>
-#include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include "common/pool.h"
 
 namespace skh::runner {
 
-class ThreadPool {
- public:
-  /// Spin up `n_threads` workers; 0 means std::thread::hardware_concurrency
-  /// (itself clamped to at least 1).
-  explicit ThreadPool(std::size_t n_threads);
-  ~ThreadPool();
-
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-
-  /// Enqueue a job. Jobs must not throw — wrap fallible work and capture
-  /// the error (the campaign runner stashes an std::exception_ptr).
-  void submit(std::function<void()> job);
-
-  /// Block until every job submitted so far has finished executing.
-  void wait();
-
-  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
-
- private:
-  void worker_loop();
-
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_job_;   ///< signals workers: work or shutdown
-  std::condition_variable cv_done_;  ///< signals wait(): all jobs drained
-  std::size_t in_flight_ = 0;        ///< queued + currently executing
-  bool stop_ = false;
-};
+using common::ThreadPool;
 
 }  // namespace skh::runner

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <random>
 #include <vector>
 
 #include "../testutil.h"
@@ -215,6 +216,47 @@ TEST_F(LocalizeTest, SpineLinkFaultVotedByIntersection) {
     }
   }
   EXPECT_TRUE(found);
+}
+
+// Pins the order-independence the sharded analyzer's merge reducer relies
+// on: the intersection vote and the full localization pipeline must return
+// the identical verdict (culprits, method, confidence) for any iteration
+// order of the anomalous pair set. Shuffle across 10 seeds and compare
+// against the unshuffled verdict.
+TEST_F(LocalizeTest, VerdictInvariantUnderPairIterationOrder) {
+  const SwitchId tor = env_.topo.tor_at(0, 0);
+  env_.faults.inject(sim::IssueType::kSwitchOffline,
+                     {sim::ComponentKind::kPhysicalSwitch, tor.value()},
+                     SimTime::seconds(0), SimTime::hours(1));
+  std::vector<EndpointPair> anomalous;
+  for (const auto& a : endpoints_) {
+    for (const auto& b : endpoints_) {
+      if (a.container == b.container) continue;
+      if (env_.topo.rail_of(a.rnic) != 0 || env_.topo.rail_of(b.rnic) != 0) {
+        continue;
+      }
+      const auto path = env_.topo.route(a.rnic, b.rnic);
+      if (std::find(path.switches.begin(), path.switches.end(), tor) !=
+          path.switches.end()) {
+        anomalous.push_back({a, b});
+      }
+    }
+  }
+  ASSERT_GE(anomalous.size(), 4u);
+  const auto want_vote = localizer_->physical_intersection(anomalous);
+  const auto want = localizer_->localize(anomalous, SimTime::minutes(1));
+  ASSERT_EQ(want.method, LocalizationMethod::kPhysicalIntersection);
+  ASSERT_TRUE(want.found());
+  for (unsigned seed = 1; seed <= 10; ++seed) {
+    auto shuffled = anomalous;
+    std::shuffle(shuffled.begin(), shuffled.end(), std::mt19937{seed});
+    EXPECT_EQ(localizer_->physical_intersection(shuffled), want_vote)
+        << "intersection vote depends on pair order (seed " << seed << ")";
+    const auto loc = localizer_->localize(shuffled, SimTime::minutes(1));
+    EXPECT_EQ(loc.culprits, want.culprits) << "seed " << seed;
+    EXPECT_EQ(loc.method, want.method) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(loc.confidence, want.confidence) << "seed " << seed;
+  }
 }
 
 TEST_F(LocalizeTest, EmptyInputYieldsNothing) {

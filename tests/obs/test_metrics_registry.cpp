@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <limits>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -160,6 +162,125 @@ TEST(MetricsSnapshot, MergeSnapshotsPoolsInOrder) {
   }
   const auto fleet = merge_snapshots(snaps);
   EXPECT_EQ(fleet.counter_or("n"), 6u);
+}
+
+// Regression: handles bound early must keep pointing at live cells no
+// matter how much the registry grows afterwards — from this thread or any
+// other. The old failure mode (reallocating cell storage) shows up under
+// ASan as heap-use-after-free on the post-growth records, and as lost or
+// corrupted totals without it.
+TEST(MetricsRegistry, BoundCellsStableAcrossLaterRegistration) {
+  MetricsRegistry r;
+  const std::array<double, 2> bounds{1.0, 2.0};
+  auto c = r.bind_counter(r.counter_id("stable.count"));
+  auto g = r.bind_gauge(r.gauge_id("stable.level"));
+  auto h = r.bind_histogram(r.histogram_id("stable.size", bounds));
+  c.inc();
+  g.set(1.0);
+  h.observe(0.5);
+  // Grow the registry far past any small-buffer capacity from another
+  // thread (its own shard) ...
+  std::thread grower([&r, &bounds] {
+    for (int i = 0; i < 200; ++i) {
+      const std::string n = "noise." + std::to_string(i);
+      r.bind_counter(r.counter_id(n + ".c")).inc();
+      r.bind_gauge(r.gauge_id(n + ".g")).set(1.0);
+      r.bind_histogram(r.histogram_id(n + ".h", bounds)).observe(1.5);
+    }
+  });
+  grower.join();
+  // ... and from this thread, which grows the very shard the old handles
+  // point into.
+  for (int i = 0; i < 200; ++i) {
+    const std::string n = "local." + std::to_string(i);
+    (void)r.bind_counter(r.counter_id(n + ".c"));
+    (void)r.bind_gauge(r.gauge_id(n + ".g"));
+    (void)r.bind_histogram(r.histogram_id(n + ".h", bounds));
+  }
+  // Record through the pre-growth handles.
+  c.add(41);
+  g.add(1.5);
+  h.observe(1.5);
+  const auto snap = r.scrape();
+  EXPECT_EQ(snap.counter_or("stable.count"), 42u);
+  for (const auto& gs : snap.gauges) {
+    if (gs.name == "stable.level") EXPECT_DOUBLE_EQ(gs.value, 2.5);
+  }
+  for (const auto& hs : snap.histograms) {
+    if (hs.name != "stable.size") continue;
+    EXPECT_EQ(hs.count, 2u);
+    EXPECT_EQ(hs.counts, (std::vector<std::uint64_t>{1, 1, 0}));
+    EXPECT_DOUBLE_EQ(hs.sum, 2.0);
+  }
+}
+
+// Regression: NaN used to fall through every `v > bound` comparison into
+// bucket 0 (and ±inf poisoned `sum`); non-finite observations must be
+// counted in `dropped` and leave buckets/count/sum untouched.
+TEST(MetricsRegistry, HistogramDropsNonFiniteObservations) {
+  MetricsRegistry r;
+  const std::array<double, 2> bounds{1.0, 2.0};
+  auto h = r.bind_histogram(r.histogram_id("h", bounds));
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  h.observe(std::numeric_limits<double>::infinity());
+  h.observe(-std::numeric_limits<double>::infinity());
+  h.observe(1.5);
+  const auto snap = r.scrape();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const auto& hs = snap.histograms[0];
+  EXPECT_EQ(hs.counts, (std::vector<std::uint64_t>{0, 1, 0}));
+  EXPECT_EQ(hs.count, 1u);
+  EXPECT_EQ(hs.dropped, 3u);
+  EXPECT_DOUBLE_EQ(hs.sum, 1.5);
+  EXPECT_NE(snap.to_string().find("dropped=3"), std::string::npos);
+  // dropped pools across snapshots like every other integer aggregate.
+  MetricsSnapshot merged = snap;
+  merged.merge(snap);
+  EXPECT_EQ(merged.histograms[0].dropped, 6u);
+}
+
+// Regression: shards used to be keyed by std::this_thread::get_id(), which
+// the OS recycles — a new worker inheriting a dead worker's id silently
+// aliased the dead worker's shard. Shards are now keyed by a monotone
+// registration token issued once per thread.
+TEST(MetricsRegistry, ThreadIdReuseDoesNotAliasShards) {
+  MetricsRegistry r;
+  const auto id = r.counter_id("n");
+
+  // Deterministic simulation of id reuse via the token seam: two distinct
+  // registration tokens (two thread lifetimes that happened to share an OS
+  // id) must land in two distinct shards.
+  auto c1 = r.bind_counter_for_token(id, 1001);
+  auto c2 = r.bind_counter_for_token(id, 1002);
+  c1.add(5);
+  c2.add(7);
+  EXPECT_EQ(r.shard_count(), 2u);
+  EXPECT_EQ(r.counter_total(id), 12u);
+  // Rebinding an existing token reuses its shard.
+  auto c1b = r.bind_counter_for_token(id, 1001);
+  c1b.inc();
+  EXPECT_EQ(r.shard_count(), 2u);
+  EXPECT_EQ(r.counter_total(id), 13u);
+
+  // The live path: sequentially spawned short-lived threads are prime
+  // candidates for OS id reuse, yet each must get a fresh token and thus a
+  // fresh shard.
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::uint64_t> tokens(kThreads);
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    std::thread t([&r, &tokens, id, i] {
+      tokens[i] = MetricsRegistry::this_thread_token();
+      r.bind_counter(id).inc();
+    });
+    t.join();
+  }
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    for (std::size_t j = i + 1; j < kThreads; ++j) {
+      EXPECT_NE(tokens[i], tokens[j]);
+    }
+  }
+  EXPECT_EQ(r.shard_count(), 2u + kThreads);
+  EXPECT_EQ(r.counter_total(id), 13u + kThreads);
 }
 
 TEST(MetricsSnapshot, ToStringListsEveryMetric) {

@@ -224,6 +224,32 @@ TEST(CampaignRunner, HonestPlaneIsUnchangedByTheTelemetryKnob) {
   EXPECT_EQ(r.probes_sent, again.probes_sent);
 }
 
+TEST(CampaignRunner, AnalyzerShardCountDoesNotChangeResults) {
+  // The sharded analyzer is a pure scale-out: partitioning the pair space
+  // across 1, 4, or 16 detector shards must leave every campaign outcome
+  // bit-identical — scores, case counts, probe totals, and the fleet-summed
+  // detector counters.
+  auto cfg = tiny_config();
+  for (const std::uint64_t seed : split_seeds(0x53484152ULL, 2)) {
+    cfg.hunter.analyzer_shards = 1;
+    const RunResult one = run_campaign(cfg, seed);
+    for (const std::size_t shards : {4UL, 16UL}) {
+      cfg.hunter.analyzer_shards = shards;
+      const RunResult sharded = run_campaign(cfg, seed);
+      EXPECT_EQ(one.score, sharded.score)
+          << "seed " << seed << " shards " << shards;
+      EXPECT_EQ(one.failure_cases, sharded.failure_cases)
+          << "seed " << seed << " shards " << shards;
+      EXPECT_EQ(one.probes_sent, sharded.probes_sent)
+          << "seed " << seed << " shards " << shards;
+      EXPECT_EQ(one.detector, sharded.detector)
+          << "seed " << seed << " shards " << shards;
+      EXPECT_EQ(schedule_of(one), schedule_of(sharded))
+          << "seed " << seed << " shards " << shards;
+    }
+  }
+}
+
 TEST(CampaignRunner, CampaignDetectsInjectedFaults) {
   // Sanity that the canned campaign is a real workload, not a no-op: the
   // hunter raises cases and detects at least one injected fault.
