@@ -1,0 +1,131 @@
+// Ingest-to-verdict latency bench: run a multi-fault Monte-Carlo fleet
+// with the full observability plane attached and report the sim-time
+// latency of every pipeline stage (telemetry channel delay, window
+// residence, detection lag, first-event-to-verdict, and the end-to-end
+// ingest-to-verdict span), plus the wall-clock cost of the flight recorder
+// itself (recorder on vs recorder off, same campaigns).
+//
+// Output is greppable: the line `P99_VERDICT_S=<x>` carries the headline
+// p99 end-to-end latency (README row; consumed by scripts/bench_to_json.sh
+// for BENCH_obs.json). Fails if no case reached a verdict — a latency
+// plane with zero observations gates nothing.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "runner/campaign_runner.h"
+
+using namespace skh;
+using namespace skh::runner;
+
+namespace {
+
+CampaignConfig base_config() {
+  CampaignConfig cfg;
+  cfg.topology.num_hosts = 16;
+  cfg.topology.rails_per_host = 4;
+  cfg.topology.hosts_per_segment = 8;
+  cfg.hunter.probe_interval = SimTime::seconds(5);
+  cfg.hunter.inference.candidate_dp = {2};
+  cfg.tasks = {{4, 4, 2, 2}, {4, 4, 4, 1}};
+  cfg.visible_faults = 6;
+  cfg.invisible_faults = 0;
+  cfg.phantom_agents = 0;
+  cfg.fault_gap = SimTime::minutes(8);
+  cfg.fault_duration = SimTime::minutes(4);
+  cfg.drain = SimTime::minutes(10);
+  // A little measurement-plane dirt so the telemetry-delay stage has
+  // non-zero observations too.
+  cfg.telemetry_faults = 2;
+  cfg.obs.metrics = true;
+  return cfg;
+}
+
+double run_once(const CampaignConfig& cfg,
+                const std::vector<std::uint64_t>& seeds) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const CampaignSet set = run_many(cfg, seeds, 1);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (set.runs.empty()) std::abort();  // keep the work live
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+const obs::HistogramSample* find_hist(const obs::MetricsSnapshot& snap,
+                                      const char* name) {
+  for (const auto& h : snap.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main() {
+  print_banner("ingest-to-verdict latency plane (sim-time stage quantiles)");
+
+  const CampaignConfig cfg = base_config();
+  const auto seeds = split_seeds(0x7e4d1c7, 6);
+  const CampaignSet set = run_many(cfg, seeds, 1);
+
+  struct Stage {
+    const char* metric;
+    const char* label;
+  };
+  const Stage stages[] = {
+      {"latency.telemetry_delay_s", "telemetry channel delay"},
+      {"latency.window_residence_s", "window residence"},
+      {"latency.detect_s", "detection lag"},
+      {"latency.localize_s", "first event -> verdict"},
+      {"latency.ingest_to_verdict_s", "ingest -> verdict (end to end)"},
+  };
+  TablePrinter table({"stage", "p50 (s)", "p99 (s)", "observations"});
+  double p99_verdict = -1.0;
+  std::uint64_t verdicts = 0;
+  for (const auto& st : stages) {
+    const auto* h = find_hist(set.fleet, st.metric);
+    if (h == nullptr || h->count == 0) {
+      table.add_row({st.label, "-", "-", "0"});
+      continue;
+    }
+    table.add_row({st.label, TablePrinter::num(h->quantile(0.5), 1),
+                   TablePrinter::num(h->quantile(0.99), 1),
+                   std::to_string(h->count)});
+    if (std::string_view(st.metric) == "latency.ingest_to_verdict_s") {
+      p99_verdict = h->quantile(0.99);
+      verdicts = h->count;
+    }
+  }
+  table.print();
+
+  if (verdicts == 0) {
+    std::printf("\nFATAL: no case reached a verdict; latency plane is "
+                "empty\n");
+    return 1;
+  }
+
+  // Recorder overhead: identical campaigns with the flight recorder on
+  // (default) vs off; same interleaved best-of-N protocol as the obs
+  // overhead gate. Report-only — the hard <1% gate lives in
+  // bench_obs_overhead, which runs with the recorder on.
+  CampaignConfig rec_off = base_config();
+  rec_off.obs.recorder.enabled = false;
+  constexpr int kReps = 3;
+  (void)run_once(rec_off, seeds);  // warm caches / page-in
+  double best_off = 1e300;
+  double best_on = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    best_off = std::min(best_off, run_once(rec_off, seeds));
+    best_on = std::min(best_on, run_once(cfg, seeds));
+  }
+  const double overhead_pct = 100.0 * (best_on - best_off) / best_off;
+
+  std::printf("\nflight recorder wall cost: %.3f s off, %.3f s on "
+              "(%+.2f%%)\n", best_off, best_on, overhead_pct);
+  std::printf("\nP99_VERDICT_S=%.1f\n", p99_verdict);
+  std::printf("VERDICTS=%llu\n", static_cast<unsigned long long>(verdicts));
+  std::printf("RECORDER_OVERHEAD_PCT=%.2f\n", overhead_pct);
+  return 0;
+}

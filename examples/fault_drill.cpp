@@ -9,6 +9,7 @@
 
 #include "core/harness.h"
 #include "core/metrics.h"
+#include "obs/json_lint.h"
 #include "obs/trace.h"
 
 using namespace skh;
@@ -204,6 +205,9 @@ struct BlackoutVerdict {
   LocalizationMethod method = LocalizationMethod::kUnlocalized;
   std::vector<sim::ComponentRef> culprits;
   std::uint64_t restores = 0;
+  /// Every case timeline must stay monotone in sim time even when stages
+  /// straddle an analyzer blackout + warm restore.
+  bool timelines_monotone = true;
 };
 
 BlackoutVerdict run_blackout_scenario(bool with_blackout) {
@@ -255,6 +259,13 @@ BlackoutVerdict run_blackout_scenario(bool with_blackout) {
     v.culprits = loc.culprits;
   }
   v.restores = exp.hunter().analyzer_restores();
+  for (const auto& c : exp.hunter().failure_cases()) {
+    for (std::size_t i = 1; i < c.timeline.entries.size(); ++i) {
+      if (c.timeline.entries[i].at < c.timeline.entries[i - 1].at) {
+        v.timelines_monotone = false;
+      }
+    }
+  }
   return v;
 }
 
@@ -270,11 +281,14 @@ int run_blackout_restore_drill() {
               blackout.cases, std::string(to_string(blackout.method)).c_str(),
               blackout.culprits.size(),
               static_cast<unsigned long long>(blackout.restores));
+  std::printf("  timelines monotone : %s\n",
+              blackout.timelines_monotone ? "yes" : "NO");
   const bool pass = honest.detected && blackout.detected &&
                     blackout.cases == honest.cases &&
                     blackout.method == honest.method &&
                     blackout.culprits == honest.culprits &&
-                    blackout.restores == 1;
+                    blackout.restores == 1 && honest.timelines_monotone &&
+                    blackout.timelines_monotone;
   std::printf("\nblackout gate: %s\n", pass ? "PASS" : "FAIL");
   return pass ? 0 : 1;
 }
@@ -285,6 +299,99 @@ int run_telemetry_gate() {
   return (gray_rc == 0 && blackout_rc == 0) ? 0 : 1;
 }
 
+/// Forensic gate: a drill with a real fault must open at least one failure
+/// case, and the flight recorder must hold a self-contained forensic bundle
+/// for it — parseable JSON whose timeline carries every stage from
+/// case.open to case.close, with non-empty window history for the
+/// offending pairs.
+int run_forensic_gate() {
+  std::puts("Forensic gate: fault drill with flight recorder on\n");
+  ExperimentConfig cfg;
+  cfg.topology.num_hosts = 8;
+  cfg.topology.rails_per_host = 8;
+  cfg.topology.hosts_per_segment = 8;
+  cfg.hunter.inference.candidate_dp = {2, 4};
+  cfg.seed = 6400;
+  cfg.obs.metrics = true;
+  Experiment exp(cfg);
+
+  cluster::TaskRequest req;
+  req.num_containers = 4;
+  req.gpus_per_container = 8;
+  req.lifetime = SimTime::hours(6);
+  const auto task = exp.launch_task(req);
+  if (!task) {
+    std::puts("  FAILED: cluster rejected the task");
+    return 1;
+  }
+  exp.run_to_running(*task);
+  workload::ParallelismConfig par;
+  par.tp = 8;
+  par.pp = 2;
+  par.dp = 2;
+  (void)exp.apply_skeleton(*task, exp.layout_of(*task, par));
+
+  const auto victim = exp.orchestrator().endpoints_of_task(*task)[9];
+  exp.faults().inject(sim::IssueType::kRnicPortDown,
+                      {sim::ComponentKind::kRnic, victim.rnic.value()},
+                      SimTime::minutes(3), SimTime::minutes(11));
+
+  exp.hunter().start(exp.events().now() + SimTime::minutes(20));
+  exp.events().run_all();
+  exp.hunter().finalize();
+
+  const auto& rec = exp.obs().recorder;
+  const auto& cases = exp.hunter().failure_cases();
+  std::printf("  failure cases      : %zu (want >= 1)\n", cases.size());
+  std::printf("  bundles resident   : %zu\n", rec.bundles().size());
+  if (cases.empty()) {
+    std::puts("\nforensic gate: FAIL (no case opened)");
+    return 1;
+  }
+
+  bool all_ok = true;
+  for (const auto& c : cases) {
+    const std::string* bundle = rec.bundle_of(c.id);
+    if (bundle == nullptr) {
+      std::printf("  case %u: NO BUNDLE\n", c.id);
+      all_ok = false;
+      continue;
+    }
+    const bool parses = obs::json_valid(*bundle);
+    if (!parses) {
+      // Leave the evidence on disk for whoever debugs the malformed bundle.
+      char fname[64];
+      std::snprintf(fname, sizeof fname, "forensic_bundle_case%u.json", c.id);
+      std::ofstream(fname) << *bundle;
+    }
+    // Every causal stage present, and at least one recorded window (the
+    // "flags" key only appears inside window objects).
+    const bool stages = bundle->find("\"case.open\"") != std::string::npos &&
+                        bundle->find("\"anomaly\"") != std::string::npos &&
+                        bundle->find("\"localize\"") != std::string::npos &&
+                        bundle->find("\"case.close\"") != std::string::npos;
+    const bool windows = bundle->find("\"flags\":") != std::string::npos;
+    const bool votes = bundle->find("\"source\":") != std::string::npos;
+    std::printf("  case %u: %zu bytes, json %s, stages %s, windows %s, "
+                "votes %s\n",
+                c.id, bundle->size(), parses ? "ok" : "INVALID",
+                stages ? "ok" : "MISSING", windows ? "ok" : "EMPTY",
+                votes ? "ok" : "EMPTY");
+    all_ok = all_ok && parses && stages && windows && votes;
+  }
+  const auto snap = exp.obs().registry.scrape();
+  for (const auto& h : snap.histograms) {
+    if (h.name == "latency.ingest_to_verdict_s") {
+      std::printf("  ingest-to-verdict  : p50 %.1fs, p99 %.1fs over %llu "
+                  "verdict(s)\n",
+                  h.quantile(0.5), h.quantile(0.99),
+                  static_cast<unsigned long long>(h.count));
+    }
+  }
+  std::printf("\nforensic gate: %s\n", all_ok ? "PASS" : "FAIL");
+  return all_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -293,6 +400,9 @@ int main(int argc, char** argv) {
   }
   if (argc > 1 && std::strcmp(argv[1], "--telemetry-gate") == 0) {
     return run_telemetry_gate();
+  }
+  if (argc > 1 && std::strcmp(argv[1], "--forensic-gate") == 0) {
+    return run_forensic_gate();
   }
   std::puts("Fault drill: one injection per Table-1 issue type\n");
   int detected = 0, expected_detected = 0;

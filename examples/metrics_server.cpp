@@ -1,0 +1,71 @@
+// Live exposition endpoint: run a small Monte-Carlo campaign fleet, merge
+// the per-seed registries into the fleet snapshot, and serve it as
+// Prometheus text exposition over HTTP.
+//
+//   metrics_server                 # serve http://127.0.0.1:9108/metrics
+//   metrics_server --port 0        # ephemeral port (printed at startup)
+//   metrics_server --once          # print the exposition to stdout and exit
+//   metrics_server --serve-n 3     # answer 3 scrapes, then exit (tests/CI)
+//
+// The exposition is deterministic: same config + seeds produce the same
+// bytes at any runner thread count (see obs/exposition.h for the format
+// contract), so `curl ... | sha256sum` is a valid fleet-state fingerprint.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/exposition.h"
+#include "obs/pull_server.h"
+#include "runner/campaign_runner.h"
+
+using namespace skh;
+
+int main(int argc, char** argv) {
+  bool once = false;
+  long serve_n = -1;  // -1 = forever
+  std::uint16_t port = 9108;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--once") == 0) {
+      once = true;
+    } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--serve-n") == 0 && i + 1 < argc) {
+      serve_n = std::atol(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--once] [--port P] [--serve-n N]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  runner::CampaignConfig cfg;
+  cfg.topology.num_hosts = 16;
+  cfg.tasks = {{8, 8, 4, 2}};
+  cfg.visible_faults = 4;
+  cfg.invisible_faults = 0;
+  cfg.phantom_agents = 0;
+  cfg.obs.metrics = true;
+
+  std::fprintf(stderr, "running 4-seed campaign fleet...\n");
+  const auto set = runner::run_many(cfg, /*master_seed=*/42, /*n_runs=*/4);
+  const std::string body = obs::prometheus_text(set.fleet);
+
+  if (once) {
+    std::fputs(body.c_str(), stdout);
+    return 0;
+  }
+
+  obs::PullServer server(port);
+  server.set_body_provider([&body] { return body; });
+  std::fprintf(stderr,
+               "serving fleet metrics on http://127.0.0.1:%u/metrics\n",
+               static_cast<unsigned>(server.port()));
+  if (serve_n >= 0) {
+    server.serve(static_cast<std::size_t>(serve_n));
+  } else {
+    while (server.serve_once()) {
+    }
+  }
+  return 0;
+}

@@ -10,9 +10,11 @@
 // estimates. Results are bit-identical for a given master seed at any
 // thread count; see ARCHITECTURE.md's determinism section.
 #include <cstdio>
+#include <string>
 #include <thread>
 
 #include "common/table.h"
+#include "obs/exposition.h"
 #include "runner/campaign_runner.h"
 
 using namespace skh;
@@ -73,10 +75,36 @@ int main() {
               " the crashed agent — the same §7.3 error anatomy as"
               " production)\n");
 
+  // Ingest-to-verdict latency plane: how long a failure took to travel from
+  // its first anomalous window opening to a localized verdict, fleet-wide.
+  for (const auto& h : set.fleet.histograms) {
+    if (h.name == "latency.ingest_to_verdict_s") {
+      std::printf("\ningest-to-verdict latency: p50 %.0f s, p99 %.0f s"
+                  " over %llu verdicts\n",
+                  h.quantile(0.5), h.quantile(0.99),
+                  static_cast<unsigned long long>(h.count));
+    }
+  }
+
   // Fleet observability snapshot: the per-seed registries merged in seed
   // order (bit-identical at any thread count). One line per metric; the
   // probe.rtt_us histogram shows where the fleet's RTTs actually sit.
   print_banner("fleet metrics snapshot (obs registry, pooled over seeds)");
   std::printf("%s", set.fleet.to_string().c_str());
+
+  // The same snapshot as a Prometheus scraper would see it (serve it live
+  // with examples/metrics_server). First lines only; the full exposition is
+  // one deterministic text document.
+  print_banner("prometheus exposition sample (first 12 lines)");
+  {
+    const std::string expo = obs::prometheus_text(set.fleet);
+    std::size_t pos = 0;
+    for (int line = 0; line < 12 && pos < expo.size(); ++line) {
+      const std::size_t nl = expo.find('\n', pos);
+      std::printf("%.*s\n", static_cast<int>(nl - pos), expo.c_str() + pos);
+      pos = nl + 1;
+    }
+    std::printf("... (%zu bytes total)\n", expo.size());
+  }
   return 0;
 }

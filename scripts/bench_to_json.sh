@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Package the observability plane's headline bench numbers as JSON.
+#
+# Runs bench_verdict_latency (build it first: `cmake --build build
+# --target bench_verdict_latency`) and extracts its greppable summary
+# lines into BENCH_obs.json:
+#
+#   p99_ingest_to_verdict_s  — end-to-end p99 sim-time latency from the
+#                              first anomalous window opening to a
+#                              localized verdict
+#   verdicts                 — observations behind that quantile
+#   recorder_overhead_pct    — wall-clock cost of the flight recorder
+#                              (on vs off, interleaved best-of-3)
+#
+# Usage: scripts/bench_to_json.sh [build_dir] [out_json]
+set -eu
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+bdir="${1:-$root/build}"
+out="${2:-$root/BENCH_obs.json}"
+bin="$bdir/bench/bench_verdict_latency"
+
+if [[ ! -x "$bin" ]]; then
+  echo "FAIL: $bin not built (cmake --build $bdir --target bench_verdict_latency)"
+  exit 1
+fi
+
+log="$(mktemp)"
+trap 'rm -f "$log"' EXIT
+"$bin" | tee "$log"
+
+p99="$(sed -n 's/^P99_VERDICT_S=//p' "$log")"
+verdicts="$(sed -n 's/^VERDICTS=//p' "$log")"
+overhead="$(sed -n 's/^RECORDER_OVERHEAD_PCT=//p' "$log")"
+
+if [[ -z "$p99" || -z "$verdicts" || -z "$overhead" ]]; then
+  echo "FAIL: bench output missing P99_VERDICT_S/VERDICTS/RECORDER_OVERHEAD_PCT"
+  exit 1
+fi
+
+cat > "$out" <<EOF
+{
+  "bench": "bench_verdict_latency",
+  "p99_ingest_to_verdict_s": $p99,
+  "verdicts": $verdicts,
+  "recorder_overhead_pct": $overhead
+}
+EOF
+echo "wrote $out"

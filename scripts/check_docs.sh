@@ -51,6 +51,27 @@ if ! grep -q "^## Sharded analyzer" "$arch"; then
   status=1
 fi
 
+# The observability plane's contracts (recorder bounds, latency-stage
+# definitions, exposition format) are documented sections, not folklore:
+# tests/obs and the forensic/overhead gates pin behavior against them.
+if ! grep -q "^### Flight recorder" "$arch"; then
+  echo "FAIL: ARCHITECTURE.md is missing the 'Flight recorder' section"
+  status=1
+fi
+if ! grep -q "^### Ingest-to-verdict latency plane" "$arch"; then
+  echo "FAIL: ARCHITECTURE.md is missing the 'Ingest-to-verdict latency plane' section"
+  status=1
+fi
+if ! grep -q "^### Exposition format" "$arch"; then
+  echo "FAIL: ARCHITECTURE.md is missing the 'Exposition format' section"
+  status=1
+fi
+if ! grep -q "obs/pull_server\|metrics_server" "$arch" || \
+   ! grep -q "latency.ingest_to_verdict_s" "$arch"; then
+  echo "FAIL: ARCHITECTURE.md's Observability section lost the endpoint or latency-metric names"
+  status=1
+fi
+
 if [[ -f "$readme" ]]; then
   for src in "$root"/bench/bench_*.cpp; do
     [[ -f "$src" ]] || continue  # unexpanded glob: no bench sources

@@ -15,8 +15,12 @@
 # batch partition/merge, pair migration, and snapshot paths in
 # test_sharded_detector),
 # obs (per-thread shard cells — including the bound-cell
-# pointer-stability and registration-token regression tests — and the
-# trace ring), sim (churn plans and
+# pointer-stability and registration-token regression tests — the trace
+# ring, the flight recorder's per-pair window rings under wrap and slot
+# recycling in test_recorder, the exposition renderer plus the pull
+# server's socket/buffer handling in test_exposition, and the forensic
+# bundle builder's string assembly over a full drilled experiment in
+# test_forensic_bundle), sim (churn plans and
 # fault/telemetry episode windows), cluster (the restart/migrate/crash
 # deregistration paths), and probe (per-target retry/backoff state plus
 # the telemetry channel's drop/dup/reorder/skew buffer juggling in

@@ -157,6 +157,42 @@ void AnomalyDetector::reserve_pairs(std::size_t pairs) {
     samples_.reserve(pairs * stride_);
     p50_.reserve(pairs * p50_stride_);
   }
+  // A campaign-end flush closes at most a short and a long window per pair;
+  // sizing the window log to that worst case means a drained log never
+  // drops, at any fleet scale.
+  window_log_cap_ = std::max(window_log_cap_, 2 * pairs);
+  if (log_windows_) window_log_.reserve(window_log_cap_);
+}
+
+void AnomalyDetector::set_window_logging(bool on) {
+  log_windows_ = on;
+  if (on) window_log_.reserve(window_log_cap_);
+}
+
+void AnomalyDetector::drain_window_log(std::vector<obs::WindowRecord>& out) {
+  out.insert(out.end(), window_log_.begin(), window_log_.end());
+  window_log_.clear();
+}
+
+void AnomalyDetector::log_window(const EndpointPair& pair, SimTime start,
+                                 SimTime end, std::uint32_t sent,
+                                 std::uint32_t lost, float p50_us, float score,
+                                 std::uint32_t flags) {
+  if (!log_windows_) return;
+  if (window_log_.size() >= window_log_cap_) {
+    ++window_log_drops_;
+    return;
+  }
+  obs::WindowRecord rec;
+  rec.pair = pair;
+  rec.start = start;
+  rec.end = end;
+  rec.sent = sent;
+  rec.lost = lost;
+  rec.p50_us = p50_us;
+  rec.score = score;
+  rec.flags = flags;
+  window_log_.push_back(rec);
 }
 
 void AnomalyDetector::retire_pair(const EndpointPair& pair) {
@@ -302,6 +338,7 @@ void AnomalyDetector::close_short_window(PairHandle h, SimTime at,
                                          std::vector<AnomalyEvent>& events) {
   PairHot& hot = hot_[h];
   PairCold& cold = cold_[h];
+  const SimTime w_start = hot.short_start;
   // At fleet scale a close misses on every line it touches, serially:
   // nothing keeps 10k+ pairs' cold state cached between 30 s window
   // boundaries. Both addresses below are computable without loading
@@ -333,6 +370,8 @@ void AnomalyDetector::close_short_window(PairHandle h, SimTime at,
       // ingest; un-fold them so both paths starve the Z-test identically.
       cold.long_rtts.resize(cold.long_rtts.size() - cold.short_rtts.size());
     }
+    log_window(cold.pair, w_start, at, hot.short_sent, hot.short_lost, 0.0f,
+               0.0f, obs::kWindowInsufficient);
     hot.short_open = false;
     hot.short_count = 0;
     cold.spill.clear();
@@ -345,6 +384,9 @@ void AnomalyDetector::close_short_window(PairHandle h, SimTime at,
   // Empty (and cheap) when nothing was delivered.
   const std::span<const double> sorted =
       cfg_.streaming ? window_sorted(h) : std::span<const double>{};
+  std::uint32_t log_flags = 0;
+  float log_p50 = 0.0f;
+  float log_score = 0.0f;
   if (hot.short_sent >= cfg_.min_samples_per_window) {
     const double loss_rate = static_cast<double>(hot.short_lost) /
                              static_cast<double>(hot.short_sent);
@@ -352,6 +394,7 @@ void AnomalyDetector::close_short_window(PairHandle h, SimTime at,
         hot.short_lost >= cfg_.min_lost_per_window) {
       events.push_back(
           AnomalyEvent{cold.pair, at, AnomalyKind::kPacketLoss, loss_rate});
+      log_flags |= obs::kWindowLossFired;
     }
     if (cfg_.streaming) {
       if (sorted.size() >= cfg_.min_samples_per_window) {
@@ -361,6 +404,7 @@ void AnomalyDetector::close_short_window(PairHandle h, SimTime at,
         cold.feature = {summary.p25,  summary.p50,    summary.p75,
                         summary.min,  summary.mean,   summary.stddev,
                         summary.max};
+        log_p50 = static_cast<float>(summary.p50);
         if (!cold.lof) cold.lof.emplace(cfg_.lof, cfg_.lookback_windows + 1);
         // The pair's magnitude-gate strip: look-back medians kept sorted
         // (first region) and in window order (second region). Entry count
@@ -392,6 +436,8 @@ void AnomalyDetector::close_short_window(PairHandle h, SimTime at,
               ref_median > 0.0 ? (summary.p50 - ref_median) / ref_median : 0.0;
           if (shift >= cfg_.min_relative_shift) {
             const double score = cold.lof->last_score();
+            log_score = static_cast<float>(score);
+            log_flags |= obs::kWindowScored;
             if (obs_ != nullptr) {
               obs_->tracer.instant("detector", "lof.score", at, 0, 0, score);
             }
@@ -399,6 +445,7 @@ void AnomalyDetector::close_short_window(PairHandle h, SimTime at,
               events.push_back(AnomalyEvent{cold.pair, at,
                                             AnomalyKind::kLatencyShortTerm,
                                             score});
+              log_flags |= obs::kWindowLofFired;
             }
           } else {
             m_gate_skips_.inc();
@@ -429,10 +476,13 @@ void AnomalyDetector::close_short_window(PairHandle h, SimTime at,
           robust_summary(sorted_rtts, cfg_.rtt_clamp_iqr_mult,
                          cfg_.rtt_clamp_band_frac);
       const auto feature = summary.as_feature_vector();
+      log_p50 = static_cast<float>(summary.p50);
       if (cold.lookback.size() >= cfg_.lof.k_neighbors + 1) {
         const std::vector<std::vector<double>> reference(cold.lookback.begin(),
                                                          cold.lookback.end());
         const double score = ml::lof_score_of(feature, reference, cfg_.lof);
+        log_score = static_cast<float>(score);
+        log_flags |= obs::kWindowScored;
         // Magnitude gate: index 1 of the feature vector is the median.
         std::vector<double> medians;
         medians.reserve(reference.size());
@@ -445,6 +495,7 @@ void AnomalyDetector::close_short_window(PairHandle h, SimTime at,
             shift >= cfg_.min_relative_shift) {
           events.push_back(AnomalyEvent{cold.pair, at,
                                         AnomalyKind::kLatencyShortTerm, score});
+          log_flags |= obs::kWindowLofFired;
         }
       }
       cold.lookback.push_back(feature);
@@ -462,6 +513,8 @@ void AnomalyDetector::close_short_window(PairHandle h, SimTime at,
       if (v > 0.0) cold.long_log.add(std::log(v));
     }
   }
+  log_window(cold.pair, w_start, at, hot.short_sent, hot.short_lost, log_p50,
+             log_score, log_flags);
   hot.short_open = false;
   hot.short_count = 0;
   cold.spill.clear();
@@ -482,6 +535,8 @@ void AnomalyDetector::close_long_window(PairHandle h, SimTime at,
   }
   const std::size_t n =
       cfg_.streaming ? cold.long_seen : cold.long_rtts.size();
+  std::uint32_t log_flags = obs::kWindowLong;
+  float log_score = 0.0f;
   if (n >= cfg_.min_samples_per_window) {
     if (!cold.baseline) {
       // First complete window: fit the log-normal baseline (time T of
@@ -500,10 +555,13 @@ void AnomalyDetector::close_long_window(PairHandle h, SimTime at,
       // Signed: only degradation (upward drift) is a failure; the recovery
       // window after a fault shifts downward and must not re-alarm.
       const double shift = std::exp(window_fit.mu - cold.baseline->mu) - 1.0;
+      log_score = static_cast<float>(std::abs(result.z));
+      log_flags |= obs::kWindowScored;
       if (result.reject && shift >= cfg_.long_term_min_shift) {
         events.push_back(AnomalyEvent{cold.pair, at,
                                       AnomalyKind::kLatencyLongTerm,
                                       std::abs(result.z)});
+        log_flags |= obs::kWindowZFired;
       }
       // Always re-baseline on the freshest window: a pass tracks legitimate
       // slow change, and after an alarm the detector must adopt the new
@@ -513,6 +571,10 @@ void AnomalyDetector::close_long_window(PairHandle h, SimTime at,
       cold.baseline = window_fit;
     }
   }
+  log_window(cold.pair, hot.long_start, at,
+             static_cast<std::uint32_t>(
+                 std::min<std::size_t>(n, UINT32_MAX)),
+             0, 0.0f, log_score, log_flags);
   hot.long_open = false;
   cold.long_log = RunningStats{};
   cold.long_seen = 0;

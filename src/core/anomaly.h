@@ -197,6 +197,22 @@ class AnomalyDetector {
   /// Binds on the calling thread — the thread that will drive `ingest`.
   void attach_obs(obs::Context* ctx);
 
+  /// Enable/disable the closed-window log feeding the flight recorder and
+  /// the window-residence latency histogram. Off by default; the sharded
+  /// facade turns it on when an obs context is attached. The log is
+  /// bounded (see `drain_window_log`), costs one bounded push per window
+  /// close when on, and nothing when off.
+  void set_window_logging(bool on);
+
+  /// Move every logged closed-window record into `out` (appended) and
+  /// clear the log. The log's capacity is sized at `reserve_pairs` so a
+  /// full-fleet flush (at most two windows per pair) never drops; drops —
+  /// possible only if the caller stops draining — are counted.
+  void drain_window_log(std::vector<obs::WindowRecord>& out);
+  [[nodiscard]] std::uint64_t window_log_drops() const noexcept {
+    return window_log_drops_;
+  }
+
   /// Get-or-create the handle for a pair.
   [[nodiscard]] PairHandle handle_of(const EndpointPair& pair);
 
@@ -367,6 +383,11 @@ class AnomalyDetector {
   /// (Re)bind the counter handles onto `r` and remember the ids so
   /// `counters()` can read totals back.
   void bind_metrics(obs::MetricsRegistry& r);
+  /// Append one closed-window record to the bounded log (no-op when
+  /// logging is off; counts a drop when the log is full).
+  void log_window(const EndpointPair& pair, SimTime start, SimTime end,
+                  std::uint32_t sent, std::uint32_t lost, float p50_us,
+                  float score, std::uint32_t flags);
 
   DetectorConfig cfg_;
   std::uint32_t stride_;  ///< sample-strip stride (window_sample_capacity)
@@ -395,6 +416,13 @@ class AnomalyDetector {
   /// flag was cleared by a reviving probe are skipped).
   std::vector<PairHandle> parked_;
   std::vector<double> sort_scratch_;  ///< spill-merge buffer, reused
+  // Closed-window log (flight-recorder feed). Not analysis state: excluded
+  // from Snapshot, like the counters. Capacity tracks reserve_pairs so a
+  // full-fleet flush (≤2 windows per pair) never drops.
+  bool log_windows_ = false;
+  std::vector<obs::WindowRecord> window_log_;
+  std::size_t window_log_cap_ = 4096;
+  std::uint64_t window_log_drops_ = 0;
   // LOF path counters of recycled pairs, carried so totals never regress.
   std::uint64_t lof_fast_carry_ = 0;
   std::uint64_t lof_fallback_carry_ = 0;

@@ -1,0 +1,36 @@
+// Forensic bundle: the self-contained JSON artifact emitted for every
+// failure case, assembled from the flight recorder's rings at the moment
+// the case opens and finalized when it closes.
+//
+// A bundle is what an on-call engineer gets attached to the ticket: the
+// case identity and verdict, its causal timeline, the offending pairs'
+// recent closed-window summaries (with LOF / z scores), the anomaly events
+// that fed the case, the localization votes with their evidence source and
+// weight, the recorder's dropped-record accounting (so wrapped history is
+// visible, never silent), and a registry snapshot of counters/gauges at
+// emission time. It parses as standard JSON (see obs/json_lint.h) and
+// needs nothing else from the campaign to be interpreted.
+#pragma once
+
+#include <string>
+
+#include "core/sharded_detector.h"
+#include "core/skeleton_hunter.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+
+namespace skh::core {
+
+/// Build the forensic bundle JSON for one failure case.
+///
+/// `recorder` supplies window/event/vote history and drop accounting; pass
+/// nullptr for a bundle with empty history sections (recorder disabled).
+/// `metrics` is the registry snapshot embedded under "metrics"; nullptr
+/// omits the section body. `detector` resolves pair -> stable gid for the
+/// recorder's per-pair window rings; pairs the detector no longer knows
+/// get an empty window list.
+[[nodiscard]] std::string forensic_bundle_json(
+    const FailureCase& c, const ShardedDetector& detector,
+    const obs::FlightRecorder* recorder, const obs::MetricsSnapshot* metrics);
+
+}  // namespace skh::core

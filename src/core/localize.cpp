@@ -132,6 +132,10 @@ TracerouteRefinement Localizer::refine_with_traceroute_ex(
   }
   out.coverage =
       observable_hops > 0.0 ? observed_hops / observable_hops : 1.0;
+  for (const auto& [l, w] : dead_votes) {
+    out.votes.push_back(LocalizationVote{
+        {sim::ComponentKind::kPhysicalLink, l}, w, "traceroute"});
+  }
   if (obs_ != nullptr) {
     obs_->tracer.instant("localize", "traceroute.refine", at, link_candidates,
                          dead_votes.size(), out.coverage);
@@ -256,6 +260,31 @@ std::vector<sim::ComponentRef> Localizer::physical_intersection(
         .push_back(c);
   }
   return links.empty() ? switches : links;
+}
+
+std::vector<LocalizationVote> Localizer::physical_intersection_votes(
+    const std::vector<EndpointPair>& pairs) const {
+  std::map<sim::ComponentRef, std::size_t> counter;
+  for (const auto& p : pairs) {
+    const auto path = topo_.route(p.src.rnic, p.dst.rnic);
+    std::set<sim::ComponentRef> seen;
+    for (LinkId l : path.links) {
+      seen.insert({sim::ComponentKind::kPhysicalLink, l.value()});
+    }
+    for (SwitchId s : path.switches) {
+      seen.insert({sim::ComponentKind::kPhysicalSwitch, s.value()});
+    }
+    for (const auto& c : seen) ++counter[c];
+  }
+  std::vector<LocalizationVote> votes;
+  for (const auto& [c, n] : counter) {
+    // A count of one is just "the pair's own path", not intersection
+    // evidence — same floor physical_intersection applies.
+    if (n < 2) continue;
+    votes.push_back(LocalizationVote{c, static_cast<double>(n),
+                                     "intersection"});
+  }
+  return votes;
 }
 
 std::vector<sim::ComponentRef> Localizer::validate_rnics(
@@ -392,6 +421,15 @@ Localization Localizer::endpoint_pattern(
 Localization Localizer::localize(
     const std::vector<EndpointPair>& anomalous_pairs, SimTime at) {
   Localization loc = localize_impl(anomalous_pairs, at);
+  // Steps with no intermediate tally (overlay, RNIC validation, endpoint
+  // pattern) still expose their verdict as unit-weight votes, so the
+  // forensic vote record is never empty for a localized case.
+  if (loc.votes.empty() && !loc.culprits.empty()) {
+    for (const auto& c : loc.culprits) {
+      loc.votes.push_back(
+          LocalizationVote{c, 1.0, to_string(loc.method).data()});
+    }
+  }
   m_calls_.inc();
   m_method_[static_cast<std::size_t>(loc.method)].inc();
   if (obs_ != nullptr) {
@@ -438,6 +476,9 @@ Localization Localizer::localize_impl(
   // traceroutes when several links tie.
   auto refined = refine_with_traceroute_ex(
       anomalous_pairs, physical_intersection(anomalous_pairs), at);
+  loc.votes = physical_intersection_votes(anomalous_pairs);
+  loc.votes.insert(loc.votes.end(), refined.votes.begin(),
+                   refined.votes.end());
   if (obs_ != nullptr) {
     obs_->tracer.instant("localize", "vote.physical", at,
                          refined.culprits.size(), anomalous_pairs.size());
@@ -480,6 +521,9 @@ Localization Localizer::localize_impl(
   auto rnics = validate_rnics(anomalous_pairs);
   if (!rnics.empty()) {
     loc.method = LocalizationMethod::kRnicValidation;
+    for (const auto& c : rnics) {
+      loc.votes.push_back(LocalizationVote{c, 1.0, "rnic-validation"});
+    }
     loc.culprits = std::move(rnics);
     return loc;
   }

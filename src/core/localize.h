@@ -47,6 +47,19 @@ enum class LocalizationMethod : std::uint8_t {
 
 [[nodiscard]] std::string_view to_string(LocalizationMethod m) noexcept;
 
+/// One piece of localization evidence: a component some source implicated
+/// and how strongly. Sources: "intersection" (path-vote counts),
+/// "traceroute" (prefix-weighted death votes), or the method name for
+/// verdicts whose step produces no intermediate tally (overlay,
+/// RNIC validation, endpoint pattern — weight 1 per culprit). The flight
+/// recorder persists these so a forensic bundle shows *why* a component
+/// was named, not just which.
+struct LocalizationVote {
+  sim::ComponentRef component;
+  double weight = 0.0;
+  const char* source = "";  ///< static string
+};
+
 struct Localization {
   std::vector<sim::ComponentRef> culprits;
   LocalizationMethod method = LocalizationMethod::kUnlocalized;
@@ -55,6 +68,8 @@ struct Localization {
   /// traceroute refinement under per-hop response loss lowers it to the
   /// fraction of observable hops that responded. Surfaced on FailureCase.
   double confidence = 1.0;
+  /// The evidence tally behind the verdict (deterministic order).
+  std::vector<LocalizationVote> votes;
 
   [[nodiscard]] bool found() const noexcept { return !culprits.empty(); }
 };
@@ -75,6 +90,8 @@ struct TracerouteRefinement {
   /// back).
   double coverage = 1.0;
   bool ran = false;  ///< whether traceroutes were actually issued
+  /// Per-link death votes (source "traceroute"), link-index order.
+  std::vector<LocalizationVote> votes;
 };
 
 /// Result of one overlay forwarding-chain replay.
@@ -113,6 +130,12 @@ class Localizer {
   /// PhysicalIntersection(L_U): vote links/switches over the pairs' paths.
   /// Returns the max-count components when any count exceeds one.
   [[nodiscard]] std::vector<sim::ComponentRef> physical_intersection(
+      const std::vector<EndpointPair>& pairs) const;
+
+  /// The raw intersection tally behind physical_intersection: every
+  /// component crossed by ≥2 anomalous pairs, weighted by its pair count
+  /// (source "intersection"), in ComponentRef order.
+  [[nodiscard]] std::vector<LocalizationVote> physical_intersection_votes(
       const std::vector<EndpointPair>& pairs) const;
 
   /// Validate the RNICs of the pairs' endpoints: dump OVS vs offloaded flow

@@ -1,6 +1,7 @@
 #include "core/sharded_detector.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
 #include "common/rng.h"
@@ -60,10 +61,17 @@ ShardedDetector::ShardedDetector(DetectorConfig cfg, std::size_t n_shards,
   batch_fired_.resize(n);
   batch_cursor_item_.resize(n);
   batch_cursor_event_.resize(n);
+  shard_items_.resize(n, 0);
+  batch_counts_.resize(n, 0);
+  shard_items_published_.resize(n, 0);
 }
 
 void ShardedDetector::attach_obs(obs::Context* ctx) {
   obs_ = ctx;
+  // Window logging follows the metrics posture: each shard appends its
+  // closed windows to its own bounded log (no shared state, pool-safe) and
+  // the hunter drains through drain_window_log.
+  for (auto& shard : shards_) shard->set_window_logging(ctx != nullptr);
   if (shards_.size() == 1) {
     // Single shard: the legacy path, counters and tracer instants land on
     // the context directly.
@@ -75,12 +83,34 @@ void ShardedDetector::attach_obs(obs::Context* ctx) {
 }
 
 void ShardedDetector::sync_obs() {
-  if (obs_ == nullptr || shards_.size() == 1) return;
-  const DetectorCounters cur = counters();
+  if (obs_ == nullptr) return;
   auto& r = obs_->registry;
+  // Facade-side load/skew series — they exist at every shard count and
+  // are the data a migrate_range decision reads. All of them carry
+  // ".shard" in the name: the scrape-identity contract is that every
+  // series WITHOUT that marker is byte-identical across shard counts,
+  // while these describe the partitioning itself.
+  char name[64];
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    std::snprintf(name, sizeof name, "detector.shard%zu.pairs_owned", s);
+    r.bind_gauge(r.gauge_id(name))
+        .set(static_cast<double>(shards_[s]->pair_count()));
+    std::snprintf(name, sizeof name, "detector.shard%zu.items_routed", s);
+    r.bind_counter(r.counter_id(name))
+        .add(shard_items_[s] - shard_items_published_[s]);
+    shard_items_published_[s] = shard_items_[s];
+  }
+  r.bind_counter(r.counter_id("detector.shard.merge_stall_items"))
+      .add(merge_stall_items_ - merge_stall_published_);
+  merge_stall_published_ = merge_stall_items_;
+  if (shards_.size() == 1) return;
+  const DetectorCounters cur = counters();
+  // Unconditional: a zero-valued series must still exist, or the scrape
+  // would differ from the single-shard registry path (which registers
+  // every name eagerly at attach) and break cross-shard-count identity.
   const auto publish = [&r](const char* name, std::uint64_t now,
                             std::uint64_t before) {
-    if (now > before) r.bind_counter(r.counter_id(name)).add(now - before);
+    r.bind_counter(r.counter_id(name)).add(now - before);
   };
   // The same nine series the single-detector registry path records; the
   // LOF path splits stay counters()-only there too (they live in the
@@ -159,6 +189,22 @@ std::size_t ShardedDetector::ingest_batch(
           ingest(it.handle, it.seq, it.sent_at, it.delivered, it.rtt_us,
                  events));
     }
+    if (n == 1) {
+      shard_items_[0] += items.size();
+    } else {
+      // Poolless multi-shard: account identically to the pooled path so
+      // the load/skew series are a function of routing, not pool presence.
+      std::fill(batch_counts_.begin(), batch_counts_.end(), 0);
+      for (const BatchItem& it : items) ++batch_counts_[shard_of_[it.handle]];
+      std::uint64_t max_items = 0;
+      for (std::size_t s = 0; s < n; ++s) {
+        shard_items_[s] += batch_counts_[s];
+        max_items = std::max(max_items, batch_counts_[s]);
+      }
+      if (!items.empty()) {
+        merge_stall_items_ += max_items * n - items.size();
+      }
+    }
     return events.size();
   }
   for (std::size_t s = 0; s < n; ++s) {
@@ -173,6 +219,17 @@ std::size_t ShardedDetector::ingest_batch(
   // order verdicts depend on) is exactly the sequential one.
   for (std::size_t i = 0; i < items.size(); ++i) {
     batch_items_[shard_of_[items[i].handle]].push_back(i);
+  }
+  // Load/skew accounting: items routed per shard, and how many item-slots
+  // the merge barrier wasted waiting for the most-loaded shard this batch.
+  std::size_t max_items = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    shard_items_[s] += batch_items_[s].size();
+    max_items = std::max(max_items, batch_items_[s].size());
+  }
+  if (!items.empty()) {
+    merge_stall_items_ += static_cast<std::uint64_t>(max_items) * n -
+                          items.size();
   }
   for (std::size_t s = 0; s < n; ++s) {
     if (batch_items_[s].empty()) continue;
@@ -204,6 +261,30 @@ std::size_t ShardedDetector::ingest_batch(
     fired_per_item[i] = fired;
   }
   return events.size();
+}
+
+void ShardedDetector::drain_window_log(std::vector<obs::WindowRecord>& out) {
+  const std::size_t first = out.size();
+  for (auto& shard : shards_) shard->drain_window_log(out);
+  // Canonical order, same rationale as canonicalize_events: (end, start,
+  // pair) is a total order over the drained set — a pair closes at most one
+  // window per boundary — so any shard count sorts to the same sequence.
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(first), out.end(),
+            [](const obs::WindowRecord& a, const obs::WindowRecord& b) {
+              if (a.end != b.end) return a.end < b.end;
+              if (a.start != b.start) return a.start < b.start;
+              if (a.pair != b.pair) return a.pair < b.pair;
+              // A flush can close a pair's short and long window at the
+              // same boundary with the same start; the long flag breaks
+              // the tie.
+              return a.flags < b.flags;
+            });
+}
+
+std::uint64_t ShardedDetector::window_log_drops() const {
+  std::uint64_t n = 0;
+  for (const auto& shard : shards_) n += shard->window_log_drops();
+  return n;
 }
 
 void ShardedDetector::retire_pair(const EndpointPair& pair) {

@@ -114,6 +114,20 @@ class ShardedDetector {
   /// newly discovered pairs via the ring.
   [[nodiscard]] GlobalHandle handle_of(const EndpointPair& pair);
 
+  /// Find-only lookup: the global handle of a mapped pair, or
+  /// `common::FlatPairTable::kNoSlot` if unknown. Never allocates or
+  /// assigns placement (forensic/recorder reads).
+  [[nodiscard]] GlobalHandle find_handle(const EndpointPair& pair) const {
+    return router_.find(pair);
+  }
+
+  /// Collect every shard's closed-window log (see
+  /// AnomalyDetector::drain_window_log), appended to `out` in canonical
+  /// order — sorted by (end, start, pair) — so the drained stream is
+  /// shard-count-invariant. Summed drop count via `window_log_drops`.
+  void drain_window_log(std::vector<obs::WindowRecord>& out);
+  [[nodiscard]] std::uint64_t window_log_drops() const;
+
   /// Plan-time capacity: sizes the router and divides the expectation
   /// across shards. Growth only.
   void reserve_pairs(std::size_t pairs);
@@ -211,6 +225,18 @@ class ShardedDetector {
 
   obs::Context* obs_ = nullptr;
   DetectorCounters published_;  ///< registry-series totals already synced
+
+  // Per-shard load/skew accounting for rebalance decisions, published by
+  // sync_obs as `detector.shard<i>.*` series (facade-side, so it exists at
+  // any shard count). merge-stall = how many item-slots the batch barrier
+  // wasted waiting on the most-loaded shard: sum over batches of
+  // (max shard items × shards − total items). Zero means perfectly even
+  // routing; growth is the data a `migrate_range` decision wants.
+  std::vector<std::uint64_t> shard_items_;     ///< batch items routed, per shard
+  std::vector<std::uint64_t> batch_counts_;    ///< per-batch scratch
+  std::uint64_t merge_stall_items_ = 0;
+  std::uint64_t merge_stall_published_ = 0;
+  std::vector<std::uint64_t> shard_items_published_;
 
  public:
   class Snapshot {

@@ -4,7 +4,9 @@
 #include <cstdio>
 #include <unordered_set>
 
+#include "common/flat_table.h"
 #include "common/logging.h"
+#include "core/forensic.h"
 
 namespace skh::core {
 
@@ -79,8 +81,15 @@ void SkeletonHunter::attach_obs(obs::Context* ctx) {
     m_degraded_tasks_ = {};
     m_restores_ = {};
     m_flap_rebans_ = {};
+    recorder_ = nullptr;
+    h_window_residence_s_ = {};
+    h_detect_s_ = {};
+    h_localize_s_ = {};
+    h_verdict_s_ = {};
     return;
   }
+  recorder_ = ctx->recorder.enabled() ? &ctx->recorder : nullptr;
+  if (recorder_ != nullptr) recorder_->reserve_pairs(detector_.pair_count());
   auto& r = ctx->registry;
   m_cases_opened_ = r.bind_counter(r.counter_id("hunter.cases_opened"));
   m_cases_closed_ = r.bind_counter(r.counter_id("hunter.cases_closed"));
@@ -94,6 +103,24 @@ void SkeletonHunter::attach_obs(obs::Context* ctx) {
   m_restores_ = r.bind_counter(r.counter_id("hunter.analyzer_restores"));
   m_flap_rebans_ =
       r.bind_counter(r.counter_id("hunter.blacklist_flap_rebans"));
+  // Ingest-to-verdict latency plane, stages 2-5. Bucket sets are small on
+  // purpose: a handful of bounds keeps the per-observation cost a short
+  // linear scan, protecting the <1% overhead gate.
+  static constexpr double kResidenceBounds[] = {5.0,   15.0,  30.0,  60.0,
+                                                300.0, 900.0, 1800.0, 3600.0};
+  static constexpr double kDetectBounds[] = {0.5, 1.0, 2.0, 5.0, 10.0, 30.0};
+  static constexpr double kLocalizeBounds[] = {30.0,  60.0,  90.0, 120.0,
+                                               300.0, 600.0, 1800.0};
+  static constexpr double kVerdictBounds[] = {60.0,  120.0, 180.0, 300.0,
+                                              600.0, 1800.0, 3600.0};
+  h_window_residence_s_ = r.bind_histogram(
+      r.histogram_id("latency.window_residence_s", kResidenceBounds));
+  h_detect_s_ =
+      r.bind_histogram(r.histogram_id("latency.detect_s", kDetectBounds));
+  h_localize_s_ =
+      r.bind_histogram(r.histogram_id("latency.localize_s", kLocalizeBounds));
+  h_verdict_s_ = r.bind_histogram(
+      r.histogram_id("latency.ingest_to_verdict_s", kVerdictBounds));
 }
 
 std::uint32_t SkeletonHunter::rank_of(const Endpoint& ep) const {
@@ -124,6 +151,11 @@ void SkeletonHunter::distribute_list(TaskId task) {
   // mapped pairs re-listed here count twice) — over-reserving only costs
   // slack slots, under-reserving would cost a rebuild on the hot path.
   detector_.reserve_pairs(detector_.pair_count() + m.current_list.size());
+  // The recorder mirrors the detector's reservation so steady-state
+  // window recording never allocates.
+  if (recorder_ != nullptr) {
+    recorder_->reserve_pairs(detector_.pair_count() + m.current_list.size());
+  }
   for (ContainerId cid : orch_.task(task).containers) {
     const auto it = agents_.find(cid);
     if (it == agents_.end()) continue;
@@ -408,6 +440,7 @@ void SkeletonHunter::tick() {
           result.delivered, result.rtt_us});
     }
     detector_.ingest_batch(batch_, batch_events_, batch_fired_);
+    drain_windows();
     std::map<TaskId, std::vector<AnomalyEvent>> per_task_events;
     std::size_t cursor = 0;
     for (std::size_t i = 0; i < round.size(); ++i) {
@@ -488,6 +521,7 @@ void SkeletonHunter::route_events(TaskId task,
   // the right case-open attribution regardless).
   canonicalize_events(events);
   const SimTime now = events_.now();
+  std::vector<std::uint32_t> opened;  ///< cases opened by this batch
   for (const auto& e : events) {
     // A long-term (30-minute-window) alarm that merely re-reports a pair
     // already covered by a recent case is the windowing tail of that
@@ -536,14 +570,34 @@ void SkeletonHunter::route_events(TaskId task,
         obs_->tracer.instant("hunter", "case.open", e.detected_at, target->id,
                              task.value());
       }
+      opened.push_back(target->id);
     }
     target->pairs.insert(e.pair);
     target->events.push_back(e);
+    // Stage 4 of the latency plane: detection-to-routing lag (a window
+    // closing mid-round surfaces here on the same tick; the lag is the
+    // intra-tick remainder).
+    h_detect_s_.observe((now - e.detected_at).to_seconds());
+    if (recorder_ != nullptr) {
+      recorder_->record_event(obs::EventRecord{
+          e.pair, e.detected_at, e.score, static_cast<std::uint8_t>(e.kind)});
+    }
     target->timeline.add(e.detected_at, "anomaly",
                          std::string(to_string(e.kind)) + " on " +
                              pair_label(e.pair),
                          e.score);
     target->last_event = std::max(target->last_event, e.detected_at);
+  }
+  // Every case open emits a forensic bundle (self-contained JSON of the
+  // evidence so far); close_case re-emits with the verdict attached. Done
+  // after the batch so the open bundle covers the whole opening round.
+  for (const std::uint32_t id : opened) {
+    for (const auto& c : cases_) {
+      if (c.id == id) {
+        emit_bundle(c);
+        break;
+      }
+    }
   }
 }
 
@@ -565,6 +619,20 @@ void SkeletonHunter::close_case(FailureCase& c) {
   // Localize against the state at the first event: diagnostics (switch
   // logs, config checks) are inspected while the incident is live.
   c.localization = localizer_.localize(pairs, c.first_event);
+  // Stages 5 of the latency plane: first event to verdict, and the
+  // end-to-end ingest-to-verdict span measured from the *opening* of the
+  // first anomalous window (detected_at stamps its close).
+  h_localize_s_.observe((c.closed_at - c.first_event).to_seconds());
+  h_verdict_s_.observe(
+      (c.closed_at - (c.first_event - cfg_.detector.short_window))
+          .to_seconds());
+  if (recorder_ != nullptr) {
+    for (const auto& v : c.localization.votes) {
+      recorder_->record_vote(obs::VoteRecord{
+          c.id, static_cast<std::uint8_t>(v.component.kind),
+          v.component.index, static_cast<float>(v.weight), v.source});
+    }
+  }
   c.timeline.add(c.closed_at, "localize",
                  std::string(to_string(c.localization.method)),
                  static_cast<double>(c.localization.culprits.size()));
@@ -589,6 +657,38 @@ void SkeletonHunter::close_case(FailureCase& c) {
       }
     }
   }
+  // Finalize the forensic bundle: the open-time emission is replaced by
+  // one carrying the verdict, full timeline, and closing vote tally.
+  emit_bundle(c);
+}
+
+void SkeletonHunter::drain_windows() {
+  if (obs_ == nullptr) return;
+  window_scratch_.clear();
+  detector_.drain_window_log(window_scratch_);
+  for (const auto& w : window_scratch_) {
+    // Stage 3 of the latency plane: how long a sample batch sat inside its
+    // detection window before being judged.
+    h_window_residence_s_.observe((w.end - w.start).to_seconds());
+    if (recorder_ != nullptr) {
+      const auto gid = detector_.find_handle(w.pair);
+      if (gid != common::FlatPairTable::kNoSlot) {
+        recorder_->record_window(gid, w);
+      }
+    }
+  }
+}
+
+void SkeletonHunter::emit_bundle(const FailureCase& c) {
+  if (recorder_ == nullptr) return;
+  obs::MetricsSnapshot snap;
+  const obs::MetricsSnapshot* sp = nullptr;
+  if (obs_ != nullptr) {
+    snap = obs_->registry.scrape();
+    sp = &snap;
+  }
+  recorder_->store_bundle(c.id,
+                          forensic_bundle_json(c, detector_, recorder_, sp));
 }
 
 void SkeletonHunter::mark_repaired(sim::ComponentRef ref) {
@@ -616,6 +716,7 @@ void SkeletonHunter::finalize() {
     m_restores_.inc();
   }
   const auto tail_events = detector_.flush(events_.now());
+  drain_windows();
   std::map<TaskId, std::vector<AnomalyEvent>> per_task;
   for (const auto& e : tail_events) {
     const TaskId task = orch_.container(e.pair.src.container).task;

@@ -236,6 +236,12 @@ class SkeletonHunter {
   void tick();
   void route_events(TaskId task, std::vector<AnomalyEvent> events);
   void close_case(FailureCase& c);
+  /// Drain the detector's closed-window log: feed the window-residence
+  /// stage histogram and the flight recorder's per-pair rings.
+  void drain_windows();
+  /// Build this case's forensic bundle from the recorder's rings and store
+  /// it (replacing any earlier emission for the same case id).
+  void emit_bundle(const FailureCase& c);
   [[nodiscard]] std::uint32_t rank_of(const Endpoint& ep) const;
 
   const topo::Topology& topo_;
@@ -290,6 +296,17 @@ class SkeletonHunter {
   obs::Gauge m_degraded_tasks_;
   obs::Counter m_restores_;
   obs::Counter m_flap_rebans_;
+  /// The flight recorder behind obs_ when enabled (nullptr otherwise);
+  /// bundles, window rings, and vote history flow through here.
+  obs::FlightRecorder* recorder_ = nullptr;
+  /// Ingest-to-verdict latency plane, stages 2-5 (stage 1, the telemetry
+  /// channel delay, lives on TelemetryChannel). All sim-time seconds.
+  obs::Histogram h_window_residence_s_;  ///< window close - window open
+  obs::Histogram h_detect_s_;            ///< event routed - event detected
+  obs::Histogram h_localize_s_;          ///< verdict - first event
+  obs::Histogram h_verdict_s_;           ///< verdict - first window open
+  /// Per-tick drain scratch for the detector's closed-window log.
+  std::vector<obs::WindowRecord> window_scratch_;
 
  public:
   class Snapshot {

@@ -10,6 +10,7 @@
 #include <cstddef>
 
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 
 namespace skh::obs {
@@ -23,10 +24,14 @@ struct ObsConfig {
   /// one branch per site (gated <1% by bench_obs_overhead).
   bool tracing = false;
   std::size_t trace_capacity = 16384;
+  /// Flight-recorder bounds (obs/recorder.h). Enabled by default — the
+  /// <1% overhead gate runs with the recorder on.
+  RecorderConfig recorder{};
 };
 
 struct Context {
-  explicit Context(const ObsConfig& cfg = {}) : tracer(cfg.trace_capacity) {
+  explicit Context(const ObsConfig& cfg = {})
+      : tracer(cfg.trace_capacity), recorder(cfg.recorder) {
     tracer.set_enabled(cfg.tracing);
   }
   Context(const Context&) = delete;
@@ -34,6 +39,7 @@ struct Context {
 
   MetricsRegistry registry;
   Tracer tracer;
+  FlightRecorder recorder;
 };
 
 }  // namespace skh::obs

@@ -1,0 +1,89 @@
+#include "obs/exposition.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace skh::obs {
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+// %.17g round-trips every finite double exactly, so equal values — which is
+// what the merge rules guarantee across thread/shard counts — print equal
+// bytes. Non-finite gauges (never produced by our components, but the
+// format must not emit unparsable text) print as 0.
+void append_f64(std::string& out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.17g", v == v ? v : 0.0);
+  out += buf;
+}
+
+void append_bound(std::string& out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "skh_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_');
+  }
+  return out;
+}
+
+std::string prometheus_text(const MetricsSnapshot& snap) {
+  std::string out;
+  for (const auto& c : snap.counters) {
+    const std::string name = prometheus_name(c.name);
+    out += "# TYPE " + name + " counter\n";
+    out += name;
+    out.push_back(' ');
+    append_u64(out, c.value);
+    out.push_back('\n');
+  }
+  for (const auto& g : snap.gauges) {
+    const std::string name = prometheus_name(g.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name;
+    out.push_back(' ');
+    append_f64(out, g.value);
+    out.push_back('\n');
+  }
+  for (const auto& h : snap.histograms) {
+    const std::string name = prometheus_name(h.name);
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      cum += h.counts[b];
+      out += name + "_bucket{le=\"";
+      if (b < h.bounds.size()) {
+        append_bound(out, h.bounds[b]);
+      } else {
+        out += "+Inf";
+      }
+      out += "\"} ";
+      append_u64(out, cum);
+      out.push_back('\n');
+    }
+    out += name + "_sum ";
+    append_f64(out, h.sum);
+    out.push_back('\n');
+    out += name + "_count ";
+    append_u64(out, h.count);
+    out.push_back('\n');
+    out += name + "_dropped ";
+    append_u64(out, h.dropped);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace skh::obs

@@ -1,0 +1,33 @@
+// Prometheus-style text exposition of a MetricsSnapshot.
+//
+// The scrape format is a *contract*: a future daemonized analyzer serves it
+// live, so it must be deterministic — byte-identical for equal snapshots no
+// matter how many threads or shards produced them. Format rules
+// (documented in ARCHITECTURE.md → Observability → Exposition format):
+//
+//   * Metric names are sanitized (`[^a-zA-Z0-9_]` → `_`) and prefixed
+//     `skh_`.
+//   * Sections in order: counters, then gauges, then histograms; each
+//     name-sorted (the snapshot's own invariant).
+//   * Every series is preceded by a `# TYPE` line. Counters print as
+//     unsigned integers; gauges and histogram sums as `%.17g` (exact
+//     round-trip, so equal doubles print equal bytes).
+//   * A histogram emits cumulative `_bucket{le="..."}` lines (upper bounds
+//     printed with `%g`), a `_bucket{le="+Inf"}` line, `_sum`, `_count`,
+//     and a non-standard `_dropped` line carrying the non-finite
+//     observation count (the registry's lying-telemetry accounting).
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace skh::obs {
+
+/// Render `snap` in the exposition format above.
+[[nodiscard]] std::string prometheus_text(const MetricsSnapshot& snap);
+
+/// `skh_` + name with every character outside [a-zA-Z0-9_] replaced by '_'.
+[[nodiscard]] std::string prometheus_name(std::string_view name);
+
+}  // namespace skh::obs

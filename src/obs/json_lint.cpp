@@ -1,0 +1,182 @@
+#include "obs/json_lint.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstddef>
+#include <cstdio>
+
+namespace skh::obs {
+namespace {
+
+class Linter {
+ public:
+  explicit Linter(std::string_view text) : s_(text) {}
+
+  [[nodiscard]] bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(s_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!digits()) return false;
+    if (peek() == '.') {
+      ++pos_;
+      if (!digits()) return false;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digits()) return false;
+    }
+    return pos_ > start;
+  }
+
+  bool digits() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool json_valid(std::string_view text) { return Linter(text).valid(); }
+
+void json_append_escaped(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void json_append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+}  // namespace skh::obs

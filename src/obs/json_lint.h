@@ -1,0 +1,33 @@
+// Minimal JSON grammar checking and escaping, shared by every obs exporter.
+//
+// `json_valid` is the recursive-descent validator originally grown inside
+// tests/obs/test_trace.cpp (PR 3); it is promoted here so production code —
+// the forensic-bundle gate in particular — can assert well-formedness of the
+// documents it emits without linking gtest. It checks grammar only (objects,
+// arrays, strings with escapes, numbers, literals) and requires the full
+// input to be consumed; it does not build a DOM.
+//
+// `json_append_escaped` is the one escaping routine all obs JSON writers
+// share: `"` `\` and every control character below 0x20 are escaped, so any
+// byte string (adversarial span names, pair labels, fault details) round-trips
+// into a valid JSON string literal.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace skh::obs {
+
+/// True iff `text` is exactly one well-formed JSON value (plus surrounding
+/// whitespace). Rejects trailing garbage, raw control characters inside
+/// strings, bad escapes, and truncated documents.
+[[nodiscard]] bool json_valid(std::string_view text);
+
+/// Append `s` to `out` as a quoted, fully escaped JSON string literal.
+void json_append_escaped(std::string& out, std::string_view s);
+
+/// Append a double as a valid JSON number. Non-finite values (which JSON
+/// cannot represent) are emitted as `null`.
+void json_append_number(std::string& out, double v);
+
+}  // namespace skh::obs

@@ -254,6 +254,27 @@ std::uint64_t MetricsSnapshot::counter_or(std::string_view name,
   return fallback;
 }
 
+double HistogramSample::quantile(double q) const {
+  if (count == 0 || bounds.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  double lo = 0.0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    // The overflow bucket is unbounded above; saturate at the top bound.
+    const double hi = b < bounds.size() ? bounds[b] : bounds.back();
+    if (counts[b] > 0 &&
+        static_cast<double>(cum + counts[b]) >= target) {
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(counts[b]);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    cum += counts[b];
+    lo = hi;
+  }
+  return bounds.back();
+}
+
 std::string MetricsSnapshot::to_string() const {
   std::string out;
   char buf[160];

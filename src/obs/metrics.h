@@ -118,6 +118,13 @@ struct HistogramSample {
   std::uint64_t count = 0;
   std::uint64_t dropped = 0;  ///< non-finite observations rejected
   double sum = 0.0;
+
+  /// Estimated q-quantile (q in [0,1]): linear interpolation inside the
+  /// first bucket whose cumulative count reaches q*count. The implicit
+  /// overflow bucket has no upper bound, so estimates saturate at
+  /// bounds.back(). Returns 0 for an empty histogram.
+  [[nodiscard]] double quantile(double q) const;
+
   friend bool operator==(const HistogramSample&,
                          const HistogramSample&) = default;
 };

@@ -1,0 +1,95 @@
+#include "obs/pull_server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+namespace skh::obs {
+namespace {
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, 0);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+PullServer::PullServer(std::uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("PullServer: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, 8) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("PullServer: bind/listen failed");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+}
+
+PullServer::~PullServer() { close(); }
+
+bool PullServer::serve_once() {
+  if (listen_fd_ < 0) return false;
+  const int fd = ::accept(listen_fd_, nullptr, nullptr);
+  if (fd < 0) return false;
+  // Read the request head (we only care about the request line).
+  std::string req;
+  char buf[1024];
+  while (req.find("\r\n\r\n") == std::string::npos && req.size() < 8192) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    req.append(buf, static_cast<std::size_t>(n));
+  }
+  const bool is_metrics = req.rfind("GET /metrics", 0) == 0;
+  std::string body;
+  std::string status;
+  if (is_metrics && provider_) {
+    body = provider_();
+    status = "200 OK";
+  } else {
+    body = "not found\n";
+    status = "404 Not Found";
+  }
+  std::string resp = "HTTP/1.0 " + status +
+                     "\r\nContent-Type: text/plain; version=0.0.4"
+                     "\r\nContent-Length: " +
+                     std::to_string(body.size()) + "\r\n\r\n" + body;
+  send_all(fd, resp);
+  ::close(fd);
+  return true;
+}
+
+void PullServer::serve(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!serve_once()) return;
+  }
+}
+
+void PullServer::close() {
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+}  // namespace skh::obs

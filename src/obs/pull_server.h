@@ -1,0 +1,50 @@
+// Minimal HTTP/1.0 pull server for the metrics exposition endpoint.
+//
+// Deliberately tiny: one blocking loopback (or any-interface) listener that
+// answers `GET /metrics` with whatever the registered body provider returns
+// and 404s everything else. No threads, no keep-alive, no TLS — the point
+// is to make the exposition format (obs/exposition.h) reachable by a real
+// scraper (`curl`, Prometheus) from `examples/metrics_server`, not to be a
+// web server. POSIX sockets only.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace skh::obs {
+
+class PullServer {
+ public:
+  /// Bind and listen on 127.0.0.1:`port` (0 = ephemeral, see `port()`).
+  /// Throws std::runtime_error when the socket cannot be bound.
+  explicit PullServer(std::uint16_t port = 0);
+  ~PullServer();
+  PullServer(const PullServer&) = delete;
+  PullServer& operator=(const PullServer&) = delete;
+
+  /// The bound port (resolves an ephemeral bind).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Provider for the `/metrics` response body (text/plain exposition).
+  void set_body_provider(std::function<std::string()> provider) {
+    provider_ = std::move(provider);
+  }
+
+  /// Block until one connection is served (or the listener fails).
+  /// Returns false when accept fails (e.g. the socket was closed).
+  bool serve_once();
+
+  /// Serve `n` connections back to back.
+  void serve(std::size_t n);
+
+  /// Close the listening socket; a blocked serve_once() then returns false.
+  void close();
+
+ private:
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::function<std::string()> provider_;
+};
+
+}  // namespace skh::obs

@@ -6,6 +6,13 @@ namespace skh::obs {
 
 void CaseTimeline::add(SimTime at, const char* stage, std::string detail,
                        double value) {
+  // Stages must read monotone in sim time. An analyzer warm-restore stamps
+  // its "analyzer.restore" entry at restore time, while windows that were
+  // open across the blackout still close at their nominal boundaries —
+  // which lie *inside* the blackout, i.e. before the restore entry. Clamp
+  // rather than reorder: the causal order (restore happened before those
+  // closes were observed) is the truth an operator should read.
+  if (!entries.empty() && at < entries.back().at) at = entries.back().at;
   TimelineEntry e;
   e.at = at;
   e.stage = stage;

@@ -29,6 +29,10 @@ struct TimelineEntry {
 struct CaseTimeline {
   std::vector<TimelineEntry> entries;
 
+  /// Append a stage. Entries are kept monotone in sim time: an `at` earlier
+  /// than the last entry (e.g. a window closing at its nominal in-blackout
+  /// boundary after an analyzer warm-restore already stamped a later entry)
+  /// is clamped up to the last entry's time.
   void add(SimTime at, const char* stage, std::string detail,
            double value = 0.0);
 

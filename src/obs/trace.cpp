@@ -1,6 +1,7 @@
 #include "obs/trace.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <ostream>
@@ -93,6 +94,13 @@ void write_json_string(std::ostream& os, std::string_view s) {
 }
 
 void write_number(std::ostream& os, double v) {
+  // JSON has no NaN/Infinity tokens; printf would emit "nan"/"inf" and
+  // corrupt the document. A non-finite payload (e.g. a corrupted-RTT
+  // telemetry episode traced verbatim) exports as null.
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
   char buf[40];
   std::snprintf(buf, sizeof buf, "%.3f", v);
   os << buf;

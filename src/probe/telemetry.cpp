@@ -18,6 +18,7 @@ void TelemetryChannel::attach_obs(obs::Context* ctx) {
     m_delayed_ = {};
     m_skewed_ = {};
     m_corrupted_ = {};
+    h_delay_s_ = {};
     return;
   }
   auto& r = ctx->registry;
@@ -26,6 +27,10 @@ void TelemetryChannel::attach_obs(obs::Context* ctx) {
   m_delayed_ = r.bind_counter(r.counter_id("telemetry.results_delayed"));
   m_skewed_ = r.bind_counter(r.counter_id("telemetry.timestamps_skewed"));
   m_corrupted_ = r.bind_counter(r.counter_id("telemetry.rtt_corrupted"));
+  static constexpr double kDelayBounds[] = {1.0, 2.0, 5.0, 10.0,
+                                            30.0, 60.0, 120.0};
+  h_delay_s_ = r.bind_histogram(
+      r.histogram_id("latency.telemetry_delay_s", kDelayBounds));
 }
 
 void TelemetryChannel::transmit(std::vector<ProbeResult>& round, SimTime now) {
@@ -66,6 +71,7 @@ void TelemetryChannel::transmit(std::vector<ProbeResult>& round, SimTime now) {
       m_delayed_.inc();
     } else {
       out.push_back(r);
+      h_delay_s_.observe(0.0);
     }
     if (duplicate) {
       dup.push_back(r);  // same seq, sent_at, rtt: a true duplicate
@@ -80,6 +86,7 @@ void TelemetryChannel::transmit(std::vector<ProbeResult>& round, SimTime now) {
   std::size_t n_release = 0;
   while (n_release < held_.size() && held_[n_release].held_at < now) {
     out.push_back(held_[n_release].result);
+    h_delay_s_.observe((now - held_[n_release].held_at).to_seconds());
     ++n_release;
   }
   held_.erase(held_.begin(),

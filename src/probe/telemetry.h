@@ -78,6 +78,10 @@ class TelemetryChannel {
   obs::Counter m_delayed_;
   obs::Counter m_skewed_;
   obs::Counter m_corrupted_;
+  /// Stage 1 of the ingest-to-verdict latency plane: how long the channel
+  /// sat on each result before the analyzer saw it (0 for pass-through,
+  /// the hold time for reordering-delayed results). Sim-time seconds.
+  obs::Histogram h_delay_s_;
 };
 
 }  // namespace skh::probe

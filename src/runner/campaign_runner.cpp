@@ -152,7 +152,16 @@ RunResult run_campaign(const CampaignConfig& cfg, std::uint64_t seed) {
   result.failure_cases = exp.hunter().failure_cases().size();
   result.probes_sent = exp.hunter().total_probes();
   result.detector = exp.hunter().detector_counters();
-  if (cfg.obs.metrics) result.metrics = exp.obs().registry.scrape();
+  if (cfg.obs.metrics) {
+    result.metrics = exp.obs().registry.scrape();
+    for (const auto& h : result.metrics.histograms) {
+      if (h.name == "latency.ingest_to_verdict_s") {
+        result.p99_verdict_latency_s = h.quantile(0.99);
+        break;
+      }
+    }
+    result.forensic_bundles = exp.obs().recorder.bundles().size();
+  }
   return result;
 }
 

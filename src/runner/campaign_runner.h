@@ -110,6 +110,12 @@ struct RunResult {
   core::DetectorCounters detector{};
   /// End-of-campaign registry scrape (empty when `cfg.obs.metrics` is off).
   obs::MetricsSnapshot metrics{};
+  /// p99 of the end-to-end ingest-to-verdict latency histogram
+  /// (`latency.ingest_to_verdict_s`), in sim-time seconds; 0 when obs is
+  /// off or no case reached a verdict this run.
+  double p99_verdict_latency_s = 0.0;
+  /// Forensic bundles resident in the flight recorder at campaign end.
+  std::size_t forensic_bundles = 0;
 };
 
 /// run_many's aggregate: per-seed results in input-seed order plus the

@@ -1,0 +1,203 @@
+#include "obs/exposition.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/pull_server.h"
+#include "runner/campaign_runner.h"
+
+namespace skh::obs {
+namespace {
+
+TEST(PrometheusName, SanitizesAndPrefixes) {
+  EXPECT_EQ(prometheus_name("probe.rtt_us"), "skh_probe_rtt_us");
+  EXPECT_EQ(prometheus_name("detector.shard0.items-routed"),
+            "skh_detector_shard0_items_routed");
+  EXPECT_EQ(prometheus_name("weird name/with:chars"),
+            "skh_weird_name_with_chars");
+  EXPECT_EQ(prometheus_name(""), "skh_");
+}
+
+TEST(PrometheusText, FormatContract) {
+  MetricsRegistry reg;
+  auto c = reg.bind_counter(reg.counter_id("zeta.count"));
+  auto g = reg.bind_gauge(reg.gauge_id("alpha.level"));
+  const std::array<double, 3> bounds{1.0, 5.0, 10.0};
+  auto h = reg.bind_histogram(reg.histogram_id("mid.lat_s", bounds));
+  c.add(7);
+  g.set(2.5);
+  h.observe(0.5);  // bucket le=1
+  h.observe(3.0);  // bucket le=5
+  h.observe(99.0);  // overflow
+  const std::string text = prometheus_text(reg.scrape());
+
+  // Sections in order counters -> gauges -> histograms, regardless of the
+  // registration names' own alphabetical order.
+  const auto counter_pos = text.find("# TYPE skh_zeta_count counter");
+  const auto gauge_pos = text.find("# TYPE skh_alpha_level gauge");
+  const auto hist_pos = text.find("# TYPE skh_mid_lat_s histogram");
+  ASSERT_NE(counter_pos, std::string::npos) << text;
+  ASSERT_NE(gauge_pos, std::string::npos) << text;
+  ASSERT_NE(hist_pos, std::string::npos) << text;
+  EXPECT_LT(counter_pos, gauge_pos);
+  EXPECT_LT(gauge_pos, hist_pos);
+
+  EXPECT_NE(text.find("skh_zeta_count 7\n"), std::string::npos);
+  EXPECT_NE(text.find("skh_alpha_level 2.5\n"), std::string::npos);
+  // Buckets are cumulative and end with +Inf == _count.
+  EXPECT_NE(text.find("skh_mid_lat_s_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("skh_mid_lat_s_bucket{le=\"5\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("skh_mid_lat_s_bucket{le=\"10\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("skh_mid_lat_s_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("skh_mid_lat_s_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("skh_mid_lat_s_sum "), std::string::npos);
+  EXPECT_NE(text.find("skh_mid_lat_s_dropped 0\n"), std::string::npos);
+}
+
+TEST(PrometheusText, EqualSnapshotsRenderEqualBytes) {
+  // %.17g round-trips doubles exactly, so equal snapshots must render to
+  // equal bytes — the property the live endpoint's determinism rests on.
+  MetricsSnapshot a;
+  a.gauges.push_back({"g.one", 0.1 + 0.2});
+  a.counters.push_back({"c.one", 12345678901234567ull});
+  MetricsSnapshot b = a;
+  EXPECT_EQ(prometheus_text(a), prometheus_text(b));
+  // One ulp must show up in the rendered bytes.
+  b.gauges[0].value = std::nextafter(b.gauges[0].value, 1.0);
+  EXPECT_NE(prometheus_text(a), prometheus_text(b));
+}
+
+// ---------------------------------------------------------------------------
+
+/// Dial 127.0.0.1:`port`, send `request`, return the full response.
+std::string http_fetch(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return "";
+  }
+  (void)::send(fd, request.data(), request.size(), 0);
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const auto n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+TEST(PullServer, ServesMetricsAndRejectsOtherPaths) {
+  PullServer server(0);  // ephemeral port
+  ASSERT_NE(server.port(), 0);
+  server.set_body_provider([] { return std::string("skh_up 1\n"); });
+
+  std::string ok, missing;
+  std::thread client([&] {
+    ok = http_fetch(server.port(), "GET /metrics HTTP/1.0\r\n\r\n");
+    missing = http_fetch(server.port(), "GET /other HTTP/1.0\r\n\r\n");
+  });
+  server.serve(2);
+  client.join();
+
+  EXPECT_NE(ok.find("200"), std::string::npos) << ok;
+  EXPECT_NE(ok.find("skh_up 1\n"), std::string::npos) << ok;
+  EXPECT_NE(missing.find("404"), std::string::npos) << missing;
+  EXPECT_EQ(missing.find("skh_up"), std::string::npos) << missing;
+
+  server.close();
+  EXPECT_FALSE(server.serve_once());
+}
+
+// ---------------------------------------------------------------------------
+
+runner::CampaignConfig scrape_config() {
+  runner::CampaignConfig cfg;
+  cfg.topology.num_hosts = 16;
+  cfg.topology.rails_per_host = 4;
+  cfg.topology.hosts_per_segment = 8;
+  cfg.hunter.probe_interval = SimTime::seconds(5);
+  cfg.hunter.inference.candidate_dp = {2};
+  cfg.tasks = {{4, 4, 2, 2}};
+  cfg.visible_faults = 4;
+  cfg.invisible_faults = 0;
+  cfg.phantom_agents = 0;
+  cfg.fault_gap = SimTime::minutes(8);
+  cfg.fault_duration = SimTime::minutes(4);
+  cfg.drain = SimTime::minutes(10);
+  cfg.obs.metrics = true;
+  return cfg;
+}
+
+TEST(PrometheusText, ScrapeIsByteIdenticalAcrossThreadCounts) {
+  // The live endpoint contract: the merged fleet exposition is the same
+  // document no matter how run_many spread campaigns over worker threads.
+  const auto cfg = scrape_config();
+  const std::uint64_t master = 0x5c4a9e;
+  const std::string one =
+      prometheus_text(runner::run_many(cfg, master, 4, 1).fleet);
+  const std::string four =
+      prometheus_text(runner::run_many(cfg, master, 4, 4).fleet);
+  const std::string sixteen =
+      prometheus_text(runner::run_many(cfg, master, 4, 16).fleet);
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, four);
+  EXPECT_EQ(one, sixteen);
+}
+
+/// Split an exposition document into lines, dropping per-shard series
+/// (any line whose metric name contains "shard" — the documented exemption
+/// from cross-shard-count identity).
+std::vector<std::string> shard_free_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("shard") == std::string::npos) lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(PrometheusText, ScrapeIsByteIdenticalAcrossShardCountsModuloShardSeries) {
+  // Partitioning the analyzer across 1/4/16 detector shards may add
+  // per-shard gauges/counters (skh_detector_shard<N>_*), but every other
+  // series must stay byte-identical — sharding is a pure scale-out.
+  auto cfg = scrape_config();
+  const std::uint64_t master = 0x5348;
+  cfg.hunter.analyzer_shards = 1;
+  const std::string one =
+      prometheus_text(runner::run_many(cfg, master, 2, 1).fleet);
+  const auto base = shard_free_lines(one);
+  EXPECT_FALSE(base.empty());
+  for (const std::size_t shards : {4UL, 16UL}) {
+    cfg.hunter.analyzer_shards = shards;
+    const std::string text =
+        prometheus_text(runner::run_many(cfg, master, 2, 1).fleet);
+    EXPECT_EQ(base, shard_free_lines(text)) << "shards=" << shards;
+  }
+}
+
+}  // namespace
+}  // namespace skh::obs

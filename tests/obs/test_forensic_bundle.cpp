@@ -1,0 +1,103 @@
+// Forensic-bundle contract: every opened failure case leaves behind a
+// self-contained, well-formed JSON bundle that reconstructs the verdict —
+// timeline stages, the offending pair's recent windows, anomaly events,
+// localization votes, and the recorder's own drop accounting.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/harness.h"
+#include "obs/json_lint.h"
+#include "obs/recorder.h"
+
+namespace skh::core {
+namespace {
+
+/// The fault_drill forensic-gate scenario in miniature: one monitored task,
+/// one RNIC port taken down mid-run.
+ExperimentConfig drill_config() {
+  ExperimentConfig cfg;
+  cfg.topology.num_hosts = 8;
+  cfg.topology.rails_per_host = 8;
+  cfg.topology.hosts_per_segment = 8;
+  cfg.hunter.inference.candidate_dp = {2, 4};
+  cfg.seed = 6400;
+  cfg.obs.metrics = true;
+  return cfg;
+}
+
+/// Launch the task, inject the RNIC fault, run to completion.
+void run_drill(Experiment& exp) {
+  cluster::TaskRequest req;
+  req.num_containers = 4;
+  req.gpus_per_container = 8;
+  req.lifetime = SimTime::hours(6);
+  const auto task = exp.launch_task(req);
+  EXPECT_TRUE(task.has_value());
+  exp.run_to_running(*task);
+  workload::ParallelismConfig par;
+  par.tp = 8;
+  par.pp = 2;
+  par.dp = 2;
+  (void)exp.apply_skeleton(*task, exp.layout_of(*task, par));
+
+  const auto victim = exp.orchestrator().endpoints_of_task(*task)[9];
+  exp.faults().inject(sim::IssueType::kRnicPortDown,
+                      {sim::ComponentKind::kRnic, victim.rnic.value()},
+                      SimTime::minutes(3), SimTime::minutes(11));
+
+  exp.hunter().start(exp.events().now() + SimTime::minutes(20));
+  exp.events().run_all();
+  exp.hunter().finalize();
+}
+
+TEST(ForensicBundle, EveryCaseLeavesAValidSelfContainedBundle) {
+  Experiment exp(drill_config());
+  run_drill(exp);
+  const auto& rec = exp.obs().recorder;
+  const auto& cases = exp.hunter().failure_cases();
+  ASSERT_GE(cases.size(), 1u);
+
+  for (const auto& c : cases) {
+    const std::string* bundle = rec.bundle_of(c.id);
+    ASSERT_NE(bundle, nullptr) << "case " << c.id;
+    const std::string& b = *bundle;
+    EXPECT_TRUE(obs::json_valid(b)) << b;
+
+    // All causal stages in the embedded timeline.
+    EXPECT_NE(b.find("case.open"), std::string::npos);
+    EXPECT_NE(b.find("anomaly"), std::string::npos);
+    // Top-level sections of the bundle shape.
+    for (const char* key :
+         {"\"case\":", "\"timeline\":", "\"events\":", "\"windows\":",
+          "\"votes\":", "\"recorder\":", "\"metrics\":"}) {
+      EXPECT_NE(b.find(key), std::string::npos) << key;
+    }
+    if (!c.suppressed) {
+      EXPECT_NE(b.find("localize"), std::string::npos);
+      EXPECT_NE(b.find("case.close"), std::string::npos);
+      // A closed case carries votes with their evidence source...
+      EXPECT_NE(b.find("\"source\":"), std::string::npos);
+      // ...and at least one recorded window (flags field only appears in
+      // window objects).
+      EXPECT_NE(b.find("\"flags\":"), std::string::npos);
+    }
+    // Dropped-record accounting is always present, so a wrapped ring is
+    // visible in the evidence rather than silently truncated.
+    EXPECT_NE(b.find("\"window_drops\":"), std::string::npos);
+    EXPECT_NE(b.find("\"event_drops\":"), std::string::npos);
+  }
+}
+
+TEST(ForensicBundle, DisabledRecorderEmitsNoBundles) {
+  auto cfg = drill_config();
+  cfg.obs.recorder.enabled = false;
+  Experiment exp(cfg);
+  run_drill(exp);
+
+  EXPECT_GE(exp.hunter().failure_cases().size(), 1u);
+  EXPECT_TRUE(exp.obs().recorder.bundles().empty());
+}
+
+}  // namespace
+}  // namespace skh::core

@@ -4,159 +4,23 @@
 
 #include <cctype>
 #include <cstddef>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/time.h"
+#include "obs/json_lint.h"
 #include "obs/timeline.h"
 
 namespace skh::obs {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Minimal recursive-descent JSON validator. Checks grammar only (objects,
-// arrays, strings with escapes, numbers, literals); exporters must emit
-// output this accepts in full.
-class JsonValidator {
- public:
-  explicit JsonValidator(std::string_view text) : s_(text) {}
-
-  [[nodiscard]] bool valid() {
-    skip_ws();
-    if (!value()) return false;
-    skip_ws();
-    return pos_ == s_.size();
-  }
-
- private:
-  bool value() {
-    if (pos_ >= s_.size()) return false;
-    switch (s_[pos_]) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string();
-      case 't': return literal("true");
-      case 'f': return literal("false");
-      case 'n': return literal("null");
-      default: return number();
-    }
-  }
-
-  bool object() {
-    ++pos_;  // '{'
-    skip_ws();
-    if (peek() == '}') { ++pos_; return true; }
-    while (true) {
-      skip_ws();
-      if (!string()) return false;
-      skip_ws();
-      if (peek() != ':') return false;
-      ++pos_;
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (peek() == ',') { ++pos_; continue; }
-      if (peek() == '}') { ++pos_; return true; }
-      return false;
-    }
-  }
-
-  bool array() {
-    ++pos_;  // '['
-    skip_ws();
-    if (peek() == ']') { ++pos_; return true; }
-    while (true) {
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (peek() == ',') { ++pos_; continue; }
-      if (peek() == ']') { ++pos_; return true; }
-      return false;
-    }
-  }
-
-  bool string() {
-    if (peek() != '"') return false;
-    ++pos_;
-    while (pos_ < s_.size()) {
-      const char c = s_[pos_];
-      if (c == '"') { ++pos_; return true; }
-      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
-      if (c == '\\') {
-        ++pos_;
-        if (pos_ >= s_.size()) return false;
-        const char e = s_[pos_];
-        if (e == 'u') {
-          for (int i = 0; i < 4; ++i) {
-            ++pos_;
-            if (pos_ >= s_.size() || !std::isxdigit(
-                    static_cast<unsigned char>(s_[pos_]))) {
-              return false;
-            }
-          }
-        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
-                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
-          return false;
-        }
-      }
-      ++pos_;
-    }
-    return false;  // unterminated
-  }
-
-  bool number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    if (!digits()) return false;
-    if (peek() == '.') {
-      ++pos_;
-      if (!digits()) return false;
-    }
-    if (peek() == 'e' || peek() == 'E') {
-      ++pos_;
-      if (peek() == '+' || peek() == '-') ++pos_;
-      if (!digits()) return false;
-    }
-    return pos_ > start;
-  }
-
-  bool digits() {
-    const std::size_t start = pos_;
-    while (pos_ < s_.size() &&
-           std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
-      ++pos_;
-    }
-    return pos_ > start;
-  }
-
-  bool literal(std::string_view word) {
-    if (s_.substr(pos_, word.size()) != word) return false;
-    pos_ += word.size();
-    return true;
-  }
-
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
-            s_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  [[nodiscard]] char peek() const {
-    return pos_ < s_.size() ? s_[pos_] : '\0';
-  }
-
-  std::string_view s_;
-  std::size_t pos_ = 0;
-};
-
-TEST(JsonValidator, SelfCheck) {
-  EXPECT_TRUE(JsonValidator(R"({"a":[1,-2.5,3e4,"x\n\"y"],"b":null})").valid());
-  EXPECT_FALSE(JsonValidator(R"({"a":1)").valid());
-  EXPECT_FALSE(JsonValidator(R"({"a":1}})").valid());
-  EXPECT_FALSE(JsonValidator("{'a':1}").valid());
+TEST(JsonValid, SelfCheck) {
+  EXPECT_TRUE(json_valid(R"({"a":[1,-2.5,3e4,"x\n\"y"],"b":null})"));
+  EXPECT_FALSE(json_valid(R"({"a":1)"));
+  EXPECT_FALSE(json_valid(R"({"a":1}})"));
+  EXPECT_FALSE(json_valid("{'a':1}"));
 }
 
 // ---------------------------------------------------------------------------
@@ -238,7 +102,7 @@ TEST(TraceExport, ChromeTraceIsWellFormedJson) {
   std::ostringstream os;
   export_chrome_trace(t, os);
   const std::string doc = os.str();
-  EXPECT_TRUE(JsonValidator(doc).valid()) << doc;
+  EXPECT_TRUE(json_valid(doc)) << doc;
   EXPECT_NE(doc.find("\"traceEvents\":["), std::string::npos);
   EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);  // the span
   EXPECT_NE(doc.find("\"ph\":\"i\""), std::string::npos);  // the instants
@@ -268,11 +132,69 @@ TEST(TraceExport, JsonlEmitsOneValidObjectPerEvent) {
   while (std::getline(in, line)) lines.push_back(line);
   ASSERT_EQ(lines.size(), 2u);
   for (const auto& l : lines) {
-    EXPECT_TRUE(JsonValidator(l).valid()) << l;
+    EXPECT_TRUE(json_valid(l)) << l;
   }
   EXPECT_NE(lines[0].find("\"kind\":\"instant\""), std::string::npos);
   EXPECT_NE(lines[1].find("\"kind\":\"span\""), std::string::npos);
   EXPECT_NE(lines[1].find("\"dur_us\":5000000.000"), std::string::npos);
+}
+
+TEST(TraceExport, ControlCharactersInNamesAreEscaped) {
+  Tracer t(8);
+  t.set_enabled(true);
+  // Raw control bytes (bell, unit separator) must come out as \u00XX; a
+  // single raw control char in the document makes it unparseable.
+  t.instant("detector", "bell\x07sep\x1f tab\t", SimTime::seconds(1));
+  std::ostringstream os;
+  export_chrome_trace(t, os);
+  const std::string doc = os.str();
+  EXPECT_TRUE(json_valid(doc)) << doc;
+  EXPECT_NE(doc.find("\\u0007"), std::string::npos);
+  EXPECT_NE(doc.find("\\u001f"), std::string::npos);
+  EXPECT_NE(doc.find("\\t"), std::string::npos);
+}
+
+TEST(TraceExport, NonFiniteValuesExportAsNull) {
+  // JSON has no NaN/Infinity tokens; a corrupted-RTT value recorded into a
+  // trace arg must not leak "nan"/"inf" into the document.
+  Tracer t(8);
+  t.set_enabled(true);
+  t.instant("detector", "score", SimTime::seconds(1), 0, 0,
+            std::numeric_limits<double>::quiet_NaN());
+  t.span("probe", "rtt", SimTime::seconds(1), SimTime::seconds(2), 0, 0,
+         std::numeric_limits<double>::infinity());
+  std::ostringstream os;
+  export_chrome_trace(t, os);
+  const std::string doc = os.str();
+  EXPECT_TRUE(json_valid(doc)) << doc;
+  EXPECT_EQ(doc.find("nan"), std::string::npos);
+  EXPECT_EQ(doc.find("inf"), std::string::npos);
+  std::ostringstream jl;
+  export_jsonl(t, jl);
+  std::istringstream in(jl.str());
+  std::string line;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(json_valid(line)) << line;
+  }
+}
+
+TEST(CaseTimeline, ClampsNonMonotoneStagesUpward) {
+  // Regression: after an analyzer warm-restore, window closes stamped at
+  // their nominal in-blackout boundaries arrive with `at` earlier than the
+  // already-appended "analyzer.restore" entry. Causal order is the truth;
+  // the late-arriving stage is clamped up to the last entry's time.
+  CaseTimeline tl;
+  tl.add(SimTime::seconds(100), "case.open", "first window");
+  tl.add(SimTime::seconds(400), "analyzer.restore", "warm restart");
+  tl.add(SimTime::seconds(250), "anomaly", "window closed during blackout");
+  ASSERT_EQ(tl.entries.size(), 3u);
+  EXPECT_EQ(tl.entries[2].at, SimTime::seconds(400));
+  for (std::size_t i = 1; i < tl.entries.size(); ++i) {
+    EXPECT_GE(tl.entries[i].at, tl.entries[i - 1].at);
+  }
+  // In-order appends are untouched.
+  tl.add(SimTime::seconds(500), "case.close", "quiet");
+  EXPECT_EQ(tl.entries[3].at, SimTime::seconds(500));
 }
 
 TEST(CaseTimeline, ToStringShowsRelativeOffsets) {
