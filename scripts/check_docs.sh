@@ -72,6 +72,26 @@ if ! grep -q "obs/pull_server\|metrics_server" "$arch" || \
   status=1
 fi
 
+# Routing and path diversity are documented contracts as well: the routing
+# modes, the path-id stability rule, and the per-path detection/voting
+# chain live in a section the spray suites and spray.localization_gate pin
+# behavior against — as does the drill's writeup in EXPERIMENTS.md.
+if ! grep -q "^## Routing & path diversity" "$arch"; then
+  echo "FAIL: ARCHITECTURE.md is missing the 'Routing & path diversity' section"
+  status=1
+fi
+experiments="$root/EXPERIMENTS.md"
+if [[ ! -f "$experiments" ]]; then
+  echo "FAIL: $experiments does not exist"
+  status=1
+else
+  if ! grep -q "^## Path-blindness drill" "$experiments" || \
+     ! grep -q "spray.localization_gate" "$experiments"; then
+    echo "FAIL: EXPERIMENTS.md is missing the path-blindness (spray) drill section"
+    status=1
+  fi
+fi
+
 if [[ -f "$readme" ]]; then
   for src in "$root"/bench/bench_*.cpp; do
     [[ -f "$src" ]] || continue  # unexpanded glob: no bench sources

@@ -24,14 +24,18 @@
 # fault/telemetry episode windows), cluster (the restart/migrate/crash
 # deregistration paths), and probe (per-target retry/backoff state plus
 # the telemetry channel's drop/dup/reorder/skew buffer juggling in
-# test_telemetry). Any sanitizer report aborts the binary
-# (-fno-sanitize-recover=all), so a clean exit means clean runs.
+# test_telemetry), and topo (the equal-cost path enumeration, the
+# route_via/static_path_id stability contract, the dense switch-link
+# adjacency map, and the 4k-pair ECMP balance sweep in test_topology —
+# the routing surface the spray/path-diversity suites lean on). Any
+# sanitizer report aborts the binary (-fno-sanitize-recover=all), so a
+# clean exit means clean runs.
 set -eu
 
 root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 bdir="${2:-$root/build-asan}"
 
-suites="test_common test_ml test_core test_obs test_sim test_cluster test_probe"
+suites="test_common test_ml test_core test_obs test_sim test_cluster test_probe test_topo"
 
 cmake -S "$root" -B "$bdir" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSKH_SANITIZE=ON >/dev/null

@@ -17,6 +17,7 @@ void canonicalize_events(std::vector<AnomalyEvent>& events) {
               }
               if (a.pair != b.pair) return a.pair < b.pair;
               if (a.kind != b.kind) return a.kind < b.kind;
+              if (a.path_id != b.path_id) return a.path_id < b.path_id;
               return a.score < b.score;
             });
 }
@@ -100,6 +101,7 @@ AnomalyDetector::AnomalyDetector(DetectorConfig cfg)
     cold_.reserve(cfg_.expected_pairs);
     samples_.reserve(cfg_.expected_pairs * stride_);
     p50_.reserve(cfg_.expected_pairs * p50_stride_);
+    if (cfg_.track_paths) paths_.reserve(cfg_.expected_pairs * kPathSlots);
   }
   bind_metrics(*own_registry_);
 }
@@ -143,6 +145,9 @@ AnomalyDetector::PairHandle AnomalyDetector::handle_of(
       cold_.resize(id + 1);
       samples_.resize(static_cast<std::size_t>(id + 1) * stride_, 0.0);
       p50_.resize(static_cast<std::size_t>(id + 1) * p50_stride_, 0.0);
+      if (cfg_.track_paths) {
+        paths_.resize(static_cast<std::size_t>(id + 1) * kPathSlots);
+      }
     }
     cold_[id].pair = pair;
   }
@@ -156,6 +161,7 @@ void AnomalyDetector::reserve_pairs(std::size_t pairs) {
     cold_.reserve(pairs);
     samples_.reserve(pairs * stride_);
     p50_.reserve(pairs * p50_stride_);
+    if (cfg_.track_paths) paths_.reserve(pairs * kPathSlots);
   }
   // A campaign-end flush closes at most a short and a long window per pair;
   // sizing the window log to that worst case means a drained log never
@@ -212,13 +218,13 @@ std::size_t AnomalyDetector::retired_count() const noexcept {
 std::vector<AnomalyEvent> AnomalyDetector::ingest(const probe::ProbeResult& r) {
   std::vector<AnomalyEvent> events;
   (void)ingest(handle_of(r.pair), r.seq, r.sent_at, r.delivered, r.rtt_us,
-               events);
+               r.path_id, events);
   return events;
 }
 
 std::size_t AnomalyDetector::ingest(PairHandle h, std::uint64_t seq,
                                     SimTime sent_at, bool delivered,
-                                    double rtt_us,
+                                    double rtt_us, std::uint32_t path_id,
                                     std::vector<AnomalyEvent>& out) {
   const std::size_t before = out.size();
   PairHot& st = hot_[h];
@@ -311,9 +317,110 @@ std::size_t AnomalyDetector::ingest(PairHandle h, std::uint64_t seq,
                                  static_cast<double>(st.fail_streak)});
     }
   }
+  // Per-path sub-series (sprayed/adaptive pairs): one predictable branch
+  // when off, a bounded slot update when on. Accumulated across windows —
+  // a sprayed pair spreads each window's samples over up to spray_ways
+  // members, so per-window member counts are too thin to judge alone.
+  if (cfg_.track_paths) note_path(h, path_id, delivered, rtt_us);
   const std::size_t fired = out.size() - before;
   m_events_.add(fired);
   return fired;
+}
+
+void AnomalyDetector::note_path(PairHandle h, std::uint32_t path_id,
+                                bool delivered, double rtt_us) {
+  PathSlot* const slots =
+      paths_.data() + static_cast<std::size_t>(h) * kPathSlots;
+  const std::uint32_t key = path_id + 1;
+  PathSlot* slot = nullptr;
+  for (std::uint32_t i = 0; i < kPathSlots; ++i) {
+    if (slots[i].key == key) {
+      slot = &slots[i];
+      break;
+    }
+    if (slot == nullptr && slots[i].key == 0) slot = &slots[i];
+  }
+  if (slot == nullptr) {
+    // A 9th distinct member: steal the least-sampled slot (lowest index on
+    // ties) — deterministic, bounded, and it forgets the member with the
+    // least evidence.
+    slot = &slots[0];
+    for (std::uint32_t i = 1; i < kPathSlots; ++i) {
+      if (slots[i].sent < slot->sent) slot = &slots[i];
+    }
+    *slot = PathSlot{};
+  }
+  if (slot->key != key) {
+    *slot = PathSlot{};
+    slot->key = key;
+  }
+  ++slot->sent;
+  if (delivered) {
+    slot->rtt_sum += static_cast<float>(rtt_us);
+  } else {
+    ++slot->lost;
+  }
+}
+
+void AnomalyDetector::evaluate_paths(PairHandle h, SimTime at,
+                                     std::vector<AnomalyEvent>& events) {
+  PathSlot* const slots =
+      paths_.data() + static_cast<std::size_t>(h) * kPathSlots;
+  std::uint32_t occupied = 0;
+  std::uint64_t tot_sent = 0;
+  std::uint64_t tot_lost = 0;
+  double tot_rtt = 0.0;
+  for (std::uint32_t i = 0; i < kPathSlots; ++i) {
+    if (slots[i].key == 0) continue;
+    ++occupied;
+    tot_sent += slots[i].sent;
+    tot_lost += slots[i].lost;
+    tot_rtt += slots[i].rtt_sum;
+  }
+  // Differential detection needs siblings as the control group: with one
+  // member there is nothing to compare against (the whole-pair rules own
+  // that regime).
+  if (occupied < 2) return;
+  const PairCold& cold = cold_[h];
+  for (std::uint32_t i = 0; i < kPathSlots; ++i) {
+    PathSlot& s = slots[i];
+    if (s.key == 0 || s.sent < cfg_.min_samples_per_window) continue;
+    const std::uint64_t rest_sent = tot_sent - s.sent;
+    if (rest_sent < cfg_.min_samples_per_window) continue;
+    const std::uint64_t rest_lost = tot_lost - s.lost;
+    const double loss =
+        static_cast<double>(s.lost) / static_cast<double>(s.sent);
+    const double rest_loss = static_cast<double>(rest_lost) /
+                             static_cast<double>(rest_sent);
+    // Member loss rule: over threshold in absolute terms AND clearly worse
+    // than the pooled siblings (4x guards against fleet-wide loss being
+    // re-reported once per member).
+    if (s.lost >= cfg_.min_lost_per_window &&
+        loss >= cfg_.loss_rate_threshold && loss >= 4.0 * rest_loss) {
+      events.push_back(AnomalyEvent{cold.pair, at, AnomalyKind::kPacketLoss,
+                                    loss, s.key - 1});
+      s = PathSlot{s.key, 0, 0, 0.0f};  // re-arm: keep the member, drop
+                                        // the consumed evidence
+      continue;
+    }
+    // Member latency rule: mean RTT relatively shifted against the pooled
+    // siblings' mean (same min_relative_shift knob as the LOF gate).
+    const std::uint32_t del = s.sent - s.lost;
+    const std::uint64_t rest_del = rest_sent - rest_lost;
+    if (del >= cfg_.min_samples_per_window &&
+        rest_del >= cfg_.min_samples_per_window) {
+      const double mean = static_cast<double>(s.rtt_sum) / del;
+      const double rest_mean =
+          (tot_rtt - static_cast<double>(s.rtt_sum)) /
+          static_cast<double>(rest_del);
+      if (rest_mean > 0.0 && mean / rest_mean - 1.0 >= cfg_.min_relative_shift) {
+        events.push_back(AnomalyEvent{cold.pair, at,
+                                      AnomalyKind::kLatencyShortTerm,
+                                      mean / rest_mean, s.key - 1});
+        s = PathSlot{s.key, 0, 0, 0.0f};
+      }
+    }
+  }
 }
 
 std::span<const double> AnomalyDetector::window_sorted(PairHandle h) {
@@ -513,6 +620,10 @@ void AnomalyDetector::close_short_window(PairHandle h, SimTime at,
       if (v > 0.0) cold.long_log.add(std::log(v));
     }
   }
+  // Per-path differential pass piggybacks on the close cadence: the slots
+  // accumulate across windows, so this is when enough members have enough
+  // evidence to compare.
+  if (cfg_.track_paths) evaluate_paths(h, at, events);
   log_window(cold.pair, w_start, at, hot.short_sent, hot.short_lost, log_p50,
              log_score, log_flags);
   hot.short_open = false;
@@ -594,7 +705,13 @@ void AnomalyDetector::recycle(PairHandle h) {
   index_.free_id(h);
   hot_[h] = PairHot{};
   cold_[h] = PairCold{};
-  // The strip needs no reset: short_count == 0 makes it dead storage.
+  // The strip needs no reset: short_count == 0 makes it dead storage. The
+  // path slots DO reset — their keys would otherwise leak a dead pair's
+  // members into the slot's next tenant.
+  if (cfg_.track_paths) {
+    std::fill_n(paths_.begin() + static_cast<std::size_t>(h) * kPathSlots,
+                kPathSlots, PathSlot{});
+  }
 }
 
 std::vector<AnomalyEvent> AnomalyDetector::flush(SimTime now) {
@@ -635,6 +752,13 @@ bool AnomalyDetector::extract_pair(const EndpointPair& pair, PairState& out) {
   out.samples_.assign(strip, strip + stride_);
   const double* gate = p50_.data() + static_cast<std::size_t>(h) * p50_stride_;
   out.p50_.assign(gate, gate + p50_stride_);
+  if (cfg_.track_paths) {
+    const PathSlot* ps =
+        paths_.data() + static_cast<std::size_t>(h) * kPathSlots;
+    out.paths_.assign(ps, ps + kPathSlots);
+  } else {
+    out.paths_.clear();
+  }
   // Annul any parking: a parked pair that migrates is the new home's to
   // retire (or revive). The LOF model moved out above, so no counter carry:
   // its path counts travel with it and reappear in the adopter's totals.
@@ -644,11 +768,16 @@ bool AnomalyDetector::extract_pair(const EndpointPair& pair, PairState& out) {
   index_.free_id(h);
   hot_[h] = PairHot{};
   cold_[h] = PairCold{};
+  if (cfg_.track_paths) {
+    std::fill_n(paths_.begin() + static_cast<std::size_t>(h) * kPathSlots,
+                kPathSlots, PathSlot{});
+  }
   return true;
 }
 
 AnomalyDetector::PairHandle AnomalyDetector::adopt_pair(PairState&& st) {
-  if (st.stride_ != stride_ || st.p50_stride_ != p50_stride_) {
+  if (st.stride_ != stride_ || st.p50_stride_ != p50_stride_ ||
+      st.paths_.size() != (cfg_.track_paths ? kPathSlots : 0u)) {
     throw std::logic_error(
         "adopt_pair: strip geometry mismatch (detector configs differ)");
   }
@@ -662,6 +791,10 @@ AnomalyDetector::PairHandle AnomalyDetector::adopt_pair(PairState&& st) {
             samples_.begin() + static_cast<std::size_t>(h) * stride_);
   std::copy(st.p50_.begin(), st.p50_.end(),
             p50_.begin() + static_cast<std::size_t>(h) * p50_stride_);
+  if (cfg_.track_paths) {
+    std::copy(st.paths_.begin(), st.paths_.end(),
+              paths_.begin() + static_cast<std::size_t>(h) * kPathSlots);
+  }
   if (hot_[h].parked) parked_.push_back(h);
   return h;
 }
@@ -674,6 +807,7 @@ AnomalyDetector::Snapshot AnomalyDetector::snapshot() const {
   s.cold_ = cold_;
   s.samples_ = samples_;
   s.p50_ = p50_;
+  s.paths_ = paths_;
   s.parked_ = parked_;
   return s;
 }
@@ -685,6 +819,7 @@ void AnomalyDetector::restore(const Snapshot& snap) {
   cold_ = snap.cold_;
   samples_ = snap.samples_;
   p50_ = snap.p50_;
+  paths_ = snap.paths_;
   parked_ = snap.parked_;
 }
 

@@ -62,18 +62,24 @@ enum class AnomalyKind : std::uint8_t {
 [[nodiscard]] std::string_view to_string(AnomalyKind k) noexcept;
 
 struct AnomalyEvent {
+  /// Events raised by whole-pair rules carry kAnyPath; per-path sub-series
+  /// verdicts (sprayed pairs) carry the sick member's path id, which the
+  /// localizer uses to vote only on that member's links.
+  static constexpr std::uint32_t kAnyPath = 0xFFFFFFFFu;
+
   EndpointPair pair;
   SimTime detected_at;
   AnomalyKind kind = AnomalyKind::kUnreachable;
   double score = 0.0;  ///< LOF score / |z| / loss rate / streak length
+  std::uint32_t path_id = kAnyPath;
 };
 
-/// Sort events into the canonical order (detected_at, pair, kind, score) —
-/// a total order over everything an event carries, so any batch holding
-/// the same event *set* sorts to the same sequence regardless of how the
-/// producing work was sharded or interleaved. The case-tracking layer
-/// keys its open/merge/suppress decisions off this order, which is what
-/// makes verdicts shard-count-invariant.
+/// Sort events into the canonical order (detected_at, pair, kind, path,
+/// score) — a total order over everything an event carries, so any batch
+/// holding the same event *set* sorts to the same sequence regardless of
+/// how the producing work was sharded or interleaved. The case-tracking
+/// layer keys its open/merge/suppress decisions off this order, which is
+/// what makes verdicts shard-count-invariant.
 void canonicalize_events(std::vector<AnomalyEvent>& events);
 
 struct DetectorConfig {
@@ -135,6 +141,14 @@ struct DetectorConfig {
   /// lines and measurably slows ingest (see ARCHITECTURE.md, "Memory
   /// layout & hot path").
   std::size_t window_sample_capacity = 8;
+  /// Per-path sub-series for sprayed/adaptive pairs: each pair keeps a
+  /// bounded table of per-member {sent, lost, rtt} accumulators keyed by
+  /// ProbeResult.path_id, evaluated differentially at short-window closes
+  /// (a member is anomalous relative to its siblings — the only way a gray
+  /// ECMP member shows up when pair-level rates stay under threshold).
+  /// Off by default: static ECMP sees one path per pair and pays nothing;
+  /// the hunter turns it on when the engine routing mode is not static.
+  bool track_paths = false;
 };
 
 /// Ingest-side observability counters, aggregated by `core/metrics` across
@@ -231,14 +245,23 @@ class AnomalyDetector {
   /// and is dropped; any result timestamped before the open short window
   /// (a skewed clock or a delivery delayed across a close) is stale and is
   /// dropped — late lies must not drag the window grid backwards.
+  /// `path_id` is the equal-cost member the probe rode (ProbeResult
+  /// semantics); only read when cfg.track_paths is on.
+  std::size_t ingest(PairHandle h, std::uint64_t seq, SimTime sent_at,
+                     bool delivered, double rtt_us, std::uint32_t path_id,
+                     std::vector<AnomalyEvent>& out);
+
+  /// Single-path convenience overload (path id 0).
   std::size_t ingest(PairHandle h, std::uint64_t seq, SimTime sent_at,
                      bool delivered, double rtt_us,
-                     std::vector<AnomalyEvent>& out);
+                     std::vector<AnomalyEvent>& out) {
+    return ingest(h, seq, sent_at, delivered, rtt_us, 0, out);
+  }
 
   /// Unsequenced convenience overload (seq = 0, no rejection rules).
   std::size_t ingest(PairHandle h, SimTime sent_at, bool delivered,
                      double rtt_us, std::vector<AnomalyEvent>& out) {
-    return ingest(h, 0, sent_at, delivered, rtt_us, out);
+    return ingest(h, 0, sent_at, delivered, rtt_us, 0, out);
   }
 
   /// Feed one probe result. Window boundaries are detected from the result
@@ -368,6 +391,34 @@ class AnomalyDetector {
     std::optional<ml::LogNormalModel> baseline;
   };
 
+  // Per-path sub-series slot (track_paths only): cumulative loss/RTT
+  // accumulators for one equal-cost member of one pair. 16 bytes x
+  // kPathSlots = two cache lines per pair, in their own arena so the
+  // static-ECMP hot path never touches them. Trivially copyable for the
+  // same snapshot-as-memmove reason as PairHot.
+  struct PathSlot {
+    std::uint32_t key = 0;  ///< path_id + 1; 0 = empty slot
+    std::uint32_t sent = 0;
+    std::uint32_t lost = 0;
+    float rtt_sum = 0.0f;  ///< sum over delivered samples
+  };
+  static_assert(sizeof(PathSlot) == 16, "PathSlot layout");
+  static_assert(std::is_trivially_copyable_v<PathSlot>,
+                "PathSlot must snapshot as flat bytes");
+  /// Members tracked per pair. Spray fans over at most spray_ways (default
+  /// 8) members, so 8 slots cover it; an overflowing distinct member
+  /// steals the least-sampled slot (deterministic: lowest index wins ties).
+  static constexpr std::uint32_t kPathSlots = 8;
+
+  void note_path(PairHandle h, std::uint32_t path_id, bool delivered,
+                 double rtt_us);
+  /// Differential member check at short-window close: a member with enough
+  /// cumulative samples whose loss rate (or mean RTT) stands out against
+  /// the pooled rest of the members fires a path-scoped event and resets
+  /// its accumulators.
+  void evaluate_paths(PairHandle h, SimTime at,
+                      std::vector<AnomalyEvent>& events);
+
   void close_short_window(PairHandle h, SimTime at,
                           std::vector<AnomalyEvent>& events);
   void close_long_window(PairHandle h, SimTime at,
@@ -412,6 +463,10 @@ class AnomalyDetector {
   std::vector<double, common::ArenaAllocator<double>> p50_;
   std::uint32_t p50_cap_;     ///< entries per region (lookback + slack)
   std::uint32_t p50_stride_;  ///< doubles per pair (2 regions, line-rounded)
+  /// Per-path sub-series arena: kPathSlots slots per pair, allocated only
+  /// when cfg.track_paths (empty otherwise, so the single-path deployment
+  /// pays no memory and no cache traffic for the feature).
+  std::vector<PathSlot, common::ArenaAllocator<PathSlot>> paths_;
   /// Ids parked by retire_pair, recycled at flush (entries whose `parked`
   /// flag was cleared by a reviving probe are skipped).
   std::vector<PairHandle> parked_;
@@ -458,6 +513,7 @@ class AnomalyDetector {
     std::vector<PairCold> cold_;
     std::vector<double, common::ArenaAllocator<double>> samples_;
     std::vector<double, common::ArenaAllocator<double>> p50_;
+    std::vector<PathSlot, common::ArenaAllocator<PathSlot>> paths_;
     std::vector<PairHandle> parked_;
   };
 
@@ -480,6 +536,7 @@ class AnomalyDetector {
     PairCold cold_;
     std::vector<double> samples_;  ///< the pair's strip, stride_ doubles
     std::vector<double> p50_;      ///< the pair's gate strip
+    std::vector<PathSlot> paths_;  ///< kPathSlots slots iff track_paths
   };
 };
 

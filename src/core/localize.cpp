@@ -48,11 +48,13 @@ void Localizer::attach_obs(obs::Context* ctx) {
   obs_ = ctx;
   if (ctx == nullptr) {
     m_calls_ = {};
+    m_path_votes_ = {};
     for (auto& m : m_method_) m = {};
     return;
   }
   auto& r = ctx->registry;
   m_calls_ = r.bind_counter(r.counter_id("localize.calls"));
+  m_path_votes_ = r.bind_counter(r.counter_id("localize.path_votes"));
   static constexpr const char* kMethodMetric[5] = {
       "localize.method.overlay_reachability",
       "localize.method.physical_intersection",
@@ -219,43 +221,114 @@ sim::ComponentRef Localizer::component_of_overlay_node(VPortId node,
   return {sim::ComponentKind::kVSwitch, n.host.value()};
 }
 
+namespace {
+
+void collect_components(const topo::Path& path,
+                        std::set<sim::ComponentRef>& out) {
+  for (LinkId l : path.links) {
+    out.insert({sim::ComponentKind::kPhysicalLink, l.value()});
+  }
+  for (SwitchId s : path.switches) {
+    out.insert({sim::ComponentKind::kPhysicalSwitch, s.value()});
+  }
+}
+
+}  // namespace
+
+std::map<sim::ComponentRef, Localizer::PathTally> Localizer::tally_paths(
+    const std::vector<EndpointPair>& pairs,
+    std::span<const PathScopedAnomaly> path_hints) const {
+  // Hinted equal-cost members per pair (a pair may be hinted on several).
+  std::map<EndpointPair, std::vector<std::uint32_t>> hinted;
+  for (const auto& h : path_hints) hinted[h.pair].push_back(h.path_id);
+
+  std::map<sim::ComponentRef, PathTally> tally;
+  for (const auto& p : pairs) {
+    // Per-pair component sets — each component counts once per pair even
+    // when both probe directions were flagged or several hinted members
+    // share it.
+    std::set<sim::ComponentRef> fwd;
+    std::set<sim::ComponentRef> rev;
+    const auto hint = hinted.find(p);
+    if (hint != hinted.end()) {
+      // Path-scoped evidence: the anomaly names the member(s) it rode, so
+      // the pair votes only there — under spray the static selection may
+      // never have carried the anomalous probes at all.
+      const std::uint32_t n = topo_.num_paths(p.src.rnic, p.dst.rnic);
+      for (std::uint32_t m : hint->second) {
+        if (m >= n) continue;  // stale hint (topology shrank): no vote
+        collect_components(topo_.route_via(p.src.rnic, p.dst.rnic, m), fwd);
+      }
+      for (const auto& c : fwd) {
+        PathTally& t = tally[c];
+        t.weight += 1.0;
+        ++t.touched;
+        ++t.path;
+      }
+      continue;
+    }
+    collect_components(topo_.route(p.src.rnic, p.dst.rnic), fwd);
+    // The pair's return traffic rides route(dst, src), which static ECMP
+    // may hash onto a different spine — a fault there degrades the pair's
+    // RTT/loss just the same. Reverse-only components join the candidate
+    // set at half weight (the forward direction was observed; the reverse
+    // is inferred), max-merged so a component on both directions stays at
+    // one pair's worth of evidence.
+    collect_components(topo_.route(p.dst.rnic, p.src.rnic), rev);
+    for (const auto& c : fwd) {
+      PathTally& t = tally[c];
+      t.weight += 1.0;
+      ++t.touched;
+      ++t.fwd;
+    }
+    for (const auto& c : rev) {
+      PathTally& t = tally[c];
+      ++t.rev;
+      if (!fwd.contains(c)) {
+        t.weight += 0.5;
+        ++t.touched;
+      }
+    }
+  }
+  return tally;
+}
+
 std::vector<sim::ComponentRef> Localizer::physical_intersection(
     const std::vector<EndpointPair>& pairs) const {
-  std::map<sim::ComponentRef, std::size_t> counter;  // PhyLinkCounter
-  for (const auto& p : pairs) {
-    const auto path = topo_.route(p.src.rnic, p.dst.rnic);
-    // Count each component once per pair even when both probe directions
-    // were flagged.
-    std::set<sim::ComponentRef> seen;
-    for (LinkId l : path.links) {
-      seen.insert({sim::ComponentKind::kPhysicalLink, l.value()});
-    }
-    for (SwitchId s : path.switches) {
-      seen.insert({sim::ComponentKind::kPhysicalSwitch, s.value()});
-    }
-    for (const auto& c : seen) ++counter[c];
-  }
-  std::size_t max_count = 0;
-  for (const auto& [c, n] : counter) max_count = std::max(max_count, n);
-  if (max_count <= 1) return {};  // no intersection evidence (Algorithm 1)
-  // A genuinely faulty physical component sits on (nearly) every anomalous
-  // path. When even the most-voted component covers only a minority of the
-  // pairs, the anomaly is not path-shaped (host-scope faults fan out over
-  // all rails and split the vote across ToRs) — report no underlay verdict
-  // and let the endpoint-pattern step classify it.
-  if (static_cast<double>(max_count) <
-      0.7 * static_cast<double>(pairs.size())) {
-    return {};
-  }
+  return physical_intersection(pairs, {});
+}
 
-  // Among max-count components prefer links over switches: a faulty link
-  // inflates its two endpoint switches to the same count, and the link is
+std::vector<sim::ComponentRef> Localizer::physical_intersection(
+    const std::vector<EndpointPair>& pairs,
+    std::span<const PathScopedAnomaly> path_hints) const {
+  const auto tally = tally_paths(pairs, path_hints);
+  double best = 0.0;
+  for (const auto& [c, t] : tally) best = std::max(best, t.weight);
+  // One pair's worth of evidence is just "the pair's own path" — the
+  // strictly-greater floor replaces the old count >= 2 rule and keeps
+  // single-pair cases falling through to the later steps. (A reverse-only
+  // component needs two pairs' reverse routes, 0.5 + 0.5, to cross it —
+  // the bugfix for return-route faults that used to be invisible here.)
+  if (best <= 1.0) return {};  // no intersection evidence (Algorithm 1)
+
+  // Among max-weight components prefer links over switches: a faulty link
+  // inflates its two endpoint switches to the same weight, and the link is
   // the more specific verdict. A genuinely faulty switch accumulates more
-  // pairs than any single one of its links.
+  // pairs than any single one of its links. Coverage floor: a genuinely
+  // faulty physical component sits on (nearly) every anomalous path — when
+  // even the best component touches only a minority of the pairs, the
+  // anomaly is not path-shaped (host-scope faults fan out over all rails
+  // and split the vote across ToRs); report no underlay verdict and let
+  // the endpoint-pattern step classify it.
   std::vector<sim::ComponentRef> links;
   std::vector<sim::ComponentRef> switches;
-  for (const auto& [c, n] : counter) {
-    if (n != max_count) continue;
+  for (const auto& [c, t] : tally) {
+    if (t.weight != best) continue;
+    if (t.touched < 2 ||
+        static_cast<double>(t.touched) <
+            0.7 * static_cast<double>(pairs.size())) {
+      continue;
+    }
     (c.kind == sim::ComponentKind::kPhysicalLink ? links : switches)
         .push_back(c);
   }
@@ -264,25 +337,32 @@ std::vector<sim::ComponentRef> Localizer::physical_intersection(
 
 std::vector<LocalizationVote> Localizer::physical_intersection_votes(
     const std::vector<EndpointPair>& pairs) const {
-  std::map<sim::ComponentRef, std::size_t> counter;
-  for (const auto& p : pairs) {
-    const auto path = topo_.route(p.src.rnic, p.dst.rnic);
-    std::set<sim::ComponentRef> seen;
-    for (LinkId l : path.links) {
-      seen.insert({sim::ComponentKind::kPhysicalLink, l.value()});
-    }
-    for (SwitchId s : path.switches) {
-      seen.insert({sim::ComponentKind::kPhysicalSwitch, s.value()});
-    }
-    for (const auto& c : seen) ++counter[c];
-  }
+  return physical_intersection_votes(pairs, {});
+}
+
+std::vector<LocalizationVote> Localizer::physical_intersection_votes(
+    const std::vector<EndpointPair>& pairs,
+    std::span<const PathScopedAnomaly> path_hints) const {
+  const auto tally = tally_paths(pairs, path_hints);
   std::vector<LocalizationVote> votes;
-  for (const auto& [c, n] : counter) {
-    // A count of one is just "the pair's own path", not intersection
-    // evidence — same floor physical_intersection applies.
-    if (n < 2) continue;
-    votes.push_back(LocalizationVote{c, static_cast<double>(n),
+  // A count of one is just "the pair's own path", not intersection
+  // evidence — the same floor physical_intersection applies. Grouped by
+  // source, ComponentRef order within each group; the "intersection" block
+  // is byte-identical to the pre-path-diversity record.
+  for (const auto& [c, t] : tally) {
+    if (t.fwd < 2) continue;
+    votes.push_back(LocalizationVote{c, static_cast<double>(t.fwd),
                                      "intersection"});
+  }
+  for (const auto& [c, t] : tally) {
+    if (t.rev < 2) continue;
+    votes.push_back(LocalizationVote{c, 0.5 * static_cast<double>(t.rev),
+                                     "reverse-path"});
+  }
+  for (const auto& [c, t] : tally) {
+    if (t.path < 2) continue;
+    votes.push_back(LocalizationVote{c, static_cast<double>(t.path),
+                                     "path"});
   }
   return votes;
 }
@@ -420,7 +500,13 @@ Localization Localizer::endpoint_pattern(
 
 Localization Localizer::localize(
     const std::vector<EndpointPair>& anomalous_pairs, SimTime at) {
-  Localization loc = localize_impl(anomalous_pairs, at);
+  return localize(anomalous_pairs, at, {});
+}
+
+Localization Localizer::localize(
+    const std::vector<EndpointPair>& anomalous_pairs, SimTime at,
+    std::span<const PathScopedAnomaly> path_hints) {
+  Localization loc = localize_impl(anomalous_pairs, at, path_hints);
   // Steps with no intermediate tally (overlay, RNIC validation, endpoint
   // pattern) still expose their verdict as unit-weight votes, so the
   // forensic vote record is never empty for a localized case.
@@ -429,6 +515,9 @@ Localization Localizer::localize(
       loc.votes.push_back(
           LocalizationVote{c, 1.0, to_string(loc.method).data()});
     }
+  }
+  for (const auto& v : loc.votes) {
+    if (std::string_view(v.source) == "path") m_path_votes_.inc();
   }
   m_calls_.inc();
   m_method_[static_cast<std::size_t>(loc.method)].inc();
@@ -440,7 +529,8 @@ Localization Localizer::localize(
 }
 
 Localization Localizer::localize_impl(
-    const std::vector<EndpointPair>& anomalous_pairs, SimTime at) {
+    const std::vector<EndpointPair>& anomalous_pairs, SimTime at,
+    std::span<const PathScopedAnomaly> path_hints) {
   Localization loc;
   if (anomalous_pairs.empty()) return loc;
 
@@ -475,8 +565,9 @@ Localization Localizer::localize_impl(
   // Step 2: underlay physical intersection, refined by host-agent
   // traceroutes when several links tie.
   auto refined = refine_with_traceroute_ex(
-      anomalous_pairs, physical_intersection(anomalous_pairs), at);
-  loc.votes = physical_intersection_votes(anomalous_pairs);
+      anomalous_pairs, physical_intersection(anomalous_pairs, path_hints),
+      at);
+  loc.votes = physical_intersection_votes(anomalous_pairs, path_hints);
   loc.votes.insert(loc.votes.end(), refined.votes.begin(),
                    refined.votes.end());
   if (obs_ != nullptr) {

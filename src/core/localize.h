@@ -17,7 +17,9 @@
 //      scope, disambiguated by OVS/host config inspection).
 #pragma once
 
+#include <map>
 #include <optional>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -48,7 +50,9 @@ enum class LocalizationMethod : std::uint8_t {
 [[nodiscard]] std::string_view to_string(LocalizationMethod m) noexcept;
 
 /// One piece of localization evidence: a component some source implicated
-/// and how strongly. Sources: "intersection" (path-vote counts),
+/// and how strongly. Sources: "intersection" (forward-path vote counts),
+/// "reverse-path" (half-weight votes from the pairs' return routes),
+/// "path" (votes scoped to the equal-cost member a sprayed anomaly named),
 /// "traceroute" (prefix-weighted death votes), or the method name for
 /// verdicts whose step produces no intermediate tally (overlay,
 /// RNIC validation, endpoint pattern — weight 1 per culprit). The flight
@@ -72,6 +76,17 @@ struct Localization {
   std::vector<LocalizationVote> votes;
 
   [[nodiscard]] bool found() const noexcept { return !culprits.empty(); }
+};
+
+/// A path-scoped anomaly hint: the detector flagged this pair on one
+/// specific equal-cost member (an `AnomalyEvent` whose `path_id` is not
+/// `kAnyPath`). Hinted pairs vote only on the components of
+/// `route_via(src, dst, path_id)` — the member the evidence actually rode —
+/// instead of the static ECMP selection, which under spray may never have
+/// carried the anomalous probes at all.
+struct PathScopedAnomaly {
+  EndpointPair pair;
+  std::uint32_t path_id = 0;
 };
 
 struct LocalizerConfig {
@@ -122,21 +137,43 @@ class Localizer {
   [[nodiscard]] Localization localize(
       const std::vector<EndpointPair>& anomalous_pairs, SimTime at);
 
+  /// Same pipeline with path-scoped evidence: pairs listed in `path_hints`
+  /// vote only on their hinted equal-cost members' components (spray-aware
+  /// tomography). The 2-arg form is equivalent to an empty hint span.
+  [[nodiscard]] Localization localize(
+      const std::vector<EndpointPair>& anomalous_pairs, SimTime at,
+      std::span<const PathScopedAnomaly> path_hints);
+
   // --- Algorithm 1 building blocks (exposed for unit tests) ---------------
   /// OverlayReachability(L_O): replay the logical chain of one pair.
   [[nodiscard]] OverlayVerdict overlay_reachability(Endpoint src,
                                                     Endpoint dst) const;
 
   /// PhysicalIntersection(L_U): vote links/switches over the pairs' paths.
-  /// Returns the max-count components when any count exceeds one.
+  /// Each unhinted pair contributes weight 1 to every component of its
+  /// forward route and weight 0.5 to components crossed only by its reverse
+  /// route `route(dst, src)` — return traffic rides it, and a return-only
+  /// fault degrades the pair just the same, so reverse components must be
+  /// candidates (at reduced confidence: the forward direction was observed,
+  /// the reverse is inferred). Hinted pairs contribute weight 1 to their
+  /// hinted members' components only. Returns the max-weight components
+  /// when the best weight strictly exceeds one pair's worth of evidence.
   [[nodiscard]] std::vector<sim::ComponentRef> physical_intersection(
       const std::vector<EndpointPair>& pairs) const;
+  [[nodiscard]] std::vector<sim::ComponentRef> physical_intersection(
+      const std::vector<EndpointPair>& pairs,
+      std::span<const PathScopedAnomaly> path_hints) const;
 
-  /// The raw intersection tally behind physical_intersection: every
-  /// component crossed by ≥2 anomalous pairs, weighted by its pair count
-  /// (source "intersection"), in ComponentRef order.
+  /// The raw tally behind physical_intersection, in ComponentRef order per
+  /// source: "intersection" entries (forward crossings, count ≥ 2 —
+  /// byte-identical to the pre-path-diversity record), then "reverse-path"
+  /// entries (0.5 x reverse crossings, ≥ 2 of them), then "path" entries
+  /// (hinted-member crossings, count ≥ 2).
   [[nodiscard]] std::vector<LocalizationVote> physical_intersection_votes(
       const std::vector<EndpointPair>& pairs) const;
+  [[nodiscard]] std::vector<LocalizationVote> physical_intersection_votes(
+      const std::vector<EndpointPair>& pairs,
+      std::span<const PathScopedAnomaly> path_hints) const;
 
   /// Validate the RNICs of the pairs' endpoints: dump OVS vs offloaded flow
   /// tables and return RNICs with inconsistencies.
@@ -161,12 +198,29 @@ class Localizer {
       std::vector<sim::ComponentRef> voted, SimTime at) const;
 
  private:
+  /// Per-component evidence accumulated by tally_paths. `weight` is the
+  /// max-merged decision weight (per pair: 1.0 forward / hinted, 0.5
+  /// reverse-only); `touched` the distinct pairs contributing any of it;
+  /// the remaining fields are the per-source crossing counts behind the
+  /// vote record.
+  struct PathTally {
+    double weight = 0.0;
+    std::size_t touched = 0;
+    std::size_t fwd = 0;
+    std::size_t rev = 0;
+    std::size_t path = 0;
+  };
+  [[nodiscard]] std::map<sim::ComponentRef, PathTally> tally_paths(
+      const std::vector<EndpointPair>& pairs,
+      std::span<const PathScopedAnomaly> path_hints) const;
+
   [[nodiscard]] sim::ComponentRef component_of_overlay_node(
       VPortId node, bool loop) const;
   [[nodiscard]] Localization endpoint_pattern(
       const std::vector<EndpointPair>& pairs, SimTime at);
   [[nodiscard]] Localization localize_impl(
-      const std::vector<EndpointPair>& anomalous_pairs, SimTime at);
+      const std::vector<EndpointPair>& anomalous_pairs, SimTime at,
+      std::span<const PathScopedAnomaly> path_hints);
 
   const topo::Topology& topo_;
   const overlay::OverlayNetwork& overlay_;
@@ -184,6 +238,8 @@ class Localizer {
   obs::Counter m_calls_;
   /// Indexed by LocalizationMethod.
   obs::Counter m_method_[5];
+  /// "path"-source vote records emitted (spray-aware tomography evidence).
+  obs::Counter m_path_votes_;
 };
 
 }  // namespace skh::core

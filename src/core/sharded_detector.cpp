@@ -168,10 +168,10 @@ void ShardedDetector::reserve_pairs(std::size_t pairs) {
 
 std::size_t ShardedDetector::ingest(GlobalHandle h, std::uint64_t seq,
                                     SimTime sent_at, bool delivered,
-                                    double rtt_us,
+                                    double rtt_us, std::uint32_t path_id,
                                     std::vector<AnomalyEvent>& out) {
   return shards_[shard_of_[h]]->ingest(local_of_[h], seq, sent_at, delivered,
-                                       rtt_us, out);
+                                       rtt_us, path_id, out);
 }
 
 std::size_t ShardedDetector::ingest_batch(
@@ -187,7 +187,7 @@ std::size_t ShardedDetector::ingest_batch(
       const BatchItem& it = items[i];
       fired_per_item[i] = static_cast<std::uint32_t>(
           ingest(it.handle, it.seq, it.sent_at, it.delivered, it.rtt_us,
-                 events));
+                 it.path_id, events));
     }
     if (n == 1) {
       shard_items_[0] += items.size();
@@ -241,7 +241,7 @@ std::size_t ShardedDetector::ingest_batch(
         const BatchItem& it = items[i];
         fired.push_back(static_cast<std::uint32_t>(
             det.ingest(local_of_[it.handle], it.seq, it.sent_at, it.delivered,
-                       it.rtt_us, out)));
+                       it.rtt_us, it.path_id, out)));
       }
     });
   }

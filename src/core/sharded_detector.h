@@ -98,6 +98,9 @@ class ShardedDetector {
     SimTime sent_at;
     bool delivered = false;
     double rtt_us = 0.0;
+    /// Equal-cost member the probe rode (see ProbeResult::path_id); feeds
+    /// the per-path sub-series when `DetectorConfig::track_paths` is on.
+    std::uint32_t path_id = 0;
   };
 
   /// See AnomalyDetector::attach_obs. With one shard the context is
@@ -133,10 +136,16 @@ class ShardedDetector {
   void reserve_pairs(std::size_t pairs);
 
   /// Single-observation ingest (tests, small flows). The batch entry point
-  /// below is the campaign hot path.
+  /// below is the campaign hot path. The 7-arg form carries the equal-cost
+  /// member id; the 6-arg form stamps path 0.
+  std::size_t ingest(GlobalHandle h, std::uint64_t seq, SimTime sent_at,
+                     bool delivered, double rtt_us, std::uint32_t path_id,
+                     std::vector<AnomalyEvent>& out);
   std::size_t ingest(GlobalHandle h, std::uint64_t seq, SimTime sent_at,
                      bool delivered, double rtt_us,
-                     std::vector<AnomalyEvent>& out);
+                     std::vector<AnomalyEvent>& out) {
+    return ingest(h, seq, sent_at, delivered, rtt_us, 0, out);
+  }
 
   /// Ingest one probe round. Items are partitioned by shard (round order
   /// preserved within each shard) and ingested with one pool job per

@@ -20,6 +20,17 @@ std::string pair_label(const EndpointPair& p) {
   return buf;
 }
 
+// Config coupling: a non-static routing mode only makes sense with per-path
+// sub-series in the detector (the member-scoped evidence the localizer's
+// path votes consume), so force track_paths on before anything is built
+// from the config.
+SkeletonHunterConfig effective_config(SkeletonHunterConfig cfg) {
+  if (cfg.engine.routing_mode != topo::RoutingMode::kStaticEcmp) {
+    cfg.detector.track_paths = true;
+  }
+  return cfg;
+}
+
 }  // namespace
 
 SkeletonHunter::SkeletonHunter(const topo::Topology& topo,
@@ -29,19 +40,20 @@ SkeletonHunter::SkeletonHunter(const topo::Topology& topo,
                                const sim::FaultInjector& faults,
                                RngStream rng, SkeletonHunterConfig cfg)
     : topo_(topo), overlay_(overlay), orch_(orchestrator), events_(events),
-      cfg_(cfg),
-      engine_(topo, overlay, faults, rng.fork("engine")),
-      shard_pool_(cfg.analyzer_shards > 1
+      cfg_(effective_config(std::move(cfg))),
+      engine_(topo, overlay, faults, rng.fork("engine"), cfg_.engine),
+      shard_pool_(cfg_.analyzer_shards > 1
                       ? std::make_unique<common::ThreadPool>(std::min(
-                            cfg.analyzer_shards,
+                            cfg_.analyzer_shards,
                             std::max<std::size_t>(
                                 1, std::thread::hardware_concurrency())))
                       : nullptr),
-      detector_(cfg.detector, std::max<std::size_t>(1, cfg.analyzer_shards),
+      detector_(cfg_.detector,
+                std::max<std::size_t>(1, cfg_.analyzer_shards),
                 shard_pool_.get()),
       oracle_(faults, rng.fork("oracle")),
-      localizer_(topo, overlay, oracle_, faults, cfg.localizer),
-      telemetry_(cfg.telemetry, rng.fork("telemetry")) {
+      localizer_(topo, overlay, oracle_, faults, cfg_.localizer),
+      telemetry_(cfg_.telemetry, rng.fork("telemetry")) {
   // cfg_ is a by-value member, so its telemetry plan outlives the localizer.
   localizer_.attach_telemetry(&cfg_.telemetry,
                               rng.fork("traceroute-telemetry"));
@@ -437,7 +449,7 @@ void SkeletonHunter::tick() {
       collector_.ingest(result);
       batch_.push_back(ShardedDetector::BatchItem{
           detector_.handle_of(result.pair), result.seq, result.sent_at,
-          result.delivered, result.rtt_us});
+          result.delivered, result.rtt_us, result.path_id});
     }
     detector_.ingest_batch(batch_, batch_events_, batch_fired_);
     drain_windows();
@@ -616,9 +628,30 @@ void SkeletonHunter::close_case(FailureCase& c) {
     return;
   }
   const std::vector<EndpointPair> pairs(c.pairs.begin(), c.pairs.end());
+  // Path-scoped evidence: events the detector fired on one specific
+  // equal-cost member (per-path sub-series under spray/adaptive routing)
+  // become hints that scope their pair's tomography vote to that member's
+  // components. Sorted + deduped so the hint set — like the event set it
+  // derives from — is shard-count-invariant.
+  std::vector<PathScopedAnomaly> hints;
+  for (const auto& e : c.events) {
+    if (e.path_id == AnomalyEvent::kAnyPath) continue;
+    hints.push_back(PathScopedAnomaly{e.pair, e.path_id});
+  }
+  std::sort(hints.begin(), hints.end(),
+            [](const PathScopedAnomaly& a, const PathScopedAnomaly& b) {
+              if (a.pair != b.pair) return a.pair < b.pair;
+              return a.path_id < b.path_id;
+            });
+  hints.erase(std::unique(hints.begin(), hints.end(),
+                          [](const PathScopedAnomaly& a,
+                             const PathScopedAnomaly& b) {
+                            return a.pair == b.pair && a.path_id == b.path_id;
+                          }),
+              hints.end());
   // Localize against the state at the first event: diagnostics (switch
   // logs, config checks) are inspected while the incident is live.
-  c.localization = localizer_.localize(pairs, c.first_event);
+  c.localization = localizer_.localize(pairs, c.first_event, hints);
   // Stages 5 of the latency plane: first event to verdict, and the
   // end-to-end ingest-to-verdict span measured from the *opening* of the
   // first anomalous window (detected_at stamps its close).

@@ -43,6 +43,12 @@ namespace skh::core {
 
 struct SkeletonHunterConfig {
   SimTime probe_interval = SimTime::seconds(1);
+  /// Probe-engine knobs, including the routing mode (static ECMP / adaptive
+  /// / packet spray). A non-static mode forces `detector.track_paths` on —
+  /// path diversity without per-path sub-series would just dilute the
+  /// pair-level windows and hide exactly the gray members spray exists to
+  /// expose.
+  probe::EngineConfig engine{};
   DetectorConfig detector{};
   /// Analyzer shards the pair space is partitioned across (consistent-hash
   /// on stable global pair id; see core/sharded_detector.h). Verdicts are

@@ -1,5 +1,6 @@
 #include "probe/engine.h"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_set>
 
@@ -20,6 +21,7 @@ void ProbeEngine::attach_obs(obs::Context* ctx) {
     m_drop_overlay_ = {};
     m_drop_unreachable_ = {};
     m_drop_loss_ = {};
+    m_paths_used_ = {};
     m_rtt_us_ = {};
     return;
   }
@@ -30,6 +32,7 @@ void ProbeEngine::attach_obs(obs::Context* ctx) {
   m_drop_unreachable_ =
       r.bind_counter(r.counter_id("probe.dropped.unreachable"));
   m_drop_loss_ = r.bind_counter(r.counter_id("probe.dropped.loss"));
+  m_paths_used_ = r.bind_counter(r.counter_id("probe.paths_used"));
   static constexpr double kRttBoundsUs[] = {10.0,  20.0,  50.0, 100.0,
                                             200.0, 500.0, 1000.0};
   m_rtt_us_ = r.bind_histogram(r.histogram_id("probe.rtt_us", kRttBoundsUs));
@@ -61,13 +64,11 @@ void ProbeEngine::accumulate(sim::ComponentRef ref, SimTime t,
   }
 }
 
-ProbeEngine::PathDegradation ProbeEngine::degradation(Endpoint src,
-                                                      Endpoint dst,
-                                                      SimTime t) const {
+ProbeEngine::PathDegradation ProbeEngine::degradation(
+    Endpoint src, Endpoint dst, const topo::Path& path, SimTime t) const {
   PathDegradation d;
   const HostId src_host = topo_.host_of(src.rnic);
   const HostId dst_host = topo_.host_of(dst.rnic);
-  const auto path = topo_.route(src.rnic, dst.rnic);
   for (LinkId l : path.links) {
     accumulate({sim::ComponentKind::kPhysicalLink, l.value()}, t, d);
   }
@@ -103,11 +104,92 @@ double ProbeEngine::baseline_rtt_us(Endpoint src, Endpoint dst) const {
   return 2.0 * (path.one_way_latency_us + cfg_.host_stack_us);
 }
 
+bool ProbeEngine::path_faulted(const topo::Path& path, SimTime t) const {
+  const auto hit = [&](sim::ComponentRef ref) {
+    for (const sim::Fault* f : faults_.active_on(ref, t)) {
+      if (sim::issue_info(f->type).probe_visible) return true;
+    }
+    return false;
+  };
+  for (LinkId l : path.links) {
+    if (hit({sim::ComponentKind::kPhysicalLink, l.value()})) return true;
+  }
+  for (SwitchId s : path.switches) {
+    if (hit({sim::ComponentKind::kPhysicalSwitch, s.value()})) return true;
+  }
+  return false;
+}
+
+std::uint32_t ProbeEngine::select_path(RnicId src, RnicId dst, SimTime t) {
+  switch (cfg_.routing_mode) {
+    case topo::RoutingMode::kStaticEcmp:
+      return topo_.static_path_id(src, dst);
+    case topo::RoutingMode::kSpray: {
+      const std::uint32_t n = topo_.num_paths(src, dst);
+      if (n <= 1) return 0;
+      const std::uint32_t ways =
+          std::min(std::max<std::uint32_t>(cfg_.spray_ways, 1), n);
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(src.value()) << 32) | dst.value();
+      // Per-packet member choice: the production ECMP hash re-salted by a
+      // per-flow packet counter. Deterministic, and spread evenly over an
+      // evenly-subsampled `ways` of the n members.
+      const std::uint32_t pkt = spray_counter_[key]++;
+      const std::uint32_t member = static_cast<std::uint32_t>(
+          topo::ecmp_hash(src.value(), dst.value(), 0x53505259u + pkt) %
+          ways);
+      return member * n / ways;
+    }
+    case topo::RoutingMode::kAdaptive: {
+      const std::uint32_t n = topo_.num_paths(src, dst);
+      if (n <= 1) return 0;
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(src.value()) << 32) | dst.value();
+      auto [it, fresh] =
+          adaptive_path_.try_emplace(key, topo_.static_path_id(src, dst));
+      std::uint32_t cur = it->second;
+      // Re-hash on a fault signal: walk to the next clean member. When every
+      // member is degraded the flow stays put (moving cannot help).
+      if (path_faulted(topo_.route_via(src, dst, cur), t)) {
+        for (std::uint32_t step = 1; step < n; ++step) {
+          const std::uint32_t cand = (cur + step) % n;
+          if (!path_faulted(topo_.route_via(src, dst, cand), t)) {
+            cur = cand;
+            break;
+          }
+        }
+        it->second = cur;
+      }
+      return cur;
+    }
+  }
+  return 0;
+}
+
+void ProbeEngine::note_path_used(std::uint64_t flow_key,
+                                 std::uint32_t path_id) {
+  // "probe.paths_used" counts distinct (flow, member) combinations — 1x the
+  // flow count under static routing, up to spray_ways-x under spray.
+  std::uint64_t& mask = paths_seen_[flow_key];
+  const std::uint64_t bit = 1ull << (path_id & 63u);
+  if ((mask & bit) == 0) {
+    mask |= bit;
+    m_paths_used_.inc();
+  }
+}
+
 ProbeResult ProbeEngine::probe(Endpoint src, Endpoint dst, SimTime t) {
   ProbeResult res;
   res.pair = EndpointPair{src, dst};
   res.sent_at = t;
+  res.path_id = select_path(src.rnic, dst.rnic, t);
   m_issued_.inc();
+  if (obs_ != nullptr) {
+    note_path_used(
+        (static_cast<std::uint64_t>(src.rnic.value()) << 32) |
+            dst.rnic.value(),
+        res.path_id);
+  }
 
   if (!overlay_reachable(src, dst)) {  // dropped in the overlay
     m_drop_overlay_.inc();
@@ -118,7 +200,8 @@ ProbeResult ProbeEngine::probe(Endpoint src, Endpoint dst, SimTime t) {
     return res;
   }
 
-  const PathDegradation d = degradation(src, dst, t);
+  const topo::Path path = topo_.route_via(src.rnic, dst.rnic, res.path_id);
+  const PathDegradation d = degradation(src, dst, path, t);
   if (d.unreachable) {
     m_drop_unreachable_.inc();
     if (obs_ != nullptr) {
@@ -136,7 +219,11 @@ ProbeResult ProbeEngine::probe(Endpoint src, Endpoint dst, SimTime t) {
     return res;
   }
 
-  const double base = baseline_rtt_us(src, dst) + d.extra_latency_us;
+  // All equal-cost members share the same hop counts, so the healthy
+  // baseline is mode-independent; only the degradation differs per member.
+  const double base =
+      2.0 * (path.one_way_latency_us + cfg_.host_stack_us) +
+      d.extra_latency_us;
   res.rtt_us = base * std::exp(rng_.normal(0.0, cfg_.jitter_sigma));
   res.delivered = true;
   m_delivered_.inc();

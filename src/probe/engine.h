@@ -13,6 +13,8 @@
 //   5. returns an RTT with multiplicative log-normal jitter, or a drop.
 #pragma once
 
+#include <unordered_map>
+
 #include "common/rng.h"
 #include "obs/context.h"
 #include "overlay/overlay.h"
@@ -42,6 +44,15 @@ struct EngineConfig {
   std::size_t retry_failure_threshold = 0;
   SimTime retry_backoff_base = SimTime::seconds(5);  ///< first backoff delay
   SimTime retry_backoff_max = SimTime::minutes(2);   ///< backoff ceiling
+
+  // --- routing mode (path diversity) ---------------------------------------
+  // How a flow maps probes onto its equal-cost members (see
+  // topo::RoutingMode). kStaticEcmp keeps the historical single-path
+  // behavior and draws the exact same RNG stream as before the knob
+  // existed, so pre-existing seeds replay bit-identically. Spray and
+  // adaptive selection are hash-driven and consume no RNG either.
+  topo::RoutingMode routing_mode = topo::RoutingMode::kStaticEcmp;
+  std::uint32_t spray_ways = 8;  ///< max members a sprayed flow fans over
 };
 
 class ProbeEngine {
@@ -75,8 +86,16 @@ class ProbeEngine {
   /// True iff the overlay forwarding chain from src to dst completes.
   [[nodiscard]] bool overlay_reachable(Endpoint src, Endpoint dst) const;
   [[nodiscard]] PathDegradation degradation(Endpoint src, Endpoint dst,
+                                            const topo::Path& path,
                                             SimTime t) const;
   void accumulate(sim::ComponentRef ref, SimTime t, PathDegradation& d) const;
+
+  /// Pick the equal-cost member this probe rides, per cfg_.routing_mode.
+  /// Hash/state driven — never draws from rng_.
+  [[nodiscard]] std::uint32_t select_path(RnicId src, RnicId dst, SimTime t);
+  /// Any active probe-visible fault on the path's links or switches?
+  [[nodiscard]] bool path_faulted(const topo::Path& path, SimTime t) const;
+  void note_path_used(std::uint64_t flow_key, std::uint32_t path_id);
 
   const topo::Topology& topo_;
   const overlay::OverlayNetwork& overlay_;
@@ -84,12 +103,21 @@ class ProbeEngine {
   RngStream rng_;
   EngineConfig cfg_;
 
+  // Per-flow routing state, keyed by packed (src rnic, dst rnic). Spray
+  // keeps a packet counter, adaptive the currently pinned member. Neither
+  // is part of checkpoints (the engine is a sidecar that keeps running
+  // through analyzer blackouts), and neither affects the RNG stream.
+  std::unordered_map<std::uint64_t, std::uint32_t> spray_counter_;
+  std::unordered_map<std::uint64_t, std::uint32_t> adaptive_path_;
+  std::unordered_map<std::uint64_t, std::uint64_t> paths_seen_;
+
   obs::Context* obs_ = nullptr;
   obs::Counter m_issued_;
   obs::Counter m_delivered_;
   obs::Counter m_drop_overlay_;
   obs::Counter m_drop_unreachable_;
   obs::Counter m_drop_loss_;
+  obs::Counter m_paths_used_;
   obs::Histogram m_rtt_us_;
 };
 

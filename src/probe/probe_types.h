@@ -19,6 +19,11 @@ struct ProbeResult {
   /// agent; lets the analyzer reject duplicated and reordered deliveries
   /// from a gray measurement plane. 0 = unsequenced (raw engine probes).
   std::uint64_t seq = 0;
+  /// Which equal-cost member the probe rode: an index into the pair's
+  /// `topo::Topology::equal_cost_paths(src, dst)` set (stable by the path-id
+  /// contract). Single-path regimes and static ECMP stamp the selected
+  /// member; spray/adaptive vary it per packet/flow.
+  std::uint32_t path_id = 0;
 };
 
 /// Full-mesh ping list: every ordered (src, dst) pair of distinct

@@ -219,6 +219,26 @@ bool Fault::degrading_at(SimTime t) const noexcept {
   return (phase % 2) == 1;
 }
 
+GrayMemberPlan make_gray_member_link(const topo::Topology& topo, RnicId src,
+                                     RnicId dst, std::uint32_t member,
+                                     double loss_probability,
+                                     double extra_latency_us) {
+  const topo::Path path = topo.route_via(src, dst, member);  // checks member
+  // links = [uplink(src), switch-switch hops..., uplink(dst)]; the first
+  // switch-switch hop (ToR -> spine) is unique to this equal-cost member,
+  // whereas the uplinks are shared by every member of the group.
+  if (path.intra_host || path.links.size() < 3) {
+    throw std::invalid_argument(
+        "make_gray_member_link: pair has no member-distinct links");
+  }
+  GrayMemberPlan plan;
+  plan.target = {ComponentKind::kPhysicalLink, path.links[1].value()};
+  plan.path_id = member;
+  plan.effect.loss_probability = loss_probability;
+  plan.effect.extra_latency_us = extra_latency_us;
+  return plan;
+}
+
 std::uint32_t FaultInjector::inject(IssueType type, ComponentRef target,
                                     SimTime start, SimTime end) {
   return inject(type, target, start, end, default_effect(type));

@@ -16,6 +16,7 @@
 #include "common/ids.h"
 #include "common/rng.h"
 #include "common/time.h"
+#include "topo/topology.h"
 
 namespace skh::sim {
 
@@ -135,6 +136,31 @@ struct Fault {
   /// Whether the degradation applies at `t` (accounts for flapping phase).
   [[nodiscard]] bool degrading_at(SimTime t) const noexcept;
 };
+
+// --- gray ECMP member faults -----------------------------------------------
+//
+// The hardest production gray case (SprayCheck): one member of an equal-cost
+// group silently sheds packets while its siblings stay clean. Under static
+// ECMP a flow either hashes onto the sick member (fully seen) or never
+// touches it (structurally invisible); only spray/adaptive routing with
+// per-path sub-series accounting can both see it AND pin it to the member.
+
+/// A gray fault plan aimed at exactly one equal-cost member link.
+struct GrayMemberPlan {
+  ComponentRef target;      ///< the member's first switch-switch link
+  std::uint32_t path_id = 0;  ///< which equal-cost member it sits on
+  FaultEffect effect;       ///< partial loss, no latency tell, no flap
+};
+
+/// Pick the `member`-th equal-cost path of (src, dst) and target its first
+/// switch-to-switch link (the ToR->spine hop that is unique to that member)
+/// with a partial-loss gray effect. Inject via e.g.
+/// `faults.inject(IssueType::kCrcError, plan.target, t0, t1, plan.effect)`.
+/// Throws std::out_of_range when `member >= num_paths(src, dst)` and
+/// std::invalid_argument for intra-host/same-ToR pairs (no member links).
+[[nodiscard]] GrayMemberPlan make_gray_member_link(
+    const topo::Topology& topo, RnicId src, RnicId dst, std::uint32_t member,
+    double loss_probability = 0.25, double extra_latency_us = 0.0);
 
 // --- mid-run churn scenarios -----------------------------------------------
 //

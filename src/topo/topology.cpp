@@ -6,9 +6,15 @@
 
 namespace skh::topo {
 
-namespace {
+const char* to_string(RoutingMode m) noexcept {
+  switch (m) {
+    case RoutingMode::kStaticEcmp: return "static-ecmp";
+    case RoutingMode::kAdaptive: return "adaptive";
+    case RoutingMode::kSpray: return "spray";
+  }
+  return "?";
+}
 
-/// Deterministic pair hash for ECMP selection.
 std::uint64_t ecmp_hash(std::uint32_t a, std::uint32_t b,
                         std::uint32_t salt) noexcept {
   std::uint64_t z = (static_cast<std::uint64_t>(a) << 32) | b;
@@ -17,8 +23,6 @@ std::uint64_t ecmp_hash(std::uint32_t a, std::uint32_t b,
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
 }
-
-}  // namespace
 
 Topology Topology::build(const TopologyConfig& cfg) {
   if (cfg.num_hosts == 0 || cfg.rails_per_host == 0 ||
@@ -96,6 +100,11 @@ Topology Topology::build(const TopologyConfig& cfg) {
       t.spine_core_links_[sp][c] = id;
     }
   }
+  // Dense spine-index map: O(1) adjacency resolution in switch_link.
+  t.spine_dense_.assign(t.switches_.size(), kNoDense);
+  for (std::size_t sp = 0; sp < t.spines_.size(); ++sp) {
+    t.spine_dense_[t.spines_[sp].value()] = static_cast<std::uint32_t>(sp);
+  }
   return t;
 }
 
@@ -166,7 +175,7 @@ Path Topology::make_path(RnicId src, RnicId dst,
   p.switches.assign(via.begin(), via.end());
   p.links.push_back(uplink_of(src));
   for (std::size_t i = 0; i + 1 < via.size(); ++i) {
-    p.links.push_back(find_switch_link(via[i], via[i + 1]));
+    p.links.push_back(switch_link(via[i], via[i + 1]));
   }
   p.links.push_back(uplink_of(dst));
   p.one_way_latency_us =
@@ -175,7 +184,7 @@ Path Topology::make_path(RnicId src, RnicId dst,
   return p;
 }
 
-LinkId Topology::find_switch_link(SwitchId a, SwitchId b) const {
+LinkId Topology::switch_link(SwitchId a, SwitchId b) const {
   // Normalize to (lower tier first).
   const auto& sa = switch_at(a);
   const auto& sb = switch_at(b);
@@ -192,19 +201,55 @@ LinkId Topology::find_switch_link(SwitchId a, SwitchId b) const {
       if (link_at(l).upper == upper) return l;
     }
   } else if (sl.kind == SwitchKind::kSpine) {
-    for (std::size_t sp = 0; sp < spines_.size(); ++sp) {
-      if (spines_[sp] != lower) continue;
+    const std::uint32_t sp = spine_dense_[lower.value()];
+    if (sp != kNoDense) {
       for (LinkId l : spine_core_links_[sp]) {
         if (link_at(l).upper == upper) return l;
       }
     }
   }
-  throw std::logic_error("Topology::find_switch_link: no such adjacency");
+  throw std::logic_error("Topology::switch_link: no such adjacency");
 }
 
-Path Topology::route(RnicId src, RnicId dst) const {
+std::uint32_t Topology::num_paths(RnicId src, RnicId dst) const {
   const HostId hs = host_of(src);
   const HostId hd = host_of(dst);
+  if (hs == hd) return 1;
+  const std::uint32_t rs = rail_of(src);
+  const std::uint32_t rd = rail_of(dst);
+  if (rs == rd) {
+    return segment_of(hs) == segment_of(hd) ? 1 : cfg_.spines_per_rail;
+  }
+  return cfg_.spines_per_rail * cfg_.spines_per_rail * cfg_.num_cores;
+}
+
+std::uint32_t Topology::static_path_id(RnicId src, RnicId dst) const {
+  const HostId hs = host_of(src);
+  const HostId hd = host_of(dst);
+  if (hs == hd) return 0;
+  const std::uint32_t rs = rail_of(src);
+  const std::uint32_t rd = rail_of(dst);
+  if (rs == rd) {
+    if (segment_of(hs) == segment_of(hd)) return 0;
+    return static_cast<std::uint32_t>(
+        ecmp_hash(src.value(), dst.value(), 1) % cfg_.spines_per_rail);
+  }
+  const std::uint32_t s1 = static_cast<std::uint32_t>(
+      ecmp_hash(src.value(), dst.value(), 2) % cfg_.spines_per_rail);
+  const std::uint32_t s2 = static_cast<std::uint32_t>(
+      ecmp_hash(src.value(), dst.value(), 3) % cfg_.spines_per_rail);
+  const std::uint32_t c = static_cast<std::uint32_t>(
+      ecmp_hash(src.value(), dst.value(), 4) % cfg_.num_cores);
+  return (s1 * cfg_.num_cores + c) * cfg_.spines_per_rail + s2;
+}
+
+Path Topology::route_via(RnicId src, RnicId dst,
+                         std::uint32_t path_id) const {
+  const HostId hs = host_of(src);
+  const HostId hd = host_of(dst);
+  if (path_id >= num_paths(src, dst)) {
+    throw std::out_of_range("Topology::route_via: bad path id");
+  }
   if (hs == hd) {
     Path p;
     p.intra_host = true;
@@ -223,21 +268,16 @@ Path Topology::route(RnicId src, RnicId dst) const {
     return make_path(src, dst, via);
   }
   if (rs == rd) {
-    // In-rail across segments: ToR -> spine (ECMP) -> ToR.
-    const std::uint32_t s = static_cast<std::uint32_t>(
-        ecmp_hash(src.value(), dst.value(), 1) % cfg_.spines_per_rail);
+    // In-rail across segments: ToR -> spine member `path_id` -> ToR.
     const SwitchId via[] = {tor_at(ss, rs),
-                            spines_[rs * cfg_.spines_per_rail + s],
+                            spines_[rs * cfg_.spines_per_rail + path_id],
                             tor_at(sd, rd)};
     return make_path(src, dst, via);
   }
-  // Cross-rail: ToR -> spine(rail_s) -> core (ECMP) -> spine(rail_d) -> ToR.
-  const std::uint32_t s1 = static_cast<std::uint32_t>(
-      ecmp_hash(src.value(), dst.value(), 2) % cfg_.spines_per_rail);
-  const std::uint32_t s2 = static_cast<std::uint32_t>(
-      ecmp_hash(src.value(), dst.value(), 3) % cfg_.spines_per_rail);
-  const std::uint32_t c = static_cast<std::uint32_t>(
-      ecmp_hash(src.value(), dst.value(), 4) % cfg_.num_cores);
+  // Cross-rail: decompose (s1 * num_cores + c) * spines_per_rail + s2.
+  const std::uint32_t s2 = path_id % cfg_.spines_per_rail;
+  const std::uint32_t c = (path_id / cfg_.spines_per_rail) % cfg_.num_cores;
+  const std::uint32_t s1 = path_id / (cfg_.spines_per_rail * cfg_.num_cores);
   const SwitchId via[] = {tor_at(ss, rs),
                           spines_[rs * cfg_.spines_per_rail + s1], cores_[c],
                           spines_[rd * cfg_.spines_per_rail + s2],
@@ -245,44 +285,18 @@ Path Topology::route(RnicId src, RnicId dst) const {
   return make_path(src, dst, via);
 }
 
-std::vector<Path> Topology::equal_cost_paths(RnicId src, RnicId dst) const {
-  const HostId hs = host_of(src);
-  const HostId hd = host_of(dst);
-  std::vector<Path> out;
-  if (hs == hd) {
-    out.push_back(route(src, dst));
-    return out;
-  }
-  const std::uint32_t rs = rail_of(src);
-  const std::uint32_t rd = rail_of(dst);
-  const std::uint32_t ss = segment_of(hs);
-  const std::uint32_t sd = segment_of(hd);
+Path Topology::route(RnicId src, RnicId dst) const {
+  return route_via(src, dst, static_path_id(src, dst));
+}
 
-  if (rs == rd && ss == sd) {
-    const SwitchId via[] = {tor_at(ss, rs)};
-    out.push_back(make_path(src, dst, via));
-    return out;
-  }
-  if (rs == rd) {
-    for (std::uint32_t s = 0; s < cfg_.spines_per_rail; ++s) {
-      const SwitchId via[] = {tor_at(ss, rs),
-                              spines_[rs * cfg_.spines_per_rail + s],
-                              tor_at(sd, rd)};
-      out.push_back(make_path(src, dst, via));
-    }
-    return out;
-  }
-  for (std::uint32_t s1 = 0; s1 < cfg_.spines_per_rail; ++s1) {
-    for (std::uint32_t c = 0; c < cfg_.num_cores; ++c) {
-      for (std::uint32_t s2 = 0; s2 < cfg_.spines_per_rail; ++s2) {
-        const SwitchId via[] = {tor_at(ss, rs),
-                                spines_[rs * cfg_.spines_per_rail + s1],
-                                cores_[c],
-                                spines_[rd * cfg_.spines_per_rail + s2],
-                                tor_at(sd, rd)};
-        out.push_back(make_path(src, dst, via));
-      }
-    }
+std::vector<Path> Topology::equal_cost_paths(RnicId src, RnicId dst) const {
+  // Enumerated strictly in path-id order, so index i here IS path id i —
+  // the stability contract the detector and localizer rely on.
+  const std::uint32_t n = num_paths(src, dst);
+  std::vector<Path> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out.push_back(route_via(src, dst, i));
   }
   return out;
 }

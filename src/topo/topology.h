@@ -32,6 +32,29 @@ struct TopologyConfig {
   double intra_host_latency_us = 1.0; ///< NVLink/PCIe hop
 };
 
+/// How a flow maps probes onto its equal-cost path set.
+///
+///  - kStaticEcmp: the classic five-tuple hash — every probe of a pair rides
+///    the single `route()` member forever (production default, and the mode
+///    all pre-existing seeds replay under).
+///  - kAdaptive: per-flow re-hash on fault signals — a flow sticks to its
+///    current member until that member crosses a degraded link/switch, then
+///    deterministically walks to the next clean member.
+///  - kSpray: per-packet spray — successive probes of a flow fan over up to
+///    `spray_ways` members of `equal_cost_paths()`, chosen by a deterministic
+///    per-packet hash (no RNG draws, so the delivery/jitter streams are
+///    unchanged versus static routing).
+enum class RoutingMode : std::uint8_t { kStaticEcmp, kAdaptive, kSpray };
+
+[[nodiscard]] const char* to_string(RoutingMode m) noexcept;
+
+/// Deterministic pair hash used for ECMP member selection (splitmix-style
+/// avalanche; asymmetric in (a, b), mirroring five-tuple ECMP). Exposed so
+/// the probe engine's spray/adaptive selectors and the routing property
+/// tests share the exact production hash.
+[[nodiscard]] std::uint64_t ecmp_hash(std::uint32_t a, std::uint32_t b,
+                                      std::uint32_t salt) noexcept;
+
 enum class SwitchKind : std::uint8_t { kTor, kSpine, kCore };
 
 struct Switch {
@@ -94,9 +117,36 @@ class Topology {
   /// The uplink (host-to-ToR) link of an RNIC.
   [[nodiscard]] LinkId uplink_of(RnicId rnic) const;
 
+  /// The physical link joining two directly adjacent switches (ToR-spine or
+  /// spine-core). Throws std::logic_error when no such adjacency exists.
+  [[nodiscard]] LinkId switch_link(SwitchId a, SwitchId b) const;
+
   // --- routing ------------------------------------------------------------
+  // Path-id stability contract: for a given (src, dst) ordered pair,
+  // `equal_cost_paths(src, dst)[i] == route_via(src, dst, i)` for every
+  // i < num_paths(src, dst), and the index layout is fixed by construction:
+  // in-rail paths are indexed by spine member s, cross-rail paths by
+  // (s1 * num_cores + c) * spines_per_rail + s2. Path ids are therefore
+  // stable across runs, shards, and threads — the detector's per-path
+  // sub-series and the localizer's path-scoped votes key on them directly.
+
   /// Deterministic ECMP-selected path from src to dst (the "traceroute").
+  /// Identical to `route_via(src, dst, static_path_id(src, dst))`.
   [[nodiscard]] Path route(RnicId src, RnicId dst) const;
+
+  /// Number of equal-cost members between the pair: 1 (intra-host and
+  /// same-ToR), spines_per_rail (in-rail), spines_per_rail^2 * num_cores
+  /// (cross-rail).
+  [[nodiscard]] std::uint32_t num_paths(RnicId src, RnicId dst) const;
+
+  /// The equal-cost member the static five-tuple hash selects — the index of
+  /// `route(src, dst)` within `equal_cost_paths(src, dst)`.
+  [[nodiscard]] std::uint32_t static_path_id(RnicId src, RnicId dst) const;
+
+  /// Materialize the path at `path_id` in equal_cost_paths order without
+  /// enumerating the whole set. Throws std::out_of_range on a bad index.
+  [[nodiscard]] Path route_via(RnicId src, RnicId dst,
+                               std::uint32_t path_id) const;
 
   /// All equal-cost paths between the pair (bounded fan-out; used by the
   /// tomography analysis to reason about ECMP coverage).
@@ -108,7 +158,6 @@ class Topology {
 
   [[nodiscard]] Path make_path(RnicId src, RnicId dst,
                                std::span<const SwitchId> via) const;
-  [[nodiscard]] LinkId find_switch_link(SwitchId a, SwitchId b) const;
 
   TopologyConfig cfg_;
   std::vector<Switch> switches_;
@@ -121,6 +170,11 @@ class Topology {
   std::vector<std::vector<LinkId>> spine_core_links_; // [spine dense idx][core]
   std::vector<SwitchId> spines_;  // [rail * spines_per_rail + s]
   std::vector<SwitchId> cores_;
+  // SwitchId -> dense spine index (index into spines_/spine_core_links_),
+  // built once so switch_link resolves spine adjacencies without the old
+  // O(spines) scan. kNoDense for non-spine switches.
+  static constexpr std::uint32_t kNoDense = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> spine_dense_;  // [SwitchId.value()]
 };
 
 }  // namespace skh::topo

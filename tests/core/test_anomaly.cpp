@@ -711,6 +711,145 @@ TEST(AnomalyChurn, SnapshotCarriesParkedStateBitIdentically) {
   EXPECT_EQ(restored.pair_count(), 2U);
 }
 
+TEST(AnomalyPaths, OffByDefaultAndPairEventsStayPathAgnostic) {
+  // track_paths defaults off: path ids fed through ingest are ignored, no
+  // path-scoped events appear, and whole-pair verdicts carry kAnyPath.
+  AnomalyDetector det;
+  EXPECT_FALSE(det.config().track_paths);
+  const auto h = det.handle_of(pair());
+  std::vector<AnomalyEvent> all;
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 35; ++i) {
+    // 20% loss, round-robin over 4 "members" the detector must not track.
+    (void)det.ingest(h, ++seq, SimTime::seconds(i), i % 5 != 0, 16.0,
+                     static_cast<std::uint32_t>(i % 4), all);
+  }
+  ASSERT_FALSE(all.empty());
+  for (const auto& e : all) {
+    EXPECT_EQ(e.path_id, AnomalyEvent::kAnyPath);
+  }
+}
+
+TEST(AnomalyPaths, GrayMemberFiresPathScopedLossOnly) {
+  // The SprayCheck regime: one of 8 sprayed members drops 25% while the
+  // pair-level rate (~3%) stays under loss_rate_threshold. Only the
+  // differential per-member rule may fire, and it must name the member.
+  DetectorConfig cfg;
+  cfg.track_paths = true;
+  AnomalyDetector det(cfg);
+  const auto h = det.handle_of(pair());
+  std::vector<AnomalyEvent> all;
+  std::uint64_t seq = 0;
+  int member2_count = 0;
+  for (int i = 0; i < 480; ++i) {
+    const std::uint32_t member = static_cast<std::uint32_t>(i % 8);
+    bool delivered = true;
+    if (member == 2 && (member2_count++ % 4) == 0) delivered = false;
+    (void)det.ingest(h, ++seq, SimTime::seconds(i), delivered, 16.0, member,
+                     all);
+  }
+  const auto tail = det.flush(SimTime::seconds(480));
+  all.insert(all.end(), tail.begin(), tail.end());
+  ASSERT_FALSE(all.empty());
+  bool member_loss = false;
+  for (const auto& e : all) {
+    // No pair-level alarm: the whole point of the gray member is that the
+    // aggregate stays under every whole-pair threshold.
+    EXPECT_NE(e.path_id, AnomalyEvent::kAnyPath);
+    if (e.kind == AnomalyKind::kPacketLoss) {
+      EXPECT_EQ(e.path_id, 2u);
+      EXPECT_GE(e.score, det.config().loss_rate_threshold);
+      member_loss = true;
+    }
+  }
+  EXPECT_TRUE(member_loss);
+}
+
+TEST(AnomalyPaths, SlowMemberFiresPathScopedLatencyShift) {
+  DetectorConfig cfg;
+  cfg.track_paths = true;
+  AnomalyDetector det(cfg);
+  const auto h = det.handle_of(pair());
+  std::vector<AnomalyEvent> all;
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 240; ++i) {
+    const std::uint32_t member = static_cast<std::uint32_t>(i % 4);
+    const double rtt = member == 1 ? 24.0 : 16.0;  // one member 1.5x slower
+    (void)det.ingest(h, ++seq, SimTime::seconds(i), true, rtt, member, all);
+  }
+  bool member_latency = false;
+  for (const auto& e : all) {
+    if (e.kind == AnomalyKind::kLatencyShortTerm &&
+        e.path_id != AnomalyEvent::kAnyPath) {
+      EXPECT_EQ(e.path_id, 1u);
+      EXPECT_NEAR(e.score, 1.5, 0.05);  // mean vs pooled-sibling mean
+      member_latency = true;
+    }
+  }
+  EXPECT_TRUE(member_latency);
+}
+
+TEST(AnomalyPaths, SnapshotAndMigrationCarryPathAccumulators) {
+  // Path accumulators are analysis state: a restore (or an extract/adopt
+  // shard rebalance) mid-evidence must reproduce the exact path-scoped
+  // verdicts of the uninterrupted run.
+  DetectorConfig cfg;
+  cfg.track_paths = true;
+  const auto feed = [](AnomalyDetector& det, AnomalyDetector::PairHandle h,
+                       int from, int to, std::uint64_t& seq,
+                       std::vector<AnomalyEvent>& out) {
+    int m2 = from / 8;  // member-2 probes already seen (one per 8 steps)
+    for (int i = from; i < to; ++i) {
+      const std::uint32_t member = static_cast<std::uint32_t>(i % 8);
+      bool delivered = true;
+      if (member == 2 && (m2++ % 4) == 0) delivered = false;
+      (void)det.ingest(h, ++seq, SimTime::seconds(i), delivered, 16.0, member,
+                       out);
+    }
+  };
+
+  AnomalyDetector live(cfg);
+  const auto h = live.handle_of(pair());
+  std::vector<AnomalyEvent> live_events;
+  std::uint64_t seq = 0;
+  feed(live, h, 0, 200, seq, live_events);
+  const auto snap = live.snapshot();
+
+  AnomalyDetector restored(cfg);
+  restored.restore(snap);
+  AnomalyDetector adopted(cfg);
+  {
+    AnomalyDetector from_snap(cfg);
+    from_snap.restore(snap);
+    AnomalyDetector::PairState st;
+    ASSERT_TRUE(from_snap.extract_pair(pair(), st));
+    (void)adopted.adopt_pair(std::move(st));
+  }
+
+  std::uint64_t seq_r = seq, seq_a = seq;
+  std::vector<AnomalyEvent> restored_events, adopted_events;
+  feed(live, h, 200, 480, seq, live_events);
+  feed(restored, restored.handle_of(pair()), 200, 480, seq_r,
+       restored_events);
+  feed(adopted, adopted.handle_of(pair()), 200, 480, seq_a, adopted_events);
+
+  ASSERT_FALSE(restored_events.empty());
+  ASSERT_GE(live_events.size(), restored_events.size());
+  const std::size_t offset = live_events.size() - restored_events.size();
+  ASSERT_EQ(restored_events.size(), adopted_events.size());
+  for (std::size_t i = 0; i < restored_events.size(); ++i) {
+    const auto& a = live_events[offset + i];
+    EXPECT_TRUE(a.pair == restored_events[i].pair);
+    EXPECT_EQ(a.kind, restored_events[i].kind);
+    EXPECT_EQ(a.path_id, restored_events[i].path_id);
+    EXPECT_EQ(a.score, restored_events[i].score);
+    EXPECT_EQ(a.detected_at.raw_nanos(),
+              restored_events[i].detected_at.raw_nanos());
+    EXPECT_EQ(restored_events[i].path_id, adopted_events[i].path_id);
+    EXPECT_EQ(restored_events[i].score, adopted_events[i].score);
+  }
+}
+
 TEST(AnomalyKindStrings, Printable) {
   EXPECT_EQ(to_string(AnomalyKind::kUnreachable), "unreachable");
   EXPECT_EQ(to_string(AnomalyKind::kLatencyLongTerm), "latency-long-term");

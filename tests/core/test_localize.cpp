@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <optional>
 #include <random>
+#include <set>
+#include <string_view>
 #include <vector>
 
 #include "../testutil.h"
@@ -450,6 +452,202 @@ TEST_F(RefineTest, NearBlindRefinementDemotesToUnlocalized) {
   EXPECT_EQ(loc.method, LocalizationMethod::kUnlocalized);
   EXPECT_FALSE(loc.found());
   EXPECT_LE(loc.confidence, 1.0);
+}
+
+// --- Path-aware voting: reverse routes and spray hints ----------------------
+
+/// One RNIC per host, one host per segment: every inter-host pair crosses
+/// spines, no two distinct hosts share a ToR or uplink, and 4-way ECMP
+/// gives the asymmetric hash room to pick different forward/reverse spines.
+class PathVoteTest : public ::testing::Test {
+ protected:
+  PathVoteTest()
+      : env_([] {
+          topo::TopologyConfig cfg;
+          cfg.num_hosts = 8;
+          cfg.rails_per_host = 1;
+          cfg.hosts_per_segment = 1;
+          cfg.spines_per_rail = 4;
+          cfg.num_cores = 1;
+          return cfg;
+        }()),
+        oracle_(env_.faults, RngStream{11}) {
+    localizer_.emplace(env_.topo, env_.overlay, oracle_, env_.faults);
+  }
+
+  Endpoint attached(HostId h) {
+    const Endpoint ep{ContainerId{h.value()}, env_.topo.rnic_of(h, 0)};
+    env_.overlay.attach_endpoint(ep, h, /*vni=*/0);
+    return ep;
+  }
+
+  SwitchId fwd_spine(const EndpointPair& p) {
+    return env_.topo.route(p.src.rnic, p.dst.rnic).switches[1];
+  }
+  SwitchId rev_spine(const EndpointPair& p) {
+    return env_.topo.route(p.dst.rnic, p.src.rnic).switches[1];
+  }
+
+  SimEnv env_;
+  DiagnosticsOracle oracle_;
+  std::optional<Localizer> localizer_;
+};
+
+TEST_F(PathVoteTest, ReverseOnlySpineFaultIsNoLongerUnlocalized) {
+  // Regression (the reverse-path blindness bugfix): three anomalous pairs
+  // whose FORWARD routes share no component — the old forward-only
+  // intersection (max count 1) returned kUnlocalized — but whose REVERSE
+  // routes all cross one spine. Return traffic rides route(dst, src), so a
+  // fault there degrades the pairs just the same; the half-weight reverse
+  // votes (3 x 0.5 = 1.5 > 1.0) must now localize the spine switch.
+  const auto make_pair = [&](std::uint32_t a, std::uint32_t b) {
+    return EndpointPair{{ContainerId{a}, env_.topo.rnic_of(HostId{a}, 0)},
+                        {ContainerId{b}, env_.topo.rnic_of(HostId{b}, 0)}};
+  };
+  std::vector<EndpointPair> pairs;
+  SwitchId shared_rev;
+  for (std::uint32_t a0 = 0; a0 < 8 && pairs.empty(); ++a0) {
+    for (std::uint32_t b0 = 0; b0 < 8 && pairs.empty(); ++b0) {
+      if (a0 == b0) continue;
+      const auto anchor = make_pair(a0, b0);
+      const SwitchId target = rev_spine(anchor);
+      if (fwd_spine(anchor) == target) continue;
+      std::vector<EndpointPair> picked{anchor};
+      std::set<std::uint32_t> hosts{a0, b0};
+      std::set<std::uint32_t> fwds{fwd_spine(anchor).value()};
+      for (std::uint32_t a = 0; a < 8 && picked.size() < 3; ++a) {
+        for (std::uint32_t b = 0; b < 8 && picked.size() < 3; ++b) {
+          if (a == b || hosts.contains(a) || hosts.contains(b)) continue;
+          const auto p = make_pair(a, b);
+          const SwitchId f = fwd_spine(p);
+          if (rev_spine(p) != target || f == target ||
+              fwds.contains(f.value())) {
+            continue;
+          }
+          picked.push_back(p);
+          hosts.insert(a);
+          hosts.insert(b);
+          fwds.insert(f.value());
+        }
+      }
+      if (picked.size() == 3) {
+        pairs = picked;
+        shared_rev = target;
+      }
+    }
+  }
+  ASSERT_EQ(pairs.size(), 3u) << "no reverse-shared spine triple found";
+  for (const auto& p : pairs) {
+    attached(env_.topo.host_of(p.src.rnic));
+    attached(env_.topo.host_of(p.dst.rnic));
+    EXPECT_EQ(rev_spine(p), shared_rev);
+    EXPECT_NE(fwd_spine(p), shared_rev);
+  }
+  env_.faults.inject(sim::IssueType::kCrcError,
+                     {sim::ComponentKind::kPhysicalSwitch, shared_rev.value()},
+                     SimTime::seconds(0), SimTime::hours(1));
+
+  const auto voted = localizer_->physical_intersection(pairs);
+  ASSERT_EQ(voted.size(), 1u);
+  EXPECT_EQ(voted[0].kind, sim::ComponentKind::kPhysicalSwitch);
+  EXPECT_EQ(voted[0].index, shared_rev.value());
+
+  const auto loc = localizer_->localize(pairs, SimTime::minutes(1));
+  EXPECT_EQ(loc.method, LocalizationMethod::kPhysicalIntersection);
+  ASSERT_EQ(loc.culprits.size(), 1u);
+  EXPECT_EQ(loc.culprits[0].index, shared_rev.value());
+
+  // The vote record pins the regression: zero forward ("intersection")
+  // evidence reached the threshold, and the verdict rests on reverse-path
+  // votes worth 3 half-weight crossings.
+  bool reverse_vote = false;
+  for (const auto& v : loc.votes) {
+    EXPECT_STRNE(v.source, "intersection");
+    if (std::string_view(v.source) == "reverse-path" &&
+        v.component.index == shared_rev.value() &&
+        v.component.kind == sim::ComponentKind::kPhysicalSwitch) {
+      EXPECT_DOUBLE_EQ(v.weight, 1.5);
+      reverse_vote = true;
+    }
+  }
+  EXPECT_TRUE(reverse_vote);
+}
+
+TEST_F(PathVoteTest, PathHintsVoteOnTheHintedMemberOnly) {
+  // Spray-aware tomography: two hinted pairs flagged on the SAME equal-cost
+  // member — one whose link the static hash never selects for either pair.
+  // The hinted votes must converge on that member's ToR->spine link, not on
+  // the pairs' static routes.
+  SimEnv env2([] {
+    topo::TopologyConfig cfg;
+    cfg.num_hosts = 8;
+    cfg.rails_per_host = 1;
+    cfg.hosts_per_segment = 2;  // two src hosts share a ToR
+    cfg.spines_per_rail = 4;
+    cfg.num_cores = 1;
+    return cfg;
+  }());
+  DiagnosticsOracle oracle2(env2.faults, RngStream{13});
+  Localizer loc2(env2.topo, env2.overlay, oracle2, env2.faults);
+
+  const auto ep = [&](std::uint32_t h) {
+    const Endpoint e{ContainerId{h}, env2.topo.rnic_of(HostId{h}, 0)};
+    env2.overlay.attach_endpoint(e, HostId{h}, /*vni=*/0);
+    return e;
+  };
+  // Hosts 0 and 1 share segment 0's ToR; destinations sit in two other
+  // segments so only the src-side ToR->spine hop can be shared.
+  const std::vector<EndpointPair> pairs{{ep(0), ep(2)}, {ep(1), ep(4)}};
+
+  // A member the static hash selects for NEITHER pair, so forward voting
+  // could never implicate its link.
+  std::uint32_t member = 4;
+  for (std::uint32_t m = 0; m < 4; ++m) {
+    if (m != env2.topo.static_path_id(pairs[0].src.rnic, pairs[0].dst.rnic) &&
+        m != env2.topo.static_path_id(pairs[1].src.rnic, pairs[1].dst.rnic)) {
+      member = m;
+      break;
+    }
+  }
+  ASSERT_LT(member, 4u);
+  const auto hinted0 =
+      env2.topo.route_via(pairs[0].src.rnic, pairs[0].dst.rnic, member);
+  const auto hinted1 =
+      env2.topo.route_via(pairs[1].src.rnic, pairs[1].dst.rnic, member);
+  ASSERT_EQ(hinted0.links[1], hinted1.links[1]);  // shared ToR->spine hop
+  const LinkId gray = hinted0.links[1];
+  env2.faults.inject(sim::IssueType::kCrcError,
+                     {sim::ComponentKind::kPhysicalLink, gray.value()},
+                     SimTime::seconds(0), SimTime::hours(1));
+
+  const std::vector<PathScopedAnomaly> hints{{pairs[0], member},
+                                             {pairs[1], member}};
+  const auto voted = loc2.physical_intersection(pairs, hints);
+  ASSERT_EQ(voted.size(), 1u);  // links outrank the tied ToR/spine switches
+  EXPECT_EQ(voted[0].kind, sim::ComponentKind::kPhysicalLink);
+  EXPECT_EQ(voted[0].index, gray.value());
+
+  const auto loc = loc2.localize(pairs, SimTime::minutes(1), hints);
+  EXPECT_EQ(loc.method, LocalizationMethod::kPhysicalIntersection);
+  ASSERT_EQ(loc.culprits.size(), 1u);
+  EXPECT_EQ(loc.culprits[0].index, gray.value());
+  bool path_vote = false;
+  for (const auto& v : loc.votes) {
+    if (std::string_view(v.source) == "path" &&
+        v.component.index == gray.value() &&
+        v.component.kind == sim::ComponentKind::kPhysicalLink) {
+      EXPECT_DOUBLE_EQ(v.weight, 2.0);
+      path_vote = true;
+    }
+  }
+  EXPECT_TRUE(path_vote);
+
+  // Without the hints the same pair set must NOT implicate the gray link:
+  // static routes never crossed it.
+  for (const auto& c : loc2.physical_intersection(pairs)) {
+    EXPECT_FALSE(c.kind == sim::ComponentKind::kPhysicalLink &&
+                 c.index == gray.value());
+  }
 }
 
 TEST(DeadLinkOf, GuardsHopsWithoutAPhysicalLink) {

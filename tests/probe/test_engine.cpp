@@ -1,5 +1,7 @@
 #include "probe/engine.h"
 
+#include <set>
+
 #include <gtest/gtest.h>
 
 namespace skh::probe {
@@ -179,6 +181,100 @@ TEST_F(EngineTest, InvisibleIntraHostFaultDoesNotAffectProbes) {
     }
   }
   EXPECT_EQ(delivered, 20);
+}
+
+TEST_F(EngineTest, StaticEcmpStampsTheStaticPathId) {
+  // The default mode must stamp exactly the member the five-tuple hash
+  // selects — the contract that lets the localizer treat un-hinted pairs
+  // as riding route().
+  auto engine = make_engine();
+  for (int i = 0; i < 10; ++i) {
+    const auto r = engine.probe(eps_[0], eps_[8], SimTime::seconds(i));
+    ASSERT_TRUE(r.delivered);
+    EXPECT_EQ(r.path_id, topo_.static_path_id(eps_[0].rnic, eps_[8].rnic));
+  }
+}
+
+TEST_F(EngineTest, SprayFansOverEveryMemberDeterministically) {
+  // Cross-segment in-rail pair: two equal-cost members. Spray must visit
+  // both, stamp only valid member ids, and replay the identical path_id
+  // sequence from an identical engine (hash-driven, no RNG).
+  const Endpoint far{ContainerId{2}, topo_.rnic_of(HostId{2}, 0)};
+  overlay_.attach_endpoint(far, topo_.host_of(far.rnic), /*vni=*/0);
+  EngineConfig cfg;
+  cfg.routing_mode = topo::RoutingMode::kSpray;
+  cfg.spray_ways = 8;
+  ProbeEngine a{topo_, overlay_, faults_, RngStream{7}, cfg};
+  ProbeEngine b{topo_, overlay_, faults_, RngStream{7}, cfg};
+  const std::uint32_t n = topo_.num_paths(eps_[0].rnic, far.rnic);
+  ASSERT_EQ(n, 2u);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 64; ++i) {
+    const auto ra = a.probe(eps_[0], far, SimTime::millis(100 * i));
+    const auto rb = b.probe(eps_[0], far, SimTime::millis(100 * i));
+    EXPECT_EQ(ra.path_id, rb.path_id);
+    ASSERT_LT(ra.path_id, n);
+    seen.insert(ra.path_id);
+  }
+  EXPECT_EQ(seen.size(), n);  // every member carried probes
+}
+
+TEST_F(EngineTest, SprayLeavesHealthyDeliveryAndRttUntouched) {
+  // Equal-cost members share one latency and spray selection draws no RNG,
+  // so on a healthy fabric the delivered/RTT stream must be bit-identical
+  // to static routing — only the path stamps differ.
+  const Endpoint far{ContainerId{2}, topo_.rnic_of(HostId{2}, 3)};
+  overlay_.attach_endpoint(far, topo_.host_of(far.rnic), /*vni=*/0);
+  EngineConfig spray_cfg;
+  spray_cfg.routing_mode = topo::RoutingMode::kSpray;
+  ProbeEngine fixed{topo_, overlay_, faults_, RngStream{7}};
+  ProbeEngine spray{topo_, overlay_, faults_, RngStream{7}, spray_cfg};
+  for (int i = 0; i < 100; ++i) {
+    const auto rf = fixed.probe(eps_[3], far, SimTime::millis(100 * i));
+    const auto rs = spray.probe(eps_[3], far, SimTime::millis(100 * i));
+    ASSERT_EQ(rf.delivered, rs.delivered);
+    EXPECT_DOUBLE_EQ(rf.rtt_us, rs.rtt_us);
+  }
+}
+
+TEST_F(EngineTest, AdaptiveRehashesAwayFromFaultedMemberAndStaysPut) {
+  const Endpoint far{ContainerId{2}, topo_.rnic_of(HostId{2}, 0)};
+  overlay_.attach_endpoint(far, topo_.host_of(far.rnic), /*vni=*/0);
+  EngineConfig cfg;
+  cfg.routing_mode = topo::RoutingMode::kAdaptive;
+  ProbeEngine engine{topo_, overlay_, faults_, RngStream{7}, cfg};
+  const std::uint32_t n = topo_.num_paths(eps_[0].rnic, far.rnic);
+  ASSERT_EQ(n, 2u);
+
+  const auto first = engine.probe(eps_[0], far, SimTime::seconds(1));
+  const std::uint32_t m0 = first.path_id;
+  ASSERT_LT(m0, n);
+  // Healthy fabric: the flow stays pinned.
+  EXPECT_EQ(engine.probe(eps_[0], far, SimTime::seconds(2)).path_id, m0);
+
+  // Degrade the pinned member's unique ToR->spine hop: the flow must walk
+  // to the sibling member and stay there.
+  const auto sick = topo_.route_via(eps_[0].rnic, far.rnic, m0);
+  ASSERT_GE(sick.links.size(), 3u);
+  faults_.inject(sim::IssueType::kCrcError,
+                 {sim::ComponentKind::kPhysicalLink, sick.links[1].value()},
+                 SimTime::seconds(10), SimTime::hours(1));
+  const std::uint32_t m1 =
+      engine.probe(eps_[0], far, SimTime::seconds(20)).path_id;
+  EXPECT_NE(m1, m0);
+  ASSERT_LT(m1, n);
+  EXPECT_EQ(engine.probe(eps_[0], far, SimTime::seconds(21)).path_id, m1);
+
+  // Degrade the sibling too: with no clean member left the flow must keep a
+  // valid (if sick) member rather than oscillate.
+  const auto sibling = topo_.route_via(eps_[0].rnic, far.rnic, m1);
+  faults_.inject(sim::IssueType::kCrcError,
+                 {sim::ComponentKind::kPhysicalLink, sibling.links[1].value()},
+                 SimTime::seconds(30), SimTime::hours(1));
+  const std::uint32_t m2 =
+      engine.probe(eps_[0], far, SimTime::seconds(40)).path_id;
+  ASSERT_LT(m2, n);
+  EXPECT_EQ(engine.probe(eps_[0], far, SimTime::seconds(41)).path_id, m2);
 }
 
 }  // namespace

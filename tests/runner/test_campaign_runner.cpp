@@ -250,6 +250,68 @@ TEST(CampaignRunner, AnalyzerShardCountDoesNotChangeResults) {
   }
 }
 
+TEST(CampaignRunner, SprayCampaignBitIdenticalAcrossThreadsAndShards) {
+  // Packet spray turns on the per-path sub-series in every detector shard
+  // and path-scoped voting in the localizer. All of it is hash/state
+  // driven — no RNG — so neither runner-thread interleaving nor the
+  // analyzer shard count may perturb a single verdict, score, or counter.
+  auto cfg = tiny_config();
+  cfg.hunter.engine.routing_mode = topo::RoutingMode::kSpray;
+  cfg.hunter.engine.spray_ways = 8;
+  const auto seeds = split_seeds(0x53505259ULL, 2);
+
+  const CampaignSet one = run_many(cfg, seeds, 1);
+  ASSERT_EQ(one.runs.size(), seeds.size());
+  for (const std::size_t threads : {4UL, 16UL}) {
+    const CampaignSet multi = run_many(cfg, seeds, threads);
+    ASSERT_EQ(multi.runs.size(), seeds.size());
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      EXPECT_EQ(one.runs[i].score, multi.runs[i].score)
+          << "seed " << seeds[i] << " threads " << threads;
+      EXPECT_EQ(one.runs[i].probes_sent, multi.runs[i].probes_sent)
+          << "seed " << seeds[i] << " threads " << threads;
+      EXPECT_EQ(one.runs[i].failure_cases, multi.runs[i].failure_cases)
+          << "seed " << seeds[i] << " threads " << threads;
+      EXPECT_EQ(schedule_of(one.runs[i]), schedule_of(multi.runs[i]))
+          << "seed " << seeds[i] << " threads " << threads;
+    }
+  }
+
+  for (const std::uint64_t seed : seeds) {
+    cfg.hunter.analyzer_shards = 1;
+    const RunResult base = run_campaign(cfg, seed);
+    for (const std::size_t shards : {4UL, 16UL}) {
+      cfg.hunter.analyzer_shards = shards;
+      const RunResult sharded = run_campaign(cfg, seed);
+      EXPECT_EQ(base.score, sharded.score)
+          << "seed " << seed << " shards " << shards;
+      EXPECT_EQ(base.failure_cases, sharded.failure_cases)
+          << "seed " << seed << " shards " << shards;
+      EXPECT_EQ(base.probes_sent, sharded.probes_sent)
+          << "seed " << seed << " shards " << shards;
+      EXPECT_EQ(base.detector, sharded.detector)
+          << "seed " << seed << " shards " << shards;
+    }
+    cfg.hunter.analyzer_shards = 1;
+  }
+}
+
+TEST(CampaignRunner, StaticEcmpKnobIsByteForBytePreKnobBehavior) {
+  // The routing knob's default must not move a single bit of any existing
+  // seed: an explicitly-set kStaticEcmp run and a default-config run are
+  // the same campaign.
+  const auto base_cfg = tiny_config();
+  auto knob_cfg = tiny_config();
+  knob_cfg.hunter.engine.routing_mode = topo::RoutingMode::kStaticEcmp;
+  const RunResult base = run_campaign(base_cfg, 1234);
+  const RunResult knob = run_campaign(knob_cfg, 1234);
+  EXPECT_EQ(base.score, knob.score);
+  EXPECT_EQ(base.probes_sent, knob.probes_sent);
+  EXPECT_EQ(base.failure_cases, knob.failure_cases);
+  EXPECT_EQ(base.detector, knob.detector);
+  EXPECT_EQ(schedule_of(base), schedule_of(knob));
+}
+
 TEST(CampaignRunner, CampaignDetectsInjectedFaults) {
   // Sanity that the canned campaign is a real workload, not a no-op: the
   // hunter raises cases and detects at least one injected fault.

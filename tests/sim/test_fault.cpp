@@ -295,6 +295,66 @@ TEST(TelemetryPlan, KindStrings) {
             "analyzer-blackout");
 }
 
+topo::Topology gray_topology() {
+  topo::TopologyConfig cfg;
+  cfg.num_hosts = 8;
+  cfg.rails_per_host = 2;
+  cfg.hosts_per_segment = 2;
+  cfg.spines_per_rail = 4;
+  cfg.num_cores = 2;
+  return topo::Topology::build(cfg);
+}
+
+TEST(GrayMember, TargetsTheMemberUniqueLink) {
+  // The plan must aim at links[1] of exactly the requested equal-cost
+  // member — the ToR->spine hop that no sibling member shares — for every
+  // member of an in-rail pair.
+  const auto t = gray_topology();
+  const RnicId src = t.rnic_of(HostId{0}, 1);
+  const RnicId dst = t.rnic_of(HostId{6}, 1);
+  const std::uint32_t n = t.num_paths(src, dst);
+  ASSERT_EQ(n, 4u);  // spines_per_rail-way in-rail ECMP
+  std::set<std::uint32_t> targets;
+  for (std::uint32_t m = 0; m < n; ++m) {
+    const auto plan = make_gray_member_link(t, src, dst, m);
+    const auto path = t.route_via(src, dst, m);
+    ASSERT_GE(path.links.size(), 3u);
+    EXPECT_EQ(plan.target.kind, ComponentKind::kPhysicalLink);
+    EXPECT_EQ(plan.target.index, path.links[1].value());
+    EXPECT_EQ(plan.path_id, m);
+    targets.insert(plan.target.index);
+  }
+  // Distinct members degrade distinct links — the whole point of the plan.
+  EXPECT_EQ(targets.size(), n);
+}
+
+TEST(GrayMember, EffectIsPartialLossWithNoOtherTell) {
+  const auto t = gray_topology();
+  const RnicId src = t.rnic_of(HostId{0}, 0);
+  const RnicId dst = t.rnic_of(HostId{5}, 0);
+  const auto plan = make_gray_member_link(t, src, dst, 2, 0.4, 7.0);
+  EXPECT_DOUBLE_EQ(plan.effect.loss_probability, 0.4);
+  EXPECT_DOUBLE_EQ(plan.effect.extra_latency_us, 7.0);
+  EXPECT_FALSE(plan.effect.unreachable);
+  EXPECT_FALSE(plan.effect.flap_period.has_value());
+}
+
+TEST(GrayMember, RejectsBadMemberAndPathsWithoutMemberLinks) {
+  const auto t = gray_topology();
+  const RnicId src = t.rnic_of(HostId{0}, 1);
+  const RnicId in_rail = t.rnic_of(HostId{6}, 1);
+  EXPECT_THROW((void)make_gray_member_link(t, src, in_rail,
+                                           t.num_paths(src, in_rail)),
+               std::out_of_range);
+  // Intra-host and same-ToR pairs have no switch-switch member link.
+  EXPECT_THROW(
+      (void)make_gray_member_link(t, src, t.rnic_of(HostId{0}, 0), 0),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)make_gray_member_link(t, src, t.rnic_of(HostId{1}, 1), 0),
+      std::invalid_argument);
+}
+
 TEST(ComponentRef, EqualityAndStrings) {
   const ComponentRef a{ComponentKind::kRnic, 4};
   const ComponentRef b{ComponentKind::kRnic, 4};

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <set>
+#include <utility>
+#include <vector>
 
 namespace skh::topo {
 namespace {
@@ -160,6 +164,148 @@ TEST(EqualCostPaths, CrossRailFanout) {
   const auto all = t.equal_cost_paths(t.rnic_of(HostId{0}, 0),
                                       t.rnic_of(HostId{5}, 2));
   EXPECT_EQ(all.size(), 2u * 2u * 2u);  // s1 x cores x s2
+}
+
+TEST(EqualCostPaths, FanoutContract) {
+  // The documented fan-out per routing regime: singleton intra-host,
+  // spines_per_rail in-rail, spines_per_rail^2 x num_cores cross-rail —
+  // all members distinct and all at the selected route's latency.
+  TopologyConfig cfg = small_config();
+  cfg.spines_per_rail = 3;
+  cfg.num_cores = 2;
+  const auto t = Topology::build(cfg);
+  const RnicId a = t.rnic_of(HostId{0}, 1);
+
+  const auto intra = t.equal_cost_paths(a, t.rnic_of(HostId{0}, 2));
+  ASSERT_EQ(intra.size(), 1u);
+  EXPECT_TRUE(intra[0].intra_host);
+  EXPECT_EQ(t.num_paths(a, t.rnic_of(HostId{0}, 2)), 1u);
+
+  const auto same_tor = t.equal_cost_paths(a, t.rnic_of(HostId{1}, 1));
+  ASSERT_EQ(same_tor.size(), 1u);  // one ToR, no spine choice
+
+  const struct {
+    RnicId dst;
+    std::size_t want;
+  } regimes[] = {
+      {t.rnic_of(HostId{6}, 1), 3u},           // in-rail: spines_per_rail
+      {t.rnic_of(HostId{6}, 3), 3u * 2u * 3u}, // cross-rail: s1 x cores x s2
+  };
+  for (const auto& r : regimes) {
+    const auto all = t.equal_cost_paths(a, r.dst);
+    ASSERT_EQ(all.size(), r.want);
+    EXPECT_EQ(t.num_paths(a, r.dst), r.want);
+    std::set<std::vector<LinkId>> distinct;
+    for (const auto& p : all) {
+      distinct.insert(p.links);
+      EXPECT_DOUBLE_EQ(p.one_way_latency_us, all[0].one_way_latency_us);
+    }
+    EXPECT_EQ(distinct.size(), r.want);  // every member a distinct path
+  }
+}
+
+TEST(Route, PathIdStabilityContract) {
+  // equal_cost_paths(src, dst)[i] == route_via(src, dst, i), the static
+  // selection is a member of the set, and a bad index throws — the contract
+  // the detector's per-path sub-series and the path-scoped votes key on.
+  const auto t = Topology::build(small_config());
+  const RnicId pairs[][2] = {
+      {t.rnic_of(HostId{0}, 1), t.rnic_of(HostId{6}, 1)},  // in-rail
+      {t.rnic_of(HostId{0}, 0), t.rnic_of(HostId{5}, 3)},  // cross-rail
+      {t.rnic_of(HostId{0}, 2), t.rnic_of(HostId{2}, 2)},  // same ToR
+      {t.rnic_of(HostId{3}, 0), t.rnic_of(HostId{3}, 1)},  // intra-host
+  };
+  for (const auto& pr : pairs) {
+    const std::uint32_t n = t.num_paths(pr[0], pr[1]);
+    const auto all = t.equal_cost_paths(pr[0], pr[1]);
+    ASSERT_EQ(all.size(), n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const auto via = t.route_via(pr[0], pr[1], i);
+      EXPECT_EQ(all[i].links, via.links);
+      EXPECT_EQ(all[i].switches, via.switches);
+    }
+    const std::uint32_t sel = t.static_path_id(pr[0], pr[1]);
+    ASSERT_LT(sel, n);
+    EXPECT_EQ(t.route(pr[0], pr[1]).links, all[sel].links);
+    EXPECT_THROW((void)t.route_via(pr[0], pr[1], n), std::out_of_range);
+  }
+}
+
+TEST(Route, SelectedRouteIsMemberBothArgOrders) {
+  // Property: for EVERY ordered pair across all regimes, route(a, b) is a
+  // member of equal_cost_paths(a, b) — in both argument orders (the ECMP
+  // hash is asymmetric, so (b, a) exercises a different selection).
+  TopologyConfig cfg = small_config();
+  cfg.spines_per_rail = 3;
+  const auto t = Topology::build(cfg);
+  for (std::uint32_t i = 0; i < t.num_rnics(); i += 5) {
+    for (std::uint32_t j = 0; j < t.num_rnics(); j += 7) {
+      if (i == j) continue;
+      for (const auto& [a, b] :
+           {std::pair{RnicId{i}, RnicId{j}}, std::pair{RnicId{j}, RnicId{i}}}) {
+        const auto sel = t.route(a, b);
+        const auto all = t.equal_cost_paths(a, b);
+        const bool member =
+            std::any_of(all.begin(), all.end(), [&sel](const Path& p) {
+              return p.links == sel.links && p.switches == sel.switches;
+            });
+        EXPECT_TRUE(member) << "route(" << a.value() << "," << b.value()
+                            << ") not in its equal-cost set";
+      }
+    }
+  }
+}
+
+TEST(Route, EcmpSpineBalanceAtFourThousandPairs) {
+  // The production hash must give every spine a share: a spine with zero
+  // share is dark fabric the tomography voter can never implicate (and a
+  // symptom of a degenerate hash). 4k in-rail pairs over 4 spines.
+  TopologyConfig cfg;
+  cfg.num_hosts = 128;
+  cfg.rails_per_host = 2;
+  cfg.hosts_per_segment = 8;
+  cfg.spines_per_rail = 4;
+  const auto t = Topology::build(cfg);
+  std::map<std::uint32_t, std::size_t> share;  // spine dense idx -> pairs
+  std::size_t sampled = 0;
+  for (std::uint32_t i = 0; i < t.num_rnics() && sampled < 4096; ++i) {
+    for (std::uint32_t j = 0; j < t.num_rnics() && sampled < 4096; ++j) {
+      const RnicId a{i}, b{j};
+      if (i == j || t.rail_of(a) != t.rail_of(b)) continue;
+      if (t.segment_of(t.host_of(a)) == t.segment_of(t.host_of(b))) continue;
+      ++sampled;
+      share[t.static_path_id(a, b)] += 1;
+    }
+  }
+  ASSERT_EQ(sampled, 4096u);
+  ASSERT_EQ(share.size(), 4u);  // every spine member selected
+  for (const auto& [member, n] : share) {
+    // Balanced within a generous band: each member carries at least half
+    // its fair share of the 4k pairs.
+    EXPECT_GE(n, 4096u / 4 / 2) << "spine member " << member << " starved";
+  }
+}
+
+TEST(Topology, SwitchLinkAgreesWithAdjacencyScan) {
+  // The dense-index lookup behind switch_link must agree with a direct
+  // scan of the link table on EVERY switch-switch adjacency, both argument
+  // orders, and throw on non-adjacent switches.
+  TopologyConfig cfg = small_config();
+  cfg.spines_per_rail = 3;
+  cfg.num_cores = 2;
+  const auto t = Topology::build(cfg);
+  std::size_t checked = 0;
+  for (const auto& link : t.links()) {
+    if (link.tier == LinkTier::kHostToTor) continue;
+    EXPECT_EQ(t.switch_link(link.lower, link.upper), link.id);
+    EXPECT_EQ(t.switch_link(link.upper, link.lower), link.id);
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+  // Two ToRs are never directly adjacent.
+  const SwitchId tor_a = t.tor_at(0, 0);
+  const SwitchId tor_b = t.tor_at(1, 0);
+  EXPECT_THROW((void)t.switch_link(tor_a, tor_b), std::logic_error);
 }
 
 class ScaleSweep : public ::testing::TestWithParam<std::uint32_t> {};
