@@ -1,0 +1,33 @@
+// Shared gate registration for the drill examples.
+//
+// Every drill that doubles as a ctest gate grew the same ad-hoc argv
+// scan: `--churn-gate` runs only the restart-storm drill, and so on. This
+// header is that pattern, once: a drill declares its gates as a static
+// table of (flag, runner) and hands main() to dispatch_gates. An
+// unrecognized (or absent) argument falls through to the full drill, so
+// `./drill` with no flags keeps its historical behavior.
+#pragma once
+
+#include <cstring>
+#include <span>
+
+namespace skh::examples {
+
+/// One CLI-selectable gate: the ctest entry's flag and the drill it runs.
+struct Gate {
+  const char* flag;  ///< e.g. "--churn-gate"
+  int (*run)();      ///< returns the process exit code
+};
+
+/// Run the gate matching argv[1], or `full_drill` when no gate matches.
+inline int dispatch_gates(int argc, char** argv, std::span<const Gate> gates,
+                          int (*full_drill)()) {
+  if (argc > 1) {
+    for (const auto& g : gates) {
+      if (std::strcmp(argv[1], g.flag) == 0) return g.run();
+    }
+  }
+  return full_drill();
+}
+
+}  // namespace skh::examples

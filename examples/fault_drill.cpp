@@ -4,8 +4,9 @@
 // bench_table1_issues). `--churn-gate` runs only the restart-storm drill
 // (the churn.false_alarm_gate ctest entry).
 #include <cstdio>
-#include <cstring>
 #include <fstream>
+
+#include "drill_gates.h"
 
 #include "core/harness.h"
 #include "core/metrics.h"
@@ -392,18 +393,7 @@ int run_forensic_gate() {
   return all_ok ? 0 : 1;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc > 1 && std::strcmp(argv[1], "--churn-gate") == 0) {
-    return run_restart_storm_drill();
-  }
-  if (argc > 1 && std::strcmp(argv[1], "--telemetry-gate") == 0) {
-    return run_telemetry_gate();
-  }
-  if (argc > 1 && std::strcmp(argv[1], "--forensic-gate") == 0) {
-    return run_forensic_gate();
-  }
+int run_full_drill() {
   std::puts("Fault drill: one injection per Table-1 issue type\n");
   int detected = 0, expected_detected = 0;
   bool trace_dumped = false;
@@ -518,4 +508,15 @@ int main(int argc, char** argv) {
           telemetry_rc == 0)
              ? 0
              : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  static constexpr skh::examples::Gate kGates[] = {
+      {"--churn-gate", run_restart_storm_drill},
+      {"--telemetry-gate", run_telemetry_gate},
+      {"--forensic-gate", run_forensic_gate},
+  };
+  return skh::examples::dispatch_gates(argc, argv, kGates, run_full_drill);
 }

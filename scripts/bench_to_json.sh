@@ -1,32 +1,47 @@
 #!/usr/bin/env bash
-# Package the observability plane's headline bench numbers as JSON.
+# Package the observability and collective planes' headline bench numbers
+# as JSON.
 #
-# Runs bench_verdict_latency (build it first: `cmake --build build
-# --target bench_verdict_latency`) and extracts its greppable summary
-# lines into BENCH_obs.json:
+# Runs bench_verdict_latency and bench_collective (build them first:
+# `cmake --build build --target bench_verdict_latency bench_collective`)
+# and extracts their greppable summary lines:
 #
-#   p99_ingest_to_verdict_s  — end-to-end p99 sim-time latency from the
-#                              first anomalous window opening to a
-#                              localized verdict
-#   verdicts                 — observations behind that quantile
-#   recorder_overhead_pct    — wall-clock cost of the flight recorder
-#                              (on vs off, interleaved best-of-3)
+#   BENCH_obs.json
+#     p99_ingest_to_verdict_s  — end-to-end p99 sim-time latency from the
+#                                first anomalous window opening to a
+#                                localized verdict
+#     verdicts                 — observations behind that quantile
+#     recorder_overhead_pct    — wall-clock cost of the flight recorder
+#                                (on vs off, interleaved best-of-3)
 #
-# Usage: scripts/bench_to_json.sh [build_dir] [out_json]
+#   BENCH_collective.json
+#     steps                    — step records ingested by the microbench
+#     ingest_ns_per_step       — diagnoser ingest cost per step record
+#     plane_overhead_pct       — campaign wall cost of the second plane
+#                                (on vs off, interleaved best-of-3)
+#
+# Usage: scripts/bench_to_json.sh [build_dir] [out_json] [out_collective_json]
 set -eu
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
 bdir="${1:-$root/build}"
 out="${2:-$root/BENCH_obs.json}"
+out_coll="${3:-$root/BENCH_collective.json}"
 bin="$bdir/bench/bench_verdict_latency"
+coll_bin="$bdir/bench/bench_collective"
 
 if [[ ! -x "$bin" ]]; then
   echo "FAIL: $bin not built (cmake --build $bdir --target bench_verdict_latency)"
   exit 1
 fi
+if [[ ! -x "$coll_bin" ]]; then
+  echo "FAIL: $coll_bin not built (cmake --build $bdir --target bench_collective)"
+  exit 1
+fi
 
 log="$(mktemp)"
-trap 'rm -f "$log"' EXIT
+coll_log="$(mktemp)"
+trap 'rm -f "$log" "$coll_log"' EXIT
 "$bin" | tee "$log"
 
 p99="$(sed -n 's/^P99_VERDICT_S=//p' "$log")"
@@ -47,3 +62,24 @@ cat > "$out" <<EOF
 }
 EOF
 echo "wrote $out"
+
+"$coll_bin" | tee "$coll_log"
+
+steps="$(sed -n 's/^COLLECTIVE_STEPS=//p' "$coll_log")"
+ns_per_step="$(sed -n 's/^COLLECTIVE_INGEST_NS_PER_STEP=//p' "$coll_log")"
+plane_pct="$(sed -n 's/^COLLECTIVE_OVERHEAD_PCT=//p' "$coll_log")"
+
+if [[ -z "$steps" || -z "$ns_per_step" || -z "$plane_pct" ]]; then
+  echo "FAIL: bench output missing COLLECTIVE_STEPS/COLLECTIVE_INGEST_NS_PER_STEP/COLLECTIVE_OVERHEAD_PCT"
+  exit 1
+fi
+
+cat > "$out_coll" <<EOF
+{
+  "bench": "bench_collective",
+  "steps": $steps,
+  "ingest_ns_per_step": $ns_per_step,
+  "plane_overhead_pct": $plane_pct
+}
+EOF
+echo "wrote $out_coll"

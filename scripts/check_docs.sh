@@ -90,6 +90,24 @@ else
     echo "FAIL: EXPERIMENTS.md is missing the path-blindness (spray) drill section"
     status=1
   fi
+  if ! grep -q "^## Network-silent hang drill" "$experiments" || \
+     ! grep -q "collective.silent_hang_gate" "$experiments"; then
+    echo "FAIL: EXPERIMENTS.md is missing the network-silent hang drill section"
+    status=1
+  fi
+fi
+
+# The second signal plane is a documented contract too: the step-trace
+# generator must appear in the module map and the section covering the
+# hang/slow verdicts and cross-plane corroboration must exist (the
+# collective.* gates and tests/collective pin behavior against it).
+if ! grep -q "workload/collective_trace" "$arch"; then
+  echo "FAIL: workload/collective_trace is missing from ARCHITECTURE.md's module map"
+  status=1
+fi
+if ! grep -q "^## Collective signal plane" "$arch"; then
+  echo "FAIL: ARCHITECTURE.md is missing the 'Collective signal plane' section"
+  status=1
 fi
 
 if [[ -f "$readme" ]]; then

@@ -27,7 +27,12 @@
 # test_telemetry), and topo (the equal-cost path enumeration, the
 # route_via/static_path_id stability contract, the dense switch-link
 # adjacency map, and the 4k-pair ECMP balance sweep in test_topology —
-# the routing surface the spray/path-diversity suites lean on). Any
+# the routing surface the spray/path-diversity suites lean on),
+# workload (the collective step-trace generator's per-iteration schedule
+# buffers and the layout/traffic pair generation), and collective (the
+# diagnoser's reused per-group scratch vectors — durations, ratio and
+# seen arrays, the pending batch slice — exercised across hang latch,
+# strike, and reset/copy paths in test_diag). Any
 # sanitizer report aborts the binary (-fno-sanitize-recover=all), so a
 # clean exit means clean runs.
 set -eu
@@ -35,7 +40,7 @@ set -eu
 root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 bdir="${2:-$root/build-asan}"
 
-suites="test_common test_ml test_core test_obs test_sim test_cluster test_probe test_topo"
+suites="test_common test_ml test_core test_obs test_sim test_cluster test_probe test_topo test_workload test_collective"
 
 cmake -S "$root" -B "$bdir" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSKH_SANITIZE=ON >/dev/null

@@ -71,6 +71,8 @@ std::string forensic_bundle_json(const FailureCase& c,
   out += c.closed ? "true" : "false";
   out += ",\"closed_at\":";
   append_time(out, c.closed ? c.closed_at : c.last_event);
+  out += ",\"class\":";
+  append_string(out, to_string(c.cls));
   out += ",\"method\":";
   append_string(out, to_string(c.localization.method));
   out += ",\"confidence\":";
@@ -126,6 +128,41 @@ std::string forensic_bundle_json(const FailureCase& c,
     out += '}';
   }
   out += "],";
+
+  // --- collective signal plane evidence -------------------------------------
+  // The verdicts themselves for a network-silent case, cross-plane
+  // corroboration for a probe-plane case (agreements > 0 then).
+  append_key(out, "collective");
+  out += "{\"agreements\":";
+  append_u64(out, c.collective_agreements);
+  out += ",\"verdicts\":[";
+  for (std::size_t i = 0; i < c.collective_evidence.size(); ++i) {
+    const auto& v = c.collective_evidence[i];
+    if (i > 0) out += ',';
+    out += "{\"kind\":";
+    append_string(out, collective::to_string(v.kind));
+    out += ",\"group\":";
+    append_u64(out, v.group);
+    out += ",\"iteration\":";
+    append_u64(out, v.iteration);
+    out += ",\"step\":";
+    append_u64(out, v.step);
+    out += ",\"root_rank\":";
+    append_u64(out, v.root_rank);
+    out += ",\"root\":";
+    append_string(out, skh::to_string(v.root));
+    out += ",\"waiters\":[";
+    for (std::size_t j = 0; j < v.waiters.size(); ++j) {
+      if (j > 0) out += ',';
+      append_string(out, skh::to_string(v.waiters[j]));
+    }
+    out += "],\"at\":";
+    append_time(out, v.detected_at);
+    out += ",\"severity\":";
+    obs::json_append_number(out, v.severity);
+    out += '}';
+  }
+  out += "]},";
 
   // --- per-pair recent windows from the flight recorder ---------------------
   append_key(out, "windows");

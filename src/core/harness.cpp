@@ -108,6 +108,83 @@ void Experiment::schedule_churn(TaskId task,
   }
 }
 
+void Experiment::enable_collective_plane(TaskId task,
+                                         const workload::TaskLayout& layout,
+                                         const sim::CollectiveFaultPlan& plan,
+                                         SimTime until,
+                                         CollectivePlaneConfig cfg) {
+  auto groups = workload::build_collective_groups(layout);
+  hunter_.register_collectives(task, groups);
+  auto state = std::make_unique<CollectivePlaneState>(CollectivePlaneState{
+      workload::CollectiveTraceGenerator(
+          std::move(groups), cfg.trace,
+          rng_.fork("collective-trace").fork(task.value())),
+      task});
+  CollectivePlaneState* st = state.get();
+  collective_planes_.push_back(std::move(state));
+  // Host-side faults by value: the plan is pure data and the plane must
+  // not dangle on a caller temporary.
+  st->gen.set_host_fault_fn([plan](std::uint32_t ci, SimTime t) {
+    workload::CollectiveTraceGenerator::HostEffect e;
+    e.hang = plan.hang_at(ci, t);
+    e.slowdown = plan.slowdown_at(ci, t);
+    return e;
+  });
+  if (cfg.couple_network) {
+    const double retrans = cfg.trace.loss_retransmit_us;
+    st->gen.set_network_delay_fn(
+        [this, retrans](const Endpoint& ep,
+                        SimTime t) -> std::optional<double> {
+          const sim::ComponentRef comps[] = {
+              {sim::ComponentKind::kRnic, ep.rnic.value()},
+              {sim::ComponentKind::kPhysicalLink,
+               topo_.uplink_of(ep.rnic).value()},
+              {sim::ComponentKind::kHost, topo_.host_of(ep.rnic).value()},
+              {sim::ComponentKind::kContainer, ep.container.value()}};
+          double extra = 0.0;
+          for (const auto& c : comps) {
+            for (const sim::Fault* f : faults_.active_on(c, t)) {
+              // Phantom (monitoring-defect) faults never couple: the
+              // tenant's collectives don't cross the sidecar.
+              if (!f->ground_truth || !f->degrading_at(t)) continue;
+              if (f->effect.unreachable) return std::nullopt;
+              extra += f->effect.extra_latency_us +
+                       f->effect.loss_probability * retrans;
+            }
+          }
+          return extra;
+        });
+  }
+  collective_tick(st, until, cfg.iteration_period);
+}
+
+void Experiment::collective_tick(CollectivePlaneState* st, SimTime until,
+                                 SimTime period) {
+  const SimTime now = events_.now();
+  // Last tick's batch has aged one full period — stalled steps are past
+  // the hang timeout by construction (period > timeout is a config
+  // requirement, see CollectivePlaneConfig).
+  if (!st->pending.empty()) {
+    hunter_.ingest_collective_steps(st->task, st->pending);
+  }
+  st->pending = st->gen.emit_iteration(st->next_iteration++, now);
+  collective_fp_ = workload::fingerprint_records(st->pending, collective_fp_);
+  if (now + period <= until) {
+    events_.schedule_after(period, [this, st, until, period] {
+      collective_tick(st, until, period);
+    });
+  } else {
+    // Final batch still needs one aging period before judgment, else an
+    // injected stall in the last iteration would silently vanish.
+    events_.schedule_after(period, [this, st] {
+      if (!st->pending.empty()) {
+        hunter_.ingest_collective_steps(st->task, st->pending);
+        st->pending.clear();
+      }
+    });
+  }
+}
+
 std::uint32_t Experiment::rank_of(const Endpoint& ep) const {
   const auto& ci = orch_.container(ep.container);
   for (std::uint32_t r = 0; r < ci.rnics.size(); ++r) {

@@ -16,9 +16,25 @@
 #include "core/skeleton_inference.h"
 #include "obs/context.h"
 #include "sim/fault.h"
+#include "workload/collective_trace.h"
 #include "workload/traffic.h"
 
 namespace skh::core {
+
+/// Wiring knobs for the collective signal plane on one task.
+struct CollectivePlaneConfig {
+  workload::CollectiveTraceConfig trace{};
+  /// One training iteration's step trace is emitted (and the previous
+  /// iteration's ingested) every this often. Must exceed the hang timeout
+  /// (`SkeletonHunterConfig::collective.hang_timeout`) for stalls to age
+  /// past it by the time their batch is judged.
+  SimTime iteration_period = SimTime::seconds(30);
+  /// Couple probe-visible ground-truth network faults on the endpoints'
+  /// RNIC/uplink/host/container into step durations (the cross-plane
+  /// agreement channel). Phantom faults never couple — a dead sidecar is
+  /// invisible to the tenant's collectives by definition.
+  bool couple_network = true;
+};
 
 struct ExperimentConfig {
   topo::TopologyConfig topology{};
@@ -73,6 +89,23 @@ class Experiment {
   /// ignored.
   void schedule_churn(TaskId task, const std::vector<sim::ChurnEvent>& plan);
 
+  /// Turn on the collective signal plane for a task: build its
+  /// communicators from `layout`, register them with the hunter, and
+  /// schedule per-iteration step-trace emission until `until`. `plan`
+  /// holds the host-side faults (hangs, stragglers, slow hosts) — failures
+  /// the probe mesh cannot see; pass an empty plan for a healthy-host run
+  /// (zero RNG draws, so pre-collective seeds replay unchanged).
+  void enable_collective_plane(TaskId task, const workload::TaskLayout& layout,
+                               const sim::CollectiveFaultPlan& plan,
+                               SimTime until, CollectivePlaneConfig cfg = {});
+
+  /// Chained FNV-1a fold over every step record emitted by every enabled
+  /// plane, in emission order — the byte-identity witness for the trace
+  /// determinism gates.
+  [[nodiscard]] std::uint64_t collective_fingerprint() const noexcept {
+    return collective_fp_;
+  }
+
   /// RNIC rank of an endpoint within its container.
   [[nodiscard]] std::uint32_t rank_of(const Endpoint& ep) const;
 
@@ -95,6 +128,18 @@ class Experiment {
   [[nodiscard]] const obs::Context& obs() const noexcept { return obs_; }
 
  private:
+  /// One enabled plane: the generator plus the batch emitted last tick,
+  /// held until the next tick has aged it past the hang timeout.
+  struct CollectivePlaneState {
+    workload::CollectiveTraceGenerator gen;
+    TaskId task;
+    std::uint32_t next_iteration = 0;
+    std::vector<workload::StepRecord> pending;
+  };
+  /// Ingest the pending batch, emit the next iteration, reschedule.
+  void collective_tick(CollectivePlaneState* st, SimTime until,
+                       SimTime period);
+
   RngStream rng_;
   topo::Topology topo_;
   overlay::OverlayNetwork overlay_;
@@ -103,6 +148,9 @@ class Experiment {
   obs::Context obs_;
   cluster::Orchestrator orch_;
   SkeletonHunter hunter_;
+  /// Stable addresses: event-queue lambdas capture raw pointers into these.
+  std::vector<std::unique_ptr<CollectivePlaneState>> collective_planes_;
+  std::uint64_t collective_fp_ = 0xcbf29ce484222325ull;
 };
 
 }  // namespace skh::core

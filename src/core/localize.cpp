@@ -19,6 +19,7 @@ std::string_view to_string(LocalizationMethod m) noexcept {
     case LocalizationMethod::kRnicValidation: return "rnic-validation";
     case LocalizationMethod::kEndpointPattern: return "endpoint-pattern";
     case LocalizationMethod::kUnlocalized: return "unlocalized";
+    case LocalizationMethod::kCollectiveChain: return "collective-chain";
   }
   return "unknown";
 }
@@ -55,14 +56,15 @@ void Localizer::attach_obs(obs::Context* ctx) {
   auto& r = ctx->registry;
   m_calls_ = r.bind_counter(r.counter_id("localize.calls"));
   m_path_votes_ = r.bind_counter(r.counter_id("localize.path_votes"));
-  static constexpr const char* kMethodMetric[5] = {
+  static constexpr const char* kMethodMetric[6] = {
       "localize.method.overlay_reachability",
       "localize.method.physical_intersection",
       "localize.method.rnic_validation",
       "localize.method.endpoint_pattern",
       "localize.method.unlocalized",
+      "localize.method.collective_chain",
   };
-  for (std::size_t i = 0; i < 5; ++i) {
+  for (std::size_t i = 0; i < 6; ++i) {
     m_method_[i] = r.bind_counter(r.counter_id(kMethodMetric[i]));
   }
 }

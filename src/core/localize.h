@@ -45,6 +45,10 @@ enum class LocalizationMethod : std::uint8_t {
   kRnicValidation,
   kEndpointPattern,
   kUnlocalized,
+  /// Collective signal plane: the verdict came from a hang/straggler
+  /// wait-for chain, not from Algorithm 1 (no anomalous probe pairs
+  /// exist for a network-silent case).
+  kCollectiveChain,
 };
 
 [[nodiscard]] std::string_view to_string(LocalizationMethod m) noexcept;
@@ -237,7 +241,7 @@ class Localizer {
   obs::Context* obs_ = nullptr;
   obs::Counter m_calls_;
   /// Indexed by LocalizationMethod.
-  obs::Counter m_method_[5];
+  obs::Counter m_method_[6];
   /// "path"-source vote records emitted (spray-aware tomography evidence).
   obs::Counter m_path_votes_;
 };

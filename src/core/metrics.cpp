@@ -104,12 +104,18 @@ CampaignScore score_campaign(const std::vector<FailureCase>& cases,
                              const topo::Topology& topo,
                              const ScoreConfig& cfg) {
   CampaignScore score;
-  score.cases_total = cases.size();
 
-  // Per-case: does it match any injected fault?
+  // Per-case: does it match any injected fault? Network-silent cases are
+  // tallied apart — the probe-plane precision/recall frame does not apply
+  // to them (no pairs, no probe-visible ground-truth fault to match).
   std::vector<bool> fault_detected(faults.faults().size(), false);
   std::vector<double> latencies;
   for (const auto& c : cases) {
+    if (c.cls == CaseClass::kTenantVisibleNetworkSilent) {
+      ++score.cases_network_silent;
+      continue;
+    }
+    ++score.cases_total;
     bool matched = false;
     for (const auto& f : faults.faults()) {
       if (!f.ground_truth) continue;
@@ -139,6 +145,7 @@ CampaignScore score_campaign(const std::vector<FailureCase>& cases,
   // Localization accuracy: per matched case with a verdict, does the
   // verdict name any fault the case matches?
   for (const auto& c : cases) {
+    if (c.cls == CaseClass::kTenantVisibleNetworkSilent) continue;
     bool matched_any = false;
     bool verdict_ok = false;
     for (const auto& f : faults.faults()) {

@@ -32,6 +32,12 @@ struct CampaignScore {
   std::size_t cases_false = 0;      ///< false positives
   std::size_t localized_correct = 0;  ///< matched cases naming the target
   std::size_t localized_total = 0;    ///< matched cases with any verdict
+  /// kTenantVisibleNetworkSilent cases (collective signal plane). Scored
+  /// separately: they carry no anomalous probe pairs and report host-side
+  /// incidents the network ground truth does not model, so counting them
+  /// against probe precision would brand every correct silent-hang ticket
+  /// a false positive.
+  std::size_t cases_network_silent = 0;
   double mean_detection_latency_s = 0.0;  ///< fault start -> first event
 
   /// Precision over failure cases (§7.1: 98.2% in production).

@@ -33,6 +33,14 @@ SkeletonHunterConfig effective_config(SkeletonHunterConfig cfg) {
 
 }  // namespace
 
+std::string_view to_string(CaseClass c) noexcept {
+  switch (c) {
+    case CaseClass::kProbePlane: return "probe-plane";
+    case CaseClass::kTenantVisibleNetworkSilent: return "network-silent";
+  }
+  return "unknown";
+}
+
 SkeletonHunter::SkeletonHunter(const topo::Topology& topo,
                                overlay::OverlayNetwork& overlay,
                                cluster::Orchestrator& orchestrator,
@@ -93,6 +101,12 @@ void SkeletonHunter::attach_obs(obs::Context* ctx) {
     m_degraded_tasks_ = {};
     m_restores_ = {};
     m_flap_rebans_ = {};
+    m_coll_steps_ = {};
+    m_coll_hangs_ = {};
+    m_coll_slows_ = {};
+    m_coll_agreements_ = {};
+    m_coll_silent_cases_ = {};
+    m_coll_absorbed_ = {};
     recorder_ = nullptr;
     h_window_residence_s_ = {};
     h_detect_s_ = {};
@@ -115,6 +129,15 @@ void SkeletonHunter::attach_obs(obs::Context* ctx) {
   m_restores_ = r.bind_counter(r.counter_id("hunter.analyzer_restores"));
   m_flap_rebans_ =
       r.bind_counter(r.counter_id("hunter.blacklist_flap_rebans"));
+  m_coll_steps_ = r.bind_counter(r.counter_id("collective.steps_ingested"));
+  m_coll_hangs_ = r.bind_counter(r.counter_id("collective.verdicts_hang"));
+  m_coll_slows_ = r.bind_counter(r.counter_id("collective.verdicts_slow"));
+  m_coll_agreements_ =
+      r.bind_counter(r.counter_id("collective.agreements"));
+  m_coll_silent_cases_ =
+      r.bind_counter(r.counter_id("collective.cases_network_silent"));
+  m_coll_absorbed_ =
+      r.bind_counter(r.counter_id("collective.cases_absorbed"));
   // Ingest-to-verdict latency plane, stages 2-5. Bucket sets are small on
   // purpose: a handful of bounds keeps the per-observation cost a short
   // linear scan, protecting the <1% overhead gate.
@@ -497,6 +520,7 @@ SkeletonHunter::Snapshot SkeletonHunter::checkpoint() const {
   s.cases_ = cases_;
   s.blacklist_ = blacklist_;
   s.monitors_ = monitors_;
+  s.collective_ = collective_;
   s.ticks_ = ticks_;
   return s;
 }
@@ -507,6 +531,7 @@ void SkeletonHunter::restore(const Snapshot& snap) {
   cases_ = snap.cases_;
   blacklist_ = snap.blacklist_;
   monitors_ = snap.monitors_;
+  collective_ = snap.collective_;
   ticks_ = snap.ticks_;
 }
 
@@ -521,6 +546,10 @@ void SkeletonHunter::cold_reset_analyzer() {
   collector_.clear();
   cases_.clear();
   blacklist_ = Blacklist{};
+  // Collective diagnosis state (strikes, latches, pending hangs) dies with
+  // the process; the communicator registrations survive like monitors_ —
+  // they came from the control plane, not from analysis.
+  for (auto& [task, plane] : collective_) plane.diag.reset_state();
 }
 
 void SkeletonHunter::route_events(TaskId task,
@@ -613,10 +642,262 @@ void SkeletonHunter::route_events(TaskId task,
   }
 }
 
+void SkeletonHunter::register_collectives(
+    TaskId task, const std::vector<workload::CollectiveGroup>& gs) {
+  CollectivePlane plane;
+  plane.diag = collective::CollectiveDiagnoser(cfg_.collective);
+  for (const auto& g : gs) plane.diag.register_group(g);
+  plane.groups = gs;
+  collective_[task] = std::move(plane);
+}
+
+void SkeletonHunter::ingest_collective_steps(
+    TaskId task, std::span<const workload::StepRecord> records) {
+  // The analyzer process consumes this plane too: during a blackout the
+  // step reports are lost with it, exactly like probe results.
+  if (in_blackout_) return;
+  const auto it = collective_.find(task);
+  if (it == collective_.end()) return;
+  m_coll_steps_.add(records.size());
+  verdict_scratch_.clear();
+  it->second.diag.ingest(records, events_.now(), verdict_scratch_);
+  for (const auto& v : verdict_scratch_) {
+    if (v.kind == collective::VerdictKind::kHang) {
+      m_coll_hangs_.inc();
+    } else {
+      m_coll_slows_.inc();
+    }
+    route_collective_verdict(task, v);
+  }
+}
+
+std::uint64_t SkeletonHunter::collective_steps() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& [task, plane] : collective_) {
+    total += plane.diag.steps_ingested();
+  }
+  return total;
+}
+
+std::uint64_t SkeletonHunter::collective_verdicts() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& [task, plane] : collective_) {
+    total += plane.diag.hang_verdicts() + plane.diag.slow_verdicts();
+  }
+  return total;
+}
+
+void SkeletonHunter::route_collective_verdict(
+    TaskId task, const collective::CollectiveVerdict& v) {
+  const SimTime now = events_.now();
+  // Containers the verdict implicates: the stall root plus its wait-for
+  // chain.
+  auto implicates = [&](const EndpointPair& p) {
+    if (p.src.container == v.root.container ||
+        p.dst.container == v.root.container) {
+      return true;
+    }
+    for (const auto& w : v.waiters) {
+      if (p.src.container == w.container || p.dst.container == w.container) {
+        return true;
+      }
+    }
+    return false;
+  };
+  // Cross-plane agreement: an open probe case on the same task whose pairs
+  // touch the implicated containers. Both planes seeing the same incident
+  // is the strongest evidence either can get — the verdict attaches as
+  // corroboration and raises the case's confidence at close.
+  for (auto& c : cases_) {
+    if (c.closed || c.task != task || c.cls != CaseClass::kProbePlane) {
+      continue;
+    }
+    if (now - std::max(c.last_event, last_restore_) > cfg_.case_merge_window) {
+      continue;
+    }
+    if (!std::any_of(c.pairs.begin(), c.pairs.end(), implicates)) continue;
+    ++c.collective_agreements;
+    c.collective_evidence.push_back(v);
+    m_coll_agreements_.inc();
+    c.timeline.add(now, "collective.corroborate",
+                   std::string(to_string(v.kind)) + " verdict on container " +
+                       std::to_string(v.root.container.value()) +
+                       " agrees with probe plane",
+                   v.severity);
+    if (obs_ != nullptr) {
+      obs_->tracer.instant("hunter", "collective.corroborate", now, c.id,
+                           v.root.container.value());
+    }
+    return;
+  }
+  // Disagreement: the probe plane sees nothing. Open (or merge into) a
+  // tenant-visible-but-network-silent case.
+  for (auto& c : cases_) {
+    if (c.closed || c.task != task ||
+        c.cls != CaseClass::kTenantVisibleNetworkSilent) {
+      continue;
+    }
+    if (now - std::max(c.last_event, last_restore_) > cfg_.case_merge_window) {
+      continue;
+    }
+    c.collective_evidence.push_back(v);
+    c.last_event = std::max(c.last_event, now);
+    c.timeline.add(now, "collective.verdict",
+                   std::string(to_string(v.kind)) + " on container " +
+                       std::to_string(v.root.container.value()),
+                   v.severity);
+    return;
+  }
+  FailureCase c;
+  c.id = static_cast<std::uint32_t>(cases_.size());
+  c.task = task;
+  c.cls = CaseClass::kTenantVisibleNetworkSilent;
+  c.first_event = now;
+  c.last_event = now;
+  c.collective_evidence.push_back(v);
+  c.timeline.add(now, "case.open",
+                 "collective " + std::string(to_string(v.kind)) +
+                     " on container " +
+                     std::to_string(v.root.container.value()) +
+                     " with zero probe-plane symptoms",
+                 v.severity);
+  cases_.push_back(std::move(c));
+  m_cases_opened_.inc();
+  m_coll_silent_cases_.inc();
+  if (obs_ != nullptr) {
+    obs_->tracer.instant("hunter", "case.open_network_silent", now,
+                         cases_.back().id, task.value());
+  }
+  emit_bundle(cases_.back());
+}
+
+void SkeletonHunter::close_collective_case(FailureCase& c) {
+  // A probe-plane case on the same task that overlaps this one in time and
+  // touches an implicated container means the incident was network-visible
+  // after all; a second ticket would double-page. Absorb this case and move
+  // its verdicts onto the probe case as cross-plane agreements — this is
+  // the verdict-before-probe-window order (the collective plane detects a
+  // dead RNIC's hang within one iteration; the anomaly detector needs a
+  // full window), which route_collective_verdict cannot corroborate because
+  // the probe case did not exist yet.
+  auto implicated = [](const FailureCase& other,
+                       const collective::CollectiveVerdict& v) {
+    for (const auto& p : other.pairs) {
+      if (p.src.container == v.root.container ||
+          p.dst.container == v.root.container) {
+        return true;
+      }
+      for (const auto& w : v.waiters) {
+        if (p.src.container == w.container || p.dst.container == w.container) {
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+  for (auto& other : cases_) {
+    if (other.id == c.id || other.task != c.task) continue;
+    if (other.cls != CaseClass::kProbePlane) continue;
+    if (c.first_event > other.last_event + cfg_.case_merge_window ||
+        other.first_event > c.last_event + cfg_.case_merge_window) {
+      continue;
+    }
+    std::size_t adopted = 0;
+    for (const auto& v : c.collective_evidence) {
+      if (!implicated(other, v)) continue;
+      other.collective_evidence.push_back(v);
+      ++other.collective_agreements;
+      ++adopted;
+    }
+    if (adopted == 0) continue;
+    m_coll_agreements_.add(adopted);
+    other.timeline.add(c.closed_at, "collective.corroborate",
+                       std::to_string(adopted) +
+                           " verdict(s) adopted from absorbed "
+                           "network-silent case",
+                       static_cast<double>(adopted));
+    if (other.closed) {
+      // The probe case already closed without the bonus; apply it now and
+      // refresh its bundle so the ticket reflects the confirmation.
+      other.localization.confidence = std::min(
+          1.25, other.localization.confidence + cfg_.corroboration_bonus);
+      emit_bundle(other);
+    }
+    c.suppressed = true;
+    m_cases_suppressed_.inc();
+    m_coll_absorbed_.inc();
+    c.timeline.add(c.closed_at, "case.absorb",
+                   "probe plane saw the same incident; evidence attached "
+                   "to its case");
+    return;
+  }
+  // Transient filtering, same spirit as the probe plane: a single slow
+  // verdict with no hang is one noisy host interval, not a ticket.
+  if (c.collective_evidence.size() < 2 &&
+      c.collective_evidence.front().kind == collective::VerdictKind::kSlow &&
+      c.collective_evidence.front().severity < 8.0) {
+    c.suppressed = true;
+    m_cases_suppressed_.inc();
+    c.timeline.add(c.closed_at, "case.suppress",
+                   "single mild slow verdict: transient host noise");
+    return;
+  }
+  // Localization from the verdict chain: the stall root's container and
+  // host are the culprits; the wait-for chain contributes weak votes (it
+  // is implicated, not guilty — Mycroft's distinction).
+  const auto& root_verdict = c.collective_evidence.front();
+  Localization loc;
+  loc.method = LocalizationMethod::kCollectiveChain;
+  loc.confidence = 1.0;
+  const sim::ComponentRef root_container{
+      sim::ComponentKind::kContainer, root_verdict.root.container.value()};
+  loc.culprits.push_back(root_container);
+  loc.votes.push_back({root_container, 1.0, "collective-root"});
+  const auto host = topo_.host_of(root_verdict.root.rnic);
+  const sim::ComponentRef host_ref{sim::ComponentKind::kHost, host.value()};
+  loc.culprits.push_back(host_ref);
+  loc.votes.push_back({host_ref, 0.5, "collective-root-host"});
+  std::set<std::uint32_t> chain_seen{root_verdict.root.container.value()};
+  for (const auto& v : c.collective_evidence) {
+    for (const auto& w : v.waiters) {
+      if (!chain_seen.insert(w.container.value()).second) continue;
+      loc.votes.push_back(
+          {{sim::ComponentKind::kContainer, w.container.value()},
+           0.25,
+           "collective-wait-chain"});
+    }
+  }
+  c.localization = std::move(loc);
+  if (recorder_ != nullptr) {
+    for (const auto& v : c.localization.votes) {
+      recorder_->record_vote(obs::VoteRecord{
+          c.id, static_cast<std::uint8_t>(v.component.kind),
+          v.component.index, static_cast<float>(v.weight), v.source});
+    }
+  }
+  c.timeline.add(c.closed_at, "localize",
+                 std::string(to_string(c.localization.method)),
+                 static_cast<double>(c.localization.culprits.size()));
+  c.timeline.add(c.closed_at, "case.close",
+                 "network-silent ticket routed to tenant/host owners");
+  if (obs_ != nullptr) {
+    obs_->tracer.instant("hunter", "case.close", c.closed_at, c.id,
+                         c.localization.culprits.size());
+  }
+  // No auto-blacklist: a hung or slow host is a tenant/host-plane issue;
+  // banning network components on collective evidence alone would let the
+  // second plane pollute the first plane's placement filter.
+  emit_bundle(c);
+}
+
 void SkeletonHunter::close_case(FailureCase& c) {
   c.closed = true;
   c.closed_at = events_.now();
   m_cases_closed_.inc();
+  if (c.cls == CaseClass::kTenantVisibleNetworkSilent) {
+    close_collective_case(c);
+    return;
+  }
   // Transient filtering (§5.2): a single short-term latency outlier on its
   // own is transient congestion, not a failure case worth a ticket.
   if (c.events.size() < 2 &&
@@ -652,6 +933,19 @@ void SkeletonHunter::close_case(FailureCase& c) {
   // Localize against the state at the first event: diagnostics (switch
   // logs, config checks) are inspected while the incident is live.
   c.localization = localizer_.localize(pairs, c.first_event, hints);
+  // Cross-plane agreement: collective verdicts that implicated this case's
+  // containers were attached while it was open. Two independent signal
+  // planes naming the same incident is stronger evidence than either
+  // alone, so the bonus may push confidence past 1.0 — by design; > 1.0
+  // reads as "independently confirmed".
+  if (c.collective_agreements > 0) {
+    c.localization.confidence =
+        std::min(1.25, c.localization.confidence + cfg_.corroboration_bonus);
+    c.timeline.add(c.closed_at, "collective.confirm",
+                   std::to_string(c.collective_agreements) +
+                       " collective verdict(s) corroborate the probe plane",
+                   c.localization.confidence);
+  }
   // Stages 5 of the latency plane: first event to verdict, and the
   // end-to-end ingest-to-verdict span measured from the *opening* of the
   // first anomalous window (detected_at stamps its close).

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "cluster/orchestrator.h"
+#include "collective/diag.h"
 #include "common/pool.h"
 #include "core/anomaly.h"
 #include "core/blacklist.h"
@@ -85,7 +86,29 @@ struct SkeletonHunterConfig {
   sim::TelemetryFaultPlan telemetry{};
   /// Localizer knobs (traceroute-coverage demotion threshold).
   LocalizerConfig localizer{};
+  /// Collective signal plane: slow/hang diagnosis knobs for the step
+  /// traces fed via ingest_collective_steps (no-op until a task registers
+  /// its communicators).
+  collective::CollectiveDiagConfig collective{};
+  /// Cross-plane agreement bonus added to a probe case's localization
+  /// confidence when collective verdicts corroborate it. The result may
+  /// exceed 1.0 — values above 1.0 explicitly mean "independently
+  /// confirmed by the collective plane", not just "all consulted probe
+  /// evidence answered". Capped at 1.25.
+  double corroboration_bonus = 0.25;
 };
+
+/// Which signal plane a failure case came from. Probe-plane cases are
+/// scored against the injected network ground truth; network-silent cases
+/// are tenant-visible incidents (NCCL hang, straggler host) the probe
+/// mesh is structurally blind to — CCL-D/Mycroft territory, routed to the
+/// tenant/host owners instead of netops.
+enum class CaseClass : std::uint8_t {
+  kProbePlane,
+  kTenantVisibleNetworkSilent,
+};
+
+[[nodiscard]] std::string_view to_string(CaseClass c) noexcept;
 
 /// One aggregated failure: the unit scored against injected ground truth.
 struct FailureCase {
@@ -99,6 +122,14 @@ struct FailureCase {
   bool closed = false;
   bool suppressed = false;  ///< transient, filtered before reporting
   SimTime closed_at;
+  /// Which plane opened this case.
+  CaseClass cls = CaseClass::kProbePlane;
+  /// Collective verdicts attached to this case: the evidence itself for a
+  /// network-silent case, corroboration for a probe-plane case.
+  std::vector<collective::CollectiveVerdict> collective_evidence;
+  /// Cross-plane agreements (collective verdicts whose root/waiters
+  /// overlap this probe case's pairs).
+  std::uint32_t collective_agreements = 0;
   /// Causal chain from the first anomalous window through scoring to the
   /// localization verdict — the ticket an operator would read (§6).
   obs::CaseTimeline timeline;
@@ -183,6 +214,25 @@ class SkeletonHunter {
   /// Repair completed: lift the ban on a component.
   void mark_repaired(sim::ComponentRef ref);
 
+  // --- collective signal plane ----------------------------------------------
+  /// Register a monitored task's communicators with the collective
+  /// diagnoser (typically build_collective_groups(layout)). Idempotent
+  /// per task: re-registration replaces the group set and resets its
+  /// diagnosis state.
+  void register_collectives(TaskId task,
+                            const std::vector<workload::CollectiveGroup>& gs);
+  /// Feed one emitted step-trace batch. Verdicts route into the case
+  /// machinery: agreement with an open probe case attaches as
+  /// corroboration (confidence bonus at close); an uncorroborated hang or
+  /// straggler opens/merges a kTenantVisibleNetworkSilent case. Dropped
+  /// during an analyzer blackout, like probe results.
+  void ingest_collective_steps(TaskId task,
+                               std::span<const workload::StepRecord> records);
+  /// Steps the collective diagnoser has ingested (all tasks).
+  [[nodiscard]] std::uint64_t collective_steps() const noexcept;
+  /// Collective verdicts emitted so far (hang + slow, all tasks).
+  [[nodiscard]] std::uint64_t collective_verdicts() const noexcept;
+
   // --- gray telemetry & warm restart ---------------------------------------
   class Snapshot;
   /// Serialize the analyzer state (detector windows + streaks, result
@@ -242,6 +292,14 @@ class SkeletonHunter {
   void tick();
   void route_events(TaskId task, std::vector<AnomalyEvent> events);
   void close_case(FailureCase& c);
+  /// Route one collective verdict: corroborate an overlapping open probe
+  /// case, else open/merge a network-silent case.
+  void route_collective_verdict(TaskId task,
+                                const collective::CollectiveVerdict& v);
+  /// Close path for kTenantVisibleNetworkSilent cases: localization comes
+  /// from the verdict chain (root container + host + wait-for chain), not
+  /// from Algorithm 1 — there are no anomalous pairs to tomograph.
+  void close_collective_case(FailureCase& c);
   /// Drain the detector's closed-window log: feed the window-residence
   /// stage histogram and the flight recorder's per-pair rings.
   void drain_windows();
@@ -266,8 +324,19 @@ class SkeletonHunter {
   Localizer localizer_;
   probe::TelemetryChannel telemetry_;
 
+  /// Per-task collective signal plane: the registered communicators and
+  /// their diagnosis state. Value-semantic on purpose — the blackout
+  /// checkpoint copies it like the monitors.
+  struct CollectivePlane {
+    std::vector<workload::CollectiveGroup> groups;
+    collective::CollectiveDiagnoser diag;
+  };
+
   Blacklist blacklist_;
   std::map<TaskId, TaskMonitor> monitors_;
+  std::map<TaskId, CollectivePlane> collective_;
+  /// Per-ingest verdict scratch, reused.
+  std::vector<collective::CollectiveVerdict> verdict_scratch_;
   std::map<ContainerId, probe::Agent> agents_;
   std::vector<FailureCase> cases_;
   SimTime end_;
@@ -302,6 +371,13 @@ class SkeletonHunter {
   obs::Gauge m_degraded_tasks_;
   obs::Counter m_restores_;
   obs::Counter m_flap_rebans_;
+  // Collective signal plane counters.
+  obs::Counter m_coll_steps_;
+  obs::Counter m_coll_hangs_;
+  obs::Counter m_coll_slows_;
+  obs::Counter m_coll_agreements_;
+  obs::Counter m_coll_silent_cases_;
+  obs::Counter m_coll_absorbed_;
   /// The flight recorder behind obs_ when enabled (nullptr otherwise);
   /// bundles, window rings, and vote history flow through here.
   obs::FlightRecorder* recorder_ = nullptr;
@@ -326,6 +402,7 @@ class SkeletonHunter {
     std::vector<FailureCase> cases_;
     Blacklist blacklist_;
     std::map<TaskId, TaskMonitor> monitors_;
+    std::map<TaskId, CollectivePlane> collective_;
     std::uint64_t ticks_ = 0;
   };
 };

@@ -59,6 +59,7 @@ RunResult run_campaign(const CampaignConfig& cfg, std::uint64_t seed) {
   core::Experiment exp(ecfg);
 
   std::vector<TaskId> tasks;
+  std::vector<workload::TaskLayout> layouts;  ///< aligned with `tasks`
   for (const auto& shape : cfg.tasks) {
     cluster::TaskRequest req;
     req.num_containers = shape.containers;
@@ -71,8 +72,10 @@ RunResult run_campaign(const CampaignConfig& cfg, std::uint64_t seed) {
     par.tp = shape.gpus_per_container;
     par.pp = shape.pp;
     par.dp = shape.dp;
-    (void)exp.apply_skeleton(*t, exp.layout_of(*t, par));
+    auto layout = exp.layout_of(*t, par);
+    (void)exp.apply_skeleton(*t, layout);
     tasks.push_back(*t);
+    layouts.push_back(std::move(layout));
   }
   result.tasks_launched = tasks.size();
   if (tasks.empty()) return result;
@@ -141,6 +144,24 @@ RunResult run_campaign(const CampaignConfig& cfg, std::uint64_t seed) {
     }
   }
 
+  // Collective signal plane: host-side fault plans from their own named
+  // fork (like the fault/churn/telemetry plans, a pure function of the
+  // seed), one plan per task so victims are task-local container indices.
+  if (cfg.collective_plane) {
+    RngStream kng = exp.rng().fork("collective-plan");
+    const SimTime coll_base = exp.events().now() + cfg.collective_start;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      const auto n_containers = static_cast<std::uint32_t>(
+          exp.orchestrator().task(tasks[i]).containers.size());
+      const auto plan = sim::make_collective_storm(
+          n_containers, cfg.collective_faults, coll_base,
+          cfg.collective_spacing, cfg.collective_duration, kng);
+      exp.enable_collective_plane(tasks[i], layouts[i], plan,
+                                  cursor + cfg.drain);
+      result.collective_events += plan.faults.size();
+    }
+  }
+
   exp.hunter().start(cursor + cfg.drain);
   exp.events().run_all();
   exp.hunter().finalize();
@@ -152,6 +173,9 @@ RunResult run_campaign(const CampaignConfig& cfg, std::uint64_t seed) {
   result.failure_cases = exp.hunter().failure_cases().size();
   result.probes_sent = exp.hunter().total_probes();
   result.detector = exp.hunter().detector_counters();
+  result.cases_network_silent = result.score.cases_network_silent;
+  result.collective_steps = exp.hunter().collective_steps();
+  result.collective_fingerprint = exp.collective_fingerprint();
   if (cfg.obs.metrics) {
     result.metrics = exp.obs().registry.scrape();
     for (const auto& h : result.metrics.histograms) {

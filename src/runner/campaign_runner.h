@@ -83,6 +83,18 @@ struct CampaignConfig {
   SimTime telemetry_spacing = SimTime::minutes(9);
   SimTime telemetry_duration = SimTime::minutes(4);
 
+  /// Collective signal plane: when enabled, every launched task registers
+  /// its communicators and emits per-iteration step traces; host-side
+  /// fault episodes (hang / straggler / slow host — invisible to the probe
+  /// mesh) come from the campaign's own "collective-plan" RNG fork,
+  /// cycling through sim::make_collective_storm. Off by default: zero
+  /// extra RNG draws, so existing seeds replay unchanged.
+  bool collective_plane = false;
+  std::size_t collective_faults = 0;
+  SimTime collective_start = SimTime::minutes(7);
+  SimTime collective_spacing = SimTime::minutes(10);
+  SimTime collective_duration = SimTime::minutes(5);
+
   core::ScoreConfig score{};
 
   /// Per-campaign observability (one registry + tracer per seed, recorded
@@ -116,6 +128,15 @@ struct RunResult {
   double p99_verdict_latency_s = 0.0;
   /// Forensic bundles resident in the flight recorder at campaign end.
   std::size_t forensic_bundles = 0;
+  /// Host-side collective fault episodes scheduled this run.
+  std::size_t collective_events = 0;
+  /// kTenantVisibleNetworkSilent cases the collective plane filed.
+  std::size_t cases_network_silent = 0;
+  /// Collective step records the diagnoser ingested.
+  std::uint64_t collective_steps = 0;
+  /// Chained FNV-1a over every emitted step record (0x...325 basis when
+  /// the plane is off) — compared verbatim by the determinism gates.
+  std::uint64_t collective_fingerprint = 0;
 };
 
 /// run_many's aggregate: per-seed results in input-seed order plus the

@@ -401,6 +401,91 @@ TelemetryFaultPlan make_telemetry_storm(std::size_t episodes, SimTime start,
   return plan;
 }
 
+std::string_view to_string(CollectiveFaultKind k) noexcept {
+  switch (k) {
+    case CollectiveFaultKind::kHang: return "collective-hang";
+    case CollectiveFaultKind::kStraggler: return "straggler-rank";
+    case CollectiveFaultKind::kHostSlowdown: return "host-slowdown";
+  }
+  return "unknown";
+}
+
+bool CollectiveFaultPlan::hang_at(std::uint32_t container_index,
+                                  SimTime t) const noexcept {
+  for (const auto& f : faults) {
+    if (f.kind == CollectiveFaultKind::kHang &&
+        f.container_index == container_index && f.active_at(t)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double CollectiveFaultPlan::slowdown_at(std::uint32_t container_index,
+                                        SimTime t) const noexcept {
+  double factor = 1.0;
+  for (const auto& f : faults) {
+    if (f.kind == CollectiveFaultKind::kHang) continue;
+    if (f.container_index == container_index && f.active_at(t)) {
+      factor = std::max(factor, f.magnitude);
+    }
+  }
+  return factor;
+}
+
+CollectiveFault make_collective_hang(std::uint32_t container_index,
+                                     SimTime start, SimTime duration) {
+  return CollectiveFault{CollectiveFaultKind::kHang, container_index, start,
+                         start + duration, 1.0};
+}
+
+CollectiveFault make_straggler_rank(std::uint32_t container_index,
+                                    SimTime start, SimTime duration,
+                                    double slowdown) {
+  return CollectiveFault{CollectiveFaultKind::kStraggler, container_index,
+                         start, start + duration, slowdown};
+}
+
+CollectiveFault make_host_slowdown(std::uint32_t container_index,
+                                   SimTime start, SimTime duration,
+                                   double slowdown) {
+  return CollectiveFault{CollectiveFaultKind::kHostSlowdown, container_index,
+                         start, start + duration, slowdown};
+}
+
+CollectiveFaultPlan make_collective_storm(std::uint32_t n_containers,
+                                          std::size_t episodes, SimTime start,
+                                          SimTime spacing, SimTime duration,
+                                          RngStream& rng) {
+  static constexpr CollectiveFaultKind kCycle[] = {
+      CollectiveFaultKind::kHang,
+      CollectiveFaultKind::kStraggler,
+      CollectiveFaultKind::kHostSlowdown,
+  };
+  CollectiveFaultPlan plan;
+  plan.faults.reserve(episodes);
+  SimTime cursor = start;
+  for (std::size_t i = 0; i < episodes; ++i) {
+    const auto victim = static_cast<std::uint32_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(n_containers) - 1));
+    switch (kCycle[i % std::size(kCycle)]) {
+      case CollectiveFaultKind::kHang:
+        plan.faults.push_back(make_collective_hang(victim, cursor, duration));
+        break;
+      case CollectiveFaultKind::kStraggler:
+        plan.faults.push_back(make_straggler_rank(
+            victim, cursor, duration, 4.0 + 8.0 * rng.uniform()));
+        break;
+      case CollectiveFaultKind::kHostSlowdown:
+        plan.faults.push_back(make_host_slowdown(
+            victim, cursor, duration, 2.5 + 2.0 * rng.uniform()));
+        break;
+    }
+    cursor += spacing;
+  }
+  return plan;
+}
+
 const Fault& FaultInjector::fault(std::uint32_t id) const {
   if (id >= faults_.size()) {
     throw std::out_of_range("FaultInjector::fault: bad id");

@@ -268,6 +268,80 @@ struct TelemetryFaultPlan {
                                                       SimTime duration,
                                                       RngStream& rng);
 
+// --- host-side collective faults -------------------------------------------
+//
+// The failures the probe mesh is structurally blind to (CCL-D's slow/hang
+// taxonomy): an NCCL-level hang, a straggling rank, a slow host. These
+// plans degrade the tenant's *collective steps* — never the FaultInjector,
+// never a probed component — so by construction they produce zero
+// probe-visible symptoms. Pure data like the churn/telemetry plans: the
+// harness maps them onto the collective trace generator, and an empty plan
+// draws zero RNG so existing seeds replay bit-identically.
+
+/// How a host-side fault degrades its victim rank's collective steps.
+enum class CollectiveFaultKind : std::uint8_t {
+  kHang,          ///< the rank's current step never completes (NCCL hang)
+  kStraggler,     ///< one rank's steps run `magnitude` times slower
+  kHostSlowdown,  ///< milder whole-host slowdown (thermal, noisy neighbor)
+};
+
+[[nodiscard]] std::string_view to_string(CollectiveFaultKind k) noexcept;
+
+/// One host-side fault episode aimed at one container of the task.
+/// `magnitude` is the step-duration multiplier for the slow kinds and
+/// unused for kHang.
+struct CollectiveFault {
+  CollectiveFaultKind kind = CollectiveFaultKind::kHang;
+  std::uint32_t container_index = 0;  ///< index within the task
+  SimTime start;
+  SimTime end;  ///< exclusive
+  double magnitude = 1.0;
+
+  [[nodiscard]] bool active_at(SimTime t) const noexcept {
+    return t >= start && t < end;
+  }
+};
+
+/// A task's host-side fault schedule. Empty == healthy hosts (and zero
+/// RNG draws anywhere downstream).
+struct CollectiveFaultPlan {
+  std::vector<CollectiveFault> faults;
+
+  [[nodiscard]] bool empty() const noexcept { return faults.empty(); }
+  /// Whether a kHang episode covers (container, t).
+  [[nodiscard]] bool hang_at(std::uint32_t container_index,
+                             SimTime t) const noexcept;
+  /// Largest slowdown multiplier active on (container, t); 1.0 if none.
+  [[nodiscard]] double slowdown_at(std::uint32_t container_index,
+                                   SimTime t) const noexcept;
+};
+
+/// An NCCL-level hang on one rank: its in-flight step never completes and
+/// every dependent rank stalls behind it.
+[[nodiscard]] CollectiveFault make_collective_hang(
+    std::uint32_t container_index, SimTime start, SimTime duration);
+
+/// One rank running `slowdown` times slower than its siblings (CCL-D's
+/// "slow" class; sibling-relative timing is what exposes it).
+[[nodiscard]] CollectiveFault make_straggler_rank(
+    std::uint32_t container_index, SimTime start, SimTime duration,
+    double slowdown = 8.0);
+
+/// A milder whole-container slowdown (thermal throttling, noisy
+/// neighbor): below the straggler ratio on any single step, visible only
+/// through accumulated strikes.
+[[nodiscard]] CollectiveFault make_host_slowdown(
+    std::uint32_t container_index, SimTime start, SimTime duration,
+    double slowdown = 3.5);
+
+/// Host-side fault storm: `episodes` episodes from `start`, spaced
+/// `spacing` apart, each lasting `duration`, cycling hang / straggler /
+/// slowdown; victims drawn from `rng` over `n_containers`. The plan is a
+/// pure function of the stream state.
+[[nodiscard]] CollectiveFaultPlan make_collective_storm(
+    std::uint32_t n_containers, std::size_t episodes, SimTime start,
+    SimTime spacing, SimTime duration, RngStream& rng);
+
 /// Registry of injected faults; the ground truth of every experiment.
 class FaultInjector {
  public:

@@ -312,6 +312,49 @@ TEST(CampaignRunner, StaticEcmpKnobIsByteForBytePreKnobBehavior) {
   EXPECT_EQ(schedule_of(base), schedule_of(knob));
 }
 
+TEST(CampaignRunner, CollectiveKnobOffIsByteForBytePreKnobBehavior) {
+  // collective_plane = false must draw zero randomness and emit zero
+  // steps: existing seeds keep their results and the fingerprint stays at
+  // the FNV offset basis (nothing was ever folded in).
+  const auto cfg = tiny_config();
+  const RunResult r = run_campaign(cfg, 1234);
+  EXPECT_EQ(r.collective_events, 0u);
+  EXPECT_EQ(r.collective_steps, 0u);
+  EXPECT_EQ(r.cases_network_silent, 0u);
+  EXPECT_EQ(r.collective_fingerprint, 0xcbf29ce484222325ull);
+  const RunResult again = run_campaign(cfg, 1234);
+  EXPECT_EQ(r.score, again.score);
+  EXPECT_EQ(r.probes_sent, again.probes_sent);
+}
+
+TEST(CampaignRunner, CollectivePlaneCampaignBitIdenticalAcrossThreads) {
+  // Host-side fault storms are planned from a forked rng stream and the
+  // step traces are pure per-iteration functions, so the second signal
+  // plane must not cost the bit-identity guarantee at any thread count.
+  auto cfg = tiny_config();
+  cfg.collective_plane = true;
+  cfg.collective_faults = 2;
+  const auto seeds = split_seeds(0xC011, 2);
+  const CampaignSet one = run_many(cfg, seeds, 1);
+  const CampaignSet four = run_many(cfg, seeds, 4);
+  ASSERT_EQ(one.runs.size(), seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_GT(one.runs[i].collective_steps, 0u);
+    EXPECT_EQ(one.runs[i].collective_events, 2u);  // one task's storm
+    EXPECT_EQ(one.runs[i].score, four.runs[i].score) << "seed " << seeds[i];
+    EXPECT_EQ(one.runs[i].collective_fingerprint,
+              four.runs[i].collective_fingerprint)
+        << "seed " << seeds[i];
+    EXPECT_EQ(one.runs[i].collective_steps, four.runs[i].collective_steps)
+        << "seed " << seeds[i];
+    EXPECT_EQ(one.runs[i].cases_network_silent,
+              four.runs[i].cases_network_silent)
+        << "seed " << seeds[i];
+    EXPECT_EQ(schedule_of(one.runs[i]), schedule_of(four.runs[i]))
+        << "seed " << seeds[i];
+  }
+}
+
 TEST(CampaignRunner, CampaignDetectsInjectedFaults) {
   // Sanity that the canned campaign is a real workload, not a no-op: the
   // hunter raises cases and detects at least one injected fault.

@@ -295,6 +295,69 @@ TEST(TelemetryPlan, KindStrings) {
             "analyzer-blackout");
 }
 
+TEST(CollectivePlan, HangAndSlowdownWindows) {
+  CollectiveFaultPlan plan;
+  plan.faults = {
+      make_collective_hang(2, SimTime::seconds(10), SimTime::seconds(20)),
+      make_straggler_rank(1, SimTime::seconds(0), SimTime::seconds(100),
+                          8.0),
+      make_host_slowdown(1, SimTime::seconds(50), SimTime::seconds(10),
+                         3.5),
+  };
+  EXPECT_FALSE(plan.empty());
+  // Hang windows are per-container, end-exclusive, and kind-specific.
+  EXPECT_FALSE(plan.hang_at(2, SimTime::seconds(9)));
+  EXPECT_TRUE(plan.hang_at(2, SimTime::seconds(10)));
+  EXPECT_TRUE(plan.hang_at(2, SimTime::seconds(29)));
+  EXPECT_FALSE(plan.hang_at(2, SimTime::seconds(30)));
+  EXPECT_FALSE(plan.hang_at(1, SimTime::seconds(15)));
+  // Slowdowns never read as hangs; overlapping episodes take the max.
+  EXPECT_FALSE(plan.hang_at(1, SimTime::seconds(55)));
+  EXPECT_DOUBLE_EQ(plan.slowdown_at(1, SimTime::seconds(20)), 8.0);
+  EXPECT_DOUBLE_EQ(plan.slowdown_at(1, SimTime::seconds(55)), 8.0);
+  EXPECT_DOUBLE_EQ(plan.slowdown_at(2, SimTime::seconds(15)), 1.0);
+  EXPECT_DOUBLE_EQ(plan.slowdown_at(1, SimTime::seconds(100)), 1.0);
+}
+
+TEST(CollectivePlan, EmptyPlanMeansHealthyHosts) {
+  const CollectiveFaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_FALSE(plan.hang_at(0, SimTime::minutes(10)));
+  EXPECT_DOUBLE_EQ(plan.slowdown_at(0, SimTime::minutes(10)), 1.0);
+}
+
+TEST(CollectivePlan, StormIsSeedDeterministicAndCyclesKinds) {
+  RngStream a(7777);
+  RngStream b(7777);
+  const auto p1 = make_collective_storm(8, 9, SimTime::minutes(5),
+                                        SimTime::minutes(10),
+                                        SimTime::minutes(5), a);
+  const auto p2 = make_collective_storm(8, 9, SimTime::minutes(5),
+                                        SimTime::minutes(10),
+                                        SimTime::minutes(5), b);
+  ASSERT_EQ(p1.faults.size(), 9u);
+  std::set<CollectiveFaultKind> kinds;
+  for (std::size_t i = 0; i < p1.faults.size(); ++i) {
+    EXPECT_EQ(p1.faults[i].kind, p2.faults[i].kind);
+    EXPECT_EQ(p1.faults[i].container_index, p2.faults[i].container_index);
+    EXPECT_EQ(p1.faults[i].start, p2.faults[i].start);
+    EXPECT_EQ(p1.faults[i].end, p2.faults[i].end);
+    EXPECT_EQ(p1.faults[i].magnitude, p2.faults[i].magnitude);
+    EXPECT_LT(p1.faults[i].container_index, 8u);
+    EXPECT_EQ(p1.faults[i].end - p1.faults[i].start, SimTime::minutes(5));
+    if (i > 0) EXPECT_GT(p1.faults[i].start, p1.faults[i - 1].start);
+    kinds.insert(p1.faults[i].kind);
+  }
+  // 9 episodes over 3 kinds: every kind appears (cycling in enum order).
+  EXPECT_EQ(kinds.size(), 3u);
+}
+
+TEST(CollectivePlan, KindStrings) {
+  EXPECT_EQ(to_string(CollectiveFaultKind::kHang), "collective-hang");
+  EXPECT_EQ(to_string(CollectiveFaultKind::kStraggler), "straggler-rank");
+  EXPECT_EQ(to_string(CollectiveFaultKind::kHostSlowdown), "host-slowdown");
+}
+
 topo::Topology gray_topology() {
   topo::TopologyConfig cfg;
   cfg.num_hosts = 8;

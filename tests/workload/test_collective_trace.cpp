@@ -1,0 +1,343 @@
+// Collective step-trace generation: group construction, dependency
+// structure, and the determinism discipline (a trace is a pure function
+// of layout, config, and rng stream — per iteration, not per history).
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "workload/collective_trace.h"
+
+namespace skh::workload {
+namespace {
+
+/// Build a synthetic placed task: `containers` containers of `tp` RNICs,
+/// container c on host c (full-host) with rails 0..tp-1.
+struct Placed {
+  cluster::TaskInfo task;
+  std::vector<cluster::ContainerInfo> containers;
+};
+
+Placed place(std::uint32_t num_containers, std::uint32_t tp) {
+  Placed p;
+  p.task.id = TaskId{0};
+  p.task.request.num_containers = num_containers;
+  p.task.request.gpus_per_container = tp;
+  for (std::uint32_t c = 0; c < num_containers; ++c) {
+    cluster::ContainerInfo ci;
+    ci.id = ContainerId{c};
+    ci.task = p.task.id;
+    ci.host = HostId{c};
+    ci.index_in_task = c;
+    for (std::uint32_t g = 0; g < tp; ++g) {
+      ci.rnics.push_back(RnicId{c * tp + g});
+    }
+    p.task.containers.push_back(ci.id);
+    p.containers.push_back(ci);
+  }
+  return p;
+}
+
+TaskLayout dense_layout() {
+  ParallelismConfig cfg;
+  cfg.tp = 2;
+  cfg.pp = 2;
+  cfg.dp = 2;
+  const auto p = place(cfg.num_containers(), cfg.tp);
+  return make_layout(p.task, p.containers, cfg);
+}
+
+TEST(BuildGroups, DenseLayoutRingsThenChains) {
+  // TP2/PP2/DP2: DP rings per (stage, rail) then PP chains per (dp, rail)
+  // — 4 + 4 groups, id-dense in that order.
+  const auto layout = dense_layout();
+  const auto groups = build_collective_groups(layout);
+  ASSERT_EQ(groups.size(), 8u);
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    EXPECT_EQ(groups[i].id, i);
+    EXPECT_EQ(groups[i].members.size(), 2u);
+    EXPECT_EQ(groups[i].kind, i < 4 ? CollectiveKind::kRingAllReduce
+                                    : CollectiveKind::kPipelineP2p);
+  }
+  // A ring's members are ordered by dp_rank and carry the PP x DP grid
+  // coordinate as container_index; a chain's are ordered by stage.
+  for (const auto& g : groups) {
+    for (std::size_t r = 0; r < g.members.size(); ++r) {
+      const auto* role = layout.role_of(g.members[r]);
+      ASSERT_NE(role, nullptr);
+      EXPECT_EQ(g.container_index[r],
+                role->dp_rank * layout.par.pp + role->stage);
+      if (g.kind == CollectiveKind::kRingAllReduce) {
+        EXPECT_EQ(role->dp_rank, r);
+      } else {
+        EXPECT_EQ(role->stage, r);
+      }
+    }
+  }
+}
+
+TEST(BuildGroups, MoeLayoutAddsAllToAll) {
+  // TP1/PP1/DP4/EP2: one DP ring of 4 per rail, no PP chains, and two
+  // expert all-to-all blocks of 2 consecutive DP replicas.
+  ParallelismConfig cfg;
+  cfg.tp = 1;
+  cfg.pp = 1;
+  cfg.dp = 4;
+  cfg.moe = true;
+  cfg.ep = 2;
+  const auto p = place(cfg.num_containers(), cfg.tp);
+  const auto layout = make_layout(p.task, p.containers, cfg);
+  const auto groups = build_collective_groups(layout);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0].kind, CollectiveKind::kRingAllReduce);
+  EXPECT_EQ(groups[0].members.size(), 4u);
+  for (std::size_t i = 1; i < 3; ++i) {
+    EXPECT_EQ(groups[i].kind, CollectiveKind::kAllToAll);
+    EXPECT_EQ(groups[i].members.size(), 2u);
+  }
+  // Expert blocks partition DP rank space into consecutive runs of ep.
+  EXPECT_EQ(groups[1].container_index,
+            (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(groups[2].container_index,
+            (std::vector<std::uint32_t>{2, 3}));
+}
+
+TEST(Schedule, StepCounts) {
+  CollectiveGroup g;
+  auto set_n = [&g](std::uint32_t n) {
+    g.members.assign(n, Endpoint{});
+  };
+  set_n(4);
+  g.kind = CollectiveKind::kRingAllReduce;
+  EXPECT_EQ(g.num_steps(), 6u);  // reduce-scatter + all-gather
+  g.kind = CollectiveKind::kPipelineP2p;
+  EXPECT_EQ(g.num_steps(), 6u);  // forward + backward handoffs
+  g.kind = CollectiveKind::kAllToAll;
+  EXPECT_EQ(g.num_steps(), 3u);  // n-1 exchange rounds
+  set_n(1);
+  EXPECT_EQ(g.num_steps(), 0u);  // degenerate communicator
+}
+
+TEST(Schedule, DependencyStructure) {
+  // Step 0 is ungated for every kind.
+  for (const auto kind :
+       {CollectiveKind::kRingAllReduce, CollectiveKind::kPipelineP2p,
+        CollectiveKind::kAllToAll}) {
+    EXPECT_TRUE(dep_ranks(kind, 4, 0, 2).empty());
+  }
+  // Ring: self + ring predecessor.
+  EXPECT_EQ(dep_ranks(CollectiveKind::kRingAllReduce, 4, 2, 0),
+            (std::vector<std::uint32_t>{0, 3}));
+  EXPECT_EQ(dep_ranks(CollectiveKind::kRingAllReduce, 4, 2, 2),
+            (std::vector<std::uint32_t>{1, 2}));
+  // Pipeline: the previous handoff's participant.
+  EXPECT_EQ(dep_ranks(CollectiveKind::kPipelineP2p, 4, 1, 2),
+            (std::vector<std::uint32_t>{1}));
+  // All-to-all: self + current exchange peer, sorted.
+  EXPECT_EQ(dep_ranks(CollectiveKind::kAllToAll, 4, 1, 0),
+            (std::vector<std::uint32_t>{0, 2}));
+  EXPECT_EQ(dep_ranks(CollectiveKind::kAllToAll, 4, 1, 3),
+            (std::vector<std::uint32_t>{1, 3}));
+}
+
+TEST(Schedule, PipelineParticipantWalksUpThenDown) {
+  // n = 4: forward handoffs land on stages 1, 2, 3; backward walks 2, 1, 0.
+  const std::uint32_t want[] = {1, 2, 3, 2, 1, 0};
+  for (std::uint32_t s = 0; s < 6; ++s) {
+    EXPECT_EQ(pipeline_participant(4, s), want[s]) << "step " << s;
+  }
+}
+
+CollectiveTraceGenerator make_generator(std::uint64_t seed) {
+  return CollectiveTraceGenerator(build_collective_groups(dense_layout()),
+                                  CollectiveTraceConfig{}, RngStream(seed));
+}
+
+std::uint64_t fp(const std::vector<StepRecord>& records) {
+  return fingerprint_records(records);
+}
+
+TEST(Determinism, SameSeedSameTrace) {
+  auto a = make_generator(42);
+  auto b = make_generator(42);
+  auto c = make_generator(43);
+  std::uint64_t ha = 0xcbf29ce484222325ull, hb = ha, hc = ha;
+  for (std::uint32_t it = 0; it < 4; ++it) {
+    const SimTime at = SimTime::seconds(30 * it);
+    ha = fingerprint_records(a.emit_iteration(it, at), ha);
+    hb = fingerprint_records(b.emit_iteration(it, at), hb);
+    hc = fingerprint_records(c.emit_iteration(it, at), hc);
+  }
+  EXPECT_EQ(ha, hb);
+  EXPECT_NE(ha, hc);  // a different stream is a different cluster
+}
+
+TEST(Determinism, EmitIsPurePerIteration) {
+  // The jitter stream is forked per iteration index, so emitting
+  // iteration 5 cold equals emitting it after 0..4 — the property that
+  // lets checkpoint/restore skip re-emitting history.
+  auto warm = make_generator(7);
+  for (std::uint32_t it = 0; it < 5; ++it) {
+    (void)warm.emit_iteration(it, SimTime::seconds(30 * it));
+  }
+  auto cold = make_generator(7);
+  const SimTime at = SimTime::seconds(150);
+  EXPECT_EQ(fp(warm.emit_iteration(5, at)), fp(cold.emit_iteration(5, at)));
+}
+
+TEST(Determinism, FaultsDoNotPerturbOtherIterations) {
+  // A hang inside iteration 1 must leave iterations 0 and 2 byte-identical
+  // to the healthy run: jitter is drawn for hung/blocked ranks too, so the
+  // stream never skews.
+  auto healthy = make_generator(11);
+  auto faulty = make_generator(11);
+  const SimTime t1 = SimTime::seconds(30);
+  faulty.set_host_fault_fn(
+      [t1](std::uint32_t container, SimTime at) {
+        CollectiveTraceGenerator::HostEffect e;
+        e.hang = container == 2 && at >= t1 && at < t1 + SimTime::seconds(30);
+        return e;
+      });
+  const auto h0 = fp(healthy.emit_iteration(0, SimTime::seconds(0)));
+  const auto f0 = fp(faulty.emit_iteration(0, SimTime::seconds(0)));
+  const auto h1 = fp(healthy.emit_iteration(1, t1));
+  const auto f1 = fp(faulty.emit_iteration(1, t1));
+  const auto h2 = fp(healthy.emit_iteration(2, SimTime::seconds(60)));
+  const auto f2 = fp(faulty.emit_iteration(2, SimTime::seconds(60)));
+  EXPECT_EQ(h0, f0);
+  EXPECT_NE(h1, f1);  // the fault is visible where it is active...
+  EXPECT_EQ(h2, f2);  // ...and nowhere else
+}
+
+TEST(Faults, HangRootStartsAndNeverEndsChainBlocks) {
+  // One ring of 4 (TP1/PP1/DP4): rank d lives in container d. Hanging
+  // container 2 must leave (step 0, rank 2) started-but-not-done — the
+  // stall root — and every later step of rank 2 blocked, with the stall
+  // propagating to the rest of the ring.
+  ParallelismConfig cfg;
+  cfg.tp = 1;
+  cfg.pp = 1;
+  cfg.dp = 4;
+  const auto p = place(cfg.num_containers(), cfg.tp);
+  const auto layout = make_layout(p.task, p.containers, cfg);
+  CollectiveTraceGenerator gen(build_collective_groups(layout),
+                               CollectiveTraceConfig{}, RngStream(3));
+  gen.set_host_fault_fn([](std::uint32_t container, SimTime) {
+    CollectiveTraceGenerator::HostEffect e;
+    e.hang = container == 2;
+    return e;
+  });
+  const auto records = gen.emit_iteration(0, SimTime::seconds(0));
+  bool root_seen = false;
+  std::size_t done = 0, blocked = 0;
+  for (const auto& r : records) {
+    if (r.step == 0 && r.rank == 2) {
+      EXPECT_TRUE(r.started);
+      EXPECT_FALSE(r.done);
+      root_seen = true;
+    }
+    if (r.step > 0 && r.rank == 2) EXPECT_FALSE(r.started);
+    if (r.done) ++done;
+    if (!r.started) ++blocked;
+  }
+  EXPECT_TRUE(root_seen);
+  EXPECT_GT(blocked, 0u);
+  EXPECT_LT(done, records.size());
+  // Eventually the whole ring is starved: the final step completes on
+  // nobody (every rank transitively waits on rank 2).
+  const std::uint32_t last = 2 * (4 - 1) - 1;
+  for (const auto& r : records) {
+    if (r.step == last) EXPECT_FALSE(r.done);
+  }
+}
+
+TEST(Faults, StragglerSlowdownScalesDurations) {
+  // With jitter off, a 3x host slowdown is exactly 3x step duration for
+  // the victim and 1x for its siblings — the sibling-relative signature
+  // the diagnoser keys on.
+  ParallelismConfig cfg;
+  cfg.tp = 1;
+  cfg.pp = 1;
+  cfg.dp = 4;
+  const auto p = place(cfg.num_containers(), cfg.tp);
+  const auto layout = make_layout(p.task, p.containers, cfg);
+  CollectiveTraceConfig tcfg;
+  tcfg.jitter_frac = 0.0;
+  CollectiveTraceGenerator gen(build_collective_groups(layout), tcfg,
+                               RngStream(3));
+  gen.set_host_fault_fn([](std::uint32_t container, SimTime) {
+    CollectiveTraceGenerator::HostEffect e;
+    if (container == 1) e.slowdown = 3.0;
+    return e;
+  });
+  const auto records = gen.emit_iteration(0, SimTime::seconds(0));
+  for (const auto& r : records) {
+    ASSERT_TRUE(r.done);
+    const double dur_ms = (r.end - r.start).to_seconds() * 1e3;
+    EXPECT_NEAR(dur_ms, r.rank == 1 ? 12.0 : 4.0, 1e-9)
+        << "step " << r.step << " rank " << r.rank;
+  }
+}
+
+TEST(Faults, UnreachableNetworkHangsTheStep) {
+  // nullopt from the network callback == the endpoint cannot complete its
+  // transfer: same started-never-done signature as a host hang.
+  auto gen = make_generator(5);
+  const Endpoint victim = gen.groups()[0].members[0];
+  gen.set_network_delay_fn(
+      [victim](const Endpoint& e, SimTime) -> std::optional<double> {
+        if (e == victim) return std::nullopt;
+        return 0.0;
+      });
+  const auto records = gen.emit_iteration(0, SimTime::seconds(0));
+  bool victim_hung = false;
+  for (const auto& r : records) {
+    if (r.endpoint == victim && r.started && !r.done) victim_hung = true;
+  }
+  EXPECT_TRUE(victim_hung);
+}
+
+TEST(Faults, NetworkDelayExtendsDurations) {
+  CollectiveTraceConfig tcfg;
+  tcfg.jitter_frac = 0.0;
+  CollectiveTraceGenerator gen(build_collective_groups(dense_layout()), tcfg,
+                               RngStream(5));
+  gen.set_network_delay_fn(
+      [](const Endpoint&, SimTime) -> std::optional<double> {
+        return 2000.0;  // +2 ms per step on every endpoint
+      });
+  const auto records = gen.emit_iteration(0, SimTime::seconds(0));
+  for (const auto& r : records) {
+    ASSERT_TRUE(r.done);
+    EXPECT_NEAR((r.end - r.start).to_seconds() * 1e3, 6.0, 1e-9);
+  }
+}
+
+TEST(Fingerprint, ChainsAcrossBatches) {
+  // Folding two batches through a chained hash equals fingerprinting the
+  // concatenation — the property the harness relies on when it folds one
+  // iteration at a time.
+  auto gen = make_generator(17);
+  const auto b0 = gen.emit_iteration(0, SimTime::seconds(0));
+  const auto b1 = gen.emit_iteration(1, SimTime::seconds(30));
+  std::vector<StepRecord> both = b0;
+  both.insert(both.end(), b1.begin(), b1.end());
+  EXPECT_EQ(fingerprint_records(b1, fingerprint_records(b0)),
+            fingerprint_records(both));
+}
+
+TEST(Fingerprint, SensitiveToOrderAndState) {
+  auto gen = make_generator(17);
+  const auto batch = gen.emit_iteration(0, SimTime::seconds(0));
+  ASSERT_GE(batch.size(), 2u);
+  auto swapped = batch;
+  std::swap(swapped[0], swapped[1]);
+  EXPECT_NE(fingerprint_records(batch), fingerprint_records(swapped));
+  auto flipped = batch;
+  flipped[0].done = !flipped[0].done;
+  EXPECT_NE(fingerprint_records(batch), fingerprint_records(flipped));
+}
+
+}  // namespace
+}  // namespace skh::workload

@@ -1,0 +1,197 @@
+// Property tests for the container <-> (dp_rank, stage) coordinate map.
+//
+// Host-side fault plans address victims by container index within the
+// task; the collective planes translate that back through EndpointRole.
+// The round trip container -> (dp_rank, stage) -> dp_rank * pp + stage
+// must be the identity on every grid shape — including the non-square
+// ones where transposing pp and dp silently "works" for num_containers
+// but scrambles every coordinate.
+#include <map>
+#include <set>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "workload/collectives.h"
+#include "workload/parallelism.h"
+#include "workload/traffic.h"
+
+namespace skh::workload {
+namespace {
+
+/// Build a synthetic placed task: `containers` containers of `tp` RNICs,
+/// container c on host c (full-host) with rails 0..tp-1.
+struct Placed {
+  cluster::TaskInfo task;
+  std::vector<cluster::ContainerInfo> containers;
+};
+
+Placed place(std::uint32_t num_containers, std::uint32_t tp) {
+  Placed p;
+  p.task.id = TaskId{0};
+  p.task.request.num_containers = num_containers;
+  p.task.request.gpus_per_container = tp;
+  for (std::uint32_t c = 0; c < num_containers; ++c) {
+    cluster::ContainerInfo ci;
+    ci.id = ContainerId{c};
+    ci.task = p.task.id;
+    ci.host = HostId{c};
+    ci.index_in_task = c;
+    for (std::uint32_t g = 0; g < tp; ++g) {
+      ci.rnics.push_back(RnicId{c * tp + g});
+    }
+    p.task.containers.push_back(ci.id);
+    p.containers.push_back(ci);
+  }
+  return p;
+}
+
+void check_roundtrip(const ParallelismConfig& cfg) {
+  const auto p = place(cfg.num_containers(), cfg.tp);
+  const auto layout = make_layout(p.task, p.containers, cfg);
+  ASSERT_EQ(layout.roles.size(), cfg.num_gpus());
+  for (const auto& r : layout.roles) {
+    const auto c = r.endpoint.container.value();
+    // Forward: container c is stage c % pp of replica c / pp.
+    EXPECT_EQ(r.stage, c % cfg.pp) << cfg.to_string();
+    EXPECT_EQ(r.dp_rank, c / cfg.pp) << cfg.to_string();
+    EXPECT_LT(r.rail, cfg.tp);
+    // Backward: the grid coordinate reconstructs the container index.
+    EXPECT_EQ(r.dp_rank * cfg.pp + r.stage, c) << cfg.to_string();
+    // Rail is the RNIC offset inside the container.
+    EXPECT_EQ(r.endpoint.rnic.value(), c * cfg.tp + r.rail);
+    // role_of closes the loop endpoint -> role.
+    const auto* back = layout.role_of(r.endpoint);
+    ASSERT_NE(back, nullptr);
+    EXPECT_EQ(back->stage, r.stage);
+    EXPECT_EQ(back->dp_rank, r.dp_rank);
+    EXPECT_EQ(back->rail, r.rail);
+  }
+  // Coordinates are unique: no two roles of a rail share a grid cell.
+  std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> cells;
+  for (const auto& r : layout.roles) {
+    EXPECT_TRUE(cells.insert({r.dp_rank, r.stage, r.rail}).second);
+  }
+}
+
+TEST(RoleRoundTrip, NonSquareGrids) {
+  // pp x dp grids where the transposed shape has the same container count
+  // — exactly the shapes a pp/dp swap bug survives container counting on.
+  const std::pair<std::uint32_t, std::uint32_t> grids[] = {
+      {2, 8}, {8, 2}, {3, 5}, {5, 3}, {4, 4}, {1, 16}, {16, 1}};
+  for (const auto& [pp, dp] : grids) {
+    ParallelismConfig cfg;
+    cfg.tp = 2;
+    cfg.pp = pp;
+    cfg.dp = dp;
+    cfg.validate();
+    check_roundtrip(cfg);
+  }
+}
+
+TEST(RoleRoundTrip, MoeExpertGroups) {
+  // EP slices DP into expert blocks but must not disturb the grid map.
+  for (const std::uint32_t ep : {2u, 4u}) {
+    ParallelismConfig cfg;
+    cfg.tp = 2;
+    cfg.pp = 2;
+    cfg.dp = 8;
+    cfg.moe = true;
+    cfg.ep = ep;
+    cfg.validate();
+    check_roundtrip(cfg);
+  }
+}
+
+/// Canonical unordered-pair key for volume bookkeeping.
+std::pair<Endpoint, Endpoint> key(const Endpoint& a, const Endpoint& b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+std::map<std::pair<Endpoint, Endpoint>, double> volumes_of(
+    const std::vector<CommEdge>& edges) {
+  std::map<std::pair<Endpoint, Endpoint>, double> m;
+  for (const auto& e : edges) m[key(e.a, e.b)] += e.volume;
+  return m;
+}
+
+std::vector<Endpoint> members(std::uint32_t n) {
+  std::vector<Endpoint> out;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out.push_back(Endpoint{ContainerId{i}, RnicId{i}});
+  }
+  return out;
+}
+
+TEST(MergeEdges, SumsDuplicatePairVolumes) {
+  // dp = 2: the ring degenerates to the single pair the all-to-all also
+  // produces — merging must leave ONE edge carrying both volumes, the
+  // situation every EP-over-DP-ring layout creates.
+  const auto m = members(2);
+  auto edges = ring_allreduce(m, 8.0);
+  const auto a2a = all_to_all(m, 4.0);
+  edges.insert(edges.end(), a2a.begin(), a2a.end());
+  ASSERT_EQ(edges.size(), 2u);
+  const auto merged = merge_edges(edges);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_DOUBLE_EQ(merged[0].volume, 12.0);
+}
+
+TEST(MergeEdges, RingPlusAllToAllKeepsDistinctPairsApart) {
+  // n = 4: ring edges coincide with four of the six all-to-all pairs; the
+  // two diagonals exist only in the all-to-all. Merged volumes must be
+  // ring+a2a on the shared pairs and a2a alone on the diagonals.
+  const auto m = members(4);
+  auto edges = ring_allreduce(m, 8.0);
+  const auto a2a = all_to_all(m, 4.0);
+  edges.insert(edges.end(), a2a.begin(), a2a.end());
+  const auto merged = merge_edges(edges);
+  EXPECT_EQ(merged.size(), 6u);
+  const auto vol = volumes_of(merged);
+  ASSERT_EQ(vol.size(), 6u);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(vol.at(key(m[i], m[(i + 1) % 4])), 12.0);
+  }
+  EXPECT_DOUBLE_EQ(vol.at(key(m[0], m[2])), 4.0);
+  EXPECT_DOUBLE_EQ(vol.at(key(m[1], m[3])), 4.0);
+  // Total volume is conserved by the merge.
+  double total = 0.0;
+  for (const auto& e : merged) total += e.volume;
+  EXPECT_DOUBLE_EQ(total, 4 * 8.0 + 6 * 4.0);
+}
+
+TEST(MergeEdges, MergeIsIdempotent) {
+  const auto m = members(4);
+  auto edges = ring_allreduce(m, 8.0);
+  const auto a2a = all_to_all(m, 4.0);
+  edges.insert(edges.end(), a2a.begin(), a2a.end());
+  const auto once = merge_edges(edges);
+  const auto twice = merge_edges(once);
+  EXPECT_EQ(once, twice);
+}
+
+TEST(TrafficMatrix, MoeLayoutHasNoDuplicatePairs) {
+  // EP all-to-all groups of size 2 duplicate DP ring edges pairwise; the
+  // built matrix must hold each unordered pair once, volumes merged.
+  ParallelismConfig cfg;
+  cfg.tp = 2;
+  cfg.pp = 2;
+  cfg.dp = 4;
+  cfg.moe = true;
+  cfg.ep = 2;
+  cfg.validate();
+  const auto p = place(cfg.num_containers(), cfg.tp);
+  const auto layout = make_layout(p.task, p.containers, cfg);
+  const auto matrix = build_traffic_matrix(layout);
+  std::set<std::pair<Endpoint, Endpoint>> pairs;
+  for (const auto& e : matrix.edges()) {
+    EXPECT_TRUE(pairs.insert(key(e.a, e.b)).second)
+        << "duplicate pair in built matrix";
+    EXPECT_GT(e.volume, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace skh::workload
